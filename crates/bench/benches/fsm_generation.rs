@@ -1,0 +1,59 @@
+//! Table 1 companion bench: controller generation and synthesis cost per
+//! style (distributed Algorithm 1 vs synchronized vs centralized product)
+//! on the Diff.Eq benchmark, plus per-encoding synthesis of the D-FSMs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tauhls_dfg::benchmarks::diffeq;
+use tauhls_fsm::{
+    cent_sync_fsm, synthesize, unit_controller, DistributedControlUnit, Encoding,
+};
+use tauhls_logic::AreaModel;
+use tauhls_sched::{Allocation, BoundDfg, UnitId};
+
+fn bench_generation(c: &mut Criterion) {
+    let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+    let mut g = c.benchmark_group("table1/generation");
+    g.bench_function("distributed_control_unit", |b| {
+        b.iter(|| DistributedControlUnit::generate(black_box(&bound)))
+    });
+    g.bench_function("cent_sync_fsm", |b| {
+        b.iter(|| cent_sync_fsm(black_box(&bound)))
+    });
+    g.bench_function("single_unit_controller", |b| {
+        b.iter(|| unit_controller(black_box(&bound), UnitId(0)))
+    });
+    g.bench_function("centralized_product_minimized", |b| {
+        b.iter(|| {
+            tauhls_core::Synthesis::new(diffeq())
+                .allocation(Allocation::paper(2, 1, 1))
+                .with_centralized()
+                .run()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+    let fsm = unit_controller(&bound, UnitId(0));
+    let model = AreaModel::default();
+    let mut g = c.benchmark_group("table1/synthesis");
+    for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+        g.bench_function(format!("dfsm_m1_{enc:?}"), |b| {
+            b.iter(|| synthesize(black_box(&fsm), enc, &model))
+        });
+    }
+    g.bench_function("full_table1", |b| {
+        b.iter(|| tauhls_core::experiments::table1(Encoding::Binary, &model))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_synthesis
+);
+criterion_main!(benches);

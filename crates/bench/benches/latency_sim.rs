@@ -1,0 +1,64 @@
+//! Table 2 companion bench: cycle-accurate simulation throughput per
+//! benchmark and per controller style, plus the coupled pair measurement
+//! that generates the table's average cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tauhls_core::experiments::paper_benchmarks;
+use tauhls_fsm::DistributedControlUnit;
+use tauhls_sched::BoundDfg;
+use tauhls_sim::{latency_pair, simulate_cent_sync, simulate_distributed, CompletionModel};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/simulate");
+    for (dfg, alloc, _) in paper_benchmarks() {
+        let name = dfg.name().to_string();
+        let bound = BoundDfg::bind(&dfg, &alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        g.bench_function(format!("dist/{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                simulate_distributed(
+                    black_box(&bound),
+                    &cu,
+                    &CompletionModel::Bernoulli { p: 0.7 },
+                    None,
+                    &mut rng,
+                )
+            })
+        });
+        g.bench_function(format!("sync/{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                simulate_cent_sync(
+                    black_box(&bound),
+                    &CompletionModel::Bernoulli { p: 0.7 },
+                    None,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/cells");
+    g.sample_size(10);
+    let (dfg, alloc, _) = paper_benchmarks().swap_remove(4); // diffeq
+    let bound = BoundDfg::bind(&dfg, &alloc);
+    g.bench_function("diffeq_pair_100_trials", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| latency_pair(black_box(&bound), &[0.9, 0.7, 0.5], 100, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulation, bench_table_cells
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Fig 4 companion bench: cost of building the centralized product as the
+//! number of concurrent TAUs grows (exponential), vs generating the
+//! distributed controllers (linear). Also covers the ablation between the
+//! raw wrap-around product and the minimized single-shot product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tauhls_dfg::DfgBuilder;
+use tauhls_fsm::{
+    minimize_states, synchronous_product, unit_controller, unit_controller_opts,
+    DistributedControlUnit, Fsm,
+};
+use tauhls_sched::{Allocation, BoundDfg, UnitId};
+
+fn independent(n: usize) -> BoundDfg {
+    let mut b = DfgBuilder::new(format!("ind{n}"));
+    let x = b.input("x");
+    let mut seqs = Vec::new();
+    for i in 0..n {
+        let m = b.mul(x.into(), x.into());
+        b.output(format!("y{i}"), m);
+        seqs.push(vec![m]);
+    }
+    BoundDfg::bind_explicit(&b.build().unwrap(), &Allocation::paper(n, 0, 0), seqs).unwrap()
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/growth");
+    g.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let bound = independent(n);
+        g.bench_with_input(BenchmarkId::new("distributed", n), &bound, |b, bd| {
+            b.iter(|| DistributedControlUnit::generate(black_box(bd)))
+        });
+        g.bench_with_input(BenchmarkId::new("cent_product", n), &bound, |b, bd| {
+            b.iter(|| {
+                let fsms: Vec<Fsm> = (0..n).map(|u| unit_controller(bd, UnitId(u))).collect();
+                let refs: Vec<&Fsm> = fsms.iter().collect();
+                synchronous_product("CENT", &refs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_minimization_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/minimize_ablation");
+    g.sample_size(10);
+    let bound = independent(4);
+    let wrap: Vec<Fsm> = (0..4).map(|u| unit_controller(&bound, UnitId(u))).collect();
+    let shot: Vec<Fsm> = (0..4)
+        .map(|u| unit_controller_opts(&bound, UnitId(u), true))
+        .collect();
+    let wrap_refs: Vec<&Fsm> = wrap.iter().collect();
+    let shot_refs: Vec<&Fsm> = shot.iter().collect();
+    let wrap_product = synchronous_product("CENT-wrap", &wrap_refs);
+    let shot_product = synchronous_product("CENT-shot", &shot_refs);
+    eprintln!(
+        "ablation n=4: wrap product {} states, single-shot product {} states, minimized {} states",
+        wrap_product.num_states(),
+        shot_product.num_states(),
+        minimize_states(&shot_product).num_states()
+    );
+    g.bench_function("minimize_singleshot_product", |b| {
+        b.iter(|| minimize_states(black_box(&shot_product)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_growth, bench_minimization_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Fig 1: the structure and characterization of a TAU.
+fn main() {
+    print!("{}", tauhls_core::figures::fig1_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 2: original DFG -> TAUBM DFG -> TAUBM FSM.
+fn main() {
+    print!("{}", tauhls_core::figures::fig2_report());
+}

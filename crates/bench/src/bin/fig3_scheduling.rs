@@ -1,0 +1,4 @@
+//! Regenerates Fig 3: dependency graph, clique cover, schedule arcs.
+fn main() {
+    print!("{}", tauhls_core::figures::fig3_report());
+}

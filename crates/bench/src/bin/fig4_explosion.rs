@@ -1,0 +1,12 @@
+//! Regenerates Fig 4: exponential centralized state growth vs linear
+//! distributed growth over the number of concurrently active TAUs.
+fn main() {
+    println!("Fig 4. Controller size vs number of concurrent TAUs");
+    println!("{:>3} {:>12} {:>15} {:>12} {:>12}", "n", "CENT states", "CENT branching", "DIST states", "SYNC states");
+    for p in tauhls_core::experiments::fig4_explosion(8) {
+        println!(
+            "{:>3} {:>12} {:>15} {:>12} {:>12}",
+            p.n, p.cent_states, p.cent_branching, p.dist_states, p.sync_states
+        );
+    }
+}

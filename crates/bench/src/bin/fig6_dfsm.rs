@@ -1,0 +1,4 @@
+//! Regenerates Fig 6: the arithmetic unit controller for TAU multiplier M1.
+fn main() {
+    print!("{}", tauhls_core::figures::fig6_report());
+}

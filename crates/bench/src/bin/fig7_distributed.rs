@@ -1,0 +1,4 @@
+//! Regenerates Fig 7: the distributed global control unit and its wiring.
+fn main() {
+    print!("{}", tauhls_core::figures::fig7_report());
+}

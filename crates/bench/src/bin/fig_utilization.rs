@@ -1,0 +1,8 @@
+//! Quantifies the paper's "minimize idle time of each component arithmetic
+//! unit" claim: busy fraction per controller style across the benchmarks.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.6);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    print!("{}", tauhls_core::utilization::utilization_table(p, trials, 2003));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 1 (area analysis for Diff.Eq).
+fn main() {
+    let t = tauhls_core::experiments::table1(
+        tauhls_fsm::Encoding::Binary,
+        &tauhls_logic::AreaModel::default(),
+    );
+    println!("{t}");
+}

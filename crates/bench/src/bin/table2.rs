@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 2 (latency comparison, six benchmarks).
+//!
+//! Usage: `table2 [trials] [seed]` (defaults: 4000 trials, seed 2003).
+//! Also writes `table2.json` next to the invocation directory.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2003);
+    let t = tauhls_core::experiments::table2(trials, seed);
+    println!("{t}");
+    let json = serde_json::to_string_pretty(&t).expect("serializable");
+    std::fs::write("table2.json", json).ok();
+    println!("(machine-readable copy written to table2.json)");
+}

@@ -1,0 +1,191 @@
+//! Allocation-space exploration: enumerate unit allocations, measure each
+//! design's average latency (distributed control) and whole-system area,
+//! and return the Pareto frontier — the "resource allocation" piece of the
+//! paper's §6 future-work HLS tool, built from the parts this workspace
+//! already has.
+
+use crate::pipeline::Synthesis;
+use crate::report::system_area;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tauhls_dfg::{Dfg, ResourceClass};
+use tauhls_fsm::Encoding;
+use tauhls_logic::AreaModel;
+use tauhls_sched::Allocation;
+use tauhls_sim::latency_pair;
+
+/// One explored design point.
+#[derive(Clone, Debug, Serialize)]
+pub struct DesignPoint {
+    /// TAU multipliers allocated.
+    pub muls: usize,
+    /// Adders allocated.
+    pub adds: usize,
+    /// Subtractors allocated.
+    pub subs: usize,
+    /// Mean distributed latency in cycles at the probed `P`.
+    pub latency_cycles: f64,
+    /// Whole-system area in gate equivalents.
+    pub area_ge: f64,
+    /// True iff the point survives Pareto filtering.
+    pub pareto: bool,
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreParams {
+    /// Maximum units per class to consider.
+    pub max_muls: usize,
+    /// Maximum adders.
+    pub max_adds: usize,
+    /// Maximum subtractors.
+    pub max_subs: usize,
+    /// Short probability to probe.
+    pub p: f64,
+    /// Monte-Carlo trials per point.
+    pub trials: usize,
+    /// Datapath width for the area model.
+    pub width: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExploreParams {
+    fn default() -> Self {
+        ExploreParams {
+            max_muls: 4,
+            max_adds: 2,
+            max_subs: 2,
+            p: 0.7,
+            trials: 400,
+            width: 16,
+            seed: 2003,
+        }
+    }
+}
+
+/// Enumerates the allocation space and measures every feasible point;
+/// points not dominated in (latency, area) are flagged `pareto`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or all class maxima are zero.
+pub fn explore_allocations(dfg: &Dfg, params: &ExploreParams) -> Vec<DesignPoint> {
+    assert!(params.trials > 0);
+    let hist = dfg.class_histogram();
+    let need = |c: ResourceClass| hist.get(&c).copied().unwrap_or(0);
+    // A class with no operations needs (and gets) no units; otherwise
+    // sweep 1..=max.
+    let range = |c: ResourceClass, max: usize| {
+        if need(c) == 0 {
+            0..=0
+        } else {
+            1..=max.max(1)
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut points = Vec::new();
+
+    for muls in range(ResourceClass::Multiplier, params.max_muls) {
+        for adds in range(ResourceClass::Adder, params.max_adds) {
+            for subs in range(ResourceClass::Subtractor, params.max_subs) {
+                let alloc = Allocation::paper(muls, adds, subs);
+                if !alloc.covers(dfg) {
+                    continue;
+                }
+                let design = Synthesis::new(dfg.clone())
+                    .allocation(alloc)
+                    .run()
+                    .expect("covered allocation synthesizes");
+                let (_, dist) =
+                    latency_pair(design.bound(), &[params.p], params.trials, &mut rng);
+                let area = system_area(
+                    &design,
+                    Encoding::Binary,
+                    &AreaModel::default(),
+                    params.width,
+                );
+                points.push(DesignPoint {
+                    muls,
+                    adds,
+                    subs,
+                    latency_cycles: dist.average_cycles[0],
+                    area_ge: area.total(),
+                    pareto: false,
+                });
+            }
+        }
+    }
+
+    // Pareto filter: a point survives if no other point is at least as
+    // good in both dimensions and strictly better in one. Latency is a
+    // Monte-Carlo estimate, so comparisons use a small tolerance to keep
+    // statistically-tied points from shielding each other.
+    const LAT_EPS: f64 = 0.02;
+    let snapshot = points.clone();
+    for p in &mut points {
+        p.pareto = !snapshot.iter().any(|q| {
+            (q.latency_cycles <= p.latency_cycles + LAT_EPS && q.area_ge < p.area_ge)
+                || (q.latency_cycles < p.latency_cycles - LAT_EPS && q.area_ge <= p.area_ge)
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::fir5;
+
+    #[test]
+    fn frontier_is_nonempty_and_consistent() {
+        let pts = explore_allocations(
+            &fir5(),
+            &ExploreParams {
+                max_muls: 3,
+                max_adds: 2,
+                max_subs: 0,
+                trials: 150,
+                ..Default::default()
+            },
+        );
+        assert!(!pts.is_empty());
+        let frontier: Vec<_> = pts.iter().filter(|p| p.pareto).collect();
+        assert!(!frontier.is_empty());
+        // No frontier point dominates another (with the filter's noise
+        // tolerance).
+        for a in &frontier {
+            for b in &frontier {
+                let dominates = a.latency_cycles <= b.latency_cycles + 0.02
+                    && a.area_ge < b.area_ge
+                    || a.latency_cycles < b.latency_cycles - 0.02 && a.area_ge <= b.area_ge;
+                assert!(!dominates, "{a:?} dominates {b:?}");
+            }
+        }
+        // More multipliers never hurt latency (same adders).
+        let lat = |m: usize| {
+            pts.iter()
+                .find(|p| p.muls == m && p.adds == 1)
+                .map(|p| p.latency_cycles)
+                .unwrap()
+        };
+        assert!(lat(3) <= lat(1) + 1e-9);
+    }
+
+    #[test]
+    fn subtractor_range_skipped_when_unused() {
+        // FIR has no subtract-class ops: subs should stay at 0.
+        let pts = explore_allocations(
+            &fir5(),
+            &ExploreParams {
+                max_muls: 2,
+                max_adds: 1,
+                max_subs: 2,
+                trials: 50,
+                ..Default::default()
+            },
+        );
+        assert!(pts.iter().all(|p| p.subs == 0));
+    }
+}

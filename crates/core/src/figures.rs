@@ -1,0 +1,238 @@
+//! Textual regeneration of the paper's illustrative figures (1, 2, 3, 6,
+//! 7). Each function returns a report string; the `tauhls-bench` binaries
+//! print them, and DOT output is available through the underlying types.
+
+use std::fmt::Write as _;
+use tauhls_datapath::{ArrayMultiplier, CompletionGenerator, FunctionalUnit, Tau, Technology};
+use tauhls_dfg::{benchmarks, OpId, ResourceClass, TaubmDfg};
+use tauhls_fsm::{cent_sync_fsm_with_schedule, unit_controller, DistributedControlUnit};
+use tauhls_logic::AreaModel;
+use tauhls_sched::{reachability, Allocation, BoundDfg, DependencyGraph, UnitId};
+
+/// The paper's Fig 2 time-step assignment for [`benchmarks::fig2_dfg`]:
+/// `T0={O0,O3}, T1={O1}, T2={O2,O4}, T3={O5}`.
+pub const FIG2_STEPS: [usize; 6] = [0, 1, 2, 0, 2, 3];
+
+/// The paper's Fig 3(c) binding for [`benchmarks::fig3_dfg`]:
+/// `(O0,O1)→M1, (O6,O4,O8)→M2, (O3,O2)→A1, (O7,O5)→A2`.
+pub fn fig3_paper_binding() -> BoundDfg {
+    BoundDfg::bind_explicit(
+        &benchmarks::fig3_dfg(),
+        &Allocation::paper(2, 2, 0),
+        vec![
+            vec![OpId(0), OpId(1)],
+            vec![OpId(6), OpId(4), OpId(8)],
+            vec![OpId(3), OpId(2)],
+            vec![OpId(7), OpId(5)],
+        ],
+    )
+    .expect("the paper binding is valid")
+}
+
+/// Fig 1: the structure of a TAU — a small multiplier telescoped with a
+/// synthesized completion signal generator, with SD/LD and the generator's
+/// own gate cost.
+pub fn fig1_report() -> String {
+    let mut s = String::new();
+    let unit = ArrayMultiplier::new(8);
+    let short = 9;
+    let tau = Tau::new(unit, short);
+    let tech = Technology {
+        ns_per_level: 20.0 / f64::from(tau.long_levels()),
+    };
+    let _ = writeln!(s, "Fig 1. A telescopic arithmetic unit (8-bit array multiplier)");
+    let _ = writeln!(
+        s,
+        "  arithmetic logic : {} (worst case {} gate levels)",
+        unit.name(),
+        unit.worst_delay_levels()
+    );
+    let _ = writeln!(
+        s,
+        "  SD = {} levels = {:.1} ns   LD = {} levels = {:.1} ns",
+        tau.short_levels(),
+        tau.sd_ns(&tech),
+        tau.long_levels(),
+        tau.ld_ns(&tech)
+    );
+    let gen = CompletionGenerator::synthesize(&unit, short);
+    let area = gen.area(&AreaModel::default());
+    let _ = writeln!(
+        s,
+        "  completion signal generator: {} product terms, {} literals, {:.0} GE",
+        gen.cover().len(),
+        gen.cover().literal_count(),
+        area.combinational
+    );
+    let _ = writeln!(
+        s,
+        "  P over uniform operands = {:.3}",
+        gen.uniform_p()
+    );
+    let _ = writeln!(s, "  example: 3 x 5   -> C = {}", i32::from(tau.evaluate(3, 5).short));
+    let _ = writeln!(
+        s,
+        "  example: 255 x 255 -> C = {}",
+        i32::from(tau.evaluate(255, 255).short)
+    );
+    s
+}
+
+/// Fig 2: the original DFG, its TAUBM DFG (split steps), and the TAUBM FSM.
+pub fn fig2_report() -> String {
+    let mut s = String::new();
+    let g = benchmarks::fig2_dfg();
+    let _ = writeln!(s, "Fig 2(a). Original DFG '{}' ({} ops)", g.name(), g.num_ops());
+    for v in g.op_ids() {
+        let _ = writeln!(
+            s,
+            "  {v} [{}] preds: {:?}",
+            g.op(v).kind.symbol(),
+            g.preds(v)
+        );
+    }
+    let taubm = TaubmDfg::derive(&g, &FIG2_STEPS, &[ResourceClass::Multiplier].into());
+    let _ = writeln!(s, "\nFig 2(b). TAUBM DFG (× bound to TAUs):");
+    for (i, st) in taubm.steps().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  T{i}{}  fixed: {:?}  tau: {:?}",
+            if st.is_split() { " + T'" } else { "    " },
+            st.fixed_ops,
+            st.tau_ops
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  latency: best {} cycles, worst {} cycles",
+        taubm.best_latency_cycles(),
+        taubm.worst_latency_cycles()
+    );
+    let bound = BoundDfg::bind(&g, &Allocation::paper(2, 1, 0));
+    let fsm = cent_sync_fsm_with_schedule(&bound, &FIG2_STEPS);
+    let _ = writeln!(s, "\nFig 2(c). TAUBM FSM:");
+    let _ = write!(s, "{}", fsm.describe());
+    s
+}
+
+/// Fig 3: the dependency graph of the multiplications, its clique cover,
+/// the schedule-arc insertion, and the final bound DFG.
+pub fn fig3_report() -> String {
+    let mut s = String::new();
+    let g = benchmarks::fig3_dfg();
+    let reach = reachability(&g);
+    let dep = DependencyGraph::for_class(&g, ResourceClass::Multiplier, &reach);
+    let _ = writeln!(s, "Fig 3(b). Dependency graph of the multiplications:");
+    let _ = writeln!(s, "  nodes: {:?}", dep.nodes());
+    for (i, &a) in dep.nodes().iter().enumerate() {
+        for &b in dep.nodes().iter().skip(i + 1) {
+            if dep.dependent(a, b) {
+                let _ = writeln!(s, "  edge {a} -- {b}");
+            }
+        }
+    }
+    let cover = dep.min_clique_cover();
+    let _ = writeln!(
+        s,
+        "  minimum clique cover: {:?} -> {} TAU multipliers required",
+        cover,
+        cover.len()
+    );
+    let bound = fig3_paper_binding();
+    let _ = writeln!(
+        s,
+        "\nFig 3(c). Scheduled DFG under 2 TAU multipliers + 2 adders:"
+    );
+    let units = bound.allocation().units();
+    for (u, seq) in bound.sequences().iter().enumerate() {
+        let _ = writeln!(s, "  {} runs {:?}", units[u].display_name(), seq);
+    }
+    let _ = writeln!(s, "  inserted schedule arcs: {:?}", bound.schedule_arcs());
+    s
+}
+
+/// Fig 6: the arithmetic unit controller FSM for TAU multiplier M1 of the
+/// Fig 3(c) binding.
+pub fn fig6_report() -> String {
+    let bound = fig3_paper_binding();
+    let fsm = unit_controller(&bound, UnitId(0));
+    format!("Fig 6. {}", fsm.describe())
+}
+
+/// Fig 7: the distributed synchronous global control unit with optimized
+/// completion-signal wiring.
+pub fn fig7_report() -> String {
+    let mut s = String::new();
+    let bound = fig3_paper_binding();
+    let cu = DistributedControlUnit::generate(&bound);
+    let units = bound.allocation().units();
+    let _ = writeln!(s, "Fig 7. Distributed synchronous global control unit");
+    for (u, fsm) in cu.controllers() {
+        let _ = writeln!(
+            s,
+            "  CONT_{}: {} states, inputs {:?}, outputs {:?}",
+            units[u.0].display_name(),
+            fsm.num_states(),
+            fsm.inputs(),
+            fsm.outputs()
+        );
+    }
+    let _ = writeln!(s, "  completion-signal wiring (after optimization):");
+    for (p, sig, c) in cu.signal_wiring() {
+        let _ = writeln!(
+            s,
+            "    {} --{}--> {}",
+            units[p.0].display_name(),
+            sig,
+            units[c.0].display_name()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reports_telescoping() {
+        let s = fig1_report();
+        assert!(s.contains("SD = 9 levels"));
+        assert!(s.contains("completion signal generator"));
+        assert!(s.contains("3 x 5   -> C = 1"));
+        assert!(s.contains("255 x 255 -> C = 0"));
+    }
+
+    #[test]
+    fn fig2_reports_split_steps_and_fsm() {
+        let s = fig2_report();
+        assert!(s.contains("best 4 cycles, worst 6 cycles"));
+        assert!(s.contains("S0'"));
+        assert!(s.contains("S2'"));
+    }
+
+    #[test]
+    fn fig3_reports_cliques_and_arcs() {
+        let s = fig3_report();
+        assert!(s.contains("3 TAU multipliers required"));
+        assert!(s.contains("O6, O4"));
+        assert!(s.contains("schedule arcs"));
+    }
+
+    #[test]
+    fn fig6_lists_ten_transitions() {
+        let s = fig6_report();
+        assert!(s.contains("10 transitions"));
+        assert!(s.contains("C_M1"));
+        assert!(s.contains("C_CO(3)"));
+    }
+
+    #[test]
+    fn fig7_shows_optimized_wiring() {
+        let s = fig7_report();
+        assert!(s.contains("CONT_M1"));
+        assert!(s.contains("--C_CO(3)-->"));
+        // C_CO(0) was optimized away, so it never appears as wiring.
+        assert!(!s.contains("--C_CO(0)-->"));
+    }
+}

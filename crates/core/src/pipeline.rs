@@ -1,0 +1,290 @@
+//! The end-to-end synthesis pipeline: DFG + allocation + timing →
+//! scheduled/bound design → controllers → area and latency reports.
+
+use rand::Rng;
+use tauhls_dfg::Dfg;
+use tauhls_fsm::{
+    cent_sync_fsm, synchronous_product, synthesize, DistributedControlUnit, Encoding, Fsm,
+    SynthesizedFsm,
+};
+use tauhls_logic::AreaModel;
+use tauhls_sched::{Allocation, BoundDfg, UnitId};
+use tauhls_sim::{latency_summary, ControlStyle, LatencySummary};
+
+/// Timing parameters of the telescopic system (paper Table 2 footer:
+/// `SD(×) = 15 ns, LD(×) = 20 ns, FD(+,−) = 15 ns`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Timing {
+    /// Short delay of the telescopic units — the fast clock period, ns.
+    pub sd_ns: f64,
+    /// Long (worst-case) delay of the telescopic units, ns.
+    pub ld_ns: f64,
+    /// Fixed delay of the non-telescopic units, ns.
+    pub fd_ns: f64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            sd_ns: 15.0,
+            ld_ns: 20.0,
+            fd_ns: 15.0,
+        }
+    }
+}
+
+impl Timing {
+    /// The system clock period: the slowest single-cycle path, i.e.
+    /// `max(SD, FD)`.
+    pub fn clock_ns(&self) -> f64 {
+        self.sd_ns.max(self.fd_ns)
+    }
+}
+
+/// Builder for a telescopic-controller synthesis run.
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_core::Synthesis;
+/// use tauhls_dfg::benchmarks::fir3;
+/// use tauhls_sched::Allocation;
+///
+/// let design = Synthesis::new(fir3())
+///     .allocation(Allocation::paper(2, 1, 0))
+///     .run()?;
+/// assert_eq!(design.distributed().controllers().len(), 3);
+/// # Ok::<(), tauhls_core::SynthesisError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    dfg: Dfg,
+    allocation: Allocation,
+    timing: Timing,
+    explicit_binding: Option<Vec<Vec<tauhls_dfg::OpId>>>,
+    build_centralized: bool,
+}
+
+/// Errors from [`Synthesis::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthesisError {
+    /// The allocation lacks a unit for a used operation class.
+    InsufficientAllocation,
+    /// The explicit binding was rejected.
+    Binding(tauhls_sched::BindError),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::InsufficientAllocation => {
+                write!(f, "allocation lacks a unit for a used operation class")
+            }
+            SynthesisError::Binding(e) => write!(f, "binding rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl Synthesis {
+    /// Starts a synthesis run for the given graph with the paper's default
+    /// timing and an empty allocation (set one with
+    /// [`Synthesis::allocation`]).
+    pub fn new(dfg: Dfg) -> Self {
+        Synthesis {
+            dfg,
+            allocation: Allocation::new(),
+            timing: Timing::default(),
+            explicit_binding: None,
+            build_centralized: false,
+        }
+    }
+
+    /// Sets the resource allocation.
+    pub fn allocation(mut self, alloc: Allocation) -> Self {
+        self.allocation = alloc;
+        self
+    }
+
+    /// Overrides the timing parameters.
+    pub fn timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Forces an explicit per-unit binding (paper-figure reproduction).
+    pub fn explicit_binding(mut self, sequences: Vec<Vec<tauhls_dfg::OpId>>) -> Self {
+        self.explicit_binding = Some(sequences);
+        self
+    }
+
+    /// Also build the centralized product FSM (CENT-FSM). Off by default —
+    /// its state count grows exponentially with concurrent TAUs.
+    pub fn with_centralized(mut self) -> Self {
+        self.build_centralized = true;
+        self
+    }
+
+    /// Runs scheduling, binding, and controller generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] if the allocation cannot execute the
+    /// graph or an explicit binding is inconsistent.
+    pub fn run(self) -> Result<Design, SynthesisError> {
+        if !self.allocation.covers(&self.dfg) {
+            return Err(SynthesisError::InsufficientAllocation);
+        }
+        let bound = match self.explicit_binding {
+            Some(seqs) => BoundDfg::bind_explicit(&self.dfg, &self.allocation, seqs)
+                .map_err(SynthesisError::Binding)?,
+            None => BoundDfg::bind(&self.dfg, &self.allocation),
+        };
+        let distributed = DistributedControlUnit::generate(&bound);
+        let cent_sync = cent_sync_fsm(&bound);
+        let centralized = self.build_centralized.then(|| {
+            // Fig 4(a)-style CENT-FSM: synchronous product of *single-shot*
+            // controllers (one DFG iteration, absorbing DONE) with state
+            // minimization — the canonical centralized machine tracking
+            // every TAU's completion independently.
+            let mut fsms: Vec<Fsm> = (0..bound.allocation().units().len())
+                .filter(|&u| !bound.sequence(UnitId(u)).is_empty())
+                .map(|u| tauhls_fsm::unit_controller_opts(&bound, UnitId(u), true))
+                .collect();
+            tauhls_fsm::optimize_dead_completions(&mut fsms);
+            let refs: Vec<&Fsm> = fsms.iter().collect();
+            let product =
+                synchronous_product(&format!("CENT({})", bound.dfg().name()), &refs);
+            tauhls_fsm::minimize_states(&product)
+        });
+        Ok(Design {
+            bound,
+            distributed,
+            cent_sync,
+            centralized,
+            timing: self.timing,
+        })
+    }
+}
+
+/// A fully synthesized design: binding plus all generated controllers.
+#[derive(Clone, Debug)]
+pub struct Design {
+    bound: BoundDfg,
+    distributed: DistributedControlUnit,
+    cent_sync: Fsm,
+    centralized: Option<Fsm>,
+    timing: Timing,
+}
+
+impl Design {
+    /// The scheduled-and-bound DFG.
+    pub fn bound(&self) -> &BoundDfg {
+        &self.bound
+    }
+
+    /// The distributed control unit (the paper's proposal).
+    pub fn distributed(&self) -> &DistributedControlUnit {
+        &self.distributed
+    }
+
+    /// The synchronized centralized controller (CENT-SYNC / TAUBM style).
+    pub fn cent_sync(&self) -> &Fsm {
+        &self.cent_sync
+    }
+
+    /// The centralized product FSM, if requested via
+    /// [`Synthesis::with_centralized`].
+    pub fn centralized(&self) -> Option<&Fsm> {
+        self.centralized.as_ref()
+    }
+
+    /// The timing parameters.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Synthesizes one distributed controller to gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit has no controller.
+    pub fn synthesize_controller(
+        &self,
+        unit: UnitId,
+        encoding: Encoding,
+        model: &AreaModel,
+    ) -> SynthesizedFsm {
+        let fsm = self
+            .distributed
+            .controller(unit)
+            .expect("unit has a controller");
+        synthesize(fsm, encoding, model)
+    }
+
+    /// Latency summary under a control style (cycles; multiply by
+    /// [`Timing::clock_ns`] for ns).
+    pub fn latency(
+        &self,
+        style: ControlStyle,
+        p_values: &[f64],
+        trials: usize,
+        rng: &mut impl Rng,
+    ) -> LatencySummary {
+        latency_summary(&self.bound, style, p_values, trials, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tauhls_dfg::benchmarks::{diffeq, fir3};
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let design = Synthesis::new(diffeq())
+            .allocation(Allocation::paper(2, 1, 1))
+            .run()
+            .unwrap();
+        assert_eq!(design.distributed().controllers().len(), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let lat = design.latency(ControlStyle::Distributed, &[0.9], 50, &mut rng);
+        assert_eq!(lat.best_cycles, 4);
+    }
+
+    #[test]
+    fn insufficient_allocation_rejected() {
+        let err = Synthesis::new(diffeq())
+            .allocation(Allocation::paper(2, 1, 0))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SynthesisError::InsufficientAllocation);
+    }
+
+    #[test]
+    fn centralized_on_request() {
+        let d = Synthesis::new(fir3())
+            .allocation(Allocation::paper(2, 1, 0))
+            .run()
+            .unwrap();
+        assert!(d.centralized().is_none());
+        let d = Synthesis::new(fir3())
+            .allocation(Allocation::paper(2, 1, 0))
+            .with_centralized()
+            .run()
+            .unwrap();
+        let c = d.centralized().unwrap();
+        c.check().unwrap();
+        assert!(c.num_states() > d.cent_sync().num_states());
+    }
+
+    #[test]
+    fn timing_defaults_match_paper() {
+        let t = Timing::default();
+        assert_eq!(t.clock_ns(), 15.0);
+        assert_eq!(t.ld_ns, 20.0);
+    }
+}

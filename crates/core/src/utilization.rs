@@ -1,0 +1,136 @@
+//! Unit-utilization analysis: the paper's §1 motivation is that the
+//! distributed structure "minimizes the idle time of each component
+//! arithmetic unit". This experiment quantifies it: mean busy fraction per
+//! unit under distributed vs synchronized control, with coupled
+//! completion draws.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::fmt;
+use tauhls_fsm::DistributedControlUnit;
+use tauhls_sched::BoundDfg;
+use tauhls_sim::{simulate_cent_sync, simulate_distributed, CompletionModel};
+
+/// Utilization comparison for one benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct UtilizationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean latency (cycles) under distributed / synchronized control.
+    pub dist_cycles: f64,
+    /// Synchronized mean latency in cycles.
+    pub sync_cycles: f64,
+    /// Mean busy fraction over all units, distributed.
+    pub dist_utilization: f64,
+    /// Mean busy fraction over all units, synchronized.
+    pub sync_utilization: f64,
+}
+
+/// A utilization comparison across the paper benchmarks.
+#[derive(Clone, Debug, Serialize)]
+pub struct UtilizationTable {
+    /// One row per benchmark.
+    pub rows: Vec<UtilizationRow>,
+    /// The probed short probability.
+    pub p: f64,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+}
+
+/// Measures utilization for every paper benchmark at short-probability
+/// `p` with `trials` coupled draws.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `p` is not a probability.
+pub fn utilization_table(p: f64, trials: usize, seed: u64) -> UtilizationTable {
+    assert!(trials > 0 && (0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for (dfg, alloc, _) in crate::experiments::paper_benchmarks() {
+        let name = dfg.name().to_string();
+        let bound = BoundDfg::bind(&dfg, &alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        let num_units = alloc.units().len();
+        let mut acc = [0.0f64; 4]; // dist cycles, sync cycles, dist util, sync util
+        for _ in 0..trials {
+            let table = CompletionModel::draw_table(dfg.num_ops(), p, &mut rng);
+            let d = simulate_distributed(&bound, &cu, &table, None, &mut rng);
+            let s = simulate_cent_sync(&bound, &table, None, &mut rng);
+            let util = |r: &tauhls_sim::SimResult| {
+                (0..num_units)
+                    .filter(|&u| !bound.sequence(tauhls_sched::UnitId(u)).is_empty())
+                    .map(|u| r.utilization(u))
+                    .sum::<f64>()
+                    / cu.controllers().len() as f64
+            };
+            acc[0] += d.cycles as f64;
+            acc[1] += s.cycles as f64;
+            acc[2] += util(&d);
+            acc[3] += util(&s);
+        }
+        let t = trials as f64;
+        rows.push(UtilizationRow {
+            name,
+            dist_cycles: acc[0] / t,
+            sync_cycles: acc[1] / t,
+            dist_utilization: acc[2] / t,
+            sync_utilization: acc[3] / t,
+        });
+    }
+    UtilizationTable { rows, p, trials }
+}
+
+impl fmt::Display for UtilizationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Unit utilization, distributed vs synchronized (P = {}, {} trials)",
+            self.p, self.trials
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>11} {:>11}",
+            "DFG", "dist cyc", "sync cyc", "dist util", "sync util"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>10.2} {:>10.2} {:>10.1}% {:>10.1}%",
+                r.name,
+                r.dist_cycles,
+                r.sync_cycles,
+                r.dist_utilization * 100.0,
+                r.sync_utilization * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_utilization_never_lower() {
+        let t = utilization_table(0.6, 200, 5);
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            // Shorter makespan with (at most) the same busy work means
+            // busy *fraction* can only rise under distributed control.
+            assert!(
+                r.dist_utilization >= r.sync_utilization - 1e-9,
+                "{}: {} < {}",
+                r.name,
+                r.dist_utilization,
+                r.sync_utilization
+            );
+            assert!(r.dist_cycles <= r.sync_cycles);
+            assert!(r.dist_utilization <= 1.0 + 1e-9);
+        }
+        let s = t.to_string();
+        assert!(s.contains("dist util"));
+    }
+}

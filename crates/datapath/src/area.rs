@@ -1,0 +1,96 @@
+//! Gate-equivalent area estimates for the functional-unit architectures,
+//! so designs can be costed end to end (controllers + units + registers).
+//!
+//! Estimates use textbook cell counts: a full adder ≈ 9 GE, a 2-input
+//! AND ≈ 1.5 GE, a 2:1 mux ≈ 3 GE. They are deliberately coarse — the
+//! purpose is relative comparison between architectures and against the
+//! controller areas of Table 1, on the same gate-equivalent scale.
+
+use crate::units::{ArrayMultiplier, RippleCarryAdder, RippleCarrySubtractor};
+use crate::units_ext::{BoothMultiplier, CarryLookaheadAdder, CarrySkipAdder};
+
+/// Gate-equivalents of one full adder cell.
+pub const FULL_ADDER_GE: f64 = 9.0;
+/// Gate-equivalents of one 2-input AND gate.
+pub const AND2_GE: f64 = 1.5;
+/// Gate-equivalents of one 2:1 multiplexer.
+pub const MUX2_GE: f64 = 3.0;
+
+/// Area estimate (GE) for a functional-unit architecture.
+pub trait UnitArea {
+    /// Estimated combinational area in gate equivalents.
+    fn area_ge(&self) -> f64;
+}
+
+impl UnitArea for RippleCarryAdder {
+    fn area_ge(&self) -> f64 {
+        f64::from(crate::FunctionalUnit::width(self)) * FULL_ADDER_GE
+    }
+}
+
+impl UnitArea for RippleCarrySubtractor {
+    fn area_ge(&self) -> f64 {
+        // Adder + input inverters.
+        f64::from(crate::FunctionalUnit::width(self)) * (FULL_ADDER_GE + 1.0)
+    }
+}
+
+impl UnitArea for CarryLookaheadAdder {
+    fn area_ge(&self) -> f64 {
+        // P/G + sum cells plus the lookahead tree (~4 GE per bit extra).
+        f64::from(crate::FunctionalUnit::width(self)) * (FULL_ADDER_GE + 4.0)
+    }
+}
+
+impl UnitArea for CarrySkipAdder {
+    fn area_ge(&self) -> f64 {
+        let w = f64::from(crate::FunctionalUnit::width(self));
+        // Ripple cells + one skip mux and block-AND per block.
+        w * FULL_ADDER_GE + (w / 4.0).ceil() * (MUX2_GE + 2.0 * AND2_GE)
+    }
+}
+
+impl UnitArea for ArrayMultiplier {
+    fn area_ge(&self) -> f64 {
+        let w = f64::from(crate::FunctionalUnit::width(self));
+        // w^2 AND gates + (w^2 - w) adder cells.
+        w * w * AND2_GE + (w * w - w) * FULL_ADDER_GE
+    }
+}
+
+impl UnitArea for BoothMultiplier {
+    fn area_ge(&self) -> f64 {
+        let w = f64::from(crate::FunctionalUnit::width(self));
+        // Half the partial products of the array plus recoders and muxes.
+        (w * w / 2.0) * FULL_ADDER_GE + (w / 2.0).ceil() * (2.0 * MUX2_GE + 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adders_ordered_by_sophistication() {
+        let rca = RippleCarryAdder::new(16).area_ge();
+        let csk = CarrySkipAdder::new(16, 4).area_ge();
+        let cla = CarryLookaheadAdder::new(16).area_ge();
+        assert!(rca < csk, "{rca} {csk}");
+        assert!(csk < cla, "{csk} {cla}");
+    }
+
+    #[test]
+    fn booth_smaller_than_array_at_width() {
+        let array = ArrayMultiplier::new(16).area_ge();
+        let booth = BoothMultiplier::new(16).area_ge();
+        assert!(booth < array);
+        // Multipliers dwarf adders.
+        assert!(array > 10.0 * RippleCarryAdder::new(16).area_ge());
+    }
+
+    #[test]
+    fn area_scales_with_width() {
+        assert!(ArrayMultiplier::new(8).area_ge() < ArrayMultiplier::new(16).area_ge());
+        assert!(RippleCarryAdder::new(8).area_ge() < RippleCarryAdder::new(32).area_ge());
+    }
+}

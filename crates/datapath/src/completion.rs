@@ -1,0 +1,142 @@
+//! Automatic synthesis of completion signal generators (paper §2.1).
+//!
+//! The completion signal generator of a TAU is a combinational circuit
+//! that, looking only at the input operands, decides whether the arithmetic
+//! logic settles within the short delay. Benini et al. derive it
+//! automatically from the logic netlist; here we reproduce that flow for
+//! small operand widths by building the exact predictor function
+//! `C(a, b) = [delay(a, b) <= SD]` as a truth table and synthesizing a
+//! minimized two-level implementation through `tauhls-logic` — yielding a
+//! concrete gate-count for the generator and hence the TAU area overhead.
+
+use crate::units::FunctionalUnit;
+use tauhls_logic::{minimize_exact, AreaModel, AreaReport, Cover, TruthTable};
+
+/// A synthesized completion signal generator: the minimized two-level
+/// implementation of the completion predicate over the concatenated
+/// operand bits (`a` in the low bits, `b` in the high bits).
+#[derive(Clone, Debug)]
+pub struct CompletionGenerator {
+    width: u32,
+    short_levels: u32,
+    cover: Cover,
+}
+
+impl CompletionGenerator {
+    /// Synthesizes the generator for `unit` at threshold `short_levels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2 * unit.width() > 16` — exact synthesis enumerates the
+    /// operand space, so it is limited to small (demonstration) widths;
+    /// wider TAUs use the oracle predictor in [`crate::Tau`] directly.
+    pub fn synthesize(unit: &dyn FunctionalUnit, short_levels: u32) -> Self {
+        let w = unit.width();
+        let bits = 2 * w as usize;
+        assert!(bits <= 16, "exact synthesis limited to 8-bit operands");
+        let table = TruthTable::from_fn(bits, |m| {
+            let a = m & ((1 << w) - 1);
+            let b = m >> w;
+            Some(unit.delay_levels(a, b) <= short_levels)
+        });
+        CompletionGenerator {
+            width: w,
+            short_levels,
+            cover: minimize_exact(&table),
+        }
+    }
+
+    /// Operand width of the underlying unit.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The threshold this generator detects.
+    pub fn short_levels(&self) -> u32 {
+        self.short_levels
+    }
+
+    /// The minimized two-level implementation.
+    pub fn cover(&self) -> &Cover {
+        &self.cover
+    }
+
+    /// Evaluates the synthesized circuit (must agree with the oracle).
+    pub fn predict(&self, a: u64, b: u64) -> bool {
+        let w = self.width;
+        self.cover.evaluate((a & ((1 << w) - 1)) | (b & ((1 << w) - 1)) << w)
+    }
+
+    /// Area of the generator under the given model (no flip-flops — it is
+    /// purely combinational).
+    pub fn area(&self, model: &AreaModel) -> AreaReport {
+        model.area(std::slice::from_ref(&self.cover), 0)
+    }
+
+    /// The fraction of the operand space predicted short — the *uniform*
+    /// short-probability `P` of the telescoped unit.
+    pub fn uniform_p(&self) -> f64 {
+        let bits = 2 * self.width as usize;
+        let total = 1u64 << bits;
+        let on = (0..total).filter(|&m| self.cover.evaluate(m)).count();
+        on as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{ArrayMultiplier, RippleCarryAdder};
+
+    #[test]
+    fn generator_agrees_with_oracle_adder() {
+        let unit = RippleCarryAdder::new(4);
+        let g = CompletionGenerator::synthesize(&unit, 4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(
+                    g.predict(a, b),
+                    unit.delay_levels(a, b) <= 4,
+                    "mismatch at {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generator_agrees_with_oracle_multiplier() {
+        let unit = ArrayMultiplier::new(4);
+        let g = CompletionGenerator::synthesize(&unit, 5);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(g.predict(a, b), unit.delay_levels(a, b) <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_threshold_smaller_p() {
+        let unit = ArrayMultiplier::new(4);
+        let loose = CompletionGenerator::synthesize(&unit, 6);
+        let tight = CompletionGenerator::synthesize(&unit, 3);
+        assert!(tight.uniform_p() < loose.uniform_p());
+        assert!(loose.uniform_p() <= 1.0);
+        assert!(tight.uniform_p() > 0.0);
+    }
+
+    #[test]
+    fn generator_has_finite_area() {
+        let unit = RippleCarryAdder::new(4);
+        let g = CompletionGenerator::synthesize(&unit, 3);
+        let area = g.area(&AreaModel::default());
+        assert!(area.combinational > 0.0);
+        assert_eq!(area.sequential, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn wide_units_rejected() {
+        let unit = RippleCarryAdder::new(16);
+        let _ = CompletionGenerator::synthesize(&unit, 8);
+    }
+}

@@ -1,0 +1,58 @@
+//! # tauhls-datapath — bit-level arithmetic with telescopic completion
+//!
+//! The datapath substrate of the `tauhls` workspace. Telescopic arithmetic
+//! units (TAUs) only make sense over arithmetic whose settling time depends
+//! on the operands, so this crate provides:
+//!
+//! * [`RippleCarryAdder`] / [`RippleCarrySubtractor`] — exact carry-chain
+//!   delay per operand pair;
+//! * [`ArrayMultiplier`] — magnitude-dependent array delay model;
+//! * [`Tau`] — the telescopic wrapper (short-delay threshold, completion
+//!   signal, SD/LD timing);
+//! * [`CompletionGenerator`] — automatic synthesis of the completion
+//!   signal generator as minimized two-level logic (paper §2.1);
+//! * [`measure_p`] / [`threshold_for_target_p`] — empirical short-delay
+//!   probability under configurable operand distributions.
+//!
+//! # Examples
+//!
+//! Telescope a 16-bit multiplier and measure its `P` on small-magnitude
+//! data:
+//!
+//! ```
+//! use tauhls_datapath::{
+//!     measure_p, ArrayMultiplier, OperandDistribution, Tau,
+//! };
+//! use rand::SeedableRng;
+//!
+//! let tau = Tau::new(ArrayMultiplier::new(16), 20);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let p = measure_p(
+//!     &tau,
+//!     OperandDistribution::SmallMagnitude { bits: 8 },
+//!     1000,
+//!     &mut rng,
+//! );
+//! assert!(p > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approx;
+mod area;
+mod completion;
+mod stats;
+mod tau;
+mod units;
+mod units_ext;
+
+pub use approx::{conservatism_gap, ConservativeAdderPredictor};
+pub use area::{UnitArea, AND2_GE, FULL_ADDER_GE, MUX2_GE};
+pub use completion::CompletionGenerator;
+pub use stats::{measure_p, threshold_for_target_p, OperandDistribution};
+pub use tau::{Tau, TauOutcome, Technology};
+pub use units::{
+    carry_chain_length, ArrayMultiplier, FunctionalUnit, RippleCarryAdder, RippleCarrySubtractor,
+};
+pub use units_ext::{BoothMultiplier, CarryLookaheadAdder, CarrySkipAdder};

@@ -1,0 +1,163 @@
+//! Empirical measurement of the short-delay probability `P`.
+//!
+//! The paper sweeps `P ∈ {0.9, 0.7, 0.5}` analytically; a real TAU's `P`
+//! is a property of its operand distribution. This module measures it by
+//! Monte-Carlo over configurable distributions, and can solve for the
+//! short-delay threshold that achieves a target `P` — the "telescoping
+//! knob" of Benini et al.
+
+use crate::tau::Tau;
+use crate::units::FunctionalUnit;
+use rand::Rng;
+
+/// Operand distributions for `P` measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperandDistribution {
+    /// Uniform over the full operand width.
+    Uniform,
+    /// Uniform over values of at most `bits` significant bits — models
+    /// small-magnitude data (audio samples, filter states near zero).
+    SmallMagnitude {
+        /// Maximum significant bits of the drawn operands.
+        bits: u32,
+    },
+    /// Geometric-ish magnitude: draws a bit-length uniformly, then a value
+    /// of that length — a log-uniform proxy typical of DSP signal content.
+    LogUniform,
+}
+
+impl OperandDistribution {
+    /// Draws one operand of the given width.
+    pub fn sample(&self, rng: &mut impl Rng, width: u32) -> u64 {
+        let full = if width >= 64 { !0 } else { (1u64 << width) - 1 };
+        match *self {
+            OperandDistribution::Uniform => rng.random::<u64>() & full,
+            OperandDistribution::SmallMagnitude { bits } => {
+                let m = if bits >= 64 { !0 } else { (1u64 << bits) - 1 };
+                rng.random::<u64>() & m & full
+            }
+            OperandDistribution::LogUniform => {
+                let len = rng.random_range(0..=width);
+                if len == 0 {
+                    0
+                } else {
+                    let m = if len >= 64 { !0 } else { (1u64 << len) - 1 };
+                    rng.random::<u64>() & m & full
+                }
+            }
+        }
+    }
+}
+
+/// Measures the short-completion probability of `tau` under `dist` with
+/// `samples` random operand pairs.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn measure_p<U: FunctionalUnit>(
+    tau: &Tau<U>,
+    dist: OperandDistribution,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(samples > 0);
+    let w = tau.unit().width();
+    let short = (0..samples)
+        .filter(|_| {
+            let a = dist.sample(rng, w);
+            let b = dist.sample(rng, w);
+            tau.completion(a, b)
+        })
+        .count();
+    short as f64 / samples as f64
+}
+
+/// Finds the smallest short-delay threshold whose measured `P` under
+/// `dist` is at least `target_p`. Returns `None` if even `LD - 1` levels
+/// fall short.
+pub fn threshold_for_target_p<U: FunctionalUnit + Clone>(
+    unit: &U,
+    dist: OperandDistribution,
+    target_p: f64,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Option<u32> {
+    for k in 1..unit.worst_delay_levels() {
+        let tau = Tau::new(unit.clone(), k);
+        if measure_p(&tau, dist, samples, rng) >= target_p {
+            return Some(k);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{ArrayMultiplier, RippleCarryAdder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_adder_p_grows_with_threshold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let unit = RippleCarryAdder::new(16);
+        let p_small = measure_p(&Tau::new(unit, 4), OperandDistribution::Uniform, 4000, &mut rng);
+        let p_large = measure_p(&Tau::new(unit, 12), OperandDistribution::Uniform, 4000, &mut rng);
+        assert!(p_small < p_large);
+        assert!(p_large > 0.9, "12 levels cover almost all carry chains");
+    }
+
+    #[test]
+    fn small_magnitude_mult_is_mostly_short() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tau = Tau::new(ArrayMultiplier::new(16), 20);
+        let p_small = measure_p(
+            &tau,
+            OperandDistribution::SmallMagnitude { bits: 8 },
+            4000,
+            &mut rng,
+        );
+        let p_full = measure_p(&tau, OperandDistribution::Uniform, 4000, &mut rng);
+        assert!(p_small > 0.95, "8-bit operands: 16 levels < 20");
+        assert!(p_full < 0.2, "uniform 16-bit operands rarely fit 20 levels");
+    }
+
+    #[test]
+    fn threshold_solver_hits_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let unit = ArrayMultiplier::new(16);
+        let k = threshold_for_target_p(
+            &unit,
+            OperandDistribution::LogUniform,
+            0.7,
+            3000,
+            &mut rng,
+        )
+        .expect("achievable");
+        let tau = Tau::new(unit, k);
+        let p = measure_p(&tau, OperandDistribution::LogUniform, 6000, &mut rng);
+        assert!(p >= 0.65, "measured {p} at threshold {k}");
+        if k > 1 {
+            let tau_lo = Tau::new(unit, k - 1);
+            let p_lo = measure_p(&tau_lo, OperandDistribution::LogUniform, 6000, &mut rng);
+            assert!(p_lo < 0.75, "threshold should be minimal-ish, got {p_lo}");
+        }
+    }
+
+    #[test]
+    fn distribution_samples_respect_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dist in [
+            OperandDistribution::Uniform,
+            OperandDistribution::SmallMagnitude { bits: 4 },
+            OperandDistribution::LogUniform,
+        ] {
+            for _ in 0..200 {
+                let v = dist.sample(&mut rng, 12);
+                assert!(v < 1 << 12);
+            }
+        }
+    }
+}

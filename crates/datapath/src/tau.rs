@@ -1,0 +1,157 @@
+//! The telescopic arithmetic unit (TAU) wrapper — paper §2.1, Fig 1.
+//!
+//! A TAU pairs an ordinary arithmetic logic block with a combinational
+//! *completion signal generator*. The system clock is set by the short
+//! delay `SD`; operand pairs whose settling delay fits in `SD` assert the
+//! completion signal `C = 1` and finish in one cycle, all others take a
+//! second cycle (total `LD`, the worst-case delay).
+
+use crate::units::FunctionalUnit;
+
+/// Timing technology: converts gate levels to nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Technology {
+    /// Nanoseconds per gate level.
+    pub ns_per_level: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        // 16 gate levels ≈ 15 ns, echoing the paper's SD(×) = 15 ns scale.
+        Technology { ns_per_level: 1.0 }
+    }
+}
+
+/// Result of one telescopic evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TauOutcome {
+    /// The computed value (truncated to the unit width).
+    pub result: u64,
+    /// The completion signal: `true` iff the operand pair settles within
+    /// the short delay, i.e. the operation needs only one fast cycle.
+    pub short: bool,
+    /// The exact settling delay of the arithmetic logic, in gate levels.
+    pub actual_levels: u32,
+}
+
+/// A telescopic wrapper around any [`FunctionalUnit`].
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_datapath::{ArrayMultiplier, Tau};
+/// // 16-bit multiplier telescoped at 20 of 32 worst-case levels.
+/// let tau = Tau::new(ArrayMultiplier::new(16), 20);
+/// let fast = tau.evaluate(9, 11);     // small operands
+/// assert!(fast.short);
+/// let slow = tau.evaluate(0xABC0, 0xDEF0);
+/// assert!(!slow.short);
+/// assert_eq!(fast.result, 99);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tau<U> {
+    unit: U,
+    short_levels: u32,
+}
+
+impl<U: FunctionalUnit> Tau<U> {
+    /// Wraps `unit` with a short-delay threshold of `short_levels` gate
+    /// levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `short_levels` is zero or at least the unit's worst-case
+    /// delay (in which case telescoping is pointless: every operand pair
+    /// would be short, or none would matter).
+    pub fn new(unit: U, short_levels: u32) -> Self {
+        assert!(short_levels > 0, "short delay must be positive");
+        assert!(
+            short_levels < unit.worst_delay_levels(),
+            "short delay {short_levels} must be below the worst case {}",
+            unit.worst_delay_levels()
+        );
+        Tau { unit, short_levels }
+    }
+
+    /// The wrapped arithmetic logic.
+    pub fn unit(&self) -> &U {
+        &self.unit
+    }
+
+    /// Short-delay threshold in gate levels (`SD`).
+    pub fn short_levels(&self) -> u32 {
+        self.short_levels
+    }
+
+    /// Worst-case delay in gate levels (`LD`).
+    pub fn long_levels(&self) -> u32 {
+        self.unit.worst_delay_levels()
+    }
+
+    /// `SD` in nanoseconds under the given technology.
+    pub fn sd_ns(&self, tech: &Technology) -> f64 {
+        f64::from(self.short_levels) * tech.ns_per_level
+    }
+
+    /// `LD` in nanoseconds under the given technology.
+    pub fn ld_ns(&self, tech: &Technology) -> f64 {
+        f64::from(self.long_levels()) * tech.ns_per_level
+    }
+
+    /// Evaluates the unit telescopically for one operand pair.
+    pub fn evaluate(&self, a: u64, b: u64) -> TauOutcome {
+        let actual = self.unit.delay_levels(a, b);
+        TauOutcome {
+            result: self.unit.compute(a, b),
+            short: actual <= self.short_levels,
+            actual_levels: actual,
+        }
+    }
+
+    /// The completion signal alone (the output of the completion signal
+    /// generator for this operand pair).
+    pub fn completion(&self, a: u64, b: u64) -> bool {
+        self.unit.delay_levels(a, b) <= self.short_levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{ArrayMultiplier, RippleCarryAdder};
+
+    #[test]
+    fn completion_tracks_threshold() {
+        let tau = Tau::new(RippleCarryAdder::new(8), 5);
+        // No carries: delay 2 <= 5 -> short.
+        assert!(tau.completion(0b0101_0101, 0b1010_1010 & !1));
+        // Full ripple: delay 10 > 5 -> long.
+        assert!(!tau.completion(1, 0xFF));
+        let o = tau.evaluate(1, 0xFF);
+        assert_eq!(o.result, 0);
+        assert_eq!(o.actual_levels, 10);
+    }
+
+    #[test]
+    fn sd_ld_in_ns() {
+        let tau = Tau::new(ArrayMultiplier::new(16), 24);
+        let tech = Technology { ns_per_level: 0.625 };
+        assert!((tau.sd_ns(&tech) - 15.0).abs() < 1e-9);
+        assert!((tau.ld_ns(&tech) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the worst case")]
+    fn threshold_must_telescope() {
+        let _ = Tau::new(RippleCarryAdder::new(8), 10);
+    }
+
+    #[test]
+    fn short_results_still_correct() {
+        let tau = Tau::new(ArrayMultiplier::new(12), 12);
+        for (a, b) in [(0u64, 0u64), (1, 1), (50, 60), (4000, 4000)] {
+            let o = tau.evaluate(a, b);
+            assert_eq!(o.result, a.wrapping_mul(b) & 0xFFF);
+        }
+    }
+}

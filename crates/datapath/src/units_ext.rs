@@ -1,0 +1,334 @@
+//! Additional functional-unit architectures with distinct delay
+//! *profiles*, for studying where telescoping pays off:
+//!
+//! * [`CarryLookaheadAdder`] — (nearly) operand-independent delay: the
+//!   anti-telescopic baseline. Wrapping it in a [`crate::Tau`] yields
+//!   `P ≈ 0` or `P ≈ 1`, never a useful split.
+//! * [`CarrySkipAdder`] — carry chains measured in skip *blocks*: coarser
+//!   operand dependence than ripple, cheaper worst case.
+//! * [`BoothMultiplier`] — radix-4 Booth recoding: delay follows the
+//!   number of non-zero recoded digits, so sparse operands finish early
+//!   even at full magnitude (a different "shortness" notion than the
+//!   array multiplier's bit-length).
+
+use crate::units::{carry_chain_length, FunctionalUnit};
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        !0
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A `width`-bit carry-lookahead adder with 4-bit lookahead groups.
+///
+/// Delay model: generate/propagate (1 level), group lookahead tree
+/// (2 levels per tree stage), sum XOR (1 level) — independent of the
+/// operands except for the trivial no-carry case. This is the classic
+/// "fast but untelescopic" unit.
+#[derive(Clone, Copy, Debug)]
+pub struct CarryLookaheadAdder {
+    width: u32,
+}
+
+impl CarryLookaheadAdder {
+    /// Creates a `width`-bit CLA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width));
+        CarryLookaheadAdder { width }
+    }
+
+    fn tree_stages(&self) -> u32 {
+        // ceil(log4(groups)), groups = ceil(width/4)
+        let groups = self.width.div_ceil(4);
+        let mut stages = 0;
+        let mut reach = 1u32;
+        while reach < groups {
+            reach *= 4;
+            stages += 1;
+        }
+        stages
+    }
+}
+
+impl FunctionalUnit for CarryLookaheadAdder {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn compute(&self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b) & mask(self.width)
+    }
+
+    fn delay_levels(&self, a: u64, b: u64) -> u32 {
+        let m = mask(self.width);
+        if carry_chain_length(a & m, b & m, false, self.width) == 0 {
+            // No carry activity at all: only P/G and the sum XOR settle.
+            2
+        } else {
+            self.worst_delay_levels()
+        }
+    }
+
+    fn worst_delay_levels(&self) -> u32 {
+        2 + 2 * self.tree_stages() + 1
+    }
+
+    fn name(&self) -> String {
+        format!("cla{}", self.width)
+    }
+}
+
+/// A `width`-bit carry-skip adder with fixed-size skip blocks.
+///
+/// A carry entering a block whose bits all propagate skips the block in
+/// one gate level; otherwise it ripples inside the block. Delay follows
+/// the *longest actual carry path* measured as ripple-within-block plus
+/// skips — operand-dependent like the ripple adder, but with a much
+/// tighter worst case.
+#[derive(Clone, Copy, Debug)]
+pub struct CarrySkipAdder {
+    width: u32,
+    block: u32,
+}
+
+impl CarrySkipAdder {
+    /// Creates a `width`-bit carry-skip adder with `block`-bit skip blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64, or if `block` is 0.
+    pub fn new(width: u32, block: u32) -> Self {
+        assert!((1..=64).contains(&width));
+        assert!(block >= 1);
+        CarrySkipAdder { width, block }
+    }
+
+    /// Longest carry path in gate levels for one operand pair: simulate
+    /// the carry front through ripple/skip decisions.
+    fn carry_path_levels(&self, a: u64, b: u64) -> u32 {
+        let g = a & b;
+        let p = a ^ b;
+        let mut longest = 0u32;
+        // For each generate position, walk the carry forward.
+        for i in 0..self.width {
+            if g >> i & 1 == 0 {
+                continue;
+            }
+            let mut levels = 1u32; // the generate itself
+            let mut pos = i + 1;
+            while pos < self.width && p >> pos & 1 == 1 {
+                let block_start = (pos / self.block) * self.block;
+                let block_end = (block_start + self.block).min(self.width);
+                // Can we skip the whole remaining block?
+                let all_prop = (block_start..block_end).all(|j| p >> j & 1 == 1);
+                if all_prop && pos == block_start && block_end <= self.width {
+                    levels += 1; // one skip-mux level for the block
+                    pos = block_end;
+                } else {
+                    levels += 1; // ripple one position
+                    pos += 1;
+                }
+            }
+            longest = longest.max(levels);
+        }
+        longest
+    }
+}
+
+impl FunctionalUnit for CarrySkipAdder {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn compute(&self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b) & mask(self.width)
+    }
+
+    fn delay_levels(&self, a: u64, b: u64) -> u32 {
+        let m = mask(self.width);
+        self.carry_path_levels(a & m, b & m) + 2
+    }
+
+    fn worst_delay_levels(&self) -> u32 {
+        // Ripple through the first block, skip the middle blocks, ripple
+        // into the last: block + blocks + block, conservatively.
+        let blocks = self.width.div_ceil(self.block);
+        2 * self.block + blocks + 2
+    }
+
+    fn name(&self) -> String {
+        format!("csk{}x{}", self.width, self.block)
+    }
+}
+
+/// A `width × width` radix-4 Booth multiplier.
+///
+/// Delay model: each non-zero Booth digit contributes one partial-product
+/// accumulation level; the final carry-propagate add contributes a fixed
+/// tail. Sparse bit patterns (runs of 0s *or* 1s) recode to few non-zero
+/// digits and finish early — even for large magnitudes, unlike the array
+/// multiplier.
+#[derive(Clone, Copy, Debug)]
+pub struct BoothMultiplier {
+    width: u32,
+}
+
+impl BoothMultiplier {
+    /// Creates a `width`-bit Booth multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=32).contains(&width));
+        BoothMultiplier { width }
+    }
+
+    /// Number of non-zero radix-4 Booth digits of `x`.
+    pub fn nonzero_booth_digits(&self, x: u64) -> u32 {
+        let x = x & mask(self.width);
+        let mut count = 0;
+        let digits = self.width.div_ceil(2);
+        for d in 0..digits {
+            let i = 2 * d;
+            let b_m1 = if i == 0 { 0 } else { x >> (i - 1) & 1 };
+            let b0 = x >> i & 1;
+            let b1 = x >> (i + 1) & 1;
+            // digit = -2*b1 + b0 + b_m1 ∈ {-2,-1,0,1,2}
+            let digit = b0 as i32 + b_m1 as i32 - 2 * b1 as i32;
+            if digit != 0 {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl FunctionalUnit for BoothMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn compute(&self, a: u64, b: u64) -> u64 {
+        (a & mask(self.width)).wrapping_mul(b & mask(self.width)) & mask(self.width)
+    }
+
+    fn delay_levels(&self, a: u64, b: u64) -> u32 {
+        // Recode the operand with fewer non-zero digits (commutative).
+        let da = self.nonzero_booth_digits(a & mask(self.width));
+        let db = self.nonzero_booth_digits(b & mask(self.width));
+        let active = da.min(db);
+        if active == 0 {
+            return 1;
+        }
+        // One accumulation level per active digit + final CPA tail.
+        active + self.width / 4 + 2
+    }
+
+    fn worst_delay_levels(&self) -> u32 {
+        self.width.div_ceil(2) + self.width / 4 + 2
+    }
+
+    fn name(&self) -> String {
+        format!("booth{}", self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{measure_p, OperandDistribution};
+    use crate::tau::Tau;
+    use crate::units::{ArrayMultiplier, RippleCarryAdder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cla_is_fast_and_flat() {
+        let cla = CarryLookaheadAdder::new(16);
+        let rca = RippleCarryAdder::new(16);
+        assert!(cla.worst_delay_levels() < rca.worst_delay_levels());
+        // Operand-independent except the trivial case.
+        assert_eq!(cla.delay_levels(1, 0xFFFF), cla.worst_delay_levels());
+        assert_eq!(cla.delay_levels(0x00F0, 0x0F00), 2); // no carries
+        assert_eq!(cla.compute(0xFFFF, 1), 0);
+    }
+
+    #[test]
+    fn cla_makes_a_useless_tau() {
+        // Telescoping a CLA: essentially nothing lands strictly between
+        // the trivial and worst delays, so P is degenerate.
+        let cla = CarryLookaheadAdder::new(16);
+        let tau = Tau::new(cla, cla.worst_delay_levels() - 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = measure_p(&tau, OperandDistribution::Uniform, 4000, &mut rng);
+        assert!(p < 0.05, "CLA P = {p}");
+    }
+
+    #[test]
+    fn carry_skip_between_ripple_and_cla() {
+        let skip = CarrySkipAdder::new(16, 4);
+        let rca = RippleCarryAdder::new(16);
+        assert!(skip.worst_delay_levels() < rca.worst_delay_levels());
+        assert_eq!(skip.compute(1234, 4321), 5555);
+        // Skipping: 8 + 0xFFF8 -> generate at bit 3, long propagate run
+        // gets skipped block-wise, so delay ≪ ripple's.
+        let d_skip = skip.delay_levels(8, 0xFFF8);
+        let d_rip = rca.delay_levels(8, 0xFFF8);
+        assert!(d_skip < d_rip, "skip {d_skip} vs ripple {d_rip}");
+        // No-carry operands are fast.
+        assert!(skip.delay_levels(0x5555, 0xAAAA & !1) <= 3);
+        // Delay never exceeds worst case.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let a: u64 = rand::Rng::random::<u64>(&mut rng) & 0xFFFF;
+            let b: u64 = rand::Rng::random::<u64>(&mut rng) & 0xFFFF;
+            assert!(skip.delay_levels(a, b) <= skip.worst_delay_levels(), "{a:#x}+{b:#x}");
+        }
+    }
+
+    #[test]
+    fn booth_digit_counting() {
+        let m = BoothMultiplier::new(16);
+        assert_eq!(m.nonzero_booth_digits(0), 0);
+        assert_eq!(m.nonzero_booth_digits(1), 1);
+        // A run of ones recodes into 2 non-zero digits (+-): 0b0111_1110.
+        assert!(m.nonzero_booth_digits(0b0111_1110) <= 2);
+        // Alternating bits are the worst case for Booth.
+        assert_eq!(m.nonzero_booth_digits(0xAAAA), 8);
+        assert_eq!(m.compute(123, 45), 123 * 45);
+    }
+
+    #[test]
+    fn booth_favours_sparse_not_small() {
+        let booth = BoothMultiplier::new(16);
+        let array = ArrayMultiplier::new(16);
+        // 0xFF00 is large in magnitude but sparse in Booth digits.
+        let sparse_large = 0xFF00u64;
+        let dense_small = 0x0155u64; // alternating low bits
+        assert!(
+            booth.delay_levels(sparse_large, 3) < booth.delay_levels(dense_small, 0xAAAA)
+        );
+        // The array multiplier sees it the other way around.
+        assert!(
+            array.delay_levels(sparse_large, 3) > array.delay_levels(dense_small, 0x3)
+        );
+    }
+
+    #[test]
+    fn booth_tau_has_useful_p_on_uniform_data() {
+        // Unlike the array multiplier (magnitude-driven), Booth telescoping
+        // splits uniform data non-trivially.
+        let booth = BoothMultiplier::new(16);
+        let tau = Tau::new(booth, booth.worst_delay_levels() - 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = measure_p(&tau, OperandDistribution::Uniform, 6000, &mut rng);
+        assert!(p > 0.1 && p < 0.999, "booth P = {p}");
+    }
+}

@@ -1,0 +1,441 @@
+//! The high-level-synthesis benchmark DFGs used in the paper's evaluation
+//! (Table 1 and Table 2), plus the worked examples of Fig 2 and Fig 3 and
+//! the elliptic-wave-filter extra benchmark.
+//!
+//! Sources: the differential-equation solver is the classic HAL benchmark;
+//! FIR/IIR/AR-lattice follow their standard textbook dataflow structures.
+//! `fig2_dfg` and `fig3_dfg` reconstruct the paper's running examples from
+//! the constraints stated in the text (operation kinds, dependences, and
+//! the multiplication dependency-graph cliques of Fig 3b).
+
+use crate::graph::{Dfg, DfgBuilder, Operand};
+
+/// The differential-equation solver (HAL) benchmark: one Euler step of
+/// `y'' + 3xy' + 3y = 0`.
+///
+/// 6 multiplications, 2 additions, 2 subtractions, 1 comparison — scheduled
+/// in the paper under an allocation of two TAU multipliers, one adder and
+/// one subtractor (Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_dfg::benchmarks::diffeq;
+/// let g = diffeq();
+/// assert_eq!(g.num_ops(), 11);
+/// ```
+pub fn diffeq() -> Dfg {
+    let mut b = DfgBuilder::new("diffeq");
+    let x = b.input("x");
+    let y = b.input("y");
+    let u = b.input("u");
+    let dx = b.input("dx");
+    let a = b.input("a");
+    let three = Operand::Const(3);
+
+    // u1 = u - (3x)·(u·dx) - (3y)·dx   (canonical HAL factoring, depth 4)
+    let m1 = b.mul(three, x.into()); // 3x
+    let m2 = b.mul(u.into(), dx.into()); // u·dx
+    let m3 = b.mul(m1.into(), m2.into()); // 3x·u·dx
+    let m4 = b.mul(three, y.into()); // 3y
+    let m5 = b.mul(m4.into(), dx.into()); // 3y·dx
+    let m6 = b.mul(u.into(), dx.into()); // u·dx (recomputed; the benchmark has no CSE)
+    let s1 = b.sub(u.into(), m3.into()); // u - 3x·u·dx
+    let s2 = b.sub(s1.into(), m5.into()); // ... - 3y·dx
+    let a1 = b.add(x.into(), dx.into()); // x + dx
+    let a2 = b.add(y.into(), m6.into()); // y + u·dx
+    let c = b.lt(a1.into(), a.into()); // x1 < a ?
+
+    b.output("x1", a1);
+    b.output("y1", a2);
+    b.output("u1", s2);
+    b.output("c", c);
+    b.build().expect("diffeq is valid")
+}
+
+/// An `order`-tap transversal FIR filter: `y = Σ c_i · x_i` with a linear
+/// accumulation chain (the structure whose latency the paper reports for
+/// the 3rd- and 5th-order FIR rows of Table 2).
+///
+/// `order` multiplications and `order - 1` additions.
+///
+/// # Panics
+///
+/// Panics if `order < 2`.
+pub fn fir(order: usize) -> Dfg {
+    assert!(order >= 2, "fir needs at least 2 taps");
+    let mut b = DfgBuilder::new(format!("fir{order}"));
+    let xs: Vec<_> = (0..order).map(|i| b.input(format!("x{i}"))).collect();
+    let cs: Vec<_> = (0..order).map(|i| b.input(format!("c{i}"))).collect();
+    let prods: Vec<_> = (0..order)
+        .map(|i| b.mul(xs[i].into(), cs[i].into()))
+        .collect();
+    let mut acc = b.add(prods[0].into(), prods[1].into());
+    for &p in &prods[2..] {
+        acc = b.add(acc.into(), p.into());
+    }
+    b.output("y", acc);
+    b.build().expect("fir is valid")
+}
+
+/// The paper's "3rd FIR" benchmark (3 taps: 3 ×, 2 +).
+pub fn fir3() -> Dfg {
+    fir(3)
+}
+
+/// The paper's "5th FIR" benchmark (5 taps: 5 ×, 4 +).
+pub fn fir5() -> Dfg {
+    fir(5)
+}
+
+/// An `order`-th order direct-form IIR filter:
+/// `y = Σ_{i=0..order} b_i·x_i + Σ_{j=1..order} a_j·y_j`
+/// (feedback signs folded into the coefficients, so only adders are used,
+/// matching the paper's `{×, +}` allocations for the IIR rows).
+///
+/// `2·order + 1` multiplications and `2·order` additions.
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn iir(order: usize) -> Dfg {
+    assert!(order >= 1, "iir needs order >= 1");
+    let mut b = DfgBuilder::new(format!("iir{order}"));
+    let xs: Vec<_> = (0..=order).map(|i| b.input(format!("x{i}"))).collect();
+    let ys: Vec<_> = (1..=order).map(|j| b.input(format!("y{j}"))).collect();
+    let bs: Vec<_> = (0..=order).map(|i| b.input(format!("b{i}"))).collect();
+    let asv: Vec<_> = (1..=order).map(|j| b.input(format!("a{j}"))).collect();
+
+    let mut prods = Vec::new();
+    for i in 0..=order {
+        prods.push(b.mul(xs[i].into(), bs[i].into()));
+    }
+    for j in 0..order {
+        prods.push(b.mul(ys[j].into(), asv[j].into()));
+    }
+    // Balanced accumulation tree: shortest critical path, maximal concurrency.
+    let mut layer: Vec<Operand> = prods.into_iter().map(Operand::from).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        let mut it = layer.into_iter();
+        while let Some(lhs) = it.next() {
+            match it.next() {
+                Some(rhs) => next.push(Operand::from(b.add(lhs, rhs))),
+                None => next.push(lhs),
+            }
+        }
+        layer = next;
+    }
+    let out = match layer[0] {
+        Operand::Op(o) => o,
+        _ => unreachable!("tree root is an op for order >= 1"),
+    };
+    b.output("y", out);
+    b.build().expect("iir is valid")
+}
+
+/// The paper's "2nd IIR" benchmark (biquad: 5 ×, 4 +).
+pub fn iir2() -> Dfg {
+    iir(2)
+}
+
+/// The paper's "3rd IIR" benchmark (7 ×, 6 +).
+pub fn iir3() -> Dfg {
+    iir(3)
+}
+
+/// A `stages`-stage normalized AR lattice filter. Each stage applies a
+/// full 2×2 rotation:
+/// `f_i = k1_i·f_{i-1} + k2_i·b_{i-1}`, `b_i = k3_i·f_{i-1} + k4_i·b_{i-1}`
+/// — 4 multiplications + 2 additions per stage with a multiply-then-add
+/// critical path of `2·stages` steps.
+///
+/// The paper's "AR-lattice" row uses 4 stages (16 ×, 8 +, matching the
+/// classic 16-multiplication AR benchmark) under an allocation of 4 TAU
+/// multipliers and 2 adders: every stage keeps all four TAUs busy at once,
+/// which is where the synchronized controller's `P^4` penalty bites.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn ar_lattice(stages: usize) -> Dfg {
+    assert!(stages >= 1, "lattice needs at least one stage");
+    let mut b = DfgBuilder::new(format!("ar_lattice{stages}"));
+    let mut f: Operand = b.input("f0").into();
+    let mut bk: Operand = b.input("b0").into();
+    let ks: Vec<[_; 4]> = (1..=stages)
+        .map(|i| {
+            [
+                b.input(format!("k1_{i}")),
+                b.input(format!("k2_{i}")),
+                b.input(format!("k3_{i}")),
+                b.input(format!("k4_{i}")),
+            ]
+        })
+        .collect();
+    for k in ks {
+        let mf1 = b.mul(k[0].into(), f);
+        let mf2 = b.mul(k[1].into(), bk);
+        let mb1 = b.mul(k[2].into(), f);
+        let mb2 = b.mul(k[3].into(), bk);
+        let nf = b.add(mf1.into(), mf2.into());
+        let nb = b.add(mb1.into(), mb2.into());
+        f = nf.into();
+        bk = nb.into();
+    }
+    let (fo, bo) = match (f, bk) {
+        (Operand::Op(a), Operand::Op(c)) => (a, c),
+        _ => unreachable!("stages >= 1"),
+    };
+    b.output("f", fo);
+    b.output("b", bo);
+    b.build().expect("lattice is valid")
+}
+
+/// The paper's AR-lattice configuration (4 stages).
+pub fn ar_lattice4() -> Dfg {
+    ar_lattice(4)
+}
+
+/// A fifth-order elliptic-wave-filter-style benchmark (8 multiplications,
+/// 20 additions, critical path > 11 steps) — an extra stress benchmark
+/// beyond the paper's table, structurally modelled on the classic EWF
+/// (which has 26 additions; this variant folds six state-update adds).
+pub fn ewf() -> Dfg {
+    let mut b = DfgBuilder::new("ewf");
+    // EWF-like dataflow over the state inputs sv2, sv13, sv18, sv26, sv33,
+    // sv38, sv39 and input `inp`.
+    let inp = b.input("inp");
+    let sv2 = b.input("sv2");
+    let sv13 = b.input("sv13");
+    let sv18 = b.input("sv18");
+    let sv26 = b.input("sv26");
+    let sv33 = b.input("sv33");
+    let sv38 = b.input("sv38");
+    let sv39 = b.input("sv39");
+    let c: Vec<_> = (0..8).map(|i| b.input(format!("c{i}"))).collect();
+
+    let a1 = b.add(inp.into(), sv2.into());
+    let a2 = b.add(sv33.into(), sv39.into());
+    let a3 = b.add(a1.into(), sv13.into());
+    let a4 = b.add(sv18.into(), sv26.into());
+    let a5 = b.add(a3.into(), a4.into());
+    let m1 = b.mul(a5.into(), c[0].into());
+    let a6 = b.add(m1.into(), sv13.into());
+    let m2 = b.mul(a6.into(), c[1].into());
+    let a7 = b.add(m2.into(), a1.into());
+    let a8 = b.add(a7.into(), sv2.into());
+    let m3 = b.mul(a8.into(), c[2].into());
+    let a9 = b.add(m3.into(), a2.into());
+    let m4 = b.mul(a9.into(), c[3].into());
+    let a10 = b.add(m4.into(), sv18.into());
+    let a11 = b.add(a10.into(), a4.into());
+    let m5 = b.mul(a11.into(), c[4].into());
+    let a12 = b.add(m5.into(), sv26.into());
+    let a13 = b.add(a12.into(), a9.into());
+    let m6 = b.mul(a13.into(), c[5].into());
+    let a14 = b.add(m6.into(), sv33.into());
+    let a15 = b.add(a14.into(), a2.into());
+    let m7 = b.mul(a15.into(), c[6].into());
+    let a16 = b.add(m7.into(), sv38.into());
+    let m8 = b.mul(a16.into(), c[7].into());
+    let a17 = b.add(m8.into(), sv39.into());
+    let a18 = b.add(a17.into(), a15.into());
+    let a19 = b.add(a18.into(), a13.into());
+    let a20 = b.add(a19.into(), a11.into());
+
+    b.output("sv2n", a8);
+    b.output("sv13n", a6);
+    b.output("sv18n", a10);
+    b.output("sv26n", a12);
+    b.output("sv33n", a14);
+    b.output("sv38n", a16);
+    b.output("sv39n", a17);
+    b.output("out", a20);
+    b.build().expect("ewf is valid")
+}
+
+/// The six-operation running example of the paper's Fig 2(a).
+///
+/// Operations `O0, O2, O3, O4` are multiplications (telescopic under a TAU
+/// multiplier allocation), `O1, O5` are additions; time steps under the
+/// original schedule are `T0 = {O0, O3}`, `T1 = {O1}`, `T2 = {O2, O4}`,
+/// `T3 = {O5}`, so the TAUBM latency varies between 4 and 6 fast cycles.
+pub fn fig2_dfg() -> Dfg {
+    let mut b = DfgBuilder::new("fig2");
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let f = b.input("f");
+    let g = b.input("g");
+    let o0 = b.mul(a.into(), bb.into()); // O0
+    let o1 = b.add(o0.into(), e.into()); // O1 (depends only on O0)
+    let o2 = b.mul(o1.into(), f.into()); // O2
+    let o3 = b.mul(c.into(), d.into()); // O3
+    let o4 = b.mul(o3.into(), g.into()); // O4
+    let o5 = b.add(o2.into(), o4.into()); // O5
+    b.output("r", o5);
+    b.build().expect("fig2 is valid")
+}
+
+/// The nine-operation example of the paper's Fig 3(a).
+///
+/// Multiplications `{O0, O1, O4, O6, O8}`, additions `{O2, O3, O5, O7}`.
+/// The dependency graph over the multiplications (Fig 3b) has minimal
+/// clique cover `{(O0,O1), (O4), (O6,O8)}` — three cliques — so under an
+/// allocation of two TAU multipliers the scheduler must insert schedule
+/// arcs (the paper merges `O4` into `(O6, O4, O8)`).
+pub fn fig3_dfg() -> Dfg {
+    use crate::graph::OpId;
+    let mut b = DfgBuilder::new("fig3");
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let f = b.input("f");
+    let g = b.input("g");
+    let h = b.input("h");
+    let i = b.input("i");
+    // Ids must match the paper's O0..O8 labels, so forward references to
+    // not-yet-added nodes use explicit OpIds; `build` validates them.
+    let o0 = b.mul(a.into(), bb.into()); // O0 = a·b
+    let o1 = b.mul(o0.into(), Operand::Op(OpId(3))); // O1 = O0·O3
+    let o2 = b.add(o1.into(), Operand::Op(OpId(4))); // O2 = O1 + O4
+    let _o3 = b.add(c.into(), d.into()); // O3 = c + d
+    let _o4 = b.mul(Operand::Op(OpId(3)), e.into()); // O4 = O3·e
+    let o5 = b.add(o2.into(), Operand::Op(OpId(8))); // O5 = O2 + O8
+    let o6 = b.mul(f.into(), g.into()); // O6 = f·g
+    let o7 = b.add(o6.into(), h.into()); // O7 = O6 + h
+    let _o8 = b.mul(o7.into(), i.into()); // O8 = O7·i
+    b.output("r", o5);
+    b.build().expect("fig3 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::LevelAnalysis;
+    use crate::graph::ResourceClass;
+
+    #[test]
+    fn diffeq_shape() {
+        let g = diffeq();
+        let h = g.class_histogram();
+        assert_eq!(h[&ResourceClass::Multiplier], 6);
+        assert_eq!(h[&ResourceClass::Adder], 2);
+        assert_eq!(h[&ResourceClass::Subtractor], 3); // 2 subs + 1 compare
+        // Critical path: (3x | u·dx) -> 3x·u·dx -> s1 -> s2
+        assert_eq!(LevelAnalysis::new(&g).depth(), 4);
+    }
+
+    #[test]
+    fn diffeq_evaluates_euler_step() {
+        let g = diffeq();
+        // x=1, y=2, u=3, dx=1, a=10
+        let out = g.evaluate(&[1, 2, 3, 1, 10]);
+        assert_eq!(out["x1"], 2);
+        assert_eq!(out["y1"], 2 + 3);
+        assert_eq!(out["u1"], 3 - (3 * 3) - (3 * 2));
+        assert_eq!(out["c"], 1);
+    }
+
+    #[test]
+    fn fir_shapes() {
+        for (g, muls, adds) in [(fir3(), 3, 2), (fir5(), 5, 4)] {
+            let h = g.class_histogram();
+            assert_eq!(h[&ResourceClass::Multiplier], muls);
+            assert_eq!(h[&ResourceClass::Adder], adds);
+        }
+        // Linear accumulation: depth = 1 (mult) + (taps-1) adds.
+        assert_eq!(LevelAnalysis::new(&fir3()).depth(), 3);
+        assert_eq!(LevelAnalysis::new(&fir5()).depth(), 5);
+    }
+
+    #[test]
+    fn fir_computes_dot_product() {
+        let g = fir3();
+        // xs = [1,2,3], cs = [4,5,6] -> 4 + 10 + 18 = 32
+        let out = g.evaluate(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(out["y"], 32);
+    }
+
+    #[test]
+    fn iir_shapes() {
+        let h2 = iir2().class_histogram();
+        assert_eq!(h2[&ResourceClass::Multiplier], 5);
+        assert_eq!(h2[&ResourceClass::Adder], 4);
+        let h3 = iir3().class_histogram();
+        assert_eq!(h3[&ResourceClass::Multiplier], 7);
+        assert_eq!(h3[&ResourceClass::Adder], 6);
+    }
+
+    #[test]
+    fn iir2_computes_biquad() {
+        let g = iir2();
+        // xs = [1,2,3], ys = [4,5], bs = [6,7,8], as = [9,10]
+        // y = 1*6 + 2*7 + 3*8 + 4*9 + 5*10 = 6+14+24+36+50 = 130
+        let out = g.evaluate(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(out["y"], 130);
+    }
+
+    #[test]
+    fn lattice_shape_and_value() {
+        let g = ar_lattice4();
+        let h = g.class_histogram();
+        assert_eq!(h[&ResourceClass::Multiplier], 16);
+        assert_eq!(h[&ResourceClass::Adder], 8);
+        assert_eq!(LevelAnalysis::new(&g).depth(), 8);
+        // One stage by hand: f0=1, b0=2, k=(3,4,5,6):
+        //   f1 = 3*1 + 4*2 = 11, b1 = 5*1 + 6*2 = 17
+        let g1 = ar_lattice(1);
+        let out = g1.evaluate(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(out["f"], 11);
+        assert_eq!(out["b"], 17);
+    }
+
+    #[test]
+    fn ewf_shape() {
+        let g = ewf();
+        let h = g.class_histogram();
+        assert_eq!(h[&ResourceClass::Multiplier], 8);
+        assert_eq!(h[&ResourceClass::Adder], 20);
+        assert!(LevelAnalysis::new(&g).depth() >= 11);
+    }
+
+    #[test]
+    fn fig3_structure() {
+        use crate::graph::{OpId, OpKind};
+        let g = fig3_dfg();
+        assert_eq!(g.num_ops(), 9);
+        let mul_ids: Vec<usize> = g
+            .op_ids()
+            .filter(|&o| g.op(o).kind == OpKind::Mul)
+            .map(|o| o.0)
+            .collect();
+        assert_eq!(mul_ids, vec![0, 1, 4, 6, 8]);
+        // Dependency facts behind Fig 3(b)'s clique structure:
+        // O0 -> O1 (direct), O6 -> O8 (via O7), O4 independent of all mults.
+        assert!(g.preds(OpId(1)).contains(&OpId(0)));
+        assert_eq!(g.preds(OpId(8)), vec![OpId(7)]);
+        assert_eq!(g.preds(OpId(7)), vec![OpId(6)]);
+        assert_eq!(g.preds(OpId(4)), vec![OpId(3)]);
+        assert_eq!(g.preds(OpId(3)), vec![]);
+        // Functional sanity: r = (a·b·(c+d) + (c+d)·e) + (f·g + h)·i
+        let out = g.evaluate(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(out["r"], (2 * 7 + 7 * 5) + (6 * 7 + 8) * 9);
+    }
+
+    #[test]
+    fn fig2_structure() {
+        let g = fig2_dfg();
+        assert_eq!(g.num_ops(), 6);
+        let la = LevelAnalysis::new(&g);
+        assert_eq!(la.depth(), 4);
+        // O1 depends only on O0 (the concurrency-loss example of §2.3).
+        use crate::graph::OpId;
+        assert_eq!(g.preds(OpId(1)), vec![OpId(0)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # tauhls-dfg — dataflow graphs for telescopic high-level synthesis
+//!
+//! The dataflow-graph substrate of the `tauhls` workspace: graph model,
+//! structural analyses, the paper's TAUBM time-step-splitting
+//! transformation, the benchmark suite of the evaluation section, and a
+//! random-graph generator for property testing.
+//!
+//! # Examples
+//!
+//! Build and evaluate a small graph:
+//!
+//! ```
+//! use tauhls_dfg::{DfgBuilder, Operand};
+//! let mut b = DfgBuilder::new("axpy");
+//! let a = b.input("a");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let m = b.mul(a.into(), x.into());
+//! let s = b.add(m.into(), y.into());
+//! b.output("r", s);
+//! let g = b.build()?;
+//! assert_eq!(g.evaluate(&[2, 3, 4])["r"], 10);
+//! # Ok::<(), tauhls_dfg::DfgError>(())
+//! ```
+//!
+//! Derive the TAUBM form of the paper's Fig 2 example:
+//!
+//! ```
+//! use tauhls_dfg::{benchmarks, LevelAnalysis, ResourceClass, TaubmDfg};
+//! let g = benchmarks::fig2_dfg();
+//! let levels = LevelAnalysis::new(&g);
+//! let step_of: Vec<usize> = g.op_ids().map(|o| levels.asap(o)).collect();
+//! let taubm = TaubmDfg::derive(&g, &step_of, &[ResourceClass::Multiplier].into());
+//! assert_eq!(taubm.best_latency_cycles(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod benchmarks;
+mod dot;
+mod graph;
+mod random;
+mod taubm;
+mod text;
+
+pub use analysis::LevelAnalysis;
+pub use dot::to_dot;
+pub use graph::{
+    Dfg, DfgBuilder, DfgError, InputId, OpId, OpKind, Operand, Operation, ResourceClass,
+};
+pub use random::{random_dfg, RandomDfgParams};
+pub use taubm::{TaubmDfg, TaubmStep};
+pub use text::{dfg_to_text, parse_dfg, ParseDfgError};

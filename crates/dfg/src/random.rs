@@ -1,0 +1,132 @@
+//! Random DFG generation for property-based testing and scalability
+//! benchmarks.
+
+use crate::graph::{Dfg, DfgBuilder, OpKind, Operand};
+use rand::Rng;
+
+/// Parameters for [`random_dfg`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDfgParams {
+    /// Number of operation nodes.
+    pub num_ops: usize,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Probability that an operand of node `i` reads an earlier node
+    /// rather than a primary input (higher = deeper graphs).
+    pub internal_edge_prob: f64,
+    /// Relative weights for drawing Add / Sub / Mul / Lt kinds.
+    pub kind_weights: [u32; 4],
+}
+
+impl Default for RandomDfgParams {
+    fn default() -> Self {
+        RandomDfgParams {
+            num_ops: 20,
+            num_inputs: 6,
+            internal_edge_prob: 0.6,
+            kind_weights: [3, 1, 3, 0],
+        }
+    }
+}
+
+/// Generates a random acyclic DFG: node `i` may only read inputs or nodes
+/// `j < i`, so the result is valid by construction. Every node with no
+/// consumer becomes a primary output.
+///
+/// # Panics
+///
+/// Panics if `num_ops == 0`, `num_inputs == 0`, or all kind weights are 0.
+pub fn random_dfg(rng: &mut impl Rng, params: &RandomDfgParams) -> Dfg {
+    assert!(params.num_ops > 0 && params.num_inputs > 0);
+    let total: u32 = params.kind_weights.iter().sum();
+    assert!(total > 0, "at least one op kind must have weight");
+    let mut b = DfgBuilder::new("random");
+    let inputs: Vec<_> = (0..params.num_inputs)
+        .map(|i| b.input(format!("in{i}")))
+        .collect();
+
+    fn draw_kind(rng: &mut impl Rng, weights: &[u32; 4], total: u32) -> OpKind {
+        let mut t = rng.random_range(0..total);
+        for (k, &w) in weights.iter().enumerate() {
+            if t < w {
+                return match k {
+                    0 => OpKind::Add,
+                    1 => OpKind::Sub,
+                    2 => OpKind::Mul,
+                    _ => OpKind::Lt,
+                };
+            }
+            t -= w;
+        }
+        unreachable!()
+    }
+    fn draw_operand(
+        rng: &mut impl Rng,
+        ids: &[crate::graph::OpId],
+        inputs: &[crate::graph::InputId],
+        p_internal: f64,
+    ) -> Operand {
+        if !ids.is_empty() && rng.random_bool(p_internal) {
+            Operand::Op(ids[rng.random_range(0..ids.len())])
+        } else {
+            Operand::Input(inputs[rng.random_range(0..inputs.len())])
+        }
+    }
+
+    let mut op_ids = Vec::with_capacity(params.num_ops);
+    for _ in 0..params.num_ops {
+        let lhs = draw_operand(rng, &op_ids, &inputs, params.internal_edge_prob);
+        let rhs = draw_operand(rng, &op_ids, &inputs, params.internal_edge_prob);
+        let kind = draw_kind(rng, &params.kind_weights, total);
+        op_ids.push(b.op(kind, lhs, rhs));
+    }
+
+    // Sinks become outputs so every node matters.
+    let probe = b.clone().build().expect("construction is acyclic");
+    for v in probe.op_ids() {
+        if probe.succs(v).is_empty() {
+            b.output(format!("out{}", v.0), v);
+        }
+    }
+    b.build().expect("construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_graphs_are_valid_and_sized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..20 {
+            let params = RandomDfgParams {
+                num_ops: 5 + seed as usize,
+                ..Default::default()
+            };
+            let g = random_dfg(&mut rng, &params);
+            assert_eq!(g.num_ops(), params.num_ops);
+            g.validate().expect("random graph valid");
+            assert!(!g.outputs().is_empty(), "at least one sink");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let params = RandomDfgParams::default();
+        let a = random_dfg(&mut StdRng::seed_from_u64(99), &params);
+        let b = random_dfg(&mut StdRng::seed_from_u64(99), &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_zero_excludes_kind() {
+        let params = RandomDfgParams {
+            kind_weights: [1, 0, 0, 0],
+            ..Default::default()
+        };
+        let g = random_dfg(&mut StdRng::seed_from_u64(1), &params);
+        assert!(g.ops().iter().all(|o| o.kind == OpKind::Add));
+    }
+}

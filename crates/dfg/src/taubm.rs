@@ -1,0 +1,187 @@
+//! The TAUBM DFG transformation (paper §2.2, Fig 2b).
+//!
+//! Given a time-step schedule of a DFG and the set of resource classes
+//! implemented as telescopic units, every time step `T_i` containing
+//! TAU-bound operations is split into `T_i` and `T_i'`: TAU operations span
+//! both halves (finishing after the first with probability `P` per
+//! operation), while fixed-delay operations sit in `T_i` only and the `T_i'`
+//! half is skipped entirely when every TAU in the step completes short.
+
+use crate::graph::{Dfg, OpId, ResourceClass};
+use std::collections::HashSet;
+
+/// One (possibly split) time step of a TAUBM DFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaubmStep {
+    /// Fixed-delay operations scheduled in the base half `T_i`.
+    pub fixed_ops: Vec<OpId>,
+    /// TAU-bound operations spanning `T_i` / `T_i'`.
+    pub tau_ops: Vec<OpId>,
+}
+
+impl TaubmStep {
+    /// True iff this step has an extension half `T_i'` (i.e. contains at
+    /// least one TAU-bound operation).
+    pub fn is_split(&self) -> bool {
+        !self.tau_ops.is_empty()
+    }
+}
+
+/// A DFG rescheduled for telescopic execution: the intermediate model from
+/// which the TAUBM (synchronized centralized) FSM is derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaubmDfg {
+    steps: Vec<TaubmStep>,
+}
+
+impl TaubmDfg {
+    /// Derives the TAUBM DFG from a time-step assignment.
+    ///
+    /// `step_of[op] = i` places the operation in original time step `T_i`;
+    /// `tau_classes` lists the resource classes implemented telescopically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_of.len() != dfg.num_ops()`, or if the assignment
+    /// violates a data dependence (a consumer scheduled at or before a
+    /// producer).
+    pub fn derive(dfg: &Dfg, step_of: &[usize], tau_classes: &HashSet<ResourceClass>) -> Self {
+        assert_eq!(step_of.len(), dfg.num_ops(), "one step per operation");
+        for v in dfg.op_ids() {
+            for p in dfg.preds(v) {
+                assert!(
+                    step_of[p.0] < step_of[v.0],
+                    "{v} scheduled at step {} but its predecessor {p} at {}",
+                    step_of[v.0],
+                    step_of[p.0]
+                );
+            }
+        }
+        let num_steps = step_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut steps = vec![
+            TaubmStep {
+                fixed_ops: Vec::new(),
+                tau_ops: Vec::new(),
+            };
+            num_steps
+        ];
+        for v in dfg.op_ids() {
+            let class = dfg.op(v).kind.resource_class();
+            let step = &mut steps[step_of[v.0]];
+            if tau_classes.contains(&class) {
+                step.tau_ops.push(v);
+            } else {
+                step.fixed_ops.push(v);
+            }
+        }
+        TaubmDfg { steps }
+    }
+
+    /// The (possibly split) time steps in execution order.
+    pub fn steps(&self) -> &[TaubmStep] {
+        &self.steps
+    }
+
+    /// Number of original time steps (split steps count once).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of steps that were split (contain TAU operations).
+    pub fn num_split_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_split()).count()
+    }
+
+    /// Best-case latency in fast clock cycles: every TAU finishes short, so
+    /// every extension half is skipped.
+    pub fn best_latency_cycles(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Worst-case latency in fast clock cycles: every split step spends its
+    /// extension half.
+    pub fn worst_latency_cycles(&self) -> usize {
+        self.steps.len() + self.num_split_steps()
+    }
+
+    /// Expected latency in fast cycles under *synchronized* TAUBM execution
+    /// (the paper's `LT_TAU` / CENT-SYNC model): a split step with `k` TAU
+    /// operations takes one cycle with probability `P^k` (all short) and
+    /// two otherwise, independently per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn expected_latency_cycles_sync(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "P must be a probability");
+        self.steps
+            .iter()
+            .map(|s| {
+                if s.is_split() {
+                    2.0 - p.powi(s.tau_ops.len() as i32)
+                } else {
+                    1.0
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::fig2_dfg;
+
+    fn fig2_schedule() -> (Dfg, Vec<usize>, HashSet<ResourceClass>) {
+        let g = fig2_dfg();
+        // T0={O0,O3}, T1={O1,O4}? No: per the paper T1={O1}, T2={O2,O4},
+        // T3={O5}. O4 depends on O3 so it could run at T1, but the original
+        // schedule of Fig 2(a) places it in T2 next to O2.
+        let step_of = vec![0, 1, 2, 0, 2, 3];
+        let tau: HashSet<ResourceClass> = [ResourceClass::Multiplier].into();
+        (g, step_of, tau)
+    }
+
+    #[test]
+    fn fig2_taubm_splits_mult_steps() {
+        let (g, step_of, tau) = fig2_schedule();
+        let t = TaubmDfg::derive(&g, &step_of, &tau);
+        assert_eq!(t.num_steps(), 4);
+        assert_eq!(t.num_split_steps(), 2); // T0 and T2 carry multiplies
+        assert!(t.steps()[0].is_split());
+        assert!(!t.steps()[1].is_split());
+        assert!(t.steps()[2].is_split());
+        assert!(!t.steps()[3].is_split());
+        // "latency varies between 4 and 6 clock cycles" (paper §2.2)
+        assert_eq!(t.best_latency_cycles(), 4);
+        assert_eq!(t.worst_latency_cycles(), 6);
+    }
+
+    #[test]
+    fn expected_latency_interpolates() {
+        let (g, step_of, tau) = fig2_schedule();
+        let t = TaubmDfg::derive(&g, &step_of, &tau);
+        assert_eq!(t.expected_latency_cycles_sync(1.0), 4.0);
+        assert_eq!(t.expected_latency_cycles_sync(0.0), 6.0);
+        // Two split steps with 2 TAUs each: E = 2 + 2*(2 - p^2)
+        let p = 0.9f64;
+        let expect = 2.0 + 2.0 * (2.0 - p * p);
+        assert!((t.expected_latency_cycles_sync(p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_tau_classes_means_no_split() {
+        let (g, step_of, _) = fig2_schedule();
+        let t = TaubmDfg::derive(&g, &step_of, &HashSet::new());
+        assert_eq!(t.num_split_steps(), 0);
+        assert_eq!(t.best_latency_cycles(), t.worst_latency_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "predecessor")]
+    fn rejects_dependence_violation() {
+        let (g, mut step_of, tau) = fig2_schedule();
+        step_of[1] = 0; // O1 alongside its producer O0
+        let _ = TaubmDfg::derive(&g, &step_of, &tau);
+    }
+}

@@ -1,0 +1,543 @@
+//! Algorithm 1: derivation of an arithmetic unit controller FSM from a
+//! scheduled-and-bound DFG (paper §4.2, Fig 5/6), and the distributed
+//! global control unit as the set of all unit controllers (Fig 7).
+
+use crate::machine::Fsm;
+use tauhls_logic::Expr;
+use tauhls_sched::{BoundDfg, UnitId};
+
+/// Signal-name helpers shared by generation, composition and simulation.
+pub mod signals {
+    use tauhls_dfg::OpId;
+
+    /// The completion input of a telescopic unit, e.g. `C_M1`.
+    pub fn unit_completion(unit_name: &str) -> String {
+        format!("C_{unit_name}")
+    }
+
+    /// The completion signal of an operation, e.g. `C_CO(3)` — an output of
+    /// the producing controller and an input (`C_PO`) of consumers.
+    pub fn op_completion(op: OpId) -> String {
+        format!("C_CO({})", op.0)
+    }
+
+    /// The operand-fetch output of an operation, e.g. `OF3`.
+    pub fn operand_fetch(op: OpId) -> String {
+        format!("OF{}", op.0)
+    }
+
+    /// The register-enable output of an operation, e.g. `RE3`.
+    pub fn register_enable(op: OpId) -> String {
+        format!("RE{}", op.0)
+    }
+}
+
+/// Generates the arithmetic unit controller for one unit of a bound DFG
+/// (Algorithm 1 for TAUs; the reduced form without `S_i'` states for
+/// fixed-delay units).
+///
+/// States follow the paper's naming: `S{op}` (execute, short half),
+/// `S{op}'` (long-delay extension, TAUs only), `R{op}` (ready-wait, only
+/// when the operation has cross-unit direct predecessors). The controller
+/// cycles through its operation sequence and wraps around for repetitive
+/// DFG execution.
+///
+/// # Panics
+///
+/// Panics if the unit has no bound operations (an unused unit needs no
+/// controller).
+pub fn unit_controller(bound: &BoundDfg, unit: UnitId) -> Fsm {
+    unit_controller_opts(bound, unit, false)
+}
+
+/// Like [`unit_controller`], but `single_shot = true` generates a
+/// one-iteration controller ending in an absorbing `DONE` state instead of
+/// wrapping around. The single-shot variants are what the centralized
+/// product (CENT-FSM, Fig 4a) is built from, so its state count reflects
+/// one DFG iteration rather than the phase drift of independently looping
+/// components.
+///
+/// # Panics
+///
+/// Panics if the unit has no bound operations.
+pub fn unit_controller_opts(bound: &BoundDfg, unit: UnitId, single_shot: bool) -> Fsm {
+    let seq = bound.sequence(unit);
+    assert!(!seq.is_empty(), "unit has no bound operations");
+    let udesc = &bound.allocation().units()[unit.0];
+    let telescopic = udesc.telescopic;
+    let uname = udesc.display_name();
+
+    let mut fsm = Fsm::new(format!("D-FSM-{uname}"));
+
+    // States: S_i (+ S_i' for TAUs) per op, R_i when the op has preds.
+    let n = seq.len();
+    let mut s_state = Vec::with_capacity(n);
+    let mut sp_state = Vec::with_capacity(n);
+    let mut r_state = Vec::with_capacity(n);
+    for &op in seq {
+        s_state.push(fsm.add_state(format!("S{}", op.0)));
+        sp_state.push(if telescopic {
+            Some(fsm.add_state(format!("S{}'", op.0)))
+        } else {
+            None
+        });
+    }
+    for &op in seq {
+        r_state.push(if bound.cross_unit_preds(op).is_empty() {
+            None
+        } else {
+            Some(fsm.add_state(format!("R{}", op.0)))
+        });
+    }
+
+    // Inputs: own completion (TAUs), plus C_PO signals.
+    let c_t = telescopic.then(|| fsm.add_input(signals::unit_completion(&uname)));
+    let pred_guard: Vec<Expr> = seq
+        .iter()
+        .map(|&op| {
+            Expr::all(
+                bound
+                    .cross_unit_preds(op)
+                    .into_iter()
+                    .map(|p| Expr::var(fsm.add_input(signals::op_completion(p)))),
+            )
+        })
+        .collect();
+
+    // Outputs.
+    let of: Vec<usize> = seq
+        .iter()
+        .map(|&op| fsm.add_output(signals::operand_fetch(op)))
+        .collect();
+    let re: Vec<usize> = seq
+        .iter()
+        .map(|&op| fsm.add_output(signals::register_enable(op)))
+        .collect();
+    let cco: Vec<usize> = seq
+        .iter()
+        .map(|&op| fsm.add_output(signals::op_completion(op)))
+        .collect();
+
+    let done_state = single_shot.then(|| fsm.add_state("DONE"));
+
+    for i in 0..n {
+        let next = (i + 1) % n;
+        let is_last = i == n - 1;
+        // Single-shot controllers route the last completion into DONE.
+        let (pn, target_s, target_r) = if single_shot && is_last {
+            (
+                Expr::truth(),
+                done_state.expect("single shot"),
+                None,
+            )
+        } else {
+            (pred_guard[next].clone(), s_state[next], r_state[next])
+        };
+        let completing = vec![of[i], re[i], cco[i]];
+        let ct_expr = c_t.map(Expr::var).unwrap_or_else(Expr::truth);
+
+        match target_r {
+            None => {
+                // Next op starts unconditionally once we finish.
+                fsm.add_transition(s_state[i], target_s, ct_expr.clone(), completing.clone());
+                if let Some(sp) = sp_state[i] {
+                    fsm.add_transition(s_state[i], sp, ct_expr.clone().not(), vec![of[i]]);
+                    fsm.add_transition(sp, target_s, Expr::truth(), completing.clone());
+                }
+            }
+            Some(r) => {
+                fsm.add_transition(
+                    s_state[i],
+                    target_s,
+                    ct_expr.clone().and(pn.clone()),
+                    completing.clone(),
+                );
+                fsm.add_transition(
+                    s_state[i],
+                    r,
+                    ct_expr.clone().and(pn.clone().not()),
+                    completing.clone(),
+                );
+                if let Some(sp) = sp_state[i] {
+                    fsm.add_transition(s_state[i], sp, ct_expr.clone().not(), vec![of[i]]);
+                    fsm.add_transition(sp, target_s, pn.clone(), completing.clone());
+                    fsm.add_transition(sp, r, pn.clone().not(), completing.clone());
+                }
+            }
+        }
+    }
+    // Ready-state wait loops (one pair per R state).
+    for i in 0..n {
+        if let Some(r) = r_state[i] {
+            let pg = pred_guard[i].clone();
+            fsm.add_transition(r, s_state[i], pg.clone(), vec![]);
+            fsm.add_transition(r, r, pg.not(), vec![]);
+        }
+    }
+    if let Some(done) = done_state {
+        fsm.add_transition(done, done, Expr::truth(), vec![]);
+    }
+
+    // Initial state: wait for the first op's predecessors if it has any.
+    fsm.set_initial(match r_state[0] {
+        Some(r) => r,
+        None => s_state[0],
+    });
+    fsm
+}
+
+/// The distributed global control unit: one controller per used unit.
+#[derive(Clone, Debug)]
+pub struct DistributedControlUnit {
+    controllers: Vec<(UnitId, Fsm)>,
+}
+
+impl DistributedControlUnit {
+    /// Generates controllers for every unit with at least one bound
+    /// operation, then removes completion outputs no other controller
+    /// consumes (the paper's communication-signal optimization, Fig 7).
+    pub fn generate(bound: &BoundDfg) -> Self {
+        let mut controllers = Vec::new();
+        for (i, _) in bound.allocation().units().iter().enumerate() {
+            let unit = UnitId(i);
+            if !bound.sequence(unit).is_empty() {
+                controllers.push((unit, unit_controller(bound, unit)));
+            }
+        }
+        let mut cu = DistributedControlUnit { controllers };
+        cu.optimize_signals();
+        cu
+    }
+
+    /// Like [`DistributedControlUnit::generate`], but telescopic units get
+    /// multi-level controllers with the given number of delay levels
+    /// (paper §6 generalization; `levels = 2` is identical to `generate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn generate_multilevel(bound: &BoundDfg, levels: u32) -> Self {
+        assert!(levels >= 2);
+        let units = bound.allocation().units();
+        let mut controllers = Vec::new();
+        for (i, desc) in units.iter().enumerate() {
+            let unit = UnitId(i);
+            if bound.sequence(unit).is_empty() {
+                continue;
+            }
+            let fsm = if desc.telescopic {
+                crate::multilevel::unit_controller_multilevel(bound, unit, levels)
+            } else {
+                unit_controller(bound, unit)
+            };
+            controllers.push((unit, fsm));
+        }
+        let mut cu = DistributedControlUnit { controllers };
+        cu.optimize_signals();
+        cu
+    }
+
+    /// The per-unit controllers.
+    pub fn controllers(&self) -> &[(UnitId, Fsm)] {
+        &self.controllers
+    }
+
+    /// The controller of a specific unit, if it exists.
+    pub fn controller(&self, unit: UnitId) -> Option<&Fsm> {
+        self.controllers
+            .iter()
+            .find(|(u, _)| *u == unit)
+            .map(|(_, f)| f)
+    }
+
+    /// Removes `C_CO` outputs that no sibling controller reads.
+    fn optimize_signals(&mut self) {
+        let mut fsms: Vec<Fsm> = self.controllers.iter().map(|(_, f)| f.clone()).collect();
+        optimize_dead_completions(&mut fsms);
+        for ((_, slot), fsm) in self.controllers.iter_mut().zip(fsms) {
+            *slot = fsm;
+        }
+    }
+
+    /// Total state count over all controllers.
+    pub fn total_states(&self) -> usize {
+        self.controllers.iter().map(|(_, f)| f.num_states()).sum()
+    }
+
+    /// Renders the distributed control unit as a Graphviz DOT graph in the
+    /// style of the paper's Fig 7: one box per controller (labelled with
+    /// its name and state count), one edge per completion-signal wire.
+    ///
+    /// `unit_name` maps unit ids to display names (e.g.
+    /// `|u| alloc.units()[u.0].display_name()`).
+    pub fn wiring_dot(&self, unit_name: impl Fn(UnitId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph control_unit {{");
+        let _ = writeln!(s, "  rankdir=LR; node [shape=box];");
+        for (u, fsm) in &self.controllers {
+            let _ = writeln!(
+                s,
+                "  u{} [label=\"CONT_{}\\n{} states\"];",
+                u.0,
+                unit_name(*u),
+                fsm.num_states()
+            );
+        }
+        for (p, sig, c) in self.signal_wiring() {
+            let _ = writeln!(s, "  u{} -> u{} [label=\"{}\"];", p.0, c.0, sig);
+        }
+        // External completion inputs (from the TAU datapath).
+        for (u, fsm) in &self.controllers {
+            for input in fsm.inputs() {
+                if !input.starts_with("C_CO(") {
+                    let _ = writeln!(
+                        s,
+                        "  ext_{input} [label=\"{input}\", shape=plaintext]; \
+                         ext_{input} -> u{};",
+                        u.0
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// The cross-controller completion-signal wiring: for each connection,
+    /// `(producer unit, signal name, consumer unit)`.
+    pub fn signal_wiring(&self) -> Vec<(UnitId, String, UnitId)> {
+        let mut out = Vec::new();
+        for (cu, consumer) in &self.controllers {
+            for name in consumer.inputs() {
+                if !name.starts_with("C_CO(") {
+                    continue;
+                }
+                for (pu, producer) in &self.controllers {
+                    if producer.output_by_name(name).is_some() {
+                        out.push((*pu, name.clone(), *cu));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Removes from each controller every `C_CO` output that no controller in
+/// the set consumes (the paper's §4.2 communication-signal optimization,
+/// e.g. `C_CO(0)` in Fig 7). Exposed for alternative composition flows
+/// such as the centralized product.
+pub fn optimize_dead_completions(controllers: &mut [Fsm]) {
+    use std::collections::HashSet;
+    let consumed: HashSet<String> = controllers
+        .iter()
+        .flat_map(|f| f.inputs().iter().cloned())
+        .collect();
+    for fsm in controllers.iter_mut() {
+        let dead: Vec<usize> = fsm
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, name)| {
+                (name.starts_with("C_CO(") && !consumed.contains(name)).then_some(i)
+            })
+            .collect();
+        if !dead.is_empty() {
+            *fsm = remove_outputs(fsm, &dead);
+        }
+    }
+}
+
+/// Rebuilds an FSM with the given output indices removed.
+fn remove_outputs(fsm: &Fsm, dead: &[usize]) -> Fsm {
+    let mut out = Fsm::new(fsm.name().to_string());
+    for s in 0..fsm.num_states() {
+        out.add_state(fsm.state_name(crate::machine::StateId(s)).to_string());
+    }
+    for name in fsm.inputs() {
+        out.add_input(name.clone());
+    }
+    let mut remap = vec![None; fsm.outputs().len()];
+    for (i, name) in fsm.outputs().iter().enumerate() {
+        if !dead.contains(&i) {
+            remap[i] = Some(out.add_output(name.clone()));
+        }
+    }
+    for t in fsm.transitions() {
+        let outs: Vec<usize> = t.outputs.iter().filter_map(|&o| remap[o]).collect();
+        out.add_transition(t.from, t.to, t.guard.clone(), outs);
+    }
+    out.set_initial(fsm.initial());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::{diffeq, fig3_dfg};
+    use tauhls_dfg::OpId;
+    use tauhls_sched::Allocation;
+
+    fn fig3_bound() -> BoundDfg {
+        BoundDfg::bind_explicit(
+            &fig3_dfg(),
+            &Allocation::paper(2, 2, 0),
+            vec![
+                vec![OpId(0), OpId(1)],
+                vec![OpId(6), OpId(4), OpId(8)],
+                vec![OpId(3), OpId(2)],
+                vec![OpId(7), OpId(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig6_m1_controller_structure() {
+        // The paper's Fig 6: controller for TAU multiplier M1 bound with
+        // (O0, O1): states S0, S0', S1, S1', R1 and exactly 10 transitions.
+        let bound = fig3_bound();
+        let fsm = unit_controller(&bound, UnitId(0));
+        fsm.check().unwrap();
+        assert_eq!(fsm.num_states(), 5);
+        assert_eq!(fsm.transitions().len(), 10);
+        for name in ["S0", "S0'", "S1", "S1'", "R1"] {
+            assert!(fsm.state_by_name(name).is_some(), "missing state {name}");
+        }
+        // Inputs: own completion + C_PO(3).
+        assert!(fsm.input_by_name("C_M1").is_some());
+        assert!(fsm.input_by_name("C_CO(3)").is_some());
+        assert_eq!(fsm.inputs().len(), 2);
+        // Initial state is S0 (O0 has no predecessors).
+        assert_eq!(fsm.state_name(fsm.initial()), "S0");
+    }
+
+    #[test]
+    fn fig6_m1_behaviour_follows_paper_walkthrough() {
+        let bound = fig3_bound();
+        let fsm = unit_controller(&bound, UnitId(0));
+        let s0 = fsm.state_by_name("S0").unwrap();
+        let c_m1 = fsm.input_by_name("C_M1").unwrap();
+        let c_po3 = fsm.input_by_name("C_CO(3)").unwrap();
+        let of0 = fsm.output_by_name("OF0").unwrap();
+        let re0 = fsm.output_by_name("RE0").unwrap();
+
+        // In S0 with C_M1 short and O3 already done: straight to S1,
+        // asserting OF0 RE0 C_CO(0).
+        let (next, outs) = fsm.step(s0, |v| v == c_m1 || v == c_po3);
+        assert_eq!(fsm.state_name(next), "S1");
+        assert!(outs.contains(&of0) && outs.contains(&re0));
+
+        // In S0 with C_M1 short but O3 pending: complete O0, wait in R1.
+        let (next, outs) = fsm.step(s0, |v| v == c_m1);
+        assert_eq!(fsm.state_name(next), "R1");
+        assert!(outs.contains(&re0));
+
+        // In S0 with C_M1 long: go to the extension state, fetch only.
+        let (next, outs) = fsm.step(s0, |_| false);
+        assert_eq!(fsm.state_name(next), "S0'");
+        assert_eq!(outs, vec![of0]);
+
+        // R1 waits for C_PO(3) and emits nothing.
+        let r1 = fsm.state_by_name("R1").unwrap();
+        let (next, outs) = fsm.step(r1, |_| false);
+        assert_eq!(next, r1);
+        assert!(outs.is_empty());
+        let (next, _) = fsm.step(r1, |v| v == c_po3);
+        assert_eq!(fsm.state_name(next), "S1");
+    }
+
+    #[test]
+    fn non_tau_controller_has_no_extension_states() {
+        let bound = fig3_bound();
+        // A1 runs (O3, O2): O3 has no preds, O2 has cross-unit preds O1, O4.
+        let fsm = unit_controller(&bound, UnitId(2));
+        fsm.check().unwrap();
+        assert!(fsm.state_by_name("S3").is_some());
+        assert!(fsm.state_by_name("S2").is_some());
+        assert!(fsm.state_by_name("R2").is_some());
+        assert!(fsm.state_by_name("S3'").is_none());
+        assert_eq!(fsm.num_states(), 3);
+        // No own completion input (fixed delay).
+        assert!(fsm.input_by_name("C_A1").is_none());
+        assert!(fsm.input_by_name("C_CO(1)").is_some());
+        assert!(fsm.input_by_name("C_CO(4)").is_some());
+    }
+
+    #[test]
+    fn distributed_unit_optimizes_dead_completions() {
+        let bound = fig3_bound();
+        let cu = DistributedControlUnit::generate(&bound);
+        assert_eq!(cu.controllers().len(), 4);
+        // C_CO(0) is consumed by nobody (O0's only successor O1 shares M1),
+        // so it must be optimized away — the paper's example in §4.2.
+        let m1 = cu.controller(UnitId(0)).unwrap();
+        assert!(m1.output_by_name("C_CO(0)").is_none());
+        // C_CO(3) is consumed by both M1 (O1) and M2 (O4): kept on A1.
+        let a1 = cu.controller(UnitId(2)).unwrap();
+        assert!(a1.output_by_name("C_CO(3)").is_some());
+        // Every controller still checks out.
+        for (_, f) in cu.controllers() {
+            f.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn fig7_wiring() {
+        let bound = fig3_bound();
+        let cu = DistributedControlUnit::generate(&bound);
+        let wiring = cu.signal_wiring();
+        // A1 produces C_CO(3) for M1 and M2.
+        assert!(wiring
+            .iter()
+            .any(|(p, s, c)| *p == UnitId(2) && s == "C_CO(3)" && *c == UnitId(0)));
+        assert!(wiring
+            .iter()
+            .any(|(p, s, c)| *p == UnitId(2) && s == "C_CO(3)" && *c == UnitId(1)));
+        // M2's O8 result feeds O5 on A2: C_CO(8) from M2 to A2.
+        assert!(wiring
+            .iter()
+            .any(|(p, s, c)| *p == UnitId(1) && s == "C_CO(8)" && *c == UnitId(3)));
+    }
+
+    #[test]
+    fn wiring_dot_renders_fig7() {
+        let bound = fig3_bound();
+        let cu = DistributedControlUnit::generate(&bound);
+        let units = bound.allocation().units();
+        let dot = cu.wiring_dot(|u| units[u.0].display_name());
+        assert!(dot.contains("CONT_M1"));
+        assert!(dot.contains("u2 -> u0 [label=\"C_CO(3)\"]"));
+        assert!(dot.contains("ext_C_M1"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn diffeq_distributed_controllers_check() {
+        let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+        let cu = DistributedControlUnit::generate(&bound);
+        assert_eq!(cu.controllers().len(), 4);
+        for (_, f) in cu.controllers() {
+            f.check().unwrap();
+        }
+        assert!(cu.total_states() >= 12);
+    }
+
+    #[test]
+    fn single_op_tau_unit_loops() {
+        use tauhls_dfg::DfgBuilder;
+        let mut b = DfgBuilder::new("one");
+        let x = b.input("x");
+        let m = b.mul(x.into(), x.into());
+        b.output("y", m);
+        let g = b.build().unwrap();
+        let bound = BoundDfg::bind(&g, &Allocation::paper(1, 0, 0));
+        let fsm = unit_controller(&bound, UnitId(0));
+        fsm.check().unwrap();
+        assert_eq!(fsm.num_states(), 2); // S0, S0'
+        let s0 = fsm.state_by_name("S0").unwrap();
+        let (n1, _) = fsm.step(s0, |_| true);
+        assert_eq!(n1, s0); // short completion wraps immediately
+    }
+}

@@ -1,0 +1,506 @@
+//! The controller FSM model: Mealy machines whose transitions are guarded
+//! by boolean expressions over named input signals and assert named output
+//! signals.
+
+use std::collections::HashMap;
+use std::fmt;
+use tauhls_logic::Expr;
+
+/// Identifier of a state within an [`Fsm`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "st{}", self.0)
+    }
+}
+
+/// A guarded Mealy transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Guard over the FSM's *input* signal indices.
+    pub guard: Expr,
+    /// Indices (into the FSM's output list) asserted when taken.
+    pub outputs: Vec<usize>,
+}
+
+/// Errors reported by [`Fsm::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmError {
+    /// Two transitions out of the same state are simultaneously enabled for
+    /// some input assignment.
+    Nondeterministic(StateId),
+    /// No transition out of the state is enabled for some input assignment.
+    Incomplete(StateId),
+    /// A transition references an unknown state, input, or output index.
+    DanglingReference,
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::Nondeterministic(s) => {
+                write!(f, "overlapping guards out of state {s:?}")
+            }
+            FsmError::Incomplete(s) => write!(f, "uncovered input assignment in state {s:?}"),
+            FsmError::DanglingReference => write!(f, "transition references unknown entity"),
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// A Mealy finite-state machine with named states, inputs, and outputs.
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_fsm::{Fsm, StateId};
+/// use tauhls_logic::Expr;
+///
+/// let mut fsm = Fsm::new("toggle");
+/// let s0 = fsm.add_state("S0");
+/// let s1 = fsm.add_state("S1");
+/// let go = fsm.add_input("go");
+/// let tick = fsm.add_output("tick");
+/// fsm.add_transition(s0, s1, Expr::var(go), vec![tick]);
+/// fsm.add_transition(s0, s0, Expr::var(go).not(), vec![]);
+/// fsm.add_transition(s1, s0, Expr::truth(), vec![]);
+/// fsm.check().unwrap();
+/// let (next, outs) = fsm.step(s0, |_| true);
+/// assert_eq!(next, s1);
+/// assert_eq!(outs, vec![tick]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fsm {
+    name: String,
+    states: Vec<String>,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    transitions: Vec<Transition>,
+    initial: StateId,
+}
+
+impl Fsm {
+    /// Creates an empty machine; the first added state becomes initial.
+    pub fn new(name: impl Into<String>) -> Self {
+        Fsm {
+            name: name.into(),
+            states: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            transitions: Vec::new(),
+            initial: StateId(0),
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a named state and returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        self.states.push(name.into());
+        StateId(self.states.len() - 1)
+    }
+
+    /// Declares an input signal, returning its index. Re-declaring an
+    /// existing name returns the existing index.
+    pub fn add_input(&mut self, name: impl Into<String>) -> usize {
+        let name = name.into();
+        if let Some(i) = self.inputs.iter().position(|n| *n == name) {
+            return i;
+        }
+        self.inputs.push(name);
+        self.inputs.len() - 1
+    }
+
+    /// Declares an output signal, returning its index. Re-declaring an
+    /// existing name returns the existing index.
+    pub fn add_output(&mut self, name: impl Into<String>) -> usize {
+        let name = name.into();
+        if let Some(i) = self.outputs.iter().position(|n| *n == name) {
+            return i;
+        }
+        self.outputs.push(name);
+        self.outputs.len() - 1
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        guard: Expr,
+        outputs: Vec<usize>,
+    ) {
+        self.transitions.push(Transition {
+            from,
+            to,
+            guard,
+            outputs,
+        });
+    }
+
+    /// Sets the initial state (defaults to the first added state).
+    pub fn set_initial(&mut self, s: StateId) {
+        self.initial = s;
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// State name by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.states[s.0]
+    }
+
+    /// Looks up a state id by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|n| n == name).map(StateId)
+    }
+
+    /// Input signal names.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Output signal names.
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Looks up an input index by name.
+    pub fn input_by_name(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|n| n == name)
+    }
+
+    /// Looks up an output index by name.
+    pub fn output_by_name(&self, name: &str) -> Option<usize> {
+        self.outputs.iter().position(|n| n == name)
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions leaving `s`.
+    pub fn transitions_from(&self, s: StateId) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| t.from == s).collect()
+    }
+
+    /// Validates determinism and completeness by enumerating, per state,
+    /// all assignments of the inputs actually read by its guards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FsmError`] found.
+    pub fn check(&self) -> Result<(), FsmError> {
+        for t in &self.transitions {
+            if t.from.0 >= self.states.len() || t.to.0 >= self.states.len() {
+                return Err(FsmError::DanglingReference);
+            }
+            if t.guard.variables().iter().any(|&v| v >= self.inputs.len()) {
+                return Err(FsmError::DanglingReference);
+            }
+            if t.outputs.iter().any(|&o| o >= self.outputs.len()) {
+                return Err(FsmError::DanglingReference);
+            }
+        }
+        for s in (0..self.states.len()).map(StateId) {
+            let ts = self.transitions_from(s);
+            if ts.is_empty() {
+                return Err(FsmError::Incomplete(s));
+            }
+            let mut vars: Vec<usize> = ts
+                .iter()
+                .flat_map(|t| t.guard.variables())
+                .collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert!(vars.len() <= 20, "guard support too wide to enumerate");
+            for bits in 0..1u64 << vars.len() {
+                let assign = |v: usize| {
+                    vars.iter()
+                        .position(|&x| x == v)
+                        .map(|i| bits >> i & 1 == 1)
+                        .unwrap_or(false)
+                };
+                let enabled = ts.iter().filter(|t| t.guard.evaluate(assign)).count();
+                if enabled == 0 {
+                    return Err(FsmError::Incomplete(s));
+                }
+                if enabled > 1 {
+                    return Err(FsmError::Nondeterministic(s));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one synchronous step from `state` under the given input
+    /// valuation, returning the next state and the asserted output indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transition (or more than one) is enabled — run
+    /// [`Fsm::check`] first.
+    pub fn step(&self, state: StateId, inputs: impl Fn(usize) -> bool + Copy) -> (StateId, Vec<usize>) {
+        let mut hit: Option<&Transition> = None;
+        for t in self.transitions.iter().filter(|t| t.from == state) {
+            if t.guard.evaluate(inputs) {
+                assert!(
+                    hit.is_none(),
+                    "nondeterministic FSM {} in state {}",
+                    self.name,
+                    self.state_name(state)
+                );
+                hit = Some(t);
+            }
+        }
+        let t = hit.unwrap_or_else(|| {
+            panic!(
+                "FSM {} stuck in state {}",
+                self.name,
+                self.state_name(state)
+            )
+        });
+        (t.to, t.outputs.clone())
+    }
+
+    /// Renders the machine as Graphviz DOT (states as nodes, transitions
+    /// labelled `guard / outputs`).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=LR;");
+        let _ = writeln!(s, "  init [shape=point];");
+        let _ = writeln!(s, "  init -> s{};", self.initial.0);
+        for (i, name) in self.states.iter().enumerate() {
+            let _ = writeln!(s, "  s{i} [label=\"{name}\", shape=circle];");
+        }
+        for t in &self.transitions {
+            let outs: Vec<&str> = t.outputs.iter().map(|&o| self.outputs[o].as_str()).collect();
+            let _ = writeln!(
+                s,
+                "  s{} -> s{} [label=\"{} / {}\"];",
+                t.from.0,
+                t.to.0,
+                self.guard_string(&t.guard),
+                outs.join(" ")
+            );
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Pretty-prints a guard with input names substituted.
+    pub fn guard_string(&self, g: &Expr) -> String {
+        fn render(fsm: &Fsm, g: &Expr) -> String {
+            match g {
+                Expr::Const(b) => if *b { "1" } else { "0" }.to_string(),
+                Expr::Var(v) => fsm.inputs[*v].clone(),
+                Expr::Not(e) => match e.as_ref() {
+                    // Parenthesize conjunctions: (a·b)', not a·b'.
+                    // Disjunctions already render inside parentheses.
+                    Expr::And(es) if es.len() > 1 => {
+                        format!("({})'", render(fsm, e))
+                    }
+                    _ => format!("{}'", render(fsm, e)),
+                },
+                Expr::And(es) => es
+                    .iter()
+                    .map(|e| render(fsm, e))
+                    .collect::<Vec<_>>()
+                    .join("·"),
+                Expr::Or(es) => format!(
+                    "({})",
+                    es.iter()
+                        .map(|e| render(fsm, e))
+                        .collect::<Vec<_>>()
+                        .join(" + ")
+                ),
+            }
+        }
+        render(self, g)
+    }
+
+    /// A human-readable transition listing (used by the figure binaries).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "FSM {} — {} states, {} inputs, {} outputs, {} transitions",
+            self.name,
+            self.states.len(),
+            self.inputs.len(),
+            self.outputs.len(),
+            self.transitions.len()
+        );
+        for t in &self.transitions {
+            let outs: Vec<&str> = t.outputs.iter().map(|&o| self.outputs[o].as_str()).collect();
+            let _ = writeln!(
+                s,
+                "  {} --[{}]--> {}  / {}",
+                self.states[t.from.0],
+                self.guard_string(&t.guard),
+                self.states[t.to.0],
+                if outs.is_empty() {
+                    "-".to_string()
+                } else {
+                    outs.join(" ")
+                }
+            );
+        }
+        s
+    }
+}
+
+/// Runs an FSM over a scripted input trace, collecting per-cycle asserted
+/// output names. Convenience for tests and examples.
+pub fn run_trace(
+    fsm: &Fsm,
+    trace: &[HashMap<String, bool>],
+) -> Vec<(String, Vec<String>)> {
+    let mut state = fsm.initial();
+    let mut out = Vec::new();
+    for step in trace {
+        let (next, outs) = fsm.step(state, |v| {
+            step.get(&fsm.inputs()[v]).copied().unwrap_or(false)
+        });
+        out.push((
+            fsm.state_name(next).to_string(),
+            outs.iter().map(|&o| fsm.outputs()[o].clone()).collect(),
+        ));
+        state = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> Fsm {
+        let mut fsm = Fsm::new("toggle");
+        let s0 = fsm.add_state("S0");
+        let s1 = fsm.add_state("S1");
+        let go = fsm.add_input("go");
+        let tick = fsm.add_output("tick");
+        fsm.add_transition(s0, s1, Expr::var(go), vec![tick]);
+        fsm.add_transition(s0, s0, Expr::var(go).not(), vec![]);
+        fsm.add_transition(s1, s0, Expr::truth(), vec![]);
+        fsm
+    }
+
+    #[test]
+    fn check_passes_on_good_machine() {
+        toggle().check().unwrap();
+    }
+
+    #[test]
+    fn check_catches_nondeterminism() {
+        let mut fsm = toggle();
+        let s0 = fsm.state_by_name("S0").unwrap();
+        fsm.add_transition(s0, s0, Expr::truth(), vec![]);
+        assert_eq!(fsm.check(), Err(FsmError::Nondeterministic(s0)));
+    }
+
+    #[test]
+    fn check_catches_incompleteness() {
+        let mut fsm = Fsm::new("bad");
+        let s0 = fsm.add_state("S0");
+        let a = fsm.add_input("a");
+        fsm.add_transition(s0, s0, Expr::var(a), vec![]);
+        assert_eq!(fsm.check(), Err(FsmError::Incomplete(s0)));
+    }
+
+    #[test]
+    fn check_catches_dangling() {
+        let mut fsm = Fsm::new("bad");
+        let s0 = fsm.add_state("S0");
+        fsm.add_transition(s0, StateId(9), Expr::truth(), vec![]);
+        assert_eq!(fsm.check(), Err(FsmError::DanglingReference));
+    }
+
+    #[test]
+    fn step_follows_guards() {
+        let fsm = toggle();
+        let s0 = fsm.initial();
+        let (s, outs) = fsm.step(s0, |_| false);
+        assert_eq!(fsm.state_name(s), "S0");
+        assert!(outs.is_empty());
+        let (s, outs) = fsm.step(s0, |_| true);
+        assert_eq!(fsm.state_name(s), "S1");
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn run_trace_collects_outputs() {
+        let fsm = toggle();
+        let mk = |b: bool| {
+            let mut m = HashMap::new();
+            m.insert("go".to_string(), b);
+            m
+        };
+        let log = run_trace(&fsm, &[mk(false), mk(true), mk(false)]);
+        assert_eq!(log[0].0, "S0");
+        assert_eq!(log[1].0, "S1");
+        assert_eq!(log[1].1, vec!["tick".to_string()]);
+        assert_eq!(log[2].0, "S0");
+    }
+
+    #[test]
+    fn dot_and_describe_render() {
+        let fsm = toggle();
+        let dot = fsm.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("go"));
+        let d = fsm.describe();
+        assert!(d.contains("S0"));
+        assert!(d.contains("tick"));
+    }
+
+    #[test]
+    fn guard_rendering_parenthesizes_compound_negations() {
+        let mut fsm = Fsm::new("g");
+        let _ = fsm.add_state("S");
+        let a = fsm.add_input("a");
+        let b = fsm.add_input("b");
+        let and = Expr::var(a).and(Expr::var(b));
+        assert_eq!(fsm.guard_string(&and.clone().not()), "(a·b)'");
+        assert_eq!(fsm.guard_string(&Expr::var(a).not()), "a'");
+        let or = Expr::var(a).or(Expr::var(b));
+        assert_eq!(fsm.guard_string(&or.not()), "(a + b)'");
+    }
+
+    #[test]
+    fn duplicate_signal_names_are_reused() {
+        let mut fsm = Fsm::new("x");
+        let a = fsm.add_input("a");
+        let a2 = fsm.add_input("a");
+        assert_eq!(a, a2);
+        let o = fsm.add_output("o");
+        assert_eq!(fsm.add_output("o"), o);
+    }
+}

@@ -1,0 +1,312 @@
+//! Mealy-machine state minimization by partition refinement.
+//!
+//! Two states are equivalent iff for every input assignment they assert
+//! the same outputs and move to equivalent states. The classic
+//! Moore/Hopcroft refinement computes the coarsest such partition; the
+//! minimized machine is the quotient. Used to bring the centralized
+//! product FSM (Fig 4a style) to its canonical size before area analysis.
+
+use crate::machine::{Fsm, StateId};
+use std::collections::HashMap;
+use tauhls_logic::{Cube, Expr};
+
+/// Maximum number of inputs a machine may have for minimization (the
+/// refinement enumerates `2^k` input minterms).
+const MAX_INPUTS: usize = 16;
+
+/// Minimizes the number of states of a deterministic, complete Mealy
+/// machine. Unreachable states are dropped; equivalent states are merged;
+/// transition guards are re-synthesized as compact minterm covers.
+///
+/// # Panics
+///
+/// Panics if the machine has more than 16 inputs, or if it is not
+/// deterministic/complete (run [`Fsm::check`] first).
+pub fn minimize_states(fsm: &Fsm) -> Fsm {
+    let k = fsm.inputs().len();
+    assert!(k <= MAX_INPUTS, "too many inputs to enumerate");
+    let minterms: u64 = 1u64 << k;
+
+    // Reachable states only.
+    let mut reachable = vec![false; fsm.num_states()];
+    let mut stack = vec![fsm.initial()];
+    reachable[fsm.initial().0] = true;
+    // Precompute the behaviour table: state × minterm -> (next, outputs).
+    let mut behaviour: HashMap<(usize, u64), (usize, Vec<usize>)> = HashMap::new();
+    while let Some(s) = stack.pop() {
+        for m in 0..minterms {
+            let (next, mut outs) = fsm.step(s, |v| m >> v & 1 == 1);
+            outs.sort_unstable();
+            behaviour.insert((s.0, m), (next.0, outs));
+            if !reachable[next.0] {
+                reachable[next.0] = true;
+                stack.push(next);
+            }
+        }
+    }
+
+    let states: Vec<usize> = (0..fsm.num_states()).filter(|&s| reachable[s]).collect();
+
+    // Initial partition: by output signature across all minterms.
+    let mut block_of: HashMap<usize, usize> = HashMap::new();
+    {
+        let mut sig_to_block: HashMap<Vec<Vec<usize>>, usize> = HashMap::new();
+        for &s in &states {
+            let sig: Vec<Vec<usize>> = (0..minterms)
+                .map(|m| behaviour[&(s, m)].1.clone())
+                .collect();
+            let nb = sig_to_block.len();
+            let b = *sig_to_block.entry(sig).or_insert(nb);
+            block_of.insert(s, b);
+        }
+    }
+
+    // Refinement.
+    loop {
+        let mut sig_to_block: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut next_block_of: HashMap<usize, usize> = HashMap::new();
+        for &s in &states {
+            let sig: Vec<usize> = (0..minterms)
+                .map(|m| block_of[&behaviour[&(s, m)].0])
+                .collect();
+            let key = (block_of[&s], sig);
+            let nb = sig_to_block.len();
+            let b = *sig_to_block.entry(key).or_insert(nb);
+            next_block_of.insert(s, b);
+        }
+        let stable = states
+            .iter()
+            .all(|&s| {
+                states
+                    .iter()
+                    .all(|&t| (block_of[&s] == block_of[&t]) == (next_block_of[&s] == next_block_of[&t]))
+            });
+        block_of = next_block_of;
+        if stable {
+            break;
+        }
+    }
+
+    // Build the quotient machine. Representative = smallest state per block.
+    let num_blocks = block_of.values().copied().max().map_or(0, |m| m + 1);
+    let mut rep: Vec<usize> = vec![usize::MAX; num_blocks];
+    for &s in &states {
+        let b = block_of[&s];
+        rep[b] = rep[b].min(s);
+    }
+    let mut out = Fsm::new(format!("{}-min", fsm.name()));
+    let mut block_state: Vec<StateId> = Vec::with_capacity(num_blocks);
+    // Order blocks by representative id for stable naming; initial first.
+    let mut order: Vec<usize> = (0..num_blocks).collect();
+    let init_block = block_of[&fsm.initial().0];
+    order.sort_by_key(|&b| (b != init_block, rep[b]));
+    let mut block_index: Vec<usize> = vec![0; num_blocks];
+    for (i, &b) in order.iter().enumerate() {
+        block_index[b] = i;
+        block_state.push(StateId(0)); // placeholder
+        let _ = i;
+    }
+    for &b in &order {
+        let id = out.add_state(fsm.state_name(StateId(rep[b])).to_string());
+        block_state[block_index[b]] = id;
+    }
+    let in_idx: Vec<usize> = fsm
+        .inputs()
+        .iter()
+        .map(|n| out.add_input(n.clone()))
+        .collect();
+    let out_idx: Vec<usize> = fsm
+        .outputs()
+        .iter()
+        .map(|n| out.add_output(n.clone()))
+        .collect();
+
+    for &b in &order {
+        let s = rep[b];
+        // Group minterms by (next block, outputs).
+        let mut buckets: HashMap<(usize, Vec<usize>), Vec<u64>> = HashMap::new();
+        for m in 0..minterms {
+            let (next, outs) = &behaviour[&(s, m)];
+            buckets
+                .entry((block_of[next], outs.clone()))
+                .or_default()
+                .push(m);
+        }
+        let mut entries: Vec<_> = buckets.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for ((nb, outs), ms) in entries {
+            let guard = minterms_to_expr(&ms, &in_idx, k);
+            let mapped: Vec<usize> = outs.iter().map(|&o| out_idx[o]).collect();
+            out.add_transition(
+                block_state[block_index[b]],
+                block_state[block_index[nb]],
+                guard,
+                mapped,
+            );
+        }
+    }
+    out.set_initial(block_state[block_index[init_block]]);
+    out
+}
+
+/// Builds a compact guard expression covering exactly `minterms` over `k`
+/// input variables (shared with the product construction).
+pub(crate) fn minterms_to_expr(minterms: &[u64], in_idx: &[usize], k: usize) -> Expr {
+    if minterms.len() as u64 == 1u64.checked_shl(k as u32).unwrap_or(u64::MAX) {
+        return Expr::truth();
+    }
+    let primes = tauhls_logic::prime_implicants(k.max(1), minterms);
+    let mut remaining: Vec<u64> = minterms.to_vec();
+    let mut chosen: Vec<Cube> = Vec::new();
+    for p in primes {
+        if remaining.iter().any(|&m| p.covers_minterm(m)) {
+            remaining.retain(|&m| !p.covers_minterm(m));
+            chosen.push(p);
+        }
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    Expr::any(chosen.into_iter().map(|c| {
+        Expr::all((0..k).filter_map(|v| {
+            c.literal(v).map(|pol| {
+                let var = Expr::var(in_idx[v]);
+                if pol {
+                    var
+                } else {
+                    var.not()
+                }
+            })
+        }))
+    }))
+}
+
+/// True iff the two machines accept identical input traces with identical
+/// output behaviour (checked by simultaneous reachability over all input
+/// minterms). Used to validate minimization.
+///
+/// # Panics
+///
+/// Panics if the machines disagree on input/output alphabets, or have more
+/// than 16 inputs.
+pub fn equivalent_behaviour(a: &Fsm, b: &Fsm) -> bool {
+    assert_eq!(a.inputs(), b.inputs(), "input alphabets differ");
+    let k = a.inputs().len();
+    assert!(k <= MAX_INPUTS);
+    // Output name maps (orders may differ).
+    let mut visited = std::collections::HashSet::new();
+    let mut stack = vec![(a.initial(), b.initial())];
+    visited.insert((a.initial(), b.initial()));
+    while let Some((sa, sb)) = stack.pop() {
+        for m in 0..1u64 << k {
+            let (na, oa) = a.step(sa, |v| m >> v & 1 == 1);
+            let (nb, ob) = b.step(sb, |v| m >> v & 1 == 1);
+            let names_a: std::collections::BTreeSet<&str> =
+                oa.iter().map(|&o| a.outputs()[o].as_str()).collect();
+            let names_b: std::collections::BTreeSet<&str> =
+                ob.iter().map(|&o| b.outputs()[o].as_str()).collect();
+            if names_a != names_b {
+                return false;
+            }
+            if visited.insert((na, nb)) {
+                stack.push((na, nb));
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_logic::Expr;
+
+    /// A machine with two redundant copies of the same behaviour.
+    fn redundant() -> Fsm {
+        let mut f = Fsm::new("red");
+        let s0 = f.add_state("S0");
+        let s1 = f.add_state("S1");
+        let s2 = f.add_state("S2"); // behaves exactly like S1
+        let a = f.add_input("a");
+        let o = f.add_output("o");
+        f.add_transition(s0, s1, Expr::var(a), vec![o]);
+        f.add_transition(s0, s2, Expr::var(a).not(), vec![o]);
+        f.add_transition(s1, s0, Expr::truth(), vec![]);
+        f.add_transition(s2, s0, Expr::truth(), vec![]);
+        f
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        let f = redundant();
+        f.check().unwrap();
+        let m = minimize_states(&f);
+        m.check().unwrap();
+        assert_eq!(m.num_states(), 2);
+        assert!(equivalent_behaviour(&f, &m));
+    }
+
+    #[test]
+    fn drops_unreachable_states() {
+        let mut f = redundant();
+        let dead = f.add_state("DEAD");
+        f.add_transition(dead, dead, Expr::truth(), vec![]);
+        let m = minimize_states(&f);
+        assert_eq!(m.num_states(), 2);
+    }
+
+    #[test]
+    fn distinguishes_by_outputs() {
+        let mut f = Fsm::new("d");
+        let s0 = f.add_state("S0");
+        let s1 = f.add_state("S1");
+        let s2 = f.add_state("S2");
+        let a = f.add_input("a");
+        let o = f.add_output("o");
+        f.add_transition(s0, s1, Expr::var(a), vec![]);
+        f.add_transition(s0, s2, Expr::var(a).not(), vec![]);
+        f.add_transition(s1, s0, Expr::truth(), vec![o]); // emits
+        f.add_transition(s2, s0, Expr::truth(), vec![]); // silent
+        f.check().unwrap();
+        let m = minimize_states(&f);
+        assert_eq!(m.num_states(), 3);
+        assert!(equivalent_behaviour(&f, &m));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let f = redundant();
+        let m1 = minimize_states(&f);
+        let m2 = minimize_states(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+    }
+
+    #[test]
+    fn product_of_unit_controllers_minimizes_behaviourally() {
+        use crate::distributed::unit_controller;
+        use crate::product::synchronous_product;
+        use tauhls_dfg::benchmarks::fig3_dfg;
+        use tauhls_dfg::OpId;
+        use tauhls_sched::{Allocation, BoundDfg, UnitId};
+        let bound = BoundDfg::bind_explicit(
+            &fig3_dfg(),
+            &Allocation::paper(2, 2, 0),
+            vec![
+                vec![OpId(0), OpId(1)],
+                vec![OpId(6), OpId(4), OpId(8)],
+                vec![OpId(3), OpId(2)],
+                vec![OpId(7), OpId(5)],
+            ],
+        )
+        .unwrap();
+        let fsms: Vec<crate::machine::Fsm> = (0..4)
+            .map(|u| unit_controller(&bound, UnitId(u)))
+            .collect();
+        let refs: Vec<&crate::machine::Fsm> = fsms.iter().collect();
+        let p = synchronous_product("CENT", &refs);
+        let m = minimize_states(&p);
+        m.check().unwrap();
+        assert!(m.num_states() <= p.num_states());
+        assert!(equivalent_behaviour(&p, &m));
+    }
+}

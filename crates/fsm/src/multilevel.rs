@@ -1,0 +1,236 @@
+//! Multi-level telescopic controllers — the paper's §6 generalization.
+//!
+//! A two-level TAU chooses between `SD` and `LD`. Nothing in Algorithm 1
+//! is specific to two levels: a unit with delay thresholds
+//! `t_1 < t_2 < ... < t_L = LD` exposes one completion signal per
+//! intermediate level (`C`, `C2`, ..., `C{L-1}`), and the controller gains
+//! one extension state per level (`S`, `S'`, `S''`, ...). The final level
+//! completes unconditionally, exactly like `S'` in the two-level case —
+//! so [`unit_controller_multilevel`] with `levels = 2` generates exactly
+//! the Algorithm-1 machine.
+
+use crate::machine::Fsm;
+use tauhls_logic::Expr;
+use tauhls_sched::{BoundDfg, UnitId};
+
+/// The completion input name for delay level `level` (1-based) of a unit:
+/// level 1 is the classic `C_M1`, deeper levels are `C2_M1`, `C3_M1`, ...
+pub fn level_completion(unit_name: &str, level: u32) -> String {
+    if level <= 1 {
+        format!("C_{unit_name}")
+    } else {
+        format!("C{level}_{unit_name}")
+    }
+}
+
+/// Generates the arithmetic unit controller for a telescopic unit with
+/// `levels` delay levels (Algorithm 1 generalized per §6).
+///
+/// State naming extends the paper's: `S3` (first, shortest attempt),
+/// `S3'`, `S3''`, ... (one prime per extra level spent). Ready states and
+/// the cross-unit completion protocol are unchanged.
+///
+/// # Panics
+///
+/// Panics if the unit has no bound operations, is not telescopic, or if
+/// `levels < 2`.
+pub fn unit_controller_multilevel(bound: &BoundDfg, unit: UnitId, levels: u32) -> Fsm {
+    assert!(levels >= 2, "a telescopic unit has at least two levels");
+    let seq = bound.sequence(unit);
+    assert!(!seq.is_empty(), "unit has no bound operations");
+    let udesc = &bound.allocation().units()[unit.0];
+    assert!(udesc.telescopic, "multi-level controllers are for TAUs");
+    let uname = udesc.display_name();
+
+    let mut fsm = Fsm::new(format!("D-FSM-{uname}x{levels}"));
+    let n = seq.len();
+
+    // Stage states per op: S, S', S'', ...
+    let mut stage_states = Vec::with_capacity(n);
+    for &op in seq {
+        let states: Vec<_> = (0..levels)
+            .map(|l| {
+                fsm.add_state(format!("S{}{}", op.0, "'".repeat(l as usize)))
+            })
+            .collect();
+        stage_states.push(states);
+    }
+    let mut r_state = Vec::with_capacity(n);
+    for &op in seq {
+        r_state.push(if bound.cross_unit_preds(op).is_empty() {
+            None
+        } else {
+            Some(fsm.add_state(format!("R{}", op.0)))
+        });
+    }
+
+    // Completion inputs per level (level L completes unconditionally).
+    let c_level: Vec<usize> = (1..levels)
+        .map(|l| fsm.add_input(level_completion(&uname, l)))
+        .collect();
+    let pred_guard: Vec<Expr> = seq
+        .iter()
+        .map(|&op| {
+            Expr::all(
+                bound
+                    .cross_unit_preds(op)
+                    .into_iter()
+                    .map(|p| Expr::var(fsm.add_input(crate::distributed::signals::op_completion(p)))),
+            )
+        })
+        .collect();
+
+    let of: Vec<usize> = seq
+        .iter()
+        .map(|&op| fsm.add_output(crate::distributed::signals::operand_fetch(op)))
+        .collect();
+    let re: Vec<usize> = seq
+        .iter()
+        .map(|&op| fsm.add_output(crate::distributed::signals::register_enable(op)))
+        .collect();
+    let cco: Vec<usize> = seq
+        .iter()
+        .map(|&op| fsm.add_output(crate::distributed::signals::op_completion(op)))
+        .collect();
+
+    for i in 0..n {
+        let next = (i + 1) % n;
+        let pn = pred_guard[next].clone();
+        let completing = vec![of[i], re[i], cco[i]];
+        let target_s = stage_states[next][0];
+        let target_r = r_state[next];
+
+        for l in 0..levels as usize {
+            let here = stage_states[i][l];
+            let is_final = l + 1 == levels as usize;
+            // Guard under which the op completes in this stage.
+            let done_guard = if is_final {
+                Expr::truth()
+            } else {
+                Expr::var(c_level[l])
+            };
+            match target_r {
+                None => {
+                    fsm.add_transition(here, target_s, done_guard.clone(), completing.clone());
+                }
+                Some(r) => {
+                    fsm.add_transition(
+                        here,
+                        target_s,
+                        done_guard.clone().and(pn.clone()),
+                        completing.clone(),
+                    );
+                    fsm.add_transition(
+                        here,
+                        r,
+                        done_guard.clone().and(pn.clone().not()),
+                        completing.clone(),
+                    );
+                }
+            }
+            if !is_final {
+                fsm.add_transition(
+                    here,
+                    stage_states[i][l + 1],
+                    done_guard.not(),
+                    vec![of[i]],
+                );
+            }
+        }
+    }
+    for i in 0..n {
+        if let Some(r) = r_state[i] {
+            let pg = pred_guard[i].clone();
+            fsm.add_transition(r, stage_states[i][0], pg.clone(), vec![]);
+            fsm.add_transition(r, r, pg.not(), vec![]);
+        }
+    }
+    fsm.set_initial(match r_state[0] {
+        Some(r) => r,
+        None => stage_states[0][0],
+    });
+    fsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::unit_controller;
+    use crate::minimize::equivalent_behaviour;
+    use tauhls_dfg::benchmarks::fig3_dfg;
+    use tauhls_dfg::OpId;
+    use tauhls_sched::{Allocation, BoundDfg};
+
+    fn fig3_bound() -> BoundDfg {
+        BoundDfg::bind_explicit(
+            &fig3_dfg(),
+            &Allocation::paper(2, 2, 0),
+            vec![
+                vec![OpId(0), OpId(1)],
+                vec![OpId(6), OpId(4), OpId(8)],
+                vec![OpId(3), OpId(2)],
+                vec![OpId(7), OpId(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_levels_reduce_to_algorithm_one() {
+        let bound = fig3_bound();
+        let classic = unit_controller(&bound, UnitId(0));
+        let multi = unit_controller_multilevel(&bound, UnitId(0), 2);
+        multi.check().unwrap();
+        assert_eq!(classic.num_states(), multi.num_states());
+        assert_eq!(classic.transitions().len(), multi.transitions().len());
+        assert!(equivalent_behaviour(&classic, &multi));
+    }
+
+    #[test]
+    fn three_levels_add_one_extension_state_per_op() {
+        let bound = fig3_bound();
+        let multi = unit_controller_multilevel(&bound, UnitId(0), 3);
+        multi.check().unwrap();
+        // Per op: S, S', S''; plus R1 -> 2*3 + 1 = 7 states.
+        assert_eq!(multi.num_states(), 7);
+        assert!(multi.state_by_name("S0''").is_some());
+        assert!(multi.input_by_name("C_M1").is_some());
+        assert!(multi.input_by_name("C2_M1").is_some());
+        assert!(multi.input_by_name("C3_M1").is_none()); // final level is unconditional
+    }
+
+    #[test]
+    fn three_level_walkthrough() {
+        let bound = fig3_bound();
+        let fsm = unit_controller_multilevel(&bound, UnitId(0), 3);
+        let s0 = fsm.state_by_name("S0").unwrap();
+        let c1 = fsm.input_by_name("C_M1").unwrap();
+        let c2 = fsm.input_by_name("C2_M1").unwrap();
+        let c_po3 = fsm.input_by_name("C_CO(3)").unwrap();
+        // Miss level 1, hit level 2, predecessors ready: complete in the
+        // second cycle and advance to S1.
+        let (s, outs) = fsm.step(s0, |_| false);
+        assert_eq!(fsm.state_name(s), "S0'");
+        assert_eq!(outs.len(), 1); // OF only
+        let (s, outs) = fsm.step(s, |v| v == c2 || v == c_po3);
+        assert_eq!(fsm.state_name(s), "S1");
+        assert!(outs.len() >= 2); // completing outputs
+        // Miss both intermediate levels: the final stage is unconditional.
+        let (s, _) = fsm.step(s0, |_| false);
+        let (s, _) = fsm.step(s, |_| false);
+        assert_eq!(fsm.state_name(s), "S0''");
+        let (s, outs) = fsm.step(s, |v| v == c_po3);
+        assert_eq!(fsm.state_name(s), "S1");
+        assert!(!outs.is_empty());
+        // C1 short-cut still works.
+        let (s, _) = fsm.step(s0, |v| v == c1 || v == c_po3);
+        assert_eq!(fsm.state_name(s), "S1");
+    }
+
+    #[test]
+    fn level_signal_names() {
+        assert_eq!(level_completion("M1", 1), "C_M1");
+        assert_eq!(level_completion("M1", 2), "C2_M1");
+        assert_eq!(level_completion("M2", 3), "C3_M2");
+    }
+}

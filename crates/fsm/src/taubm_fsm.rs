@@ -1,0 +1,202 @@
+//! The TAUBM FSM (paper §2.2, Fig 2c) and its synchronized multi-TAU
+//! extension CENT-SYNC-FSM (Fig 4b).
+//!
+//! Both are centralized controllers derived from a TAUBM DFG: one state per
+//! time step, plus an extension state per *split* step. In a split step all
+//! active TAUs are synchronized — the step ends short only when **every**
+//! completion signal is asserted (guard `∧ C_u`), which is exactly the
+//! `P^n` performance problem the distributed controllers avoid.
+
+use crate::distributed::signals;
+use crate::machine::Fsm;
+use tauhls_dfg::TaubmDfg;
+use tauhls_logic::Expr;
+use tauhls_sched::BoundDfg;
+
+/// Generates the synchronized centralized FSM for a bound DFG.
+///
+/// The time-step schedule comes from the binding's list schedule; split
+/// steps are those containing operations of telescopic classes. With a
+/// single TAU in each split step this is precisely the TAUBM FSM of
+/// Fig 2(c); with several it is the CENT-SYNC-FSM of Table 1.
+pub fn cent_sync_fsm(bound: &BoundDfg) -> Fsm {
+    cent_sync_fsm_with_schedule(bound, bound.schedule().step_of())
+}
+
+/// Like [`cent_sync_fsm`], but over an explicit time-step assignment —
+/// used to reproduce the paper's hand schedules (the Fig 2 example places
+/// `O4` in `T2` although list scheduling would start it earlier).
+///
+/// # Panics
+///
+/// Panics if `step_of` violates a data dependence (see
+/// [`TaubmDfg::derive`]).
+pub fn cent_sync_fsm_with_schedule(bound: &BoundDfg, step_of: &[usize]) -> Fsm {
+    let dfg = bound.dfg();
+    let alloc = bound.allocation();
+    let taubm = TaubmDfg::derive(dfg, step_of, alloc.tau_classes());
+    let units = alloc.units();
+
+    let mut fsm = Fsm::new(format!("CENT-SYNC({})", dfg.name()));
+
+    // States: S{i} per step, S{i}' per split step.
+    let steps = taubm.steps();
+    let s: Vec<_> = (0..steps.len())
+        .map(|i| fsm.add_state(format!("S{i}")))
+        .collect();
+    let sp: Vec<_> = steps
+        .iter()
+        .enumerate()
+        .map(|(i, st)| st.is_split().then(|| fsm.add_state(format!("S{i}'"))))
+        .collect();
+
+    for (i, st) in steps.iter().enumerate() {
+        let next = s[(i + 1) % steps.len()];
+        let of_fixed: Vec<usize> = st
+            .fixed_ops
+            .iter()
+            .map(|&o| fsm.add_output(signals::operand_fetch(o)))
+            .collect();
+        let re_fixed: Vec<usize> = st
+            .fixed_ops
+            .iter()
+            .map(|&o| fsm.add_output(signals::register_enable(o)))
+            .collect();
+        let of_tau: Vec<usize> = st
+            .tau_ops
+            .iter()
+            .map(|&o| fsm.add_output(signals::operand_fetch(o)))
+            .collect();
+        let re_tau: Vec<usize> = st
+            .tau_ops
+            .iter()
+            .map(|&o| fsm.add_output(signals::register_enable(o)))
+            .collect();
+
+        match sp[i] {
+            None => {
+                // Pure fixed-delay step: unconditional advance.
+                let outs = of_fixed.iter().chain(&re_fixed).copied().collect();
+                fsm.add_transition(s[i], next, Expr::truth(), outs);
+            }
+            Some(ext) => {
+                // Synchronized guard over the completions of every active
+                // TAU unit in this step.
+                let mut unit_ids: Vec<usize> = st
+                    .tau_ops
+                    .iter()
+                    .map(|&o| bound.unit_of(o).0)
+                    .collect();
+                unit_ids.sort_unstable();
+                unit_ids.dedup();
+                let all = Expr::all(unit_ids.iter().map(|&u| {
+                    Expr::var(fsm.add_input(signals::unit_completion(
+                        &units[u].display_name(),
+                    )))
+                }));
+                // Short path: everything completes in the base half.
+                let short_outs: Vec<usize> = of_fixed
+                    .iter()
+                    .chain(&re_fixed)
+                    .chain(&of_tau)
+                    .chain(&re_tau)
+                    .copied()
+                    .collect();
+                fsm.add_transition(s[i], next, all.clone(), short_outs);
+                // Long path: fixed ops complete now, TAUs need T_i'.
+                let long_outs: Vec<usize> = of_fixed
+                    .iter()
+                    .chain(&re_fixed)
+                    .chain(&of_tau)
+                    .copied()
+                    .collect();
+                fsm.add_transition(s[i], ext, all.not(), long_outs);
+                // Extension half: TAUs finish unconditionally (LD reached).
+                let ext_outs: Vec<usize> = of_tau.iter().chain(&re_tau).copied().collect();
+                fsm.add_transition(ext, next, Expr::truth(), ext_outs);
+            }
+        }
+    }
+    fsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::{diffeq, fig2_dfg};
+    use tauhls_sched::Allocation;
+
+    /// The paper's Fig 2 schedule: T0={O0,O3}, T1={O1}, T2={O2,O4}, T3={O5}.
+    const FIG2_STEPS: [usize; 6] = [0, 1, 2, 0, 2, 3];
+
+    #[test]
+    fn fig2c_taubm_fsm_structure() {
+        // Fig 2(c): steps T0..T3, splits at T0 and T2 -> states
+        // S0, S0', S1, S2, S2', S3; latency 4..6 cycles.
+        let bound = BoundDfg::bind(&fig2_dfg(), &Allocation::paper(2, 1, 0));
+        let fsm = cent_sync_fsm_with_schedule(&bound, &FIG2_STEPS);
+        fsm.check().unwrap();
+        assert_eq!(fsm.num_states(), 6);
+        for name in ["S0", "S0'", "S1", "S2", "S2'", "S3"] {
+            assert!(fsm.state_by_name(name).is_some(), "missing {name}");
+        }
+        // Choices only at S0 and S2 (the split steps).
+        assert_eq!(
+            fsm.transitions_from(fsm.state_by_name("S0").unwrap()).len(),
+            2
+        );
+        assert_eq!(
+            fsm.transitions_from(fsm.state_by_name("S1").unwrap()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn fig2c_short_and_long_paths() {
+        let bound = BoundDfg::bind(&fig2_dfg(), &Allocation::paper(2, 1, 0));
+        let fsm = cent_sync_fsm_with_schedule(&bound, &FIG2_STEPS);
+        let s0 = fsm.state_by_name("S0").unwrap();
+        // All completions high: advance to S1 with RE for the mults.
+        let (next, outs) = fsm.step(s0, |_| true);
+        assert_eq!(fsm.state_name(next), "S1");
+        let out_names: Vec<&str> = outs.iter().map(|&o| fsm.outputs()[o].as_str()).collect();
+        assert!(out_names.contains(&"RE0"));
+        assert!(out_names.contains(&"RE3"));
+        // A completion low: extension half, operand fetch but no TAU RE.
+        let (next, outs) = fsm.step(s0, |_| false);
+        assert_eq!(fsm.state_name(next), "S0'");
+        let out_names: Vec<&str> = outs.iter().map(|&o| fsm.outputs()[o].as_str()).collect();
+        assert!(out_names.contains(&"OF0"));
+        assert!(!out_names.contains(&"RE0"));
+        // The extension half completes unconditionally.
+        let sp = fsm.state_by_name("S0'").unwrap();
+        let (next, outs) = fsm.step(sp, |_| false);
+        assert_eq!(fsm.state_name(next), "S1");
+        let out_names: Vec<&str> = outs.iter().map(|&o| fsm.outputs()[o].as_str()).collect();
+        assert!(out_names.contains(&"RE0"));
+    }
+
+    #[test]
+    fn mixed_step_completes_fixed_ops_early() {
+        // diffeq step 0 holds two mults (TAU) and one add (fixed): on the
+        // long path the add's RE must fire in the base half.
+        let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+        let fsm = cent_sync_fsm(&bound);
+        fsm.check().unwrap();
+        let s0 = fsm.state_by_name("S0").unwrap();
+        let (next, outs) = fsm.step(s0, |_| false);
+        assert!(fsm.state_name(next).ends_with('\''));
+        let names: Vec<&str> = outs.iter().map(|&o| fsm.outputs()[o].as_str()).collect();
+        // a1 is OpId(8) in diffeq construction order.
+        assert!(names.contains(&"RE8"), "fixed add latched early: {names:?}");
+    }
+
+    #[test]
+    fn diffeq_cent_sync_size() {
+        let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+        let fsm = cent_sync_fsm(&bound);
+        // 4 steps, 3 of them split -> 7 states; 2 completion inputs.
+        assert_eq!(fsm.num_states(), 7);
+        assert_eq!(fsm.inputs().len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for Mealy state minimization and synthesis over random
+//! deterministic complete machines.
+
+use proptest::prelude::*;
+use tauhls_fsm::{
+    equivalent_behaviour, minimize_states, synthesize, verify_synthesis, Encoding, Fsm,
+};
+use tauhls_logic::{AreaModel, Expr};
+
+/// Builds a random deterministic, complete Mealy machine: one transition
+/// per (state, input minterm).
+fn random_fsm(
+    num_states: usize,
+    num_inputs: usize,
+    num_outputs: usize,
+    table: &[(usize, u64)], // per (state, minterm): (next, output bitmask)
+) -> Fsm {
+    let mut fsm = Fsm::new("rand");
+    let states: Vec<_> = (0..num_states)
+        .map(|i| fsm.add_state(format!("Q{i}")))
+        .collect();
+    let inputs: Vec<_> = (0..num_inputs)
+        .map(|i| fsm.add_input(format!("i{i}")))
+        .collect();
+    let outputs: Vec<_> = (0..num_outputs)
+        .map(|o| fsm.add_output(format!("o{o}")))
+        .collect();
+    let minterms = 1u64 << num_inputs;
+    for s in 0..num_states {
+        for m in 0..minterms {
+            let (next, outs) = table[s * minterms as usize + m as usize];
+            let guard = Expr::all((0..num_inputs).map(|v| {
+                let e = Expr::var(inputs[v]);
+                if m >> v & 1 == 1 {
+                    e
+                } else {
+                    e.not()
+                }
+            }));
+            let asserted: Vec<usize> = (0..num_outputs)
+                .filter(|&o| outs >> o & 1 == 1)
+                .map(|o| outputs[o])
+                .collect();
+            fsm.add_transition(states[s], states[next % num_states], guard, asserted);
+        }
+    }
+    fsm
+}
+
+fn fsm_strategy() -> impl Strategy<Value = Fsm> {
+    (2usize..7, 1usize..3, 1usize..3).prop_flat_map(|(ns, ni, no)| {
+        let cells = ns * (1 << ni);
+        (
+            Just((ns, ni, no)),
+            proptest::collection::vec((0usize..ns, 0u64..1 << no), cells),
+        )
+            .prop_map(move |((ns, ni, no), table)| random_fsm(ns, ni, no, &table))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minimization_preserves_behaviour(fsm in fsm_strategy()) {
+        prop_assert!(fsm.check().is_ok());
+        let min = minimize_states(&fsm);
+        prop_assert!(min.check().is_ok());
+        prop_assert!(min.num_states() <= fsm.num_states());
+        prop_assert!(equivalent_behaviour(&fsm, &min));
+        // Idempotence.
+        let min2 = minimize_states(&min);
+        prop_assert_eq!(min.num_states(), min2.num_states());
+    }
+
+    #[test]
+    fn synthesis_correct_for_random_machines(fsm in fsm_strategy()) {
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let syn = synthesize(&fsm, enc, &AreaModel::default());
+            prop_assert!(
+                verify_synthesis(&fsm, &syn, enc),
+                "{:?} encoding diverged", enc
+            );
+        }
+    }
+
+    #[test]
+    fn minimized_machine_synthesizes_no_larger_seq(fsm in fsm_strategy()) {
+        let min = minimize_states(&fsm);
+        let a = synthesize(&fsm, Encoding::Binary, &AreaModel::default());
+        let b = synthesize(&min, Encoding::Binary, &AreaModel::default());
+        prop_assert!(b.flip_flops() <= a.flip_flops());
+        prop_assert!(b.area().sequential <= a.area().sequential);
+    }
+}

@@ -1,0 +1,187 @@
+//! Incompletely-specified single-output functions as explicit truth tables.
+
+use crate::cover::Cover;
+
+/// Value of a truth-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Tri {
+    /// The function is 0 at this minterm.
+    Off,
+    /// The function is 1 at this minterm.
+    On,
+    /// The function value is unspecified (don't-care).
+    Dc,
+}
+
+/// An explicit truth table over `n <= 24` variables, supporting don't-cares.
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_logic::{TruthTable, Tri};
+/// let t = TruthTable::from_fn(2, |m| Some(m.count_ones() == 1)); // XOR
+/// assert_eq!(t.get(0b01), Tri::On);
+/// assert_eq!(t.get(0b11), Tri::Off);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TruthTable {
+    num_vars: usize,
+    entries: Vec<Tri>,
+}
+
+impl TruthTable {
+    /// Creates an all-`Off` table over `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24` (the table would exceed 16M entries).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 24, "explicit truth tables limited to 24 variables");
+        TruthTable {
+            num_vars: n,
+            entries: vec![Tri::Off; 1 << n],
+        }
+    }
+
+    /// Builds a table from a predicate; `None` marks a don't-care minterm.
+    pub fn from_fn(n: usize, mut f: impl FnMut(u64) -> Option<bool>) -> Self {
+        let mut t = TruthTable::new(n);
+        for m in 0..1u64 << n {
+            t.set(
+                m,
+                match f(m) {
+                    Some(true) => Tri::On,
+                    Some(false) => Tri::Off,
+                    None => Tri::Dc,
+                },
+            );
+        }
+        t
+    }
+
+    /// Builds a table from explicit on-set and dc-set minterm lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a minterm appears in both sets or is out of range.
+    pub fn from_sets(n: usize, on: &[u64], dc: &[u64]) -> Self {
+        let mut t = TruthTable::new(n);
+        for &m in on {
+            assert!(m < 1 << n, "on-set minterm out of range");
+            t.set(m, Tri::On);
+        }
+        for &m in dc {
+            assert!(m < 1 << n, "dc-set minterm out of range");
+            assert!(t.get(m) != Tri::On, "minterm {m} in both on- and dc-set");
+            t.set(m, Tri::Dc);
+        }
+        t
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The value at minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn get(&self, m: u64) -> Tri {
+        self.entries[m as usize]
+    }
+
+    /// Sets the value at minterm `m`.
+    pub fn set(&mut self, m: u64, v: Tri) {
+        self.entries[m as usize] = v;
+    }
+
+    /// Minterms where the function is 1.
+    pub fn onset(&self) -> Vec<u64> {
+        self.collect(Tri::On)
+    }
+
+    /// Minterms where the function is unspecified.
+    pub fn dcset(&self) -> Vec<u64> {
+        self.collect(Tri::Dc)
+    }
+
+    /// Minterms where the function is 0.
+    pub fn offset(&self) -> Vec<u64> {
+        self.collect(Tri::Off)
+    }
+
+    fn collect(&self, want: Tri) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(m, &v)| (v == want).then_some(m as u64))
+            .collect()
+    }
+
+    /// True iff `cover` is a correct implementation: it covers every on-set
+    /// minterm and avoids every off-set minterm (don't-cares are free).
+    pub fn is_implemented_by(&self, cover: &Cover) -> bool {
+        assert_eq!(cover.num_vars(), self.num_vars);
+        (0..1u64 << self.num_vars).all(|m| match self.get(m) {
+            Tri::On => cover.evaluate(m),
+            Tri::Off => !cover.evaluate(m),
+            Tri::Dc => true,
+        })
+    }
+
+    /// The canonical (one cube per on-set minterm) cover.
+    pub fn canonical_cover(&self) -> Cover {
+        Cover::from_cubes(
+            self.num_vars,
+            self.onset()
+                .into_iter()
+                .map(|m| crate::Cube::minterm(self.num_vars, m)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_sets_agree() {
+        let a = TruthTable::from_fn(3, |m| {
+            if m == 5 {
+                None
+            } else {
+                Some(m % 2 == 1)
+            }
+        });
+        let b = TruthTable::from_sets(3, &[1, 3, 7], &[5]);
+        assert_eq!(a, b);
+        assert_eq!(a.onset(), vec![1, 3, 7]);
+        assert_eq!(a.dcset(), vec![5]);
+        assert_eq!(a.offset(), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn canonical_cover_implements() {
+        let t = TruthTable::from_sets(4, &[0, 3, 9, 14], &[7]);
+        let c = t.canonical_cover();
+        assert!(t.is_implemented_by(&c));
+    }
+
+    #[test]
+    fn implementation_check_rejects_wrong_cover() {
+        let t = TruthTable::from_sets(2, &[1], &[]);
+        // "1-" means x0 = 1 -> covers minterms 1 and 3, but 3 is off-set.
+        let wrong = Cover::parse_pcn(2, &["1-"]).unwrap();
+        assert!(!t.is_implemented_by(&wrong));
+        let right = Cover::parse_pcn(2, &["10"]).unwrap();
+        assert!(t.is_implemented_by(&right));
+    }
+
+    #[test]
+    #[should_panic(expected = "both")]
+    fn overlapping_sets_panic() {
+        let _ = TruthTable::from_sets(2, &[1], &[1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Resource allocations: how many units of each class, and which classes
+//! are telescopic.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use tauhls_dfg::ResourceClass;
+
+/// Identifier of a concrete functional-unit instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub usize);
+
+impl fmt::Debug for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+/// A concrete functional-unit instance within an allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unit {
+    /// The unit's class.
+    pub class: ResourceClass,
+    /// Index among units of the same class (0-based).
+    pub index: usize,
+    /// True iff the unit is telescopic (variable computation time).
+    pub telescopic: bool,
+}
+
+impl Unit {
+    /// Display name in the paper's style: `M1`, `M2`, `A1`, `S1`, ...
+    pub fn display_name(&self) -> String {
+        let letter = match self.class {
+            ResourceClass::Multiplier => 'M',
+            ResourceClass::Adder => 'A',
+            ResourceClass::Subtractor => 'S',
+        };
+        format!("{letter}{}", self.index + 1)
+    }
+}
+
+/// A resource allocation: per-class unit counts plus the set of classes
+/// implemented telescopically.
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_sched::Allocation;
+/// use tauhls_dfg::ResourceClass;
+/// // The paper's Diff.Eq allocation: ×:2 (TAU), +:1, −:1.
+/// let alloc = Allocation::new()
+///     .with_units(ResourceClass::Multiplier, 2)
+///     .with_units(ResourceClass::Adder, 1)
+///     .with_units(ResourceClass::Subtractor, 1)
+///     .telescopic(ResourceClass::Multiplier);
+/// assert_eq!(alloc.units().len(), 4);
+/// assert_eq!(alloc.units()[0].display_name(), "M1");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allocation {
+    counts: HashMap<ResourceClass, usize>,
+    tau_classes: HashSet<ResourceClass>,
+}
+
+impl Allocation {
+    /// An empty allocation.
+    pub fn new() -> Self {
+        Allocation::default()
+    }
+
+    /// Sets the number of units of `class` (builder style).
+    pub fn with_units(mut self, class: ResourceClass, count: usize) -> Self {
+        self.counts.insert(class, count);
+        self
+    }
+
+    /// Marks `class` as telescopic (builder style).
+    pub fn telescopic(mut self, class: ResourceClass) -> Self {
+        self.tau_classes.insert(class);
+        self
+    }
+
+    /// The paper's standard configuration: multipliers telescopic,
+    /// adders/subtractors fixed-delay, with the given counts
+    /// `(muls, adds, subs)`.
+    pub fn paper(muls: usize, adds: usize, subs: usize) -> Self {
+        Allocation::new()
+            .with_units(ResourceClass::Multiplier, muls)
+            .with_units(ResourceClass::Adder, adds)
+            .with_units(ResourceClass::Subtractor, subs)
+            .telescopic(ResourceClass::Multiplier)
+    }
+
+    /// Number of units of the given class.
+    pub fn count(&self, class: ResourceClass) -> usize {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// True iff the class is implemented telescopically.
+    pub fn is_telescopic(&self, class: ResourceClass) -> bool {
+        self.tau_classes.contains(&class)
+    }
+
+    /// The telescopic classes.
+    pub fn tau_classes(&self) -> &HashSet<ResourceClass> {
+        &self.tau_classes
+    }
+
+    /// All unit instances in deterministic order (class order of
+    /// [`ResourceClass::ALL`], then index). [`UnitId`]s index this list.
+    pub fn units(&self) -> Vec<Unit> {
+        let mut out = Vec::new();
+        for class in ResourceClass::ALL {
+            for index in 0..self.count(class) {
+                out.push(Unit {
+                    class,
+                    index,
+                    telescopic: self.is_telescopic(class),
+                });
+            }
+        }
+        out
+    }
+
+    /// Ids of the units of a given class.
+    pub fn units_of_class(&self, class: ResourceClass) -> Vec<UnitId> {
+        self.units()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| (u.class == class).then_some(UnitId(i)))
+            .collect()
+    }
+
+    /// True iff every operation class used by `dfg` has at least one unit.
+    pub fn covers(&self, dfg: &tauhls_dfg::Dfg) -> bool {
+        dfg.class_histogram()
+            .iter()
+            .all(|(class, &n)| n == 0 || self.count(*class) > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::diffeq;
+
+    #[test]
+    fn paper_allocation_layout() {
+        let a = Allocation::paper(2, 1, 1);
+        let units = a.units();
+        let names: Vec<String> = units.iter().map(Unit::display_name).collect();
+        assert_eq!(names, vec!["M1", "M2", "A1", "S1"]);
+        assert!(units[0].telescopic);
+        assert!(!units[2].telescopic);
+        assert!(a.covers(&diffeq()));
+    }
+
+    #[test]
+    fn units_of_class_indices() {
+        let a = Allocation::paper(2, 1, 1);
+        assert_eq!(
+            a.units_of_class(ResourceClass::Multiplier),
+            vec![UnitId(0), UnitId(1)]
+        );
+        assert_eq!(a.units_of_class(ResourceClass::Adder), vec![UnitId(2)]);
+        assert_eq!(a.units_of_class(ResourceClass::Subtractor), vec![UnitId(3)]);
+    }
+
+    #[test]
+    fn missing_class_not_covered() {
+        let a = Allocation::paper(2, 1, 0);
+        assert!(!a.covers(&diffeq())); // diffeq needs subtractors
+        assert_eq!(a.count(ResourceClass::Subtractor), 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-resource-class dependency graphs and their clique (chain) covers
+//! (paper §3, Fig 3b).
+//!
+//! For the operations of one resource class, draw an edge between two
+//! operations iff one depends (transitively) on the other. A clique in this
+//! graph is a set of pairwise-ordered operations — a *chain* — which one
+//! unit can execute sequentially without any added synchronization. The
+//! minimum clique cover therefore equals the minimum number of units that
+//! can run the class at full concurrency; by Dilworth's theorem it is
+//! computed exactly as a minimum chain cover of the dependence partial
+//! order via bipartite matching. When fewer units are allocated, the
+//! scheduler must insert *schedule arcs* to merge chains.
+
+use tauhls_dfg::{Dfg, OpId, ResourceClass};
+
+/// Transitive reachability over the data-dependence relation:
+/// `reach[a][b] == true` iff there is a (non-empty) dependence path from
+/// operation `a` to operation `b`.
+pub fn reachability(dfg: &Dfg) -> Vec<Vec<bool>> {
+    let n = dfg.num_ops();
+    let mut reach = vec![vec![false; n]; n];
+    // Process in reverse topological order: succ closure union.
+    let topo = dfg.topo_order();
+    for &v in topo.iter().rev() {
+        for s in dfg.succs(v) {
+            reach[v.0][s.0] = true;
+            let (head, tail) = {
+                // split_at_mut to read row s while writing row v
+                if v.0 < s.0 {
+                    let (a, b) = reach.split_at_mut(s.0);
+                    (&mut a[v.0], &b[0])
+                } else {
+                    let (a, b) = reach.split_at_mut(v.0);
+                    (&mut b[0], &a[s.0])
+                }
+            };
+            for i in 0..n {
+                head[i] |= tail[i];
+            }
+        }
+    }
+    reach
+}
+
+/// The dependency graph over the operations of one resource class.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    class: ResourceClass,
+    nodes: Vec<OpId>,
+    /// `ordered[i][j]` iff `nodes[i]` precedes `nodes[j]` in the dependence
+    /// partial order.
+    ordered: Vec<Vec<bool>>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of `class` from a full-graph
+    /// reachability matrix (from [`reachability`]).
+    pub fn for_class(dfg: &Dfg, class: ResourceClass, reach: &[Vec<bool>]) -> Self {
+        let nodes = dfg.ops_of_class(class);
+        let k = nodes.len();
+        let mut ordered = vec![vec![false; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    ordered[i][j] = reach[nodes[i].0][nodes[j].0];
+                }
+            }
+        }
+        DependencyGraph {
+            class,
+            nodes,
+            ordered,
+        }
+    }
+
+    /// The resource class this graph describes.
+    pub fn class(&self) -> ResourceClass {
+        self.class
+    }
+
+    /// The operations (graph nodes).
+    pub fn nodes(&self) -> &[OpId] {
+        &self.nodes
+    }
+
+    /// True iff the two operations are dependent (adjacent in the paper's
+    /// dependency graph — an edge means they *can* share a unit freely).
+    pub fn dependent(&self, a: OpId, b: OpId) -> bool {
+        let i = self.index_of(a);
+        let j = self.index_of(b);
+        self.ordered[i][j] || self.ordered[j][i]
+    }
+
+    fn index_of(&self, v: OpId) -> usize {
+        self.nodes
+            .iter()
+            .position(|&n| n == v)
+            .expect("operation not in this class")
+    }
+
+    /// Exact minimum clique cover (= minimum chain cover of the dependence
+    /// partial order), via König/Dilworth: maximum bipartite matching on
+    /// the strict order relation. Returns the chains, each sorted in
+    /// dependence order.
+    ///
+    /// The number of returned chains is the minimum number of units of this
+    /// class that preserves all original concurrency.
+    pub fn min_clique_cover(&self) -> Vec<Vec<OpId>> {
+        let k = self.nodes.len();
+        // Kuhn's algorithm: match each left node to a right node along
+        // edges i -> j (i strictly precedes j).
+        let mut match_right: Vec<Option<usize>> = vec![None; k]; // right j -> left i
+        let mut match_left: Vec<Option<usize>> = vec![None; k]; // left i -> right j
+
+        fn try_augment(
+            i: usize,
+            ordered: &[Vec<bool>],
+            match_right: &mut [Option<usize>],
+            match_left: &mut [Option<usize>],
+            visited: &mut [bool],
+        ) -> bool {
+            for j in 0..ordered.len() {
+                if ordered[i][j] && !visited[j] {
+                    visited[j] = true;
+                    if match_right[j].is_none()
+                        || try_augment(
+                            match_right[j].unwrap(),
+                            ordered,
+                            match_right,
+                            match_left,
+                            visited,
+                        )
+                    {
+                        match_right[j] = Some(i);
+                        match_left[i] = Some(j);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+
+        for i in 0..k {
+            let mut visited = vec![false; k];
+            try_augment(i, &self.ordered, &mut match_right, &mut match_left, &mut visited);
+        }
+
+        // Chains: start at nodes that are not anyone's successor.
+        let mut is_succ = vec![false; k];
+        for (j, m) in match_right.iter().enumerate() {
+            if m.is_some() {
+                is_succ[j] = true;
+            }
+        }
+        let mut chains = Vec::new();
+        #[allow(clippy::needless_range_loop)] // index drives the chain walk
+        for start in 0..k {
+            if !is_succ[start] {
+                let mut chain = vec![self.nodes[start]];
+                let mut cur = start;
+                while let Some(next) = match_left[cur] {
+                    chain.push(self.nodes[next]);
+                    cur = next;
+                }
+                chains.push(chain);
+            }
+        }
+        debug_assert_eq!(
+            chains.iter().map(Vec::len).sum::<usize>(),
+            k,
+            "chains must partition the nodes"
+        );
+        chains
+    }
+
+    /// Greedy chain partition (the heuristic baseline for the ablation
+    /// bench): scan operations in id order, appending each to the first
+    /// chain whose last element precedes it.
+    pub fn greedy_clique_cover(&self) -> Vec<Vec<OpId>> {
+        let mut chains: Vec<Vec<usize>> = Vec::new();
+        for i in 0..self.nodes.len() {
+            let mut placed = false;
+            for chain in &mut chains {
+                let last = *chain.last().expect("chains are nonempty");
+                if self.ordered[last][i] {
+                    chain.push(i);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                chains.push(vec![i]);
+            }
+        }
+        chains
+            .into_iter()
+            .map(|c| c.into_iter().map(|i| self.nodes[i]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::{fig3_dfg, fir5};
+
+    #[test]
+    fn reachability_transitive() {
+        let g = fig3_dfg();
+        let r = reachability(&g);
+        // O6 -> O7 -> O8: transitive edge O6 -> O8.
+        assert!(r[6][7]);
+        assert!(r[7][8]);
+        assert!(r[6][8]);
+        // No reverse reachability.
+        assert!(!r[8][6]);
+        // O4 unreachable from O0.
+        assert!(!r[0][4]);
+        assert!(!r[4][0]);
+    }
+
+    #[test]
+    fn fig3b_clique_cover_is_three() {
+        // The paper: minimal cliques {(O0,O1), (O4), (O6,O8)} -> 3 units
+        // would be needed without schedule arcs.
+        let g = fig3_dfg();
+        let r = reachability(&g);
+        let dep = DependencyGraph::for_class(&g, ResourceClass::Multiplier, &r);
+        assert_eq!(dep.nodes(), &[OpId(0), OpId(1), OpId(4), OpId(6), OpId(8)]);
+        assert!(dep.dependent(OpId(0), OpId(1)));
+        assert!(dep.dependent(OpId(6), OpId(8)));
+        assert!(!dep.dependent(OpId(4), OpId(0)));
+        let cover = dep.min_clique_cover();
+        assert_eq!(cover.len(), 3);
+        // Each chain is internally ordered.
+        for chain in &cover {
+            for w in chain.windows(2) {
+                assert!(dep.dependent(w[0], w[1]));
+            }
+        }
+        // The adder side needs only 2 chains: (O3, O2), (O7, O5).
+        let depa = DependencyGraph::for_class(&g, ResourceClass::Adder, &r);
+        assert_eq!(depa.min_clique_cover().len(), 2);
+    }
+
+    #[test]
+    fn fir5_multiplications_are_an_antichain() {
+        // All 5 products are independent: cover needs 5 chains.
+        let g = fir5();
+        let r = reachability(&g);
+        let dep = DependencyGraph::for_class(&g, ResourceClass::Multiplier, &r);
+        assert_eq!(dep.min_clique_cover().len(), 5);
+        assert_eq!(dep.greedy_clique_cover().len(), 5);
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use tauhls_dfg::{random_dfg, RandomDfgParams};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let g = random_dfg(
+                &mut rng,
+                &RandomDfgParams {
+                    num_ops: 25,
+                    ..Default::default()
+                },
+            );
+            let r = reachability(&g);
+            for class in ResourceClass::ALL {
+                let dep = DependencyGraph::for_class(&g, class, &r);
+                if dep.nodes().is_empty() {
+                    continue;
+                }
+                let exact = dep.min_clique_cover();
+                let greedy = dep.greedy_clique_cover();
+                assert!(exact.len() <= greedy.len());
+                // Both are partitions.
+                assert_eq!(
+                    exact.iter().map(Vec::len).sum::<usize>(),
+                    dep.nodes().len()
+                );
+                assert_eq!(
+                    greedy.iter().map(Vec::len).sum::<usize>(),
+                    dep.nodes().len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Force-directed scheduling (Paulin & Knight) — the classic
+//! *time-constrained* companion to the resource-constrained list
+//! scheduler, covering the paper's §6 future work ("development or
+//! modification of new or existing high-level synthesis algorithms in
+//! scheduling, resource allocation").
+//!
+//! Given a latency budget in time steps, FDS assigns each operation a step
+//! inside its ASAP/ALAP frame so as to *balance* the per-class operation
+//! distribution — minimizing the number of units the schedule implies,
+//! which is exactly the allocation the binder then instantiates.
+
+use std::collections::HashMap;
+use tauhls_dfg::{Dfg, LevelAnalysis, OpId, ResourceClass};
+
+/// A time-constrained schedule produced by [`fds_schedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdsSchedule {
+    step_of: Vec<usize>,
+    latency: usize,
+}
+
+impl FdsSchedule {
+    /// The time step of each operation, indexed by [`OpId`].
+    pub fn step_of(&self) -> &[usize] {
+        &self.step_of
+    }
+
+    /// The step of one operation.
+    pub fn step(&self, v: OpId) -> usize {
+        self.step_of[v.0]
+    }
+
+    /// The latency budget the schedule satisfies.
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// The allocation this schedule implies: per class, the maximum number
+    /// of concurrent operations in any step.
+    pub fn implied_allocation(&self, dfg: &Dfg) -> HashMap<ResourceClass, usize> {
+        let mut per_step: HashMap<(ResourceClass, usize), usize> = HashMap::new();
+        for v in dfg.op_ids() {
+            *per_step
+                .entry((dfg.op(v).kind.resource_class(), self.step_of[v.0]))
+                .or_insert(0) += 1;
+        }
+        let mut out = HashMap::new();
+        for ((class, _), n) in per_step {
+            let e = out.entry(class).or_insert(0);
+            *e = (*e).max(n);
+        }
+        out
+    }
+
+    /// Checks precedence and the latency budget.
+    pub fn verify(&self, dfg: &Dfg) -> bool {
+        self.step_of.iter().all(|&s| s < self.latency)
+            && dfg.op_ids().all(|v| {
+                dfg.preds(v)
+                    .iter()
+                    .all(|p| self.step_of[p.0] < self.step_of[v.0])
+            })
+    }
+}
+
+/// Frames (mobility windows) under a latency budget.
+fn frames(dfg: &Dfg, latency: usize) -> (Vec<usize>, Vec<usize>) {
+    let la = LevelAnalysis::new(dfg);
+    let depth = la.depth();
+    assert!(latency >= depth, "latency budget below the critical path");
+    let slack = latency - depth;
+    let asap: Vec<usize> = dfg.op_ids().map(|v| la.asap(v)).collect();
+    let alap: Vec<usize> = dfg.op_ids().map(|v| la.alap(v) + slack).collect();
+    (asap, alap)
+}
+
+/// Runs force-directed scheduling with a latency budget of `latency` time
+/// steps.
+///
+/// # Panics
+///
+/// Panics if `latency` is below the graph's critical-path depth.
+pub fn fds_schedule(dfg: &Dfg, latency: usize) -> FdsSchedule {
+    let n = dfg.num_ops();
+    let (mut lo, mut hi) = frames(dfg, latency);
+    let mut fixed = vec![false; n];
+
+    // Distribution graph for one class under current frames.
+    let distribution = |lo: &[usize], hi: &[usize], class: ResourceClass| -> Vec<f64> {
+        let mut dg = vec![0.0f64; latency];
+        for v in dfg.op_ids() {
+            if dfg.op(v).kind.resource_class() != class {
+                continue;
+            }
+            let w = (hi[v.0] - lo[v.0] + 1) as f64;
+            for slot in dg.iter_mut().take(hi[v.0] + 1).skip(lo[v.0]) {
+                *slot += 1.0 / w;
+            }
+        }
+        dg
+    };
+
+    // Tighten frames transitively after fixing an op.
+    fn propagate(dfg: &Dfg, lo: &mut [usize], hi: &mut [usize]) {
+        // Forward: lo[v] >= max(lo[p] + 1).
+        for v in dfg.topo_order() {
+            for p in dfg.preds(v) {
+                lo[v.0] = lo[v.0].max(lo[p.0] + 1);
+            }
+        }
+        // Backward: hi[p] <= min(hi[s] - 1).
+        for v in dfg.topo_order().into_iter().rev() {
+            for s in dfg.succs(v) {
+                hi[v.0] = hi[v.0].min(hi[s.0] - 1);
+            }
+        }
+    }
+
+    for _round in 0..n {
+        // Pick the (op, step) assignment with minimum force.
+        let mut best: Option<(f64, OpId, usize)> = None;
+        for v in dfg.op_ids() {
+            if fixed[v.0] {
+                continue;
+            }
+            let class = dfg.op(v).kind.resource_class();
+            let dg = distribution(&lo, &hi, class);
+            let w = (hi[v.0] - lo[v.0] + 1) as f64;
+            let mean: f64 = (lo[v.0]..=hi[v.0]).map(|t| dg[t]).sum::<f64>() / w;
+            for t in lo[v.0]..=hi[v.0] {
+                // Self force plus a light neighbourhood term: fixing v at t
+                // squeezes predecessor frames below t and successor frames
+                // above it; approximate with the DG values at the squeezed
+                // boundary steps.
+                let mut force = dg[t] - mean;
+                for p in dfg.preds(v) {
+                    if !fixed[p.0] && hi[p.0] >= t {
+                        let pdg = distribution(&lo, &hi, dfg.op(p).kind.resource_class());
+                        force += pdg[t.saturating_sub(1).max(lo[p.0])] * 0.5;
+                    }
+                }
+                for s in dfg.succs(v) {
+                    if !fixed[s.0] && lo[s.0] <= t {
+                        let sdg = distribution(&lo, &hi, dfg.op(s).kind.resource_class());
+                        force += sdg[(t + 1).min(hi[s.0])] * 0.5;
+                    }
+                }
+                if best.is_none_or(|(bf, _, _)| force < bf - 1e-12) {
+                    best = Some((force, v, t));
+                }
+            }
+        }
+        let Some((_, v, t)) = best else { break };
+        lo[v.0] = t;
+        hi[v.0] = t;
+        fixed[v.0] = true;
+        propagate(dfg, &mut lo, &mut hi);
+    }
+
+    debug_assert!(fixed.iter().all(|&f| f));
+    FdsSchedule {
+        step_of: lo,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::{diffeq, fir5, iir2};
+
+    #[test]
+    fn diffeq_fds_balances_multipliers() {
+        // The classic FDS demonstration: HAL at 4 steps. ASAP packs four
+        // multiplications into step 0; FDS balances to at most 3 and
+        // usually the textbook 2.
+        let g = diffeq();
+        let s = fds_schedule(&g, 4);
+        assert!(s.verify(&g));
+        let alloc = s.implied_allocation(&g);
+        let asap_mults = {
+            let la = tauhls_dfg::LevelAnalysis::new(&g);
+            g.ops_of_class(ResourceClass::Multiplier)
+                .iter()
+                .filter(|&&v| la.asap(v) == 0)
+                .count()
+        };
+        assert_eq!(asap_mults, 4);
+        let fds_mults = alloc[&ResourceClass::Multiplier];
+        assert!(fds_mults <= 3, "FDS gave {fds_mults} multipliers");
+    }
+
+    #[test]
+    fn latency_slack_reduces_allocation() {
+        let g = fir5();
+        let tight = fds_schedule(&g, 5);
+        let loose = fds_schedule(&g, 8);
+        assert!(tight.verify(&g) && loose.verify(&g));
+        let m_tight = tight.implied_allocation(&g)[&ResourceClass::Multiplier];
+        let m_loose = loose.implied_allocation(&g)[&ResourceClass::Multiplier];
+        assert!(m_loose <= m_tight);
+        assert!(m_loose <= 2, "8 steps should need at most 2 multipliers");
+    }
+
+    #[test]
+    #[should_panic(expected = "critical path")]
+    fn budget_below_depth_rejected() {
+        let _ = fds_schedule(&iir2(), 2);
+    }
+
+    #[test]
+    fn fds_schedules_random_graphs_validly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use tauhls_dfg::{random_dfg, LevelAnalysis, RandomDfgParams};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let g = random_dfg(
+                &mut rng,
+                &RandomDfgParams {
+                    num_ops: 18,
+                    kind_weights: [2, 1, 3, 1],
+                    ..Default::default()
+                },
+            );
+            let depth = LevelAnalysis::new(&g).depth();
+            for extra in [0, 2] {
+                let s = fds_schedule(&g, depth + extra);
+                assert!(s.verify(&g));
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Cycle-accurate simulation of the distributed control unit: every
+//! arithmetic unit controller is stepped as a synchronous FSM, completion
+//! signals propagate combinationally within the cycle, and consumers latch
+//! (`done` flags) so a completion pulse is never lost.
+
+use crate::model::CompletionModel;
+use crate::result::SimResult;
+use rand::Rng;
+use tauhls_dfg::{OpId, Operand};
+use tauhls_fsm::{DistributedControlUnit, Fsm, StateId};
+use tauhls_sched::BoundDfg;
+
+/// What a controller state means for its unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Executing op at the given telescopic stage (0 = the first, shortest
+    /// attempt; stage `k` is the state with `k` primes). The unit's
+    /// stage-completion signal is sampled in every non-final stage.
+    Exec(OpId, u32),
+    /// Waiting for predecessors of the op.
+    Ready(OpId),
+}
+
+fn parse_phase(name: &str) -> Phase {
+    if let Some(rest) = name.strip_prefix('S') {
+        let stage = rest.chars().rev().take_while(|&c| c == '\'').count() as u32;
+        let core = &rest[..rest.len() - stage as usize];
+        Phase::Exec(OpId(core.parse().expect("state name S{op}('...)")), stage)
+    } else if let Some(rest) = name.strip_prefix('R') {
+        Phase::Ready(OpId(rest.parse().expect("state name R{op}")))
+    } else {
+        panic!("unrecognized controller state name {name}")
+    }
+}
+
+/// Simulates one iteration of the bound DFG under its distributed control
+/// unit.
+///
+/// `inputs` are the DFG's primary input values (defaults to zeros), used
+/// both for the reference results and for operand-driven completion.
+///
+/// # Panics
+///
+/// Panics if the controllers deadlock (no progress within a generous cycle
+/// budget) — that would indicate a controller-generation bug.
+pub fn simulate_distributed(
+    bound: &BoundDfg,
+    cu: &DistributedControlUnit,
+    model: &CompletionModel,
+    inputs: Option<&[i64]>,
+    rng: &mut impl Rng,
+) -> SimResult {
+    let dfg = bound.dfg();
+    let zeros = vec![0i64; dfg.num_inputs()];
+    let input_vals = inputs.unwrap_or(&zeros);
+    let values = dfg.evaluate_all(input_vals);
+    let operand =
+        |o: Operand| -> i64 {
+            match o {
+                Operand::Input(i) => input_vals[i.0],
+                Operand::Const(c) => c,
+                Operand::Op(p) => values[p.0],
+            }
+        };
+
+    let n = dfg.num_ops();
+    let mut done = vec![false; n];
+    let mut completion_cycle = vec![0usize; n];
+    let mut start_cycle = vec![0usize; n];
+    let num_units = bound.allocation().units().len();
+    let mut unit_busy = vec![0usize; num_units];
+
+    let fsms: Vec<(usize, &Fsm)> = cu
+        .controllers()
+        .iter()
+        .map(|(u, f)| (u.0, f))
+        .collect();
+    let mut states: Vec<StateId> = fsms.iter().map(|(_, f)| f.initial()).collect();
+
+    let max_cycles = 6 * n + 32;
+    let mut cycle = 0usize;
+    while !done.iter().all(|&d| d) {
+        cycle += 1;
+        assert!(
+            cycle <= max_cycles,
+            "distributed control deadlocked after {cycle} cycles; done = {done:?}"
+        );
+
+        // Sample unit completion signals for units in an Exec phase.
+        let mut unit_completion = vec![false; num_units];
+        for ((u, f), &st) in fsms.iter().zip(&states) {
+            let phase = parse_phase(f.state_name(st));
+            match phase {
+                Phase::Exec(op, stage) => {
+                    if stage == 0 && start_cycle[op.0] == 0 {
+                        start_cycle[op.0] = cycle;
+                    }
+                    let node = dfg.op(op);
+                    // All predecessors must already be done (protocol
+                    // guarantee); reference operand values are thus valid.
+                    debug_assert!(dfg.preds(op).iter().all(|p| done[p.0]));
+                    // Sample the stage-completion signal. The final stage
+                    // of a controller completes unconditionally and never
+                    // reads it, so sampling in every stage is harmless; a
+                    // Bernoulli model makes multi-level stage delays
+                    // geometric, which is the intended semantics.
+                    unit_completion[*u] = model.completion(
+                        op,
+                        node.kind,
+                        operand(node.lhs),
+                        operand(node.rhs),
+                        rng,
+                    );
+                    // Wrap-around re-executions of already-done operations
+                    // (the controller loops for repetitive DFG execution,
+                    // but we measure a single iteration) are not busy work.
+                    if !done[op.0] {
+                        unit_busy[*u] += 1;
+                    }
+                }
+                Phase::Ready(_) => {}
+            }
+        }
+
+        // Fixpoint over same-cycle completion pulses (C_CO chains).
+        let mut pulses: Vec<OpId> = Vec::new();
+        let mut steps: Vec<(StateId, Vec<usize>)> = Vec::new();
+        for _round in 0..fsms.len() + 2 {
+            steps.clear();
+            let mut new_pulses: Vec<OpId> = Vec::new();
+            for ((u, f), &st) in fsms.iter().zip(&states) {
+                let (next, outs) = f.step(st, |v| {
+                    let name = &f.inputs()[v];
+                    if let Some(rest) = name.strip_prefix("C_CO(") {
+                        let op: usize = rest
+                            .strip_suffix(')')
+                            .and_then(|s| s.parse().ok())
+                            .expect("completion signal name");
+                        done[op] || pulses.contains(&OpId(op))
+                    } else {
+                        // Own unit completion C_{name}.
+                        unit_completion[*u]
+                    }
+                });
+                for &o in &outs {
+                    let oname = &f.outputs()[o];
+                    if let Some(rest) = oname.strip_prefix("RE") {
+                        let op: usize = rest.parse().expect("RE signal name");
+                        new_pulses.push(OpId(op));
+                    }
+                }
+                steps.push((next, outs));
+            }
+            new_pulses.sort_unstable();
+            new_pulses.dedup();
+            if new_pulses == pulses {
+                break;
+            }
+            pulses = new_pulses;
+        }
+
+        // Commit: advance states, latch completions.
+        for (i, (next, _)) in steps.iter().enumerate() {
+            states[i] = *next;
+        }
+        for op in &pulses {
+            if !done[op.0] {
+                done[op.0] = true;
+                completion_cycle[op.0] = cycle;
+            }
+        }
+    }
+
+    SimResult {
+        cycles: cycle,
+        completion_cycle,
+        start_cycle,
+        unit_busy_cycles: unit_busy,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tauhls_dfg::benchmarks::{diffeq, fig3_dfg, fir3, fir5};
+    use tauhls_sched::Allocation;
+
+    fn sim(
+        g: &tauhls_dfg::Dfg,
+        alloc: &Allocation,
+        model: &CompletionModel,
+        seed: u64,
+    ) -> (BoundDfg, SimResult) {
+        let bound = BoundDfg::bind(g, alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = simulate_distributed(&bound, &cu, model, None, &mut rng);
+        (bound, r)
+    }
+
+    #[test]
+    fn fir3_best_and_worst_cycles_match_paper() {
+        // Paper Table 2, 3rd FIR row: best 45 ns = 3 cycles,
+        // worst 75 ns = 5 cycles at a 15 ns clock.
+        let (b, best) = sim(&fir3(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysShort, 0);
+        assert_eq!(best.cycles, 3);
+        best.verify(&b).unwrap();
+        let (b, worst) = sim(&fir3(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysLong, 0);
+        assert_eq!(worst.cycles, 5);
+        worst.verify(&b).unwrap();
+        assert!((best.latency_ns(15.0) - 45.0).abs() < 1e-9);
+        assert!((worst.latency_ns(15.0) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fir5_best_case() {
+        let (b, best) = sim(&fir5(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysShort, 0);
+        assert_eq!(best.cycles, 5); // paper: 75 ns
+        best.verify(&b).unwrap();
+    }
+
+    #[test]
+    fn diffeq_best_case_is_four_cycles() {
+        // Paper: Diff best = 60 ns = 4 cycles.
+        let (b, best) = sim(
+            &diffeq(),
+            &Allocation::paper(2, 1, 1),
+            &CompletionModel::AlwaysShort,
+            0,
+        );
+        assert_eq!(best.cycles, 4);
+        best.verify(&b).unwrap();
+    }
+
+    #[test]
+    fn bernoulli_latency_between_extremes_and_legal() {
+        let alloc = Allocation::paper(2, 1, 1);
+        let g = diffeq();
+        let (b, best) = sim(&g, &alloc, &CompletionModel::AlwaysShort, 1);
+        let (_, worst) = sim(&g, &alloc, &CompletionModel::AlwaysLong, 1);
+        for seed in 0..30 {
+            let (_, r) = sim(&g, &alloc, &CompletionModel::Bernoulli { p: 0.7 }, seed);
+            assert!(r.cycles >= best.cycles && r.cycles <= worst.cycles);
+            r.verify(&b).unwrap();
+        }
+    }
+
+    #[test]
+    fn fig3_paper_binding_simulates_legally() {
+        use tauhls_dfg::OpId;
+        let g = fig3_dfg();
+        let alloc = Allocation::paper(2, 2, 0);
+        let bound = BoundDfg::bind_explicit(
+            &g,
+            &alloc,
+            vec![
+                vec![OpId(0), OpId(1)],
+                vec![OpId(6), OpId(4), OpId(8)],
+                vec![OpId(3), OpId(2)],
+                vec![OpId(7), OpId(5)],
+            ],
+        )
+        .unwrap();
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rng = StdRng::seed_from_u64(9);
+        for model in [
+            CompletionModel::AlwaysShort,
+            CompletionModel::AlwaysLong,
+            CompletionModel::Bernoulli { p: 0.5 },
+        ] {
+            let r = simulate_distributed(&bound, &cu, &model, None, &mut rng);
+            r.verify(&bound).unwrap();
+        }
+    }
+
+    #[test]
+    fn operand_driven_small_inputs_run_fast() {
+        use crate::model::TauLibrary;
+        let g = fir5();
+        let alloc = Allocation::paper(2, 1, 0);
+        let bound = BoundDfg::bind(&g, &alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rng = StdRng::seed_from_u64(5);
+        let lib = CompletionModel::OperandDriven(TauLibrary::multiplier_only(16, 20));
+        // Small-magnitude inputs: all mults short -> best case.
+        let small: Vec<i64> = (1..=10).collect();
+        let r = simulate_distributed(&bound, &cu, &lib, Some(&small), &mut rng);
+        assert_eq!(r.cycles, 5);
+        // Large-magnitude inputs: all mults long -> worst case.
+        let big: Vec<i64> = (0..10).map(|i| 0x7000 + i * 0x111).collect();
+        let r2 = simulate_distributed(&bound, &cu, &lib, Some(&big), &mut rng);
+        assert!(r2.cycles > r.cycles);
+        r2.verify(&bound).unwrap();
+    }
+
+    #[test]
+    fn utilization_and_busy_accounting() {
+        let (b, r) = sim(&fir3(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysShort, 0);
+        // M1 runs 2 mults, M2 runs 1, A1 runs 2 adds over 3 cycles.
+        let total_busy: usize = r.unit_busy_cycles.iter().sum();
+        assert_eq!(total_busy, b.dfg().num_ops()); // all short: 1 cycle/op
+        assert!(r.utilization(0) > 0.0);
+    }
+
+    #[test]
+    fn multilevel_controllers_simulate_and_bound_latency() {
+        // Three-level TAU multipliers on FIR5: best case unchanged, worst
+        // case gains one extra cycle per multiplication wave.
+        let g = fir5();
+        let alloc = Allocation::paper(2, 1, 0);
+        let bound = BoundDfg::bind(&g, &alloc);
+        let cu2 = DistributedControlUnit::generate(&bound);
+        let cu3 = DistributedControlUnit::generate_multilevel(&bound, 3);
+        for (_, f) in cu3.controllers() {
+            f.check().unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let best2 = simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysShort, None, &mut rng);
+        let best3 = simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysShort, None, &mut rng);
+        assert_eq!(best2.cycles, best3.cycles);
+        let worst2 = simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysLong, None, &mut rng);
+        let worst3 = simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysLong, None, &mut rng);
+        assert!(worst3.cycles > worst2.cycles, "{} vs {}", worst3.cycles, worst2.cycles);
+        // Mid-probability runs are legal and bracketed.
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = simulate_distributed(
+                &bound,
+                &cu3,
+                &CompletionModel::Bernoulli { p: 0.6 },
+                None,
+                &mut rng,
+            );
+            r.verify(&bound).unwrap();
+            assert!(r.cycles >= best3.cycles && r.cycles <= worst3.cycles);
+        }
+    }
+
+    #[test]
+    fn multilevel_two_equals_classic_latency() {
+        let g = diffeq();
+        let alloc = Allocation::paper(2, 1, 1);
+        let bound = BoundDfg::bind(&g, &alloc);
+        let cu2 = DistributedControlUnit::generate(&bound);
+        let cu2b = DistributedControlUnit::generate_multilevel(&bound, 2);
+        for p in [1.0, 0.0, 0.5] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let table = CompletionModel::draw_table(g.num_ops(), p, &mut rng);
+            let mut r1 = StdRng::seed_from_u64(0);
+            let mut r2 = StdRng::seed_from_u64(0);
+            let a = simulate_distributed(&bound, &cu2, &table, None, &mut r1);
+            let b = simulate_distributed(&bound, &cu2b, &table, None, &mut r2);
+            assert_eq!(a.cycles, b.cycles, "p={p}");
+        }
+    }
+
+    #[test]
+    fn random_dfgs_simulate_legally_across_models() {
+        use tauhls_dfg::{random_dfg, RandomDfgParams};
+        let mut rng = StdRng::seed_from_u64(77);
+        for i in 0..15 {
+            let g = random_dfg(
+                &mut rng,
+                &RandomDfgParams {
+                    num_ops: 18,
+                    kind_weights: [2, 1, 3, 0],
+                    ..Default::default()
+                },
+            );
+            let alloc = Allocation::paper(2, 1, 1);
+            let bound = BoundDfg::bind(&g, &alloc);
+            let cu = DistributedControlUnit::generate(&bound);
+            let r = simulate_distributed(
+                &bound,
+                &cu,
+                &CompletionModel::Bernoulli { p: 0.6 },
+                None,
+                &mut rng,
+            );
+            r.verify(&bound).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Latency statistics: best / average / worst summaries in cycles and
+//! nanoseconds, in the format of the paper's Table 2.
+
+use crate::centsync::simulate_cent_sync;
+use crate::distributed::simulate_distributed;
+use crate::model::CompletionModel;
+use rand::Rng;
+use tauhls_fsm::DistributedControlUnit;
+use tauhls_sched::BoundDfg;
+
+/// Best / average(s) / worst latency summary for one controller style.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Best-case cycles (every TAU short).
+    pub best_cycles: usize,
+    /// Mean cycles per swept `P` value, in sweep order.
+    pub average_cycles: Vec<f64>,
+    /// Worst-case cycles (every TAU long).
+    pub worst_cycles: usize,
+    /// The swept `P` values.
+    pub p_values: Vec<f64>,
+}
+
+impl LatencySummary {
+    /// Renders the paper's `[best][avg...][worst]` cell in nanoseconds.
+    pub fn to_ns_string(&self, clock_ns: f64) -> String {
+        let avgs: Vec<String> = self
+            .average_cycles
+            .iter()
+            .map(|c| format!("{:.1}", c * clock_ns))
+            .collect();
+        format!(
+            "[{:.0}][{}][{:.0}]",
+            self.best_cycles as f64 * clock_ns,
+            avgs.join(", "),
+            self.worst_cycles as f64 * clock_ns
+        )
+    }
+}
+
+/// Controller styles the latency harness can evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlStyle {
+    /// The distributed control unit (paper's proposal, `LT_DIST`).
+    Distributed,
+    /// The synchronized centralized TAUBM controller (`LT_TAU`).
+    CentSync,
+}
+
+/// Measures a [`LatencySummary`] for a bound DFG under one control style.
+///
+/// Best/worst come from the deterministic extreme models; each average is
+/// a Monte-Carlo mean over `trials` runs of `Bernoulli(p)`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn latency_summary(
+    bound: &BoundDfg,
+    style: ControlStyle,
+    p_values: &[f64],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> LatencySummary {
+    assert!(trials > 0);
+    let cu = match style {
+        ControlStyle::Distributed => Some(DistributedControlUnit::generate(bound)),
+        ControlStyle::CentSync => None,
+    };
+    fn run_once<R: Rng>(
+        bound: &BoundDfg,
+        cu: &Option<DistributedControlUnit>,
+        model: &CompletionModel,
+        rng: &mut R,
+    ) -> usize {
+        match cu {
+            Some(cu) => simulate_distributed(bound, cu, model, None, rng).cycles,
+            None => simulate_cent_sync(bound, model, None, rng).cycles,
+        }
+    }
+    let run = |model: &CompletionModel, rng: &mut _| run_once(bound, &cu, model, rng);
+    let best_cycles = run(&CompletionModel::AlwaysShort, rng);
+    let worst_cycles = run(&CompletionModel::AlwaysLong, rng);
+    let average_cycles = p_values
+        .iter()
+        .map(|&p| {
+            let total: usize = (0..trials)
+                .map(|_| run(&CompletionModel::Bernoulli { p }, rng))
+                .sum();
+            total as f64 / trials as f64
+        })
+        .collect();
+    LatencySummary {
+        best_cycles,
+        average_cycles,
+        worst_cycles,
+        p_values: p_values.to_vec(),
+    }
+}
+
+/// Measures `LT_TAU` (CENT-SYNC) and `LT_DIST` summaries with **coupled**
+/// completion draws: each trial draws one short/long outcome per operation
+/// and feeds the same table to both styles, so the comparison is free of
+/// sampling skew (distributed control dominates per-trial, not merely in
+/// expectation).
+///
+/// Returns `(sync, dist)`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn latency_pair(
+    bound: &BoundDfg,
+    p_values: &[f64],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> (LatencySummary, LatencySummary) {
+    assert!(trials > 0);
+    let cu = DistributedControlUnit::generate(bound);
+    let num_ops = bound.dfg().num_ops();
+    let measure = |model: &CompletionModel, rng: &mut _| {
+        (
+            simulate_cent_sync(bound, model, None, rng).cycles,
+            simulate_distributed(bound, &cu, model, None, rng).cycles,
+        )
+    };
+    let (sync_best, dist_best) = measure(&CompletionModel::AlwaysShort, rng);
+    let (sync_worst, dist_worst) = measure(&CompletionModel::AlwaysLong, rng);
+    let mut sync_avg = Vec::with_capacity(p_values.len());
+    let mut dist_avg = Vec::with_capacity(p_values.len());
+    for &p in p_values {
+        let mut s_total = 0usize;
+        let mut d_total = 0usize;
+        for _ in 0..trials {
+            let table = CompletionModel::draw_table(num_ops, p, rng);
+            let (s, d) = measure(&table, rng);
+            debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
+            s_total += s;
+            d_total += d;
+        }
+        sync_avg.push(s_total as f64 / trials as f64);
+        dist_avg.push(d_total as f64 / trials as f64);
+    }
+    (
+        LatencySummary {
+            best_cycles: sync_best,
+            average_cycles: sync_avg,
+            worst_cycles: sync_worst,
+            p_values: p_values.to_vec(),
+        },
+        LatencySummary {
+            best_cycles: dist_best,
+            average_cycles: dist_avg,
+            worst_cycles: dist_worst,
+            p_values: p_values.to_vec(),
+        },
+    )
+}
+
+/// Percentage improvement of `dist` over `sync` per swept `P`
+/// (the paper's "Performance Enhancement" column).
+pub fn enhancement_percent(sync: &LatencySummary, dist: &LatencySummary) -> Vec<f64> {
+    sync.average_cycles
+        .iter()
+        .zip(&dist.average_cycles)
+        .map(|(s, d)| (s - d) / s * 100.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tauhls_dfg::benchmarks::{fir5, iir2};
+    use tauhls_sched::Allocation;
+
+    #[test]
+    fn fir5_distributed_beats_sync_on_average() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let ps = [0.9, 0.7, 0.5];
+        let sync = latency_summary(&bound, ControlStyle::CentSync, &ps, 2000, &mut rng);
+        let dist = latency_summary(&bound, ControlStyle::Distributed, &ps, 2000, &mut rng);
+        assert_eq!(sync.best_cycles, dist.best_cycles);
+        assert!(dist.worst_cycles <= sync.worst_cycles);
+        for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
+            assert!(d <= s, "dist {d} > sync {s}");
+        }
+        let enh = enhancement_percent(&sync, &dist);
+        // The paper reports 4.9-13.2 % for FIR5; demand a visible gain.
+        assert!(enh[2] > 2.0, "enhancement at P=0.5: {enh:?}");
+        // Gap widens as P shrinks.
+        assert!(enh[2] >= enh[0] - 0.5, "{enh:?}");
+    }
+
+    #[test]
+    fn averages_monotone_in_p() {
+        let bound = BoundDfg::bind(&iir2(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = latency_summary(
+            &bound,
+            ControlStyle::Distributed,
+            &[0.9, 0.7, 0.5],
+            1500,
+            &mut rng,
+        );
+        assert!(s.average_cycles[0] <= s.average_cycles[1]);
+        assert!(s.average_cycles[1] <= s.average_cycles[2]);
+        assert!(s.best_cycles as f64 <= s.average_cycles[0]);
+        assert!(s.average_cycles[2] <= s.worst_cycles as f64);
+    }
+
+    #[test]
+    fn coupled_pair_dominates_per_trial() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(9);
+        let (sync, dist) = latency_pair(&bound, &[0.9, 0.7, 0.5], 400, &mut rng);
+        for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
+            assert!(d <= s, "coupled dist {d} > sync {s}");
+        }
+        assert!(dist.worst_cycles <= sync.worst_cycles);
+    }
+
+    #[test]
+    fn ns_rendering() {
+        let s = LatencySummary {
+            best_cycles: 3,
+            average_cycles: vec![3.29, 3.81],
+            worst_cycles: 5,
+            p_values: vec![0.9, 0.5],
+        };
+        assert_eq!(s.to_ns_string(15.0), "[45][49.4, 57.1][75]");
+    }
+}

@@ -1,0 +1,48 @@
+//! # tauhls-sim — cycle-accurate simulation of telescopic control units
+//!
+//! The evaluation substrate of the `tauhls` workspace (paper §5):
+//!
+//! * [`simulate_distributed`] — steps every arithmetic-unit controller FSM
+//!   cycle by cycle against the datapath, with combinational completion
+//!   propagation and latched (`done`) completion flags;
+//! * [`simulate_cent_sync`] — the synchronized TAUBM step-walk (`LT_TAU`);
+//! * [`CompletionModel`] — Bernoulli(`P`), deterministic extremes, or
+//!   operand-driven completion through `tauhls-datapath` bit-level units;
+//! * [`latency_summary`] — the `[best][avg@P...][worst]` cells of Table 2
+//!   plus the enhancement column.
+//!
+//! # Examples
+//!
+//! Measure the FIR5 row of Table 2 (in cycles):
+//!
+//! ```
+//! use tauhls_sim::{latency_summary, enhancement_percent, ControlStyle};
+//! use tauhls_sched::{Allocation, BoundDfg};
+//! use tauhls_dfg::benchmarks::fir5;
+//! use rand::SeedableRng;
+//!
+//! let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let dist = latency_summary(&bound, ControlStyle::Distributed, &[0.9], 200, &mut rng);
+//! let sync = latency_summary(&bound, ControlStyle::CentSync, &[0.9], 200, &mut rng);
+//! assert!(dist.average_cycles[0] <= sync.average_cycles[0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centsync;
+mod distributed;
+mod latency;
+mod model;
+mod pipeline;
+mod result;
+
+pub use centsync::{simulate_cent_sync, simulate_cent_sync_with_schedule};
+pub use distributed::simulate_distributed;
+pub use latency::{
+    enhancement_percent, latency_pair, latency_summary, ControlStyle, LatencySummary,
+};
+pub use model::{CompletionModel, TauLibrary};
+pub use pipeline::{simulate_pipelined, PipelinedResult};
+pub use result::SimResult;

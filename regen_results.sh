@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every table/figure artifact in results/ (used by EXPERIMENTS.md).
+set -e
+cd "$(dirname "$0")"
+mkdir -p results
+cargo run -p tauhls-bench --release --bin table1 > results/table1.txt
+cargo run -p tauhls-bench --release --bin table2 -- 6000 2003 > results/table2.txt
+mv -f table2.json results/ 2>/dev/null || true
+for f in fig1_tau fig2_taubm fig3_scheduling fig4_explosion fig6_dfsm fig7_distributed fig_sweeps fig_pipeline; do
+  cargo run -p tauhls-bench --release --bin $f > results/$f.txt
+done
+cargo run -p tauhls-bench --release --bin fig_utilization -- 0.6 3000 > results/fig_utilization.txt
+echo "results/ regenerated"

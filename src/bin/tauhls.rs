@@ -1,0 +1,264 @@
+//! `tauhls` — command-line front end for the telescopic-controller
+//! synthesis pipeline.
+//!
+//! ```text
+//! tauhls synth    <file.dfg> [options]   controllers + area table
+//! tauhls simulate <file.dfg> [options]   latency: distributed vs synchronized
+//! tauhls report   <file.dfg> [options]   whole-system area breakdown
+//! tauhls verilog  <file.dfg> [options]   emit the control unit as Verilog
+//! tauhls dot      <file.dfg> [options]   emit the bound DFG as Graphviz DOT
+//!
+//! options:
+//!   --muls N --adds N --subs N   allocation (default 2/1/1; × telescopic)
+//!   --binding left-edge|chains   binding strategy (default left-edge)
+//!   --encoding binary|gray|onehot  state encoding (default binary)
+//!   --p LIST                     comma-separated P sweep (default 0.9,0.7,0.5)
+//!   --trials N                   Monte-Carlo trials (default 2000)
+//!   --seed N                     RNG seed (default 2003)
+//! ```
+
+use rand::SeedableRng;
+use std::process::ExitCode;
+use tauhls::dfg::parse_dfg;
+use tauhls::fsm::{control_unit_to_verilog, synthesize, DistributedControlUnit, Encoding};
+use tauhls::logic::AreaModel;
+use tauhls::sched::BoundDfg;
+use tauhls::sim::latency_pair;
+use tauhls::Allocation;
+
+struct Options {
+    muls: usize,
+    adds: usize,
+    subs: usize,
+    chains: bool,
+    encoding: Encoding,
+    p_values: Vec<f64>,
+    trials: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            muls: 2,
+            adds: 1,
+            subs: 1,
+            chains: false,
+            encoding: Encoding::Binary,
+            p_values: vec![0.9, 0.7, 0.5],
+            trials: 2000,
+            seed: 2003,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tauhls <synth|simulate|report|verilog|dot> <file.dfg> \
+         [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
+         [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--muls" => o.muls = value()?.parse().map_err(|e| format!("--muls: {e}"))?,
+            "--adds" => o.adds = value()?.parse().map_err(|e| format!("--adds: {e}"))?,
+            "--subs" => o.subs = value()?.parse().map_err(|e| format!("--subs: {e}"))?,
+            "--binding" => {
+                o.chains = match value()?.as_str() {
+                    "chains" => true,
+                    "left-edge" => false,
+                    other => return Err(format!("unknown binding {other}")),
+                }
+            }
+            "--encoding" => {
+                o.encoding = match value()?.as_str() {
+                    "binary" => Encoding::Binary,
+                    "gray" => Encoding::Gray,
+                    "onehot" => Encoding::OneHot,
+                    other => return Err(format!("unknown encoding {other}")),
+                }
+            }
+            "--p" => {
+                o.p_values = value()?
+                    .split(',')
+                    .map(|t| t.parse::<f64>().map_err(|e| format!("--p: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--trials" => o.trials = value()?.parse().map_err(|e| format!("--trials: {e}"))?,
+            "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn bind(path: &str, o: &Options) -> Result<BoundDfg, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dfg = parse_dfg(&text).map_err(|e| format!("{path}: {e}"))?;
+    let alloc = Allocation::paper(o.muls, o.adds, o.subs);
+    if !alloc.covers(&dfg) {
+        return Err("allocation lacks a unit for a used operation class".to_string());
+    }
+    Ok(if o.chains {
+        BoundDfg::bind_chains(&dfg, &alloc)
+    } else {
+        BoundDfg::bind(&dfg, &alloc)
+    })
+}
+
+fn cmd_synth(bound: &BoundDfg, o: &Options) {
+    let units = bound.allocation().units();
+    println!(
+        "DFG '{}': {} ops, {} schedule arcs inserted",
+        bound.dfg().name(),
+        bound.dfg().num_ops(),
+        bound.schedule_arcs().len()
+    );
+    let cu = DistributedControlUnit::generate(bound);
+    let model = AreaModel::default();
+    let mut total = 0.0;
+    println!(
+        "{:<10} {:<24} {:>7} {:>5} {:>14}",
+        "unit", "sequence", "states", "FFs", "area (GE)"
+    );
+    for (u, fsm) in cu.controllers() {
+        let syn = synthesize(fsm, o.encoding, &model);
+        total += syn.area().total();
+        println!(
+            "{:<10} {:<24} {:>7} {:>5} {:>14.0}",
+            units[u.0].display_name(),
+            format!("{:?}", bound.sequence(*u)),
+            fsm.num_states(),
+            syn.flip_flops(),
+            syn.area().total()
+        );
+    }
+    println!("total control area: {total:.0} GE ({:?} encoding)", o.encoding);
+}
+
+fn cmd_simulate(bound: &BoundDfg, o: &Options) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(o.seed);
+    let (sync, dist) = latency_pair(bound, &o.p_values, o.trials, &mut rng);
+    let clk = 15.0;
+    println!("clock 15 ns, {} coupled trials at P = {:?}", o.trials, o.p_values);
+    println!("LT_TAU  (synchronized) : {}", sync.to_ns_string(clk));
+    println!("LT_DIST (distributed)  : {}", dist.to_ns_string(clk));
+    for (p, (s, d)) in o
+        .p_values
+        .iter()
+        .zip(sync.average_cycles.iter().zip(&dist.average_cycles))
+    {
+        println!("  P = {p}: {:+.1}% enhancement", (s - d) / s * 100.0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let options = match parse_options(&args[2..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let bound = match bind(path, &options) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "synth" => cmd_synth(&bound, &options),
+        "simulate" => cmd_simulate(&bound, &options),
+        "verilog" => {
+            let cu = DistributedControlUnit::generate(&bound);
+            print!(
+                "{}",
+                control_unit_to_verilog(&cu, options.encoding, &AreaModel::default())
+            );
+        }
+        "report" => {
+            // The system report needs a Design; rebuild through the
+            // pipeline (same binding strategy as requested).
+            let text = std::fs::read_to_string(path).expect("readable (already parsed)");
+            let dfg = parse_dfg(&text).expect("parsable (already parsed)");
+            let design = tauhls::Synthesis::new(dfg)
+                .allocation(Allocation::paper(options.muls, options.adds, options.subs))
+                .run()
+                .expect("synthesizable (already bound)");
+            print!(
+                "{}",
+                tauhls::core::report::system_area(
+                    &design,
+                    options.encoding,
+                    &AreaModel::default(),
+                    16,
+                )
+            );
+        }
+        "dot" => {
+            print!(
+                "{}",
+                tauhls::dfg::to_dot(bound.dfg(), bound.schedule_arcs())
+            );
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let o = parse_options(&[]).unwrap();
+        assert_eq!((o.muls, o.adds, o.subs), (2, 1, 1));
+        assert!(!o.chains);
+        let o = parse_options(&args(
+            "--muls 3 --adds 2 --subs 0 --binding chains --encoding onehot --p 0.8,0.4 --trials 10 --seed 5",
+        ))
+        .unwrap();
+        assert_eq!((o.muls, o.adds, o.subs), (3, 2, 0));
+        assert!(o.chains);
+        assert_eq!(o.encoding, Encoding::OneHot);
+        assert_eq!(o.p_values, vec![0.8, 0.4]);
+        assert_eq!(o.trials, 10);
+        assert_eq!(o.seed, 5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse_options(&args("--muls")).is_err());
+        assert!(parse_options(&args("--muls x")).is_err());
+        assert!(parse_options(&args("--binding sideways")).is_err());
+        assert!(parse_options(&args("--encoding hex")).is_err());
+        assert!(parse_options(&args("--p 0.9,oops")).is_err());
+        assert!(parse_options(&args("--wat 1")).is_err());
+    }
+
+    #[test]
+    fn bind_reports_missing_file_and_bad_alloc() {
+        let o = Options::default();
+        assert!(bind("/nonexistent/x.dfg", &o).is_err());
+    }
+}

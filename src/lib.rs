@@ -1,0 +1,43 @@
+//! # tauhls — distributed synchronous control units for telescopic datapaths
+//!
+//! Umbrella crate of the `tauhls` workspace, a from-scratch Rust
+//! reproduction of *"Distributed Synchronous Control Units for Dataflow
+//! Graphs under Allocation of Telescopic Arithmetic Units"* (DATE 2003).
+//!
+//! Re-exports every subsystem under a stable module path:
+//!
+//! * [`logic`] — two-level boolean minimization and the gate-area model;
+//! * [`dfg`] — dataflow graphs, TAUBM transformation, benchmark suite;
+//! * [`datapath`] — bit-level arithmetic with telescopic completion;
+//! * [`sched`] — list scheduling, clique covers, binding, schedule arcs;
+//! * [`fsm`] — Algorithm 1 controllers, TAUBM/CENT styles, synthesis;
+//! * [`sim`] — cycle-accurate simulation and latency statistics;
+//! * [`core`] — the end-to-end [`Synthesis`] pipeline and the paper's
+//!   experiment drivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use tauhls::{Synthesis, Allocation};
+//! use tauhls::dfg::benchmarks::fir5;
+//!
+//! let design = Synthesis::new(fir5())
+//!     .allocation(Allocation::paper(2, 1, 0))
+//!     .run()?;
+//! assert_eq!(design.distributed().controllers().len(), 3);
+//! # Ok::<(), tauhls::core::SynthesisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tauhls_core as core;
+pub use tauhls_datapath as datapath;
+pub use tauhls_dfg as dfg;
+pub use tauhls_fsm as fsm;
+pub use tauhls_logic as logic;
+pub use tauhls_sched as sched;
+pub use tauhls_sim as sim;
+
+pub use tauhls_core::{Design, Synthesis, SynthesisError, Timing};
+pub use tauhls_sched::Allocation;

@@ -1,0 +1,112 @@
+//! Property-based integration tests over random dataflow graphs: the
+//! whole flow must stay legal, and the paper's dominance claims must hold
+//! for arbitrary graphs, allocations and completion patterns.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tauhls::dfg::{random_dfg, RandomDfgParams};
+use tauhls::fsm::DistributedControlUnit;
+use tauhls::sched::{reachability, BoundDfg, DependencyGraph, ListSchedule};
+use tauhls::sim::{simulate_cent_sync, simulate_distributed, CompletionModel};
+use tauhls::Allocation;
+
+fn arb_params() -> impl Strategy<Value = (u64, usize, usize, usize, usize)> {
+    // (seed, num_ops, muls, adds, subs)
+    (0u64..10_000, 4usize..28, 1usize..4, 1usize..3, 1usize..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedule_and_binding_always_legal((seed, ops, muls, adds, subs) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &RandomDfgParams {
+            num_ops: ops,
+            kind_weights: [2, 1, 3, 1],
+            ..Default::default()
+        });
+        let alloc = Allocation::paper(muls, adds, subs);
+        let s = ListSchedule::run(&g, &alloc);
+        prop_assert!(s.verify(&g, &alloc));
+        let b = BoundDfg::bind(&g, &alloc);
+        // Sequences partition the ops and respect classes.
+        let total: usize = b.sequences().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_ops());
+        // Schedule arcs never contradict data dependences.
+        for (x, y) in b.schedule_arcs() {
+            prop_assert!(!b.precedes(*y, *x));
+        }
+    }
+
+    #[test]
+    fn clique_cover_bounds((seed, ops, _, _, _) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &RandomDfgParams {
+            num_ops: ops,
+            kind_weights: [2, 1, 3, 1],
+            ..Default::default()
+        });
+        let reach = reachability(&g);
+        for class in tauhls::dfg::ResourceClass::ALL {
+            let dep = DependencyGraph::for_class(&g, class, &reach);
+            if dep.nodes().is_empty() { continue; }
+            let exact = dep.min_clique_cover();
+            let greedy = dep.greedy_clique_cover();
+            // Exact is optimal, greedy is a valid partition.
+            prop_assert!(exact.len() <= greedy.len());
+            for chain in exact.iter().chain(&greedy) {
+                for w in chain.windows(2) {
+                    prop_assert!(dep.dependent(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_legal_and_dist_dominates((seed, ops, muls, adds, subs) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &RandomDfgParams {
+            num_ops: ops,
+            kind_weights: [2, 1, 3, 1],
+            ..Default::default()
+        });
+        let alloc = Allocation::paper(muls, adds, subs);
+        let bound = BoundDfg::bind(&g, &alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        for (_, fsm) in cu.controllers() {
+            prop_assert!(fsm.check().is_ok());
+        }
+        // Coupled completion draws: distributed dominates per trial.
+        for p in [1.0, 0.5, 0.0] {
+            let table = CompletionModel::draw_table(g.num_ops(), p, &mut rng);
+            let d = simulate_distributed(&bound, &cu, &table, None, &mut rng);
+            prop_assert!(d.verify(&bound).is_ok(), "{:?}", d.verify(&bound));
+            let s = simulate_cent_sync(&bound, &table, None, &mut rng);
+            prop_assert!(d.cycles <= s.cycles,
+                "distributed {} > sync {} (seed {seed})", d.cycles, s.cycles);
+        }
+    }
+
+    #[test]
+    fn latency_bounded_by_extremes((seed, ops, muls, adds, subs) in arb_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &RandomDfgParams {
+            num_ops: ops,
+            kind_weights: [3, 1, 2, 0],
+            ..Default::default()
+        });
+        let alloc = Allocation::paper(muls, adds, subs);
+        let bound = BoundDfg::bind(&g, &alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        let best = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng).cycles;
+        let worst = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysLong, None, &mut rng).cycles;
+        prop_assert!(best <= worst);
+        let mid = simulate_distributed(&bound, &cu, &CompletionModel::Bernoulli { p: 0.5 }, None, &mut rng).cycles;
+        prop_assert!(best <= mid && mid <= worst);
+        // Worst case is at most best + one extension per TAU op.
+        let tau_ops = g.ops_of_class(tauhls::dfg::ResourceClass::Multiplier).len();
+        prop_assert!(worst <= best + tau_ops);
+    }
+}
