@@ -2,58 +2,43 @@
 //! style (distributed Algorithm 1 vs synchronized vs centralized product)
 //! on the Diff.Eq benchmark, plus per-encoding synthesis of the D-FSMs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use tauhls_bench::{black_box, Bench};
 use tauhls_dfg::benchmarks::diffeq;
-use tauhls_fsm::{
-    cent_sync_fsm, synthesize, unit_controller, DistributedControlUnit, Encoding,
-};
+use tauhls_fsm::{cent_sync_fsm, synthesize, unit_controller, DistributedControlUnit, Encoding};
 use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg, UnitId};
 
-fn bench_generation(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_args().sample_size(5);
     let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
-    let mut g = c.benchmark_group("table1/generation");
-    g.bench_function("distributed_control_unit", |b| {
-        b.iter(|| DistributedControlUnit::generate(black_box(&bound)))
+
+    bench.run("table1/generation/distributed_control_unit", || {
+        black_box(DistributedControlUnit::generate(black_box(&bound)));
     });
-    g.bench_function("cent_sync_fsm", |b| {
-        b.iter(|| cent_sync_fsm(black_box(&bound)))
+    bench.run("table1/generation/cent_sync_fsm", || {
+        black_box(cent_sync_fsm(black_box(&bound)));
     });
-    g.bench_function("single_unit_controller", |b| {
-        b.iter(|| unit_controller(black_box(&bound), UnitId(0)))
+    bench.run("table1/generation/single_unit_controller", || {
+        black_box(unit_controller(black_box(&bound), UnitId(0)));
     });
-    g.bench_function("centralized_product_minimized", |b| {
-        b.iter(|| {
+    bench.run("table1/generation/centralized_product_minimized", || {
+        black_box(
             tauhls_core::Synthesis::new(diffeq())
                 .allocation(Allocation::paper(2, 1, 1))
                 .with_centralized()
                 .run()
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
-    g.finish();
-}
 
-fn bench_synthesis(c: &mut Criterion) {
-    let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
     let fsm = unit_controller(&bound, UnitId(0));
     let model = AreaModel::default();
-    let mut g = c.benchmark_group("table1/synthesis");
     for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
-        g.bench_function(format!("dfsm_m1_{enc:?}"), |b| {
-            b.iter(|| synthesize(black_box(&fsm), enc, &model))
+        bench.run(&format!("table1/synthesis/dfsm_m1_{enc:?}"), || {
+            black_box(synthesize(black_box(&fsm), enc, &model));
         });
     }
-    g.bench_function("full_table1", |b| {
-        b.iter(|| tauhls_core::experiments::table1(Encoding::Binary, &model))
+    bench.run("table1/synthesis/full_table1", || {
+        black_box(tauhls_core::experiments::table1(Encoding::Binary, &model));
     });
-    g.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_generation, bench_synthesis
-);
-criterion_main!(benches);

@@ -1,64 +1,73 @@
 //! Table 2 companion bench: cycle-accurate simulation throughput per
-//! benchmark and per controller style, plus the coupled pair measurement
-//! that generates the table's average cells.
+//! benchmark and per controller style, the coupled pair measurement that
+//! generates the table's average cells, and the batch engine's thread
+//! scaling (results stay bit-identical while wall clock shrinks).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
+use tauhls_bench::{black_box, Bench};
 use tauhls_core::experiments::paper_benchmarks;
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
-use tauhls_sim::{latency_pair, simulate_cent_sync, simulate_distributed, CompletionModel};
+use tauhls_sim::{
+    latency_pair, latency_pair_batch, simulate_cent_sync, simulate_distributed, BatchRunner,
+    CompletionModel,
+};
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/simulate");
+fn main() {
+    let bench = Bench::from_args().sample_size(5);
+
     for (dfg, alloc, _) in paper_benchmarks() {
         let name = dfg.name().to_string();
         let bound = BoundDfg::bind(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&bound);
-        g.bench_function(format!("dist/{name}"), |b| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| {
-                simulate_distributed(
-                    black_box(&bound),
-                    &cu,
-                    &CompletionModel::Bernoulli { p: 0.7 },
-                    None,
-                    &mut rng,
-                )
-            })
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.run(&format!("table2/simulate/dist/{name}"), || {
+            black_box(simulate_distributed(
+                black_box(&bound),
+                &cu,
+                &CompletionModel::Bernoulli { p: 0.7 },
+                None,
+                &mut rng,
+            ));
         });
-        g.bench_function(format!("sync/{name}"), |b| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| {
-                simulate_cent_sync(
-                    black_box(&bound),
-                    &CompletionModel::Bernoulli { p: 0.7 },
-                    None,
-                    &mut rng,
-                )
-            })
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.run(&format!("table2/simulate/sync/{name}"), || {
+            black_box(simulate_cent_sync(
+                black_box(&bound),
+                &CompletionModel::Bernoulli { p: 0.7 },
+                None,
+                &mut rng,
+            ));
         });
     }
-    g.finish();
-}
 
-fn bench_table_cells(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/cells");
-    g.sample_size(10);
     let (dfg, alloc, _) = paper_benchmarks().swap_remove(4); // diffeq
     let bound = BoundDfg::bind(&dfg, &alloc);
-    g.bench_function("diffeq_pair_100_trials", |b| {
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| latency_pair(black_box(&bound), &[0.9, 0.7, 0.5], 100, &mut rng))
+    let mut rng = StdRng::seed_from_u64(2);
+    bench.run("table2/cells/diffeq_pair_100_trials", || {
+        black_box(latency_pair(
+            black_box(&bound),
+            &[0.9, 0.7, 0.5],
+            100,
+            &mut rng,
+        ));
     });
-    g.finish();
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_simulation, bench_table_cells
-);
-criterion_main!(benches);
+    // Batch engine thread scaling: same result, less wall clock.
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchRunner::new(threads);
+        bench.run(
+            &format!("table2/batch/diffeq_pair_1k_trials/t{threads}"),
+            || {
+                black_box(latency_pair_batch(
+                    black_box(&bound),
+                    &[0.9, 0.7, 0.5],
+                    1000,
+                    2,
+                    &runner,
+                ));
+            },
+        );
+    }
+}

@@ -2,10 +2,9 @@
 //! espresso-style heuristic, in runtime and result quality, on functions
 //! shaped like controller next-state logic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use tauhls_bench::{black_box, Bench};
 use tauhls_logic::{minimize_exact, minimize_heuristic, Cover, TruthTable};
 
 fn random_table(n: usize, density: f64, seed: u64) -> TruthTable {
@@ -13,24 +12,25 @@ fn random_table(n: usize, density: f64, seed: u64) -> TruthTable {
     TruthTable::from_fn(n, |_| Some(rng.random_bool(density)))
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("logic/engines");
+fn main() {
+    let bench = Bench::from_args().sample_size(5);
+
     for n in [6usize, 8, 10] {
         let t = random_table(n, 0.3, n as u64);
         let canon = t.canonical_cover();
-        g.bench_with_input(BenchmarkId::new("qm_exact", n), &t, |b, t| {
-            b.iter(|| minimize_exact(black_box(t)))
+        bench.run(&format!("logic/engines/qm_exact/{n}"), || {
+            black_box(minimize_exact(black_box(&t)));
         });
-        g.bench_with_input(BenchmarkId::new("heuristic", n), &canon, |b, f| {
-            b.iter(|| minimize_heuristic(black_box(f), &Cover::empty(f.num_vars())))
+        bench.run(&format!("logic/engines/heuristic/{n}"), || {
+            black_box(minimize_heuristic(
+                black_box(&canon),
+                &Cover::empty(canon.num_vars()),
+            ));
         });
     }
-    g.finish();
-}
 
-fn bench_quality(c: &mut Criterion) {
-    // Not a timing bench per se: report literal-count quality in the
-    // bench output once, then time the combined auto engine.
+    // Not a timing bench per se: report literal-count quality once, then
+    // time the combined auto engine.
     for n in [6usize, 8] {
         let t = random_table(n, 0.3, 100 + n as u64);
         let exact = minimize_exact(&t);
@@ -43,18 +43,13 @@ fn bench_quality(c: &mut Criterion) {
             heur.literal_count()
         );
     }
-    let mut g = c.benchmark_group("logic/auto");
     let t = random_table(9, 0.25, 9);
     let canon = t.canonical_cover();
-    g.bench_function("minimize_auto_9vars", |b| {
-        b.iter(|| tauhls_logic::minimize_auto(black_box(&canon), &Cover::empty(9), 11))
+    bench.run("logic/auto/minimize_auto_9vars", || {
+        black_box(tauhls_logic::minimize_auto(
+            black_box(&canon),
+            &Cover::empty(9),
+            11,
+        ));
     });
-    g.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engines, bench_quality
-);
-criterion_main!(benches);

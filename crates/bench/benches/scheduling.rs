@@ -2,15 +2,15 @@
 //! (Dilworth/matching) vs greedy clique covers, and full binding cost, on
 //! the paper benchmarks and on growing random DFGs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
+use tauhls_bench::{black_box, Bench};
 use tauhls_dfg::{random_dfg, RandomDfgParams, ResourceClass};
 use tauhls_sched::{reachability, Allocation, BoundDfg, DependencyGraph, ListSchedule};
 
-fn bench_clique_covers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sched/cliques");
+fn main() {
+    let bench = Bench::from_args().sample_size(5);
+
     for ops in [20usize, 40, 80] {
         let mut rng = StdRng::seed_from_u64(ops as u64);
         let dfg = random_dfg(
@@ -28,25 +28,21 @@ fn bench_clique_covers(c: &mut Criterion) {
             dep.min_clique_cover().len(),
             dep.greedy_clique_cover().len()
         );
-        g.bench_with_input(BenchmarkId::new("exact_matching", ops), &dep, |b, d| {
-            b.iter(|| black_box(d).min_clique_cover())
+        bench.run(&format!("sched/cliques/exact_matching/{ops}"), || {
+            black_box(black_box(&dep).min_clique_cover());
         });
-        g.bench_with_input(BenchmarkId::new("greedy", ops), &dep, |b, d| {
-            b.iter(|| black_box(d).greedy_clique_cover())
+        bench.run(&format!("sched/cliques/greedy/{ops}"), || {
+            black_box(black_box(&dep).greedy_clique_cover());
         });
     }
-    g.finish();
-}
 
-fn bench_full_binding(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sched/bind");
     for (dfg, alloc, _) in tauhls_core::experiments::paper_benchmarks() {
         let name = dfg.name().to_string();
-        g.bench_function(format!("list_schedule/{name}"), |b| {
-            b.iter(|| ListSchedule::run(black_box(&dfg), &alloc))
+        bench.run(&format!("sched/bind/list_schedule/{name}"), || {
+            black_box(ListSchedule::run(black_box(&dfg), &alloc));
         });
-        g.bench_function(format!("bind/{name}"), |b| {
-            b.iter(|| BoundDfg::bind(black_box(&dfg), &alloc))
+        bench.run(&format!("sched/bind/bind/{name}"), || {
+            black_box(BoundDfg::bind(black_box(&dfg), &alloc));
         });
     }
     // Scaling on random graphs.
@@ -61,16 +57,8 @@ fn bench_full_binding(c: &mut Criterion) {
             },
         );
         let alloc = Allocation::paper(3, 2, 1);
-        g.bench_with_input(BenchmarkId::new("bind_random", ops), &dfg, |b, d| {
-            b.iter(|| BoundDfg::bind(black_box(d), &alloc))
+        bench.run(&format!("sched/bind/bind_random/{ops}"), || {
+            black_box(BoundDfg::bind(black_box(&dfg), &alloc));
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_clique_covers, bench_full_binding
-);
-criterion_main!(benches);

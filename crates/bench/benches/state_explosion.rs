@@ -3,8 +3,7 @@
 //! distributed controllers (linear). Also covers the ablation between the
 //! raw wrap-around product and the minimized single-shot product.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tauhls_bench::{black_box, Bench};
 use tauhls_dfg::DfgBuilder;
 use tauhls_fsm::{
     minimize_states, synchronous_product, unit_controller, unit_controller_opts,
@@ -24,28 +23,23 @@ fn independent(n: usize) -> BoundDfg {
     BoundDfg::bind_explicit(&b.build().unwrap(), &Allocation::paper(n, 0, 0), seqs).unwrap()
 }
 
-fn bench_growth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4/growth");
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::from_args().sample_size(5);
+
     for n in [2usize, 4, 6] {
         let bound = independent(n);
-        g.bench_with_input(BenchmarkId::new("distributed", n), &bound, |b, bd| {
-            b.iter(|| DistributedControlUnit::generate(black_box(bd)))
+        bench.run(&format!("fig4/growth/distributed/{n}"), || {
+            black_box(DistributedControlUnit::generate(black_box(&bound)));
         });
-        g.bench_with_input(BenchmarkId::new("cent_product", n), &bound, |b, bd| {
-            b.iter(|| {
-                let fsms: Vec<Fsm> = (0..n).map(|u| unit_controller(bd, UnitId(u))).collect();
-                let refs: Vec<&Fsm> = fsms.iter().collect();
-                synchronous_product("CENT", &refs)
-            })
+        bench.run(&format!("fig4/growth/cent_product/{n}"), || {
+            let fsms: Vec<Fsm> = (0..n)
+                .map(|u| unit_controller(black_box(&bound), UnitId(u)))
+                .collect();
+            let refs: Vec<&Fsm> = fsms.iter().collect();
+            black_box(synchronous_product("CENT", &refs));
         });
     }
-    g.finish();
-}
 
-fn bench_minimization_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4/minimize_ablation");
-    g.sample_size(10);
     let bound = independent(4);
     let wrap: Vec<Fsm> = (0..4).map(|u| unit_controller(&bound, UnitId(u))).collect();
     let shot: Vec<Fsm> = (0..4)
@@ -61,15 +55,7 @@ fn bench_minimization_ablation(c: &mut Criterion) {
         shot_product.num_states(),
         minimize_states(&shot_product).num_states()
     );
-    g.bench_function("minimize_singleshot_product", |b| {
-        b.iter(|| minimize_states(black_box(&shot_product)))
+    bench.run("fig4/minimize_ablation/minimize_singleshot_product", || {
+        black_box(minimize_states(black_box(&shot_product)));
     });
-    g.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_growth, bench_minimization_ablation
-);
-criterion_main!(benches);

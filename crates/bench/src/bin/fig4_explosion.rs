@@ -2,7 +2,10 @@
 //! distributed growth over the number of concurrently active TAUs.
 fn main() {
     println!("Fig 4. Controller size vs number of concurrent TAUs");
-    println!("{:>3} {:>12} {:>15} {:>12} {:>12}", "n", "CENT states", "CENT branching", "DIST states", "SYNC states");
+    println!(
+        "{:>3} {:>12} {:>15} {:>12} {:>12}",
+        "n", "CENT states", "CENT branching", "DIST states", "SYNC states"
+    );
     for p in tauhls_core::experiments::fig4_explosion(8) {
         println!(
             "{:>3} {:>12} {:>15} {:>12} {:>12}",

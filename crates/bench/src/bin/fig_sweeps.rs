@@ -1,23 +1,29 @@
 //! Extended sweeps beyond the paper's fixed grid: the full latency-vs-P
 //! curve for FIR5 and the enhancement-vs-TAU-count series for the
-//! AR lattice.
+//! AR lattice. Trials run on the batch engine over all available cores;
+//! the output does not depend on the core count.
 use tauhls_core::sweeps::{allocation_series, latency_curve};
 use tauhls_dfg::benchmarks::{ar_lattice4, fir5};
 use tauhls_sched::{Allocation, BoundDfg};
+use tauhls_sim::BatchRunner;
 
 fn main() {
+    let runner = BatchRunner::available();
     let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
     println!("FIR5 latency vs P (cycles, 2000 trials):");
     println!("{:>6} {:>10} {:>10} {:>8}", "P", "sync", "dist", "gain");
-    for pt in latency_curve(&bound, 11, 2000, 42) {
+    for pt in latency_curve(&bound, 11, 2000, 42, &runner) {
         println!(
             "{:>6.2} {:>10.2} {:>10.2} {:>7.1}%",
             pt.p, pt.sync_cycles, pt.dist_cycles, pt.enhancement
         );
     }
     println!("\nAR-lattice enhancement vs TAU multipliers (P = 0.7):");
-    println!("{:>5} {:>10} {:>8} {:>6}", "muls", "dist cyc", "gain", "arcs");
-    for pt in allocation_series(&ar_lattice4(), 2, 0, 1..=6, 0.7, 2000, 42) {
+    println!(
+        "{:>5} {:>10} {:>8} {:>6}",
+        "muls", "dist cyc", "gain", "arcs"
+    );
+    for pt in allocation_series(&ar_lattice4(), 2, 0, 1..=6, 0.7, 2000, 42, &runner) {
         println!(
             "{:>5} {:>10.2} {:>7.1}% {:>6}",
             pt.muls, pt.dist_cycles, pt.enhancement, pt.schedule_arcs

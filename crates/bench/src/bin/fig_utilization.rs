@@ -1,8 +1,20 @@
 //! Quantifies the paper's "minimize idle time of each component arithmetic
 //! unit" claim: busy fraction per controller style across the benchmarks.
+//!
+//! Usage: `fig_utilization [p] [trials] [threads]` (defaults: 0.6, 2000,
+//! all available cores; output is thread-count invariant).
+use tauhls_sim::BatchRunner;
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let p: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.6);
     let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
-    print!("{}", tauhls_core::utilization::utilization_table(p, trials, 2003));
+    let runner = match args.next().and_then(|a| a.parse().ok()) {
+        Some(threads) => BatchRunner::new(threads),
+        None => BatchRunner::available(),
+    };
+    print!(
+        "{}",
+        tauhls_core::utilization::utilization_table(p, trials, 2003, &runner)
+    );
 }

@@ -1,8 +1,14 @@
-//! Regenerates the paper's Table 1 (area analysis for Diff.Eq).
+//! Regenerates the paper's Table 1 (area analysis for Diff.Eq). Also
+//! writes `table1.json` to the invocation directory for the golden-file
+//! snapshot tests.
+use tauhls_json::ToJson;
+
 fn main() {
     let t = tauhls_core::experiments::table1(
         tauhls_fsm::Encoding::Binary,
         &tauhls_logic::AreaModel::default(),
     );
     println!("{t}");
+    std::fs::write("table1.json", t.to_json().to_pretty()).ok();
+    eprintln!("(machine-readable copy written to table1.json)");
 }

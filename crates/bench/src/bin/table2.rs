@@ -1,17 +1,21 @@
 //! Regenerates the paper's Table 2 (latency comparison, six benchmarks).
 //!
-//! Usage: `table2 [trials] [seed]` (defaults: 4000 trials, seed 2003).
-//! Also writes `table2.json` next to the invocation directory.
+//! Usage: `table2 [trials] [seed] [threads]` (defaults: 4000 trials, seed
+//! 2003, all available cores). Output is bit-identical for any thread
+//! count. Also writes `table2.json` next to the invocation directory.
+use tauhls_json::ToJson;
+use tauhls_sim::BatchRunner;
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let trials: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4000);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2003);
-    let t = tauhls_core::experiments::table2(trials, seed);
+    let runner = match args.next().and_then(|a| a.parse().ok()) {
+        Some(threads) => BatchRunner::new(threads),
+        None => BatchRunner::available(),
+    };
+    let t = tauhls_core::experiments::table2(trials, seed, &runner);
     println!("{t}");
-    let json = serde_json::to_string_pretty(&t).expect("serializable");
-    std::fs::write("table2.json", json).ok();
-    println!("(machine-readable copy written to table2.json)");
+    std::fs::write("table2.json", t.to_json().to_pretty()).ok();
+    eprintln!("(machine-readable copy written to table2.json)");
 }

@@ -2,19 +2,18 @@
 //! state-explosion sweep.
 
 use crate::pipeline::{Synthesis, Timing};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 use std::collections::BTreeSet;
 use std::fmt;
 use tauhls_dfg::{benchmarks, Dfg};
 use tauhls_fsm::{synthesize, Encoding, Fsm};
 use tauhls_logic::AreaModel;
 use tauhls_sched::Allocation;
-use tauhls_sim::{enhancement_percent, latency_pair, LatencySummary};
+use tauhls_sim::{
+    derive_seed, enhancement_percent, latency_pair_batch, BatchRunner, LatencySummary,
+};
 
 /// One row of the Table 1 area analysis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AreaRow {
     /// FSM name (CENT-FSM, CENT-SYNC-FSM, DIST-FSM, D-FSM-*).
     pub name: String,
@@ -34,7 +33,7 @@ pub struct AreaRow {
 
 /// The Table 1 reproduction: area analysis of the three controller styles
 /// for the differential-equation benchmark.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1 {
     /// All rows, in the paper's order.
     pub rows: Vec<AreaRow>,
@@ -71,7 +70,12 @@ pub fn table1(encoding: Encoding, model: &AreaModel) -> Table1 {
         encoding,
         model,
     ));
-    rows.push(area_row("CENT-SYNC-FSM", design.cent_sync(), encoding, model));
+    rows.push(area_row(
+        "CENT-SYNC-FSM",
+        design.cent_sync(),
+        encoding,
+        model,
+    ));
 
     // Component D-FSMs and the aggregate DIST-FSM row.
     let mut dist = AreaRow {
@@ -137,7 +141,7 @@ impl fmt::Display for Table1 {
 }
 
 /// One row of the Table 2 latency comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyRow {
     /// Benchmark name.
     pub name: String,
@@ -152,7 +156,7 @@ pub struct LatencyRow {
 }
 
 /// Serializable `[best][avg...][worst]` cells in nanoseconds.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SummaryCells {
     /// Best-case latency, ns.
     pub best_ns: f64,
@@ -176,7 +180,7 @@ impl SummaryCells {
 }
 
 /// The Table 2 reproduction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table2 {
     /// Benchmark rows in the paper's order.
     pub rows: Vec<LatencyRow>,
@@ -209,20 +213,23 @@ pub fn paper_benchmarks() -> Vec<(Dfg, Allocation, &'static str)> {
 }
 
 /// Regenerates Table 2: `LT_TAU` vs `LT_DIST` for the six benchmarks at
-/// `P ∈ {0.9, 0.7, 0.5}`.
-pub fn table2(trials: usize, seed: u64) -> Table2 {
+/// `P ∈ {0.9, 0.7, 0.5}`, with each row's trials fanned over `runner`'s
+/// workers (one seed-space partition per benchmark, so the table is
+/// bit-identical for any thread count).
+pub fn table2(trials: usize, seed: u64, runner: &BatchRunner) -> Table2 {
     let timing = Timing::default();
     let p_values = vec![0.9, 0.7, 0.5];
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut rows = Vec::new();
-    for (dfg, alloc, resources) in paper_benchmarks() {
+    for (row_id, (dfg, alloc, resources)) in paper_benchmarks().into_iter().enumerate() {
         let name = dfg.name().to_string();
         let design = Synthesis::new(dfg)
             .allocation(alloc)
             .timing(timing)
             .run()
             .expect("benchmark synthesizes");
-        let (tau, dist) = latency_pair(design.bound(), &p_values, trials, &mut rng);
+        let row_seed = derive_seed(seed, row_id as u64, 0);
+        let (tau, dist) =
+            latency_pair_batch(design.bound(), &p_values, trials as u64, row_seed, runner);
         let enhancement = enhancement_percent(&tau, &dist);
         rows.push(LatencyRow {
             name,
@@ -257,11 +264,7 @@ impl fmt::Display for Table2 {
             "DFG", "Resources", "LT_TAU (ns)", "LT_DIST (ns)"
         )?;
         for r in &self.rows {
-            let enh: Vec<String> = r
-                .enhancement
-                .iter()
-                .map(|e| format!("{e:.1}%"))
-                .collect();
+            let enh: Vec<String> = r.enhancement.iter().map(|e| format!("{e:.1}%")).collect();
             writeln!(
                 f,
                 "{:<12} {:<14} {:<28} {:<28} [{}]",
@@ -277,7 +280,7 @@ impl fmt::Display for Table2 {
 }
 
 /// One point of the Fig 4 state-explosion sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExplosionPoint {
     /// Number of concurrently active TAUs.
     pub n: usize,
@@ -378,7 +381,7 @@ mod tests {
 
     #[test]
     fn table2_shape_matches_paper() {
-        let t = table2(300, 42);
+        let t = table2(300, 42, &BatchRunner::new(2));
         assert_eq!(t.rows.len(), 6);
         for r in &t.rows {
             // Distributed dominates everywhere.

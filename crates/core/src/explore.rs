@@ -6,17 +6,14 @@
 
 use crate::pipeline::Synthesis;
 use crate::report::system_area;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 use tauhls_dfg::{Dfg, ResourceClass};
 use tauhls_fsm::Encoding;
 use tauhls_logic::AreaModel;
 use tauhls_sched::Allocation;
-use tauhls_sim::latency_pair;
+use tauhls_sim::{derive_seed, latency_pair_batch, BatchRunner};
 
 /// One explored design point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DesignPoint {
     /// TAU multipliers allocated.
     pub muls: usize,
@@ -66,12 +63,19 @@ impl Default for ExploreParams {
 }
 
 /// Enumerates the allocation space and measures every feasible point;
-/// points not dominated in (latency, area) are flagged `pareto`.
+/// points not dominated in (latency, area) are flagged `pareto`. Each
+/// point's Monte-Carlo trials fan out over `runner`'s workers, seeded by
+/// the point's allocation triple so results do not depend on enumeration
+/// order or thread count.
 ///
 /// # Panics
 ///
 /// Panics if `trials == 0` or all class maxima are zero.
-pub fn explore_allocations(dfg: &Dfg, params: &ExploreParams) -> Vec<DesignPoint> {
+pub fn explore_allocations(
+    dfg: &Dfg,
+    params: &ExploreParams,
+    runner: &BatchRunner,
+) -> Vec<DesignPoint> {
     assert!(params.trials > 0);
     let hist = dfg.class_histogram();
     let need = |c: ResourceClass| hist.get(&c).copied().unwrap_or(0);
@@ -84,7 +88,6 @@ pub fn explore_allocations(dfg: &Dfg, params: &ExploreParams) -> Vec<DesignPoint
             1..=max.max(1)
         }
     };
-    let mut rng = StdRng::seed_from_u64(params.seed);
     let mut points = Vec::new();
 
     for muls in range(ResourceClass::Multiplier, params.max_muls) {
@@ -98,8 +101,15 @@ pub fn explore_allocations(dfg: &Dfg, params: &ExploreParams) -> Vec<DesignPoint
                     .allocation(alloc)
                     .run()
                     .expect("covered allocation synthesizes");
-                let (_, dist) =
-                    latency_pair(design.bound(), &[params.p], params.trials, &mut rng);
+                let point_id = ((muls as u64) << 16) | ((adds as u64) << 8) | subs as u64;
+                let point_seed = derive_seed(params.seed, point_id, 0);
+                let (_, dist) = latency_pair_batch(
+                    design.bound(),
+                    &[params.p],
+                    params.trials as u64,
+                    point_seed,
+                    runner,
+                );
                 let area = system_area(
                     &design,
                     Encoding::Binary,
@@ -149,6 +159,7 @@ mod tests {
                 trials: 150,
                 ..Default::default()
             },
+            &BatchRunner::new(2),
         );
         assert!(!pts.is_empty());
         let frontier: Vec<_> = pts.iter().filter(|p| p.pareto).collect();
@@ -185,6 +196,7 @@ mod tests {
                 trials: 50,
                 ..Default::default()
             },
+            &BatchRunner::serial(),
         );
         assert!(pts.iter().all(|p| p.subs == 0));
     }

@@ -40,7 +40,10 @@ pub fn fig1_report() -> String {
     let tech = Technology {
         ns_per_level: 20.0 / f64::from(tau.long_levels()),
     };
-    let _ = writeln!(s, "Fig 1. A telescopic arithmetic unit (8-bit array multiplier)");
+    let _ = writeln!(
+        s,
+        "Fig 1. A telescopic arithmetic unit (8-bit array multiplier)"
+    );
     let _ = writeln!(
         s,
         "  arithmetic logic : {} (worst case {} gate levels)",
@@ -64,12 +67,12 @@ pub fn fig1_report() -> String {
         gen.cover().literal_count(),
         area.combinational
     );
+    let _ = writeln!(s, "  P over uniform operands = {:.3}", gen.uniform_p());
     let _ = writeln!(
         s,
-        "  P over uniform operands = {:.3}",
-        gen.uniform_p()
+        "  example: 3 x 5   -> C = {}",
+        i32::from(tau.evaluate(3, 5).short)
     );
-    let _ = writeln!(s, "  example: 3 x 5   -> C = {}", i32::from(tau.evaluate(3, 5).short));
     let _ = writeln!(
         s,
         "  example: 255 x 255 -> C = {}",
@@ -82,7 +85,12 @@ pub fn fig1_report() -> String {
 pub fn fig2_report() -> String {
     let mut s = String::new();
     let g = benchmarks::fig2_dfg();
-    let _ = writeln!(s, "Fig 2(a). Original DFG '{}' ({} ops)", g.name(), g.num_ops());
+    let _ = writeln!(
+        s,
+        "Fig 2(a). Original DFG '{}' ({} ops)",
+        g.name(),
+        g.num_ops()
+    );
     for v in g.op_ids() {
         let _ = writeln!(
             s,

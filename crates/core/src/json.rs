@@ -1,0 +1,150 @@
+//! JSON renderings of the experiment artifacts.
+//!
+//! Every report type renders through [`tauhls_json`], whose emitter keeps
+//! insertion order and shortest-roundtrip float formatting, so the
+//! `results/*.json` golden files are byte-stable across platforms and
+//! thread counts.
+
+use crate::experiments::{AreaRow, ExplosionPoint, LatencyRow, SummaryCells, Table1, Table2};
+use crate::sweeps::{AllocationPoint, CurvePoint};
+use crate::utilization::{UtilizationRow, UtilizationTable};
+use tauhls_json::{Json, ToJson};
+
+impl ToJson for AreaRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("inputs", Json::from(self.inputs)),
+            ("outputs", Json::from(self.outputs)),
+            ("states", Json::from(self.states)),
+            ("ffs", Json::from(self.ffs)),
+            ("area_com", Json::from(self.area_com)),
+            ("area_seq", Json::from(self.area_seq)),
+        ])
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("encoding", Json::from(self.encoding.as_str())),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SummaryCells {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("best_ns", Json::from(self.best_ns)),
+            ("avg_ns", Json::floats(&self.avg_ns)),
+            ("worst_ns", Json::from(self.worst_ns)),
+            ("rendered", Json::from(self.rendered.as_str())),
+        ])
+    }
+}
+
+impl ToJson for LatencyRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("resources", Json::from(self.resources.as_str())),
+            ("lt_tau", self.lt_tau.to_json()),
+            ("lt_dist", self.lt_dist.to_json()),
+            ("enhancement", Json::floats(&self.enhancement)),
+        ])
+    }
+}
+
+impl ToJson for Table2 {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("clock_ns", Json::from(self.clock_ns)),
+            ("p_values", Json::floats(&self.p_values)),
+            ("trials", Json::from(self.trials)),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExplosionPoint {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("n", Json::from(self.n)),
+            ("cent_states", Json::from(self.cent_states)),
+            ("cent_branching", Json::from(self.cent_branching)),
+            ("dist_states", Json::from(self.dist_states)),
+            ("sync_states", Json::from(self.sync_states)),
+        ])
+    }
+}
+
+impl ToJson for CurvePoint {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("p", Json::from(self.p)),
+            ("sync_cycles", Json::from(self.sync_cycles)),
+            ("dist_cycles", Json::from(self.dist_cycles)),
+            ("enhancement", Json::from(self.enhancement)),
+        ])
+    }
+}
+
+impl ToJson for AllocationPoint {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("muls", Json::from(self.muls)),
+            ("enhancement", Json::from(self.enhancement)),
+            ("dist_cycles", Json::from(self.dist_cycles)),
+            ("schedule_arcs", Json::from(self.schedule_arcs)),
+        ])
+    }
+}
+
+impl ToJson for UtilizationRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("dist_cycles", Json::from(self.dist_cycles)),
+            ("sync_cycles", Json::from(self.sync_cycles)),
+            ("dist_utilization", Json::from(self.dist_utilization)),
+            ("sync_utilization", Json::from(self.sync_utilization)),
+        ])
+    }
+}
+
+impl ToJson for UtilizationTable {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("p", Json::from(self.p)),
+            ("trials", Json::from(self.trials)),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_fsm::Encoding;
+    use tauhls_logic::AreaModel;
+    use tauhls_sim::BatchRunner;
+
+    #[test]
+    fn table1_json_has_all_rows() {
+        let t = crate::experiments::table1(Encoding::Binary, &AreaModel::default());
+        let s = t.to_json().to_pretty();
+        for r in &t.rows {
+            assert!(s.contains(&format!("\"name\": \"{}\"", r.name)));
+        }
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn table2_json_is_deterministic_across_thread_counts() {
+        let a = crate::experiments::table2(120, 9, &BatchRunner::serial());
+        let b = crate::experiments::table2(120, 9, &BatchRunner::new(4));
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert!(a.to_json().to_compact().contains("\"clock_ns\":15.0"));
+    }
+}

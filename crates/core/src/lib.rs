@@ -45,6 +45,7 @@
 pub mod experiments;
 pub mod explore;
 pub mod figures;
+mod json;
 mod pipeline;
 pub mod report;
 pub mod sweeps;

@@ -9,7 +9,9 @@ use tauhls_fsm::{
 };
 use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg, UnitId};
-use tauhls_sim::{latency_summary, ControlStyle, LatencySummary};
+use tauhls_sim::{
+    latency_summary, latency_summary_batch, BatchRunner, ControlStyle, LatencySummary,
+};
 
 /// Timing parameters of the telescopic system (paper Table 2 footer:
 /// `SD(×) = 15 ns, LD(×) = 20 ns, FD(+,−) = 15 ns`).
@@ -154,8 +156,7 @@ impl Synthesis {
                 .collect();
             tauhls_fsm::optimize_dead_completions(&mut fsms);
             let refs: Vec<&Fsm> = fsms.iter().collect();
-            let product =
-                synchronous_product(&format!("CENT({})", bound.dfg().name()), &refs);
+            let product = synchronous_product(&format!("CENT({})", bound.dfg().name()), &refs);
             tauhls_fsm::minimize_states(&product)
         });
         Ok(Design {
@@ -234,6 +235,20 @@ impl Design {
     ) -> LatencySummary {
         latency_summary(&self.bound, style, p_values, trials, rng)
     }
+
+    /// Like [`Design::latency`], but on the deterministic batch engine:
+    /// trials fan out over `runner`'s workers and the summary is
+    /// bit-identical for any thread count.
+    pub fn latency_batch(
+        &self,
+        style: ControlStyle,
+        p_values: &[f64],
+        trials: usize,
+        seed: u64,
+        runner: &BatchRunner,
+    ) -> LatencySummary {
+        latency_summary_batch(&self.bound, style, p_values, trials as u64, seed, runner)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +268,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let lat = design.latency(ControlStyle::Distributed, &[0.9], 50, &mut rng);
         assert_eq!(lat.best_cycles, 4);
+        let batched = design.latency_batch(
+            ControlStyle::Distributed,
+            &[0.9],
+            50,
+            1,
+            &BatchRunner::new(2),
+        );
+        assert_eq!(batched.best_cycles, 4);
+        assert_eq!(
+            batched,
+            design.latency_batch(
+                ControlStyle::Distributed,
+                &[0.9],
+                50,
+                1,
+                &BatchRunner::serial()
+            )
+        );
     }
 
     #[test]

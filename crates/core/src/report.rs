@@ -3,11 +3,8 @@
 //! scale.
 
 use crate::pipeline::Design;
-use serde::Serialize;
 use std::fmt;
-use tauhls_datapath::{
-    ArrayMultiplier, RippleCarryAdder, RippleCarrySubtractor, UnitArea,
-};
+use tauhls_datapath::{ArrayMultiplier, RippleCarryAdder, RippleCarrySubtractor, UnitArea};
 use tauhls_dfg::ResourceClass;
 use tauhls_fsm::{synthesize, Encoding};
 use tauhls_logic::AreaModel;
@@ -22,7 +19,7 @@ pub fn completion_generator_estimate_ge(width: u32) -> f64 {
 }
 
 /// A full-system area breakdown for one synthesized design.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SystemArea {
     /// Datapath operand width the estimate assumes.
     pub width: u32,
@@ -43,7 +40,10 @@ pub struct SystemArea {
 impl SystemArea {
     /// Total system area in gate equivalents.
     pub fn total(&self) -> f64 {
-        self.control_com + self.control_seq + self.units + self.completion_generators
+        self.control_com
+            + self.control_seq
+            + self.units
+            + self.completion_generators
             + self.registers
     }
 

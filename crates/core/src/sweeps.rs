@@ -1,16 +1,18 @@
 //! Parameter sweeps beyond the paper's fixed `P ∈ {0.9, 0.7, 0.5}` grid:
 //! full latency-vs-`P` curves and enhancement-vs-TAU-count series, used by
 //! the `fig_sweeps` binary and the design-space example.
+//!
+//! All sweeps run on the deterministic batch engine: pass
+//! [`BatchRunner::serial()`] for the single-threaded oracle or
+//! [`BatchRunner::new(n)`](BatchRunner::new) to fan trials over `n`
+//! workers — the output is bit-identical either way.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 use tauhls_dfg::Dfg;
 use tauhls_sched::{Allocation, BoundDfg};
-use tauhls_sim::latency_pair;
+use tauhls_sim::{derive_seed, latency_pair_batch, BatchRunner};
 
 /// One point of a latency-vs-`P` curve.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CurvePoint {
     /// The short-completion probability.
     pub p: f64,
@@ -32,13 +34,11 @@ pub fn latency_curve(
     steps: usize,
     trials: usize,
     seed: u64,
+    runner: &BatchRunner,
 ) -> Vec<CurvePoint> {
     assert!(steps >= 2 && trials > 0);
-    let ps: Vec<f64> = (0..steps)
-        .map(|i| i as f64 / (steps - 1) as f64)
-        .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (sync, dist) = latency_pair(bound, &ps, trials, &mut rng);
+    let ps: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
+    let (sync, dist) = latency_pair_batch(bound, &ps, trials as u64, seed, runner);
     ps.iter()
         .enumerate()
         .map(|(i, &p)| {
@@ -55,7 +55,7 @@ pub fn latency_curve(
 }
 
 /// One point of an enhancement-vs-allocation series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AllocationPoint {
     /// Number of TAU multipliers allocated.
     pub muls: usize,
@@ -74,6 +74,7 @@ pub struct AllocationPoint {
 /// # Panics
 ///
 /// Panics if `mul_range` is empty or `trials == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn allocation_series(
     dfg: &Dfg,
     adds: usize,
@@ -82,9 +83,9 @@ pub fn allocation_series(
     p: f64,
     trials: usize,
     seed: u64,
+    runner: &BatchRunner,
 ) -> Vec<AllocationPoint> {
     assert!(trials > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for muls in mul_range {
         let alloc = Allocation::paper(muls, adds, subs);
@@ -92,11 +93,13 @@ pub fn allocation_series(
             continue;
         }
         let bound = BoundDfg::bind(dfg, &alloc);
-        let (sync, dist) = latency_pair(&bound, &[p], trials, &mut rng);
+        // Each allocation point gets its own seed-space partition, so the
+        // series is independent of which points the coverage filter skips.
+        let point_seed = derive_seed(seed, muls as u64, 0);
+        let (sync, dist) = latency_pair_batch(&bound, &[p], trials as u64, point_seed, runner);
         out.push(AllocationPoint {
             muls,
-            enhancement: (sync.average_cycles[0] - dist.average_cycles[0])
-                / sync.average_cycles[0]
+            enhancement: (sync.average_cycles[0] - dist.average_cycles[0]) / sync.average_cycles[0]
                 * 100.0,
             dist_cycles: dist.average_cycles[0],
             schedule_arcs: bound.schedule_arcs().len(),
@@ -113,7 +116,7 @@ mod tests {
     #[test]
     fn curve_is_monotone_and_anchored() {
         let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
-        let curve = latency_curve(&bound, 5, 500, 1);
+        let curve = latency_curve(&bound, 5, 500, 1, &BatchRunner::serial());
         assert_eq!(curve.len(), 5);
         // P = 1: both styles at best case, zero enhancement.
         let last = curve.last().unwrap();
@@ -133,7 +136,7 @@ mod tests {
     #[test]
     fn allocation_series_reports_arcs_and_gain() {
         let g = ar_lattice4();
-        let pts = allocation_series(&g, 2, 0, 1..=4, 0.7, 300, 2);
+        let pts = allocation_series(&g, 2, 0, 1..=4, 0.7, 300, 2, &BatchRunner::new(2));
         assert_eq!(pts.len(), 4);
         // One TAU: synchronized == distributed (the paper's base case).
         assert!(pts[0].enhancement.abs() < 0.8, "{}", pts[0].enhancement);

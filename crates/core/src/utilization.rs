@@ -4,16 +4,16 @@
 //! unit under distributed vs synchronized control, with coupled
 //! completion draws.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 use std::fmt;
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
-use tauhls_sim::{simulate_cent_sync, simulate_distributed, CompletionModel};
+use tauhls_sim::{
+    simulate_cent_sync, simulate_distributed, trial_rng, Accumulator, BatchRunner, CompletionModel,
+    CycleStats,
+};
 
 /// Utilization comparison for one benchmark.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct UtilizationRow {
     /// Benchmark name.
     pub name: String,
@@ -28,7 +28,7 @@ pub struct UtilizationRow {
 }
 
 /// A utilization comparison across the paper benchmarks.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct UtilizationTable {
     /// One row per benchmark.
     pub rows: Vec<UtilizationRow>,
@@ -38,45 +38,78 @@ pub struct UtilizationTable {
     pub trials: usize,
 }
 
+/// Per-trial accumulator: exact cycle stats plus busy-fraction sums.
+///
+/// The `f64` sums are not associative, but the batch runner folds chunk
+/// accumulators in chunk-index order, so the table is still bit-identical
+/// for any thread count.
+#[derive(Default)]
+struct UtilAcc {
+    dist: CycleStats,
+    sync: CycleStats,
+    dist_util: f64,
+    sync_util: f64,
+}
+
+impl Accumulator for UtilAcc {
+    fn empty() -> Self {
+        UtilAcc::default()
+    }
+    fn fold(&mut self, other: Self) {
+        self.dist.merge(&other.dist);
+        self.sync.merge(&other.sync);
+        self.dist_util += other.dist_util;
+        self.sync_util += other.sync_util;
+    }
+}
+
 /// Measures utilization for every paper benchmark at short-probability
-/// `p` with `trials` coupled draws.
+/// `p` with `trials` coupled draws, fanned over `runner`'s workers (one
+/// seed-space partition per benchmark).
 ///
 /// # Panics
 ///
 /// Panics if `trials == 0` or `p` is not a probability.
-pub fn utilization_table(p: f64, trials: usize, seed: u64) -> UtilizationTable {
+pub fn utilization_table(
+    p: f64,
+    trials: usize,
+    seed: u64,
+    runner: &BatchRunner,
+) -> UtilizationTable {
     assert!(trials > 0 && (0.0..=1.0).contains(&p));
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut rows = Vec::new();
-    for (dfg, alloc, _) in crate::experiments::paper_benchmarks() {
+    for (job_id, (dfg, alloc, _)) in crate::experiments::paper_benchmarks()
+        .into_iter()
+        .enumerate()
+    {
         let name = dfg.name().to_string();
         let bound = BoundDfg::bind(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&bound);
         let num_units = alloc.units().len();
-        let mut acc = [0.0f64; 4]; // dist cycles, sync cycles, dist util, sync util
-        for _ in 0..trials {
+        let util = |r: &tauhls_sim::SimResult| {
+            (0..num_units)
+                .filter(|&u| !bound.sequence(tauhls_sched::UnitId(u)).is_empty())
+                .map(|u| r.utilization(u))
+                .sum::<f64>()
+                / cu.controllers().len() as f64
+        };
+        let acc: UtilAcc = runner.run(trials as u64, |trial, acc: &mut UtilAcc| {
+            let mut rng = trial_rng(seed, job_id as u64, trial);
             let table = CompletionModel::draw_table(dfg.num_ops(), p, &mut rng);
             let d = simulate_distributed(&bound, &cu, &table, None, &mut rng);
             let s = simulate_cent_sync(&bound, &table, None, &mut rng);
-            let util = |r: &tauhls_sim::SimResult| {
-                (0..num_units)
-                    .filter(|&u| !bound.sequence(tauhls_sched::UnitId(u)).is_empty())
-                    .map(|u| r.utilization(u))
-                    .sum::<f64>()
-                    / cu.controllers().len() as f64
-            };
-            acc[0] += d.cycles as f64;
-            acc[1] += s.cycles as f64;
-            acc[2] += util(&d);
-            acc[3] += util(&s);
-        }
+            acc.dist.record(d.cycles);
+            acc.sync.record(s.cycles);
+            acc.dist_util += util(&d);
+            acc.sync_util += util(&s);
+        });
         let t = trials as f64;
         rows.push(UtilizationRow {
             name,
-            dist_cycles: acc[0] / t,
-            sync_cycles: acc[1] / t,
-            dist_utilization: acc[2] / t,
-            sync_utilization: acc[3] / t,
+            dist_cycles: acc.dist.mean(),
+            sync_cycles: acc.sync.mean(),
+            dist_utilization: acc.dist_util / t,
+            sync_utilization: acc.sync_util / t,
         });
     }
     UtilizationTable { rows, p, trials }
@@ -115,7 +148,7 @@ mod tests {
 
     #[test]
     fn distributed_utilization_never_lower() {
-        let t = utilization_table(0.6, 200, 5);
+        let t = utilization_table(0.6, 200, 5, &BatchRunner::new(2));
         assert_eq!(t.rows.len(), 6);
         for r in &t.rows {
             // Shorter makespan with (at most) the same busy work means

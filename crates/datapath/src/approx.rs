@@ -104,7 +104,10 @@ pub fn conservatism_gap(
             conservative += 1;
         }
     }
-    (exact as f64 / samples as f64, conservative as f64 / samples as f64)
+    (
+        exact as f64 / samples as f64,
+        conservative as f64 / samples as f64,
+    )
 }
 
 #[cfg(test)]
@@ -135,7 +138,10 @@ mod tests {
         assert!(p_cons <= p_exact + 1e-9);
         // The gap exists but is not catastrophic at this threshold.
         assert!(p_cons > 0.3, "conservative P collapsed: {p_cons}");
-        assert!(p_exact - p_cons < 0.4, "gap too large: {p_exact} - {p_cons}");
+        assert!(
+            p_exact - p_cons < 0.4,
+            "gap too large: {p_exact} - {p_cons}"
+        );
     }
 
     #[test]

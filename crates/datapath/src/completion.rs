@@ -64,7 +64,8 @@ impl CompletionGenerator {
     /// Evaluates the synthesized circuit (must agree with the oracle).
     pub fn predict(&self, a: u64, b: u64) -> bool {
         let w = self.width;
-        self.cover.evaluate((a & ((1 << w) - 1)) | (b & ((1 << w) - 1)) << w)
+        self.cover
+            .evaluate((a & ((1 << w) - 1)) | (b & ((1 << w) - 1)) << w)
     }
 
     /// Area of the generator under the given model (no flip-flops — it is

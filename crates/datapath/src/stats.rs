@@ -103,8 +103,18 @@ mod tests {
     fn uniform_adder_p_grows_with_threshold() {
         let mut rng = StdRng::seed_from_u64(1);
         let unit = RippleCarryAdder::new(16);
-        let p_small = measure_p(&Tau::new(unit, 4), OperandDistribution::Uniform, 4000, &mut rng);
-        let p_large = measure_p(&Tau::new(unit, 12), OperandDistribution::Uniform, 4000, &mut rng);
+        let p_small = measure_p(
+            &Tau::new(unit, 4),
+            OperandDistribution::Uniform,
+            4000,
+            &mut rng,
+        );
+        let p_large = measure_p(
+            &Tau::new(unit, 12),
+            OperandDistribution::Uniform,
+            4000,
+            &mut rng,
+        );
         assert!(p_small < p_large);
         assert!(p_large > 0.9, "12 levels cover almost all carry chains");
     }
@@ -128,14 +138,8 @@ mod tests {
     fn threshold_solver_hits_target() {
         let mut rng = StdRng::seed_from_u64(3);
         let unit = ArrayMultiplier::new(16);
-        let k = threshold_for_target_p(
-            &unit,
-            OperandDistribution::LogUniform,
-            0.7,
-            3000,
-            &mut rng,
-        )
-        .expect("achievable");
+        let k = threshold_for_target_p(&unit, OperandDistribution::LogUniform, 0.7, 3000, &mut rng)
+            .expect("achievable");
         let tau = Tau::new(unit, k);
         let p = measure_p(&tau, OperandDistribution::LogUniform, 6000, &mut rng);
         assert!(p >= 0.65, "measured {p} at threshold {k}");

@@ -135,7 +135,9 @@ mod tests {
     #[test]
     fn sd_ld_in_ns() {
         let tau = Tau::new(ArrayMultiplier::new(16), 24);
-        let tech = Technology { ns_per_level: 0.625 };
+        let tech = Technology {
+            ns_per_level: 0.625,
+        };
         assert!((tau.sd_ns(&tech) - 15.0).abs() < 1e-9);
         assert!((tau.ld_ns(&tech) - 20.0).abs() < 1e-9);
     }

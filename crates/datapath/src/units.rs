@@ -108,7 +108,12 @@ impl FunctionalUnit for RippleCarryAdder {
     }
 
     fn delay_levels(&self, a: u64, b: u64) -> u32 {
-        carry_chain_length(a & mask(self.width), b & mask(self.width), false, self.width) + 2
+        carry_chain_length(
+            a & mask(self.width),
+            b & mask(self.width),
+            false,
+            self.width,
+        ) + 2
     }
 
     fn worst_delay_levels(&self) -> u32 {

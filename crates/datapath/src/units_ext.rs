@@ -289,7 +289,10 @@ mod tests {
         for _ in 0..2000 {
             let a: u64 = rand::Rng::random::<u64>(&mut rng) & 0xFFFF;
             let b: u64 = rand::Rng::random::<u64>(&mut rng) & 0xFFFF;
-            assert!(skip.delay_levels(a, b) <= skip.worst_delay_levels(), "{a:#x}+{b:#x}");
+            assert!(
+                skip.delay_levels(a, b) <= skip.worst_delay_levels(),
+                "{a:#x}+{b:#x}"
+            );
         }
     }
 
@@ -312,13 +315,9 @@ mod tests {
         // 0xFF00 is large in magnitude but sparse in Booth digits.
         let sparse_large = 0xFF00u64;
         let dense_small = 0x0155u64; // alternating low bits
-        assert!(
-            booth.delay_levels(sparse_large, 3) < booth.delay_levels(dense_small, 0xAAAA)
-        );
+        assert!(booth.delay_levels(sparse_large, 3) < booth.delay_levels(dense_small, 0xAAAA));
         // The array multiplier sees it the other way around.
-        assert!(
-            array.delay_levels(sparse_large, 3) > array.delay_levels(dense_small, 0x3)
-        );
+        assert!(array.delay_levels(sparse_large, 3) > array.delay_levels(dense_small, 0x3));
     }
 
     #[test]

@@ -23,12 +23,7 @@ impl LevelAnalysis {
         let order = g.topo_order();
         let mut asap = vec![0usize; n];
         for &v in &order {
-            asap[v.0] = g
-                .preds(v)
-                .iter()
-                .map(|p| asap[p.0] + 1)
-                .max()
-                .unwrap_or(0);
+            asap[v.0] = g.preds(v).iter().map(|p| asap[p.0] + 1).max().unwrap_or(0);
         }
         let depth = asap.iter().copied().max().map_or(0, |d| d + 1);
         let mut alap = vec![depth.saturating_sub(1); n];

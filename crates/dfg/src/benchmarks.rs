@@ -327,7 +327,7 @@ mod tests {
         assert_eq!(h[&ResourceClass::Multiplier], 6);
         assert_eq!(h[&ResourceClass::Adder], 2);
         assert_eq!(h[&ResourceClass::Subtractor], 3); // 2 subs + 1 compare
-        // Critical path: (3x | u·dx) -> 3x·u·dx -> s1 -> s2
+                                                      // Critical path: (3x | u·dx) -> 3x·u·dx -> s1 -> s2
         assert_eq!(LevelAnalysis::new(&g).depth(), 4);
     }
 

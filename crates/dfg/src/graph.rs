@@ -1,11 +1,10 @@
 //! The dataflow-graph model: operations, operands, data edges.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an operation node within a [`Dfg`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub usize);
 
 impl fmt::Debug for OpId {
@@ -21,11 +20,11 @@ impl fmt::Display for OpId {
 }
 
 /// Identifier of a primary input of a [`Dfg`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct InputId(pub usize);
 
 /// The arithmetic operation performed by a node.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum OpKind {
     /// Two's-complement addition.
     Add,
@@ -73,7 +72,7 @@ impl OpKind {
 }
 
 /// Classes of functional units that can be allocated.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum ResourceClass {
     /// Executes [`OpKind::Mul`]. In this reproduction, the class implemented
     /// as a telescopic unit in the paper's experiments.
@@ -109,7 +108,7 @@ impl fmt::Display for ResourceClass {
 }
 
 /// One operand of an operation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Operand {
     /// A primary input of the graph.
     Input(InputId),
@@ -120,7 +119,7 @@ pub enum Operand {
 }
 
 /// An operation node: a kind plus its two operands.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Operation {
     /// What the node computes.
     pub kind: OpKind,
@@ -176,7 +175,7 @@ impl std::error::Error for DfgError {}
 /// let out = g.evaluate(&[3, 4]);
 /// assert_eq!(out["r"], 13);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dfg {
     name: String,
     input_names: Vec<String>,
@@ -277,9 +276,7 @@ impl Dfg {
         for op in &self.ops {
             for operand in [op.lhs, op.rhs] {
                 match operand {
-                    Operand::Op(p) if p.0 >= self.ops.len() => {
-                        return Err(DfgError::DanglingOp(p))
-                    }
+                    Operand::Op(p) if p.0 >= self.ops.len() => return Err(DfgError::DanglingOp(p)),
                     Operand::Input(i) if i.0 >= self.input_names.len() => {
                         return Err(DfgError::DanglingInput(i))
                     }
@@ -390,8 +387,7 @@ impl Dfg {
                     succs[p.0].push(v);
                 }
             }
-            let mut queue: Vec<OpId> =
-                (0..n).filter(|&i| indeg[i] == 0).map(OpId).collect();
+            let mut queue: Vec<OpId> = (0..n).filter(|&i| indeg[i] == 0).map(OpId).collect();
             let mut out = Vec::with_capacity(n);
             while let Some(v) = queue.pop() {
                 out.push(v);
@@ -566,8 +562,7 @@ mod tests {
         let g = tiny();
         let order = g.topo_order();
         assert_eq!(order.len(), 3);
-        let pos: HashMap<OpId, usize> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         for v in g.op_ids() {
             for p in g.preds(v) {
                 assert!(pos[&p] < pos[&v]);

@@ -148,8 +148,7 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
         }
     }
     let b = builder.ok_or_else(|| err(0, "missing dfg header"))?;
-    b.build()
-        .map_err(|e| err(0, format!("invalid graph: {e}")))
+    b.build().map_err(|e| err(0, format!("invalid graph: {e}")))
 }
 
 /// Renders a graph in the text format (round-trips through [`parse_dfg`]).

@@ -125,11 +125,7 @@ pub fn unit_controller_opts(bound: &BoundDfg, unit: UnitId, single_shot: bool) -
         let is_last = i == n - 1;
         // Single-shot controllers route the last completion into DONE.
         let (pn, target_s, target_r) = if single_shot && is_last {
-            (
-                Expr::truth(),
-                done_state.expect("single shot"),
-                None,
-            )
+            (Expr::truth(), done_state.expect("single shot"), None)
         } else {
             (pred_guard[next].clone(), s_state[next], r_state[next])
         };

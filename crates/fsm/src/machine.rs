@@ -133,13 +133,7 @@ impl Fsm {
     }
 
     /// Adds a transition.
-    pub fn add_transition(
-        &mut self,
-        from: StateId,
-        to: StateId,
-        guard: Expr,
-        outputs: Vec<usize>,
-    ) {
+    pub fn add_transition(&mut self, from: StateId, to: StateId, guard: Expr, outputs: Vec<usize>) {
         self.transitions.push(Transition {
             from,
             to,
@@ -230,10 +224,7 @@ impl Fsm {
             if ts.is_empty() {
                 return Err(FsmError::Incomplete(s));
             }
-            let mut vars: Vec<usize> = ts
-                .iter()
-                .flat_map(|t| t.guard.variables())
-                .collect();
+            let mut vars: Vec<usize> = ts.iter().flat_map(|t| t.guard.variables()).collect();
             vars.sort_unstable();
             vars.dedup();
             assert!(vars.len() <= 20, "guard support too wide to enumerate");
@@ -263,7 +254,11 @@ impl Fsm {
     ///
     /// Panics if no transition (or more than one) is enabled — run
     /// [`Fsm::check`] first.
-    pub fn step(&self, state: StateId, inputs: impl Fn(usize) -> bool + Copy) -> (StateId, Vec<usize>) {
+    pub fn step(
+        &self,
+        state: StateId,
+        inputs: impl Fn(usize) -> bool + Copy,
+    ) -> (StateId, Vec<usize>) {
         let mut hit: Option<&Transition> = None;
         for t in self.transitions.iter().filter(|t| t.from == state) {
             if t.guard.evaluate(inputs) {
@@ -299,7 +294,11 @@ impl Fsm {
             let _ = writeln!(s, "  s{i} [label=\"{name}\", shape=circle];");
         }
         for t in &self.transitions {
-            let outs: Vec<&str> = t.outputs.iter().map(|&o| self.outputs[o].as_str()).collect();
+            let outs: Vec<&str> = t
+                .outputs
+                .iter()
+                .map(|&o| self.outputs[o].as_str())
+                .collect();
             let _ = writeln!(
                 s,
                 "  s{} -> s{} [label=\"{} / {}\"];",
@@ -358,7 +357,11 @@ impl Fsm {
             self.transitions.len()
         );
         for t in &self.transitions {
-            let outs: Vec<&str> = t.outputs.iter().map(|&o| self.outputs[o].as_str()).collect();
+            let outs: Vec<&str> = t
+                .outputs
+                .iter()
+                .map(|&o| self.outputs[o].as_str())
+                .collect();
             let _ = writeln!(
                 s,
                 "  {} --[{}]--> {}  / {}",
@@ -378,10 +381,7 @@ impl Fsm {
 
 /// Runs an FSM over a scripted input trace, collecting per-cycle asserted
 /// output names. Convenience for tests and examples.
-pub fn run_trace(
-    fsm: &Fsm,
-    trace: &[HashMap<String, bool>],
-) -> Vec<(String, Vec<String>)> {
+pub fn run_trace(fsm: &Fsm, trace: &[HashMap<String, bool>]) -> Vec<(String, Vec<String>)> {
     let mut state = fsm.initial();
     let mut out = Vec::new();
     for step in trace {

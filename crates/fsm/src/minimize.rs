@@ -74,13 +74,11 @@ pub fn minimize_states(fsm: &Fsm) -> Fsm {
             let b = *sig_to_block.entry(key).or_insert(nb);
             next_block_of.insert(s, b);
         }
-        let stable = states
-            .iter()
-            .all(|&s| {
-                states
-                    .iter()
-                    .all(|&t| (block_of[&s] == block_of[&t]) == (next_block_of[&s] == next_block_of[&t]))
-            });
+        let stable = states.iter().all(|&s| {
+            states.iter().all(|&t| {
+                (block_of[&s] == block_of[&t]) == (next_block_of[&s] == next_block_of[&t])
+            })
+        });
         block_of = next_block_of;
         if stable {
             break;
@@ -299,9 +297,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let fsms: Vec<crate::machine::Fsm> = (0..4)
-            .map(|u| unit_controller(&bound, UnitId(u)))
-            .collect();
+        let fsms: Vec<crate::machine::Fsm> =
+            (0..4).map(|u| unit_controller(&bound, UnitId(u))).collect();
         let refs: Vec<&crate::machine::Fsm> = fsms.iter().collect();
         let p = synchronous_product("CENT", &refs);
         let m = minimize_states(&p);

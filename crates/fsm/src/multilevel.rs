@@ -49,9 +49,7 @@ pub fn unit_controller_multilevel(bound: &BoundDfg, unit: UnitId, levels: u32) -
     let mut stage_states = Vec::with_capacity(n);
     for &op in seq {
         let states: Vec<_> = (0..levels)
-            .map(|l| {
-                fsm.add_state(format!("S{}{}", op.0, "'".repeat(l as usize)))
-            })
+            .map(|l| fsm.add_state(format!("S{}{}", op.0, "'".repeat(l as usize))))
             .collect();
         stage_states.push(states);
     }
@@ -68,17 +66,14 @@ pub fn unit_controller_multilevel(bound: &BoundDfg, unit: UnitId, levels: u32) -
     let c_level: Vec<usize> = (1..levels)
         .map(|l| fsm.add_input(level_completion(&uname, l)))
         .collect();
-    let pred_guard: Vec<Expr> = seq
-        .iter()
-        .map(|&op| {
-            Expr::all(
-                bound
-                    .cross_unit_preds(op)
-                    .into_iter()
-                    .map(|p| Expr::var(fsm.add_input(crate::distributed::signals::op_completion(p)))),
-            )
-        })
-        .collect();
+    let pred_guard: Vec<Expr> =
+        seq.iter()
+            .map(|&op| {
+                Expr::all(bound.cross_unit_preds(op).into_iter().map(|p| {
+                    Expr::var(fsm.add_input(crate::distributed::signals::op_completion(p)))
+                }))
+            })
+            .collect();
 
     let of: Vec<usize> = seq
         .iter()
@@ -129,12 +124,7 @@ pub fn unit_controller_multilevel(bound: &BoundDfg, unit: UnitId, levels: u32) -
                 }
             }
             if !is_final {
-                fsm.add_transition(
-                    here,
-                    stage_states[i][l + 1],
-                    done_guard.not(),
-                    vec![of[i]],
-                );
+                fsm.add_transition(here, stage_states[i][l + 1], done_guard.not(), vec![of[i]]);
             }
         }
     }
@@ -215,7 +205,7 @@ mod tests {
         let (s, outs) = fsm.step(s, |v| v == c2 || v == c_po3);
         assert_eq!(fsm.state_name(s), "S1");
         assert!(outs.len() >= 2); // completing outputs
-        // Miss both intermediate levels: the final stage is unconditional.
+                                  // Miss both intermediate levels: the final stage is unconditional.
         let (s, _) = fsm.step(s0, |_| false);
         let (s, _) = fsm.step(s, |_| false);
         assert_eq!(fsm.state_name(s), "S0''");

@@ -42,9 +42,7 @@ pub fn synchronous_product(name: &str, components: &[&Fsm]) -> Fsm {
     let mut external_inputs: Vec<String> = Vec::new();
     for f in components {
         for inp in f.inputs() {
-            if !produced.contains_key(inp.as_str())
-                && !external_inputs.iter().any(|e| e == inp)
-            {
+            if !produced.contains_key(inp.as_str()) && !external_inputs.iter().any(|e| e == inp) {
                 external_inputs.push(inp.clone());
             }
         }
@@ -101,10 +99,7 @@ pub fn synchronous_product(name: &str, components: &[&Fsm]) -> Fsm {
                 .collect();
             ext_outs.sort_unstable();
             ext_outs.dedup();
-            buckets
-                .entry((next, ext_outs))
-                .or_default()
-                .push(minterm);
+            buckets.entry((next, ext_outs)).or_default().push(minterm);
         }
         let mut entries: Vec<_> = buckets.into_iter().collect();
         entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0 .1.cmp(&b.0 .1)));
@@ -150,10 +145,8 @@ pub(crate) fn step_product(
                 asserted.push(f.outputs()[o].clone());
             }
         }
-        let new_internal: HashMap<String, bool> = asserted
-            .iter()
-            .map(|n| (n.clone(), true))
-            .collect();
+        let new_internal: HashMap<String, bool> =
+            asserted.iter().map(|n| (n.clone(), true)).collect();
         let stable = new_internal
             .keys()
             .all(|k| internal.get(k).copied().unwrap_or(false))
@@ -225,12 +218,9 @@ mod tests {
         }
         let g = b.build().unwrap();
         let alloc = Allocation::paper(n, 0, 0);
-        let bound =
-            BoundDfg::bind_explicit(&g, &alloc, ids.into_iter().map(|i| vec![i]).collect())
-                .unwrap();
-        let fsms: Vec<Fsm> = (0..n)
-            .map(|u| unit_controller(&bound, UnitId(u)))
-            .collect();
+        let bound = BoundDfg::bind_explicit(&g, &alloc, ids.into_iter().map(|i| vec![i]).collect())
+            .unwrap();
+        let fsms: Vec<Fsm> = (0..n).map(|u| unit_controller(&bound, UnitId(u))).collect();
         (bound, fsms)
     }
 
@@ -325,9 +315,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let fsms: Vec<Fsm> = (0..4)
-            .map(|u| unit_controller(&bound, UnitId(u)))
-            .collect();
+        let fsms: Vec<Fsm> = (0..4).map(|u| unit_controller(&bound, UnitId(u))).collect();
         let refs: Vec<&Fsm> = fsms.iter().collect();
         let p = synchronous_product("CENT(fig3)", &refs);
         p.check().unwrap();

@@ -125,8 +125,7 @@ fn state_cube(enc: Encoding, bits: usize, s: StateId) -> Cube {
         }
         _ => {
             let code = encode(enc, s);
-            let lits: Vec<(usize, bool)> =
-                (0..bits).map(|b| (b, code >> b & 1 == 1)).collect();
+            let lits: Vec<(usize, bool)> = (0..bits).map(|b| (b, code >> b & 1 == 1)).collect();
             Cube::from_literals(&lits)
         }
     }
@@ -167,8 +166,7 @@ pub fn synthesize(fsm: &Fsm, encoding: Encoding, model: &AreaModel) -> Synthesiz
             (0..n).map(|s| encode(encoding, StateId(s))).collect();
         for code in 0..1u64 << bits {
             if !used.contains(&code) {
-                let lits: Vec<(usize, bool)> =
-                    (0..bits).map(|b| (b, code >> b & 1 == 1)).collect();
+                let lits: Vec<(usize, bool)> = (0..bits).map(|b| (b, code >> b & 1 == 1)).collect();
                 dc.push(Cube::from_literals(&lits));
             }
         }
@@ -176,7 +174,9 @@ pub fn synthesize(fsm: &Fsm, encoding: Encoding, model: &AreaModel) -> Synthesiz
 
     // Onsets.
     let mut next_on: Vec<Cover> = (0..bits).map(|_| Cover::empty(vars)).collect();
-    let mut out_on: Vec<Cover> = (0..fsm.outputs().len()).map(|_| Cover::empty(vars)).collect();
+    let mut out_on: Vec<Cover> = (0..fsm.outputs().len())
+        .map(|_| Cover::empty(vars))
+        .collect();
     for t in fsm.transitions() {
         let sc = state_cube(encoding, bits, t.from);
         let guard_cubes = shift_guard(&t.guard, num_inputs, bits);

@@ -82,17 +82,12 @@ pub fn cent_sync_fsm_with_schedule(bound: &BoundDfg, step_of: &[usize]) -> Fsm {
             Some(ext) => {
                 // Synchronized guard over the completions of every active
                 // TAU unit in this step.
-                let mut unit_ids: Vec<usize> = st
-                    .tau_ops
-                    .iter()
-                    .map(|&o| bound.unit_of(o).0)
-                    .collect();
+                let mut unit_ids: Vec<usize> =
+                    st.tau_ops.iter().map(|&o| bound.unit_of(o).0).collect();
                 unit_ids.sort_unstable();
                 unit_ids.dedup();
                 let all = Expr::all(unit_ids.iter().map(|&u| {
-                    Expr::var(fsm.add_input(signals::unit_completion(
-                        &units[u].display_name(),
-                    )))
+                    Expr::var(fsm.add_input(signals::unit_completion(&units[u].display_name())))
                 }));
                 // Short path: everything completes in the base half.
                 let short_outs: Vec<usize> = of_fixed

@@ -1,7 +1,7 @@
 //! Property tests for Mealy state minimization and synthesis over random
 //! deterministic complete machines.
 
-use proptest::prelude::*;
+use tauhls_check::{forall, Gen};
 use tauhls_fsm::{
     equivalent_behaviour, minimize_states, synthesize, verify_synthesis, Encoding, Fsm,
 };
@@ -47,49 +47,53 @@ fn random_fsm(
     fsm
 }
 
-fn fsm_strategy() -> impl Strategy<Value = Fsm> {
-    (2usize..7, 1usize..3, 1usize..3).prop_flat_map(|(ns, ni, no)| {
-        let cells = ns * (1 << ni);
-        (
-            Just((ns, ni, no)),
-            proptest::collection::vec((0usize..ns, 0u64..1 << no), cells),
-        )
-            .prop_map(move |((ns, ni, no), table)| random_fsm(ns, ni, no, &table))
-    })
+/// Draws a random machine: 2-6 states, 1-2 inputs, 1-2 outputs.
+fn draw_fsm(g: &mut Gen) -> Fsm {
+    let ns = g.usize(2..7);
+    let ni = g.usize(1..3);
+    let no = g.usize(1..3);
+    let cells = ns * (1 << ni);
+    let table = g.vec(cells, |g| (g.usize(0..ns), g.u64(0..1 << no)));
+    random_fsm(ns, ni, no, &table)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn minimization_preserves_behaviour(fsm in fsm_strategy()) {
-        prop_assert!(fsm.check().is_ok());
+#[test]
+fn minimization_preserves_behaviour() {
+    forall("minimization_preserves_behaviour", 64, |g| {
+        let fsm = draw_fsm(g);
+        assert!(fsm.check().is_ok());
         let min = minimize_states(&fsm);
-        prop_assert!(min.check().is_ok());
-        prop_assert!(min.num_states() <= fsm.num_states());
-        prop_assert!(equivalent_behaviour(&fsm, &min));
+        assert!(min.check().is_ok());
+        assert!(min.num_states() <= fsm.num_states());
+        assert!(equivalent_behaviour(&fsm, &min));
         // Idempotence.
         let min2 = minimize_states(&min);
-        prop_assert_eq!(min.num_states(), min2.num_states());
-    }
+        assert_eq!(min.num_states(), min2.num_states());
+    });
+}
 
-    #[test]
-    fn synthesis_correct_for_random_machines(fsm in fsm_strategy()) {
+#[test]
+fn synthesis_correct_for_random_machines() {
+    forall("synthesis_correct_for_random_machines", 64, |g| {
+        let fsm = draw_fsm(g);
         for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
             let syn = synthesize(&fsm, enc, &AreaModel::default());
-            prop_assert!(
+            assert!(
                 verify_synthesis(&fsm, &syn, enc),
-                "{:?} encoding diverged", enc
+                "{enc:?} encoding diverged"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn minimized_machine_synthesizes_no_larger_seq(fsm in fsm_strategy()) {
+#[test]
+fn minimized_machine_synthesizes_no_larger_seq() {
+    forall("minimized_machine_synthesizes_no_larger_seq", 64, |g| {
+        let fsm = draw_fsm(g);
         let min = minimize_states(&fsm);
         let a = synthesize(&fsm, Encoding::Binary, &AreaModel::default());
         let b = synthesize(&min, Encoding::Binary, &AreaModel::default());
-        prop_assert!(b.flip_flops() <= a.flip_flops());
-        prop_assert!(b.area().sequential <= a.area().sequential);
-    }
+        assert!(b.flip_flops() <= a.flip_flops());
+        assert!(b.area().sequential <= a.area().sequential);
+    });
 }

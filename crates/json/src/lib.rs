@@ -1,0 +1,278 @@
+//! # tauhls-json — deterministic JSON for artifact snapshots
+//!
+//! The workspace writes machine-readable copies of the paper artifacts
+//! (Table 1, Table 2, sweep curves) and snapshot-tests them byte-for-byte
+//! against checked-in golden files under `results/`. That demands a JSON
+//! emitter that is (a) dependency-free, so the workspace builds offline,
+//! and (b) *deterministic*: object keys keep insertion order and floats
+//! print via Rust's shortest-roundtrip formatting, which is identical on
+//! every platform.
+//!
+//! # Examples
+//!
+//! ```
+//! use tauhls_json::Json;
+//!
+//! let doc = Json::object([
+//!     ("name", Json::from("fir5")),
+//!     ("cycles", Json::from(5usize)),
+//!     ("averages", Json::array([5.5f64.into(), 6.25f64.into()])),
+//! ]);
+//! assert_eq!(doc.to_compact(), r#"{"name":"fir5","cycles":5,"averages":[5.5,6.25]}"#);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer (for counts exceeding `i64`).
+    UInt(u64),
+    /// A finite float, printed with shortest-roundtrip formatting.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An ordered key-value map.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+/// Types that render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// An array of floats.
+    pub fn floats<'a>(items: impl IntoIterator<Item = &'a f64>) -> Json {
+        Json::Array(items.into_iter().map(|&f| Json::Float(f)).collect())
+    }
+
+    /// Serializes without whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the canonical form for checked-in golden files.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i, lvl| {
+                    items[i].write(out, indent, lvl)
+                });
+            }
+            Json::Object(pairs) => {
+                write_seq(out, indent, level, '{', '}', pairs.len(), |out, i, lvl| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, lvl);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(level + 1) * width {
+                out.push(' ');
+            }
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..level * width {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// Writes a float deterministically: integral values gain a `.0` suffix so
+/// they stay distinguishable from integers; non-finite values (which JSON
+/// cannot express) become `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_compact(), "null");
+        assert_eq!(Json::from(true).to_compact(), "true");
+        assert_eq!(Json::from(-3i64).to_compact(), "-3");
+        assert_eq!(Json::from(7usize).to_compact(), "7");
+        assert_eq!(Json::from(2.5).to_compact(), "2.5");
+        assert_eq!(Json::from(2.0).to_compact(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::from("a\"b\n").to_compact(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn pretty_printing_is_stable() {
+        let doc = Json::object([
+            ("b", Json::from(1i64)),
+            ("a", Json::array([Json::from("x"), Json::Null])),
+            ("empty", Json::array([])),
+        ]);
+        let expected =
+            "{\n  \"b\": 1,\n  \"a\": [\n    \"x\",\n    null\n  ],\n  \"empty\": []\n}\n";
+        assert_eq!(doc.to_pretty(), expected);
+        // Insertion order is preserved (no key sorting).
+        assert!(doc.to_pretty().find("\"b\"").unwrap() < doc.to_pretty().find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn float_roundtrip_formatting() {
+        // Shortest-roundtrip: parse(back) == original.
+        for &v in &[0.1, 1.0 / 3.0, 68.5812, 1e-9, 12345.678901] {
+            let s = Json::from(v).to_compact();
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back, v, "{s}");
+        }
+    }
+
+    #[test]
+    fn nested_compact() {
+        let doc = Json::object([(
+            "rows",
+            Json::array([Json::object([("n", Json::from(1i64))])]),
+        )]);
+        assert_eq!(doc.to_compact(), r#"{"rows":[{"n":1}]}"#);
+    }
+}

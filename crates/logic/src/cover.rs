@@ -234,11 +234,7 @@ impl Cover {
         let mut best_cnt = 0u32;
         for v in 0..self.num_vars {
             if used & (1 << v) != 0 {
-                let cnt = self
-                    .cubes
-                    .iter()
-                    .filter(|c| c.literal(v).is_some())
-                    .count() as u32;
+                let cnt = self.cubes.iter().filter(|c| c.literal(v).is_some()).count() as u32;
                 if cnt > best_cnt {
                     best_cnt = cnt;
                     best = v;
@@ -299,11 +295,7 @@ impl Cover {
         let mut best = 0usize;
         let mut best_cnt = 0usize;
         for v in 0..n {
-            let cnt = self
-                .cubes
-                .iter()
-                .filter(|c| c.literal(v).is_some())
-                .count();
+            let cnt = self.cubes.iter().filter(|c| c.literal(v).is_some()).count();
             if cnt > best_cnt {
                 best_cnt = cnt;
                 best = v;
@@ -333,7 +325,12 @@ impl Cover {
 
 impl fmt::Debug for Cover {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Cover({} vars, {} cubes):", self.num_vars, self.cubes.len())?;
+        writeln!(
+            f,
+            "Cover({} vars, {} cubes):",
+            self.num_vars,
+            self.cubes.len()
+        )?;
         for c in &self.cubes {
             writeln!(f, "  {}", c.to_pcn_string(self.num_vars))?;
         }

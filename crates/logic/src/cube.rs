@@ -53,7 +53,10 @@ impl Cube {
     pub fn minterm(n: usize, m: u64) -> Self {
         assert!(n <= MAX_VARS, "minterm space wider than {MAX_VARS} vars");
         let mask = if n == MAX_VARS { !0 } else { (1u64 << n) - 1 };
-        Cube { mask, val: m & mask }
+        Cube {
+            mask,
+            val: m & mask,
+        }
     }
 
     /// Builds a cube from `(variable index, polarity)` pairs.
@@ -190,7 +193,11 @@ impl Cube {
     /// Intended for small `n` (exhaustive algorithms); the iterator yields
     /// `2^(n - literals)` values.
     pub fn minterms(&self, n: usize) -> impl Iterator<Item = u64> + '_ {
-        let space = if n == MAX_VARS { !0u64 } else { (1u64 << n) - 1 };
+        let space = if n == MAX_VARS {
+            !0u64
+        } else {
+            (1u64 << n) - 1
+        };
         let free = space & !self.mask;
         // Enumerate subsets of `free` via the standard (x - free) & free trick.
         let mut sub = Some(0u64);

@@ -107,16 +107,12 @@ impl Expr {
 
     /// Conjunction over an iterator of expressions.
     pub fn all(exprs: impl IntoIterator<Item = Expr>) -> Self {
-        exprs
-            .into_iter()
-            .fold(Expr::truth(), |acc, e| acc.and(e))
+        exprs.into_iter().fold(Expr::truth(), |acc, e| acc.and(e))
     }
 
     /// Disjunction over an iterator of expressions.
     pub fn any(exprs: impl IntoIterator<Item = Expr>) -> Self {
-        exprs
-            .into_iter()
-            .fold(Expr::falsity(), |acc, e| acc.or(e))
+        exprs.into_iter().fold(Expr::falsity(), |acc, e| acc.or(e))
     }
 
     /// Evaluates under an assignment given as a predicate on variable index.
@@ -166,9 +162,7 @@ impl Expr {
         match self {
             Expr::Const(true) => Cover::tautology_cover(n),
             Expr::Const(false) => Cover::empty(n),
-            Expr::Var(v) => {
-                Cover::from_cubes(n, [Cube::from_literals(&[(*v, true)])])
-            }
+            Expr::Var(v) => Cover::from_cubes(n, [Cube::from_literals(&[(*v, true)])]),
             Expr::Not(e) => complement(&e.to_cover(n)),
             Expr::And(es) => {
                 let mut acc = Cover::tautology_cover(n);

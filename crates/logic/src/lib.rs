@@ -98,11 +98,7 @@ mod tests {
     #[test]
     fn auto_heuristic_for_wide() {
         // 20 variables forces the heuristic path (limit 12).
-        let f = Cover::parse_pcn(
-            20,
-            &["11------------------", "10------------------"],
-        )
-        .unwrap();
+        let f = Cover::parse_pcn(20, &["11------------------", "10------------------"]).unwrap();
         let r = minimize_auto(&f, &Cover::empty(20), 12);
         assert_eq!(r.len(), 1);
         assert_eq!(r.literal_count(), 1);

@@ -148,13 +148,7 @@ mod tests {
 
     #[test]
     fn from_fn_and_sets_agree() {
-        let a = TruthTable::from_fn(3, |m| {
-            if m == 5 {
-                None
-            } else {
-                Some(m % 2 == 1)
-            }
-        });
+        let a = TruthTable::from_fn(3, |m| if m == 5 { None } else { Some(m % 2 == 1) });
         let b = TruthTable::from_sets(3, &[1, 3, 7], &[5]);
         assert_eq!(a, b);
         assert_eq!(a.onset(), vec![1, 3, 7]);

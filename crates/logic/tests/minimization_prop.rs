@@ -2,99 +2,121 @@
 //! engine, the result must implement the specified function exactly, never
 //! grow the canonical cover, and compose correctly with complementation.
 
-use proptest::prelude::*;
-use tauhls_logic::{
-    minimize_auto, minimize_exact, minimize_heuristic, Cover, Cube, TruthTable,
-};
+use tauhls_check::{forall, Gen};
+use tauhls_logic::{minimize_auto, minimize_exact, minimize_heuristic, Cover, Cube, TruthTable};
 
-fn table_strategy() -> impl Strategy<Value = TruthTable> {
-    (2usize..6).prop_flat_map(|n| {
-        proptest::collection::vec(0u8..3, 1 << n).prop_map(move |cells| {
-            TruthTable::from_fn(n, |m| match cells[m as usize] {
-                0 => Some(false),
-                1 => Some(true),
-                _ => None,
-            })
-        })
+/// Draws a random incompletely-specified function of 2-5 variables.
+fn draw_table(g: &mut Gen) -> TruthTable {
+    let n = g.usize(2..6);
+    let cells = g.vec(1 << n, |g| g.u8(0..3));
+    TruthTable::from_fn(n, |m| match cells[m as usize] {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
     })
 }
 
-fn cover_strategy() -> impl Strategy<Value = Cover> {
-    (1usize..7).prop_flat_map(|n| {
-        proptest::collection::vec((0u64..1 << n, 0u64..1 << n), 0..8).prop_map(move |cubes| {
-            Cover::from_cubes(n, cubes.into_iter().map(|(m, v)| Cube::new(m, v)))
-        })
-    })
+/// Draws a random cover: 1-6 variables, up to 7 cubes.
+fn draw_cover(g: &mut Gen) -> Cover {
+    let n = g.usize(1..7);
+    let num_cubes = g.usize(0..8);
+    let cubes = g.vec(num_cubes, |g| Cube::new(g.u64(0..1 << n), g.u64(0..1 << n)));
+    Cover::from_cubes(n, cubes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn dc_cover(t: &TruthTable) -> Cover {
+    Cover::from_cubes(
+        t.num_vars(),
+        t.dcset()
+            .into_iter()
+            .map(|m| Cube::minterm(t.num_vars(), m)),
+    )
+}
 
-    #[test]
-    fn exact_minimization_implements_function(t in table_strategy()) {
+#[test]
+fn exact_minimization_implements_function() {
+    forall("exact_minimization_implements_function", 128, |g| {
+        let t = draw_table(g);
         let c = minimize_exact(&t);
-        prop_assert!(t.is_implemented_by(&c));
+        assert!(t.is_implemented_by(&c));
         // Every cube is within on ∪ dc (prime implicants never cover the
         // off-set).
         for cube in c.cubes() {
             for m in cube.minterms(t.num_vars()) {
-                prop_assert!(t.get(m) != tauhls_logic::Tri::Off, "cube covers off-set");
+                assert!(t.get(m) != tauhls_logic::Tri::Off, "cube covers off-set");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn heuristic_equals_function_and_never_grows(t in table_strategy()) {
+#[test]
+fn heuristic_equals_function_and_never_grows() {
+    forall("heuristic_equals_function_and_never_grows", 128, |g| {
+        let t = draw_table(g);
         let canon = t.canonical_cover();
-        let dc = Cover::from_cubes(
-            t.num_vars(),
-            t.dcset().into_iter().map(|m| Cube::minterm(t.num_vars(), m)),
-        );
+        let dc = dc_cover(&t);
         let h = minimize_heuristic(&canon, &dc);
-        prop_assert!(t.is_implemented_by(&h));
-        prop_assert!(h.len() <= canon.len());
+        assert!(t.is_implemented_by(&h));
+        assert!(h.len() <= canon.len());
         // Auto engine agrees on implementation too.
         let a = minimize_auto(&canon, &dc, 12);
-        prop_assert!(t.is_implemented_by(&a));
-    }
+        assert!(t.is_implemented_by(&a));
+    });
+}
 
-    #[test]
-    fn exact_never_larger_than_heuristic_in_cubes(t in table_strategy()) {
+#[test]
+fn exact_never_larger_than_heuristic_in_cubes() {
+    forall("exact_never_larger_than_heuristic_in_cubes", 128, |g| {
+        let t = draw_table(g);
         let exact = minimize_exact(&t);
-        let h = minimize_heuristic(&t.canonical_cover(), &Cover::from_cubes(
-            t.num_vars(),
-            t.dcset().into_iter().map(|m| Cube::minterm(t.num_vars(), m)),
-        ));
-        prop_assert!(exact.len() <= h.len(),
-            "exact {} cubes vs heuristic {}", exact.len(), h.len());
-    }
+        let h = minimize_heuristic(&t.canonical_cover(), &dc_cover(&t));
+        assert!(
+            exact.len() <= h.len(),
+            "exact {} cubes vs heuristic {}",
+            exact.len(),
+            h.len()
+        );
+    });
+}
 
-    #[test]
-    fn complement_laws(f in cover_strategy()) {
+#[test]
+fn complement_laws() {
+    forall("complement_laws", 128, |g| {
+        let f = draw_cover(g);
         let n = f.num_vars();
-        let g = f.complement();
+        let g2 = f.complement();
         // F ∧ ¬F = 0 (pointwise), F ∨ ¬F = 1.
         for m in 0..1u64 << n {
-            prop_assert!(f.evaluate(m) != g.evaluate(m));
+            assert!(f.evaluate(m) != g2.evaluate(m));
         }
-        prop_assert!(f.or(&g).is_tautology());
-        prop_assert!(g.complement().equivalent(&f));
-    }
+        assert!(f.or(&g2).is_tautology());
+        assert!(g2.complement().equivalent(&f));
+    });
+}
 
-    #[test]
-    fn tautology_matches_enumeration(f in cover_strategy()) {
+#[test]
+fn tautology_matches_enumeration() {
+    forall("tautology_matches_enumeration", 128, |g| {
+        let f = draw_cover(g);
         let n = f.num_vars();
         let all = (0..1u64 << n).all(|m| f.evaluate(m));
-        prop_assert_eq!(f.is_tautology(), all);
-    }
+        assert_eq!(f.is_tautology(), all);
+    });
+}
 
-    #[test]
-    fn equivalence_is_reflexive_and_detects_difference(f in cover_strategy()) {
-        prop_assert!(f.equivalent(&f));
-        let g = f.complement();
-        let nonconstant = !f.is_empty() && !f.is_tautology();
-        if nonconstant {
-            prop_assert!(!f.equivalent(&g));
-        }
-    }
+#[test]
+fn equivalence_is_reflexive_and_detects_difference() {
+    forall(
+        "equivalence_is_reflexive_and_detects_difference",
+        128,
+        |g| {
+            let f = draw_cover(g);
+            assert!(f.equivalent(&f));
+            let g2 = f.complement();
+            let nonconstant = !f.is_empty() && !f.is_tautology();
+            if nonconstant {
+                assert!(!f.equivalent(&g2));
+            }
+        },
+    );
 }

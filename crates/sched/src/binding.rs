@@ -89,8 +89,7 @@ impl BoundDfg {
                     .copied()
                     .min_by_key(|&u| {
                         let seq = &sequences[u.0];
-                        let last_step =
-                            seq.last().map_or(-1i64, |&l| schedule.step(l) as i64);
+                        let last_step = seq.last().map_or(-1i64, |&l| schedule.step(l) as i64);
                         let needs_arc = match seq.last() {
                             Some(&l) => !reach[l.0][o.0],
                             None => false,
@@ -105,8 +104,15 @@ impl BoundDfg {
                 unit_of[o.0] = best;
             }
         }
-        Self::finish(dfg.clone(), alloc.clone(), schedule, unit_of, sequences, reach)
-            .expect("left-edge binding is always consistent")
+        Self::finish(
+            dfg.clone(),
+            alloc.clone(),
+            schedule,
+            unit_of,
+            sequences,
+            reach,
+        )
+        .expect("left-edge binding is always consistent")
     }
 
     /// Schedules and binds using **chain decomposition**: each class's
@@ -153,8 +159,7 @@ impl BoundDfg {
             // the unit with the fewest ops.
             let mut order: Vec<usize> = (0..chains.len()).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(chains[i].len()));
-            let mut loads: Vec<(usize, UnitId)> =
-                unit_ids.iter().map(|&u| (0usize, u)).collect();
+            let mut loads: Vec<(usize, UnitId)> = unit_ids.iter().map(|&u| (0usize, u)).collect();
             for &ci in &order {
                 loads.sort();
                 let (load, unit) = loads[0];
@@ -174,8 +179,15 @@ impl BoundDfg {
                 unit_of[o.0] = UnitId(ui);
             }
         }
-        Self::finish(dfg.clone(), alloc.clone(), schedule, unit_of, sequences, reach)
-            .expect("chain binding is always consistent")
+        Self::finish(
+            dfg.clone(),
+            alloc.clone(),
+            schedule,
+            unit_of,
+            sequences,
+            reach,
+        )
+        .expect("chain binding is always consistent")
     }
 
     /// Builds a binding from explicit per-unit operation sequences (used to
@@ -404,10 +416,7 @@ mod tests {
         let b = fig3_paper_binding();
         // M2's sequence (O6, O4, O8) needs arcs O6→O4 and O4→O8; the adder
         // sequences (O3,O2) and (O7,O5) are already data-ordered.
-        assert_eq!(
-            b.schedule_arcs(),
-            &[(OpId(6), OpId(4)), (OpId(4), OpId(8))]
-        );
+        assert_eq!(b.schedule_arcs(), &[(OpId(6), OpId(4)), (OpId(4), OpId(8))]);
         assert!(b.precedes(OpId(6), OpId(8)));
         assert!(b.precedes(OpId(6), OpId(4))); // via the arc
         assert!(!b.precedes(OpId(1), OpId(4)));
@@ -435,10 +444,7 @@ mod tests {
         // Every op bound to a unit of its class.
         let units = alloc.units();
         for v in g.op_ids() {
-            assert_eq!(
-                units[b.unit_of(v).0].class,
-                g.op(v).kind.resource_class()
-            );
+            assert_eq!(units[b.unit_of(v).0].class, g.op(v).kind.resource_class());
         }
         // Multiplications need at least 2 arcs (3 chains onto 2 units);
         // the arc-avoiding left edge should not need more than 3 overall.
@@ -494,10 +500,7 @@ mod tests {
         let alloc = Allocation::paper(2, 1, 1);
         let b = BoundDfg::bind(&g, &alloc);
         // 6 muls over 2 units, 2 adds on 1, 3 sub-class ops on 1.
-        assert_eq!(
-            b.sequence(UnitId(0)).len() + b.sequence(UnitId(1)).len(),
-            6
-        );
+        assert_eq!(b.sequence(UnitId(0)).len() + b.sequence(UnitId(1)).len(), 6);
         assert_eq!(b.sequence(UnitId(2)).len(), 2);
         assert_eq!(b.sequence(UnitId(3)).len(), 3);
         // No same-unit sequence may violate data order.
@@ -563,8 +566,7 @@ mod tests {
             let reach = crate::depgraph::reachability(&g);
             let enough = tauhls_dfg::ResourceClass::ALL.iter().all(|&c| {
                 let dep = crate::depgraph::DependencyGraph::for_class(&g, c, &reach);
-                dep.nodes().is_empty()
-                    || dep.min_clique_cover().len() <= alloc.count(c)
+                dep.nodes().is_empty() || dep.min_clique_cover().len() <= alloc.count(c)
             });
             if enough {
                 assert!(b.schedule_arcs().is_empty());

@@ -142,7 +142,13 @@ impl DependencyGraph {
 
         for i in 0..k {
             let mut visited = vec![false; k];
-            try_augment(i, &self.ordered, &mut match_right, &mut match_left, &mut visited);
+            try_augment(
+                i,
+                &self.ordered,
+                &mut match_right,
+                &mut match_left,
+                &mut visited,
+            );
         }
 
         // Chains: start at nodes that are not anyone's successor.
@@ -277,10 +283,7 @@ mod tests {
                 let greedy = dep.greedy_clique_cover();
                 assert!(exact.len() <= greedy.len());
                 // Both are partitions.
-                assert_eq!(
-                    exact.iter().map(Vec::len).sum::<usize>(),
-                    dep.nodes().len()
-                );
+                assert_eq!(exact.iter().map(Vec::len).sum::<usize>(), dep.nodes().len());
                 assert_eq!(
                     greedy.iter().map(Vec::len).sum::<usize>(),
                     dep.nodes().len()

@@ -60,10 +60,7 @@ impl ListSchedule {
                 }
             }
             step += 1;
-            assert!(
-                step <= 2 * n + 1,
-                "list scheduling failed to make progress"
-            );
+            assert!(step <= 2 * n + 1, "list scheduling failed to make progress");
         }
         ListSchedule {
             step_of,

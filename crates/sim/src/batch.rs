@@ -1,0 +1,526 @@
+//! Deterministic parallel Monte-Carlo batch engine.
+//!
+//! The serial harnesses in [`crate::latency`] thread one RNG through every
+//! trial, so their output depends on trial *order* and cannot be
+//! parallelised without changing results. This module decouples trials
+//! instead: every trial owns an RNG seeded from
+//! `derive_seed(base_seed, job_id, trial_index)`, so the stream a trial
+//! sees is a pure function of its coordinates. Work is then fanned over
+//! [`std::thread::scope`] workers pulling fixed-size chunks off an atomic
+//! queue, and per-chunk accumulators are folded **in chunk-index order**
+//! after the join. The combination makes results bit-identical for any
+//! thread count — `threads = 1` runs the very same chunking and folding
+//! and serves as the reference oracle.
+//!
+//! Latency statistics use [`CycleStats`], whose sums are exact integers
+//! (`u128`), so merging is associative and exact; the ordered fold then
+//! extends the guarantee to accumulators with `f64` state as well.
+//!
+//! # Examples
+//!
+//! ```
+//! use tauhls_sim::{BatchRunner, ControlStyle, SimJob, CompletionModel};
+//! use tauhls_sched::{Allocation, BoundDfg};
+//! use tauhls_dfg::benchmarks::fir5;
+//!
+//! let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+//! let model = CompletionModel::Bernoulli { p: 0.5 };
+//! let job = SimJob::new(&bound, ControlStyle::Distributed, &model).trials(500);
+//! let serial = job.run(42, &BatchRunner::serial());
+//! let parallel = job.run(42, &BatchRunner::new(4));
+//! assert_eq!(serial, parallel); // bit-identical, not just statistically close
+//! ```
+
+use crate::centsync::simulate_cent_sync;
+use crate::distributed::simulate_distributed;
+use crate::latency::{ControlStyle, LatencySummary};
+use crate::model::CompletionModel;
+use rand::rngs::StdRng;
+use rand::{splitmix64_mix, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tauhls_fsm::DistributedControlUnit;
+use tauhls_sched::BoundDfg;
+
+/// Derives the RNG seed for one trial of one job.
+///
+/// The derivation composes two SplitMix64 finalizer rounds, so nearby
+/// `(base_seed, job_id, trial)` coordinates map to statistically unrelated
+/// seeds. Every batch API routes its randomness through this function;
+/// that is what makes results independent of scheduling.
+pub fn derive_seed(base_seed: u64, job_id: u64, trial: u64) -> u64 {
+    splitmix64_mix(splitmix64_mix(base_seed ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ trial)
+}
+
+/// The RNG a given trial observes: [`derive_seed`] fed to `StdRng`.
+pub fn trial_rng(base_seed: u64, job_id: u64, trial: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(base_seed, job_id, trial))
+}
+
+/// Mergeable statistics over an integer-valued observable (cycle counts).
+///
+/// Sums are kept in `u128`, so [`CycleStats::merge`] is exact and
+/// associative — the merged result of any partition of the trials equals
+/// the single-pass result, making cross-thread reduction deterministic by
+/// construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CycleStats {
+    /// Number of recorded trials.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u128,
+    /// Exact sum of squared observations.
+    pub sum_sq: u128,
+    /// Minimum observation (`usize::MAX` when empty).
+    pub min: usize,
+    /// Maximum observation (`0` when empty).
+    pub max: usize,
+}
+
+impl CycleStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        CycleStats {
+            count: 0,
+            sum: 0,
+            sum_sq: 0,
+            min: usize::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, cycles: usize) {
+        self.count += 1;
+        self.sum += cycles as u128;
+        self.sum_sq += (cycles as u128) * (cycles as u128);
+        self.min = self.min.min(cycles);
+        self.max = self.max.max(cycles);
+    }
+
+    /// Merges another accumulator into this one (exact).
+    pub fn merge(&mut self, other: &CycleStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Population variance (`NaN` when empty).
+    pub fn variance(&self) -> f64 {
+        let n = self.count as f64;
+        let mean = self.mean();
+        self.sum_sq as f64 / n - mean * mean
+    }
+}
+
+impl Accumulator for CycleStats {
+    fn empty() -> Self {
+        CycleStats::new()
+    }
+    fn fold(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
+/// Per-chunk partial state the runner folds back together.
+///
+/// `fold` is applied to chunk results in ascending chunk-index order, so
+/// implementations need not be commutative — only deterministic.
+pub trait Accumulator: Send {
+    /// The identity element a fresh chunk starts from.
+    fn empty() -> Self;
+    /// Absorbs the accumulator of the next chunk (in chunk order).
+    fn fold(&mut self, other: Self);
+}
+
+impl<A: Accumulator, B: Accumulator> Accumulator for (A, B) {
+    fn empty() -> Self {
+        (A::empty(), B::empty())
+    }
+    fn fold(&mut self, other: Self) {
+        self.0.fold(other.0);
+        self.1.fold(other.1);
+    }
+}
+
+/// Fans trials over worker threads with deterministic reduction.
+///
+/// Trials are split into fixed-size chunks; workers claim chunks from an
+/// atomic counter, run each trial with its own derived RNG, and keep one
+/// accumulator per chunk. After the scope joins, chunk accumulators are
+/// folded in chunk-index order. Because chunk boundaries depend only on
+/// `(trials, chunk_size)` — never on thread count or scheduling — the
+/// result is bit-identical for any `threads >= 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    threads: usize,
+    chunk_size: u64,
+}
+
+/// Default number of trials a worker claims at a time.
+pub const DEFAULT_CHUNK_SIZE: u64 = 64;
+
+impl BatchRunner {
+    /// A runner using `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// The single-threaded reference oracle (same chunking, same fold).
+    pub fn serial() -> Self {
+        BatchRunner::new(1)
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn available() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchRunner::new(threads)
+    }
+
+    /// Overrides the chunk size. Results depend on the chunk size only
+    /// through accumulators with non-associative (`f64`) state; exact
+    /// accumulators such as [`CycleStats`] are invariant to it.
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trials` trials of `trial_fn`, reducing into one accumulator.
+    ///
+    /// `trial_fn` receives the global trial index and the chunk's
+    /// accumulator; it must derive any randomness from the trial index
+    /// (see [`trial_rng`]) for the determinism guarantee to hold.
+    pub fn run<A, F>(&self, trials: u64, trial_fn: F) -> A
+    where
+        A: Accumulator,
+        F: Fn(u64, &mut A) + Sync,
+    {
+        if trials == 0 {
+            return A::empty();
+        }
+        let chunk_size = self.chunk_size;
+        let num_chunks = trials.div_ceil(chunk_size) as usize;
+        let run_chunk = |chunk: usize| {
+            let mut acc = A::empty();
+            let start = chunk as u64 * chunk_size;
+            let end = (start + chunk_size).min(trials);
+            for trial in start..end {
+                trial_fn(trial, &mut acc);
+            }
+            acc
+        };
+
+        let mut per_chunk: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
+        if self.threads == 1 || num_chunks == 1 {
+            for (chunk, slot) in per_chunk.iter_mut().enumerate() {
+                *slot = Some(run_chunk(chunk));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = self.threads.min(num_chunks);
+            let mut harvested: Vec<Vec<(usize, A)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                                if chunk >= num_chunks {
+                                    break;
+                                }
+                                local.push((chunk, run_chunk(chunk)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            });
+            for (chunk, acc) in harvested.iter_mut().flat_map(std::mem::take) {
+                per_chunk[chunk] = Some(acc);
+            }
+        }
+
+        let mut merged = A::empty();
+        for slot in per_chunk {
+            merged.fold(slot.expect("every chunk was claimed exactly once"));
+        }
+        merged
+    }
+}
+
+/// One Monte-Carlo job: a bound DFG simulated under one control style and
+/// one completion model for a number of trials.
+///
+/// The `job_id` partitions the seed space: two jobs sharing a `base_seed`
+/// but differing in `job_id` draw unrelated streams, so a sweep can give
+/// each swept point its own id and remain deterministic under any
+/// evaluation order.
+#[derive(Clone, Copy, Debug)]
+pub struct SimJob<'a> {
+    bound: &'a BoundDfg,
+    style: ControlStyle,
+    model: &'a CompletionModel,
+    trials: u64,
+    job_id: u64,
+}
+
+impl<'a> SimJob<'a> {
+    /// A job with 1 trial and `job_id` 0; tune with the builder methods.
+    pub fn new(bound: &'a BoundDfg, style: ControlStyle, model: &'a CompletionModel) -> Self {
+        SimJob {
+            bound,
+            style,
+            model,
+            trials: 1,
+            job_id: 0,
+        }
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the job's seed-space partition id.
+    pub fn job_id(mut self, job_id: u64) -> Self {
+        self.job_id = job_id;
+        self
+    }
+
+    /// Runs the job on `runner`, collecting cycle statistics.
+    pub fn run(&self, base_seed: u64, runner: &BatchRunner) -> CycleStats {
+        let cu = match self.style {
+            ControlStyle::Distributed => Some(DistributedControlUnit::generate(self.bound)),
+            ControlStyle::CentSync => None,
+        };
+        runner.run(self.trials, |trial, acc: &mut CycleStats| {
+            let mut rng = trial_rng(base_seed, self.job_id, trial);
+            let cycles = match &cu {
+                Some(cu) => simulate_distributed(self.bound, cu, self.model, None, &mut rng).cycles,
+                None => simulate_cent_sync(self.bound, self.model, None, &mut rng).cycles,
+            };
+            acc.record(cycles);
+        })
+    }
+}
+
+/// Parallel counterpart of [`crate::latency_summary`]: best/worst from the
+/// deterministic extremes, averages from batched Bernoulli jobs (one
+/// `job_id` per swept `P`).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn latency_summary_batch(
+    bound: &BoundDfg,
+    style: ControlStyle,
+    p_values: &[f64],
+    trials: u64,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> LatencySummary {
+    assert!(trials > 0);
+    let serial = BatchRunner::serial();
+    let best = SimJob::new(bound, style, &CompletionModel::AlwaysShort).run(base_seed, &serial);
+    let worst = SimJob::new(bound, style, &CompletionModel::AlwaysLong).run(base_seed, &serial);
+    let average_cycles = p_values
+        .iter()
+        .enumerate()
+        .map(|(idx, &p)| {
+            let model = CompletionModel::Bernoulli { p };
+            SimJob::new(bound, style, &model)
+                .trials(trials)
+                .job_id(idx as u64)
+                .run(base_seed, runner)
+                .mean()
+        })
+        .collect();
+    LatencySummary {
+        best_cycles: best.min,
+        average_cycles,
+        worst_cycles: worst.max,
+        p_values: p_values.to_vec(),
+    }
+}
+
+/// Parallel counterpart of [`crate::latency_pair`]: per trial, one
+/// completion table is drawn and fed to **both** control styles, so the
+/// comparison stays coupled (distributed dominates per-trial); the trials
+/// themselves fan out over `runner`'s workers.
+///
+/// Returns `(sync, dist)`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn latency_pair_batch(
+    bound: &BoundDfg,
+    p_values: &[f64],
+    trials: u64,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> (LatencySummary, LatencySummary) {
+    assert!(trials > 0);
+    let cu = DistributedControlUnit::generate(bound);
+    let num_ops = bound.dfg().num_ops();
+    let mut rng = trial_rng(base_seed, u64::MAX, 0);
+    let measure = |model: &CompletionModel, rng: &mut StdRng| {
+        (
+            simulate_cent_sync(bound, model, None, rng).cycles,
+            simulate_distributed(bound, &cu, model, None, rng).cycles,
+        )
+    };
+    let (sync_best, dist_best) = measure(&CompletionModel::AlwaysShort, &mut rng);
+    let (sync_worst, dist_worst) = measure(&CompletionModel::AlwaysLong, &mut rng);
+    let mut sync_avg = Vec::with_capacity(p_values.len());
+    let mut dist_avg = Vec::with_capacity(p_values.len());
+    for (idx, &p) in p_values.iter().enumerate() {
+        let (sync, dist): (CycleStats, CycleStats) = runner.run(
+            trials,
+            |trial, (sync, dist): &mut (CycleStats, CycleStats)| {
+                let mut rng = trial_rng(base_seed, idx as u64, trial);
+                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                let (s, d) = measure(&table, &mut rng);
+                debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
+                sync.record(s);
+                dist.record(d);
+            },
+        );
+        sync_avg.push(sync.mean());
+        dist_avg.push(dist.mean());
+    }
+    (
+        LatencySummary {
+            best_cycles: sync_best,
+            average_cycles: sync_avg,
+            worst_cycles: sync_worst,
+            p_values: p_values.to_vec(),
+        },
+        LatencySummary {
+            best_cycles: dist_best,
+            average_cycles: dist_avg,
+            worst_cycles: dist_worst,
+            p_values: p_values.to_vec(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::{fir3, fir5};
+    use tauhls_sched::Allocation;
+
+    fn fir5_bound() -> BoundDfg {
+        BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0))
+    }
+
+    #[test]
+    fn derive_seed_separates_coordinates() {
+        let s = derive_seed(1, 2, 3);
+        assert_eq!(s, derive_seed(1, 2, 3));
+        assert_ne!(s, derive_seed(0, 2, 3));
+        assert_ne!(s, derive_seed(1, 3, 3));
+        assert_ne!(s, derive_seed(1, 2, 4));
+        // A window of trial seeds stays collision-free.
+        let mut seeds: Vec<u64> = (0..10_000).map(|t| derive_seed(7, 0, t)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn cycle_stats_merge_is_exact() {
+        let samples = [3usize, 5, 4, 4, 7, 3, 5, 6, 4, 5, 9, 3];
+        let mut whole = CycleStats::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        for split in 1..samples.len() {
+            let (a, b) = samples.split_at(split);
+            let mut left = CycleStats::new();
+            let mut right = CycleStats::new();
+            a.iter().for_each(|&s| left.record(s));
+            b.iter().for_each(|&s| right.record(s));
+            left.merge(&right);
+            assert_eq!(left, whole, "split at {split}");
+        }
+        assert_eq!(whole.min, 3);
+        assert_eq!(whole.max, 9);
+        assert_eq!(whole.count, 12);
+    }
+
+    #[test]
+    fn runner_is_thread_count_invariant() {
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let job = SimJob::new(&bound, ControlStyle::Distributed, &model).trials(300);
+        let reference = job.run(11, &BatchRunner::serial());
+        for threads in [2usize, 3, 8] {
+            assert_eq!(reference, job.run(11, &BatchRunner::new(threads)));
+        }
+        // Odd chunk sizes cover the ragged-final-chunk path.
+        let ragged = job.run(11, &BatchRunner::new(4).with_chunk_size(7));
+        assert_eq!(reference, ragged);
+    }
+
+    #[test]
+    fn pair_batch_matches_serial_oracle_and_dominates() {
+        let bound = fir5_bound();
+        let ps = [0.9, 0.5];
+        let serial = latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::serial());
+        let parallel = latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::new(8));
+        assert_eq!(serial, parallel);
+        let (sync, dist) = parallel;
+        for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
+            assert!(d <= s);
+        }
+        assert!(dist.worst_cycles <= sync.worst_cycles);
+    }
+
+    #[test]
+    fn summary_batch_brackets_extremes() {
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(1, 1, 0));
+        let s = latency_summary_batch(
+            &bound,
+            ControlStyle::Distributed,
+            &[0.9, 0.5, 0.1],
+            500,
+            3,
+            &BatchRunner::new(2),
+        );
+        assert!(s.best_cycles as f64 <= s.average_cycles[0]);
+        assert!(s.average_cycles[0] <= s.average_cycles[1]);
+        assert!(s.average_cycles[1] <= s.average_cycles[2]);
+        assert!(s.average_cycles[2] <= s.worst_cycles as f64);
+    }
+
+    #[test]
+    fn zero_trials_yield_empty_accumulator() {
+        let runner = BatchRunner::new(4);
+        let acc: CycleStats = runner.run(0, |_, _| unreachable!());
+        assert_eq!(acc.count, 0);
+    }
+}

@@ -68,8 +68,7 @@ pub fn simulate_cent_sync_with_schedule(
         for &o in &step.tau_ops {
             start_cycle[o.0] = cycle;
             let node = dfg.op(o);
-            let short =
-                model.completion(o, node.kind, operand(node.lhs), operand(node.rhs), rng);
+            let short = model.completion(o, node.kind, operand(node.lhs), operand(node.rhs), rng);
             shorts.push(short);
             all_short &= short;
         }
@@ -132,8 +131,7 @@ mod tests {
         let trials = 30_000;
         let total: usize = (0..trials)
             .map(|_| {
-                simulate_cent_sync(&bound, &CompletionModel::Bernoulli { p }, None, &mut rng)
-                    .cycles
+                simulate_cent_sync(&bound, &CompletionModel::Bernoulli { p }, None, &mut rng).cycles
             })
             .sum();
         let mean = total as f64 / trials as f64;

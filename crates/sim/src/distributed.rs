@@ -54,14 +54,13 @@ pub fn simulate_distributed(
     let zeros = vec![0i64; dfg.num_inputs()];
     let input_vals = inputs.unwrap_or(&zeros);
     let values = dfg.evaluate_all(input_vals);
-    let operand =
-        |o: Operand| -> i64 {
-            match o {
-                Operand::Input(i) => input_vals[i.0],
-                Operand::Const(c) => c,
-                Operand::Op(p) => values[p.0],
-            }
-        };
+    let operand = |o: Operand| -> i64 {
+        match o {
+            Operand::Input(i) => input_vals[i.0],
+            Operand::Const(c) => c,
+            Operand::Op(p) => values[p.0],
+        }
+    };
 
     let n = dfg.num_ops();
     let mut done = vec![false; n];
@@ -70,11 +69,7 @@ pub fn simulate_distributed(
     let num_units = bound.allocation().units().len();
     let mut unit_busy = vec![0usize; num_units];
 
-    let fsms: Vec<(usize, &Fsm)> = cu
-        .controllers()
-        .iter()
-        .map(|(u, f)| (u.0, f))
-        .collect();
+    let fsms: Vec<(usize, &Fsm)> = cu.controllers().iter().map(|(u, f)| (u.0, f)).collect();
     let mut states: Vec<StateId> = fsms.iter().map(|(_, f)| f.initial()).collect();
 
     let max_cycles = 6 * n + 32;
@@ -104,13 +99,8 @@ pub fn simulate_distributed(
                     // reads it, so sampling in every stage is harmless; a
                     // Bernoulli model makes multi-level stage delays
                     // geometric, which is the intended semantics.
-                    unit_completion[*u] = model.completion(
-                        op,
-                        node.kind,
-                        operand(node.lhs),
-                        operand(node.rhs),
-                        rng,
-                    );
+                    unit_completion[*u] =
+                        model.completion(op, node.kind, operand(node.lhs), operand(node.rhs), rng);
                     // Wrap-around re-executions of already-done operations
                     // (the controller loops for repetitive DFG execution,
                     // but we measure a single iteration) are not busy work.
@@ -205,10 +195,20 @@ mod tests {
     fn fir3_best_and_worst_cycles_match_paper() {
         // Paper Table 2, 3rd FIR row: best 45 ns = 3 cycles,
         // worst 75 ns = 5 cycles at a 15 ns clock.
-        let (b, best) = sim(&fir3(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysShort, 0);
+        let (b, best) = sim(
+            &fir3(),
+            &Allocation::paper(2, 1, 0),
+            &CompletionModel::AlwaysShort,
+            0,
+        );
         assert_eq!(best.cycles, 3);
         best.verify(&b).unwrap();
-        let (b, worst) = sim(&fir3(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysLong, 0);
+        let (b, worst) = sim(
+            &fir3(),
+            &Allocation::paper(2, 1, 0),
+            &CompletionModel::AlwaysLong,
+            0,
+        );
         assert_eq!(worst.cycles, 5);
         worst.verify(&b).unwrap();
         assert!((best.latency_ns(15.0) - 45.0).abs() < 1e-9);
@@ -217,7 +217,12 @@ mod tests {
 
     #[test]
     fn fir5_best_case() {
-        let (b, best) = sim(&fir5(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysShort, 0);
+        let (b, best) = sim(
+            &fir5(),
+            &Allocation::paper(2, 1, 0),
+            &CompletionModel::AlwaysShort,
+            0,
+        );
         assert_eq!(best.cycles, 5); // paper: 75 ns
         best.verify(&b).unwrap();
     }
@@ -298,7 +303,12 @@ mod tests {
 
     #[test]
     fn utilization_and_busy_accounting() {
-        let (b, r) = sim(&fir3(), &Allocation::paper(2, 1, 0), &CompletionModel::AlwaysShort, 0);
+        let (b, r) = sim(
+            &fir3(),
+            &Allocation::paper(2, 1, 0),
+            &CompletionModel::AlwaysShort,
+            0,
+        );
         // M1 runs 2 mults, M2 runs 1, A1 runs 2 adds over 3 cycles.
         let total_busy: usize = r.unit_busy_cycles.iter().sum();
         assert_eq!(total_busy, b.dfg().num_ops()); // all short: 1 cycle/op
@@ -318,12 +328,21 @@ mod tests {
             f.check().unwrap();
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let best2 = simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysShort, None, &mut rng);
-        let best3 = simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysShort, None, &mut rng);
+        let best2 =
+            simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysShort, None, &mut rng);
+        let best3 =
+            simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysShort, None, &mut rng);
         assert_eq!(best2.cycles, best3.cycles);
-        let worst2 = simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysLong, None, &mut rng);
-        let worst3 = simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysLong, None, &mut rng);
-        assert!(worst3.cycles > worst2.cycles, "{} vs {}", worst3.cycles, worst2.cycles);
+        let worst2 =
+            simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysLong, None, &mut rng);
+        let worst3 =
+            simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysLong, None, &mut rng);
+        assert!(
+            worst3.cycles > worst2.cycles,
+            "{} vs {}",
+            worst3.cycles,
+            worst2.cycles
+        );
         // Mid-probability runs are legal and bracketed.
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -9,7 +9,11 @@
 //! * [`CompletionModel`] — Bernoulli(`P`), deterministic extremes, or
 //!   operand-driven completion through `tauhls-datapath` bit-level units;
 //! * [`latency_summary`] — the `[best][avg@P...][worst]` cells of Table 2
-//!   plus the enhancement column.
+//!   plus the enhancement column;
+//! * [`BatchRunner`] / [`SimJob`] — a deterministic parallel Monte-Carlo
+//!   engine: per-trial RNGs derived from `(base_seed, job_id, trial)` and
+//!   chunk-ordered reduction make results bit-identical for any thread
+//!   count, with `threads = 1` as the reference oracle.
 //!
 //! # Examples
 //!
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod centsync;
 mod distributed;
 mod latency;
@@ -38,6 +43,10 @@ mod model;
 mod pipeline;
 mod result;
 
+pub use batch::{
+    derive_seed, latency_pair_batch, latency_summary_batch, trial_rng, Accumulator, BatchRunner,
+    CycleStats, SimJob, DEFAULT_CHUNK_SIZE,
+};
 pub use centsync::{simulate_cent_sync, simulate_cent_sync_with_schedule};
 pub use distributed::simulate_distributed;
 pub use latency::{

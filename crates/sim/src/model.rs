@@ -122,8 +122,20 @@ mod tests {
     #[test]
     fn extremes() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(CompletionModel::AlwaysShort.completion(tauhls_dfg::OpId(0), OpKind::Mul, 9, 9, &mut rng));
-        assert!(!CompletionModel::AlwaysLong.completion(tauhls_dfg::OpId(0), OpKind::Mul, 9, 9, &mut rng));
+        assert!(CompletionModel::AlwaysShort.completion(
+            tauhls_dfg::OpId(0),
+            OpKind::Mul,
+            9,
+            9,
+            &mut rng
+        ));
+        assert!(!CompletionModel::AlwaysLong.completion(
+            tauhls_dfg::OpId(0),
+            OpKind::Mul,
+            9,
+            9,
+            &mut rng
+        ));
     }
 
     #[test]

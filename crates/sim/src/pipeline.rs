@@ -58,9 +58,11 @@ fn parse_phase(name: &str) -> Phase {
     if let Some(rest) = name.strip_prefix('S') {
         let stage = rest.chars().rev().take_while(|&c| c == '\'').count() as u32;
         Phase::Exec(
-            OpId(rest[..rest.len() - stage as usize]
-                .parse()
-                .expect("state name")),
+            OpId(
+                rest[..rest.len() - stage as usize]
+                    .parse()
+                    .expect("state name"),
+            ),
             stage,
         )
     } else if let Some(rest) = name.strip_prefix('R') {
@@ -220,13 +222,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let single =
             simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
-        let piped = simulate_pipelined(
-            &bound,
-            &cu,
-            &CompletionModel::AlwaysShort,
-            12,
-            &mut rng,
-        );
+        let piped = simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 12, &mut rng);
         // Overlap: the steady-state initiation interval is below the
         // single-iteration latency (units start iteration k+1 while the
         // accumulation tail of iteration k is still running).
@@ -256,7 +252,10 @@ mod tests {
         for w in piped.iteration_end_cycle.windows(2) {
             assert!(w[0] <= w[1]);
         }
-        assert_eq!(piped.total_cycles, *piped.iteration_end_cycle.last().unwrap());
+        assert_eq!(
+            piped.total_cycles,
+            *piped.iteration_end_cycle.last().unwrap()
+        );
     }
 
     #[test]

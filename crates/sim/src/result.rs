@@ -48,8 +48,7 @@ impl SimResult {
             if self.completion_cycle[v.0] == 0 {
                 return Err(format!("{v} never completed"));
             }
-            if self.start_cycle[v.0] == 0 || self.start_cycle[v.0] > self.completion_cycle[v.0]
-            {
+            if self.start_cycle[v.0] == 0 || self.start_cycle[v.0] > self.completion_cycle[v.0] {
                 return Err(format!("{v} has inconsistent start/completion"));
             }
             for p in dfg.preds(v) {

@@ -53,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Operand-driven run with both unit kinds variable-latency.
     let lib = TauLibrary {
-        mul: Some(Tau::new(
-            tauhls::datapath::ArrayMultiplier::new(WIDTH),
-            20,
-        )),
+        mul: Some(Tau::new(tauhls::datapath::ArrayMultiplier::new(WIDTH), 20)),
         add: Some(tau_add),
         sub: None,
         width: WIDTH,
@@ -74,8 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Bernoulli extremes for reference.
-    let best = simulate_distributed(design.bound(), &cu, &CompletionModel::AlwaysShort, None, &mut rng);
-    let worst = simulate_distributed(design.bound(), &cu, &CompletionModel::AlwaysLong, None, &mut rng);
+    let best = simulate_distributed(
+        design.bound(),
+        &cu,
+        &CompletionModel::AlwaysShort,
+        None,
+        &mut rng,
+    );
+    let worst = simulate_distributed(
+        design.bound(),
+        &cu,
+        &CompletionModel::AlwaysLong,
+        None,
+        &mut rng,
+    );
     println!("best {} / worst {} cycles", best.cycles, worst.cycles);
     Ok(())
 }

@@ -19,10 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Characterize the telescoped multiplier on different signal profiles.
     let tau = Tau::new(ArrayMultiplier::new(WIDTH), SHORT_LEVELS);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
-    println!("16-bit telescopic multiplier, SD = {SHORT_LEVELS} of {} levels", tau.long_levels());
+    println!(
+        "16-bit telescopic multiplier, SD = {SHORT_LEVELS} of {} levels",
+        tau.long_levels()
+    );
     for (name, dist) in [
         ("uniform full-scale", OperandDistribution::Uniform),
-        ("8-bit audio-like", OperandDistribution::SmallMagnitude { bits: 8 }),
+        (
+            "8-bit audio-like",
+            OperandDistribution::SmallMagnitude { bits: 8 },
+        ),
         ("log-uniform", OperandDistribution::LogUniform),
     ] {
         let p = measure_p(&tau, dist, 20_000, &mut rng);

@@ -9,6 +9,7 @@
 use tauhls::core::explore::{explore_allocations, ExploreParams};
 use tauhls::dfg::{parse_dfg, ResourceClass};
 use tauhls::sched::fds_schedule;
+use tauhls::sim::BatchRunner;
 
 const SOURCE: &str = "\
 # r = (a*x + y) * (b*z * a) + correction chain
@@ -69,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             trials: 600,
             ..Default::default()
         },
+        &BatchRunner::available(),
     );
     for p in &points {
         println!(

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let model = AreaModel::default();
     println!("controller areas per encoding (GE total):");
-    println!("{:<10} {:>8} {:>8} {:>8}", "unit", "binary", "gray", "onehot");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "unit", "binary", "gray", "onehot"
+    );
     for (u, fsm) in cu.controllers() {
         let name = bound.allocation().units()[u.0].display_name();
         let cost = |e| synthesize(fsm, e, &model).area().total();

@@ -15,15 +15,16 @@
 //!   --p LIST                     comma-separated P sweep (default 0.9,0.7,0.5)
 //!   --trials N                   Monte-Carlo trials (default 2000)
 //!   --seed N                     RNG seed (default 2003)
+//!   --threads N                  simulation worker threads (default: all
+//!                                cores; results identical for any N)
 //! ```
 
-use rand::SeedableRng;
 use std::process::ExitCode;
 use tauhls::dfg::parse_dfg;
 use tauhls::fsm::{control_unit_to_verilog, synthesize, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
-use tauhls::sim::latency_pair;
+use tauhls::sim::{latency_pair_batch, BatchRunner};
 use tauhls::Allocation;
 
 struct Options {
@@ -35,6 +36,7 @@ struct Options {
     p_values: Vec<f64>,
     trials: usize,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -48,6 +50,7 @@ impl Default for Options {
             p_values: vec![0.9, 0.7, 0.5],
             trials: 2000,
             seed: 2003,
+            threads: None,
         }
     }
 }
@@ -56,7 +59,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tauhls <synth|simulate|report|verilog|dot> <file.dfg> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
-         [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N]"
+         [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
+         [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -65,10 +69,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
+        let mut value = || it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
             "--muls" => o.muls = value()?.parse().map_err(|e| format!("--muls: {e}"))?,
             "--adds" => o.adds = value()?.parse().map_err(|e| format!("--adds: {e}"))?,
@@ -96,6 +97,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--trials" => o.trials = value()?.parse().map_err(|e| format!("--trials: {e}"))?,
             "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -143,14 +147,23 @@ fn cmd_synth(bound: &BoundDfg, o: &Options) {
             syn.area().total()
         );
     }
-    println!("total control area: {total:.0} GE ({:?} encoding)", o.encoding);
+    println!(
+        "total control area: {total:.0} GE ({:?} encoding)",
+        o.encoding
+    );
 }
 
 fn cmd_simulate(bound: &BoundDfg, o: &Options) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(o.seed);
-    let (sync, dist) = latency_pair(bound, &o.p_values, o.trials, &mut rng);
+    let runner = match o.threads {
+        Some(n) => BatchRunner::new(n),
+        None => BatchRunner::available(),
+    };
+    let (sync, dist) = latency_pair_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner);
     let clk = 15.0;
-    println!("clock 15 ns, {} coupled trials at P = {:?}", o.trials, o.p_values);
+    println!(
+        "clock 15 ns, {} coupled trials at P = {:?}",
+        o.trials, o.p_values
+    );
     println!("LT_TAU  (synchronized) : {}", sync.to_ns_string(clk));
     println!("LT_DIST (distributed)  : {}", dist.to_ns_string(clk));
     for (p, (s, d)) in o
@@ -235,7 +248,7 @@ mod tests {
         assert_eq!((o.muls, o.adds, o.subs), (2, 1, 1));
         assert!(!o.chains);
         let o = parse_options(&args(
-            "--muls 3 --adds 2 --subs 0 --binding chains --encoding onehot --p 0.8,0.4 --trials 10 --seed 5",
+            "--muls 3 --adds 2 --subs 0 --binding chains --encoding onehot --p 0.8,0.4 --trials 10 --seed 5 --threads 2",
         ))
         .unwrap();
         assert_eq!((o.muls, o.adds, o.subs), (3, 2, 0));
@@ -244,6 +257,7 @@ mod tests {
         assert_eq!(o.p_values, vec![0.8, 0.4]);
         assert_eq!(o.trials, 10);
         assert_eq!(o.seed, 5);
+        assert_eq!(o.threads, Some(2));
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn rtl_emission_for_every_benchmark() {
         }
         // The top module wires the internal completion signals.
         let top = v.split("module control_unit").nth(1).unwrap();
-        assert!(top.contains("wire c_co_") || cu.signal_wiring().is_empty(), "{name}");
+        assert!(
+            top.contains("wire c_co_") || cu.signal_wiring().is_empty(),
+            "{name}"
+        );
     }
 }
 
@@ -58,8 +61,7 @@ fn fds_matches_or_beats_paper_allocations() {
         let name = dfg.name().to_string();
         let bound = BoundDfg::bind(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&bound);
-        let best =
-            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
+        let best = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
         let s = fds_schedule(&dfg, best.cycles);
         assert!(s.verify(&dfg), "{name}");
         let implied = s.implied_allocation(&dfg);
@@ -131,8 +133,7 @@ fn pipelined_throughput_across_benchmarks() {
         let cu = DistributedControlUnit::generate(&bound);
         let single =
             simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
-        let piped =
-            simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 10, &mut rng);
+        let piped = simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 10, &mut rng);
         assert!(
             piped.initiation_interval() <= single.cycles as f64 + 1e-9,
             "{name}: II {} vs latency {}",
@@ -140,12 +141,7 @@ fn pipelined_throughput_across_benchmarks() {
             single.cycles
         );
         // The bottleneck unit's op count lower-bounds the II.
-        let bottleneck = bound
-            .sequences()
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(1);
+        let bottleneck = bound.sequences().iter().map(Vec::len).max().unwrap_or(1);
         assert!(
             piped.initiation_interval() >= bottleneck as f64 - 1e-9,
             "{name}: II {} below bottleneck {bottleneck}",

@@ -1,0 +1,56 @@
+//! Golden-file snapshot tests: the checked-in machine-readable artifacts
+//! under `results/` must be byte-for-byte reproducible from the current
+//! code. Regenerate with `./regen_results.sh` after an intentional change
+//! and review the diff.
+//!
+//! The Table 2 snapshot deliberately runs on all available cores: the
+//! batch engine's determinism guarantee is what makes a parallel run
+//! byte-identical to the file a (possibly differently-sized) machine
+//! produced.
+
+use tauhls::core::experiments::{table1, table2};
+use tauhls::fsm::Encoding;
+use tauhls::logic::AreaModel;
+use tauhls::sim::BatchRunner;
+use tauhls_json::ToJson;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden file {path}: {e}"))
+}
+
+#[test]
+fn table1_json_matches_golden() {
+    let rendered = table1(Encoding::Binary, &AreaModel::default())
+        .to_json()
+        .to_pretty();
+    assert_eq!(
+        rendered,
+        golden("table1.json"),
+        "table1.json drifted; run ./regen_results.sh and review"
+    );
+}
+
+#[test]
+fn table2_json_matches_golden() {
+    // Same parameters regen_results.sh uses; thread count intentionally
+    // machine-dependent.
+    let rendered = table2(6000, 2003, &BatchRunner::available())
+        .to_json()
+        .to_pretty();
+    assert_eq!(
+        rendered,
+        golden("table2.json"),
+        "table2.json drifted; run ./regen_results.sh and review"
+    );
+}
+
+#[test]
+fn table2_text_matches_golden() {
+    let rendered = format!("{}", table2(6000, 2003, &BatchRunner::available()));
+    assert_eq!(
+        rendered.trim_end(),
+        golden("table2.txt").trim_end(),
+        "table2.txt drifted; run ./regen_results.sh and review"
+    );
+}

@@ -6,6 +6,7 @@ use tauhls::core::experiments::{fig4_explosion, table1, table2};
 use tauhls::core::figures;
 use tauhls::fsm::Encoding;
 use tauhls::logic::AreaModel;
+use tauhls::sim::BatchRunner;
 
 #[test]
 fn fig_reports_regenerate() {
@@ -79,7 +80,7 @@ fn table1_reproduces_paper_ordering() {
 
 #[test]
 fn table2_reproduces_paper_shape() {
-    let t = table2(600, 7);
+    let t = table2(600, 7, &BatchRunner::available());
     // Best/worst columns in ns are exact, deterministic reproductions.
     let by_name = |n: &str| t.rows.iter().find(|r| r.name == n).unwrap();
     let fir3 = by_name("fir3");

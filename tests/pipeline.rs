@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tauhls::core::experiments::paper_benchmarks;
-use tauhls::fsm::{verify_synthesis, synthesize, DistributedControlUnit, Encoding};
+use tauhls::fsm::{synthesize, verify_synthesis, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sim::{latency_pair, simulate_distributed, CompletionModel};
 use tauhls::{Allocation, Synthesis};
