@@ -23,22 +23,28 @@ fn main() {
         let cu = DistributedControlUnit::generate(&bound);
         let mut rng = StdRng::seed_from_u64(1);
         bench.run(&format!("table2/simulate/dist/{name}"), || {
-            black_box(simulate_distributed(
-                black_box(&bound),
-                &cu,
-                &CompletionModel::Bernoulli { p: 0.7 },
-                None,
-                &mut rng,
-            ));
+            black_box(
+                simulate_distributed(
+                    black_box(&bound),
+                    &cu,
+                    &CompletionModel::Bernoulli { p: 0.7 },
+                    None,
+                    &mut rng,
+                )
+                .expect("fault-free simulation"),
+            );
         });
         let mut rng = StdRng::seed_from_u64(1);
         bench.run(&format!("table2/simulate/sync/{name}"), || {
-            black_box(simulate_cent_sync(
-                black_box(&bound),
-                &CompletionModel::Bernoulli { p: 0.7 },
-                None,
-                &mut rng,
-            ));
+            black_box(
+                simulate_cent_sync(
+                    black_box(&bound),
+                    &CompletionModel::Bernoulli { p: 0.7 },
+                    None,
+                    &mut rng,
+                )
+                .expect("fault-free simulation"),
+            );
         });
     }
 
@@ -46,12 +52,10 @@ fn main() {
     let bound = BoundDfg::bind(&dfg, &alloc);
     let mut rng = StdRng::seed_from_u64(2);
     bench.run("table2/cells/diffeq_pair_100_trials", || {
-        black_box(latency_pair(
-            black_box(&bound),
-            &[0.9, 0.7, 0.5],
-            100,
-            &mut rng,
-        ));
+        black_box(
+            latency_pair(black_box(&bound), &[0.9, 0.7, 0.5], 100, &mut rng)
+                .expect("fault-free simulation"),
+        );
     });
 
     // Batch engine thread scaling: same result, less wall clock.
@@ -60,13 +64,10 @@ fn main() {
         bench.run(
             &format!("table2/batch/diffeq_pair_1k_trials/t{threads}"),
             || {
-                black_box(latency_pair_batch(
-                    black_box(&bound),
-                    &[0.9, 0.7, 0.5],
-                    1000,
-                    2,
-                    &runner,
-                ));
+                black_box(
+                    latency_pair_batch(black_box(&bound), &[0.9, 0.7, 0.5], 1000, 2, &runner)
+                        .expect("fault-free simulation"),
+                );
             },
         );
     }

@@ -27,14 +27,16 @@ fn main() {
             &CompletionModel::Bernoulli { p },
             None,
             &mut rng,
-        );
+        )
+        .expect("fault-free simulation");
         let piped = simulate_pipelined(
             &bound,
             &cu,
             &CompletionModel::Bernoulli { p },
             iters,
             &mut rng,
-        );
+        )
+        .expect("fault-free simulation");
         println!(
             "{:<12} {:>9} {:>10.2} {:>12}",
             name,

@@ -1,0 +1,111 @@
+//! Generators for random completion-signal fault plans.
+//!
+//! The resilience sweeps and property tests need arbitrary-but-replayable
+//! [`FaultPlan`]s: every plan is a pure function of the [`Gen`] stream, so
+//! a failing sweep trial reproduces from its printed seed exactly like any
+//! other `tauhls-check` property case.
+
+use crate::Gen;
+use tauhls_dfg::OpId;
+use tauhls_sim::{Fault, FaultKind, FaultPlan};
+
+/// Draws one random fault touching one of `num_ops` operations or one of
+/// `num_controllers` controllers, scheduled within `1..=max_cycle`.
+///
+/// All six fault kinds are equally likely; delayed latches defer by 1-4
+/// cycles and state upsets flip one of the low 4 state-register bits.
+///
+/// # Panics
+///
+/// Panics if `num_ops == 0`, `num_controllers == 0`, or `max_cycle == 0`.
+pub fn arbitrary_fault(
+    g: &mut Gen,
+    num_ops: usize,
+    num_controllers: usize,
+    max_cycle: usize,
+) -> Fault {
+    assert!(num_ops > 0 && num_controllers > 0 && max_cycle > 0);
+    let at_cycle = g.usize(1..=max_cycle);
+    let op = OpId(g.usize(0..num_ops));
+    let kind = match g.usize(0..6) {
+        0 => FaultKind::StuckAtShort { op },
+        1 => FaultKind::StuckAtLong { op },
+        2 => FaultKind::DropPulse { op },
+        3 => FaultKind::SpuriousPulse { op },
+        4 => FaultKind::DelayLatch {
+            op,
+            delay: g.usize(1..=4),
+        },
+        _ => FaultKind::FlipState {
+            controller: g.usize(0..num_controllers),
+            bit: g.u8(0..4) as u32,
+        },
+    };
+    Fault { at_cycle, kind }
+}
+
+/// Draws a [`FaultPlan`] holding `1..=max_faults` faults from
+/// [`arbitrary_fault`]'s distribution.
+///
+/// # Panics
+///
+/// Panics on the same empty domains as [`arbitrary_fault`], or if
+/// `max_faults == 0`.
+pub fn arbitrary_plan(
+    g: &mut Gen,
+    num_ops: usize,
+    num_controllers: usize,
+    max_cycle: usize,
+    max_faults: usize,
+) -> FaultPlan {
+    assert!(max_faults > 0);
+    let count = g.usize(1..=max_faults);
+    let mut plan = FaultPlan::empty();
+    for _ in 0..count {
+        plan.push(arbitrary_fault(g, num_ops, num_controllers, max_cycle));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let mut a = Gen::from_seed(42);
+        let mut b = Gen::from_seed(42);
+        for _ in 0..50 {
+            let pa = arbitrary_plan(&mut a, 7, 3, 30, 4);
+            let pb = arbitrary_plan(&mut b, 7, 3, 30, 4);
+            assert_eq!(pa.faults(), pb.faults());
+            assert!(!pa.is_empty());
+            assert!(pa.faults().len() <= 4);
+        }
+    }
+
+    #[test]
+    fn faults_stay_inside_their_domains() {
+        let mut g = Gen::from_seed(7);
+        let mut seen_kinds = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let f = arbitrary_fault(&mut g, 5, 2, 20);
+            assert!((1..=20).contains(&f.at_cycle));
+            seen_kinds.insert(f.kind.tag());
+            match f.kind {
+                FaultKind::StuckAtShort { op }
+                | FaultKind::StuckAtLong { op }
+                | FaultKind::DropPulse { op }
+                | FaultKind::SpuriousPulse { op } => assert!(op.0 < 5),
+                FaultKind::DelayLatch { op, delay } => {
+                    assert!(op.0 < 5 && (1..=4).contains(&delay));
+                }
+                FaultKind::FlipState { controller, bit } => {
+                    assert!(controller < 2 && bit < 4);
+                }
+            }
+        }
+        // 500 draws cover all six kinds with overwhelming probability.
+        assert_eq!(seen_kinds.len(), 6);
+    }
+}

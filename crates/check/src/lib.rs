@@ -26,6 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault_gen;
+
+pub use fault_gen::{arbitrary_fault, arbitrary_plan};
+
 use rand::rngs::StdRng;
 use rand::{splitmix64_mix, Rng, SampleRange, SeedableRng, StandardSample};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -229,7 +229,8 @@ pub fn table2(trials: usize, seed: u64, runner: &BatchRunner) -> Table2 {
             .expect("benchmark synthesizes");
         let row_seed = derive_seed(seed, row_id as u64, 0);
         let (tau, dist) =
-            latency_pair_batch(design.bound(), &p_values, trials as u64, row_seed, runner);
+            latency_pair_batch(design.bound(), &p_values, trials as u64, row_seed, runner)
+                .expect("fault-free simulation");
         let enhancement = enhancement_percent(&tau, &dist);
         rows.push(LatencyRow {
             name,

@@ -109,7 +109,8 @@ pub fn explore_allocations(
                     params.trials as u64,
                     point_seed,
                     runner,
-                );
+                )
+                .expect("fault-free simulation");
                 let area = system_area(
                     &design,
                     Encoding::Binary,

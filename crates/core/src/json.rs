@@ -6,6 +6,7 @@
 //! thread counts.
 
 use crate::experiments::{AreaRow, ExplosionPoint, LatencyRow, SummaryCells, Table1, Table2};
+use crate::resilience::{KindStats, ResilienceReport};
 use crate::sweeps::{AllocationPoint, CurvePoint};
 use crate::utilization::{UtilizationRow, UtilizationTable};
 use tauhls_json::{Json, ToJson};
@@ -118,6 +119,36 @@ impl ToJson for UtilizationTable {
         Json::object([
             ("p", Json::from(self.p)),
             ("trials", Json::from(self.trials)),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl ToJson for KindStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("kind", Json::from(self.kind.as_str())),
+            ("trials", Json::from(self.trials)),
+            ("detected_deadlock", Json::from(self.detected_deadlock)),
+            ("detected_desync", Json::from(self.detected_desync)),
+            ("survived", Json::from(self.survived)),
+            ("detection_rate", Json::from(self.detection_rate())),
+            ("survival_fraction", Json::from(self.survival_fraction())),
+            (
+                "mean_detection_latency",
+                Json::from(self.mean_detection_latency),
+            ),
+        ])
+    }
+}
+
+impl ToJson for ResilienceReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("p", Json::from(self.p)),
+            ("trials", Json::from(self.trials)),
+            ("seed", Json::from(self.seed)),
             ("rows", self.rows.to_json()),
         ])
     }

@@ -48,6 +48,7 @@ pub mod figures;
 mod json;
 mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod sweeps;
 pub mod utilization;
 

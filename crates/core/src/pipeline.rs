@@ -233,7 +233,7 @@ impl Design {
         trials: usize,
         rng: &mut impl Rng,
     ) -> LatencySummary {
-        latency_summary(&self.bound, style, p_values, trials, rng)
+        latency_summary(&self.bound, style, p_values, trials, rng).expect("fault-free simulation")
     }
 
     /// Like [`Design::latency`], but on the deterministic batch engine:
@@ -248,6 +248,7 @@ impl Design {
         runner: &BatchRunner,
     ) -> LatencySummary {
         latency_summary_batch(&self.bound, style, p_values, trials as u64, seed, runner)
+            .expect("fault-free simulation")
     }
 }
 

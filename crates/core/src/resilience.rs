@@ -1,0 +1,271 @@
+//! Resilience sweeps: Monte-Carlo fault injection through the batch engine.
+//!
+//! The fault-injection layer in `tauhls-sim` turns completion-signal
+//! failures into structured [`SimError`]s; this module measures how well
+//! that detection works. For every fault kind it samples random fault
+//! plans (seeded separately from the simulation streams, so plan shape
+//! never perturbs the completion draws), runs each plan through
+//! [`simulate_distributed_with`] on the [`BatchRunner`], and classifies
+//! the outcome:
+//!
+//! * **detected** — the run ended in [`SimError::Deadlock`] or
+//!   [`SimError::Desync`]; the *detection latency* is the gap between the
+//!   injection cycle and the diagnosed cycle;
+//! * **survived** — the run completed and passed its post-run invariants
+//!   (e.g. a dropped pulse whose producer never actually pulsed at that
+//!   cycle, or a fault scheduled after the graph drained).
+//!
+//! All counters are exact integers folded in chunk order, so the report —
+//! including its JSON rendering — is bit-identical for any thread count.
+
+use std::fmt;
+use tauhls_check::{arbitrary_fault, Gen};
+use tauhls_fsm::DistributedControlUnit;
+use tauhls_sched::BoundDfg;
+use tauhls_sim::{
+    derive_seed, simulate_distributed_with, trial_rng, Accumulator, BatchRunner, CompletionModel,
+    FaultPlan, SimConfig, SimError,
+};
+
+/// The fault-kind tags a sweep probes, in report order.
+pub const FAULT_KINDS: [&str; 6] = [
+    "stuck_short",
+    "stuck_long",
+    "drop_pulse",
+    "spurious_pulse",
+    "delay_latch",
+    "flip_state",
+];
+
+/// Seed-space partition for the simulation streams (one job per kind).
+const SIM_JOB_BASE: u64 = 0x7265_7369; // "resi"
+/// Disjoint partition for the plan-generation streams.
+const PLAN_JOB_BASE: u64 = 0x706C_616E; // "plan"
+
+/// Exact per-chunk tallies; integer-only so folding is order-independent.
+#[derive(Default)]
+struct ResilAcc {
+    deadlock: u64,
+    desync: u64,
+    survived: u64,
+    latency_sum: u64,
+    latency_samples: u64,
+}
+
+impl Accumulator for ResilAcc {
+    fn empty() -> Self {
+        ResilAcc::default()
+    }
+    fn fold(&mut self, other: Self) {
+        self.deadlock += other.deadlock;
+        self.desync += other.desync;
+        self.survived += other.survived;
+        self.latency_sum += other.latency_sum;
+        self.latency_samples += other.latency_samples;
+    }
+}
+
+/// Sweep results for one fault kind.
+#[derive(Clone, Debug)]
+pub struct KindStats {
+    /// The fault-kind tag (see [`FAULT_KINDS`]).
+    pub kind: String,
+    /// Trials run for this kind.
+    pub trials: u64,
+    /// Trials ending in a diagnosed deadlock.
+    pub detected_deadlock: u64,
+    /// Trials ending in a diagnosed desynchronization.
+    pub detected_desync: u64,
+    /// Trials that completed and passed the post-run invariants.
+    pub survived: u64,
+    /// Mean cycles from injection to diagnosis, over detected trials
+    /// (0 when nothing was detected).
+    pub mean_detection_latency: f64,
+}
+
+impl KindStats {
+    /// Fraction of trials where the fault was caught as a structured error.
+    pub fn detection_rate(&self) -> f64 {
+        (self.detected_deadlock + self.detected_desync) as f64 / self.trials as f64
+    }
+
+    /// Fraction of trials the system rode through unharmed.
+    pub fn survival_fraction(&self) -> f64 {
+        self.survived as f64 / self.trials as f64
+    }
+}
+
+/// A full resilience sweep over every fault kind for one bound design.
+#[derive(Clone, Debug)]
+pub struct ResilienceReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Short-completion probability of the completion draws.
+    pub p: f64,
+    /// Trials per fault kind.
+    pub trials: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// One row per fault kind, in [`FAULT_KINDS`] order.
+    pub rows: Vec<KindStats>,
+}
+
+/// Draws a fault of exactly the requested kind by rejection from the
+/// shared [`arbitrary_fault`] distribution (deterministic in the `Gen`
+/// stream; each round hits the target kind with probability 1/6).
+fn draw_fault_of_kind(
+    g: &mut Gen,
+    tag: &str,
+    num_ops: usize,
+    num_controllers: usize,
+    max_cycle: usize,
+) -> tauhls_sim::Fault {
+    loop {
+        let f = arbitrary_fault(g, num_ops, num_controllers, max_cycle);
+        if f.kind.tag() == tag {
+            return f;
+        }
+    }
+}
+
+/// Runs `trials` fault-injection trials per fault kind against the
+/// distributed engine at short-probability `p`, fanned over `runner`'s
+/// workers.
+///
+/// Every trial derives two independent streams from `(seed, kind, trial)`:
+/// one generates the fault plan, the other the completion draws — so the
+/// completion table a trial sees is independent of the fault injected
+/// into it.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `p` is not a probability.
+pub fn resilience_sweep(
+    bound: &BoundDfg,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    runner: &BatchRunner,
+) -> ResilienceReport {
+    assert!(trials > 0 && (0.0..=1.0).contains(&p));
+    let cu = DistributedControlUnit::generate(bound);
+    let num_ops = bound.dfg().num_ops();
+    let num_controllers = cu.controllers().len();
+    // Injection window: wide enough to hit every phase of a run (worst
+    // case is ~best + one extension per TAU op <= 2n), narrow enough that
+    // most faults land inside the run.
+    let max_cycle = 2 * num_ops + 4;
+    let mut rows = Vec::with_capacity(FAULT_KINDS.len());
+    for (kind_idx, tag) in FAULT_KINDS.iter().enumerate() {
+        let acc: ResilAcc = runner.run(trials, |trial, acc: &mut ResilAcc| {
+            let plan_seed = derive_seed(seed, PLAN_JOB_BASE + kind_idx as u64, trial);
+            let mut plan_gen = Gen::from_seed(plan_seed);
+            let fault = draw_fault_of_kind(&mut plan_gen, tag, num_ops, num_controllers, max_cycle);
+            let cfg = SimConfig::with_faults(FaultPlan::single(fault.at_cycle, fault.kind));
+            let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+            let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+            match simulate_distributed_with(bound, &cu, &table, None, &mut rng, &cfg) {
+                Ok(_) => acc.survived += 1,
+                Err(err) => {
+                    if matches!(err, SimError::Deadlock(_)) {
+                        acc.deadlock += 1;
+                    } else {
+                        acc.desync += 1;
+                    }
+                    if let Some(cycle) = err.detected_cycle() {
+                        acc.latency_sum += cycle.saturating_sub(fault.at_cycle) as u64;
+                        acc.latency_samples += 1;
+                    }
+                }
+            }
+        });
+        rows.push(KindStats {
+            kind: tag.to_string(),
+            trials,
+            detected_deadlock: acc.deadlock,
+            detected_desync: acc.desync,
+            survived: acc.survived,
+            mean_detection_latency: if acc.latency_samples == 0 {
+                0.0
+            } else {
+                acc.latency_sum as f64 / acc.latency_samples as f64
+            },
+        });
+    }
+    ResilienceReport {
+        name: bound.dfg().name().to_string(),
+        p,
+        trials,
+        seed,
+        rows,
+    }
+}
+
+impl fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Resilience sweep for '{}' (P = {}, {} trials/kind, seed {})",
+            self.name, self.p, self.trials, self.seed
+        )?;
+        writeln!(
+            f,
+            "{:<15} {:>9} {:>8} {:>9} {:>10} {:>12}",
+            "fault kind", "deadlock", "desync", "survived", "detect %", "latency (cy)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<15} {:>9} {:>8} {:>9} {:>9.1}% {:>12.2}",
+                r.kind,
+                r.detected_deadlock,
+                r.detected_desync,
+                r.survived,
+                r.detection_rate() * 100.0,
+                r.mean_detection_latency
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_dfg::benchmarks::fir5;
+    use tauhls_sched::Allocation;
+
+    #[test]
+    fn sweep_accounts_for_every_trial_and_detects_something() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let report = resilience_sweep(&bound, 0.5, 60, 2003, &BatchRunner::serial());
+        assert_eq!(report.rows.len(), FAULT_KINDS.len());
+        for r in &report.rows {
+            assert_eq!(
+                r.detected_deadlock + r.detected_desync + r.survived,
+                r.trials,
+                "{}: outcomes must partition the trials",
+                r.kind
+            );
+        }
+        // The persistent faults are reliably caught.
+        let by_kind = |k: &str| report.rows.iter().find(|r| r.kind == k).unwrap();
+        assert!(by_kind("stuck_long").detected_deadlock > 0);
+        assert!(by_kind("stuck_short").detected_desync > 0);
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let serial = resilience_sweep(&bound, 0.5, 48, 7, &BatchRunner::serial());
+        for threads in [2usize, 8] {
+            let parallel = resilience_sweep(&bound, 0.5, 48, 7, &BatchRunner::new(threads));
+            for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+                assert_eq!(a.detected_deadlock, b.detected_deadlock);
+                assert_eq!(a.detected_desync, b.detected_desync);
+                assert_eq!(a.survived, b.survived);
+                assert_eq!(a.mean_detection_latency, b.mean_detection_latency);
+            }
+        }
+    }
+}

@@ -38,7 +38,8 @@ pub fn latency_curve(
 ) -> Vec<CurvePoint> {
     assert!(steps >= 2 && trials > 0);
     let ps: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
-    let (sync, dist) = latency_pair_batch(bound, &ps, trials as u64, seed, runner);
+    let (sync, dist) =
+        latency_pair_batch(bound, &ps, trials as u64, seed, runner).expect("fault-free simulation");
     ps.iter()
         .enumerate()
         .map(|(i, &p)| {
@@ -96,7 +97,8 @@ pub fn allocation_series(
         // Each allocation point gets its own seed-space partition, so the
         // series is independent of which points the coverage filter skips.
         let point_seed = derive_seed(seed, muls as u64, 0);
-        let (sync, dist) = latency_pair_batch(&bound, &[p], trials as u64, point_seed, runner);
+        let (sync, dist) = latency_pair_batch(&bound, &[p], trials as u64, point_seed, runner)
+            .expect("fault-free simulation");
         out.push(AllocationPoint {
             muls,
             enhancement: (sync.average_cycles[0] - dist.average_cycles[0]) / sync.average_cycles[0]

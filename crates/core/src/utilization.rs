@@ -96,8 +96,10 @@ pub fn utilization_table(
         let acc: UtilAcc = runner.run(trials as u64, |trial, acc: &mut UtilAcc| {
             let mut rng = trial_rng(seed, job_id as u64, trial);
             let table = CompletionModel::draw_table(dfg.num_ops(), p, &mut rng);
-            let d = simulate_distributed(&bound, &cu, &table, None, &mut rng);
-            let s = simulate_cent_sync(&bound, &table, None, &mut rng);
+            let d = simulate_distributed(&bound, &cu, &table, None, &mut rng)
+                .expect("fault-free simulation");
+            let s =
+                simulate_cent_sync(&bound, &table, None, &mut rng).expect("fault-free simulation");
             acc.dist.record(d.cycles);
             acc.sync.record(s.cycles);
             acc.dist_util += util(&d);

@@ -1,0 +1,196 @@
+//! Hostile-input hardening for `parse_dfg`: arbitrary garbage, mutated
+//! and truncated well-formed text must always come back as a
+//! `ParseDfgError` (or a valid graph) — never a panic. The `forall`
+//! harness reports the failing case seed, so any input that slips through
+//! replays deterministically.
+
+use tauhls_check::forall;
+use tauhls_dfg::{benchmarks, dfg_to_text, parse_dfg};
+
+/// A pool of tokens biased toward the grammar, so mutations explore the
+/// parser's deep paths instead of bouncing off the directive match.
+const TOKENS: [&str; 18] = [
+    "dfg",
+    "input",
+    "op",
+    "output",
+    "=",
+    "add",
+    "sub",
+    "mul",
+    "lt",
+    "a",
+    "x",
+    "t0",
+    "t1",
+    "9223372036854775807",
+    "-9223372036854775808",
+    "#",
+    "0",
+    "zz",
+];
+
+fn wellformed_corpus() -> Vec<String> {
+    [
+        benchmarks::diffeq(),
+        benchmarks::fir5(),
+        benchmarks::iir3(),
+        benchmarks::ewf(),
+    ]
+    .iter()
+    .map(dfg_to_text)
+    .collect()
+}
+
+/// The property under test: parsing terminates with a `Result`, and the
+/// error path formats into a non-empty, line-numbered message.
+fn never_panics(text: &str) {
+    match parse_dfg(text) {
+        Ok(g) => {
+            // A graph that parses must at least be internally consistent.
+            assert!(!g.name().is_empty());
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(msg.starts_with("line "), "unexpected error shape: {msg}");
+            assert!(!e.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn random_token_soup_never_panics() {
+    forall("parse_fuzz_token_soup", 300, |g| {
+        let lines = g.usize(0..12);
+        let mut text = String::new();
+        for _ in 0..lines {
+            let tokens = g.usize(0..7);
+            for _ in 0..tokens {
+                // The deref pins `choose`'s element type to `&str`;
+                // without it inference unifies with `str` and fails.
+                #[allow(clippy::explicit_auto_deref)]
+                text.push_str(*g.choose(&TOKENS));
+                text.push(if g.bool(0.9) { ' ' } else { '\t' });
+            }
+            text.push('\n');
+        }
+        never_panics(&text);
+    });
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    forall("parse_fuzz_random_bytes", 300, |g| {
+        let len = g.usize(0..200);
+        let text: String = (0..len)
+            .map(|_| {
+                // Mostly ASCII (printable + controls), sprinkled with
+                // multi-byte chars to stress any byte-indexed slicing.
+                match g.usize(0..10) {
+                    0 => '\u{00e9}',
+                    1 => '\u{4e16}',
+                    2 => '\n',
+                    3 => '\0',
+                    _ => char::from(g.u8(9..127)),
+                }
+            })
+            .collect();
+        never_panics(&text);
+    });
+}
+
+#[test]
+fn mutated_wellformed_text_never_panics() {
+    let corpus = wellformed_corpus();
+    forall("parse_fuzz_mutations", 300, |g| {
+        let mut text = g.choose(&corpus).clone();
+        for _ in 0..g.usize(1..6) {
+            match g.usize(0..4) {
+                // Replace one char (at a char boundary) with a hostile one.
+                0 => {
+                    let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+                    if let Some(&at) = boundaries.get(g.usize(0..boundaries.len().max(1))) {
+                        let mut s = String::with_capacity(text.len());
+                        for (i, c) in text.char_indices() {
+                            s.push(if i == at {
+                                *g.choose(&['@', '\0', '=', '\u{00e9}'])
+                            } else {
+                                c
+                            });
+                        }
+                        text = s;
+                    }
+                }
+                // Duplicate a random line (duplicate-name path).
+                1 => {
+                    let lines: Vec<&str> = text.lines().collect();
+                    if !lines.is_empty() {
+                        let l = lines[g.usize(0..lines.len())].to_string();
+                        text.push_str(&l);
+                        text.push('\n');
+                    }
+                }
+                // Delete a random line (use-before-def path).
+                2 => {
+                    let lines: Vec<String> = text.lines().map(String::from).collect();
+                    if lines.len() > 1 {
+                        let skip = g.usize(0..lines.len());
+                        text = lines
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != skip)
+                            .map(|(_, l)| format!("{l}\n"))
+                            .collect();
+                    }
+                }
+                // Swap two lines (header-not-first / forward-ref paths).
+                _ => {
+                    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+                    if lines.len() > 1 {
+                        let i = g.usize(0..lines.len());
+                        let j = g.usize(0..lines.len());
+                        lines.swap(i, j);
+                        text = lines.iter().map(|l| format!("{l}\n")).collect();
+                    }
+                }
+            }
+        }
+        never_panics(&text);
+    });
+}
+
+#[test]
+fn truncations_never_panic() {
+    let corpus = wellformed_corpus();
+    forall("parse_fuzz_truncations", 200, |g| {
+        let text = g.choose(&corpus);
+        let boundaries: Vec<usize> = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(text.len()))
+            .collect();
+        let cut = boundaries[g.usize(0..boundaries.len())];
+        never_panics(&text[..cut]);
+    });
+}
+
+#[test]
+fn targeted_hostile_inputs() {
+    // Deterministic regression corpus for the nastiest shapes.
+    for text in [
+        "",
+        "\n\n\n",
+        "#",
+        "dfg",
+        "dfg x\ndfg y\n",
+        "op a = add 1 2\n",
+        "dfg x\nop a = add a a\n",                       // self-reference
+        "dfg x\nop a = mul 99999999999999999999999 1\n", // overflowing const
+        "dfg x\ninput \u{4e16}\u{754c}\nop a = add \u{4e16}\u{754c} 1\noutput r a\n",
+        "dfg x\ninput a\nop b = add a 1\noutput r b\noutput r b\n",
+        "dfg x # comment\u{0}with\u{0}nuls\n",
+        "output r t0\ndfg x\n",
+    ] {
+        never_panics(text);
+    }
+}

@@ -166,6 +166,12 @@ impl Fsm {
         &self.states[s.0]
     }
 
+    /// State name by id, or `None` when `s` does not name a state (e.g. a
+    /// corrupted state register after fault injection).
+    pub fn state_name_opt(&self, s: StateId) -> Option<&str> {
+        self.states.get(s.0).map(String::as_str)
+    }
+
     /// Looks up a state id by name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
         self.states.iter().position(|n| n == name).map(StateId)
@@ -253,32 +259,60 @@ impl Fsm {
     /// # Panics
     ///
     /// Panics if no transition (or more than one) is enabled — run
-    /// [`Fsm::check`] first.
+    /// [`Fsm::check`] first, or use [`Fsm::try_step`] for a panic-free
+    /// variant.
+    // The panic is this method's documented contract; everything else
+    // routes through `try_step`.
+    #[allow(clippy::panic)]
     pub fn step(
         &self,
         state: StateId,
         inputs: impl Fn(usize) -> bool + Copy,
     ) -> (StateId, Vec<usize>) {
+        match self.try_step(state, inputs) {
+            Ok(r) => r,
+            Err(FsmError::Nondeterministic(s)) => panic!(
+                "nondeterministic FSM {} in state {}",
+                self.name,
+                self.state_name(s)
+            ),
+            Err(FsmError::Incomplete(s)) => {
+                panic!("FSM {} stuck in state {}", self.name, self.state_name(s))
+            }
+            Err(FsmError::DanglingReference) => {
+                panic!("FSM {} stepped from unknown state {state:?}", self.name)
+            }
+        }
+    }
+
+    /// Panic-free [`Fsm::step`]: reports a runtime determinism or
+    /// completeness violation (possible when the state register is
+    /// corrupted by fault injection) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmError::DanglingReference`] when `state` does not name a state,
+    /// [`FsmError::Incomplete`] when no transition is enabled, and
+    /// [`FsmError::Nondeterministic`] when more than one is.
+    pub fn try_step(
+        &self,
+        state: StateId,
+        inputs: impl Fn(usize) -> bool + Copy,
+    ) -> Result<(StateId, Vec<usize>), FsmError> {
+        if state.0 >= self.states.len() {
+            return Err(FsmError::DanglingReference);
+        }
         let mut hit: Option<&Transition> = None;
         for t in self.transitions.iter().filter(|t| t.from == state) {
             if t.guard.evaluate(inputs) {
-                assert!(
-                    hit.is_none(),
-                    "nondeterministic FSM {} in state {}",
-                    self.name,
-                    self.state_name(state)
-                );
+                if hit.is_some() {
+                    return Err(FsmError::Nondeterministic(state));
+                }
                 hit = Some(t);
             }
         }
-        let t = hit.unwrap_or_else(|| {
-            panic!(
-                "FSM {} stuck in state {}",
-                self.name,
-                self.state_name(state)
-            )
-        });
-        (t.to, t.outputs.clone())
+        let t = hit.ok_or(FsmError::Incomplete(state))?;
+        Ok((t.to, t.outputs.clone()))
     }
 
     /// Renders the machine as Graphviz DOT (states as nodes, transitions

@@ -122,15 +122,11 @@ impl DependencyGraph {
             for j in 0..ordered.len() {
                 if ordered[i][j] && !visited[j] {
                     visited[j] = true;
-                    if match_right[j].is_none()
-                        || try_augment(
-                            match_right[j].unwrap(),
-                            ordered,
-                            match_right,
-                            match_left,
-                            visited,
-                        )
-                    {
+                    let freed = match match_right[j] {
+                        None => true,
+                        Some(m) => try_augment(m, ordered, match_right, match_left, visited),
+                    };
+                    if freed {
                         match_right[j] = Some(i);
                         match_left[i] = Some(j);
                         return true;

@@ -26,13 +26,15 @@
 //! let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
 //! let model = CompletionModel::Bernoulli { p: 0.5 };
 //! let job = SimJob::new(&bound, ControlStyle::Distributed, &model).trials(500);
-//! let serial = job.run(42, &BatchRunner::serial());
-//! let parallel = job.run(42, &BatchRunner::new(4));
+//! let serial = job.run(42, &BatchRunner::serial()).unwrap();
+//! let parallel = job.run(42, &BatchRunner::new(4)).unwrap();
 //! assert_eq!(serial, parallel); // bit-identical, not just statistically close
 //! ```
 
-use crate::centsync::simulate_cent_sync;
-use crate::distributed::simulate_distributed;
+use crate::centsync::simulate_cent_sync_with;
+use crate::distributed::simulate_distributed_with;
+use crate::error::SimError;
+use crate::fault::SimConfig;
 use crate::latency::{ControlStyle, LatencySummary};
 use crate::model::CompletionModel;
 use rand::rngs::StdRng;
@@ -146,6 +148,60 @@ impl<A: Accumulator, B: Accumulator> Accumulator for (A, B) {
     fn fold(&mut self, other: Self) {
         self.0.fold(other.0);
         self.1.fold(other.1);
+    }
+}
+
+impl<A: Accumulator, B: Accumulator, C: Accumulator> Accumulator for (A, B, C) {
+    fn empty() -> Self {
+        (A::empty(), B::empty(), C::empty())
+    }
+    fn fold(&mut self, other: Self) {
+        self.0.fold(other.0);
+        self.1.fold(other.1);
+        self.2.fold(other.2);
+    }
+}
+
+/// Accumulator that keeps the [`SimError`] of the lowest-numbered failing
+/// trial. Because the comparison is by trial index — not by arrival order —
+/// the captured error is the same for any thread count or chunk size,
+/// extending the engine's bit-identical guarantee to the error path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FirstError {
+    err: Option<(u64, SimError)>,
+}
+
+impl FirstError {
+    /// Records a failing trial, keeping the lowest trial index seen.
+    pub fn record(&mut self, trial: u64, error: SimError) {
+        match &self.err {
+            Some((t, _)) if *t <= trial => {}
+            _ => self.err = Some((trial, error)),
+        }
+    }
+
+    /// The captured `(trial, error)`, if any trial failed.
+    pub fn first(&self) -> Option<&(u64, SimError)> {
+        self.err.as_ref()
+    }
+
+    /// `Err` with the earliest failing trial's error, `Ok` otherwise.
+    pub fn into_result(self) -> Result<(), SimError> {
+        match self.err {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Accumulator for FirstError {
+    fn empty() -> Self {
+        FirstError::default()
+    }
+    fn fold(&mut self, other: Self) {
+        if let Some((trial, error)) = other.err {
+            self.record(trial, error);
+        }
     }
 }
 
@@ -283,6 +339,7 @@ pub struct SimJob<'a> {
     model: &'a CompletionModel,
     trials: u64,
     job_id: u64,
+    config: Option<&'a SimConfig>,
 }
 
 impl<'a> SimJob<'a> {
@@ -294,6 +351,7 @@ impl<'a> SimJob<'a> {
             model,
             trials: 1,
             job_id: 0,
+            config: None,
         }
     }
 
@@ -309,20 +367,42 @@ impl<'a> SimJob<'a> {
         self
     }
 
+    /// Applies a fault/watchdog configuration to every trial.
+    pub fn config(mut self, config: &'a SimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
     /// Runs the job on `runner`, collecting cycle statistics.
-    pub fn run(&self, base_seed: u64, runner: &BatchRunner) -> CycleStats {
+    ///
+    /// When any trial fails, the error of the lowest-numbered failing
+    /// trial is returned — deterministically, for any thread count (see
+    /// [`FirstError`]).
+    pub fn run(&self, base_seed: u64, runner: &BatchRunner) -> Result<CycleStats, SimError> {
         let cu = match self.style {
             ControlStyle::Distributed => Some(DistributedControlUnit::generate(self.bound)),
             ControlStyle::CentSync => None,
         };
-        runner.run(self.trials, |trial, acc: &mut CycleStats| {
-            let mut rng = trial_rng(base_seed, self.job_id, trial);
-            let cycles = match &cu {
-                Some(cu) => simulate_distributed(self.bound, cu, self.model, None, &mut rng).cycles,
-                None => simulate_cent_sync(self.bound, self.model, None, &mut rng).cycles,
-            };
-            acc.record(cycles);
-        })
+        let default_config = SimConfig::default();
+        let config = self.config.unwrap_or(&default_config);
+        let (stats, errors): (CycleStats, FirstError) = runner.run(
+            self.trials,
+            |trial, (acc, errors): &mut (CycleStats, FirstError)| {
+                let mut rng = trial_rng(base_seed, self.job_id, trial);
+                let outcome = match &cu {
+                    Some(cu) => simulate_distributed_with(
+                        self.bound, cu, self.model, None, &mut rng, config,
+                    ),
+                    None => simulate_cent_sync_with(self.bound, self.model, None, &mut rng, config),
+                };
+                match outcome {
+                    Ok(r) => acc.record(r.cycles),
+                    Err(e) => errors.record(trial, e),
+                }
+            },
+        );
+        errors.into_result()?;
+        Ok(stats)
     }
 }
 
@@ -330,9 +410,7 @@ impl<'a> SimJob<'a> {
 /// deterministic extremes, averages from batched Bernoulli jobs (one
 /// `job_id` per swept `P`).
 ///
-/// # Panics
-///
-/// Panics if `trials == 0`.
+/// Returns [`SimError::InvalidConfig`] when `trials == 0`.
 pub fn latency_summary_batch(
     bound: &BoundDfg,
     style: ControlStyle,
@@ -340,29 +418,30 @@ pub fn latency_summary_batch(
     trials: u64,
     base_seed: u64,
     runner: &BatchRunner,
-) -> LatencySummary {
-    assert!(trials > 0);
+) -> Result<LatencySummary, SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency summary needs trials >= 1".to_string(),
+        ));
+    }
     let serial = BatchRunner::serial();
-    let best = SimJob::new(bound, style, &CompletionModel::AlwaysShort).run(base_seed, &serial);
-    let worst = SimJob::new(bound, style, &CompletionModel::AlwaysLong).run(base_seed, &serial);
-    let average_cycles = p_values
-        .iter()
-        .enumerate()
-        .map(|(idx, &p)| {
-            let model = CompletionModel::Bernoulli { p };
-            SimJob::new(bound, style, &model)
-                .trials(trials)
-                .job_id(idx as u64)
-                .run(base_seed, runner)
-                .mean()
-        })
-        .collect();
-    LatencySummary {
+    let best = SimJob::new(bound, style, &CompletionModel::AlwaysShort).run(base_seed, &serial)?;
+    let worst = SimJob::new(bound, style, &CompletionModel::AlwaysLong).run(base_seed, &serial)?;
+    let mut average_cycles = Vec::with_capacity(p_values.len());
+    for (idx, &p) in p_values.iter().enumerate() {
+        let model = CompletionModel::Bernoulli { p };
+        let stats = SimJob::new(bound, style, &model)
+            .trials(trials)
+            .job_id(idx as u64)
+            .run(base_seed, runner)?;
+        average_cycles.push(stats.mean());
+    }
+    Ok(LatencySummary {
         best_cycles: best.min,
         average_cycles,
         worst_cycles: worst.max,
         p_values: p_values.to_vec(),
-    }
+    })
 }
 
 /// Parallel counterpart of [`crate::latency_pair`]: per trial, one
@@ -370,48 +449,55 @@ pub fn latency_summary_batch(
 /// comparison stays coupled (distributed dominates per-trial); the trials
 /// themselves fan out over `runner`'s workers.
 ///
-/// Returns `(sync, dist)`.
-///
-/// # Panics
-///
-/// Panics if `trials == 0`.
+/// Returns `(sync, dist)`, or [`SimError::InvalidConfig`] when
+/// `trials == 0`.
 pub fn latency_pair_batch(
     bound: &BoundDfg,
     p_values: &[f64],
     trials: u64,
     base_seed: u64,
     runner: &BatchRunner,
-) -> (LatencySummary, LatencySummary) {
-    assert!(trials > 0);
+) -> Result<(LatencySummary, LatencySummary), SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency pair needs trials >= 1".to_string(),
+        ));
+    }
+    let fault_free = SimConfig::default();
     let cu = DistributedControlUnit::generate(bound);
     let num_ops = bound.dfg().num_ops();
     let mut rng = trial_rng(base_seed, u64::MAX, 0);
-    let measure = |model: &CompletionModel, rng: &mut StdRng| {
-        (
-            simulate_cent_sync(bound, model, None, rng).cycles,
-            simulate_distributed(bound, &cu, model, None, rng).cycles,
-        )
+    let measure = |model: &CompletionModel, rng: &mut StdRng| -> Result<(usize, usize), SimError> {
+        Ok((
+            simulate_cent_sync_with(bound, model, None, rng, &fault_free)?.cycles,
+            simulate_distributed_with(bound, &cu, model, None, rng, &fault_free)?.cycles,
+        ))
     };
-    let (sync_best, dist_best) = measure(&CompletionModel::AlwaysShort, &mut rng);
-    let (sync_worst, dist_worst) = measure(&CompletionModel::AlwaysLong, &mut rng);
+    let (sync_best, dist_best) = measure(&CompletionModel::AlwaysShort, &mut rng)?;
+    let (sync_worst, dist_worst) = measure(&CompletionModel::AlwaysLong, &mut rng)?;
     let mut sync_avg = Vec::with_capacity(p_values.len());
     let mut dist_avg = Vec::with_capacity(p_values.len());
     for (idx, &p) in p_values.iter().enumerate() {
-        let (sync, dist): (CycleStats, CycleStats) = runner.run(
+        let (sync, dist, errors): (CycleStats, CycleStats, FirstError) = runner.run(
             trials,
-            |trial, (sync, dist): &mut (CycleStats, CycleStats)| {
+            |trial, (sync, dist, errors): &mut (CycleStats, CycleStats, FirstError)| {
                 let mut rng = trial_rng(base_seed, idx as u64, trial);
                 let table = CompletionModel::draw_table(num_ops, p, &mut rng);
-                let (s, d) = measure(&table, &mut rng);
-                debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
-                sync.record(s);
-                dist.record(d);
+                match measure(&table, &mut rng) {
+                    Ok((s, d)) => {
+                        debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
+                        sync.record(s);
+                        dist.record(d);
+                    }
+                    Err(e) => errors.record(trial, e),
+                }
             },
         );
+        errors.into_result()?;
         sync_avg.push(sync.mean());
         dist_avg.push(dist.mean());
     }
-    (
+    Ok((
         LatencySummary {
             best_cycles: sync_best,
             average_cycles: sync_avg,
@@ -424,7 +510,7 @@ pub fn latency_pair_batch(
             worst_cycles: dist_worst,
             p_values: p_values.to_vec(),
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -477,21 +563,48 @@ mod tests {
         let bound = fir5_bound();
         let model = CompletionModel::Bernoulli { p: 0.5 };
         let job = SimJob::new(&bound, ControlStyle::Distributed, &model).trials(300);
-        let reference = job.run(11, &BatchRunner::serial());
+        let reference = job.run(11, &BatchRunner::serial()).unwrap();
         for threads in [2usize, 3, 8] {
-            assert_eq!(reference, job.run(11, &BatchRunner::new(threads)));
+            assert_eq!(reference, job.run(11, &BatchRunner::new(threads)).unwrap());
         }
         // Odd chunk sizes cover the ragged-final-chunk path.
-        let ragged = job.run(11, &BatchRunner::new(4).with_chunk_size(7));
+        let ragged = job
+            .run(11, &BatchRunner::new(4).with_chunk_size(7))
+            .unwrap();
         assert_eq!(reference, ragged);
+    }
+
+    #[test]
+    fn first_error_is_deterministic_by_trial_index() {
+        use crate::error::SimError;
+        let mut a = FirstError::default();
+        a.record(9, SimError::InvalidConfig("nine".to_string()));
+        a.record(3, SimError::InvalidConfig("three".to_string()));
+        a.record(5, SimError::InvalidConfig("five".to_string()));
+        assert_eq!(a.first().map(|(t, _)| *t), Some(3));
+        // fold order must not matter: the lowest trial wins either way.
+        let mut left = FirstError::default();
+        left.record(7, SimError::InvalidConfig("seven".to_string()));
+        let mut right = FirstError::default();
+        right.record(2, SimError::InvalidConfig("two".to_string()));
+        let mut folded = FirstError::empty();
+        folded.fold(left.clone());
+        folded.fold(right.clone());
+        assert_eq!(folded.first().map(|(t, _)| *t), Some(2));
+        let mut folded_rev = FirstError::empty();
+        folded_rev.fold(right);
+        folded_rev.fold(left);
+        assert_eq!(folded, folded_rev);
+        assert!(folded.into_result().is_err());
+        assert!(FirstError::default().into_result().is_ok());
     }
 
     #[test]
     fn pair_batch_matches_serial_oracle_and_dominates() {
         let bound = fir5_bound();
         let ps = [0.9, 0.5];
-        let serial = latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::serial());
-        let parallel = latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::new(8));
+        let serial = latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::serial()).unwrap();
+        let parallel = latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::new(8)).unwrap();
         assert_eq!(serial, parallel);
         let (sync, dist) = parallel;
         for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
@@ -510,7 +623,8 @@ mod tests {
             500,
             3,
             &BatchRunner::new(2),
-        );
+        )
+        .unwrap();
         assert!(s.best_cycles as f64 <= s.average_cycles[0]);
         assert!(s.average_cycles[0] <= s.average_cycles[1]);
         assert!(s.average_cycles[1] <= s.average_cycles[2]);

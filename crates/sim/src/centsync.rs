@@ -3,7 +3,16 @@
 //!
 //! A time step with TAU operations spends its extension half unless
 //! *every* active TAU completes short — the `P^n` synchronization penalty.
+//!
+//! Fault support: the centralized controller has no completion-pulse
+//! fabric and no distributed state registers, so only the signal-level
+//! fault kinds apply — stuck-at completion predictors (a stuck-at-short
+//! predictor that suppresses a needed step extension is detected as
+//! [`SimError::Desync`]) and delayed result latches. Dropped/spurious
+//! pulses and state flips are no-ops here by construction.
 
+use crate::error::{Diagnostics, SimError};
+use crate::fault::SimConfig;
 use crate::model::CompletionModel;
 use crate::result::SimResult;
 use rand::Rng;
@@ -11,14 +20,34 @@ use tauhls_dfg::{Operand, TaubmDfg};
 use tauhls_sched::BoundDfg;
 
 /// Simulates one iteration under synchronized centralized control, using
-/// the binding's list schedule for the time steps.
+/// the binding's list schedule for the time steps (fault-free).
 pub fn simulate_cent_sync(
     bound: &BoundDfg,
     model: &CompletionModel,
     inputs: Option<&[i64]>,
     rng: &mut impl Rng,
-) -> SimResult {
-    simulate_cent_sync_with_schedule(bound, bound.schedule().step_of(), model, inputs, rng)
+) -> Result<SimResult, SimError> {
+    simulate_cent_sync_with(bound, model, inputs, rng, &SimConfig::default())
+}
+
+/// [`simulate_cent_sync`] with a fault/watchdog configuration. Faults are
+/// applied after the completion draws, so the RNG stream is independent of
+/// the plan.
+pub fn simulate_cent_sync_with(
+    bound: &BoundDfg,
+    model: &CompletionModel,
+    inputs: Option<&[i64]>,
+    rng: &mut impl Rng,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    cent_sync_impl(
+        bound,
+        bound.schedule().step_of(),
+        model,
+        inputs,
+        rng,
+        config,
+    )
 }
 
 /// Like [`simulate_cent_sync`] with an explicit time-step assignment.
@@ -32,7 +61,34 @@ pub fn simulate_cent_sync_with_schedule(
     model: &CompletionModel,
     inputs: Option<&[i64]>,
     rng: &mut impl Rng,
-) -> SimResult {
+) -> Result<SimResult, SimError> {
+    cent_sync_impl(bound, step_of, model, inputs, rng, &SimConfig::default())
+}
+
+fn desync(cycle: usize, reason: String, completed: &[usize]) -> SimError {
+    SimError::Desync(Box::new(Diagnostics {
+        cycle,
+        reason,
+        controllers: Vec::new(), // single centralized FSM, not modelled per-unit
+        done: completed.iter().map(|&c| c > 0).collect(),
+        outstanding: completed
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| i)
+            .collect(),
+        pulses: Vec::new(),
+    }))
+}
+
+fn cent_sync_impl(
+    bound: &BoundDfg,
+    step_of: &[usize],
+    model: &CompletionModel,
+    inputs: Option<&[i64]>,
+    rng: &mut impl Rng,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
     let dfg = bound.dfg();
     let taubm = TaubmDfg::derive(dfg, step_of, bound.allocation().tau_classes());
     let zeros = vec![0i64; dfg.num_inputs()];
@@ -45,6 +101,9 @@ pub fn simulate_cent_sync_with_schedule(
             Operand::Op(p) => values[p.0],
         }
     };
+
+    let faults = &config.faults;
+    let faulty = !faults.is_empty();
 
     let n = dfg.num_ops();
     let mut completion_cycle = vec![0usize; n];
@@ -65,33 +124,64 @@ pub fn simulate_cent_sync_with_schedule(
         }
         let mut all_short = true;
         let mut shorts = Vec::with_capacity(step.tau_ops.len());
+        let mut truths = Vec::with_capacity(step.tau_ops.len());
         for &o in &step.tau_ops {
             start_cycle[o.0] = cycle;
             let node = dfg.op(o);
-            let short = model.completion(o, node.kind, operand(node.lhs), operand(node.rhs), rng);
+            let truth = model.completion(o, node.kind, operand(node.lhs), operand(node.rhs), rng);
+            let short = faults.stuck_completion(o, cycle).unwrap_or(truth);
             shorts.push(short);
+            truths.push(truth);
             all_short &= short;
         }
         if !all_short {
             cycle += 1; // the extension half T_i'
+        }
+        // A stuck-at-short predictor that masks a long completion while no
+        // sibling extends the step makes the synchronized latch capture an
+        // unfinished result.
+        if faulty && all_short {
+            for (&o, &truth) in step.tau_ops.iter().zip(&truths) {
+                if !truth {
+                    return Err(desync(
+                        cycle,
+                        format!(
+                            "step latched {o} at the base half but its true completion was long"
+                        ),
+                        &completion_cycle,
+                    ));
+                }
+            }
         }
         for (&o, &short) in step.tau_ops.iter().zip(&shorts) {
             // Synchronized: every TAU result latches when the step ends,
             // but a unit is *busy* only while actually computing — a short
             // operation whose step extends for a sibling sits idle in the
             // extension half (the idle time the paper's §1 points at).
-            completion_cycle[o.0] = cycle;
+            completion_cycle[o.0] = cycle + faults.latch_delay(o, cycle);
             unit_busy[bound.unit_of(o).0] += if short { 1 } else { 2 };
         }
     }
 
-    SimResult {
-        cycles: cycle,
+    let total = cycle.max(completion_cycle.iter().copied().max().unwrap_or(0));
+    let result = SimResult {
+        cycles: total,
         completion_cycle,
         start_cycle,
         unit_busy_cycles: unit_busy,
         values,
+    };
+    if faulty {
+        if let Err(msg) = result.verify(bound) {
+            let completed = result.completion_cycle.clone();
+            return Err(desync(
+                total,
+                format!("post-run invariant violated: {msg}"),
+                &completed,
+            ));
+        }
     }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -111,8 +201,10 @@ mod tests {
             bound.allocation().tau_classes(),
         );
         let mut rng = StdRng::seed_from_u64(0);
-        let best = simulate_cent_sync(&bound, &CompletionModel::AlwaysShort, None, &mut rng);
-        let worst = simulate_cent_sync(&bound, &CompletionModel::AlwaysLong, None, &mut rng);
+        let best =
+            simulate_cent_sync(&bound, &CompletionModel::AlwaysShort, None, &mut rng).unwrap();
+        let worst =
+            simulate_cent_sync(&bound, &CompletionModel::AlwaysLong, None, &mut rng).unwrap();
         assert_eq!(best.cycles, taubm.best_latency_cycles());
         assert_eq!(worst.cycles, taubm.worst_latency_cycles());
     }
@@ -131,7 +223,9 @@ mod tests {
         let trials = 30_000;
         let total: usize = (0..trials)
             .map(|_| {
-                simulate_cent_sync(&bound, &CompletionModel::Bernoulli { p }, None, &mut rng).cycles
+                simulate_cent_sync(&bound, &CompletionModel::Bernoulli { p }, None, &mut rng)
+                    .unwrap()
+                    .cycles
             })
             .sum();
         let mean = total as f64 / trials as f64;
@@ -161,24 +255,28 @@ mod tests {
                 &CompletionModel::Bernoulli { p: 0.5 },
                 None,
                 &mut rng1,
-            );
+            )
+            .unwrap();
             let s = simulate_cent_sync(
                 &bound,
                 &CompletionModel::Bernoulli { p: 0.5 },
                 None,
                 &mut rng2,
-            );
+            )
+            .unwrap();
             // Hard bounds always hold.
             assert!(d.cycles >= 5 && d.cycles <= 8, "dist {}", d.cycles);
             assert!(s.cycles >= 5 && s.cycles <= 8, "sync {}", s.cycles);
         }
         // Deterministic dominance at the extremes.
         let mut rng = StdRng::seed_from_u64(0);
-        let db = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
-        let sb = simulate_cent_sync(&bound, &CompletionModel::AlwaysShort, None, &mut rng);
+        let db = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng)
+            .unwrap();
+        let sb = simulate_cent_sync(&bound, &CompletionModel::AlwaysShort, None, &mut rng).unwrap();
         assert!(db.cycles <= sb.cycles);
-        let dw = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysLong, None, &mut rng);
-        let sw = simulate_cent_sync(&bound, &CompletionModel::AlwaysLong, None, &mut rng);
+        let dw = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysLong, None, &mut rng)
+            .unwrap();
+        let sw = simulate_cent_sync(&bound, &CompletionModel::AlwaysLong, None, &mut rng).unwrap();
         assert!(dw.cycles <= sw.cycles);
     }
 
@@ -187,8 +285,10 @@ mod tests {
         // Paper 3rd FIR LT_TAU: best 45 ns (3 cycles), worst 75 ns (5).
         let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
         let mut rng = StdRng::seed_from_u64(0);
-        let best = simulate_cent_sync(&bound, &CompletionModel::AlwaysShort, None, &mut rng);
-        let worst = simulate_cent_sync(&bound, &CompletionModel::AlwaysLong, None, &mut rng);
+        let best =
+            simulate_cent_sync(&bound, &CompletionModel::AlwaysShort, None, &mut rng).unwrap();
+        let worst =
+            simulate_cent_sync(&bound, &CompletionModel::AlwaysLong, None, &mut rng).unwrap();
         assert_eq!(best.cycles, 3);
         assert_eq!(worst.cycles, 5);
     }
@@ -202,7 +302,8 @@ mod tests {
             &CompletionModel::Bernoulli { p: 0.5 },
             None,
             &mut rng,
-        );
+        )
+        .unwrap();
         for v in bound.dfg().op_ids() {
             for p in bound.dfg().preds(v) {
                 assert!(r.completion_cycle[p.0] < r.start_cycle[v.0]);

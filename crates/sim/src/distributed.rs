@@ -2,7 +2,17 @@
 //! arithmetic unit controller is stepped as a synchronous FSM, completion
 //! signals propagate combinationally within the cycle, and consumers latch
 //! (`done` flags) so a completion pulse is never lost.
+//!
+//! The engine is panic-free: abnormal conditions (deadlock, controller
+//! desynchronization, malformed controllers) come back as [`SimError`]
+//! values with a [`Diagnostics`] snapshot. [`simulate_distributed_with`]
+//! additionally threads a [`SimConfig`] through the cycle loop, letting a
+//! [`FaultPlan`](crate::FaultPlan) perturb the completion-signal fabric;
+//! with the default (empty) config the sampling order, RNG stream and
+//! results are identical to the fault-free engine.
 
+use crate::error::{ControllerSnapshot, Diagnostics, SimError};
+use crate::fault::SimConfig;
 use crate::model::CompletionModel;
 use crate::result::SimResult;
 use rand::Rng;
@@ -12,7 +22,7 @@ use tauhls_sched::BoundDfg;
 
 /// What a controller state means for its unit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Executing op at the given telescopic stage (0 = the first, shortest
     /// attempt; stage `k` is the state with `k` primes). The unit's
     /// stage-completion signal is sampled in every non-final stage.
@@ -21,35 +31,94 @@ enum Phase {
     Ready(OpId),
 }
 
-fn parse_phase(name: &str) -> Phase {
+/// Decodes the `S{op}('...)` / `R{op}` state-name convention; `None` when
+/// the name does not follow it (a controller-generation bug, reported as
+/// [`SimError::UnknownState`] by the simulators).
+pub(crate) fn parse_phase(name: &str) -> Option<Phase> {
     if let Some(rest) = name.strip_prefix('S') {
         let stage = rest.chars().rev().take_while(|&c| c == '\'').count() as u32;
         let core = &rest[..rest.len() - stage as usize];
-        Phase::Exec(OpId(core.parse().expect("state name S{op}('...)")), stage)
+        Some(Phase::Exec(OpId(core.parse().ok()?), stage))
     } else if let Some(rest) = name.strip_prefix('R') {
-        Phase::Ready(OpId(rest.parse().expect("state name R{op}")))
+        Some(Phase::Ready(OpId(rest.parse().ok()?)))
     } else {
-        panic!("unrecognized controller state name {name}")
+        None
     }
 }
 
+/// Builds the per-controller state snapshot for a [`Diagnostics`] record.
+pub(crate) fn controller_snapshots(
+    fsms: &[(usize, &Fsm)],
+    states: &[StateId],
+) -> Vec<ControllerSnapshot> {
+    fsms.iter()
+        .zip(states)
+        .map(|((u, f), &st)| ControllerSnapshot {
+            unit: *u,
+            fsm: f.name().to_string(),
+            state: f
+                .state_name_opt(st)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("<invalid:{}>", st.0)),
+        })
+        .collect()
+}
+
+fn diagnostics(
+    cycle: usize,
+    reason: String,
+    fsms: &[(usize, &Fsm)],
+    states: &[StateId],
+    done: &[bool],
+    pulses: &[OpId],
+) -> Box<Diagnostics> {
+    Box::new(Diagnostics {
+        cycle,
+        reason,
+        controllers: controller_snapshots(fsms, states),
+        done: done.to_vec(),
+        outstanding: done
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(i, _)| i)
+            .collect(),
+        pulses: pulses.iter().map(|o| o.0).collect(),
+    })
+}
+
 /// Simulates one iteration of the bound DFG under its distributed control
-/// unit.
+/// unit (fault-free, default watchdog).
 ///
 /// `inputs` are the DFG's primary input values (defaults to zeros), used
 /// both for the reference results and for operand-driven completion.
 ///
-/// # Panics
-///
-/// Panics if the controllers deadlock (no progress within a generous cycle
-/// budget) — that would indicate a controller-generation bug.
+/// A [`SimError::Deadlock`] from a fault-free run indicates a
+/// controller-generation bug.
 pub fn simulate_distributed(
     bound: &BoundDfg,
     cu: &DistributedControlUnit,
     model: &CompletionModel,
     inputs: Option<&[i64]>,
     rng: &mut impl Rng,
-) -> SimResult {
+) -> Result<SimResult, SimError> {
+    simulate_distributed_with(bound, cu, model, inputs, rng, &SimConfig::default())
+}
+
+/// [`simulate_distributed`] with a fault/watchdog configuration.
+///
+/// Faults are applied *after* every completion-model draw, so the RNG
+/// stream is independent of the plan: an empty plan reproduces the
+/// fault-free run bit for bit, and a faulty run stays trial-aligned with
+/// its fault-free twin.
+pub fn simulate_distributed_with(
+    bound: &BoundDfg,
+    cu: &DistributedControlUnit,
+    model: &CompletionModel,
+    inputs: Option<&[i64]>,
+    rng: &mut impl Rng,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
     let dfg = bound.dfg();
     let zeros = vec![0i64; dfg.num_inputs()];
     let input_vals = inputs.unwrap_or(&zeros);
@@ -62,6 +131,9 @@ pub fn simulate_distributed(
         }
     };
 
+    let faults = &config.faults;
+    let faulty = !faults.is_empty();
+
     let n = dfg.num_ops();
     let mut done = vec![false; n];
     let mut completion_cycle = vec![0usize; n];
@@ -72,35 +144,102 @@ pub fn simulate_distributed(
     let fsms: Vec<(usize, &Fsm)> = cu.controllers().iter().map(|(u, f)| (u.0, f)).collect();
     let mut states: Vec<StateId> = fsms.iter().map(|(_, f)| f.initial()).collect();
 
-    let max_cycles = 6 * n + 32;
+    // Completion pulses whose result latch is deferred by a DelayLatch
+    // fault: (latch cycle, op).
+    let mut deferred: Vec<(usize, OpId)> = Vec::new();
+
+    let max_cycles = config.budget(n, 1);
     let mut cycle = 0usize;
-    while !done.iter().all(|&d| d) {
+    let mut pulses: Vec<OpId> = Vec::new();
+    while !done.iter().all(|&d| d) || !deferred.is_empty() {
         cycle += 1;
-        assert!(
-            cycle <= max_cycles,
-            "distributed control deadlocked after {cycle} cycles; done = {done:?}"
-        );
+        if cycle > max_cycles {
+            return Err(SimError::Deadlock(diagnostics(
+                cycle,
+                format!("no progress within the {max_cycles}-cycle watchdog budget"),
+                &fsms,
+                &states,
+                &done,
+                &pulses,
+            )));
+        }
+
+        // Deferred result latches that come due this cycle.
+        deferred.retain(|&(at, op)| {
+            if at <= cycle {
+                if !done[op.0] {
+                    done[op.0] = true;
+                    completion_cycle[op.0] = at;
+                }
+                false
+            } else {
+                true
+            }
+        });
 
         // Sample unit completion signals for units in an Exec phase.
+        // `diverged[u]` remembers a stuck-at override that contradicted the
+        // model draw, for the post-fixpoint premature-latch check.
         let mut unit_completion = vec![false; num_units];
+        let mut diverged: Vec<Option<bool>> = vec![None; num_units];
         for ((u, f), &st) in fsms.iter().zip(&states) {
-            let phase = parse_phase(f.state_name(st));
+            let name = match f.state_name_opt(st) {
+                Some(name) => name,
+                None => {
+                    return Err(SimError::Desync(diagnostics(
+                        cycle,
+                        format!("controller {} latched invalid state id {}", f.name(), st.0),
+                        &fsms,
+                        &states,
+                        &done,
+                        &pulses,
+                    )))
+                }
+            };
+            let phase = match parse_phase(name) {
+                Some(p) => p,
+                None => {
+                    return Err(SimError::UnknownState {
+                        fsm: f.name().to_string(),
+                        state: name.to_string(),
+                    })
+                }
+            };
             match phase {
                 Phase::Exec(op, stage) => {
                     if stage == 0 && start_cycle[op.0] == 0 {
                         start_cycle[op.0] = cycle;
                     }
                     let node = dfg.op(op);
-                    // All predecessors must already be done (protocol
-                    // guarantee); reference operand values are thus valid.
-                    debug_assert!(dfg.preds(op).iter().all(|p| done[p.0]));
+                    // Protocol invariant: all predecessors latched their
+                    // results before a consumer occupies its unit. Faults
+                    // (stuck-at-short consumer reads, delayed latches,
+                    // state flips) break exactly this, so it is checked on
+                    // every execution cycle, not just in debug builds.
+                    if let Some(p) = dfg.preds(op).iter().find(|p| !done[p.0]) {
+                        return Err(SimError::Desync(diagnostics(
+                            cycle,
+                            format!("{op} fired before its producer {p} completed"),
+                            &fsms,
+                            &states,
+                            &done,
+                            &pulses,
+                        )));
+                    }
                     // Sample the stage-completion signal. The final stage
                     // of a controller completes unconditionally and never
                     // reads it, so sampling in every stage is harmless; a
                     // Bernoulli model makes multi-level stage delays
-                    // geometric, which is the intended semantics.
-                    unit_completion[*u] =
+                    // geometric, which is the intended semantics. Stuck-at
+                    // faults override the signal after the draw, keeping
+                    // the RNG stream plan-independent.
+                    let truth =
                         model.completion(op, node.kind, operand(node.lhs), operand(node.rhs), rng);
+                    let eff = faults.stuck_completion(op, cycle).unwrap_or(truth);
+                    unit_completion[*u] = eff;
+                    if eff != truth {
+                        diverged[*u] = Some(truth);
+                    }
                     // Wrap-around re-executions of already-done operations
                     // (the controller loops for repetitive DFG execution,
                     // but we measure a single iteration) are not busy work.
@@ -113,30 +252,53 @@ pub fn simulate_distributed(
         }
 
         // Fixpoint over same-cycle completion pulses (C_CO chains).
-        let mut pulses: Vec<OpId> = Vec::new();
+        // Spurious-pulse faults seed the wavefront; drop faults censor it.
+        let mut injected: Vec<OpId> = Vec::new();
+        faults.spurious_at(cycle, &mut injected);
+        injected.sort_unstable();
+        injected.dedup();
+        pulses = injected.clone();
         let mut steps: Vec<(StateId, Vec<usize>)> = Vec::new();
         for _round in 0..fsms.len() + 2 {
             steps.clear();
-            let mut new_pulses: Vec<OpId> = Vec::new();
+            let mut new_pulses: Vec<OpId> = injected.clone();
             for ((u, f), &st) in fsms.iter().zip(&states) {
-                let (next, outs) = f.step(st, |v| {
+                let step = f.try_step(st, |v| {
                     let name = &f.inputs()[v];
                     if let Some(rest) = name.strip_prefix("C_CO(") {
                         let op: usize = rest
                             .strip_suffix(')')
                             .and_then(|s| s.parse().ok())
                             .expect("completion signal name");
-                        done[op] || pulses.contains(&OpId(op))
+                        match faults.stuck_completion(OpId(op), cycle) {
+                            Some(forced) => forced,
+                            None => done[op] || pulses.contains(&OpId(op)),
+                        }
                     } else {
                         // Own unit completion C_{name}.
                         unit_completion[*u]
                     }
                 });
+                let (next, outs) = match step {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return Err(SimError::Desync(diagnostics(
+                            cycle,
+                            format!("controller {} lost lockstep: {e}", f.name()),
+                            &fsms,
+                            &states,
+                            &done,
+                            &pulses,
+                        )))
+                    }
+                };
                 for &o in &outs {
                     let oname = &f.outputs()[o];
                     if let Some(rest) = oname.strip_prefix("RE") {
                         let op: usize = rest.parse().expect("RE signal name");
-                        new_pulses.push(OpId(op));
+                        if !faults.drops_pulse(OpId(op), cycle) {
+                            new_pulses.push(OpId(op));
+                        }
                     }
                 }
                 steps.push((next, outs));
@@ -149,25 +311,99 @@ pub fn simulate_distributed(
             pulses = new_pulses;
         }
 
-        // Commit: advance states, latch completions.
+        // Premature-latch check: where a stuck-at override contradicted the
+        // telescopic predictor, re-step the affected controller with the
+        // *true* completion value. A result-enable pulse the override
+        // emitted but the truth would not means the unit latched a result
+        // that was not ready.
+        if faulty {
+            for (i, ((u, f), &st)) in fsms.iter().zip(&states).enumerate() {
+                let Some(truth) = diverged[*u] else { continue };
+                let truth_step = f.try_step(st, |v| {
+                    let name = &f.inputs()[v];
+                    if let Some(rest) = name.strip_prefix("C_CO(") {
+                        let op: usize = rest
+                            .strip_suffix(')')
+                            .and_then(|s| s.parse().ok())
+                            .expect("completion signal name");
+                        done[op] || pulses.contains(&OpId(op))
+                    } else {
+                        truth
+                    }
+                });
+                let truth_outs = match truth_step {
+                    Ok((_, outs)) => outs,
+                    Err(_) => continue,
+                };
+                for &o in &steps[i].1 {
+                    if !truth_outs.contains(&o) && f.outputs()[o].starts_with("RE") {
+                        return Err(SimError::Desync(diagnostics(
+                            cycle,
+                            format!(
+                                "unit {} latched {} before its true completion (stuck-at-short)",
+                                u,
+                                f.outputs()[o]
+                            ),
+                            &fsms,
+                            &states,
+                            &done,
+                            &pulses,
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Commit: advance states, latch completions (possibly deferred by a
+        // DelayLatch fault), apply scheduled state-register upsets.
         for (i, (next, _)) in steps.iter().enumerate() {
             states[i] = *next;
         }
         for op in &pulses {
-            if !done[op.0] {
-                done[op.0] = true;
-                completion_cycle[op.0] = cycle;
+            if !done[op.0] && !deferred.iter().any(|&(_, d)| d == *op) {
+                let delay = faults.latch_delay(*op, cycle);
+                if delay == 0 {
+                    done[op.0] = true;
+                    completion_cycle[op.0] = cycle;
+                } else {
+                    deferred.push((cycle + delay, *op));
+                }
+            }
+        }
+        if faulty {
+            for (i, s) in states.iter_mut().enumerate() {
+                if let Some(bit) = faults.flip_at(i, cycle) {
+                    *s = StateId(s.0 ^ (1usize << bit));
+                }
             }
         }
     }
 
-    SimResult {
+    let result = SimResult {
         cycles: cycle,
         completion_cycle,
         start_cycle,
         unit_busy_cycles: unit_busy,
         values,
+    };
+    // A faulty run that terminates may still have latched results out of
+    // order (e.g. a spurious pulse "completing" an op before it started);
+    // the post-run legality check turns that into a detection. Fault-free
+    // runs skip it so the plain API keeps its historical cost and callers
+    // remain free to `verify` themselves.
+    if faulty {
+        if let Err(msg) = result.verify(bound) {
+            return Err(SimError::Desync(diagnostics(
+                cycle,
+                format!("post-run invariant violated: {msg}"),
+                &fsms,
+                &states,
+                &done,
+                &pulses,
+            )));
+        }
     }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -187,7 +423,7 @@ mod tests {
         let bound = BoundDfg::bind(g, alloc);
         let cu = DistributedControlUnit::generate(&bound);
         let mut rng = StdRng::seed_from_u64(seed);
-        let r = simulate_distributed(&bound, &cu, model, None, &mut rng);
+        let r = simulate_distributed(&bound, &cu, model, None, &mut rng).expect("fault-free run");
         (bound, r)
     }
 
@@ -276,7 +512,7 @@ mod tests {
             CompletionModel::AlwaysLong,
             CompletionModel::Bernoulli { p: 0.5 },
         ] {
-            let r = simulate_distributed(&bound, &cu, &model, None, &mut rng);
+            let r = simulate_distributed(&bound, &cu, &model, None, &mut rng).unwrap();
             r.verify(&bound).unwrap();
         }
     }
@@ -292,11 +528,11 @@ mod tests {
         let lib = CompletionModel::OperandDriven(TauLibrary::multiplier_only(16, 20));
         // Small-magnitude inputs: all mults short -> best case.
         let small: Vec<i64> = (1..=10).collect();
-        let r = simulate_distributed(&bound, &cu, &lib, Some(&small), &mut rng);
+        let r = simulate_distributed(&bound, &cu, &lib, Some(&small), &mut rng).unwrap();
         assert_eq!(r.cycles, 5);
         // Large-magnitude inputs: all mults long -> worst case.
         let big: Vec<i64> = (0..10).map(|i| 0x7000 + i * 0x111).collect();
-        let r2 = simulate_distributed(&bound, &cu, &lib, Some(&big), &mut rng);
+        let r2 = simulate_distributed(&bound, &cu, &lib, Some(&big), &mut rng).unwrap();
         assert!(r2.cycles > r.cycles);
         r2.verify(&bound).unwrap();
     }
@@ -329,14 +565,18 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(1);
         let best2 =
-            simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysShort, None, &mut rng);
+            simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysShort, None, &mut rng)
+                .unwrap();
         let best3 =
-            simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysShort, None, &mut rng);
+            simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysShort, None, &mut rng)
+                .unwrap();
         assert_eq!(best2.cycles, best3.cycles);
         let worst2 =
-            simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysLong, None, &mut rng);
+            simulate_distributed(&bound, &cu2, &CompletionModel::AlwaysLong, None, &mut rng)
+                .unwrap();
         let worst3 =
-            simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysLong, None, &mut rng);
+            simulate_distributed(&bound, &cu3, &CompletionModel::AlwaysLong, None, &mut rng)
+                .unwrap();
         assert!(
             worst3.cycles > worst2.cycles,
             "{} vs {}",
@@ -352,7 +592,8 @@ mod tests {
                 &CompletionModel::Bernoulli { p: 0.6 },
                 None,
                 &mut rng,
-            );
+            )
+            .unwrap();
             r.verify(&bound).unwrap();
             assert!(r.cycles >= best3.cycles && r.cycles <= worst3.cycles);
         }
@@ -370,8 +611,8 @@ mod tests {
             let table = CompletionModel::draw_table(g.num_ops(), p, &mut rng);
             let mut r1 = StdRng::seed_from_u64(0);
             let mut r2 = StdRng::seed_from_u64(0);
-            let a = simulate_distributed(&bound, &cu2, &table, None, &mut r1);
-            let b = simulate_distributed(&bound, &cu2b, &table, None, &mut r2);
+            let a = simulate_distributed(&bound, &cu2, &table, None, &mut r1).unwrap();
+            let b = simulate_distributed(&bound, &cu2b, &table, None, &mut r2).unwrap();
             assert_eq!(a.cycles, b.cycles, "p={p}");
         }
     }
@@ -398,7 +639,8 @@ mod tests {
                 &CompletionModel::Bernoulli { p: 0.6 },
                 None,
                 &mut rng,
-            );
+            )
+            .unwrap();
             r.verify(&bound).unwrap_or_else(|e| panic!("case {i}: {e}"));
         }
     }

@@ -1,0 +1,156 @@
+//! Structured simulation failures: instead of panicking, every simulator
+//! classifies an abnormal run as a [`SimError`] carrying a
+//! [`Diagnostics`] snapshot of the control state at the cycle the problem
+//! was detected — the raw material for deadlock triage and for the
+//! resilience metrics (detection rate, detection latency).
+
+use std::fmt;
+
+/// The control state of one unit controller at a diagnostic snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControllerSnapshot {
+    /// Unit index (into [`tauhls_sched::Allocation::units`]).
+    pub unit: usize,
+    /// The controller FSM's name (e.g. `D-FSM-M1`).
+    pub fsm: String,
+    /// The symbolic name of the state the FSM was latched in, or a
+    /// `<invalid:N>` marker when the state register held no valid encoding.
+    pub state: String,
+}
+
+/// A snapshot of the distributed control state at the moment a deadlock or
+/// desynchronization was detected.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostics {
+    /// The 1-based cycle at which the condition was detected.
+    pub cycle: usize,
+    /// A human-readable description of the violated condition.
+    pub reason: String,
+    /// Per-controller latched FSM state.
+    pub controllers: Vec<ControllerSnapshot>,
+    /// Latched completion (`done`) flag per operation.
+    pub done: Vec<bool>,
+    /// Operations whose completion was still outstanding (token view: each
+    /// op carries one completion token per iteration; these never fired).
+    pub outstanding: Vec<usize>,
+    /// Completion pulses asserted in the detection cycle.
+    pub pulses: Vec<usize>,
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {}; outstanding ops {:?}; controller states [",
+            self.cycle, self.reason, self.outstanding
+        )?;
+        for (i, c) in self.controllers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", c.fsm, c.state)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A structured simulation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The watchdog budget expired with completions still outstanding: the
+    /// controllers stopped making progress.
+    ///
+    /// The snapshot is boxed so the `Err` variant stays pointer-sized on
+    /// the hot `Result` path.
+    Deadlock(Box<Diagnostics>),
+    /// The controllers lost coordination: an operation fired before its
+    /// producers completed, a result latched before its true completion,
+    /// the run finished with an illegal execution record, or a controller
+    /// FSM lost determinism/completeness at runtime.
+    Desync(Box<Diagnostics>),
+    /// A controller state name did not follow the `S{op}('...)` / `R{op}`
+    /// convention the simulator decodes.
+    UnknownState {
+        /// The controller FSM's name.
+        fsm: String,
+        /// The offending state name.
+        state: String,
+    },
+    /// The simulation request itself was malformed (e.g. zero trials or
+    /// zero iterations).
+    InvalidConfig(String),
+}
+
+impl SimError {
+    /// The diagnostic snapshot, for the deadlock/desync variants.
+    pub fn diagnostics(&self) -> Option<&Diagnostics> {
+        match self {
+            SimError::Deadlock(d) | SimError::Desync(d) => Some(&**d),
+            _ => None,
+        }
+    }
+
+    /// The 1-based cycle at which the failure was detected, when known.
+    pub fn detected_cycle(&self) -> Option<usize> {
+        self.diagnostics().map(|d| d.cycle)
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(d) => write!(f, "distributed control deadlocked: {d}"),
+            SimError::Desync(d) => write!(f, "controllers desynchronized: {d}"),
+            SimError::UnknownState { fsm, state } => {
+                write!(f, "unrecognized controller state name {state} in {fsm}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostics {
+        Diagnostics {
+            cycle: 7,
+            reason: "no progress".to_string(),
+            controllers: vec![ControllerSnapshot {
+                unit: 0,
+                fsm: "D-FSM-M1".to_string(),
+                state: "R1".to_string(),
+            }],
+            done: vec![true, false],
+            outstanding: vec![1],
+            pulses: vec![],
+        }
+    }
+
+    #[test]
+    fn display_names_cycle_states_and_outstanding() {
+        let e = SimError::Deadlock(Box::new(diag()));
+        let s = e.to_string();
+        assert!(s.contains("cycle 7"));
+        assert!(s.contains("D-FSM-M1=R1"));
+        assert!(s.contains("[1]"));
+        assert_eq!(e.detected_cycle(), Some(7));
+    }
+
+    #[test]
+    fn accessors_cover_variants() {
+        assert!(SimError::Desync(Box::new(diag())).diagnostics().is_some());
+        let e = SimError::UnknownState {
+            fsm: "f".to_string(),
+            state: "X9".to_string(),
+        };
+        assert!(e.diagnostics().is_none());
+        assert!(e.to_string().contains("X9"));
+        assert!(SimError::InvalidConfig("trials == 0".to_string())
+            .to_string()
+            .contains("trials"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Deterministic completion-signal fault injection.
+//!
+//! A [`FaultPlan`] is a list of scheduled [`Fault`]s that perturb the
+//! completion-signal fabric (`C_PO`/`C_CO`) the distributed controllers
+//! coordinate through — the only wires the paper's protocol depends on.
+//! Faults are pure overlays: they never consume random numbers, so a run
+//! with an empty plan is bit-identical to a run without fault support at
+//! all, and the Monte-Carlo trial streams stay aligned between faulty and
+//! fault-free executions of the same seed.
+
+use tauhls_dfg::OpId;
+
+/// One kind of completion-signal or controller fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The completion signal path for `op` is stuck asserted from the fault
+    /// cycle onward: the unit's telescopic predictor reports "short" no
+    /// matter what the datapath says, and consumers of `C_CO(op)` see the
+    /// operation as complete. Typically surfaces as a premature result
+    /// latch or a premature consumer fire ([`crate::SimError::Desync`]).
+    StuckAtShort {
+        /// The affected operation.
+        op: OpId,
+    },
+    /// The completion signal path for `op` is stuck deasserted from the
+    /// fault cycle onward: consumers never observe the completion, starving
+    /// the downstream controllers ([`crate::SimError::Deadlock`]).
+    StuckAtLong {
+        /// The affected operation.
+        op: OpId,
+    },
+    /// Any `C_PO`/`C_CO` pulse for `op` emitted exactly at the fault cycle
+    /// is lost before it can latch. The system may recover when the
+    /// producer wraps around and re-pulses, or deadlock on a circular wait.
+    DropPulse {
+        /// The affected operation.
+        op: OpId,
+    },
+    /// A spurious completion pulse for `op` appears at the fault cycle even
+    /// though no unit emitted it.
+    SpuriousPulse {
+        /// The affected operation.
+        op: OpId,
+    },
+    /// From the fault cycle onward, completion pulses for `op` reach the
+    /// result-register latch `delay` cycles late; consumers that saw the
+    /// raw pulse fire before the result is actually held stable.
+    DelayLatch {
+        /// The affected operation.
+        op: OpId,
+        /// Latch delay in cycles (0 is a no-op).
+        delay: usize,
+    },
+    /// A single-event upset in the state register of the given controller
+    /// (index into [`tauhls_fsm::DistributedControlUnit::controllers`]):
+    /// bit `bit` of the latched state id flips at the end of the fault
+    /// cycle.
+    FlipState {
+        /// Controller index.
+        controller: usize,
+        /// Which state-register bit flips.
+        bit: u32,
+    },
+}
+
+impl FaultKind {
+    /// A short stable tag for reports (`stuck_short`, `drop_pulse`, ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::StuckAtShort { .. } => "stuck_short",
+            FaultKind::StuckAtLong { .. } => "stuck_long",
+            FaultKind::DropPulse { .. } => "drop_pulse",
+            FaultKind::SpuriousPulse { .. } => "spurious_pulse",
+            FaultKind::DelayLatch { .. } => "delay_latch",
+            FaultKind::FlipState { .. } => "flip_state",
+        }
+    }
+}
+
+/// A fault scheduled at a specific simulation cycle (cycles are 1-based,
+/// matching [`crate::SimResult`] accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// First cycle at which the fault is active. Stuck-at, delay and
+    /// (latent) drop faults persist from this cycle onward; spurious-pulse
+    /// and state-flip faults are one-shot events at exactly this cycle.
+    pub at_cycle: usize,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of scheduled faults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: simulation behaves exactly as the fault-free engine.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan containing a single fault.
+    pub fn single(at_cycle: usize, kind: FaultKind) -> Self {
+        Self {
+            faults: vec![Fault { at_cycle, kind }],
+        }
+    }
+
+    /// Adds a fault to the plan.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Active stuck-at override for `op`'s completion signal at `cycle`:
+    /// `Some(true)` forces "complete" (stuck-at-short), `Some(false)`
+    /// forces "incomplete" (stuck-at-long). The latest matching fault wins.
+    pub fn stuck_completion(&self, op: OpId, cycle: usize) -> Option<bool> {
+        let mut forced = None;
+        for f in &self.faults {
+            if cycle >= f.at_cycle {
+                match f.kind {
+                    FaultKind::StuckAtShort { op: o } if o == op => forced = Some(true),
+                    FaultKind::StuckAtLong { op: o } if o == op => forced = Some(false),
+                    _ => {}
+                }
+            }
+        }
+        forced
+    }
+
+    /// True when a completion pulse for `op` emitted at `cycle` is lost.
+    pub fn drops_pulse(&self, op: OpId, cycle: usize) -> bool {
+        self.faults.iter().any(|f| {
+            f.at_cycle == cycle && matches!(f.kind, FaultKind::DropPulse { op: o } if o == op)
+        })
+    }
+
+    /// Appends the ops receiving a spurious completion pulse at `cycle`.
+    pub fn spurious_at(&self, cycle: usize, out: &mut Vec<OpId>) {
+        for f in &self.faults {
+            if f.at_cycle == cycle {
+                if let FaultKind::SpuriousPulse { op } = f.kind {
+                    out.push(op);
+                }
+            }
+        }
+    }
+
+    /// Extra cycles before a completion pulse for `op` emitted at `cycle`
+    /// reaches the result latch (0 when no delay fault is active).
+    pub fn latch_delay(&self, op: OpId, cycle: usize) -> usize {
+        let mut d = 0;
+        for f in &self.faults {
+            if cycle >= f.at_cycle {
+                if let FaultKind::DelayLatch { op: o, delay } = f.kind {
+                    if o == op {
+                        d = delay;
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// The state-register bit flipping in `controller` at the end of
+    /// `cycle`, if any.
+    pub fn flip_at(&self, controller: usize, cycle: usize) -> Option<u32> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::FlipState { controller: c, bit }
+                if c == controller && f.at_cycle == cycle =>
+            {
+                Some(bit)
+            }
+            _ => None,
+        })
+    }
+
+    /// Extra watchdog budget needed so that surviving runs (e.g. a dropped
+    /// pulse recovered by producer wrap-around) are not misclassified as
+    /// deadlocks: the latest injection point plus all latch delays.
+    pub fn watchdog_slack(&self) -> usize {
+        let latest = self.faults.iter().map(|f| f.at_cycle).max().unwrap_or(0);
+        let delays: usize = self
+            .faults
+            .iter()
+            .map(|f| match f.kind {
+                FaultKind::DelayLatch { delay, .. } => delay,
+                _ => 0,
+            })
+            .sum();
+        latest + delays
+    }
+}
+
+/// Watchdog budget policy for deadlock detection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Watchdog {
+    /// `6*n + 32` cycles for an `n`-op DFG — the engine's historical bound,
+    /// ample for any legal single-iteration schedule. When faults are
+    /// injected the budget is doubled and extended by
+    /// [`FaultPlan::watchdog_slack`] so recoverable runs can finish.
+    #[default]
+    Auto,
+    /// A fixed cycle budget.
+    Cycles(usize),
+}
+
+/// Simulation configuration: the fault overlay plus the watchdog policy.
+///
+/// `SimConfig::default()` reproduces the fault-free engine exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimConfig {
+    /// Scheduled faults (empty by default).
+    pub faults: FaultPlan,
+    /// Deadlock watchdog policy.
+    pub watchdog: Watchdog,
+}
+
+impl SimConfig {
+    /// A config injecting the given plan under the [`Watchdog::Auto`]
+    /// policy.
+    pub fn with_faults(faults: FaultPlan) -> Self {
+        SimConfig {
+            faults,
+            watchdog: Watchdog::Auto,
+        }
+    }
+
+    /// The concrete cycle budget for an `n`-op DFG (scaled by `iterations`
+    /// for pipelined runs).
+    pub fn budget(&self, n: usize, iterations: usize) -> usize {
+        let base = (6 * n + 32) * iterations.max(1);
+        match self.watchdog {
+            Watchdog::Cycles(c) => c,
+            Watchdog::Auto => {
+                if self.faults.is_empty() {
+                    base
+                } else {
+                    2 * base + self.faults.watchdog_slack()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert_and_auto_budget_matches_legacy() {
+        let cfg = SimConfig::default();
+        assert!(cfg.faults.is_empty());
+        assert_eq!(cfg.budget(10, 1), 6 * 10 + 32);
+        assert_eq!(cfg.budget(10, 4), (6 * 10 + 32) * 4);
+        assert_eq!(cfg.faults.stuck_completion(OpId(0), 100), None);
+        assert!(!cfg.faults.drops_pulse(OpId(0), 1));
+        assert_eq!(cfg.faults.latch_delay(OpId(0), 1), 0);
+        assert_eq!(cfg.faults.flip_at(0, 1), None);
+    }
+
+    #[test]
+    fn stuck_faults_persist_from_their_cycle() {
+        let plan = FaultPlan::single(5, FaultKind::StuckAtShort { op: OpId(2) });
+        assert_eq!(plan.stuck_completion(OpId(2), 4), None);
+        assert_eq!(plan.stuck_completion(OpId(2), 5), Some(true));
+        assert_eq!(plan.stuck_completion(OpId(2), 50), Some(true));
+        assert_eq!(plan.stuck_completion(OpId(1), 50), None);
+        let long = FaultPlan::single(1, FaultKind::StuckAtLong { op: OpId(2) });
+        assert_eq!(long.stuck_completion(OpId(2), 3), Some(false));
+    }
+
+    #[test]
+    fn one_shot_faults_match_only_their_cycle() {
+        let plan = FaultPlan::single(7, FaultKind::DropPulse { op: OpId(1) });
+        assert!(plan.drops_pulse(OpId(1), 7));
+        assert!(!plan.drops_pulse(OpId(1), 8));
+        let mut spur = Vec::new();
+        FaultPlan::single(3, FaultKind::SpuriousPulse { op: OpId(4) }).spurious_at(3, &mut spur);
+        assert_eq!(spur, vec![OpId(4)]);
+        let flip = FaultPlan::single(
+            2,
+            FaultKind::FlipState {
+                controller: 1,
+                bit: 0,
+            },
+        );
+        assert_eq!(flip.flip_at(1, 2), Some(0));
+        assert_eq!(flip.flip_at(1, 3), None);
+        assert_eq!(flip.flip_at(0, 2), None);
+    }
+
+    #[test]
+    fn faulty_auto_budget_gains_slack() {
+        let mut plan = FaultPlan::single(
+            9,
+            FaultKind::DelayLatch {
+                op: OpId(0),
+                delay: 4,
+            },
+        );
+        plan.push(Fault {
+            at_cycle: 2,
+            kind: FaultKind::DropPulse { op: OpId(1) },
+        });
+        assert_eq!(plan.watchdog_slack(), 9 + 4);
+        let cfg = SimConfig::with_faults(plan);
+        assert_eq!(cfg.budget(10, 1), 2 * (6 * 10 + 32) + 13);
+        let fixed = SimConfig {
+            faults: FaultPlan::empty(),
+            watchdog: Watchdog::Cycles(17),
+        };
+        assert_eq!(fixed.budget(10, 1), 17);
+    }
+}

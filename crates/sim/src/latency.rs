@@ -3,6 +3,7 @@
 
 use crate::centsync::simulate_cent_sync;
 use crate::distributed::simulate_distributed;
+use crate::error::SimError;
 use crate::model::CompletionModel;
 use rand::Rng;
 use tauhls_fsm::DistributedControlUnit;
@@ -52,17 +53,20 @@ pub enum ControlStyle {
 /// Best/worst come from the deterministic extreme models; each average is
 /// a Monte-Carlo mean over `trials` runs of `Bernoulli(p)`.
 ///
-/// # Panics
-///
-/// Panics if `trials == 0`.
+/// Returns [`SimError::InvalidConfig`] when `trials == 0` and propagates
+/// any simulation failure.
 pub fn latency_summary(
     bound: &BoundDfg,
     style: ControlStyle,
     p_values: &[f64],
     trials: usize,
     rng: &mut impl Rng,
-) -> LatencySummary {
-    assert!(trials > 0);
+) -> Result<LatencySummary, SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency summary needs trials >= 1".to_string(),
+        ));
+    }
     let cu = match style {
         ControlStyle::Distributed => Some(DistributedControlUnit::generate(bound)),
         ControlStyle::CentSync => None,
@@ -72,30 +76,29 @@ pub fn latency_summary(
         cu: &Option<DistributedControlUnit>,
         model: &CompletionModel,
         rng: &mut R,
-    ) -> usize {
-        match cu {
-            Some(cu) => simulate_distributed(bound, cu, model, None, rng).cycles,
-            None => simulate_cent_sync(bound, model, None, rng).cycles,
-        }
+    ) -> Result<usize, SimError> {
+        Ok(match cu {
+            Some(cu) => simulate_distributed(bound, cu, model, None, rng)?.cycles,
+            None => simulate_cent_sync(bound, model, None, rng)?.cycles,
+        })
     }
     let run = |model: &CompletionModel, rng: &mut _| run_once(bound, &cu, model, rng);
-    let best_cycles = run(&CompletionModel::AlwaysShort, rng);
-    let worst_cycles = run(&CompletionModel::AlwaysLong, rng);
-    let average_cycles = p_values
-        .iter()
-        .map(|&p| {
-            let total: usize = (0..trials)
-                .map(|_| run(&CompletionModel::Bernoulli { p }, rng))
-                .sum();
-            total as f64 / trials as f64
-        })
-        .collect();
-    LatencySummary {
+    let best_cycles = run(&CompletionModel::AlwaysShort, rng)?;
+    let worst_cycles = run(&CompletionModel::AlwaysLong, rng)?;
+    let mut average_cycles = Vec::with_capacity(p_values.len());
+    for &p in p_values {
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += run(&CompletionModel::Bernoulli { p }, rng)?;
+        }
+        average_cycles.push(total as f64 / trials as f64);
+    }
+    Ok(LatencySummary {
         best_cycles,
         average_cycles,
         worst_cycles,
         p_values: p_values.to_vec(),
-    }
+    })
 }
 
 /// Measures `LT_TAU` (CENT-SYNC) and `LT_DIST` summaries with **coupled**
@@ -104,28 +107,29 @@ pub fn latency_summary(
 /// sampling skew (distributed control dominates per-trial, not merely in
 /// expectation).
 ///
-/// Returns `(sync, dist)`.
-///
-/// # Panics
-///
-/// Panics if `trials == 0`.
+/// Returns `(sync, dist)`, or [`SimError::InvalidConfig`] when
+/// `trials == 0`.
 pub fn latency_pair(
     bound: &BoundDfg,
     p_values: &[f64],
     trials: usize,
     rng: &mut impl Rng,
-) -> (LatencySummary, LatencySummary) {
-    assert!(trials > 0);
+) -> Result<(LatencySummary, LatencySummary), SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency pair needs trials >= 1".to_string(),
+        ));
+    }
     let cu = DistributedControlUnit::generate(bound);
     let num_ops = bound.dfg().num_ops();
-    let measure = |model: &CompletionModel, rng: &mut _| {
-        (
-            simulate_cent_sync(bound, model, None, rng).cycles,
-            simulate_distributed(bound, &cu, model, None, rng).cycles,
-        )
+    let measure = |model: &CompletionModel, rng: &mut _| -> Result<(usize, usize), SimError> {
+        Ok((
+            simulate_cent_sync(bound, model, None, rng)?.cycles,
+            simulate_distributed(bound, &cu, model, None, rng)?.cycles,
+        ))
     };
-    let (sync_best, dist_best) = measure(&CompletionModel::AlwaysShort, rng);
-    let (sync_worst, dist_worst) = measure(&CompletionModel::AlwaysLong, rng);
+    let (sync_best, dist_best) = measure(&CompletionModel::AlwaysShort, rng)?;
+    let (sync_worst, dist_worst) = measure(&CompletionModel::AlwaysLong, rng)?;
     let mut sync_avg = Vec::with_capacity(p_values.len());
     let mut dist_avg = Vec::with_capacity(p_values.len());
     for &p in p_values {
@@ -133,7 +137,7 @@ pub fn latency_pair(
         let mut d_total = 0usize;
         for _ in 0..trials {
             let table = CompletionModel::draw_table(num_ops, p, rng);
-            let (s, d) = measure(&table, rng);
+            let (s, d) = measure(&table, rng)?;
             debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
             s_total += s;
             d_total += d;
@@ -141,7 +145,7 @@ pub fn latency_pair(
         sync_avg.push(s_total as f64 / trials as f64);
         dist_avg.push(d_total as f64 / trials as f64);
     }
-    (
+    Ok((
         LatencySummary {
             best_cycles: sync_best,
             average_cycles: sync_avg,
@@ -154,7 +158,7 @@ pub fn latency_pair(
             worst_cycles: dist_worst,
             p_values: p_values.to_vec(),
         },
-    )
+    ))
 }
 
 /// Percentage improvement of `dist` over `sync` per swept `P`
@@ -180,8 +184,8 @@ mod tests {
         let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
         let mut rng = StdRng::seed_from_u64(1);
         let ps = [0.9, 0.7, 0.5];
-        let sync = latency_summary(&bound, ControlStyle::CentSync, &ps, 2000, &mut rng);
-        let dist = latency_summary(&bound, ControlStyle::Distributed, &ps, 2000, &mut rng);
+        let sync = latency_summary(&bound, ControlStyle::CentSync, &ps, 2000, &mut rng).unwrap();
+        let dist = latency_summary(&bound, ControlStyle::Distributed, &ps, 2000, &mut rng).unwrap();
         assert_eq!(sync.best_cycles, dist.best_cycles);
         assert!(dist.worst_cycles <= sync.worst_cycles);
         for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
@@ -204,7 +208,8 @@ mod tests {
             &[0.9, 0.7, 0.5],
             1500,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(s.average_cycles[0] <= s.average_cycles[1]);
         assert!(s.average_cycles[1] <= s.average_cycles[2]);
         assert!(s.best_cycles as f64 <= s.average_cycles[0]);
@@ -215,11 +220,22 @@ mod tests {
     fn coupled_pair_dominates_per_trial() {
         let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
         let mut rng = StdRng::seed_from_u64(9);
-        let (sync, dist) = latency_pair(&bound, &[0.9, 0.7, 0.5], 400, &mut rng);
+        let (sync, dist) = latency_pair(&bound, &[0.9, 0.7, 0.5], 400, &mut rng).unwrap();
         for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
             assert!(d <= s, "coupled dist {d} > sync {s}");
         }
         assert!(dist.worst_cycles <= sync.worst_cycles);
+    }
+
+    #[test]
+    fn zero_trials_is_a_config_error() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let err =
+            latency_summary(&bound, ControlStyle::Distributed, &[0.5], 0, &mut rng).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        let err = latency_pair(&bound, &[0.5], 0, &mut rng).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
     }
 
     #[test]

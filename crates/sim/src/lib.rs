@@ -13,7 +13,12 @@
 //! * [`BatchRunner`] / [`SimJob`] — a deterministic parallel Monte-Carlo
 //!   engine: per-trial RNGs derived from `(base_seed, job_id, trial)` and
 //!   chunk-ordered reduction make results bit-identical for any thread
-//!   count, with `threads = 1` as the reference oracle.
+//!   count, with `threads = 1` as the reference oracle;
+//! * [`FaultPlan`] / [`SimConfig`] — deterministic completion-signal fault
+//!   injection (stuck-at predictors, dropped/spurious pulses, delayed
+//!   latches, state-register upsets), with abnormal runs classified as
+//!   structured [`SimError`]s carrying per-controller diagnostics instead
+//!   of panicking.
 //!
 //! # Examples
 //!
@@ -27,17 +32,41 @@
 //!
 //! let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let dist = latency_summary(&bound, ControlStyle::Distributed, &[0.9], 200, &mut rng);
-//! let sync = latency_summary(&bound, ControlStyle::CentSync, &[0.9], 200, &mut rng);
+//! let dist = latency_summary(&bound, ControlStyle::Distributed, &[0.9], 200, &mut rng).unwrap();
+//! let sync = latency_summary(&bound, ControlStyle::CentSync, &[0.9], 200, &mut rng).unwrap();
 //! assert!(dist.average_cycles[0] <= sync.average_cycles[0]);
+//! ```
+//!
+//! Inject a stuck-at-long completion signal and observe the deadlock:
+//!
+//! ```
+//! use tauhls_sim::{simulate_distributed_with, CompletionModel, FaultKind, FaultPlan,
+//!                  SimConfig, SimError};
+//! use tauhls_sched::{Allocation, BoundDfg};
+//! use tauhls_fsm::DistributedControlUnit;
+//! use tauhls_dfg::{benchmarks::fir5, OpId};
+//! use rand::SeedableRng;
+//!
+//! let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+//! let cu = DistributedControlUnit::generate(&bound);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let cfg = SimConfig::with_faults(FaultPlan::single(1, FaultKind::StuckAtLong { op: OpId(0) }));
+//! let err = simulate_distributed_with(
+//!     &bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng, &cfg,
+//! ).unwrap_err();
+//! assert!(matches!(err, SimError::Deadlock(_)));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 mod batch;
 mod centsync;
 mod distributed;
+mod error;
+mod fault;
+mod invariant;
 mod latency;
 mod model;
 mod pipeline;
@@ -45,13 +74,16 @@ mod result;
 
 pub use batch::{
     derive_seed, latency_pair_batch, latency_summary_batch, trial_rng, Accumulator, BatchRunner,
-    CycleStats, SimJob, DEFAULT_CHUNK_SIZE,
+    CycleStats, FirstError, SimJob, DEFAULT_CHUNK_SIZE,
 };
-pub use centsync::{simulate_cent_sync, simulate_cent_sync_with_schedule};
-pub use distributed::simulate_distributed;
+pub use centsync::{simulate_cent_sync, simulate_cent_sync_with, simulate_cent_sync_with_schedule};
+pub use distributed::{simulate_distributed, simulate_distributed_with};
+pub use error::{ControllerSnapshot, Diagnostics, SimError};
+pub use fault::{Fault, FaultKind, FaultPlan, SimConfig, Watchdog};
+pub use invariant::{check_lockstep, check_token_conservation};
 pub use latency::{
     enhancement_percent, latency_pair, latency_summary, ControlStyle, LatencySummary,
 };
 pub use model::{CompletionModel, TauLibrary};
-pub use pipeline::{simulate_pipelined, PipelinedResult};
+pub use pipeline::{simulate_pipelined, simulate_pipelined_with, PipelinedResult};
 pub use result::SimResult;

@@ -12,6 +12,9 @@
 //! Completion signals are iteration-tagged: consumer instance `k` of an
 //! operation waits for instance `k` of each cross-unit producer.
 
+use crate::distributed::{controller_snapshots, parse_phase, Phase};
+use crate::error::{Diagnostics, SimError};
+use crate::fault::SimConfig;
 use crate::model::CompletionModel;
 use rand::Rng;
 use tauhls_dfg::OpId;
@@ -48,27 +51,60 @@ impl PipelinedResult {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Phase {
-    Exec(OpId, u32),
-    Ready(OpId),
+fn diagnostics(
+    cycle: usize,
+    reason: String,
+    fsms: &[(usize, &Fsm)],
+    states: &[StateId],
+    completions: &[usize],
+    iterations: usize,
+    pulses: &[OpId],
+) -> Box<Diagnostics> {
+    Box::new(Diagnostics {
+        cycle,
+        reason,
+        controllers: controller_snapshots(fsms, states),
+        done: completions.iter().map(|&c| c >= iterations).collect(),
+        outstanding: completions
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c < iterations)
+            .map(|(i, _)| i)
+            .collect(),
+        pulses: pulses.iter().map(|o| o.0).collect(),
+    })
 }
 
-fn parse_phase(name: &str) -> Phase {
-    if let Some(rest) = name.strip_prefix('S') {
-        let stage = rest.chars().rev().take_while(|&c| c == '\'').count() as u32;
-        Phase::Exec(
-            OpId(
-                rest[..rest.len() - stage as usize]
-                    .parse()
-                    .expect("state name"),
-            ),
-            stage,
-        )
-    } else if let Some(rest) = name.strip_prefix('R') {
-        Phase::Ready(OpId(rest.parse().expect("state name")))
-    } else {
-        panic!("unrecognized controller state name {name}")
+/// Records one completion-pulse latch: WAR hazard bookkeeping, instance
+/// count, and iteration-end accounting.
+#[allow(clippy::too_many_arguments)]
+fn latch_instance(
+    op: OpId,
+    cycle: usize,
+    iterations: usize,
+    bound: &BoundDfg,
+    completions: &mut [usize],
+    starts: &[usize],
+    war_hazards: &mut Vec<(OpId, usize)>,
+    iteration_end_cycle: &mut [usize],
+) {
+    // WAR hazard check: latching instance k+1 of `op` while some
+    // consumer has not yet *started* instance k+1 of itself with
+    // the old value — i.e. a consumer's start count is behind the
+    // producer's completion count.
+    let k = completions[op.0]; // finished instances before this one
+    if k >= 1 && k < iterations {
+        for c in bound.cross_unit_succs(op) {
+            if starts[c.0] < k {
+                war_hazards.push((op, k));
+                break;
+            }
+        }
+    }
+    completions[op.0] += 1;
+    let iter_done = completions[op.0];
+    if iter_done <= iterations && completions.iter().all(|&c| c >= iter_done) {
+        iteration_end_cycle[iter_done - 1] = cycle;
     }
 }
 
@@ -76,17 +112,36 @@ fn parse_phase(name: &str) -> Phase {
 /// control unit, with Bernoulli-style completion (operand-driven models
 /// would need per-iteration input streams and are not supported here).
 ///
-/// # Panics
-///
-/// Panics if `iterations == 0` or the controllers deadlock.
+/// Fault-free entry point; returns [`SimError::InvalidConfig`] when
+/// `iterations == 0` and [`SimError::Deadlock`] should the controllers
+/// stall (a generation bug in a fault-free run).
 pub fn simulate_pipelined(
     bound: &BoundDfg,
     cu: &DistributedControlUnit,
     model: &CompletionModel,
     iterations: usize,
     rng: &mut impl Rng,
-) -> PipelinedResult {
-    assert!(iterations > 0);
+) -> Result<PipelinedResult, SimError> {
+    simulate_pipelined_with(bound, cu, model, iterations, rng, &SimConfig::default())
+}
+
+/// [`simulate_pipelined`] with a fault/watchdog configuration. As in the
+/// single-iteration engine, faults never touch the RNG stream.
+pub fn simulate_pipelined_with(
+    bound: &BoundDfg,
+    cu: &DistributedControlUnit,
+    model: &CompletionModel,
+    iterations: usize,
+    rng: &mut impl Rng,
+    config: &SimConfig,
+) -> Result<PipelinedResult, SimError> {
+    if iterations == 0 {
+        return Err(SimError::InvalidConfig(
+            "pipelined simulation needs iterations >= 1".to_string(),
+        ));
+    }
+    let faults = &config.faults;
+    let faulty = !faults.is_empty();
     let dfg = bound.dfg();
     let n = dfg.num_ops();
     // completions[op] = number of finished instances.
@@ -95,68 +150,170 @@ pub fn simulate_pipelined(
     let mut starts = vec![0usize; n];
     let mut iteration_end_cycle = vec![0usize; iterations];
     let mut war_hazards = Vec::new();
+    // DelayLatch-deferred instance latches: (latch cycle, op).
+    let mut deferred: Vec<(usize, OpId)> = Vec::new();
 
     let fsms: Vec<(usize, &Fsm)> = cu.controllers().iter().map(|(u, f)| (u.0, f)).collect();
     let mut states: Vec<StateId> = fsms.iter().map(|(_, f)| f.initial()).collect();
 
-    let single_iter_bound = 6 * n + 32;
-    let max_cycles = single_iter_bound * iterations;
+    let max_cycles = config.budget(n, iterations);
     let mut cycle = 0usize;
+    let mut pulses: Vec<OpId> = Vec::new();
 
     while completions.iter().any(|&c| c < iterations) {
         cycle += 1;
-        assert!(
-            cycle <= max_cycles,
-            "pipelined control deadlocked after {cycle} cycles"
-        );
+        if cycle > max_cycles {
+            return Err(SimError::Deadlock(diagnostics(
+                cycle,
+                format!("no progress within the {max_cycles}-cycle watchdog budget"),
+                &fsms,
+                &states,
+                &completions,
+                iterations,
+                &pulses,
+            )));
+        }
+
+        deferred.retain(|&(at, op)| {
+            if at <= cycle {
+                latch_instance(
+                    op,
+                    at,
+                    iterations,
+                    bound,
+                    &mut completions,
+                    &starts,
+                    &mut war_hazards,
+                    &mut iteration_end_cycle,
+                );
+                false
+            } else {
+                true
+            }
+        });
 
         let num_units = bound.allocation().units().len();
         let mut unit_completion = vec![false; num_units];
+        let mut diverged: Vec<Option<bool>> = vec![None; num_units];
         for ((u, f), &st) in fsms.iter().zip(&states) {
-            if let Phase::Exec(op, stage) = parse_phase(f.state_name(st)) {
+            let name = match f.state_name_opt(st) {
+                Some(name) => name,
+                None => {
+                    return Err(SimError::Desync(diagnostics(
+                        cycle,
+                        format!("controller {} latched invalid state id {}", f.name(), st.0),
+                        &fsms,
+                        &states,
+                        &completions,
+                        iterations,
+                        &pulses,
+                    )))
+                }
+            };
+            let phase = match parse_phase(name) {
+                Some(p) => p,
+                None => {
+                    return Err(SimError::UnknownState {
+                        fsm: f.name().to_string(),
+                        state: name.to_string(),
+                    })
+                }
+            };
+            if let Phase::Exec(op, stage) = phase {
                 if stage == 0 && starts[op.0] == completions[op.0] {
                     starts[op.0] += 1;
+                    // Iteration-tagged protocol invariant: instance k of
+                    // `op` needs instance k of every producer. Only
+                    // enforced under fault injection — the fault-free
+                    // engine is byte-identical to its historical self.
+                    if faulty {
+                        let k = starts[op.0];
+                        if let Some(p) = dfg.preds(op).iter().find(|p| completions[p.0] < k) {
+                            return Err(SimError::Desync(diagnostics(
+                                cycle,
+                                format!(
+                                    "{op} started instance {k} before producer {p} finished it"
+                                ),
+                                &fsms,
+                                &states,
+                                &completions,
+                                iterations,
+                                &pulses,
+                            )));
+                        }
+                    }
                 }
                 let node = dfg.op(op);
-                unit_completion[*u] = model.completion(op, node.kind, 0, 0, rng);
-                let _ = node;
+                let truth = model.completion(op, node.kind, 0, 0, rng);
+                let eff = faults.stuck_completion(op, cycle).unwrap_or(truth);
+                unit_completion[*u] = eff;
+                if eff != truth {
+                    diverged[*u] = Some(truth);
+                }
             }
         }
 
         // Fixpoint over this cycle's completion pulses. Iteration-tagged
         // semantics: consumer instance k of op v sees C_PO(p) high iff
         // instance k of p has completed, where k = completions[v] + 1.
-        let mut pulses: Vec<OpId> = Vec::new();
-        let mut steps: Vec<StateId> = Vec::new();
+        let mut injected: Vec<OpId> = Vec::new();
+        faults.spurious_at(cycle, &mut injected);
+        injected.sort_unstable();
+        injected.dedup();
+        pulses = injected.clone();
+        let mut steps: Vec<(StateId, Vec<usize>)> = Vec::new();
         for _round in 0..fsms.len() + 2 {
             steps.clear();
-            let mut new_pulses: Vec<OpId> = Vec::new();
+            let mut new_pulses: Vec<OpId> = injected.clone();
             for ((u, f), &st) in fsms.iter().zip(&states) {
                 // The instance index this controller is working toward for
                 // the op named in its current state.
                 let wait_instance = |consumer: OpId| completions[consumer.0] + 1;
                 let current_op = match parse_phase(f.state_name(st)) {
-                    Phase::Exec(op, _) | Phase::Ready(op) => op,
+                    Some(Phase::Exec(op, _)) | Some(Phase::Ready(op)) => op,
+                    None => unreachable!("phase validated above"),
                 };
-                let (next, outs) = f.step(st, |v| {
+                let step = f.try_step(st, |v| {
                     let name = &f.inputs()[v];
                     if let Some(rest) = name.strip_prefix("C_CO(") {
                         let p: usize = rest
                             .strip_suffix(')')
                             .and_then(|s| s.parse().ok())
                             .expect("completion signal name");
-                        let needed = wait_instance(current_op);
-                        completions[p] + usize::from(pulses.contains(&OpId(p))) >= needed
+                        match faults.stuck_completion(OpId(p), cycle) {
+                            Some(forced) => forced,
+                            None => {
+                                let needed = wait_instance(current_op);
+                                completions[p] + usize::from(pulses.contains(&OpId(p))) >= needed
+                            }
+                        }
                     } else {
                         unit_completion[*u]
                     }
                 });
+                let (next, outs) = match step {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return Err(SimError::Desync(diagnostics(
+                            cycle,
+                            format!("controller {} lost lockstep: {e}", f.name()),
+                            &fsms,
+                            &states,
+                            &completions,
+                            iterations,
+                            &pulses,
+                        )))
+                    }
+                };
                 for &o in &outs {
                     if let Some(rest) = f.outputs()[o].strip_prefix("RE") {
-                        new_pulses.push(OpId(rest.parse::<usize>().expect("RE name")));
+                        let op = OpId(rest.parse::<usize>().expect("RE name"));
+                        if !faults.drops_pulse(op, cycle) {
+                            new_pulses.push(op);
+                        }
                     }
                 }
-                steps.push(next);
+                steps.push((next, outs));
             }
             new_pulses.sort_unstable();
             new_pulses.dedup();
@@ -166,27 +323,81 @@ pub fn simulate_pipelined(
             pulses = new_pulses;
         }
 
-        for (slot, next) in states.iter_mut().zip(&steps) {
-            *slot = *next;
-        }
-        for op in &pulses {
-            // WAR hazard check: latching instance k+1 of `op` while some
-            // consumer has not yet *started* instance k+1 of itself with
-            // the old value — i.e. a consumer's start count is behind the
-            // producer's completion count.
-            let k = completions[op.0]; // finished instances before this one
-            if k >= 1 && k < iterations {
-                for c in bound.cross_unit_succs(*op) {
-                    if starts[c.0] < k {
-                        war_hazards.push((*op, k));
-                        break;
+        // Premature-latch check under stuck-at overrides (see the
+        // single-iteration engine for the rationale).
+        if faulty {
+            for (i, ((u, f), &st)) in fsms.iter().zip(&states).enumerate() {
+                let Some(truth) = diverged[*u] else { continue };
+                let wait_instance = |consumer: OpId| completions[consumer.0] + 1;
+                let current_op = match parse_phase(f.state_name(st)) {
+                    Some(Phase::Exec(op, _)) | Some(Phase::Ready(op)) => op,
+                    None => unreachable!("phase validated above"),
+                };
+                let truth_step = f.try_step(st, |v| {
+                    let name = &f.inputs()[v];
+                    if let Some(rest) = name.strip_prefix("C_CO(") {
+                        let p: usize = rest
+                            .strip_suffix(')')
+                            .and_then(|s| s.parse().ok())
+                            .expect("completion signal name");
+                        let needed = wait_instance(current_op);
+                        completions[p] + usize::from(pulses.contains(&OpId(p))) >= needed
+                    } else {
+                        truth
+                    }
+                });
+                let truth_outs = match truth_step {
+                    Ok((_, outs)) => outs,
+                    Err(_) => continue,
+                };
+                for &o in &steps[i].1 {
+                    if !truth_outs.contains(&o) && f.outputs()[o].starts_with("RE") {
+                        return Err(SimError::Desync(diagnostics(
+                            cycle,
+                            format!(
+                                "unit {} latched {} before its true completion (stuck-at-short)",
+                                u,
+                                f.outputs()[o]
+                            ),
+                            &fsms,
+                            &states,
+                            &completions,
+                            iterations,
+                            &pulses,
+                        )));
                     }
                 }
             }
-            completions[op.0] += 1;
-            let iter_done = completions[op.0];
-            if iter_done <= iterations && completions.iter().all(|&c| c >= iter_done) {
-                iteration_end_cycle[iter_done - 1] = cycle;
+        }
+
+        for (slot, (next, _)) in states.iter_mut().zip(&steps) {
+            *slot = *next;
+        }
+        for op in &pulses {
+            if deferred.iter().any(|&(_, d)| d == *op) {
+                continue;
+            }
+            let delay = faults.latch_delay(*op, cycle);
+            if delay == 0 {
+                latch_instance(
+                    *op,
+                    cycle,
+                    iterations,
+                    bound,
+                    &mut completions,
+                    &starts,
+                    &mut war_hazards,
+                    &mut iteration_end_cycle,
+                );
+            } else {
+                deferred.push((cycle + delay, *op));
+            }
+        }
+        if faulty {
+            for (i, s) in states.iter_mut().enumerate() {
+                if let Some(bit) = faults.flip_at(i, cycle) {
+                    *s = StateId(s.0 ^ (1usize << bit));
+                }
             }
         }
     }
@@ -198,12 +409,12 @@ pub fn simulate_pipelined(
         }
     }
 
-    PipelinedResult {
+    Ok(PipelinedResult {
         iterations,
         iteration_end_cycle,
         total_cycles: cycle,
         war_hazards,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -221,8 +432,10 @@ mod tests {
         let cu = DistributedControlUnit::generate(&bound);
         let mut rng = StdRng::seed_from_u64(1);
         let single =
-            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
-        let piped = simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 12, &mut rng);
+            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng)
+                .unwrap();
+        let piped =
+            simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 12, &mut rng).unwrap();
         // Overlap: the steady-state initiation interval is below the
         // single-iteration latency (units start iteration k+1 while the
         // accumulation tail of iteration k is still running).
@@ -247,7 +460,8 @@ mod tests {
             &CompletionModel::Bernoulli { p: 0.7 },
             10,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(piped.iteration_end_cycle.len(), 10);
         for w in piped.iteration_end_cycle.windows(2) {
             assert!(w[0] <= w[1]);
@@ -273,7 +487,8 @@ mod tests {
             &CompletionModel::Bernoulli { p: 0.5 },
             16,
             &mut rng,
-        );
+        )
+        .unwrap();
         // The run completes regardless; hazards are reported, not fatal.
         assert_eq!(piped.iterations, 16);
         // Hazard entries reference real ops and iterations.
@@ -281,5 +496,15 @@ mod tests {
             assert!(op.0 < bound.dfg().num_ops());
             assert!(*iter >= 1 && *iter < 16);
         }
+    }
+
+    #[test]
+    fn zero_iterations_is_a_config_error() {
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 0, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
     }
 }

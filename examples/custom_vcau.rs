@@ -62,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs: Vec<i64> = (0..design.bound().dfg().num_inputs() as i64)
         .map(|i| (i * 37 + 11) % 200)
         .collect();
-    let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng);
+    let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng)
+        .expect("fault-free simulation");
     r.verify(design.bound()).expect("legal execution");
     println!(
         "\noperand-driven run: {} cycles ({:.0} ns); every dependence honoured",
@@ -77,14 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &CompletionModel::AlwaysShort,
         None,
         &mut rng,
-    );
+    )
+    .expect("fault-free simulation");
     let worst = simulate_distributed(
         design.bound(),
         &cu,
         &CompletionModel::AlwaysLong,
         None,
         &mut rng,
-    );
+    )
+    .expect("fault-free simulation");
     println!("best {} / worst {} cycles", best.cycles, worst.cycles);
     Ok(())
 }

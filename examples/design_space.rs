@@ -25,7 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let design = Synthesis::new(ar_lattice4())
                 .allocation(Allocation::paper(muls, adds, 0))
                 .run()?;
-            let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.5], 1200, &mut rng);
+            let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.5], 1200, &mut rng)
+                .expect("fault-free simulation");
             let clk = design.timing().clock_ns();
             let area: f64 = design
                 .distributed()

@@ -31,9 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("step |     x     y     u | dist cycles | sync cycles");
     loop {
         let inputs = [x, y, u, dx, a];
-        let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng);
+        let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng)
+            .expect("fault-free simulation");
         r.verify(design.bound()).expect("legal execution");
-        let s = simulate_cent_sync(design.bound(), &model, Some(&inputs), &mut rng);
+        let s = simulate_cent_sync(design.bound(), &model, Some(&inputs), &mut rng)
+            .expect("fault-free simulation");
         dist_cycles += r.cycles;
         sync_cycles += s.cycles;
         steps += 1;
@@ -70,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Table 2 reports only 0.7-3.4% for Diff.Eq — the smallest
     // gain of all benchmarks, because its schedule rarely has mixed
     // short/long TAUs in one step. The statistical sweep shows it:
-    let (sync, dist) = tauhls::sim::latency_pair(design.bound(), &[0.9, 0.7, 0.5], 4000, &mut rng);
+    let (sync, dist) = tauhls::sim::latency_pair(design.bound(), &[0.9, 0.7, 0.5], 4000, &mut rng)
+        .expect("fault-free simulation");
     println!("\nBernoulli sweep (paper's Table 2 Diff row):");
     println!("  LT_TAU  = {}", sync.to_ns_string(clk));
     println!("  LT_DIST = {}", dist.to_ns_string(clk));

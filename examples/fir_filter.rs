@@ -55,7 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..blocks {
             let mut inputs: Vec<i64> = (0..5).map(|_| rng.random_range(0..=max_mag)).collect();
             inputs.extend(coeffs.iter());
-            let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng);
+            let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng)
+                .expect("fault-free simulation");
             r.verify(design.bound()).expect("legal execution");
             total_cycles += r.cycles;
             total_busy += r.unit_busy_cycles.iter().sum::<usize>();

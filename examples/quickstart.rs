@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Compare latency against the synchronized TAUBM controller.
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.7, 0.5], 2000, &mut rng);
+    let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.7, 0.5], 2000, &mut rng)
+        .expect("fault-free simulation");
     let clk = design.timing().clock_ns();
     println!("\nLatency at a {clk} ns clock:");
     println!("  synchronized TAUBM : {}", sync.to_ns_string(clk));

@@ -2,11 +2,12 @@
 //! synthesis pipeline.
 //!
 //! ```text
-//! tauhls synth    <file.dfg> [options]   controllers + area table
-//! tauhls simulate <file.dfg> [options]   latency: distributed vs synchronized
-//! tauhls report   <file.dfg> [options]   whole-system area breakdown
-//! tauhls verilog  <file.dfg> [options]   emit the control unit as Verilog
-//! tauhls dot      <file.dfg> [options]   emit the bound DFG as Graphviz DOT
+//! tauhls synth      <file.dfg> [options]   controllers + area table
+//! tauhls simulate   <file.dfg> [options]   latency: distributed vs synchronized
+//! tauhls resilience <file.dfg> [options]   fault-injection sweep (JSON report)
+//! tauhls report     <file.dfg> [options]   whole-system area breakdown
+//! tauhls verilog    <file.dfg> [options]   emit the control unit as Verilog
+//! tauhls dot        <file.dfg> [options]   emit the bound DFG as Graphviz DOT
 //!
 //! options:
 //!   --muls N --adds N --subs N   allocation (default 2/1/1; × telescopic)
@@ -20,12 +21,14 @@
 //! ```
 
 use std::process::ExitCode;
+use tauhls::core::resilience::resilience_sweep;
 use tauhls::dfg::parse_dfg;
 use tauhls::fsm::{control_unit_to_verilog, synthesize, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
 use tauhls::sim::{latency_pair_batch, BatchRunner};
 use tauhls::Allocation;
+use tauhls_json::ToJson;
 
 struct Options {
     muls: usize,
@@ -57,7 +60,7 @@ impl Default for Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tauhls <synth|simulate|report|verilog|dot> <file.dfg> \
+        "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file.dfg> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
          [--threads N]"
@@ -158,7 +161,8 @@ fn cmd_simulate(bound: &BoundDfg, o: &Options) {
         Some(n) => BatchRunner::new(n),
         None => BatchRunner::available(),
     };
-    let (sync, dist) = latency_pair_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner);
+    let (sync, dist) = latency_pair_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner)
+        .expect("fault-free simulation");
     let clk = 15.0;
     println!(
         "clock 15 ns, {} coupled trials at P = {:?}",
@@ -173,6 +177,26 @@ fn cmd_simulate(bound: &BoundDfg, o: &Options) {
     {
         println!("  P = {p}: {:+.1}% enhancement", (s - d) / s * 100.0);
     }
+}
+
+fn cmd_resilience(bound: &BoundDfg, o: &Options) -> Result<(), String> {
+    if o.trials == 0 {
+        return Err("resilience sweep needs --trials >= 1".to_string());
+    }
+    let p = *o
+        .p_values
+        .first()
+        .ok_or("resilience sweep needs a --p value")?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--p {p} is not a probability"));
+    }
+    let runner = match o.threads {
+        Some(n) => BatchRunner::new(n),
+        None => BatchRunner::available(),
+    };
+    let report = resilience_sweep(bound, p, o.trials as u64, o.seed, &runner);
+    print!("{}", report.to_json().to_pretty());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -197,6 +221,12 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "synth" => cmd_synth(&bound, &options),
         "simulate" => cmd_simulate(&bound, &options),
+        "resilience" => {
+            if let Err(e) = cmd_resilience(&bound, &options) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "verilog" => {
             let cu = DistributedControlUnit::generate(&bound);
             print!(

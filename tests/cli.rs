@@ -1,0 +1,129 @@
+//! Error-path tests for the `tauhls` binary: every misuse must exit
+//! non-zero with a diagnostic on stderr — and never a panic backtrace.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn tauhls(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tauhls"))
+        .args(args)
+        .output()
+        .expect("spawn tauhls")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_graceful_failure(out: &Output, needle: &str) {
+    let stderr = stderr_of(out);
+    assert!(!out.status.success(), "expected failure, got: {stderr}");
+    assert!(
+        stderr.contains(needle),
+        "stderr should mention {needle:?}, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked at") && !stderr.contains("RUST_BACKTRACE"),
+        "CLI leaked a panic backtrace: {stderr}"
+    );
+}
+
+fn example_dfg() -> &'static str {
+    let p = "examples/dfg/axpy.dfg";
+    assert!(Path::new(p).exists(), "run from the workspace root");
+    p
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = tauhls(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_graceful_failure(&out, "usage:");
+}
+
+#[test]
+fn bad_subcommand_prints_usage() {
+    let out = tauhls(&["frobnicate", example_dfg()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_graceful_failure(&out, "usage:");
+}
+
+#[test]
+fn missing_dfg_file_reports_path() {
+    let out = tauhls(&["simulate", "/nonexistent/missing.dfg"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "/nonexistent/missing.dfg");
+}
+
+#[test]
+fn malformed_dfg_reports_parse_error_with_line() {
+    let dir = std::env::temp_dir().join("tauhls-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.dfg");
+    std::fs::write(&path, "dfg broken\nop a = frob 1 2\n").unwrap();
+    let out = tauhls(&["synth", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "line 2");
+}
+
+#[test]
+fn bad_option_values_print_usage() {
+    for args in [
+        ["simulate", "--trials", "many"],
+        ["simulate", "--p", "0.9,oops"],
+        ["simulate", "--binding", "sideways"],
+    ] {
+        let out = tauhls(&[args[0], example_dfg(), args[1], args[2]]);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert_graceful_failure(&out, "error:");
+    }
+}
+
+#[test]
+fn resilience_misuse_fails_cleanly() {
+    let out = tauhls(&["resilience", example_dfg(), "--trials", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "--trials >= 1");
+
+    let out = tauhls(&["resilience", example_dfg(), "--p", "1.5"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "not a probability");
+}
+
+#[test]
+fn resilience_happy_path_emits_deterministic_json() {
+    let args = [
+        "resilience",
+        example_dfg(),
+        "--trials",
+        "24",
+        "--seed",
+        "11",
+    ];
+    let a = tauhls(&{
+        let mut v = args.to_vec();
+        v.extend(["--threads", "1"]);
+        v
+    });
+    assert!(a.status.success(), "{}", stderr_of(&a));
+    let b = tauhls(&{
+        let mut v = args.to_vec();
+        v.extend(["--threads", "4"]);
+        v
+    });
+    assert!(b.status.success(), "{}", stderr_of(&b));
+    let text = String::from_utf8_lossy(&a.stdout).into_owned();
+    assert_eq!(
+        text,
+        String::from_utf8_lossy(&b.stdout),
+        "thread count leaked into the report"
+    );
+    for key in [
+        "stuck_short",
+        "flip_state",
+        "detection_rate",
+        "survival_fraction",
+    ] {
+        assert!(text.contains(key), "report missing {key}: {text}");
+    }
+}

@@ -15,9 +15,11 @@ use tauhls_json::ToJson;
 fn latency_summaries_identical_across_thread_counts() {
     let bound = BoundDfg::bind(&benchmarks::diffeq(), &Allocation::paper(2, 1, 1));
     let ps = [0.9, 0.7, 0.5];
-    let reference = latency_pair_batch(&bound, &ps, 500, 2003, &BatchRunner::serial());
+    let reference =
+        latency_pair_batch(&bound, &ps, 500, 2003, &BatchRunner::serial()).expect("fault-free");
     for threads in [2usize, 8] {
-        let got = latency_pair_batch(&bound, &ps, 500, 2003, &BatchRunner::new(threads));
+        let got = latency_pair_batch(&bound, &ps, 500, 2003, &BatchRunner::new(threads))
+            .expect("fault-free");
         assert_eq!(reference, got, "threads = {threads}");
     }
     // Chunk geometry is equally irrelevant.
@@ -27,7 +29,8 @@ fn latency_summaries_identical_across_thread_counts() {
         500,
         2003,
         &BatchRunner::new(4).with_chunk_size(17),
-    );
+    )
+    .expect("fault-free");
     assert_eq!(reference, ragged);
 }
 
@@ -48,7 +51,7 @@ fn different_seeds_differ() {
     // Sanity check that the determinism is not vacuous (e.g. the engine
     // ignoring the seed entirely).
     let bound = BoundDfg::bind(&benchmarks::diffeq(), &Allocation::paper(2, 1, 1));
-    let a = latency_pair_batch(&bound, &[0.5], 400, 1, &BatchRunner::serial());
-    let b = latency_pair_batch(&bound, &[0.5], 400, 2, &BatchRunner::serial());
+    let a = latency_pair_batch(&bound, &[0.5], 400, 1, &BatchRunner::serial()).expect("fault-free");
+    let b = latency_pair_batch(&bound, &[0.5], 400, 2, &BatchRunner::serial()).expect("fault-free");
     assert_ne!(a, b, "seeds 1 and 2 produced identical averages");
 }

@@ -61,7 +61,8 @@ fn fds_matches_or_beats_paper_allocations() {
         let name = dfg.name().to_string();
         let bound = BoundDfg::bind(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&bound);
-        let best = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
+        let best = simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng)
+            .expect("fault-free simulation");
         let s = fds_schedule(&dfg, best.cycles);
         assert!(s.verify(&dfg), "{name}");
         let implied = s.implied_allocation(&dfg);
@@ -87,7 +88,8 @@ fn chain_binding_simulates_equivalently() {
         let chains = BoundDfg::bind_chains(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&chains);
         for model in [CompletionModel::AlwaysShort, CompletionModel::AlwaysLong] {
-            let r = simulate_distributed(&chains, &cu, &model, None, &mut rng);
+            let r = simulate_distributed(&chains, &cu, &model, None, &mut rng)
+                .expect("fault-free simulation");
             r.verify(&chains).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
@@ -120,7 +122,8 @@ fn multilevel_controllers_work_on_diffeq() {
         &CompletionModel::Bernoulli { p: 0.5 },
         None,
         &mut rng,
-    );
+    )
+    .expect("fault-free simulation");
     r.verify(&bound).unwrap();
 }
 
@@ -132,8 +135,10 @@ fn pipelined_throughput_across_benchmarks() {
         let bound = BoundDfg::bind(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&bound);
         let single =
-            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng);
-        let piped = simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 10, &mut rng);
+            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, &mut rng)
+                .expect("fault-free simulation");
+        let piped = simulate_pipelined(&bound, &cu, &CompletionModel::AlwaysShort, 10, &mut rng)
+            .expect("fault-free simulation");
         assert!(
             piped.initiation_interval() <= single.cycles as f64 + 1e-9,
             "{name}: II {} vs latency {}",

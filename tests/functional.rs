@@ -25,7 +25,8 @@ fn datapath_results_match_reference_semantics() {
     for _ in 0..20 {
         let inputs: Vec<i64> = (0..5).map(|_| rng.random_range(-1000..1000)).collect();
         let model = CompletionModel::OperandDriven(TauLibrary::multiplier_only(16, 20));
-        let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng);
+        let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng)
+            .expect("fault-free simulation");
         r.verify(design.bound()).unwrap();
         // Architectural outputs equal the reference evaluation.
         let reference = design.bound().dfg().evaluate(&inputs);
@@ -104,7 +105,8 @@ fn all_benchmarks_compute_correctly_under_all_models() {
             CompletionModel::Bernoulli { p: 0.5 },
             CompletionModel::OperandDriven(TauLibrary::multiplier_only(16, 18)),
         ] {
-            let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng);
+            let r = simulate_distributed(design.bound(), &cu, &model, Some(&inputs), &mut rng)
+                .expect("fault-free simulation");
             r.verify(design.bound()).unwrap();
             let reference = design.bound().dfg().evaluate(&inputs);
             for (name, op) in design.bound().dfg().outputs() {

@@ -27,7 +27,8 @@ fn all_paper_benchmarks_synthesize_and_simulate() {
             CompletionModel::AlwaysLong,
             CompletionModel::Bernoulli { p: 0.7 },
         ] {
-            let r = simulate_distributed(design.bound(), &cu, &model, None, &mut rng);
+            let r = simulate_distributed(design.bound(), &cu, &model, None, &mut rng)
+                .expect("fault-free simulation");
             r.verify(design.bound())
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
@@ -40,7 +41,8 @@ fn distributed_dominates_sync_on_every_benchmark() {
     for (dfg, alloc, _) in paper_benchmarks() {
         let name = dfg.name().to_string();
         let design = Synthesis::new(dfg).allocation(alloc).run().unwrap();
-        let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.5], 300, &mut rng);
+        let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.5], 300, &mut rng)
+            .expect("fault-free simulation");
         assert!(dist.best_cycles <= sync.best_cycles, "{name} best");
         assert!(dist.worst_cycles <= sync.worst_cycles, "{name} worst");
         for (s, d) in sync.average_cycles.iter().zip(&dist.average_cycles) {
@@ -80,7 +82,8 @@ fn paper_latency_cells_reproduce_within_tolerance() {
         .allocation(Allocation::paper(2, 1, 1))
         .run()
         .unwrap();
-    let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.7, 0.5], 6000, &mut rng);
+    let (sync, dist) = latency_pair(design.bound(), &[0.9, 0.7, 0.5], 6000, &mut rng)
+        .expect("fault-free simulation");
     let clk = 15.0;
     let paper_tau = [68.6, 82.9, 93.8];
     let paper_dist = [68.1, 80.7, 90.6];

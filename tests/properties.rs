@@ -86,9 +86,11 @@ fn simulation_legal_and_dist_dominates() {
         // Coupled completion draws: distributed dominates per trial.
         for p in [1.0, 0.5, 0.0] {
             let table = CompletionModel::draw_table(g.num_ops(), p, gen.rng());
-            let d = simulate_distributed(&bound, &cu, &table, None, gen.rng());
+            let d = simulate_distributed(&bound, &cu, &table, None, gen.rng())
+                .expect("fault-free simulation");
             assert!(d.verify(&bound).is_ok(), "{:?}", d.verify(&bound));
-            let s = simulate_cent_sync(&bound, &table, None, gen.rng());
+            let s =
+                simulate_cent_sync(&bound, &table, None, gen.rng()).expect("fault-free simulation");
             assert!(
                 d.cycles <= s.cycles,
                 "distributed {} > sync {}",
@@ -109,9 +111,12 @@ fn latency_bounded_by_extremes() {
         let cu = DistributedControlUnit::generate(&bound);
         let best =
             simulate_distributed(&bound, &cu, &CompletionModel::AlwaysShort, None, gen.rng())
+                .expect("fault-free simulation")
                 .cycles;
         let worst =
-            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysLong, None, gen.rng()).cycles;
+            simulate_distributed(&bound, &cu, &CompletionModel::AlwaysLong, None, gen.rng())
+                .expect("fault-free simulation")
+                .cycles;
         assert!(best <= worst);
         let mid = simulate_distributed(
             &bound,
@@ -120,6 +125,7 @@ fn latency_bounded_by_extremes() {
             None,
             gen.rng(),
         )
+        .expect("fault-free simulation")
         .cycles;
         assert!(best <= mid && mid <= worst);
         // Worst case is at most best + one extension per TAU op.
@@ -141,10 +147,12 @@ fn batch_engine_matches_serial_oracle_on_random_dfgs() {
         let seed = gen.u64(0..1 << 48);
         let trials = gen.u64(1..200);
         let ps = [0.9, 0.5];
-        let serial = latency_pair_batch(&bound, &ps, trials, seed, &BatchRunner::serial());
+        let serial = latency_pair_batch(&bound, &ps, trials, seed, &BatchRunner::serial())
+            .expect("fault-free simulation");
         for threads in [2usize, 8] {
             let parallel =
-                latency_pair_batch(&bound, &ps, trials, seed, &BatchRunner::new(threads));
+                latency_pair_batch(&bound, &ps, trials, seed, &BatchRunner::new(threads))
+                    .expect("fault-free simulation");
             assert_eq!(serial, parallel, "threads = {threads}");
         }
         let (sync, dist) = serial;
@@ -154,8 +162,10 @@ fn batch_engine_matches_serial_oracle_on_random_dfgs() {
         let model = CompletionModel::Bernoulli { p: 0.7 };
         let job = SimJob::new(&bound, ControlStyle::CentSync, &model).trials(trials);
         assert_eq!(
-            job.run(seed, &BatchRunner::serial()),
+            job.run(seed, &BatchRunner::serial())
+                .expect("fault-free simulation"),
             job.run(seed, &BatchRunner::new(3).with_chunk_size(5))
+                .expect("fault-free simulation")
         );
     });
 }
