@@ -10,8 +10,8 @@ use tauhls_core::experiments::paper_benchmarks;
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
-    latency_pair, latency_pair_batch, simulate_cent_sync, simulate_distributed, BatchRunner,
-    CompletionModel,
+    latency_pair, latency_pair_batch, simulate_cent, simulate_cent_sync, simulate_distributed,
+    BatchRunner, CentControlUnit, CompletionModel,
 };
 
 fn main() {
@@ -27,6 +27,20 @@ fn main() {
                 simulate_distributed(
                     black_box(&bound),
                     &cu,
+                    &CompletionModel::Bernoulli { p: 0.7 },
+                    None,
+                    &mut rng,
+                )
+                .expect("fault-free simulation"),
+            );
+        });
+        let cent_cu = CentControlUnit::without_product(&bound);
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.run(&format!("table2/simulate/cent/{name}"), || {
+            black_box(
+                simulate_cent(
+                    black_box(&bound),
+                    &cent_cu,
                     &CompletionModel::Bernoulli { p: 0.7 },
                     None,
                     &mut rng,

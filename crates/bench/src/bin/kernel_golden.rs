@@ -1,0 +1,14 @@
+//! Regenerates `kernel_golden.json`: the engine-equivalence fingerprint
+//! corpus (benchmark × seed × fault plan for every simulation engine).
+//! `tests/golden.rs` byte-compares the checked-in copy against the
+//! current engines, so any behavioral drift in the cycle kernel shows up
+//! as a diff.
+
+use tauhls_core::conformance::kernel_conformance;
+
+fn main() {
+    let rendered = kernel_conformance().to_pretty();
+    std::fs::write("kernel_golden.json", &rendered).expect("write kernel_golden.json");
+    let entries = rendered.matches("\"bench\"").count();
+    println!("kernel_golden.json: {entries} corpus entries");
+}

@@ -1,0 +1,137 @@
+//! Bench-smoke for the unified cycle kernel: runs every paper benchmark
+//! through all three controller engines (DIST, CENT, CENT-SYNC) for a
+//! small fixed trial count and records simulated cycles per wall-clock
+//! second in `BENCH_kernel.json`. CI runs this in short mode as a
+//! throughput regression canary; it is a smoke check, not a calibrated
+//! benchmark — use `cargo bench -p tauhls-bench --bench latency_sim` for
+//! per-style latency numbers.
+//!
+//! Usage: `kernel_smoke [trials-per-benchmark]` (default 300).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tauhls_core::experiments::paper_benchmarks;
+use tauhls_fsm::DistributedControlUnit;
+use tauhls_json::Json;
+use tauhls_sched::BoundDfg;
+use tauhls_sim::{
+    simulate_cent, simulate_cent_sync, simulate_distributed, CentControlUnit, CompletionModel,
+};
+
+const P_SHORT: f64 = 0.7;
+const SEED: u64 = 2003;
+
+struct EngineRow {
+    engine: &'static str,
+    benchmark: String,
+    trials: u64,
+    total_cycles: u64,
+    elapsed_ns: u64,
+}
+
+impl EngineRow {
+    fn cycles_per_sec(&self) -> f64 {
+        self.total_cycles as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("engine", Json::from(self.engine)),
+            ("benchmark", Json::from(self.benchmark.as_str())),
+            ("trials", Json::from(self.trials)),
+            ("total_cycles", Json::from(self.total_cycles)),
+            ("elapsed_ns", Json::from(self.elapsed_ns)),
+            ("cycles_per_sec", Json::from(self.cycles_per_sec())),
+        ])
+    }
+}
+
+/// Times `trials` fault-free runs of one engine closure, returning the
+/// simulated-cycle total and the wall-clock spent.
+fn measure(trials: u64, mut run: impl FnMut(&mut StdRng) -> u64) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // One warm-up pass so lazily-faulted caches don't bill the first row.
+    run(&mut rng);
+    let mut total_cycles = 0u64;
+    let start = Instant::now();
+    for _ in 0..trials {
+        total_cycles += run(&mut rng);
+    }
+    (total_cycles, start.elapsed().as_nanos() as u64)
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("trials must be an integer"))
+        .unwrap_or(300);
+    let model = CompletionModel::Bernoulli { p: P_SHORT };
+    let mut rows = Vec::new();
+    for (dfg, alloc, _) in paper_benchmarks() {
+        let name = dfg.name().to_string();
+        let bound = BoundDfg::bind(&dfg, &alloc);
+        let cu = DistributedControlUnit::generate(&bound);
+        let cent_cu = CentControlUnit::without_product(&bound);
+
+        let (cycles, ns) = measure(trials, |rng| {
+            simulate_distributed(&bound, &cu, &model, None, rng)
+                .expect("fault-free simulation")
+                .cycles as u64
+        });
+        rows.push(EngineRow {
+            engine: "dist",
+            benchmark: name.clone(),
+            trials,
+            total_cycles: cycles,
+            elapsed_ns: ns,
+        });
+
+        let (cycles, ns) = measure(trials, |rng| {
+            simulate_cent(&bound, &cent_cu, &model, None, rng)
+                .expect("fault-free simulation")
+                .cycles as u64
+        });
+        rows.push(EngineRow {
+            engine: "cent",
+            benchmark: name.clone(),
+            trials,
+            total_cycles: cycles,
+            elapsed_ns: ns,
+        });
+
+        let (cycles, ns) = measure(trials, |rng| {
+            simulate_cent_sync(&bound, &model, None, rng)
+                .expect("fault-free simulation")
+                .cycles as u64
+        });
+        rows.push(EngineRow {
+            engine: "cent_sync",
+            benchmark: name.clone(),
+            trials,
+            total_cycles: cycles,
+            elapsed_ns: ns,
+        });
+    }
+
+    for row in &rows {
+        println!(
+            "{:<10} {:<14} {:>12.0} cycles/sec  ({} trials, {} cycles)",
+            row.engine,
+            row.benchmark,
+            row.cycles_per_sec(),
+            row.trials,
+            row.total_cycles
+        );
+    }
+
+    let report = Json::object([
+        ("mode", Json::from("short")),
+        ("p", Json::from(P_SHORT)),
+        ("seed", Json::from(SEED)),
+        ("trials_per_benchmark", Json::from(trials)),
+        ("engines", Json::array(rows.iter().map(EngineRow::to_json))),
+    ]);
+    std::fs::write("BENCH_kernel.json", report.to_pretty()).expect("write BENCH_kernel.json");
+    println!("BENCH_kernel.json: {} rows", rows.len());
+}

@@ -52,6 +52,7 @@ impl ToJson for LatencyRow {
             ("resources", Json::from(self.resources.as_str())),
             ("lt_tau", self.lt_tau.to_json()),
             ("lt_dist", self.lt_dist.to_json()),
+            ("lt_cent", self.lt_cent.to_json()),
             ("enhancement", Json::floats(&self.enhancement)),
         ])
     }
@@ -137,6 +138,11 @@ impl ToJson for KindStats {
             (
                 "mean_detection_latency",
                 Json::from(self.mean_detection_latency),
+            ),
+            ("cent_agreement", Json::from(self.cent_agreement)),
+            (
+                "cent_agreement_rate",
+                Json::from(self.cent_agreement_rate()),
             ),
         ])
     }

@@ -23,8 +23,8 @@ use tauhls_check::{arbitrary_fault, Gen};
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
-    derive_seed, simulate_distributed_with, trial_rng, Accumulator, BatchRunner, CompletionModel,
-    FaultPlan, SimConfig, SimError,
+    derive_seed, simulate_cent_with, simulate_distributed_with, trial_rng, Accumulator,
+    BatchRunner, CentControlUnit, CompletionModel, FaultPlan, SimConfig, SimError,
 };
 
 /// The fault-kind tags a sweep probes, in report order.
@@ -50,6 +50,7 @@ struct ResilAcc {
     survived: u64,
     latency_sum: u64,
     latency_samples: u64,
+    cent_agree: u64,
 }
 
 impl Accumulator for ResilAcc {
@@ -62,6 +63,7 @@ impl Accumulator for ResilAcc {
         self.survived += other.survived;
         self.latency_sum += other.latency_sum;
         self.latency_samples += other.latency_samples;
+        self.cent_agree += other.cent_agree;
     }
 }
 
@@ -81,6 +83,12 @@ pub struct KindStats {
     /// Mean cycles from injection to diagnosis, over detected trials
     /// (0 when nothing was detected).
     pub mean_detection_latency: f64,
+    /// Trials where the centralized CENT engine, fed the same completion
+    /// table and fault plan, classified the outcome identically to the
+    /// distributed engine (same cycle count on survival, same error
+    /// variant on detection) — a bisimulation cross-check on the fault
+    /// path.
+    pub cent_agreement: u64,
 }
 
 impl KindStats {
@@ -92,6 +100,12 @@ impl KindStats {
     /// Fraction of trials the system rode through unharmed.
     pub fn survival_fraction(&self) -> f64 {
         self.survived as f64 / self.trials as f64
+    }
+
+    /// Fraction of trials where CENT and DIST agreed (see
+    /// [`KindStats::cent_agreement`]).
+    pub fn cent_agreement_rate(&self) -> f64 {
+        self.cent_agreement as f64 / self.trials as f64
     }
 }
 
@@ -149,6 +163,7 @@ pub fn resilience_sweep(
 ) -> ResilienceReport {
     assert!(trials > 0 && (0.0..=1.0).contains(&p));
     let cu = DistributedControlUnit::generate(bound);
+    let cent_cu = CentControlUnit::without_product(bound);
     let num_ops = bound.dfg().num_ops();
     let num_controllers = cu.controllers().len();
     // Injection window: wide enough to hit every phase of a run (worst
@@ -164,7 +179,19 @@ pub fn resilience_sweep(
             let cfg = SimConfig::with_faults(FaultPlan::single(fault.at_cycle, fault.kind));
             let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
             let table = CompletionModel::draw_table(num_ops, p, &mut rng);
-            match simulate_distributed_with(bound, &cu, &table, None, &mut rng, &cfg) {
+            let outcome = simulate_distributed_with(bound, &cu, &table, None, &mut rng, &cfg);
+            // The table model never consumes RNG, so the CENT leg can ride
+            // the same stream without perturbing the distributed outcome.
+            let cent_outcome = simulate_cent_with(bound, &cent_cu, &table, None, &mut rng, &cfg);
+            let agree = match (&outcome, &cent_outcome) {
+                (Ok(d), Ok(c)) => d.cycles == c.cycles,
+                (Err(d), Err(c)) => std::mem::discriminant(d) == std::mem::discriminant(c),
+                _ => false,
+            };
+            if agree {
+                acc.cent_agree += 1;
+            }
+            match outcome {
                 Ok(_) => acc.survived += 1,
                 Err(err) => {
                     if matches!(err, SimError::Deadlock(_)) {
@@ -190,6 +217,7 @@ pub fn resilience_sweep(
             } else {
                 acc.latency_sum as f64 / acc.latency_samples as f64
             },
+            cent_agreement: acc.cent_agree,
         });
     }
     ResilienceReport {
@@ -210,19 +238,20 @@ impl fmt::Display for ResilienceReport {
         )?;
         writeln!(
             f,
-            "{:<15} {:>9} {:>8} {:>9} {:>10} {:>12}",
-            "fault kind", "deadlock", "desync", "survived", "detect %", "latency (cy)"
+            "{:<15} {:>9} {:>8} {:>9} {:>10} {:>12} {:>8}",
+            "fault kind", "deadlock", "desync", "survived", "detect %", "latency (cy)", "cent %"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<15} {:>9} {:>8} {:>9} {:>9.1}% {:>12.2}",
+                "{:<15} {:>9} {:>8} {:>9} {:>9.1}% {:>12.2} {:>7.1}%",
                 r.kind,
                 r.detected_deadlock,
                 r.detected_desync,
                 r.survived,
                 r.detection_rate() * 100.0,
-                r.mean_detection_latency
+                r.mean_detection_latency,
+                r.cent_agreement_rate() * 100.0
             )?;
         }
         Ok(())
@@ -252,6 +281,10 @@ mod tests {
         let by_kind = |k: &str| report.rows.iter().find(|r| r.kind == k).unwrap();
         assert!(by_kind("stuck_long").detected_deadlock > 0);
         assert!(by_kind("stuck_short").detected_desync > 0);
+        // The bisimilar CENT engine classifies every trial identically.
+        for r in &report.rows {
+            assert_eq!(r.cent_agreement, r.trials, "{}: CENT disagreed", r.kind);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! assert_eq!(serial, parallel); // bit-identical, not just statistically close
 //! ```
 
+use crate::cent::{simulate_cent_with, CentControlUnit};
 use crate::centsync::simulate_cent_sync_with;
 use crate::distributed::simulate_distributed_with;
 use crate::error::SimError;
@@ -159,6 +160,18 @@ impl<A: Accumulator, B: Accumulator, C: Accumulator> Accumulator for (A, B, C) {
         self.0.fold(other.0);
         self.1.fold(other.1);
         self.2.fold(other.2);
+    }
+}
+
+impl<A: Accumulator, B: Accumulator, C: Accumulator, D: Accumulator> Accumulator for (A, B, C, D) {
+    fn empty() -> Self {
+        (A::empty(), B::empty(), C::empty(), D::empty())
+    }
+    fn fold(&mut self, other: Self) {
+        self.0.fold(other.0);
+        self.1.fold(other.1);
+        self.2.fold(other.2);
+        self.3.fold(other.3);
     }
 }
 
@@ -379,9 +392,17 @@ impl<'a> SimJob<'a> {
     /// trial is returned — deterministically, for any thread count (see
     /// [`FirstError`]).
     pub fn run(&self, base_seed: u64, runner: &BatchRunner) -> Result<CycleStats, SimError> {
-        let cu = match self.style {
-            ControlStyle::Distributed => Some(DistributedControlUnit::generate(self.bound)),
-            ControlStyle::CentSync => None,
+        enum JobEngine {
+            Dist(DistributedControlUnit),
+            Cent(CentControlUnit),
+            Sync,
+        }
+        let engine = match self.style {
+            ControlStyle::Distributed => {
+                JobEngine::Dist(DistributedControlUnit::generate(self.bound))
+            }
+            ControlStyle::Cent => JobEngine::Cent(CentControlUnit::without_product(self.bound)),
+            ControlStyle::CentSync => JobEngine::Sync,
         };
         let default_config = SimConfig::default();
         let config = self.config.unwrap_or(&default_config);
@@ -389,11 +410,16 @@ impl<'a> SimJob<'a> {
             self.trials,
             |trial, (acc, errors): &mut (CycleStats, FirstError)| {
                 let mut rng = trial_rng(base_seed, self.job_id, trial);
-                let outcome = match &cu {
-                    Some(cu) => simulate_distributed_with(
+                let outcome = match &engine {
+                    JobEngine::Dist(cu) => simulate_distributed_with(
                         self.bound, cu, self.model, None, &mut rng, config,
                     ),
-                    None => simulate_cent_sync_with(self.bound, self.model, None, &mut rng, config),
+                    JobEngine::Cent(cu) => {
+                        simulate_cent_with(self.bound, cu, self.model, None, &mut rng, config)
+                    }
+                    JobEngine::Sync => {
+                        simulate_cent_sync_with(self.bound, self.model, None, &mut rng, config)
+                    }
                 };
                 match outcome {
                     Ok(r) => acc.record(r.cycles),
@@ -513,6 +539,87 @@ pub fn latency_pair_batch(
     ))
 }
 
+/// Parallel counterpart of [`crate::latency_triple`]: per trial, one
+/// completion table is drawn and fed to **all three** control styles. The
+/// table models are RNG-neutral, so the sync and dist legs reproduce
+/// [`latency_pair_batch`] bit for bit under the same seeds; the CENT leg's
+/// per-trial equality with DIST (bisimulation) is debug-asserted.
+///
+/// Returns `(sync, dist, cent)`, or [`SimError::InvalidConfig`] when
+/// `trials == 0`.
+pub fn latency_triple_batch(
+    bound: &BoundDfg,
+    p_values: &[f64],
+    trials: u64,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> Result<(LatencySummary, LatencySummary, LatencySummary), SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency triple needs trials >= 1".to_string(),
+        ));
+    }
+    let fault_free = SimConfig::default();
+    let cu = DistributedControlUnit::generate(bound);
+    let cent_cu = CentControlUnit::without_product(bound);
+    let num_ops = bound.dfg().num_ops();
+    let mut rng = trial_rng(base_seed, u64::MAX, 0);
+    let measure =
+        |model: &CompletionModel, rng: &mut StdRng| -> Result<(usize, usize, usize), SimError> {
+            Ok((
+                simulate_cent_sync_with(bound, model, None, rng, &fault_free)?.cycles,
+                simulate_distributed_with(bound, &cu, model, None, rng, &fault_free)?.cycles,
+                simulate_cent_with(bound, &cent_cu, model, None, rng, &fault_free)?.cycles,
+            ))
+        };
+    let (sync_best, dist_best, cent_best) = measure(&CompletionModel::AlwaysShort, &mut rng)?;
+    let (sync_worst, dist_worst, cent_worst) = measure(&CompletionModel::AlwaysLong, &mut rng)?;
+    let mut sync_avg = Vec::with_capacity(p_values.len());
+    let mut dist_avg = Vec::with_capacity(p_values.len());
+    let mut cent_avg = Vec::with_capacity(p_values.len());
+    for (idx, &p) in p_values.iter().enumerate() {
+        let (sync, dist, cent, errors): (CycleStats, CycleStats, CycleStats, FirstError) =
+            runner.run(
+                trials,
+                |trial,
+                 (sync, dist, cent, errors): &mut (
+                    CycleStats,
+                    CycleStats,
+                    CycleStats,
+                    FirstError,
+                )| {
+                    let mut rng = trial_rng(base_seed, idx as u64, trial);
+                    let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                    match measure(&table, &mut rng) {
+                        Ok((s, d, c)) => {
+                            debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
+                            debug_assert_eq!(c, d, "CENT diverged from DIST on a coupled trial");
+                            sync.record(s);
+                            dist.record(d);
+                            cent.record(c);
+                        }
+                        Err(e) => errors.record(trial, e),
+                    }
+                },
+            );
+        errors.into_result()?;
+        sync_avg.push(sync.mean());
+        dist_avg.push(dist.mean());
+        cent_avg.push(cent.mean());
+    }
+    let summary = |best, avg: Vec<f64>, worst| LatencySummary {
+        best_cycles: best,
+        average_cycles: avg,
+        worst_cycles: worst,
+        p_values: p_values.to_vec(),
+    };
+    Ok((
+        summary(sync_best, sync_avg, sync_worst),
+        summary(dist_best, dist_avg, dist_worst),
+        summary(cent_best, cent_avg, cent_worst),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +718,38 @@ mod tests {
             assert!(d <= s);
         }
         assert!(dist.worst_cycles <= sync.worst_cycles);
+    }
+
+    #[test]
+    fn triple_batch_reproduces_pair_and_cent_matches_dist() {
+        let bound = fir5_bound();
+        let ps = [0.9, 0.5];
+        let (pair_sync, pair_dist) =
+            latency_pair_batch(&bound, &ps, 400, 5, &BatchRunner::serial()).unwrap();
+        let serial = latency_triple_batch(&bound, &ps, 400, 5, &BatchRunner::serial()).unwrap();
+        let parallel = latency_triple_batch(&bound, &ps, 400, 5, &BatchRunner::new(8)).unwrap();
+        assert_eq!(serial, parallel);
+        let (sync, dist, cent) = parallel;
+        // The extra CENT leg must not perturb the established pair.
+        assert_eq!(sync, pair_sync);
+        assert_eq!(dist, pair_dist);
+        // And CENT is cycle-identical to DIST, trial for trial.
+        assert_eq!(cent, dist);
+    }
+
+    #[test]
+    fn cent_job_matches_distributed_job() {
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let dist = SimJob::new(&bound, ControlStyle::Distributed, &model)
+            .trials(300)
+            .run(11, &BatchRunner::new(4))
+            .unwrap();
+        let cent = SimJob::new(&bound, ControlStyle::Cent, &model)
+            .trials(300)
+            .run(11, &BatchRunner::new(4))
+            .unwrap();
+        assert_eq!(dist, cent);
     }
 
     #[test]

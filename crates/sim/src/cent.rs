@@ -1,0 +1,309 @@
+//! Simulation of the centralized CENT controller (Fig 4a): one FSM — the
+//! synchronous product of the per-unit controllers — that still tracks
+//! every TAU's completion independently.
+//!
+//! Semantically the product is *bisimilar* to the distributed realization
+//! (that is what a synchronous product is), so CENT reaches every result in
+//! exactly the same cycle as DIST — the paper's `LT_DIST = LT_CENT`
+//! observation. What changes is the implementation cost: the reachable
+//! composite state count grows exponentially with the number of
+//! concurrently active TAUs (see [`tauhls_fsm::synchronous_product`]),
+//! which is the argument for distribution.
+//!
+//! The engine exploits the bisimulation: it steps the *component*
+//! controllers through the shared [`crate::kernel`] cycle loop — identical
+//! to the distributed engine, draw for draw — and reports diagnostics as a
+//! single centralized FSM whose state is the composite tuple name
+//! (`S1.R4.S7'` …), exactly what the explicit product machine would show.
+//! Building the exponential product is therefore optional and only needed
+//! when the caller wants the machine itself (state counts, codegen):
+//! [`CentControlUnit::generate`] builds it when its external-input count is
+//! enumerable, [`CentControlUnit::without_product`] skips it for hot
+//! simulation paths.
+
+use crate::distributed::operand_values;
+use crate::error::SimError;
+use crate::fault::SimConfig;
+use crate::kernel::{
+    self, single_iter_diagnostics, CompletionFabric, DiagMode, FsmBank, FsmStyle, SingleIterHooks,
+};
+use crate::model::CompletionModel;
+use crate::result::SimResult;
+use rand::Rng;
+use tauhls_fsm::{synchronous_product, DistributedControlUnit, Fsm};
+use tauhls_sched::BoundDfg;
+
+/// Name given to the centralized product machine and to the composite
+/// controller snapshot in CENT diagnostics.
+pub const CENT_FSM_NAME: &str = "CENT";
+
+/// The product construction enumerates `2^k` input minterms per composite
+/// state; mirrors `tauhls_fsm::product::MAX_EXTERNAL_INPUTS`.
+const MAX_PRODUCT_INPUTS: usize = 16;
+
+/// A centralized control unit: the per-unit component controllers plus,
+/// optionally, their explicit synchronous product.
+#[derive(Clone, Debug)]
+pub struct CentControlUnit {
+    cu: DistributedControlUnit,
+    product: Option<Fsm>,
+}
+
+impl CentControlUnit {
+    /// Generates the centralized controller for a bound DFG, building the
+    /// explicit product machine when it is enumerable (at most 16 external
+    /// inputs, i.e. telescopic-unit completion signals); otherwise the
+    /// product is omitted and only simulation is available.
+    pub fn generate(bound: &BoundDfg) -> Self {
+        let cu = DistributedControlUnit::generate(bound);
+        let product = build_product(&cu);
+        CentControlUnit { cu, product }
+    }
+
+    /// Generates the centralized controller without building the explicit
+    /// product machine — the cheap constructor for simulation-only use
+    /// (e.g. Monte-Carlo batches), since the engine never needs it.
+    pub fn without_product(bound: &BoundDfg) -> Self {
+        CentControlUnit {
+            cu: DistributedControlUnit::generate(bound),
+            product: None,
+        }
+    }
+
+    /// The component (per-unit) controllers the product is composed of.
+    pub fn components(&self) -> &DistributedControlUnit {
+        &self.cu
+    }
+
+    /// The explicit centralized product machine, if it was built.
+    pub fn product(&self) -> Option<&Fsm> {
+        self.product.as_ref()
+    }
+
+    /// Reachable state count of the centralized machine, if the product
+    /// was built — the quantity the paper's state-explosion argument is
+    /// about (compare [`DistributedControlUnit::total_states`]).
+    pub fn product_states(&self) -> Option<usize> {
+        self.product.as_ref().map(|f| f.num_states())
+    }
+}
+
+/// Builds the synchronous product of the component controllers, or `None`
+/// when the external-input count exceeds the enumeration limit (the
+/// underlying constructor would panic; this engine stays panic-free).
+fn build_product(cu: &DistributedControlUnit) -> Option<Fsm> {
+    let refs: Vec<&Fsm> = cu.controllers().iter().map(|(_, f)| f).collect();
+    if refs.is_empty() {
+        return None;
+    }
+    let mut produced: Vec<&str> = Vec::new();
+    for f in &refs {
+        for out in f.outputs() {
+            produced.push(out.as_str());
+        }
+    }
+    let mut external: Vec<&str> = Vec::new();
+    for f in &refs {
+        for inp in f.inputs() {
+            if !produced.contains(&inp.as_str()) && !external.contains(&inp.as_str()) {
+                external.push(inp.as_str());
+            }
+        }
+    }
+    if external.len() > MAX_PRODUCT_INPUTS {
+        return None;
+    }
+    Some(synchronous_product(CENT_FSM_NAME, &refs))
+}
+
+/// Simulates one iteration of the bound DFG under centralized CENT control
+/// (fault-free, default watchdog).
+///
+/// `inputs` are the DFG's primary input values (defaults to zeros), used
+/// both for the reference results and for operand-driven completion.
+///
+/// With the same RNG stream, the result is bit-identical to
+/// [`crate::simulate_distributed`] — the two realizations are bisimilar;
+/// only error diagnostics differ (a single composite controller snapshot
+/// instead of per-unit ones).
+pub fn simulate_cent(
+    bound: &BoundDfg,
+    cu: &CentControlUnit,
+    model: &CompletionModel,
+    inputs: Option<&[i64]>,
+    rng: &mut impl Rng,
+) -> Result<SimResult, SimError> {
+    simulate_cent_with(bound, cu, model, inputs, rng, &SimConfig::default())
+}
+
+/// [`simulate_cent`] with a fault/watchdog configuration.
+///
+/// Faults are applied *after* every completion-model draw, so the RNG
+/// stream is independent of the plan (see
+/// [`crate::simulate_distributed_with`]).
+pub fn simulate_cent_with(
+    bound: &BoundDfg,
+    cu: &CentControlUnit,
+    model: &CompletionModel,
+    inputs: Option<&[i64]>,
+    rng: &mut impl Rng,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let dfg = bound.dfg();
+    model
+        .validate(dfg.num_ops())
+        .map_err(SimError::InvalidConfig)?;
+    let zeros = vec![0i64; dfg.num_inputs()];
+    let input_vals = inputs.unwrap_or(&zeros);
+    let values = dfg.evaluate_all(input_vals);
+
+    let n = dfg.num_ops();
+    let mut fabric = CompletionFabric::new(n);
+    let bank = FsmBank::new(&cu.cu, bound.allocation().units().len());
+    let hooks = SingleIterHooks::new(
+        bound,
+        operand_values(bound, input_vals, &values),
+        DiagMode::Composite(CENT_FSM_NAME.to_string()),
+    );
+    let mut style = FsmStyle {
+        bank,
+        hooks,
+        dfg,
+        model,
+    };
+    let cycle = kernel::run(&mut style, &mut fabric, rng, config, config.budget(n, 1))?;
+
+    let FsmStyle { bank, hooks, .. } = style;
+    let SingleIterHooks {
+        completion_cycle,
+        start_cycle,
+        unit_busy,
+        diag,
+        ..
+    } = hooks;
+    let result = SimResult {
+        cycles: cycle,
+        completion_cycle,
+        start_cycle,
+        unit_busy_cycles: unit_busy,
+        values,
+    };
+    if !config.faults.is_empty() {
+        if let Err(msg) = result.verify(bound) {
+            return Err(SimError::Desync(single_iter_diagnostics(
+                &diag,
+                &bank,
+                &fabric,
+                cycle,
+                format!("post-run invariant violated: {msg}"),
+            )));
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::simulate_distributed;
+    use crate::fault::{FaultKind, FaultPlan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tauhls_dfg::benchmarks::{diffeq, fir3, fir5};
+    use tauhls_dfg::OpId;
+    use tauhls_sched::Allocation;
+
+    #[test]
+    fn cent_is_bit_identical_to_distributed() {
+        for (g, alloc) in [
+            (fir3(), Allocation::paper(2, 1, 0)),
+            (fir5(), Allocation::paper(2, 1, 0)),
+            (diffeq(), Allocation::paper(2, 1, 1)),
+        ] {
+            let bound = BoundDfg::bind(&g, &alloc);
+            let dist_cu = DistributedControlUnit::generate(&bound);
+            let cent_cu = CentControlUnit::without_product(&bound);
+            for seed in 0..20 {
+                let model = CompletionModel::Bernoulli { p: 0.6 };
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                let d = simulate_distributed(&bound, &dist_cu, &model, None, &mut r1)
+                    .expect("fault-free dist");
+                let c = simulate_cent(&bound, &cent_cu, &model, None, &mut r2)
+                    .expect("fault-free cent");
+                assert_eq!(d.cycles, c.cycles);
+                assert_eq!(d.completion_cycle, c.completion_cycle);
+                assert_eq!(d.start_cycle, c.start_cycle);
+                assert_eq!(d.unit_busy_cycles, c.unit_busy_cycles);
+                assert_eq!(d.values, c.values);
+            }
+        }
+    }
+
+    #[test]
+    fn product_machine_matches_component_semantics() {
+        // fir3 on 2 multipliers + 1 adder keeps the product small enough
+        // to build; its reachable state count must be at least the number
+        // of cycles the longest run walks through, and at least as large
+        // as any single component.
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
+        let cu = CentControlUnit::generate(&bound);
+        let product = cu.product().expect("fir3 product is enumerable");
+        assert_eq!(product.name(), CENT_FSM_NAME);
+        let max_component = cu
+            .components()
+            .controllers()
+            .iter()
+            .map(|(_, f)| f.num_states())
+            .max()
+            .expect("controllers");
+        assert!(product.num_states() >= max_component);
+        // The composite initial state is the tuple of component initials.
+        let init = product.state_name(product.initial());
+        assert_eq!(init.split('.').count(), cu.components().controllers().len());
+    }
+
+    #[test]
+    fn cent_diagnostics_show_one_composite_controller() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = CentControlUnit::without_product(&bound);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg =
+            SimConfig::with_faults(FaultPlan::single(1, FaultKind::StuckAtLong { op: OpId(0) }));
+        let err = simulate_cent_with(
+            &bound,
+            &cu,
+            &CompletionModel::AlwaysShort,
+            None,
+            &mut rng,
+            &cfg,
+        )
+        .expect_err("stuck-at-long deadlocks");
+        let SimError::Deadlock(diag) = err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(diag.controllers.len(), 1);
+        assert_eq!(diag.controllers[0].fsm, CENT_FSM_NAME);
+        // Composite state: one component state per controller, dot-joined.
+        assert_eq!(
+            diag.controllers[0].state.split('.').count(),
+            cu.components().controllers().len()
+        );
+    }
+
+    #[test]
+    fn short_table_is_invalid_config() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = CentControlUnit::without_product(&bound);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = simulate_cent(
+            &bound,
+            &cu,
+            &CompletionModel::Table(vec![true]),
+            None,
+            &mut rng,
+        )
+        .expect_err("short table rejected");
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+}

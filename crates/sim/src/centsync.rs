@@ -4,19 +4,28 @@
 //! A time step with TAU operations spends its extension half unless
 //! *every* active TAU completes short — the `P^n` synchronization penalty.
 //!
+//! Runs on the shared [`crate::kernel`] loop as a step-walk
+//! [`ControlStyle`]: each `advance` consumes one TAUBM time step
+//! (incrementing the cycle counter in place for the extension half), so the
+//! engine inherits the kernel's watchdog — under [`crate::Watchdog::Auto`]
+//! the budget always exceeds the `2n` step-walk bound and never trips.
+//!
 //! Fault support: the centralized controller has no completion-pulse
 //! fabric and no distributed state registers, so only the signal-level
 //! fault kinds apply — stuck-at completion predictors (a stuck-at-short
 //! predictor that suppresses a needed step extension is detected as
 //! [`SimError::Desync`]) and delayed result latches. Dropped/spurious
-//! pulses and state flips are no-ops here by construction.
+//! pulses and state flips are no-ops here by construction. Delayed latches
+//! are applied inline to the latch cycle (the synchronized datapath has no
+//! per-op pulse to defer), so the kernel's deferred queue stays empty.
 
 use crate::error::{Diagnostics, SimError};
 use crate::fault::SimConfig;
+use crate::kernel::{self, CompletionFabric, ControlStyle};
 use crate::model::CompletionModel;
 use crate::result::SimResult;
 use rand::Rng;
-use tauhls_dfg::{Operand, TaubmDfg};
+use tauhls_dfg::{OpId, TaubmDfg};
 use tauhls_sched::BoundDfg;
 
 /// Simulates one iteration under synchronized centralized control, using
@@ -65,8 +74,8 @@ pub fn simulate_cent_sync_with_schedule(
     cent_sync_impl(bound, step_of, model, inputs, rng, &SimConfig::default())
 }
 
-fn desync(cycle: usize, reason: String, completed: &[usize]) -> SimError {
-    SimError::Desync(Box::new(Diagnostics {
+fn cent_sync_diag(cycle: usize, reason: String, completed: &[usize]) -> Box<Diagnostics> {
+    Box::new(Diagnostics {
         cycle,
         reason,
         controllers: Vec::new(), // single centralized FSM, not modelled per-unit
@@ -78,7 +87,114 @@ fn desync(cycle: usize, reason: String, completed: &[usize]) -> SimError {
             .map(|(i, _)| i)
             .collect(),
         pulses: Vec::new(),
-    }))
+    })
+}
+
+fn desync(cycle: usize, reason: String, completed: &[usize]) -> SimError {
+    SimError::Desync(cent_sync_diag(cycle, reason, completed))
+}
+
+/// The synchronized step-walk as a kernel [`ControlStyle`]: one `advance`
+/// call per TAUBM time step, with the extension half folded in as an
+/// in-place cycle increment.
+struct CentSyncStyle<'a> {
+    bound: &'a BoundDfg,
+    taubm: TaubmDfg,
+    model: &'a CompletionModel,
+    /// Precomputed `(lhs, rhs)` operand values per op id.
+    operand_vals: Vec<(i64, i64)>,
+    step_idx: usize,
+    completion_cycle: Vec<usize>,
+    start_cycle: Vec<usize>,
+    unit_busy: Vec<usize>,
+    // Per-step draw buffers, reused across steps.
+    shorts: Vec<bool>,
+    truths: Vec<bool>,
+}
+
+impl<R: Rng> ControlStyle<R> for CentSyncStyle<'_> {
+    fn running(&self, _fabric: &CompletionFabric) -> bool {
+        self.step_idx < self.taubm.steps().len()
+    }
+
+    fn latch(&mut self, _fabric: &mut CompletionFabric, _op: OpId, _at: usize) {
+        // Latch delays are applied inline when the step ends; the kernel's
+        // deferred queue is never populated for this style.
+    }
+
+    fn advance(
+        &mut self,
+        cycle: &mut usize,
+        _fabric: &mut CompletionFabric,
+        rng: &mut R,
+        config: &SimConfig,
+    ) -> Result<(), SimError> {
+        let faults = &config.faults;
+        let faulty = !faults.is_empty();
+        let dfg = self.bound.dfg();
+        let step = &self.taubm.steps()[self.step_idx];
+        self.step_idx += 1;
+
+        // `*cycle` is the base half T_i (the kernel pre-increments).
+        for &o in &step.fixed_ops {
+            self.start_cycle[o.0] = *cycle;
+            self.completion_cycle[o.0] = *cycle;
+            self.unit_busy[self.bound.unit_of(o).0] += 1;
+        }
+        if step.tau_ops.is_empty() {
+            return Ok(());
+        }
+        let mut all_short = true;
+        self.shorts.clear();
+        self.truths.clear();
+        for &o in &step.tau_ops {
+            self.start_cycle[o.0] = *cycle;
+            let node = dfg.op(o);
+            let (lhs, rhs) = self.operand_vals[o.0];
+            let truth = self.model.completion(o, node.kind, lhs, rhs, rng);
+            let short = faults.stuck_completion(o, *cycle).unwrap_or(truth);
+            self.shorts.push(short);
+            self.truths.push(truth);
+            all_short &= short;
+        }
+        if !all_short {
+            *cycle += 1; // the extension half T_i'
+        }
+        // A stuck-at-short predictor that masks a long completion while no
+        // sibling extends the step makes the synchronized latch capture an
+        // unfinished result.
+        if faulty && all_short {
+            for (&o, &truth) in step.tau_ops.iter().zip(&self.truths) {
+                if !truth {
+                    return Err(desync(
+                        *cycle,
+                        format!(
+                            "step latched {o} at the base half but its true completion was long"
+                        ),
+                        &self.completion_cycle,
+                    ));
+                }
+            }
+        }
+        for (&o, &short) in step.tau_ops.iter().zip(&self.shorts) {
+            // Synchronized: every TAU result latches when the step ends,
+            // but a unit is *busy* only while actually computing — a short
+            // operation whose step extends for a sibling sits idle in the
+            // extension half (the idle time the paper's §1 points at).
+            self.completion_cycle[o.0] = *cycle + faults.latch_delay(o, *cycle);
+            self.unit_busy[self.bound.unit_of(o).0] += if short { 1 } else { 2 };
+        }
+        Ok(())
+    }
+
+    fn diagnostics(
+        &self,
+        cycle: usize,
+        reason: String,
+        _fabric: &CompletionFabric,
+    ) -> Box<Diagnostics> {
+        cent_sync_diag(cycle, reason, &self.completion_cycle)
+    }
 }
 
 fn cent_sync_impl(
@@ -90,78 +206,38 @@ fn cent_sync_impl(
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
     let dfg = bound.dfg();
+    model
+        .validate(dfg.num_ops())
+        .map_err(SimError::InvalidConfig)?;
     let taubm = TaubmDfg::derive(dfg, step_of, bound.allocation().tau_classes());
     let zeros = vec![0i64; dfg.num_inputs()];
     let input_vals = inputs.unwrap_or(&zeros);
     let values = dfg.evaluate_all(input_vals);
-    let operand = |o: Operand| -> i64 {
-        match o {
-            Operand::Input(i) => input_vals[i.0],
-            Operand::Const(c) => c,
-            Operand::Op(p) => values[p.0],
-        }
-    };
+    let operand_vals = crate::distributed::operand_values(bound, input_vals, &values);
 
-    let faults = &config.faults;
-    let faulty = !faults.is_empty();
-
+    let faulty = !config.faults.is_empty();
     let n = dfg.num_ops();
-    let mut completion_cycle = vec![0usize; n];
-    let mut start_cycle = vec![0usize; n];
     let num_units = bound.allocation().units().len();
-    let mut unit_busy = vec![0usize; num_units];
-
-    let mut cycle = 0usize;
-    for step in taubm.steps() {
-        cycle += 1; // the base half T_i
-        for &o in &step.fixed_ops {
-            start_cycle[o.0] = cycle;
-            completion_cycle[o.0] = cycle;
-            unit_busy[bound.unit_of(o).0] += 1;
-        }
-        if step.tau_ops.is_empty() {
-            continue;
-        }
-        let mut all_short = true;
-        let mut shorts = Vec::with_capacity(step.tau_ops.len());
-        let mut truths = Vec::with_capacity(step.tau_ops.len());
-        for &o in &step.tau_ops {
-            start_cycle[o.0] = cycle;
-            let node = dfg.op(o);
-            let truth = model.completion(o, node.kind, operand(node.lhs), operand(node.rhs), rng);
-            let short = faults.stuck_completion(o, cycle).unwrap_or(truth);
-            shorts.push(short);
-            truths.push(truth);
-            all_short &= short;
-        }
-        if !all_short {
-            cycle += 1; // the extension half T_i'
-        }
-        // A stuck-at-short predictor that masks a long completion while no
-        // sibling extends the step makes the synchronized latch capture an
-        // unfinished result.
-        if faulty && all_short {
-            for (&o, &truth) in step.tau_ops.iter().zip(&truths) {
-                if !truth {
-                    return Err(desync(
-                        cycle,
-                        format!(
-                            "step latched {o} at the base half but its true completion was long"
-                        ),
-                        &completion_cycle,
-                    ));
-                }
-            }
-        }
-        for (&o, &short) in step.tau_ops.iter().zip(&shorts) {
-            // Synchronized: every TAU result latches when the step ends,
-            // but a unit is *busy* only while actually computing — a short
-            // operation whose step extends for a sibling sits idle in the
-            // extension half (the idle time the paper's §1 points at).
-            completion_cycle[o.0] = cycle + faults.latch_delay(o, cycle);
-            unit_busy[bound.unit_of(o).0] += if short { 1 } else { 2 };
-        }
-    }
+    let mut fabric = CompletionFabric::new(n);
+    let mut style = CentSyncStyle {
+        bound,
+        taubm,
+        model,
+        operand_vals,
+        step_idx: 0,
+        completion_cycle: vec![0usize; n],
+        start_cycle: vec![0usize; n],
+        unit_busy: vec![0usize; num_units],
+        shorts: Vec::new(),
+        truths: Vec::new(),
+    };
+    let cycle = kernel::run(&mut style, &mut fabric, rng, config, config.budget(n, 1))?;
+    let CentSyncStyle {
+        completion_cycle,
+        start_cycle,
+        unit_busy,
+        ..
+    } = style;
 
     let total = cycle.max(completion_cycle.iter().copied().max().unwrap_or(0));
     let result = SimResult {
@@ -309,5 +385,13 @@ mod tests {
                 assert!(r.completion_cycle[p.0] < r.start_cycle[v.0]);
             }
         }
+    }
+    #[test]
+    fn short_table_is_invalid_config() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = simulate_cent_sync(&bound, &CompletionModel::Table(vec![true]), None, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
     }
 }

@@ -11,8 +11,11 @@
 //! with the default (empty) config the sampling order, RNG stream and
 //! results are identical to the fault-free engine.
 
-use crate::error::{ControllerSnapshot, Diagnostics, SimError};
+use crate::error::{ControllerSnapshot, SimError};
 use crate::fault::SimConfig;
+use crate::kernel::{
+    self, single_iter_diagnostics, CompletionFabric, DiagMode, FsmBank, FsmStyle, SingleIterHooks,
+};
 use crate::model::CompletionModel;
 use crate::result::SimResult;
 use rand::Rng;
@@ -64,27 +67,28 @@ pub(crate) fn controller_snapshots(
         .collect()
 }
 
-fn diagnostics(
-    cycle: usize,
-    reason: String,
-    fsms: &[(usize, &Fsm)],
-    states: &[StateId],
-    done: &[bool],
-    pulses: &[OpId],
-) -> Box<Diagnostics> {
-    Box::new(Diagnostics {
-        cycle,
-        reason,
-        controllers: controller_snapshots(fsms, states),
-        done: done.to_vec(),
-        outstanding: done
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| !d)
-            .map(|(i, _)| i)
-            .collect(),
-        pulses: pulses.iter().map(|o| o.0).collect(),
-    })
+/// Precomputes the `(lhs, rhs)` operand values of every operation from
+/// the primary-input assignment — exactly the values the legacy engine's
+/// operand closure produced, consumed only by operand-driven models.
+pub(crate) fn operand_values(
+    bound: &BoundDfg,
+    input_vals: &[i64],
+    values: &[i64],
+) -> Vec<(i64, i64)> {
+    let dfg = bound.dfg();
+    let operand = |o: Operand| -> i64 {
+        match o {
+            Operand::Input(i) => input_vals[i.0],
+            Operand::Const(c) => c,
+            Operand::Op(p) => values[p.0],
+        }
+    };
+    dfg.op_ids()
+        .map(|op| {
+            let node = dfg.op(op);
+            (operand(node.lhs), operand(node.rhs))
+        })
+        .collect()
 }
 
 /// Simulates one iteration of the bound DFG under its distributed control
@@ -120,265 +124,37 @@ pub fn simulate_distributed_with(
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
     let dfg = bound.dfg();
+    model
+        .validate(dfg.num_ops())
+        .map_err(SimError::InvalidConfig)?;
     let zeros = vec![0i64; dfg.num_inputs()];
     let input_vals = inputs.unwrap_or(&zeros);
     let values = dfg.evaluate_all(input_vals);
-    let operand = |o: Operand| -> i64 {
-        match o {
-            Operand::Input(i) => input_vals[i.0],
-            Operand::Const(c) => c,
-            Operand::Op(p) => values[p.0],
-        }
-    };
-
-    let faults = &config.faults;
-    let faulty = !faults.is_empty();
 
     let n = dfg.num_ops();
-    let mut done = vec![false; n];
-    let mut completion_cycle = vec![0usize; n];
-    let mut start_cycle = vec![0usize; n];
-    let num_units = bound.allocation().units().len();
-    let mut unit_busy = vec![0usize; num_units];
+    let mut fabric = CompletionFabric::new(n);
+    let bank = FsmBank::new(cu, bound.allocation().units().len());
+    let hooks = SingleIterHooks::new(
+        bound,
+        operand_values(bound, input_vals, &values),
+        DiagMode::PerUnit,
+    );
+    let mut style = FsmStyle {
+        bank,
+        hooks,
+        dfg,
+        model,
+    };
+    let cycle = kernel::run(&mut style, &mut fabric, rng, config, config.budget(n, 1))?;
 
-    let fsms: Vec<(usize, &Fsm)> = cu.controllers().iter().map(|(u, f)| (u.0, f)).collect();
-    let mut states: Vec<StateId> = fsms.iter().map(|(_, f)| f.initial()).collect();
-
-    // Completion pulses whose result latch is deferred by a DelayLatch
-    // fault: (latch cycle, op).
-    let mut deferred: Vec<(usize, OpId)> = Vec::new();
-
-    let max_cycles = config.budget(n, 1);
-    let mut cycle = 0usize;
-    let mut pulses: Vec<OpId> = Vec::new();
-    while !done.iter().all(|&d| d) || !deferred.is_empty() {
-        cycle += 1;
-        if cycle > max_cycles {
-            return Err(SimError::Deadlock(diagnostics(
-                cycle,
-                format!("no progress within the {max_cycles}-cycle watchdog budget"),
-                &fsms,
-                &states,
-                &done,
-                &pulses,
-            )));
-        }
-
-        // Deferred result latches that come due this cycle.
-        deferred.retain(|&(at, op)| {
-            if at <= cycle {
-                if !done[op.0] {
-                    done[op.0] = true;
-                    completion_cycle[op.0] = at;
-                }
-                false
-            } else {
-                true
-            }
-        });
-
-        // Sample unit completion signals for units in an Exec phase.
-        // `diverged[u]` remembers a stuck-at override that contradicted the
-        // model draw, for the post-fixpoint premature-latch check.
-        let mut unit_completion = vec![false; num_units];
-        let mut diverged: Vec<Option<bool>> = vec![None; num_units];
-        for ((u, f), &st) in fsms.iter().zip(&states) {
-            let name = match f.state_name_opt(st) {
-                Some(name) => name,
-                None => {
-                    return Err(SimError::Desync(diagnostics(
-                        cycle,
-                        format!("controller {} latched invalid state id {}", f.name(), st.0),
-                        &fsms,
-                        &states,
-                        &done,
-                        &pulses,
-                    )))
-                }
-            };
-            let phase = match parse_phase(name) {
-                Some(p) => p,
-                None => {
-                    return Err(SimError::UnknownState {
-                        fsm: f.name().to_string(),
-                        state: name.to_string(),
-                    })
-                }
-            };
-            match phase {
-                Phase::Exec(op, stage) => {
-                    if stage == 0 && start_cycle[op.0] == 0 {
-                        start_cycle[op.0] = cycle;
-                    }
-                    let node = dfg.op(op);
-                    // Protocol invariant: all predecessors latched their
-                    // results before a consumer occupies its unit. Faults
-                    // (stuck-at-short consumer reads, delayed latches,
-                    // state flips) break exactly this, so it is checked on
-                    // every execution cycle, not just in debug builds.
-                    if let Some(p) = dfg.preds(op).iter().find(|p| !done[p.0]) {
-                        return Err(SimError::Desync(diagnostics(
-                            cycle,
-                            format!("{op} fired before its producer {p} completed"),
-                            &fsms,
-                            &states,
-                            &done,
-                            &pulses,
-                        )));
-                    }
-                    // Sample the stage-completion signal. The final stage
-                    // of a controller completes unconditionally and never
-                    // reads it, so sampling in every stage is harmless; a
-                    // Bernoulli model makes multi-level stage delays
-                    // geometric, which is the intended semantics. Stuck-at
-                    // faults override the signal after the draw, keeping
-                    // the RNG stream plan-independent.
-                    let truth =
-                        model.completion(op, node.kind, operand(node.lhs), operand(node.rhs), rng);
-                    let eff = faults.stuck_completion(op, cycle).unwrap_or(truth);
-                    unit_completion[*u] = eff;
-                    if eff != truth {
-                        diverged[*u] = Some(truth);
-                    }
-                    // Wrap-around re-executions of already-done operations
-                    // (the controller loops for repetitive DFG execution,
-                    // but we measure a single iteration) are not busy work.
-                    if !done[op.0] {
-                        unit_busy[*u] += 1;
-                    }
-                }
-                Phase::Ready(_) => {}
-            }
-        }
-
-        // Fixpoint over same-cycle completion pulses (C_CO chains).
-        // Spurious-pulse faults seed the wavefront; drop faults censor it.
-        let mut injected: Vec<OpId> = Vec::new();
-        faults.spurious_at(cycle, &mut injected);
-        injected.sort_unstable();
-        injected.dedup();
-        pulses = injected.clone();
-        let mut steps: Vec<(StateId, Vec<usize>)> = Vec::new();
-        for _round in 0..fsms.len() + 2 {
-            steps.clear();
-            let mut new_pulses: Vec<OpId> = injected.clone();
-            for ((u, f), &st) in fsms.iter().zip(&states) {
-                let step = f.try_step(st, |v| {
-                    let name = &f.inputs()[v];
-                    if let Some(rest) = name.strip_prefix("C_CO(") {
-                        let op: usize = rest
-                            .strip_suffix(')')
-                            .and_then(|s| s.parse().ok())
-                            .expect("completion signal name");
-                        match faults.stuck_completion(OpId(op), cycle) {
-                            Some(forced) => forced,
-                            None => done[op] || pulses.contains(&OpId(op)),
-                        }
-                    } else {
-                        // Own unit completion C_{name}.
-                        unit_completion[*u]
-                    }
-                });
-                let (next, outs) = match step {
-                    Ok(r) => r,
-                    Err(e) => {
-                        return Err(SimError::Desync(diagnostics(
-                            cycle,
-                            format!("controller {} lost lockstep: {e}", f.name()),
-                            &fsms,
-                            &states,
-                            &done,
-                            &pulses,
-                        )))
-                    }
-                };
-                for &o in &outs {
-                    let oname = &f.outputs()[o];
-                    if let Some(rest) = oname.strip_prefix("RE") {
-                        let op: usize = rest.parse().expect("RE signal name");
-                        if !faults.drops_pulse(OpId(op), cycle) {
-                            new_pulses.push(OpId(op));
-                        }
-                    }
-                }
-                steps.push((next, outs));
-            }
-            new_pulses.sort_unstable();
-            new_pulses.dedup();
-            if new_pulses == pulses {
-                break;
-            }
-            pulses = new_pulses;
-        }
-
-        // Premature-latch check: where a stuck-at override contradicted the
-        // telescopic predictor, re-step the affected controller with the
-        // *true* completion value. A result-enable pulse the override
-        // emitted but the truth would not means the unit latched a result
-        // that was not ready.
-        if faulty {
-            for (i, ((u, f), &st)) in fsms.iter().zip(&states).enumerate() {
-                let Some(truth) = diverged[*u] else { continue };
-                let truth_step = f.try_step(st, |v| {
-                    let name = &f.inputs()[v];
-                    if let Some(rest) = name.strip_prefix("C_CO(") {
-                        let op: usize = rest
-                            .strip_suffix(')')
-                            .and_then(|s| s.parse().ok())
-                            .expect("completion signal name");
-                        done[op] || pulses.contains(&OpId(op))
-                    } else {
-                        truth
-                    }
-                });
-                let truth_outs = match truth_step {
-                    Ok((_, outs)) => outs,
-                    Err(_) => continue,
-                };
-                for &o in &steps[i].1 {
-                    if !truth_outs.contains(&o) && f.outputs()[o].starts_with("RE") {
-                        return Err(SimError::Desync(diagnostics(
-                            cycle,
-                            format!(
-                                "unit {} latched {} before its true completion (stuck-at-short)",
-                                u,
-                                f.outputs()[o]
-                            ),
-                            &fsms,
-                            &states,
-                            &done,
-                            &pulses,
-                        )));
-                    }
-                }
-            }
-        }
-
-        // Commit: advance states, latch completions (possibly deferred by a
-        // DelayLatch fault), apply scheduled state-register upsets.
-        for (i, (next, _)) in steps.iter().enumerate() {
-            states[i] = *next;
-        }
-        for op in &pulses {
-            if !done[op.0] && !deferred.iter().any(|&(_, d)| d == *op) {
-                let delay = faults.latch_delay(*op, cycle);
-                if delay == 0 {
-                    done[op.0] = true;
-                    completion_cycle[op.0] = cycle;
-                } else {
-                    deferred.push((cycle + delay, *op));
-                }
-            }
-        }
-        if faulty {
-            for (i, s) in states.iter_mut().enumerate() {
-                if let Some(bit) = faults.flip_at(i, cycle) {
-                    *s = StateId(s.0 ^ (1usize << bit));
-                }
-            }
-        }
-    }
-
+    let FsmStyle { bank, hooks, .. } = style;
+    let SingleIterHooks {
+        completion_cycle,
+        start_cycle,
+        unit_busy,
+        diag,
+        ..
+    } = hooks;
     let result = SimResult {
         cycles: cycle,
         completion_cycle,
@@ -391,15 +167,14 @@ pub fn simulate_distributed_with(
     // the post-run legality check turns that into a detection. Fault-free
     // runs skip it so the plain API keeps its historical cost and callers
     // remain free to `verify` themselves.
-    if faulty {
+    if !config.faults.is_empty() {
         if let Err(msg) = result.verify(bound) {
-            return Err(SimError::Desync(diagnostics(
+            return Err(SimError::Desync(single_iter_diagnostics(
+                &diag,
+                &bank,
+                &fabric,
                 cycle,
                 format!("post-run invariant violated: {msg}"),
-                &fsms,
-                &states,
-                &done,
-                &pulses,
             )));
         }
     }
@@ -643,5 +418,23 @@ mod tests {
             .unwrap();
             r.verify(&bound).unwrap_or_else(|e| panic!("case {i}: {e}"));
         }
+    }
+    #[test]
+    fn short_table_is_invalid_config() {
+        // Regression: a user-built table shorter than the DFG used to
+        // panic on `t[op.0]` deep in the cycle loop; it must surface as
+        // InvalidConfig at entry instead.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = simulate_distributed(
+            &bound,
+            &cu,
+            &CompletionModel::Table(vec![true]),
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
     }
 }

@@ -1,6 +1,7 @@
 //! Latency statistics: best / average / worst summaries in cycles and
 //! nanoseconds, in the format of the paper's Table 2.
 
+use crate::cent::{simulate_cent, CentControlUnit};
 use crate::centsync::simulate_cent_sync;
 use crate::distributed::simulate_distributed;
 use crate::error::SimError;
@@ -44,8 +45,42 @@ impl LatencySummary {
 pub enum ControlStyle {
     /// The distributed control unit (paper's proposal, `LT_DIST`).
     Distributed,
+    /// The centralized product controller tracking each TAU independently
+    /// (`LT_CENT`; same latency as `LT_DIST` by bisimulation).
+    Cent,
     /// The synchronized centralized TAUBM controller (`LT_TAU`).
     CentSync,
+}
+
+/// The generated machinery one [`ControlStyle`] needs — built once per
+/// summary, reused across trials.
+enum Engine {
+    Dist(DistributedControlUnit),
+    Cent(CentControlUnit),
+    Sync,
+}
+
+impl Engine {
+    fn generate(bound: &BoundDfg, style: ControlStyle) -> Self {
+        match style {
+            ControlStyle::Distributed => Engine::Dist(DistributedControlUnit::generate(bound)),
+            ControlStyle::Cent => Engine::Cent(CentControlUnit::without_product(bound)),
+            ControlStyle::CentSync => Engine::Sync,
+        }
+    }
+
+    fn run_once<R: Rng>(
+        &self,
+        bound: &BoundDfg,
+        model: &CompletionModel,
+        rng: &mut R,
+    ) -> Result<usize, SimError> {
+        Ok(match self {
+            Engine::Dist(cu) => simulate_distributed(bound, cu, model, None, rng)?.cycles,
+            Engine::Cent(cu) => simulate_cent(bound, cu, model, None, rng)?.cycles,
+            Engine::Sync => simulate_cent_sync(bound, model, None, rng)?.cycles,
+        })
+    }
 }
 
 /// Measures a [`LatencySummary`] for a bound DFG under one control style.
@@ -67,22 +102,8 @@ pub fn latency_summary(
             "latency summary needs trials >= 1".to_string(),
         ));
     }
-    let cu = match style {
-        ControlStyle::Distributed => Some(DistributedControlUnit::generate(bound)),
-        ControlStyle::CentSync => None,
-    };
-    fn run_once<R: Rng>(
-        bound: &BoundDfg,
-        cu: &Option<DistributedControlUnit>,
-        model: &CompletionModel,
-        rng: &mut R,
-    ) -> Result<usize, SimError> {
-        Ok(match cu {
-            Some(cu) => simulate_distributed(bound, cu, model, None, rng)?.cycles,
-            None => simulate_cent_sync(bound, model, None, rng)?.cycles,
-        })
-    }
-    let run = |model: &CompletionModel, rng: &mut _| run_once(bound, &cu, model, rng);
+    let engine = Engine::generate(bound, style);
+    let run = |model: &CompletionModel, rng: &mut _| engine.run_once(bound, model, rng);
     let best_cycles = run(&CompletionModel::AlwaysShort, rng)?;
     let worst_cycles = run(&CompletionModel::AlwaysLong, rng)?;
     let mut average_cycles = Vec::with_capacity(p_values.len());
@@ -161,6 +182,75 @@ pub fn latency_pair(
     ))
 }
 
+/// Measures all three controller styles — `LT_TAU` (CENT-SYNC), `LT_DIST`,
+/// and `LT_CENT` — with **coupled** completion draws: one table per trial,
+/// fed to every style.
+///
+/// The deterministic models never consume RNG, so the sync and dist legs
+/// reproduce [`latency_pair`] bit for bit; the CENT leg is expected to
+/// match DIST exactly (the product controller is bisimilar to the
+/// distributed one) and that equality is *measured* per trial, not
+/// assumed.
+///
+/// Returns `(sync, dist, cent)`, or [`SimError::InvalidConfig`] when
+/// `trials == 0`.
+pub fn latency_triple(
+    bound: &BoundDfg,
+    p_values: &[f64],
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Result<(LatencySummary, LatencySummary, LatencySummary), SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency triple needs trials >= 1".to_string(),
+        ));
+    }
+    let cu = DistributedControlUnit::generate(bound);
+    let cent_cu = CentControlUnit::without_product(bound);
+    let num_ops = bound.dfg().num_ops();
+    let measure =
+        |model: &CompletionModel, rng: &mut _| -> Result<(usize, usize, usize), SimError> {
+            Ok((
+                simulate_cent_sync(bound, model, None, rng)?.cycles,
+                simulate_distributed(bound, &cu, model, None, rng)?.cycles,
+                simulate_cent(bound, &cent_cu, model, None, rng)?.cycles,
+            ))
+        };
+    let (sync_best, dist_best, cent_best) = measure(&CompletionModel::AlwaysShort, rng)?;
+    let (sync_worst, dist_worst, cent_worst) = measure(&CompletionModel::AlwaysLong, rng)?;
+    let mut sync_avg = Vec::with_capacity(p_values.len());
+    let mut dist_avg = Vec::with_capacity(p_values.len());
+    let mut cent_avg = Vec::with_capacity(p_values.len());
+    for &p in p_values {
+        let mut s_total = 0usize;
+        let mut d_total = 0usize;
+        let mut c_total = 0usize;
+        for _ in 0..trials {
+            let table = CompletionModel::draw_table(num_ops, p, rng);
+            let (s, d, c) = measure(&table, rng)?;
+            debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
+            debug_assert_eq!(c, d, "CENT diverged from DIST on a coupled trial");
+            s_total += s;
+            d_total += d;
+            c_total += c;
+        }
+        sync_avg.push(s_total as f64 / trials as f64);
+        dist_avg.push(d_total as f64 / trials as f64);
+        cent_avg.push(c_total as f64 / trials as f64);
+    }
+    let summary = |best, avg: Vec<f64>, worst| LatencySummary {
+        best_cycles: best,
+        average_cycles: avg,
+        worst_cycles: worst,
+        p_values: p_values.to_vec(),
+    };
+    Ok((
+        summary(sync_best, sync_avg, sync_worst),
+        summary(dist_best, dist_avg, dist_worst),
+        summary(cent_best, cent_avg, cent_worst),
+    ))
+}
+
 /// Percentage improvement of `dist` over `sync` per swept `P`
 /// (the paper's "Performance Enhancement" column).
 pub fn enhancement_percent(sync: &LatencySummary, dist: &LatencySummary) -> Vec<f64> {
@@ -225,6 +315,22 @@ mod tests {
             assert!(d <= s, "coupled dist {d} > sync {s}");
         }
         assert!(dist.worst_cycles <= sync.worst_cycles);
+    }
+
+    #[test]
+    fn triple_reproduces_pair_and_cent_tracks_dist() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let ps = [0.9, 0.5];
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let (pair_sync, pair_dist) = latency_pair(&bound, &ps, 200, &mut rng1).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let (sync, dist, cent) = latency_triple(&bound, &ps, 200, &mut rng2).unwrap();
+        // The extra CENT leg consumes no RNG, so the pair is reproduced
+        // bit for bit under the same seed.
+        assert_eq!(sync, pair_sync);
+        assert_eq!(dist, pair_dist);
+        // CENT is cycle-identical to DIST (bisimulation), trial for trial.
+        assert_eq!(cent, dist);
     }
 
     #[test]

@@ -62,27 +62,31 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 mod batch;
+mod cent;
 mod centsync;
 mod distributed;
 mod error;
 mod fault;
 mod invariant;
+pub mod kernel;
 mod latency;
 mod model;
 mod pipeline;
 mod result;
 
 pub use batch::{
-    derive_seed, latency_pair_batch, latency_summary_batch, trial_rng, Accumulator, BatchRunner,
-    CycleStats, FirstError, SimJob, DEFAULT_CHUNK_SIZE,
+    derive_seed, latency_pair_batch, latency_summary_batch, latency_triple_batch, trial_rng,
+    Accumulator, BatchRunner, CycleStats, FirstError, SimJob, DEFAULT_CHUNK_SIZE,
 };
+pub use cent::{simulate_cent, simulate_cent_with, CentControlUnit, CENT_FSM_NAME};
 pub use centsync::{simulate_cent_sync, simulate_cent_sync_with, simulate_cent_sync_with_schedule};
 pub use distributed::{simulate_distributed, simulate_distributed_with};
 pub use error::{ControllerSnapshot, Diagnostics, SimError};
 pub use fault::{Fault, FaultKind, FaultPlan, SimConfig, Watchdog};
 pub use invariant::{check_lockstep, check_token_conservation};
 pub use latency::{
-    enhancement_percent, latency_pair, latency_summary, ControlStyle, LatencySummary,
+    enhancement_percent, latency_pair, latency_summary, latency_triple, ControlStyle,
+    LatencySummary,
 };
 pub use model::{CompletionModel, TauLibrary};
 pub use pipeline::{simulate_pipelined, simulate_pipelined_with, PipelinedResult};

@@ -75,6 +75,25 @@ impl CompletionModel {
         CompletionModel::Table((0..num_ops).map(|_| rng.random_bool(p)).collect())
     }
 
+    /// Validates the model against a DFG of `num_ops` operations.
+    ///
+    /// A [`CompletionModel::Table`] shorter than the op-id universe would
+    /// panic on the first out-of-range draw (sparse ids, or a user-built
+    /// table), breaking the crate's panic-free contract; the simulators
+    /// surface this as [`crate::SimError::InvalidConfig`] at entry
+    /// instead.
+    pub fn validate(&self, num_ops: usize) -> Result<(), String> {
+        if let CompletionModel::Table(t) = self {
+            if t.len() < num_ops {
+                return Err(format!(
+                    "completion table has {} entries but the DFG has {num_ops} operations",
+                    t.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Draws/computes the completion signal for one telescopic operation.
     ///
     /// `op` identifies the operation (used by the table model); `a`/`b` are

@@ -12,13 +12,13 @@
 //! Completion signals are iteration-tagged: consumer instance `k` of an
 //! operation waits for instance `k` of each cross-unit producer.
 
-use crate::distributed::{controller_snapshots, parse_phase, Phase};
 use crate::error::{Diagnostics, SimError};
 use crate::fault::SimConfig;
+use crate::kernel::{self, CompletionFabric, FsmBank, FsmStyle, OpSet, PulseHooks};
 use crate::model::CompletionModel;
 use rand::Rng;
-use tauhls_dfg::OpId;
-use tauhls_fsm::{DistributedControlUnit, Fsm, StateId};
+use tauhls_dfg::{Dfg, OpId};
+use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
 
 /// Result of a pipelined multi-iteration run.
@@ -51,60 +51,120 @@ impl PipelinedResult {
     }
 }
 
-fn diagnostics(
-    cycle: usize,
-    reason: String,
-    fsms: &[(usize, &Fsm)],
-    states: &[StateId],
-    completions: &[usize],
+/// The pipelined engine's [`PulseHooks`]: iteration-tagged completion
+/// semantics (instance counts instead of done latches), WAR-hazard
+/// bookkeeping on every latch, and producer-instance protocol checks.
+struct PipelinedHooks<'a> {
+    bound: &'a BoundDfg,
     iterations: usize,
-    pulses: &[OpId],
-) -> Box<Diagnostics> {
-    Box::new(Diagnostics {
-        cycle,
-        reason,
-        controllers: controller_snapshots(fsms, states),
-        done: completions.iter().map(|&c| c >= iterations).collect(),
-        outstanding: completions
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c < iterations)
-            .map(|(i, _)| i)
-            .collect(),
-        pulses: pulses.iter().map(|o| o.0).collect(),
-    })
+    /// completions[op] = number of finished instances.
+    completions: Vec<usize>,
+    /// starts[op] = number of instances that have begun execution.
+    starts: Vec<usize>,
+    iteration_end_cycle: Vec<usize>,
+    war_hazards: Vec<(OpId, usize)>,
 }
 
-/// Records one completion-pulse latch: WAR hazard bookkeeping, instance
-/// count, and iteration-end accounting.
-#[allow(clippy::too_many_arguments)]
-fn latch_instance(
-    op: OpId,
-    cycle: usize,
-    iterations: usize,
-    bound: &BoundDfg,
-    completions: &mut [usize],
-    starts: &[usize],
-    war_hazards: &mut Vec<(OpId, usize)>,
-    iteration_end_cycle: &mut [usize],
-) {
-    // WAR hazard check: latching instance k+1 of `op` while some
-    // consumer has not yet *started* instance k+1 of itself with
-    // the old value — i.e. a consumer's start count is behind the
-    // producer's completion count.
-    let k = completions[op.0]; // finished instances before this one
-    if k >= 1 && k < iterations {
-        for c in bound.cross_unit_succs(op) {
-            if starts[c.0] < k {
-                war_hazards.push((op, k));
-                break;
+impl PulseHooks for PipelinedHooks<'_> {
+    fn exec(
+        &mut self,
+        _fabric: &CompletionFabric,
+        dfg: &Dfg,
+        op: OpId,
+        stage: u32,
+        _cycle: usize,
+        faulty: bool,
+    ) -> Result<(), String> {
+        if stage == 0 && self.starts[op.0] == self.completions[op.0] {
+            self.starts[op.0] += 1;
+            // Iteration-tagged protocol invariant: instance k of `op`
+            // needs instance k of every producer. Only enforced under
+            // fault injection — the fault-free engine is byte-identical
+            // to its historical self.
+            if faulty {
+                let k = self.starts[op.0];
+                if let Some(p) = dfg.preds(op).iter().find(|p| self.completions[p.0] < k) {
+                    return Err(format!(
+                        "{op} started instance {k} before producer {p} finished it"
+                    ));
+                }
             }
         }
+        Ok(())
     }
-    completions[op.0] += 1;
-    let iter_done = completions[op.0];
-    if iter_done <= iterations && completions.iter().all(|&c| c >= iter_done) {
-        iteration_end_cycle[iter_done - 1] = cycle;
+
+    fn operands(&self, _op: OpId) -> (i64, i64) {
+        // Bernoulli-style models only; operand-driven completion would
+        // need per-iteration input streams.
+        (0, 0)
+    }
+
+    fn busy(&mut self, _fabric: &CompletionFabric, _op: OpId, _unit: usize) {}
+
+    fn cco(&self, _fabric: &CompletionFabric, pulses: &OpSet, p: usize, cur: OpId) -> bool {
+        // Iteration-tagged semantics: the consumer currently working
+        // toward instance k of `cur` sees C_CO(p) high iff instance k of
+        // p has completed, where k = completions[cur] + 1.
+        let needed = self.completions[cur.0] + 1;
+        self.completions[p] + usize::from(pulses.contains(OpId(p))) >= needed
+    }
+
+    fn skip_latch(&self, _fabric: &CompletionFabric, _op: OpId) -> bool {
+        false
+    }
+
+    /// Records one completion-pulse latch: WAR hazard bookkeeping,
+    /// instance count, and iteration-end accounting.
+    fn latch(&mut self, _fabric: &mut CompletionFabric, op: OpId, at: usize) {
+        // WAR hazard check: latching instance k+1 of `op` while some
+        // consumer has not yet *started* instance k+1 of itself with
+        // the old value — i.e. a consumer's start count is behind the
+        // producer's completion count.
+        let k = self.completions[op.0]; // finished instances before this one
+        if k >= 1 && k < self.iterations {
+            for c in self.bound.cross_unit_succs(op) {
+                if self.starts[c.0] < k {
+                    self.war_hazards.push((op, k));
+                    break;
+                }
+            }
+        }
+        self.completions[op.0] += 1;
+        let iter_done = self.completions[op.0];
+        if iter_done <= self.iterations && self.completions.iter().all(|&c| c >= iter_done) {
+            self.iteration_end_cycle[iter_done - 1] = at;
+        }
+    }
+
+    fn running(&self, _fabric: &CompletionFabric) -> bool {
+        self.completions.iter().any(|&c| c < self.iterations)
+    }
+
+    fn diagnostics(
+        &self,
+        bank: &FsmBank,
+        fabric: &CompletionFabric,
+        cycle: usize,
+        reason: String,
+    ) -> Box<Diagnostics> {
+        Box::new(Diagnostics {
+            cycle,
+            reason,
+            controllers: bank.snapshots(),
+            done: self
+                .completions
+                .iter()
+                .map(|&c| c >= self.iterations)
+                .collect(),
+            outstanding: self
+                .completions
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c < self.iterations)
+                .map(|(i, _)| i)
+                .collect(),
+            pulses: fabric.pulses().iter().map(|o| o.0).collect(),
+        })
     }
 }
 
@@ -140,269 +200,42 @@ pub fn simulate_pipelined_with(
             "pipelined simulation needs iterations >= 1".to_string(),
         ));
     }
-    let faults = &config.faults;
-    let faulty = !faults.is_empty();
     let dfg = bound.dfg();
+    model
+        .validate(dfg.num_ops())
+        .map_err(SimError::InvalidConfig)?;
     let n = dfg.num_ops();
-    // completions[op] = number of finished instances.
-    let mut completions = vec![0usize; n];
-    // starts[op] = number of instances that have begun execution.
-    let mut starts = vec![0usize; n];
-    let mut iteration_end_cycle = vec![0usize; iterations];
-    let mut war_hazards = Vec::new();
-    // DelayLatch-deferred instance latches: (latch cycle, op).
-    let mut deferred: Vec<(usize, OpId)> = Vec::new();
+    let mut fabric = CompletionFabric::new(n);
+    let bank = FsmBank::new(cu, bound.allocation().units().len());
+    let hooks = PipelinedHooks {
+        bound,
+        iterations,
+        completions: vec![0usize; n],
+        starts: vec![0usize; n],
+        iteration_end_cycle: vec![0usize; iterations],
+        war_hazards: Vec::new(),
+    };
+    let mut style = FsmStyle {
+        bank,
+        hooks,
+        dfg,
+        model,
+    };
+    let cycle = kernel::run(
+        &mut style,
+        &mut fabric,
+        rng,
+        config,
+        config.budget(n, iterations),
+    )?;
 
-    let fsms: Vec<(usize, &Fsm)> = cu.controllers().iter().map(|(u, f)| (u.0, f)).collect();
-    let mut states: Vec<StateId> = fsms.iter().map(|(_, f)| f.initial()).collect();
-
-    let max_cycles = config.budget(n, iterations);
-    let mut cycle = 0usize;
-    let mut pulses: Vec<OpId> = Vec::new();
-
-    while completions.iter().any(|&c| c < iterations) {
-        cycle += 1;
-        if cycle > max_cycles {
-            return Err(SimError::Deadlock(diagnostics(
-                cycle,
-                format!("no progress within the {max_cycles}-cycle watchdog budget"),
-                &fsms,
-                &states,
-                &completions,
-                iterations,
-                &pulses,
-            )));
-        }
-
-        deferred.retain(|&(at, op)| {
-            if at <= cycle {
-                latch_instance(
-                    op,
-                    at,
-                    iterations,
-                    bound,
-                    &mut completions,
-                    &starts,
-                    &mut war_hazards,
-                    &mut iteration_end_cycle,
-                );
-                false
-            } else {
-                true
-            }
-        });
-
-        let num_units = bound.allocation().units().len();
-        let mut unit_completion = vec![false; num_units];
-        let mut diverged: Vec<Option<bool>> = vec![None; num_units];
-        for ((u, f), &st) in fsms.iter().zip(&states) {
-            let name = match f.state_name_opt(st) {
-                Some(name) => name,
-                None => {
-                    return Err(SimError::Desync(diagnostics(
-                        cycle,
-                        format!("controller {} latched invalid state id {}", f.name(), st.0),
-                        &fsms,
-                        &states,
-                        &completions,
-                        iterations,
-                        &pulses,
-                    )))
-                }
-            };
-            let phase = match parse_phase(name) {
-                Some(p) => p,
-                None => {
-                    return Err(SimError::UnknownState {
-                        fsm: f.name().to_string(),
-                        state: name.to_string(),
-                    })
-                }
-            };
-            if let Phase::Exec(op, stage) = phase {
-                if stage == 0 && starts[op.0] == completions[op.0] {
-                    starts[op.0] += 1;
-                    // Iteration-tagged protocol invariant: instance k of
-                    // `op` needs instance k of every producer. Only
-                    // enforced under fault injection — the fault-free
-                    // engine is byte-identical to its historical self.
-                    if faulty {
-                        let k = starts[op.0];
-                        if let Some(p) = dfg.preds(op).iter().find(|p| completions[p.0] < k) {
-                            return Err(SimError::Desync(diagnostics(
-                                cycle,
-                                format!(
-                                    "{op} started instance {k} before producer {p} finished it"
-                                ),
-                                &fsms,
-                                &states,
-                                &completions,
-                                iterations,
-                                &pulses,
-                            )));
-                        }
-                    }
-                }
-                let node = dfg.op(op);
-                let truth = model.completion(op, node.kind, 0, 0, rng);
-                let eff = faults.stuck_completion(op, cycle).unwrap_or(truth);
-                unit_completion[*u] = eff;
-                if eff != truth {
-                    diverged[*u] = Some(truth);
-                }
-            }
-        }
-
-        // Fixpoint over this cycle's completion pulses. Iteration-tagged
-        // semantics: consumer instance k of op v sees C_PO(p) high iff
-        // instance k of p has completed, where k = completions[v] + 1.
-        let mut injected: Vec<OpId> = Vec::new();
-        faults.spurious_at(cycle, &mut injected);
-        injected.sort_unstable();
-        injected.dedup();
-        pulses = injected.clone();
-        let mut steps: Vec<(StateId, Vec<usize>)> = Vec::new();
-        for _round in 0..fsms.len() + 2 {
-            steps.clear();
-            let mut new_pulses: Vec<OpId> = injected.clone();
-            for ((u, f), &st) in fsms.iter().zip(&states) {
-                // The instance index this controller is working toward for
-                // the op named in its current state.
-                let wait_instance = |consumer: OpId| completions[consumer.0] + 1;
-                let current_op = match parse_phase(f.state_name(st)) {
-                    Some(Phase::Exec(op, _)) | Some(Phase::Ready(op)) => op,
-                    None => unreachable!("phase validated above"),
-                };
-                let step = f.try_step(st, |v| {
-                    let name = &f.inputs()[v];
-                    if let Some(rest) = name.strip_prefix("C_CO(") {
-                        let p: usize = rest
-                            .strip_suffix(')')
-                            .and_then(|s| s.parse().ok())
-                            .expect("completion signal name");
-                        match faults.stuck_completion(OpId(p), cycle) {
-                            Some(forced) => forced,
-                            None => {
-                                let needed = wait_instance(current_op);
-                                completions[p] + usize::from(pulses.contains(&OpId(p))) >= needed
-                            }
-                        }
-                    } else {
-                        unit_completion[*u]
-                    }
-                });
-                let (next, outs) = match step {
-                    Ok(r) => r,
-                    Err(e) => {
-                        return Err(SimError::Desync(diagnostics(
-                            cycle,
-                            format!("controller {} lost lockstep: {e}", f.name()),
-                            &fsms,
-                            &states,
-                            &completions,
-                            iterations,
-                            &pulses,
-                        )))
-                    }
-                };
-                for &o in &outs {
-                    if let Some(rest) = f.outputs()[o].strip_prefix("RE") {
-                        let op = OpId(rest.parse::<usize>().expect("RE name"));
-                        if !faults.drops_pulse(op, cycle) {
-                            new_pulses.push(op);
-                        }
-                    }
-                }
-                steps.push((next, outs));
-            }
-            new_pulses.sort_unstable();
-            new_pulses.dedup();
-            if new_pulses == pulses {
-                break;
-            }
-            pulses = new_pulses;
-        }
-
-        // Premature-latch check under stuck-at overrides (see the
-        // single-iteration engine for the rationale).
-        if faulty {
-            for (i, ((u, f), &st)) in fsms.iter().zip(&states).enumerate() {
-                let Some(truth) = diverged[*u] else { continue };
-                let wait_instance = |consumer: OpId| completions[consumer.0] + 1;
-                let current_op = match parse_phase(f.state_name(st)) {
-                    Some(Phase::Exec(op, _)) | Some(Phase::Ready(op)) => op,
-                    None => unreachable!("phase validated above"),
-                };
-                let truth_step = f.try_step(st, |v| {
-                    let name = &f.inputs()[v];
-                    if let Some(rest) = name.strip_prefix("C_CO(") {
-                        let p: usize = rest
-                            .strip_suffix(')')
-                            .and_then(|s| s.parse().ok())
-                            .expect("completion signal name");
-                        let needed = wait_instance(current_op);
-                        completions[p] + usize::from(pulses.contains(&OpId(p))) >= needed
-                    } else {
-                        truth
-                    }
-                });
-                let truth_outs = match truth_step {
-                    Ok((_, outs)) => outs,
-                    Err(_) => continue,
-                };
-                for &o in &steps[i].1 {
-                    if !truth_outs.contains(&o) && f.outputs()[o].starts_with("RE") {
-                        return Err(SimError::Desync(diagnostics(
-                            cycle,
-                            format!(
-                                "unit {} latched {} before its true completion (stuck-at-short)",
-                                u,
-                                f.outputs()[o]
-                            ),
-                            &fsms,
-                            &states,
-                            &completions,
-                            iterations,
-                            &pulses,
-                        )));
-                    }
-                }
-            }
-        }
-
-        for (slot, (next, _)) in states.iter_mut().zip(&steps) {
-            *slot = *next;
-        }
-        for op in &pulses {
-            if deferred.iter().any(|&(_, d)| d == *op) {
-                continue;
-            }
-            let delay = faults.latch_delay(*op, cycle);
-            if delay == 0 {
-                latch_instance(
-                    *op,
-                    cycle,
-                    iterations,
-                    bound,
-                    &mut completions,
-                    &starts,
-                    &mut war_hazards,
-                    &mut iteration_end_cycle,
-                );
-            } else {
-                deferred.push((cycle + delay, *op));
-            }
-        }
-        if faulty {
-            for (i, s) in states.iter_mut().enumerate() {
-                if let Some(bit) = faults.flip_at(i, cycle) {
-                    *s = StateId(s.0 ^ (1usize << bit));
-                }
-            }
-        }
-    }
+    let PipelinedHooks {
+        mut iteration_end_cycle,
+        war_hazards,
+        ..
+    } = style.hooks;
     // Backfill iteration end cycles (an iteration "ends" when its last op
-    // completes; the loop above records it when the minimum count rises).
+    // completes; the kernel loop records it when the minimum count rises).
     for i in 1..iterations {
         if iteration_end_cycle[i] == 0 {
             iteration_end_cycle[i] = iteration_end_cycle[i - 1];

@@ -10,6 +10,8 @@ cargo run -p tauhls-bench --release --bin table1 > results/table1.txt
 mv -f table1.json results/
 cargo run -p tauhls-bench --release --bin table2 -- 6000 2003 > results/table2.txt
 mv -f table2.json results/
+cargo run -p tauhls-bench --release --bin kernel_golden
+mv -f kernel_golden.json results/
 for f in fig1_tau fig2_taubm fig3_scheduling fig4_explosion fig6_dfsm fig7_distributed fig_sweeps fig_pipeline; do
   cargo run -p tauhls-bench --release --bin $f > results/$f.txt
 done

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! tauhls synth      <file.dfg> [options]   controllers + area table
-//! tauhls simulate   <file.dfg> [options]   latency: distributed vs synchronized
+//! tauhls simulate   <file.dfg> [options]   latency: distributed vs centralized styles
+//! tauhls table2     [options]              paper Table 2 (LT_TAU/LT_DIST/LT_CENT)
 //! tauhls resilience <file.dfg> [options]   fault-injection sweep (JSON report)
 //! tauhls report     <file.dfg> [options]   whole-system area breakdown
 //! tauhls verilog    <file.dfg> [options]   emit the control unit as Verilog
@@ -26,7 +27,7 @@ use tauhls::dfg::parse_dfg;
 use tauhls::fsm::{control_unit_to_verilog, synthesize, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
-use tauhls::sim::{latency_pair_batch, BatchRunner};
+use tauhls::sim::{latency_triple_batch, BatchRunner};
 use tauhls::Allocation;
 use tauhls_json::ToJson;
 
@@ -63,7 +64,7 @@ fn usage() -> ExitCode {
         "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file.dfg> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
-         [--threads N]"
+         [--threads N]\n       tauhls table2 [--trials N] [--seed N] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -161,8 +162,9 @@ fn cmd_simulate(bound: &BoundDfg, o: &Options) {
         Some(n) => BatchRunner::new(n),
         None => BatchRunner::available(),
     };
-    let (sync, dist) = latency_pair_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner)
-        .expect("fault-free simulation");
+    let (sync, dist, cent) =
+        latency_triple_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner)
+            .expect("fault-free simulation");
     let clk = 15.0;
     println!(
         "clock 15 ns, {} coupled trials at P = {:?}",
@@ -170,6 +172,7 @@ fn cmd_simulate(bound: &BoundDfg, o: &Options) {
     );
     println!("LT_TAU  (synchronized) : {}", sync.to_ns_string(clk));
     println!("LT_DIST (distributed)  : {}", dist.to_ns_string(clk));
+    println!("LT_CENT (centralized)  : {}", cent.to_ns_string(clk));
     for (p, (s, d)) in o
         .p_values
         .iter()
@@ -201,7 +204,29 @@ fn cmd_resilience(bound: &BoundDfg, o: &Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    // `table2` runs the built-in paper suite and takes no DFG file.
+    if cmd == "table2" {
+        let options = match parse_options(&args[1..]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        let runner = match options.threads {
+            Some(n) => BatchRunner::new(n),
+            None => BatchRunner::available(),
+        };
+        print!(
+            "{}",
+            tauhls::core::experiments::table2(options.trials, options.seed, &runner)
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = args.get(1) else {
         return usage();
     };
     let options = match parse_options(&args[2..]) {

@@ -80,6 +80,37 @@ fn bad_option_values_print_usage() {
 }
 
 #[test]
+fn simulate_reports_all_three_styles() {
+    let out = tauhls(&[
+        "simulate",
+        example_dfg(),
+        "--trials",
+        "40",
+        "--threads",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for key in ["LT_TAU", "LT_DIST", "LT_CENT"] {
+        assert!(text.contains(key), "simulate output missing {key}: {text}");
+    }
+}
+
+#[test]
+fn table2_runs_builtin_suite_with_cent_column() {
+    let out = tauhls(&["table2", "--trials", "20", "--seed", "3", "--threads", "2"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for key in ["LT_TAU", "LT_DIST", "LT_CENT", "fir5", "ar_lattice4"] {
+        assert!(text.contains(key), "table2 output missing {key}: {text}");
+    }
+    // Bad options still fail gracefully without a DFG argument.
+    let bad = tauhls(&["table2", "--trials", "many"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert_graceful_failure(&bad, "error:");
+}
+
+#[test]
 fn resilience_misuse_fails_cleanly() {
     let out = tauhls(&["resilience", example_dfg(), "--trials", "0"]);
     assert_eq!(out.status.code(), Some(1));
