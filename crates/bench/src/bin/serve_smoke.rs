@@ -1,0 +1,219 @@
+//! Smoke benchmark for the simulation service: the first perf-trajectory
+//! datapoint for `tauhls serve`.
+//!
+//! With a path argument it spawns that `tauhls` binary as a real server
+//! process, checks the `tauhls call` client round-trip, then measures
+//! cold (cache-miss) and hot (cache-hit) request throughput with the
+//! std-only HTTP client, scrapes `/metrics`, and writes the numbers to
+//! `BENCH_serve.json`. Without an argument it runs the same measurement
+//! against an in-process [`Server`] (handy for local iteration).
+//!
+//! CI runs this as the `serve-smoke` job; like `kernel_smoke` it is a
+//! regression canary plus a trend artifact, not a calibrated benchmark.
+//!
+//! Usage: `serve_smoke [path/to/tauhls]`
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tauhls_json::Json;
+use tauhls_serve::{client, ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+/// Distinct specs for the cold pass — every request simulates.
+const COLD_JOBS: u64 = 16;
+/// Replays of one spec for the sequential hot pass — every request hits.
+const HIT_JOBS: u64 = 400;
+/// Client threads hammering the cache concurrently.
+const CONCURRENT_CLIENTS: u64 = 4;
+const HITS_PER_CLIENT: u64 = 100;
+
+fn spec(seed: u64) -> String {
+    format!(r#"{{"dfg":"fir3","trials":200,"p":[0.5],"seed":{seed}}}"#)
+}
+
+enum Instance {
+    Spawned(Child),
+    InProcess(Server),
+}
+
+fn start(binary: Option<&str>) -> (Instance, String) {
+    match binary {
+        Some(bin) => {
+            let mut child = Command::new(bin)
+                .args(["serve", "--addr", "127.0.0.1:0", "--workers", "4"])
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn tauhls serve");
+            let mut banner = String::new();
+            std::io::BufReader::new(child.stdout.take().expect("stdout piped"))
+                .read_line(&mut banner)
+                .expect("read banner");
+            let addr = banner
+                .trim()
+                .strip_prefix("listening on ")
+                .expect("banner format")
+                .to_string();
+            (Instance::Spawned(child), addr)
+        }
+        None => {
+            let server = Server::start(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServeConfig::default()
+            })
+            .expect("bind ephemeral port");
+            let addr = server.local_addr().to_string();
+            (Instance::InProcess(server), addr)
+        }
+    }
+}
+
+fn stop(instance: Instance) {
+    match instance {
+        Instance::Spawned(mut child) => {
+            let killed = Command::new("kill")
+                .args(["-TERM", &child.id().to_string()])
+                .status()
+                .expect("send SIGTERM");
+            assert!(killed.success(), "kill -TERM failed");
+            let status = child.wait().expect("wait for server");
+            assert!(status.success(), "server exited non-zero: {status:?}");
+        }
+        Instance::InProcess(server) => server.shutdown(),
+    }
+}
+
+/// Exercises the scripting client once per endpoint kind — the smoke
+/// half of the job: `tauhls call` must round-trip against a live server.
+fn drive_with_cli(bin: &str, addr: &str) {
+    let dir = std::env::temp_dir().join("tauhls-serve-smoke");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, spec(1)).expect("write spec file");
+    let spec_arg = spec_path.to_str().expect("utf-8 temp path");
+    for args in [
+        vec!["call", "healthz", "--addr", addr],
+        vec!["call", "simulate", spec_arg, "--addr", addr],
+        vec!["call", "metrics", "--addr", addr],
+    ] {
+        let out = Command::new(bin)
+            .args(&args)
+            .output()
+            .expect("run tauhls call");
+        assert!(
+            out.status.success(),
+            "tauhls {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    println!("tauhls call healthz/simulate/metrics: ok");
+}
+
+fn simulate(addr: &str, body: &str, want_cache: &str) {
+    let r = client::request(addr, "POST", "/v1/simulate", Some(body), TIMEOUT)
+        .expect("simulate response");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.header("x-cache"), Some(want_cache), "for spec {body}");
+}
+
+/// Reads one un-labelled (or fully-labelled) sample value; `prefix` must
+/// include everything up to the value, e.g. `"tauhls_serve_trials_total "`.
+fn metric(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(prefix)?.trim().parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("metric {prefix:?} missing from /metrics"))
+}
+
+fn main() {
+    let binary = std::env::args().nth(1);
+    let (instance, addr) = start(binary.as_deref());
+    println!("server at {addr}");
+    if let Some(bin) = binary.as_deref() {
+        drive_with_cli(bin, &addr);
+    }
+
+    // Cold pass: distinct seeds, so every request runs the simulation.
+    let cold_start = Instant::now();
+    for seed in 0..COLD_JOBS {
+        simulate(&addr, &spec(100 + seed), "miss");
+    }
+    let cold_elapsed = cold_start.elapsed();
+
+    // Hot pass: one warmed spec replayed sequentially — pure cache path.
+    simulate(
+        &addr,
+        &spec(1),
+        if binary.is_some() { "hit" } else { "miss" },
+    );
+    let hit_start = Instant::now();
+    for _ in 0..HIT_JOBS {
+        simulate(&addr, &spec(1), "hit");
+    }
+    let hit_elapsed = hit_start.elapsed();
+
+    // Concurrent hot pass: the sharded cache under parallel clients.
+    let concurrent_start = Instant::now();
+    let clients: Vec<_> = (0..CONCURRENT_CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                for _ in 0..HITS_PER_CLIENT {
+                    simulate(&addr, &spec(1), "hit");
+                }
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+    let concurrent_elapsed = concurrent_start.elapsed();
+
+    let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("scrape metrics");
+    assert_eq!(metrics.status, 200);
+    let hits = metric(&metrics.body, "tauhls_serve_cache_hits_total ");
+    let misses = metric(&metrics.body, "tauhls_serve_cache_misses_total ");
+    let trials = metric(&metrics.body, "tauhls_serve_trials_total ");
+    let simulate_count = metric(
+        &metrics.body,
+        "tauhls_serve_requests_total{endpoint=\"simulate\"} ",
+    );
+    stop(instance);
+
+    let cold_rps = COLD_JOBS as f64 / cold_elapsed.as_secs_f64();
+    let hit_rps = HIT_JOBS as f64 / hit_elapsed.as_secs_f64();
+    let concurrent_rps =
+        (CONCURRENT_CLIENTS * HITS_PER_CLIENT) as f64 / concurrent_elapsed.as_secs_f64();
+    println!("cold (simulating):  {cold_rps:>10.1} requests/sec");
+    println!("hot (cache hit):    {hit_rps:>10.1} requests/sec");
+    println!("hot ({CONCURRENT_CLIENTS} clients):    {concurrent_rps:>10.1} requests/sec");
+    println!("cache hits {hits} / misses {misses}, {trials} trials simulated");
+
+    let report = Json::object([
+        (
+            "mode",
+            Json::from(if binary.is_some() {
+                "subprocess"
+            } else {
+                "in_process"
+            }),
+        ),
+        ("cold_jobs", Json::from(COLD_JOBS)),
+        ("cold_requests_per_sec", Json::from(cold_rps)),
+        ("hit_jobs", Json::from(HIT_JOBS)),
+        ("hit_requests_per_sec", Json::from(hit_rps)),
+        ("concurrent_clients", Json::from(CONCURRENT_CLIENTS)),
+        (
+            "concurrent_hit_requests_per_sec",
+            Json::from(concurrent_rps),
+        ),
+        ("cache_hits", Json::from(hits)),
+        ("cache_misses", Json::from(misses)),
+        ("cache_hit_rate", Json::from(hits / (hits + misses))),
+        ("trials_total", Json::from(trials)),
+        ("simulate_requests_total", Json::from(simulate_count)),
+    ]);
+    std::fs::write("BENCH_serve.json", report.to_pretty()).expect("write BENCH_serve.json");
+    println!("BENCH_serve.json written");
+}

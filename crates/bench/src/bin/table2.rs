@@ -14,7 +14,7 @@ fn main() {
         Some(threads) => BatchRunner::new(threads),
         None => BatchRunner::available(),
     };
-    let t = tauhls_core::experiments::table2(trials, seed, &runner);
+    let t = tauhls_core::experiments::table2(trials, seed, &runner).expect("fault-free table2");
     println!("{t}");
     std::fs::write("table2.json", t.to_json().to_pretty()).ok();
     eprintln!("(machine-readable copy written to table2.json)");

@@ -222,7 +222,15 @@ pub fn paper_benchmarks() -> Vec<(Dfg, Allocation, &'static str)> {
 /// RNG-neutral, so the `LT_TAU`/`LT_DIST` cells match the historical
 /// two-column table byte for byte; `LT_CENT` rides along on the same
 /// tables and equals `LT_DIST` by bisimulation.
-pub fn table2(trials: usize, seed: u64, runner: &BatchRunner) -> Table2 {
+///
+/// Returns an error only on an abnormal simulation — in practice
+/// [`tauhls_sim::SimError::Cancelled`] when `runner` carries a tripped
+/// [`tauhls_sim::CancelToken`] (the paper suite itself is fault-free).
+pub fn table2(
+    trials: usize,
+    seed: u64,
+    runner: &BatchRunner,
+) -> Result<Table2, tauhls_sim::SimError> {
     let timing = Timing::default();
     let p_values = vec![0.9, 0.7, 0.5];
     let mut rows = Vec::new();
@@ -235,8 +243,7 @@ pub fn table2(trials: usize, seed: u64, runner: &BatchRunner) -> Table2 {
             .expect("benchmark synthesizes");
         let row_seed = derive_seed(seed, row_id as u64, 0);
         let (tau, dist, cent) =
-            latency_triple_batch(design.bound(), &p_values, trials as u64, row_seed, runner)
-                .expect("fault-free simulation");
+            latency_triple_batch(design.bound(), &p_values, trials as u64, row_seed, runner)?;
         let enhancement = enhancement_percent(&tau, &dist);
         rows.push(LatencyRow {
             name,
@@ -247,12 +254,12 @@ pub fn table2(trials: usize, seed: u64, runner: &BatchRunner) -> Table2 {
             enhancement,
         });
     }
-    Table2 {
+    Ok(Table2 {
         rows,
         clock_ns: timing.clock_ns(),
         p_values,
         trials,
-    }
+    })
 }
 
 impl fmt::Display for Table2 {
@@ -390,7 +397,7 @@ mod tests {
 
     #[test]
     fn table2_shape_matches_paper() {
-        let t = table2(300, 42, &BatchRunner::new(2));
+        let t = table2(300, 42, &BatchRunner::new(2)).expect("fault-free");
         assert_eq!(t.rows.len(), 6);
         for r in &t.rows {
             // Distributed dominates everywhere.

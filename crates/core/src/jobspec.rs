@@ -1,0 +1,704 @@
+//! Canonical job specifications shared by the CLI and the simulation
+//! service.
+//!
+//! A [`JobSpec`] is the validated, fully-materialized form of a request
+//! against one of the service endpoints (`simulate`, `table2`,
+//! `resilience`). Parsing is strict — unknown keys, duplicate keys, wrong
+//! types, and out-of-range values are all rejected with one-line messages
+//! — and every optional field is materialized to its default, so two
+//! requests that mean the same job normalize to the same
+//! [`JobSpec::canonical`] rendering regardless of field order, omitted
+//! defaults, or numeric spelling (`[1]` vs `[1.0]`). That rendering,
+//! serialized compactly, is the content-addressed [`JobSpec::cache_key`]:
+//! equal keys imply byte-identical responses, because the batch engine is
+//! bit-deterministic in `(spec, seed)`.
+
+use std::fmt;
+
+use tauhls_dfg::{benchmarks, parse_dfg, Dfg};
+use tauhls_json::{Json, ToJson};
+use tauhls_sched::{Allocation, BoundDfg};
+use tauhls_sim::{
+    enhancement_percent, latency_triple_batch, BatchRunner, LatencySummary, SimError,
+};
+
+use crate::experiments::table2;
+use crate::resilience::resilience_sweep;
+use crate::Timing;
+
+/// Upper bound on Monte-Carlo trials a single job may request.
+pub const MAX_TRIALS: u64 = 1_000_000;
+/// Upper bound on the number of `P` values in one sweep.
+pub const MAX_P_VALUES: usize = 16;
+/// Upper bound on the byte length of an inline DFG description.
+pub const MAX_DFG_TEXT: usize = 64 * 1024;
+/// Upper bound on any one unit count (`muls`/`adds`/`subs`).
+pub const MAX_UNITS: usize = 64;
+
+/// The benchmark DFGs a job may name, in registry order.
+pub const BENCHMARKS: [&str; 7] = [
+    "diffeq",
+    "fir3",
+    "fir5",
+    "iir2",
+    "iir3",
+    "ar_lattice4",
+    "ewf",
+];
+
+fn benchmark(name: &str) -> Option<Dfg> {
+    Some(match name {
+        "diffeq" => benchmarks::diffeq(),
+        "fir3" => benchmarks::fir3(),
+        "fir5" => benchmarks::fir5(),
+        "iir2" => benchmarks::iir2(),
+        "iir3" => benchmarks::iir3(),
+        "ar_lattice4" => benchmarks::ar_lattice4(),
+        "ewf" => benchmarks::ewf(),
+        _ => return None,
+    })
+}
+
+/// The service endpoints a [`JobSpec`] can target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// One DFG, three controller styles, a `P` sweep.
+    Simulate,
+    /// The paper's Table 2 over the built-in benchmark suite.
+    Table2,
+    /// Fault-injection sweep over every fault kind.
+    Resilience,
+}
+
+impl Endpoint {
+    /// The endpoint's path segment (`simulate` in `POST /v1/simulate`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Simulate => "simulate",
+            Endpoint::Table2 => "table2",
+            Endpoint::Resilience => "resilience",
+        }
+    }
+
+    /// Parses a path segment back into an endpoint.
+    pub fn parse(s: &str) -> Option<Endpoint> {
+        Some(match s {
+            "simulate" => Endpoint::Simulate,
+            "table2" => Endpoint::Table2,
+            "resilience" => Endpoint::Resilience,
+            _ => return None,
+        })
+    }
+}
+
+/// Where a job's dataflow graph comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfgSource {
+    /// One of the built-in [`BENCHMARKS`], by name.
+    Benchmark(String),
+    /// An inline `.dfg` description, validated at parse time.
+    Inline(String),
+}
+
+impl DfgSource {
+    fn build(&self) -> Result<Dfg, String> {
+        match self {
+            DfgSource::Benchmark(name) => {
+                benchmark(name).ok_or_else(|| format!("unknown benchmark '{name}'"))
+            }
+            DfgSource::Inline(text) => parse_dfg(text).map_err(|e| format!("dfg_text: {e}")),
+        }
+    }
+}
+
+/// Validated spec for `POST /v1/simulate`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimulateSpec {
+    /// The graph to bind and simulate.
+    pub dfg: DfgSource,
+    /// Telescopic multipliers allocated.
+    pub muls: usize,
+    /// Adders allocated.
+    pub adds: usize,
+    /// Subtractors allocated.
+    pub subs: usize,
+    /// `true` → chain binding, `false` → left-edge (the default).
+    pub chains: bool,
+    /// Short-completion probabilities to sweep.
+    pub p_values: Vec<f64>,
+    /// Monte-Carlo trials.
+    pub trials: u64,
+    /// Base RNG seed (part of the cache key: same spec, same bytes).
+    pub seed: u64,
+}
+
+/// Validated spec for `POST /v1/table2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table2Spec {
+    /// Monte-Carlo trials per benchmark row.
+    pub trials: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Validated spec for `POST /v1/resilience`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceSpec {
+    /// The graph to bind and inject faults into.
+    pub dfg: DfgSource,
+    /// Telescopic multipliers allocated.
+    pub muls: usize,
+    /// Adders allocated.
+    pub adds: usize,
+    /// Subtractors allocated.
+    pub subs: usize,
+    /// `true` → chain binding, `false` → left-edge (the default).
+    pub chains: bool,
+    /// Short-completion probability of the completion draws.
+    pub p: f64,
+    /// Trials per fault kind.
+    pub trials: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// One validated, canonicalized service job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobSpec {
+    /// `POST /v1/simulate`.
+    Simulate(SimulateSpec),
+    /// `POST /v1/table2`.
+    Table2(Table2Spec),
+    /// `POST /v1/resilience`.
+    Resilience(ResilienceSpec),
+}
+
+/// Why a job could not be completed, pre-sorted into HTTP status classes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobError {
+    /// The request itself was malformed (HTTP 400).
+    Invalid(String),
+    /// The job was cancelled before it finished, e.g. during a graceful
+    /// drain (HTTP 503); no partial result is produced or cached.
+    Cancelled,
+    /// The simulation failed abnormally (HTTP 500).
+    Failed(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Invalid(m) => write!(f, "invalid job spec: {m}"),
+            JobError::Cancelled => write!(f, "job cancelled before completion"),
+            JobError::Failed(m) => write!(f, "simulation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl JobError {
+    fn from_sim(err: SimError) -> JobError {
+        match err {
+            SimError::Cancelled => JobError::Cancelled,
+            SimError::InvalidConfig(m) => JobError::Invalid(m),
+            other => JobError::Failed(other.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict field extraction
+// ---------------------------------------------------------------------------
+
+/// Strict reader over a parsed JSON object: every key must be known, no
+/// key may repeat, and each extractor enforces its field's type and range.
+struct Fields<'a> {
+    pairs: &'a [(String, Json)],
+}
+
+impl<'a> Fields<'a> {
+    fn new(spec: &'a Json, allowed: &[&str]) -> Result<Fields<'a>, String> {
+        let pairs = spec
+            .as_object()
+            .ok_or_else(|| "job spec must be a JSON object".to_string())?;
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field '{key}' (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+            if pairs[..i].iter().any(|(k, _)| k == key) {
+                return Err(format!("duplicate field '{key}'"));
+            }
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a Json> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn u64_in(&self, key: &str, default: u64, min: u64, max: u64) -> Result<u64, String> {
+        let v = match self.get(key) {
+            None => default,
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| format!("'{key}' must be a non-negative integer"))?,
+        };
+        if v < min || v > max {
+            return Err(format!("'{key}' must be in {min}..={max}, got {v}"));
+        }
+        Ok(v)
+    }
+
+    fn usize_in(&self, key: &str, default: usize, max: usize) -> Result<usize, String> {
+        Ok(self.u64_in(key, default as u64, 0, max as u64)? as usize)
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        self.u64_in("seed", 2003, 0, u64::MAX)
+    }
+
+    fn probability(&self, key: &str, default: f64) -> Result<f64, String> {
+        let v = match self.get(key) {
+            None => default,
+            Some(j) => j
+                .as_f64()
+                .ok_or_else(|| format!("'{key}' must be a number"))?,
+        };
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("'{key}' must be a probability in [0, 1], got {v}"));
+        }
+        Ok(v)
+    }
+
+    fn p_values(&self) -> Result<Vec<f64>, String> {
+        let Some(j) = self.get("p") else {
+            return Ok(vec![0.9, 0.7, 0.5]);
+        };
+        let items = j
+            .as_array()
+            .ok_or_else(|| "'p' must be an array of probabilities".to_string())?;
+        if items.is_empty() || items.len() > MAX_P_VALUES {
+            return Err(format!("'p' must hold 1..={MAX_P_VALUES} values"));
+        }
+        items
+            .iter()
+            .map(|item| {
+                let v = item
+                    .as_f64()
+                    .ok_or_else(|| "'p' must be an array of numbers".to_string())?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("'p' entries must be in [0, 1], got {v}"));
+                }
+                Ok(v)
+            })
+            .collect()
+    }
+
+    fn binding(&self) -> Result<bool, String> {
+        match self.get("binding") {
+            None => Ok(false),
+            Some(j) => match j.as_str() {
+                Some("left-edge") => Ok(false),
+                Some("chains") => Ok(true),
+                _ => Err("'binding' must be \"left-edge\" or \"chains\"".to_string()),
+            },
+        }
+    }
+
+    fn dfg(&self) -> Result<DfgSource, String> {
+        match (self.get("dfg"), self.get("dfg_text")) {
+            (Some(_), Some(_)) => Err("give either 'dfg' or 'dfg_text', not both".to_string()),
+            (Some(j), None) => {
+                let name = j
+                    .as_str()
+                    .ok_or_else(|| "'dfg' must be a benchmark name string".to_string())?;
+                if benchmark(name).is_none() {
+                    return Err(format!(
+                        "unknown benchmark '{name}' (one of: {})",
+                        BENCHMARKS.join(", ")
+                    ));
+                }
+                Ok(DfgSource::Benchmark(name.to_string()))
+            }
+            (None, Some(j)) => {
+                let text = j
+                    .as_str()
+                    .ok_or_else(|| "'dfg_text' must be a string".to_string())?;
+                if text.len() > MAX_DFG_TEXT {
+                    return Err(format!(
+                        "'dfg_text' exceeds {MAX_DFG_TEXT} bytes ({} given)",
+                        text.len()
+                    ));
+                }
+                Ok(DfgSource::Inline(text.to_string()))
+            }
+            (None, None) => Ok(DfgSource::Benchmark("fir5".to_string())),
+        }
+    }
+}
+
+fn bind_spec(
+    dfg: &DfgSource,
+    muls: usize,
+    adds: usize,
+    subs: usize,
+    chains: bool,
+) -> Result<BoundDfg, String> {
+    let graph = dfg.build()?;
+    let alloc = Allocation::paper(muls, adds, subs);
+    if !alloc.covers(&graph) {
+        return Err("allocation lacks a unit for a used operation class".to_string());
+    }
+    Ok(if chains {
+        BoundDfg::bind_chains(&graph, &alloc)
+    } else {
+        BoundDfg::bind(&graph, &alloc)
+    })
+}
+
+impl JobSpec {
+    /// Parses and fully validates a job spec for `endpoint`.
+    ///
+    /// Strict by design: unknown or duplicate fields, wrong types,
+    /// out-of-range values, unknown benchmarks, unparsable inline DFGs,
+    /// and allocations that cannot cover the graph are all rejected here,
+    /// so a spec that parses is guaranteed to run (absent cancellation).
+    pub fn from_json(endpoint: Endpoint, spec: &Json) -> Result<JobSpec, JobError> {
+        JobSpec::parse(endpoint, spec).map_err(JobError::Invalid)
+    }
+
+    fn parse(endpoint: Endpoint, spec: &Json) -> Result<JobSpec, String> {
+        match endpoint {
+            Endpoint::Simulate => {
+                let f = Fields::new(
+                    spec,
+                    &[
+                        "dfg", "dfg_text", "muls", "adds", "subs", "binding", "p", "trials", "seed",
+                    ],
+                )?;
+                let s = SimulateSpec {
+                    dfg: f.dfg()?,
+                    muls: f.usize_in("muls", 2, MAX_UNITS)?,
+                    adds: f.usize_in("adds", 1, MAX_UNITS)?,
+                    subs: f.usize_in("subs", 1, MAX_UNITS)?,
+                    chains: f.binding()?,
+                    p_values: f.p_values()?,
+                    trials: f.u64_in("trials", 2000, 1, MAX_TRIALS)?,
+                    seed: f.seed()?,
+                };
+                bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)?;
+                Ok(JobSpec::Simulate(s))
+            }
+            Endpoint::Table2 => {
+                let f = Fields::new(spec, &["trials", "seed"])?;
+                Ok(JobSpec::Table2(Table2Spec {
+                    trials: f.u64_in("trials", 2000, 1, MAX_TRIALS)?,
+                    seed: f.seed()?,
+                }))
+            }
+            Endpoint::Resilience => {
+                let f = Fields::new(
+                    spec,
+                    &[
+                        "dfg", "dfg_text", "muls", "adds", "subs", "binding", "p", "trials", "seed",
+                    ],
+                )?;
+                let s = ResilienceSpec {
+                    dfg: f.dfg()?,
+                    muls: f.usize_in("muls", 2, MAX_UNITS)?,
+                    adds: f.usize_in("adds", 1, MAX_UNITS)?,
+                    subs: f.usize_in("subs", 1, MAX_UNITS)?,
+                    chains: f.binding()?,
+                    p: f.probability("p", 0.5)?,
+                    trials: f.u64_in("trials", 2000, 1, MAX_TRIALS)?,
+                    seed: f.seed()?,
+                };
+                bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)?;
+                Ok(JobSpec::Resilience(s))
+            }
+        }
+    }
+
+    /// The endpoint this spec targets.
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            JobSpec::Simulate(_) => Endpoint::Simulate,
+            JobSpec::Table2(_) => Endpoint::Table2,
+            JobSpec::Resilience(_) => Endpoint::Resilience,
+        }
+    }
+
+    /// Monte-Carlo trials this job will run (table2: per benchmark row;
+    /// resilience: per fault kind) — the unit of the service's
+    /// trials-per-second gauge.
+    pub fn trials(&self) -> u64 {
+        match self {
+            JobSpec::Simulate(s) => s.trials,
+            JobSpec::Table2(s) => s.trials,
+            JobSpec::Resilience(s) => s.trials,
+        }
+    }
+
+    /// The canonical rendering: every field materialized, in one fixed
+    /// order, with the endpoint embedded — the value whose compact form is
+    /// [`JobSpec::cache_key`].
+    pub fn canonical(&self) -> Json {
+        fn dfg_pair(dfg: &DfgSource) -> (&'static str, Json) {
+            match dfg {
+                DfgSource::Benchmark(name) => ("dfg", Json::from(name.as_str())),
+                DfgSource::Inline(text) => ("dfg_text", Json::from(text.as_str())),
+            }
+        }
+        fn binding(chains: bool) -> Json {
+            Json::from(if chains { "chains" } else { "left-edge" })
+        }
+        match self {
+            JobSpec::Simulate(s) => Json::object([
+                ("endpoint", Json::from("simulate")),
+                dfg_pair(&s.dfg),
+                ("muls", Json::from(s.muls)),
+                ("adds", Json::from(s.adds)),
+                ("subs", Json::from(s.subs)),
+                ("binding", binding(s.chains)),
+                ("p", Json::floats(&s.p_values)),
+                ("trials", Json::from(s.trials)),
+                ("seed", Json::from(s.seed)),
+            ]),
+            JobSpec::Table2(s) => Json::object([
+                ("endpoint", Json::from("table2")),
+                ("trials", Json::from(s.trials)),
+                ("seed", Json::from(s.seed)),
+            ]),
+            JobSpec::Resilience(s) => Json::object([
+                ("endpoint", Json::from("resilience")),
+                dfg_pair(&s.dfg),
+                ("muls", Json::from(s.muls)),
+                ("adds", Json::from(s.adds)),
+                ("subs", Json::from(s.subs)),
+                ("binding", binding(s.chains)),
+                ("p", Json::Float(s.p)),
+                ("trials", Json::from(s.trials)),
+                ("seed", Json::from(s.seed)),
+            ]),
+        }
+    }
+
+    /// The content address of this job: the compact canonical rendering.
+    /// Two specs with equal keys produce byte-identical responses, because
+    /// every field feeding the simulation (seed included) is in the key
+    /// and the batch engine is bit-deterministic.
+    pub fn cache_key(&self) -> String {
+        self.canonical().to_compact()
+    }
+
+    /// Runs the job to its JSON response body on `runner`.
+    ///
+    /// A runner carrying a tripped [`tauhls_sim::CancelToken`] yields
+    /// [`JobError::Cancelled`] — never a partial result — so a draining
+    /// server cannot poison its cache.
+    pub fn run(&self, runner: &BatchRunner) -> Result<Json, JobError> {
+        match self {
+            JobSpec::Simulate(s) => {
+                let bound = bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)
+                    .map_err(JobError::Invalid)?;
+                let (tau, dist, cent) =
+                    latency_triple_batch(&bound, &s.p_values, s.trials, s.seed, runner)
+                        .map_err(JobError::from_sim)?;
+                let clk = Timing::default().clock_ns();
+                let cells = |summary: &LatencySummary| {
+                    Json::object([
+                        ("best_cycles", Json::from(summary.best_cycles)),
+                        ("average_cycles", Json::floats(&summary.average_cycles)),
+                        ("worst_cycles", Json::from(summary.worst_cycles)),
+                        (
+                            "rendered_ns",
+                            Json::from(summary.to_ns_string(clk).as_str()),
+                        ),
+                    ])
+                };
+                let enhancement = enhancement_percent(&tau, &dist);
+                Ok(Json::object([
+                    ("spec", self.canonical()),
+                    ("clock_ns", Json::from(clk)),
+                    ("lt_tau", cells(&tau)),
+                    ("lt_dist", cells(&dist)),
+                    ("lt_cent", cells(&cent)),
+                    ("enhancement_percent", Json::floats(&enhancement)),
+                ]))
+            }
+            JobSpec::Table2(s) => {
+                let t = table2(s.trials as usize, s.seed, runner).map_err(JobError::from_sim)?;
+                Ok(Json::object([
+                    ("spec", self.canonical()),
+                    ("table2", t.to_json()),
+                ]))
+            }
+            JobSpec::Resilience(s) => {
+                let bound = bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)
+                    .map_err(JobError::Invalid)?;
+                let report = resilience_sweep(&bound, s.p, s.trials, s.seed, runner);
+                // `resilience_sweep` folds whatever chunks ran; surface a
+                // cancellation instead of returning (and caching) a
+                // partially-populated report.
+                runner.check_cancelled().map_err(JobError::from_sim)?;
+                Ok(Json::object([
+                    ("spec", self.canonical()),
+                    ("report", report.to_json()),
+                ]))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauhls_sim::CancelToken;
+
+    fn parse(endpoint: Endpoint, text: &str) -> Result<JobSpec, JobError> {
+        JobSpec::from_json(endpoint, &Json::parse(text).expect("well-formed test spec"))
+    }
+
+    #[test]
+    fn canonicalization_erases_field_order_defaults_and_number_spelling() {
+        let a = parse(Endpoint::Simulate, r#"{"trials":50,"p":[1],"seed":2003}"#).unwrap();
+        let b = parse(Endpoint::Simulate, r#"{"p":[1.0],"trials":50}"#).unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Defaults materialize into the key.
+        assert!(a.cache_key().contains("\"dfg\":\"fir5\""));
+        assert!(a.cache_key().contains("\"binding\":\"left-edge\""));
+        // A differing seed is a different content address.
+        let c = parse(Endpoint::Simulate, r#"{"p":[1.0],"trials":50,"seed":1}"#).unwrap();
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn empty_specs_materialize_paper_defaults() {
+        let JobSpec::Simulate(s) = parse(Endpoint::Simulate, "{}").unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(s.dfg, DfgSource::Benchmark("fir5".to_string()));
+        assert_eq!((s.muls, s.adds, s.subs), (2, 1, 1));
+        assert_eq!(s.p_values, vec![0.9, 0.7, 0.5]);
+        assert_eq!((s.trials, s.seed), (2000, 2003));
+        let JobSpec::Resilience(r) = parse(Endpoint::Resilience, "{}").unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(r.p, 0.5);
+    }
+
+    #[test]
+    fn strict_parsing_rejects_malformed_specs() {
+        let cases: &[(Endpoint, &str, &str)] = &[
+            (Endpoint::Simulate, "[]", "must be a JSON object"),
+            (Endpoint::Simulate, r#"{"wat":1}"#, "unknown field 'wat'"),
+            (Endpoint::Table2, r#"{"p":[0.5]}"#, "unknown field 'p'"),
+            (
+                Endpoint::Simulate,
+                r#"{"trials":1,"trials":2}"#,
+                "duplicate field 'trials'",
+            ),
+            (Endpoint::Simulate, r#"{"trials":0}"#, "'trials' must be in"),
+            (
+                Endpoint::Simulate,
+                r#"{"trials":1000001}"#,
+                "'trials' must be in",
+            ),
+            (
+                Endpoint::Simulate,
+                r#"{"trials":-3}"#,
+                "non-negative integer",
+            ),
+            (Endpoint::Simulate, r#"{"p":[]}"#, "'p' must hold"),
+            (Endpoint::Simulate, r#"{"p":[1.5]}"#, "in [0, 1]"),
+            (Endpoint::Simulate, r#"{"p":0.5}"#, "'p' must be an array"),
+            (
+                Endpoint::Resilience,
+                r#"{"p":[0.5]}"#,
+                "'p' must be a number",
+            ),
+            (Endpoint::Resilience, r#"{"p":-0.1}"#, "in [0, 1]"),
+            (
+                Endpoint::Simulate,
+                r#"{"binding":"sideways"}"#,
+                "'binding' must be",
+            ),
+            (Endpoint::Simulate, r#"{"dfg":"nope"}"#, "unknown benchmark"),
+            (
+                Endpoint::Simulate,
+                r#"{"dfg":"fir5","dfg_text":"x"}"#,
+                "not both",
+            ),
+            (Endpoint::Simulate, r#"{"dfg_text":"@#$"}"#, "dfg_text:"),
+            (Endpoint::Simulate, r#"{"muls":65}"#, "'muls' must be in"),
+            (
+                Endpoint::Simulate,
+                r#"{"dfg":"fir5","subs":0,"adds":0}"#,
+                "allocation lacks a unit",
+            ),
+        ];
+        for (endpoint, text, needle) in cases {
+            let err = parse(*endpoint, text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: got {err:?}, want {needle:?}");
+            assert!(!err.contains('\n'), "{text}: multi-line error {err:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_runs_and_embeds_its_canonical_spec() {
+        let spec = parse(Endpoint::Simulate, r#"{"trials":40,"p":[0.5],"seed":7}"#).unwrap();
+        let body = spec.run(&BatchRunner::serial()).unwrap();
+        assert_eq!(body.get("spec").unwrap().to_compact(), spec.cache_key());
+        assert!(body.get("lt_tau").unwrap().get("best_cycles").is_some());
+        assert_eq!(
+            body.get("enhancement_percent")
+                .unwrap()
+                .as_array()
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        // Same spec, same runner → byte-identical body (the cache-hit
+        // guarantee, before any cache is involved).
+        let again = spec.run(&BatchRunner::new(4)).unwrap();
+        assert_eq!(body.to_compact(), again.to_compact());
+    }
+
+    #[test]
+    fn inline_dfg_and_table2_and_resilience_run() {
+        let axpy =
+            "dfg axpy\ninput a\ninput x\ninput y\nop m = mul a x\nop r = add m y\noutput r r\n";
+        let text = format!(
+            r#"{{"dfg_text":"{}","trials":25,"p":[0.5]}}"#,
+            axpy.replace('\n', "\\n")
+        );
+        let spec = parse(Endpoint::Simulate, &text).unwrap();
+        assert!(spec.run(&BatchRunner::serial()).is_ok());
+
+        let t2 = parse(Endpoint::Table2, r#"{"trials":20,"seed":3}"#).unwrap();
+        let body = t2.run(&BatchRunner::serial()).unwrap();
+        assert!(body.get("table2").unwrap().get("rows").is_some());
+
+        let res = parse(Endpoint::Resilience, r#"{"trials":12,"seed":3}"#).unwrap();
+        let body = res.run(&BatchRunner::serial()).unwrap();
+        assert!(body.get("report").unwrap().get("rows").is_some());
+    }
+
+    #[test]
+    fn cancelled_runner_yields_cancelled_not_partial_results() {
+        let token = CancelToken::new();
+        token.cancel();
+        let runner = BatchRunner::serial().with_cancel(token);
+        for (endpoint, text) in [
+            (Endpoint::Simulate, r#"{"trials":40}"#),
+            (Endpoint::Table2, r#"{"trials":20}"#),
+            (Endpoint::Resilience, r#"{"trials":12}"#),
+        ] {
+            let spec = parse(endpoint, text).unwrap();
+            assert_eq!(spec.run(&runner), Err(JobError::Cancelled), "{text}");
+        }
+    }
+}

@@ -179,8 +179,8 @@ mod tests {
 
     #[test]
     fn table2_json_is_deterministic_across_thread_counts() {
-        let a = crate::experiments::table2(120, 9, &BatchRunner::serial());
-        let b = crate::experiments::table2(120, 9, &BatchRunner::new(4));
+        let a = crate::experiments::table2(120, 9, &BatchRunner::serial()).expect("fault-free");
+        let b = crate::experiments::table2(120, 9, &BatchRunner::new(4)).expect("fault-free");
         assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
         assert!(a.to_json().to_compact().contains("\"clock_ns\":15.0"));
     }

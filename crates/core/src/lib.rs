@@ -46,6 +46,7 @@ pub mod conformance;
 pub mod experiments;
 pub mod explore;
 pub mod figures;
+pub mod jobspec;
 mod json;
 mod pipeline;
 pub mod report;

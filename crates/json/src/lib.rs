@@ -8,6 +8,12 @@
 //! print via Rust's shortest-roundtrip formatting, which is identical on
 //! every platform.
 //!
+//! The simulation service added on top of the batch engine also needs the
+//! opposite direction: [`Json::parse`] is a strict, recursion-bounded
+//! RFC 8259 parser with byte-offset error positions, so hostile request
+//! bodies come back as a [`JsonParseError`] — never a panic or a stack
+//! overflow.
+//!
 //! # Examples
 //!
 //! ```
@@ -19,6 +25,10 @@
 //!     ("averages", Json::array([5.5f64.into(), 6.25f64.into()])),
 //! ]);
 //! assert_eq!(doc.to_compact(), r#"{"name":"fir5","cycles":5,"averages":[5.5,6.25]}"#);
+//! assert_eq!(Json::parse(&doc.to_compact()).unwrap(), doc);
+//!
+//! let err = Json::parse(r#"{"p": [0.9, oops]}"#).unwrap_err();
+//! assert_eq!(err.offset, 12);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -227,6 +237,415 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+// ---------------------------------------------------------------------------
+// Accessors — the small read API the job-spec layer navigates parsed
+// documents with.
+// ---------------------------------------------------------------------------
+
+impl Json {
+    /// Looks up the first entry named `key` in an object (`None` for
+    /// non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, for `UInt` and non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` entries, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing — strict RFC 8259, bounded recursion, byte-offset diagnostics.
+// ---------------------------------------------------------------------------
+
+/// Maximum container nesting depth [`Json::parse`] accepts. Deeper inputs
+/// fail with a `JsonParseError` instead of exhausting the stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// A parse failure: the byte offset where it was detected plus a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input at which parsing failed.
+    pub offset: usize,
+    /// Human-readable description of what was expected or rejected.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+impl Json {
+    /// Parses a strict JSON document.
+    ///
+    /// * **Strict**: no trailing commas, comments, `NaN`/`Infinity`,
+    ///   leading zeros, or unescaped control characters; exactly one
+    ///   document with nothing but whitespace after it.
+    /// * **Bounded**: containers may nest at most [`MAX_PARSE_DEPTH`]
+    ///   levels, so adversarial inputs cannot overflow the stack.
+    /// * **Positioned**: every error carries the byte offset at which it
+    ///   was detected (see [`JsonParseError`]).
+    ///
+    /// Numbers parse into the canonical variants the emitter produces:
+    /// non-negative integers become `UInt`, negative integers `Int`, and
+    /// anything with a fraction or exponent `Float` (integers too large
+    /// for 64 bits also fall back to `Float`). Consequently
+    /// `parse(to_compact(j)) == j` holds for every document built from
+    /// those canonical variants.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.parse_value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err(p.pos, "trailing characters after the JSON document");
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, offset: usize, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            offset,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.skip_ws();
+        let Some(b) = self.peek() else {
+            return self.err(self.pos, "unexpected end of input; expected a JSON value");
+        };
+        match b {
+            b'{' => self.parse_object(depth),
+            b'[' => self.parse_array(depth),
+            b'"' => Ok(Json::Str(self.parse_string()?)),
+            b't' => self.parse_literal("true", Json::Bool(true)),
+            b'f' => self.parse_literal("false", Json::Bool(false)),
+            b'n' => self.parse_literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => {
+                let found = self
+                    .text
+                    .get(self.pos..)
+                    .and_then(|t| t.chars().next())
+                    .unwrap_or('\u{fffd}');
+                self.err(self.pos, format!("expected a JSON value, found {found:?}"))
+            }
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonParseError> {
+        let end = self.pos + literal.len();
+        if self.bytes.len() >= end && &self.bytes[self.pos..end] == literal.as_bytes() {
+            self.pos = end;
+            Ok(value)
+        } else {
+            self.err(self.pos, format!("expected the literal {literal:?}"))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth >= MAX_PARSE_DEPTH {
+            return self.err(
+                self.pos,
+                format!("nesting exceeds the depth limit of {MAX_PARSE_DEPTH}"),
+            );
+        }
+        self.pos += 1; // '{'
+        self.skip_ws();
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err(self.pos, "expected a string object key");
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return self.err(self.pos, "expected ':' after object key");
+            }
+            self.pos += 1;
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return self.err(self.pos, "expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth >= MAX_PARSE_DEPTH {
+            return self.err(
+                self.pos,
+                format!("nesting exceeds the depth limit of {MAX_PARSE_DEPTH}"),
+            );
+        }
+        self.pos += 1; // '['
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return self.err(self.pos, "expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        let open_quote = self.pos;
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        let mut segment_start = self.pos;
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err(open_quote, "unterminated string");
+            };
+            match b {
+                b'"' => {
+                    out.push_str(&self.text[segment_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    out.push_str(&self.text[segment_start..self.pos]);
+                    let escape_at = self.pos;
+                    self.pos += 1;
+                    let Some(e) = self.peek() else {
+                        return self.err(escape_at, "unterminated escape sequence");
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape(escape_at)?),
+                        _ => return self.err(escape_at, "invalid escape sequence"),
+                    }
+                    segment_start = self.pos;
+                }
+                0x00..=0x1f => return self.err(self.pos, "unescaped control character in string"),
+                _ => {
+                    // Advance one whole UTF-8 character; the input is a
+                    // &str, so the leading byte determines the width.
+                    self.pos += match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (the `\u` is consumed),
+    /// combining surrogate pairs. Lone or malformed surrogates — escapes
+    /// that would decode to invalid UTF-8 — are rejected.
+    fn parse_unicode_escape(&mut self, escape_at: usize) -> Result<char, JsonParseError> {
+        let high = self.parse_hex4(escape_at)?;
+        if (0xdc00..=0xdfff).contains(&high) {
+            return self.err(escape_at, "invalid \\u escape: unpaired low surrogate");
+        }
+        if (0xd800..=0xdbff).contains(&high) {
+            if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return self.err(escape_at, "invalid \\u escape: lone high surrogate");
+            }
+            self.pos += 2;
+            let low = self.parse_hex4(escape_at)?;
+            if !(0xdc00..=0xdfff).contains(&low) {
+                return self.err(escape_at, "invalid \\u escape: expected a low surrogate");
+            }
+            let code = 0x10000 + ((high - 0xd800) << 10) + (low - 0xdc00);
+            return char::from_u32(code)
+                .ok_or(())
+                .or_else(|()| self.err(escape_at, "invalid \\u escape"));
+        }
+        char::from_u32(high)
+            .ok_or(())
+            .or_else(|()| self.err(escape_at, "invalid \\u escape"))
+    }
+
+    fn parse_hex4(&mut self, escape_at: usize) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err(escape_at, "truncated \\u escape");
+        }
+        let mut code: u32 = 0;
+        for &b in &self.bytes[self.pos..end] {
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return self.err(escape_at, "invalid hex digit in \\u escape"),
+            };
+            code = (code << 4) | u32::from(digit);
+        }
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return self.err(start, "leading zero in number");
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.err(self.pos, "expected a digit"),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err(self.pos, "expected a digit after the decimal point");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err(self.pos, "expected a digit in the exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let literal = &self.text[start..self.pos];
+        if !is_float {
+            if negative {
+                if let Ok(v) = literal.parse::<i64>() {
+                    return Ok(Json::Int(v));
+                }
+            } else if let Ok(v) = literal.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            // Integers beyond 64 bits fall back to the float path below.
+        }
+        match literal.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Float(v)),
+            _ => self.err(start, "number does not fit in an f64"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +693,145 @@ mod tests {
             Json::array([Json::object([("n", Json::from(1i64))])]),
         )]);
         assert_eq!(doc.to_compact(), r#"{"rows":[{"n":1}]}"#);
+    }
+
+    #[test]
+    fn parse_scalars_into_canonical_variants() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("-1.5E-2").unwrap(), Json::Float(-0.015));
+        // 2^64 has no exact u64; it falls back to the float path.
+        assert_eq!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Float(18446744073709551616.0)
+        );
+        assert_eq!(Json::parse("  \"a b\"\n").unwrap(), Json::from("a b"));
+    }
+
+    #[test]
+    fn parse_strings_and_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            Json::from("a\"b\\c/d\n\t\r\u{8}\u{c}")
+        );
+        assert_eq!(Json::parse(r#""\u0041""#).unwrap(), Json::from("A"));
+        assert_eq!(Json::parse(r#""\u00e9""#).unwrap(), Json::from("é"));
+        // Surrogate pair → U+1D11E (musical G clef).
+        assert_eq!(
+            Json::parse(r#""\uD834\uDD1E""#).unwrap(),
+            Json::from("\u{1d11e}")
+        );
+        // Raw multibyte characters pass through untouched.
+        assert_eq!(
+            Json::parse("\"héllo — 🎉\"").unwrap(),
+            Json::from("héllo — 🎉")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_hostile_inputs_with_offsets() {
+        let cases: &[(&str, usize)] = &[
+            ("", 0),
+            ("  ", 2),
+            ("tru", 0),
+            ("nul", 0),
+            ("01", 0),
+            ("+1", 0),
+            ("1.", 2),
+            (".5", 0),
+            ("1e", 2),
+            ("--1", 1),
+            ("\"abc", 0),
+            ("\"a\\q\"", 2),
+            ("\"a\\u12\"", 2),
+            ("\"a\\uZZZZ\"", 2),
+            ("\"\\uD800\"", 1),
+            ("\"\\uD834x\"", 1),
+            ("\"\\uDD1E\"", 1),
+            ("\"\\uD834\\u0041\"", 1),
+            ("\"a\nb\"", 2),
+            ("[1, x]", 4),
+            ("[1 2]", 3),
+            ("[1,]", 3),
+            ("{\"a\" 1}", 5),
+            ("{\"a\":1,}", 7),
+            ("{a:1}", 1),
+            ("{\"a\":1} x", 8),
+            ("1 1", 2),
+            ("1e999", 0),
+            ("NaN", 0),
+        ];
+        for (text, offset) in cases {
+            let err = Json::parse(text).unwrap_err();
+            assert_eq!(err.offset, *offset, "{text:?}: {}", err.message);
+            assert!(err.to_string().starts_with(&format!("byte {offset}")));
+        }
+    }
+
+    #[test]
+    fn parse_depth_limit_blocks_deep_nesting() {
+        let deep_ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("depth limit"));
+        // A pathological unclosed run must error, not overflow the stack.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"k\":".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn parse_roundtrips_both_renderings() {
+        let doc = Json::object([
+            ("name", Json::from("fir5")),
+            ("neg", Json::Int(-7)),
+            ("count", Json::UInt(3)),
+            ("p", Json::floats(&[0.9, 0.5])),
+            ("flag", Json::Bool(false)),
+            ("nested", Json::array([Json::Null, Json::Object(vec![])])),
+        ]);
+        assert_eq!(Json::parse(&doc.to_compact()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.to_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"a":{"b":[1,2.5,"x",true]},"n":-3}"#).unwrap();
+        let b = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = b.as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(items[3].as_bool(), Some(true));
+        assert_eq!(doc.get("n").unwrap().as_u64(), None);
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.as_object().unwrap().len(), 2);
+        assert!(items[0].as_object().is_none());
+        assert!(doc.get("a").unwrap().get("b").unwrap().get("c").is_none());
     }
 }

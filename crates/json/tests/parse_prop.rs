@@ -1,0 +1,164 @@
+//! Round-trip and hostile-input properties for `Json::parse`, in the
+//! style of `crates/dfg/tests/parse_fuzz.rs`: every input must come back
+//! as a value or a positioned `JsonParseError` — never a panic — and any
+//! document built from the canonical variants must survive
+//! `parse(to_compact(j)) == j` and `parse(to_pretty(j)) == j` unchanged.
+
+use tauhls_check::{forall, Gen};
+use tauhls_json::{Json, MAX_PARSE_DEPTH};
+
+/// Characters biased toward the escaping-sensitive corners of strings.
+const STRING_CHARS: [char; 16] = [
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', 'é', '∀', '🎉',
+];
+
+/// Tokens biased toward the JSON grammar, so mutation explores the
+/// parser's deep paths instead of bouncing off the first byte.
+const TOKENS: [&str; 20] = [
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ",",
+    "\"",
+    "\\u12",
+    "\\",
+    "null",
+    "true",
+    "false",
+    "-",
+    "0",
+    "1e5",
+    "0.5",
+    "9223372036854775807",
+    "18446744073709551616",
+    "\"k\"",
+    "é",
+];
+
+fn arbitrary_string(g: &mut Gen) -> String {
+    let len = g.usize(0..12);
+    (0..len).map(|_| *g.choose(&STRING_CHARS)).collect()
+}
+
+/// A document built only from the canonical variants `parse` produces:
+/// `UInt` for non-negative integers, `Int` for negative ones, finite
+/// `Float`s, and arbitrary strings/arrays/objects (duplicate keys
+/// included — objects are ordered multimaps).
+fn arbitrary_canonical(g: &mut Gen, depth: usize) -> Json {
+    let scalar_only = depth >= 4;
+    match g.usize(0..if scalar_only { 6 } else { 8 }) {
+        0 => Json::Null,
+        1 => Json::Bool(g.bool(0.5)),
+        2 => Json::UInt(g.u64(0..u64::MAX)),
+        3 => Json::Int(-(g.i64(1..i64::MAX))),
+        4 => {
+            // Mix integral floats (printed as "x.0") with fractional ones.
+            let v = if g.bool(0.3) {
+                g.i64(-1_000_000..1_000_000) as f64
+            } else {
+                (g.unit_f64() - 0.5) * 10f64.powi(g.i64(-12..13) as i32)
+            };
+            Json::Float(v)
+        }
+        5 => Json::Str(arbitrary_string(g)),
+        6 => {
+            let len = g.usize(0..5);
+            Json::Array(
+                (0..len)
+                    .map(|_| arbitrary_canonical(g, depth + 1))
+                    .collect(),
+            )
+        }
+        _ => {
+            let len = g.usize(0..5);
+            Json::Object(
+                (0..len)
+                    .map(|_| (arbitrary_string(g), arbitrary_canonical(g, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn compact_and_pretty_roundtrip() {
+    forall("json_roundtrip", 400, |g| {
+        let doc = arbitrary_canonical(g, 0);
+        let compact = doc.to_compact();
+        assert_eq!(
+            Json::parse(&compact).unwrap_or_else(|e| panic!("{e} in {compact}")),
+            doc
+        );
+        assert_eq!(Json::parse(&doc.to_pretty()).unwrap(), doc);
+    });
+}
+
+#[test]
+fn truncated_documents_error_instead_of_panicking() {
+    forall("json_truncation", 120, |g| {
+        // Objects/arrays only: every strict prefix of a closed container
+        // is incomplete, so truncation must always be an error.
+        let doc = Json::object([
+            ("k", arbitrary_canonical(g, 2)),
+            ("rest", Json::array([arbitrary_canonical(g, 3)])),
+        ]);
+        let compact = doc.to_compact();
+        let boundaries: Vec<usize> = compact.char_indices().map(|(i, _)| i).collect();
+        let cut = *g.choose(&boundaries);
+        let prefix = &compact[..cut];
+        assert!(
+            Json::parse(prefix).is_err(),
+            "prefix parsed: {prefix:?} of {compact:?}"
+        );
+    });
+}
+
+#[test]
+fn token_soup_never_panics() {
+    forall("json_token_soup", 500, |g| {
+        let tokens = g.usize(0..20);
+        let mut text = String::new();
+        for _ in 0..tokens {
+            // The deref pins `choose`'s element type to `&str` (see the
+            // same pattern in `crates/dfg/tests/parse_fuzz.rs`).
+            #[allow(clippy::explicit_auto_deref)]
+            text.push_str(*g.choose(&TOKENS));
+            if g.bool(0.3) {
+                text.push(' ');
+            }
+        }
+        // Parse must terminate with a Result; on error, the offset points
+        // inside (or one past) the input.
+        if let Err(e) = Json::parse(&text) {
+            assert!(e.offset <= text.len(), "{e} out of range for {text:?}");
+            assert!(!e.message.is_empty());
+        }
+    });
+}
+
+#[test]
+fn mutated_wellformed_documents_never_panic() {
+    forall("json_mutation", 200, |g| {
+        let doc = arbitrary_canonical(g, 0);
+        let mut text = doc.to_compact().into_bytes();
+        let flips = g.usize(1..4);
+        for _ in 0..flips {
+            let at = g.usize(0..text.len());
+            text[at] = g.u8(0..128);
+        }
+        // Mutation can break UTF-8; parse only accepts &str, so invalid
+        // sequences are rejected before the parser even runs.
+        if let Ok(text) = String::from_utf8(text) {
+            let _ = Json::parse(&text);
+        }
+    });
+}
+
+#[test]
+fn depth_limit_is_exact() {
+    let nest = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+    assert!(Json::parse(&nest(MAX_PARSE_DEPTH)).is_ok());
+    assert!(Json::parse(&nest(MAX_PARSE_DEPTH + 1)).is_err());
+}

@@ -1,0 +1,46 @@
+//! Service configuration, mirrored one-to-one by the `tauhls serve`
+//! flags.
+
+use std::time::Duration;
+
+/// Everything the server needs to start.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7203` (`:0` picks an ephemeral
+    /// port; the bound address is reported back).
+    pub addr: String,
+    /// Worker threads executing jobs. `0` is a diagnostic mode: requests
+    /// queue but never execute, so backpressure paths can be tested
+    /// deterministically.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue answers `503`.
+    pub queue_capacity: usize,
+    /// Response-cache budget in bytes (key + body payload).
+    pub cache_bytes: usize,
+    /// Simulation threads per job (`None` → all cores). Worker-level
+    /// concurrency times this is the peak core demand.
+    pub sim_threads: Option<usize>,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// How long a graceful shutdown waits for in-flight jobs before
+    /// cancelling them through the batch engine's
+    /// [`CancelToken`](tauhls_sim::CancelToken).
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7203".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_bytes: 32 * 1024 * 1024,
+            sim_threads: None,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Service counters and their Prometheus text rendering.
+//!
+//! Everything is a relaxed atomic — the metrics path must never contend
+//! with the simulation path. The `/metrics` endpoint renders the
+//! [exposition text format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! counters for requests/responses/trials/cache activity, gauges for
+//! queue depth and in-flight jobs, and one cumulative latency histogram
+//! per simulation endpoint (`trials/sec` is the PromQL ratio
+//! `rate(tauhls_serve_trials_total[1m])`).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::Cache;
+
+/// The request-routing classes we count (simulation endpoints first).
+pub const ENDPOINTS: [&str; 5] = ["simulate", "table2", "resilience", "healthz", "metrics"];
+
+/// Response status codes we count.
+pub const STATUS_CODES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
+
+/// Histogram bucket upper bounds, in seconds.
+pub const BUCKETS_SECONDS: [f64; 8] = [0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0];
+
+/// One cumulative latency histogram (Prometheus semantics: each bucket
+/// counts observations ≤ its bound, plus an implicit `+Inf`).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS_SECONDS.len()],
+    inf: AtomicU64,
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        for (bound, bucket) in BUCKETS_SECONDS.iter().zip(&self.buckets) {
+            if secs <= *bound {
+                bucket.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inf.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// All service counters, shared across acceptor and workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; ENDPOINTS.len()],
+    requests_other: AtomicU64,
+    responses: [AtomicU64; STATUS_CODES.len()],
+    trials: AtomicU64,
+    inflight: AtomicU64,
+    panics: AtomicU64,
+    latency: [Histogram; 3],
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn endpoint_index(endpoint: &str) -> Option<usize> {
+        ENDPOINTS.iter().position(|e| *e == endpoint)
+    }
+
+    /// Counts a routed request (unknown paths land in `other`).
+    pub fn count_request(&self, endpoint: &str) {
+        match Metrics::endpoint_index(endpoint) {
+            Some(i) => self.requests[i].fetch_add(1, Ordering::Relaxed),
+            None => self.requests_other.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Counts a response by status code (uncounted codes are ignored —
+    /// keep [`STATUS_CODES`] in sync with what the router emits).
+    pub fn count_response(&self, status: u16) {
+        if let Some(i) = STATUS_CODES.iter().position(|c| *c == status) {
+            self.responses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds completed Monte-Carlo trials (the numerator of trials/sec).
+    pub fn count_trials(&self, trials: u64) {
+        self.trials.fetch_add(trials, Ordering::Relaxed);
+    }
+
+    /// Total requests seen for one endpoint.
+    pub fn request_count(&self, endpoint: &str) -> u64 {
+        match Metrics::endpoint_index(endpoint) {
+            Some(i) => self.requests[i].load(Ordering::Relaxed),
+            None => self.requests_other.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one completed simulation job's wall-clock latency.
+    /// Endpoints without a histogram (healthz/metrics) are ignored.
+    pub fn observe_latency(&self, endpoint: &str, elapsed: Duration) {
+        if let Some(i) = Metrics::endpoint_index(endpoint).filter(|i| *i < self.latency.len()) {
+            self.latency[i].observe(elapsed);
+        }
+    }
+
+    /// Marks a job entering (`+1`) or leaving (`-1`) the worker pool.
+    pub fn add_inflight(&self, delta: i64) {
+        if delta >= 0 {
+            self.inflight.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.inflight.fetch_sub((-delta) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Jobs currently being processed.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Counts a worker surviving a job panic.
+    pub fn count_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus exposition text, folding in the cache's own
+    /// counters and the queue's current depth.
+    pub fn render(&self, cache: &Cache, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let put = |out: &mut String, line: std::fmt::Arguments<'_>| {
+            // Writing to a String cannot fail.
+            let _ = out.write_fmt(line);
+            out.push('\n');
+        };
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_requests_total counter"),
+        );
+        for (i, endpoint) in ENDPOINTS.iter().enumerate() {
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_requests_total{{endpoint=\"{endpoint}\"}} {}",
+                    self.requests[i].load(Ordering::Relaxed)
+                ),
+            );
+        }
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_requests_total{{endpoint=\"other\"}} {}",
+                self.requests_other.load(Ordering::Relaxed)
+            ),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_responses_total counter"),
+        );
+        for (i, code) in STATUS_CODES.iter().enumerate() {
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_responses_total{{code=\"{code}\"}} {}",
+                    self.responses[i].load(Ordering::Relaxed)
+                ),
+            );
+        }
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_trials_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_trials_total {}",
+                self.trials.load(Ordering::Relaxed)
+            ),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_cache_hits_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_cache_hits_total {}", cache.hit_count()),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_cache_misses_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_cache_misses_total {}", cache.miss_count()),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_cache_evictions_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_cache_evictions_total {}",
+                cache.eviction_count()
+            ),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_cache_bytes gauge"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_cache_bytes {}", cache.bytes()),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_cache_entries gauge"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_cache_entries {}", cache.entries()),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_queue_depth gauge"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_queue_depth {queue_depth}"),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_inflight_jobs gauge"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_inflight_jobs {}",
+                self.inflight.load(Ordering::Relaxed)
+            ),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_worker_panics_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_worker_panics_total {}",
+                self.panics.load(Ordering::Relaxed)
+            ),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_request_seconds histogram"),
+        );
+        for (i, endpoint) in ENDPOINTS.iter().take(self.latency.len()).enumerate() {
+            let h = &self.latency[i];
+            for (bound, bucket) in BUCKETS_SECONDS.iter().zip(&h.buckets) {
+                put(
+                    &mut out,
+                    format_args!(
+                        "tauhls_serve_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}",
+                        bucket.load(Ordering::Relaxed)
+                    ),
+                );
+            }
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}",
+                    h.inf.load(Ordering::Relaxed)
+                ),
+            );
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_request_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
+                    h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+                ),
+            );
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_request_seconds_count{{endpoint=\"{endpoint}\"}} {}",
+                    h.count.load(Ordering::Relaxed)
+                ),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_exposes_every_family_with_values() {
+        let m = Metrics::new();
+        let cache = Cache::new(1024);
+        m.count_request("simulate");
+        m.count_request("simulate");
+        m.count_request("/weird");
+        m.count_response(200);
+        m.count_response(503);
+        m.count_trials(500);
+        m.add_inflight(1);
+        m.observe_latency("simulate", Duration::from_millis(2));
+        cache.insert("k".to_string(), "v".into());
+        cache.get("k");
+        cache.get("absent");
+        let text = m.render(&cache, 3);
+        for needle in [
+            "tauhls_serve_requests_total{endpoint=\"simulate\"} 2",
+            "tauhls_serve_requests_total{endpoint=\"other\"} 1",
+            "tauhls_serve_responses_total{code=\"200\"} 1",
+            "tauhls_serve_responses_total{code=\"503\"} 1",
+            "tauhls_serve_trials_total 500",
+            "tauhls_serve_cache_hits_total 1",
+            "tauhls_serve_cache_misses_total 1",
+            "tauhls_serve_cache_evictions_total 0",
+            "tauhls_serve_queue_depth 3",
+            "tauhls_serve_inflight_jobs 1",
+            "tauhls_serve_request_seconds_count{endpoint=\"simulate\"} 1",
+            "tauhls_serve_request_seconds_bucket{endpoint=\"simulate\",le=\"+Inf\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // 2ms lands in every bucket from 4ms upward, not the 1ms one.
+        assert!(text.contains("le=\"0.001\"} 0"));
+        assert!(text.contains("{endpoint=\"simulate\",le=\"0.004\"} 1"));
+    }
+
+    #[test]
+    fn inflight_round_trips() {
+        let m = Metrics::new();
+        m.add_inflight(1);
+        m.add_inflight(1);
+        m.add_inflight(-1);
+        assert_eq!(m.inflight(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! A bounded multi-producer/multi-consumer job queue.
+//!
+//! The acceptor pushes with [`Queue::try_push`], which **never blocks**:
+//! when the queue is at capacity (or closed) the item comes straight back
+//! and the caller answers `503` — that is the whole backpressure story.
+//! Workers block in [`Queue::pop`] until an item arrives or the queue is
+//! closed *and* empty, so closing the queue drains everything already
+//! accepted before the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Bounded FIFO handing accepted work to the worker pool.
+#[derive(Debug)]
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Queue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Queue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A worker that panicked mid-`handle` has already released the
+        // lock; the queue state itself is always consistent.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues without blocking. Returns the item when the queue is full
+    /// or closed so the caller can answer it directly.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available. Returns `None` once the queue
+    /// is closed **and** drained — the worker-pool exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pushes start failing, and `pop` returns `None`
+    /// once the backlog is drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Removes and returns everything still queued (used to flush a
+    /// closed queue when no workers exist to drain it).
+    pub fn drain(&self) -> Vec<T> {
+        self.lock().items.drain(..).collect()
+    }
+
+    /// Items currently waiting (the `/metrics` gauge).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_then_fifo_pop() {
+        let q = Queue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_backlog_then_releases_blocked_poppers() {
+        let q = Arc::new(Queue::new(4));
+        q.try_push(7).ok();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+        // A popper blocked before close() wakes up with None.
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        assert_eq!(h.join().expect("popper"), None);
+    }
+
+    #[test]
+    fn drain_flushes_a_closed_queue() {
+        let q = Queue::new(3);
+        q.try_push(1).ok();
+        q.try_push(2).ok();
+        q.close();
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let q = Queue::new(0);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,523 @@
+//! The service itself: acceptor, bounded queue, worker pool, cache.
+//!
+//! Invariants the tests pin down:
+//!
+//! * **The acceptor never blocks on a client.** It accepts, stamps socket
+//!   timeouts, and either enqueues the connection or answers `503` with
+//!   `Retry-After` on a full queue. Request parsing happens in workers.
+//! * **Cache hits are byte-identical to cold runs.** The cache stores the
+//!   exact response body keyed by the spec's content address; only the
+//!   `X-Cache` header distinguishes a hit from a miss.
+//! * **Graceful shutdown drains in-flight jobs.** [`Server::shutdown`]
+//!   stops the acceptor, closes the queue, answers anything still queued
+//!   with `503`, and waits for running jobs to finish — cancelling them
+//!   through the batch engine's [`CancelToken`] only if the drain
+//!   exceeds its timeout (a cancelled job answers `503`, never a partial
+//!   result).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tauhls_core::jobspec::{Endpoint, JobError, JobSpec};
+use tauhls_json::Json;
+use tauhls_sim::{BatchRunner, CancelToken};
+
+use crate::cache::Cache;
+use crate::config::ServeConfig;
+use crate::http::{read_request, write_response, HttpError};
+use crate::metrics::Metrics;
+use crate::queue::Queue;
+
+/// How often the acceptor polls between accepts and stop checks.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+struct Shared {
+    config: ServeConfig,
+    queue: Queue<TcpStream>,
+    cache: Cache,
+    metrics: Metrics,
+    cancel: CancelToken,
+    stop: AtomicBool,
+}
+
+/// A running service instance.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor and worker threads.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Queue::new(config.queue_capacity),
+            cache: Cache::new(config.cache_bytes),
+            metrics: Metrics::new(),
+            cancel: CancelToken::new(),
+            stop: AtomicBool::new(false),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tauhls-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tauhls-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully shuts down: stop accepting, flush the queue backlog
+    /// with `503`, wait for in-flight jobs (cancelling them only after
+    /// the drain timeout), and join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.shared.queue.close();
+        // Whatever is still queued was never started; in the `workers: 0`
+        // diagnostic mode this is the only way those clients get answered.
+        for stream in self.shared.queue.drain() {
+            bounce(stream, &self.shared.metrics, "server shutting down");
+        }
+        let drained = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let drained = Arc::clone(&drained);
+            let cancel = self.shared.cancel.clone();
+            let timeout = self.shared.config.drain_timeout;
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                while !drained.load(Ordering::SeqCst) {
+                    if start.elapsed() >= timeout {
+                        cancel.cancel();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        };
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        drained.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets must not inherit the listener's
+                // non-blocking mode; workers use plain timed I/O.
+                let ready = stream
+                    .set_nonblocking(false)
+                    .and_then(|()| stream.set_read_timeout(Some(shared.config.read_timeout)))
+                    .and_then(|()| stream.set_write_timeout(Some(shared.config.write_timeout)));
+                if ready.is_err() {
+                    continue; // peer already gone; nothing to answer
+                }
+                if let Err(rejected) = shared.queue.try_push(stream) {
+                    // Backpressure: answer right here. The write is a few
+                    // hundred bytes into a fresh socket buffer and carries
+                    // a write timeout, so the acceptor cannot hang.
+                    bounce(rejected, &shared.metrics, "job queue is full");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop() {
+        shared.metrics.add_inflight(1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &mut stream)));
+        if outcome.is_err() {
+            shared.metrics.count_panic();
+            let _ = respond_json(
+                &mut stream,
+                &shared.metrics,
+                500,
+                &[],
+                &error_body("internal error"),
+            );
+        }
+        shared.metrics.add_inflight(-1);
+    }
+}
+
+/// Answers a connection whose request was never read with a `503`.
+///
+/// Closing a socket that still holds unread received bytes makes the
+/// kernel send RST, which can discard the response in flight — so after
+/// writing we half-close our side and briefly sink the client's request
+/// bytes until it hangs up (or a short timeout fires).
+fn bounce(mut stream: TcpStream, metrics: &Metrics, message: &str) {
+    let _ = respond_json(
+        &mut stream,
+        metrics,
+        503,
+        &[("Retry-After", "1")],
+        &error_body(message),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn error_body(message: &str) -> String {
+    let mut body = Json::object([("error", Json::from(message))]).to_compact();
+    body.push('\n');
+    body
+}
+
+fn respond_json<S: Write>(
+    stream: &mut S,
+    metrics: &Metrics,
+    status: u16,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    metrics.count_response(status);
+    write_response(stream, status, "application/json", extra, body.as_bytes())
+}
+
+/// Reads, routes, and answers one connection. Generic over the stream so
+/// the routing table is unit-testable without sockets.
+fn handle_connection<S: Read + Write>(shared: &Shared, stream: &mut S) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(err) => {
+            let (status, msg) = match &err {
+                HttpError::BadRequest(m) => (400, m.as_str()),
+                HttpError::TooLarge => (413, "request too large"),
+                HttpError::Io(_) => (408, "timed out reading request"),
+            };
+            let _ = respond_json(stream, &shared.metrics, status, &[], &error_body(msg));
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.count_request("healthz");
+            let mut body = Json::object([
+                ("status", Json::from("ok")),
+                ("inflight", Json::from(shared.metrics.inflight())),
+                ("queue_depth", Json::from(shared.queue.depth())),
+            ])
+            .to_compact();
+            body.push('\n');
+            let _ = respond_json(stream, &shared.metrics, 200, &[], &body);
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.count_request("metrics");
+            let body = shared.metrics.render(&shared.cache, shared.queue.depth());
+            shared.metrics.count_response(200);
+            let _ = write_response(
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+            );
+        }
+        ("POST", path) => match path.strip_prefix("/v1/").and_then(Endpoint::parse) {
+            Some(endpoint) => handle_job(shared, stream, endpoint, &request.body),
+            None => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    404,
+                    &[],
+                    &error_body("unknown endpoint"),
+                );
+            }
+        },
+        ("GET", path)
+            if path
+                .strip_prefix("/v1/")
+                .and_then(Endpoint::parse)
+                .is_some() =>
+        {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                405,
+                &[("Allow", "POST")],
+                &error_body("use POST with a JSON job spec"),
+            );
+        }
+        (_, "/healthz") | (_, "/metrics") => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                405,
+                &[("Allow", "GET")],
+                &error_body("use GET"),
+            );
+        }
+        _ => {
+            shared.metrics.count_request("other");
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                404,
+                &[],
+                &error_body("unknown endpoint"),
+            );
+        }
+    }
+}
+
+fn handle_job<S: Read + Write>(
+    shared: &Shared,
+    stream: &mut S,
+    endpoint: Endpoint,
+    raw_body: &[u8],
+) {
+    shared.metrics.count_request(endpoint.as_str());
+    let text = match std::str::from_utf8(raw_body) {
+        Ok(t) if t.trim().is_empty() => "{}",
+        Ok(t) => t,
+        Err(_) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                400,
+                &[],
+                &error_body("request body is not UTF-8"),
+            );
+            return;
+        }
+    };
+    let parsed = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                400,
+                &[],
+                &error_body(&format!("body is not valid JSON: {e}")),
+            );
+            return;
+        }
+    };
+    let spec = match JobSpec::from_json(endpoint, &parsed) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                400,
+                &[],
+                &error_body(&e.to_string()),
+            );
+            return;
+        }
+    };
+    let key = spec.cache_key();
+    if let Some(body) = shared.cache.get(&key) {
+        let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "hit")], &body);
+        return;
+    }
+    let started = Instant::now();
+    let runner = BatchRunner::sized(shared.config.sim_threads).with_cancel(shared.cancel.clone());
+    match spec.run(&runner) {
+        Ok(json) => {
+            let body: Arc<str> = Arc::from(json.to_pretty());
+            shared.metrics.count_trials(spec.trials());
+            shared
+                .metrics
+                .observe_latency(endpoint.as_str(), started.elapsed());
+            shared.cache.insert(key, Arc::clone(&body));
+            let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "miss")], &body);
+        }
+        Err(JobError::Cancelled) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                503,
+                &[("Retry-After", "1")],
+                &error_body("job cancelled during shutdown"),
+            );
+        }
+        Err(JobError::Invalid(m)) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                400,
+                &[],
+                &error_body(&format!("invalid job spec: {m}")),
+            );
+        }
+        Err(JobError::Failed(m)) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                500,
+                &[],
+                &error_body(&format!("simulation failed: {m}")),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory duplex: reads from a canned request, captures writes.
+    struct FakeStream {
+        input: std::io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl FakeStream {
+        fn new(raw: &str) -> Self {
+            FakeStream {
+                input: std::io::Cursor::new(raw.as_bytes().to_vec()),
+                output: Vec::new(),
+            }
+        }
+
+        fn response(&self) -> String {
+            String::from_utf8(self.output.clone()).expect("UTF-8 response")
+        }
+    }
+
+    impl Read for FakeStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for FakeStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn shared() -> Shared {
+        Shared {
+            config: ServeConfig {
+                sim_threads: Some(1),
+                ..ServeConfig::default()
+            },
+            queue: Queue::new(4),
+            cache: Cache::new(1 << 20),
+            metrics: Metrics::new(),
+            cancel: CancelToken::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn drive(shared: &Shared, raw: &str) -> String {
+        let mut stream = FakeStream::new(raw);
+        handle_connection(shared, &mut stream);
+        stream.response()
+    }
+
+    fn post(path: &str, body: &str) -> String {
+        format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn routes_health_metrics_and_errors() {
+        let sh = shared();
+        assert!(drive(&sh, "GET /healthz HTTP/1.1\r\n\r\n").contains("\"status\":\"ok\""));
+        assert!(drive(&sh, "GET /metrics HTTP/1.1\r\n\r\n")
+            .contains("tauhls_serve_requests_total{endpoint=\"healthz\"} 1"));
+        assert!(drive(&sh, "GET /nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(drive(&sh, "DELETE /healthz HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        assert!(drive(&sh, "GET /v1/simulate HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        assert!(drive(&sh, &post("/v1/unknown", "{}")).starts_with("HTTP/1.1 404"));
+        assert!(drive(&sh, "garbage\r\n\r\n").starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn job_requests_answer_parse_spec_and_simulation_errors() {
+        let sh = shared();
+        let bad_json = drive(&sh, &post("/v1/simulate", "{not json"));
+        assert!(bad_json.starts_with("HTTP/1.1 400"), "{bad_json}");
+        assert!(bad_json.contains("byte "), "offset missing: {bad_json}");
+        let bad_spec = drive(&sh, &post("/v1/simulate", r#"{"trials":0}"#));
+        assert!(bad_spec.starts_with("HTTP/1.1 400"), "{bad_spec}");
+    }
+
+    #[test]
+    fn cold_then_hot_bodies_are_byte_identical() {
+        let sh = shared();
+        let spec = r#"{"dfg":"fir3","trials":30,"p":[0.5],"seed":11}"#;
+        let cold = drive(&sh, &post("/v1/simulate", spec));
+        let hot = drive(&sh, &post("/v1/simulate", spec));
+        assert!(cold.contains("X-Cache: miss"), "{cold}");
+        assert!(hot.contains("X-Cache: hit"), "{hot}");
+        let body = |r: &str| r.split("\r\n\r\n").nth(1).map(String::from);
+        assert_eq!(
+            body(&cold).expect("cold body"),
+            body(&hot).expect("hot body")
+        );
+        // Equivalent spelling of the same spec also hits.
+        let same = drive(
+            &sh,
+            &post(
+                "/v1/simulate",
+                r#"{"seed":11,"p":[0.5],"trials":30,"dfg":"fir3"}"#,
+            ),
+        );
+        assert!(same.contains("X-Cache: hit"), "{same}");
+        assert_eq!(body(&cold), body(&same));
+    }
+
+    #[test]
+    fn cancelled_jobs_answer_503_and_do_not_poison_the_cache() {
+        let sh = shared();
+        sh.cancel.cancel();
+        let spec = r#"{"dfg":"fir3","trials":30}"#;
+        let r = drive(&sh, &post("/v1/simulate", spec));
+        assert!(r.starts_with("HTTP/1.1 503"), "{r}");
+        assert!(r.contains("Retry-After: 1"), "{r}");
+        assert_eq!(sh.cache.entries(), 0);
+    }
+}

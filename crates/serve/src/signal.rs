@@ -1,0 +1,78 @@
+//! SIGTERM / SIGINT → a process-wide shutdown flag, with no libc crate.
+//!
+//! std offers no signal API, so on Unix we declare the C `signal(2)`
+//! entry point directly (the only unsafe code in the workspace). The
+//! handler does the single async-signal-safe thing possible: store into
+//! a static atomic. The serve loop polls [`shutdown_requested`] and runs
+//! the orderly drain from normal thread context. On non-Unix targets the
+//! installer is a no-op and ctrl-c falls back to default termination.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM/SIGINT (or [`request_shutdown`]) has fired.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Trips the shutdown flag from normal code (tests, embedders).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+// The crate denies `unsafe_code`; this module is the single, audited
+// opt-out — one extern declaration and one call into `signal(2)`.
+#[allow(unsafe_code)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        // `sighandler_t signal(int signum, sighandler_t handler)` from the
+        // platform C library, which is always linked.
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation in the handler: one store.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C standard library function with the
+        // declared signature; `on_signal` is an `extern "C" fn(i32)` that
+        // performs only an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that trip the shutdown flag
+/// (no-op off Unix). Idempotent.
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_trips_the_flag() {
+        // Static state: this test is the only writer in the crate's
+        // test binary, so the observed transition is deterministic.
+        install_handlers();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -40,9 +40,43 @@ use crate::latency::{ControlStyle, LatencySummary};
 use crate::model::CompletionModel;
 use rand::rngs::StdRng;
 use rand::{splitmix64_mix, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
+
+/// A cooperative cancellation flag shared between a shutdown path and the
+/// workers of a [`BatchRunner`].
+///
+/// Attach a clone to a runner with [`BatchRunner::with_cancel`]; once some
+/// other thread calls [`CancelToken::cancel`], workers stop claiming new
+/// chunks at the next chunk boundary and the batch APIs
+/// ([`SimJob::run`], [`latency_triple_batch`], …) return
+/// [`SimError::Cancelled`] instead of partial statistics. This is the
+/// drain hook a long-running service uses on shutdown: in-flight chunks
+/// still finish (trials are never interrupted mid-simulation), but the
+/// remaining work is abandoned promptly.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// Derives the RNG seed for one trial of one job.
 ///
@@ -226,10 +260,11 @@ impl Accumulator for FirstError {
 /// folded in chunk-index order. Because chunk boundaries depend only on
 /// `(trials, chunk_size)` — never on thread count or scheduling — the
 /// result is bit-identical for any `threads >= 1`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BatchRunner {
     threads: usize,
     chunk_size: u64,
+    cancel: Option<CancelToken>,
 }
 
 /// Default number of trials a worker claims at a time.
@@ -241,6 +276,7 @@ impl BatchRunner {
         BatchRunner {
             threads: threads.max(1),
             chunk_size: DEFAULT_CHUNK_SIZE,
+            cancel: None,
         }
     }
 
@@ -257,6 +293,15 @@ impl BatchRunner {
         BatchRunner::new(threads)
     }
 
+    /// `Some(n)` → exactly `n` workers, `None` → all available cores: the
+    /// one mapping every `--threads` front end (CLI and service) shares.
+    pub fn sized(threads: Option<usize>) -> Self {
+        match threads {
+            Some(n) => BatchRunner::new(n),
+            None => BatchRunner::available(),
+        }
+    }
+
     /// Overrides the chunk size. Results depend on the chunk size only
     /// through accumulators with non-associative (`f64`) state; exact
     /// accumulators such as [`CycleStats`] are invariant to it.
@@ -264,6 +309,32 @@ impl BatchRunner {
         assert!(chunk_size > 0, "chunk size must be positive");
         self.chunk_size = chunk_size;
         self
+    }
+
+    /// Attaches a cancellation token checked at every chunk boundary.
+    ///
+    /// Until the token fires, behaviour (and therefore every result) is
+    /// identical to a runner without one.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this runner's token (if any) has requested cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// `Err(SimError::Cancelled)` once the runner's token has fired.
+    ///
+    /// The batch APIs call this after every reduction so a cancelled run
+    /// surfaces as a structured error instead of partial statistics.
+    pub fn check_cancelled(&self) -> Result<(), SimError> {
+        if self.is_cancelled() {
+            Err(SimError::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     /// Number of worker threads this runner uses.
@@ -296,9 +367,13 @@ impl BatchRunner {
             acc
         };
 
+        let cancelled = || self.is_cancelled();
         let mut per_chunk: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
         if self.threads == 1 || num_chunks == 1 {
             for (chunk, slot) in per_chunk.iter_mut().enumerate() {
+                if cancelled() {
+                    break;
+                }
                 *slot = Some(run_chunk(chunk));
             }
         } else {
@@ -310,6 +385,9 @@ impl BatchRunner {
                         scope.spawn(|| {
                             let mut local = Vec::new();
                             loop {
+                                if cancelled() {
+                                    break;
+                                }
                                 let chunk = next.fetch_add(1, Ordering::Relaxed);
                                 if chunk >= num_chunks {
                                     break;
@@ -331,8 +409,11 @@ impl BatchRunner {
         }
 
         let mut merged = A::empty();
-        for slot in per_chunk {
-            merged.fold(slot.expect("every chunk was claimed exactly once"));
+        for slot in per_chunk.into_iter().flatten() {
+            // Every chunk is claimed exactly once; a `None` slot can only
+            // remain after cancellation, in which case the caller discards
+            // the partial fold through `check_cancelled`.
+            merged.fold(slot);
         }
         merged
     }
@@ -427,6 +508,7 @@ impl<'a> SimJob<'a> {
                 }
             },
         );
+        runner.check_cancelled()?;
         errors.into_result()?;
         Ok(stats)
     }
@@ -519,6 +601,7 @@ pub fn latency_pair_batch(
                 }
             },
         );
+        runner.check_cancelled()?;
         errors.into_result()?;
         sync_avg.push(sync.mean());
         dist_avg.push(dist.mean());
@@ -602,6 +685,7 @@ pub fn latency_triple_batch(
                     }
                 },
             );
+        runner.check_cancelled()?;
         errors.into_result()?;
         sync_avg.push(sync.mean());
         dist_avg.push(dist.mean());
@@ -775,5 +859,56 @@ mod tests {
         let runner = BatchRunner::new(4);
         let acc: CycleStats = runner.run(0, |_, _| unreachable!());
         assert_eq!(acc.count, 0);
+    }
+
+    #[test]
+    fn pre_cancelled_runner_reports_cancellation() {
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 4] {
+            let runner = BatchRunner::new(threads).with_cancel(token.clone());
+            // No chunk is ever claimed; the trial closure must not run.
+            let acc: CycleStats = runner.run(100, |_, _| unreachable!());
+            assert_eq!(acc.count, 0);
+            let err = SimJob::new(&bound, ControlStyle::Distributed, &model)
+                .trials(100)
+                .run(3, &runner)
+                .unwrap_err();
+            assert_eq!(err, SimError::Cancelled);
+            let err = latency_triple_batch(&bound, &[0.5], 100, 3, &runner).unwrap_err();
+            assert_eq!(err, SimError::Cancelled);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_claiming_chunks() {
+        let token = CancelToken::new();
+        let runner = BatchRunner::new(1)
+            .with_chunk_size(1)
+            .with_cancel(token.clone());
+        // Cancel from inside trial 4: later chunks must never start.
+        let stats: CycleStats = runner.run(1_000, |trial, acc: &mut CycleStats| {
+            assert!(trial <= 4, "chunk claimed after cancellation");
+            if trial == 4 {
+                token.cancel();
+            }
+            acc.record(trial as usize);
+        });
+        assert_eq!(stats.count, 5);
+        assert_eq!(runner.check_cancelled(), Err(SimError::Cancelled));
+    }
+
+    #[test]
+    fn uncancelled_token_leaves_results_bit_identical() {
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let job = SimJob::new(&bound, ControlStyle::Distributed, &model).trials(300);
+        let plain = job.run(11, &BatchRunner::new(4)).unwrap();
+        let with_token = job
+            .run(11, &BatchRunner::new(4).with_cancel(CancelToken::new()))
+            .unwrap();
+        assert_eq!(plain, with_token);
     }
 }

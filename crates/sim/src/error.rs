@@ -79,6 +79,10 @@ pub enum SimError {
     /// The simulation request itself was malformed (e.g. zero trials or
     /// zero iterations).
     InvalidConfig(String),
+    /// The batch run was cancelled through its
+    /// [`CancelToken`](crate::CancelToken) before every trial completed;
+    /// partial statistics were discarded.
+    Cancelled,
 }
 
 impl SimError {
@@ -105,6 +109,7 @@ impl fmt::Display for SimError {
                 write!(f, "unrecognized controller state name {state} in {fsm}")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::Cancelled => write!(f, "simulation cancelled before completion"),
         }
     }
 }

@@ -9,6 +9,8 @@
 //! tauhls report     <file.dfg> [options]   whole-system area breakdown
 //! tauhls verilog    <file.dfg> [options]   emit the control unit as Verilog
 //! tauhls dot        <file.dfg> [options]   emit the bound DFG as Graphviz DOT
+//! tauhls serve      [serve options]        run the HTTP simulation service
+//! tauhls call       <endpoint> [spec.json] query a running service
 //!
 //! options:
 //!   --muls N --adds N --subs N   allocation (default 2/1/1; × telescopic)
@@ -19,14 +21,28 @@
 //!   --seed N                     RNG seed (default 2003)
 //!   --threads N                  simulation worker threads (default: all
 //!                                cores; results identical for any N)
+//!
+//! serve options:
+//!   --addr HOST:PORT             listen address (default 127.0.0.1:7203)
+//!   --workers N                  job worker threads (default 4)
+//!   --queue N                    job queue capacity (default 64)
+//!   --cache-mb N                 response cache budget in MiB (default 32)
+//!   --threads N                  simulation threads per job (default: all)
+//!
+//! call: endpoint is simulate|table2|resilience|healthz|metrics; the
+//! optional spec.json is POSTed as the job spec. --addr as above.
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
+use tauhls::core::jobspec::Endpoint;
 use tauhls::core::resilience::resilience_sweep;
 use tauhls::dfg::parse_dfg;
 use tauhls::fsm::{control_unit_to_verilog, synthesize, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
+use tauhls::serve::{client, signal, ServeConfig, Server};
 use tauhls::sim::{latency_triple_batch, BatchRunner};
 use tauhls::Allocation;
 use tauhls_json::ToJson;
@@ -64,7 +80,11 @@ fn usage() -> ExitCode {
         "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file.dfg> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
-         [--threads N]\n       tauhls table2 [--trials N] [--seed N] [--threads N]"
+         [--threads N]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
+         \n       tauhls serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache-mb N] [--threads N]\
+         \n       tauhls call <simulate|table2|resilience|healthz|metrics> \
+         [spec.json] [--addr HOST:PORT]"
     );
     ExitCode::from(2)
 }
@@ -108,6 +128,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(o)
+}
+
+/// One `--threads` mapping for every subcommand (and, via
+/// [`BatchRunner::sized`], the `serve` worker pool too).
+fn runner_for(threads: Option<usize>) -> BatchRunner {
+    BatchRunner::sized(threads)
 }
 
 fn bind(path: &str, o: &Options) -> Result<BoundDfg, String> {
@@ -158,10 +184,7 @@ fn cmd_synth(bound: &BoundDfg, o: &Options) {
 }
 
 fn cmd_simulate(bound: &BoundDfg, o: &Options) {
-    let runner = match o.threads {
-        Some(n) => BatchRunner::new(n),
-        None => BatchRunner::available(),
-    };
+    let runner = runner_for(o.threads);
     let (sync, dist, cent) =
         latency_triple_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner)
             .expect("fault-free simulation");
@@ -193,13 +216,137 @@ fn cmd_resilience(bound: &BoundDfg, o: &Options) -> Result<(), String> {
     if !(0.0..=1.0).contains(&p) {
         return Err(format!("--p {p} is not a probability"));
     }
-    let runner = match o.threads {
-        Some(n) => BatchRunner::new(n),
-        None => BatchRunner::available(),
-    };
+    let runner = runner_for(o.threads);
     let report = resilience_sweep(bound, p, o.trials as u64, o.seed, &runner);
     print!("{}", report.to_json().to_pretty());
     Ok(())
+}
+
+/// Parses `tauhls serve` flags onto a [`ServeConfig`].
+fn parse_serve_options(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--addr" => config.addr = value()?.clone(),
+            "--workers" => {
+                config.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity = value()?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--cache-mb" => {
+                let mb: usize = value()?.parse().map_err(|e| format!("--cache-mb: {e}"))?;
+                config.cache_bytes = mb * 1024 * 1024;
+            }
+            "--threads" => {
+                config.sim_threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            other => return Err(format!("unknown serve option {other}")),
+        }
+    }
+    Ok(config)
+}
+
+/// `tauhls serve`: run the service until SIGTERM/ctrl-c, then drain.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let config = match parse_serve_options(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signal::install_handlers();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts (and the integration tests) read the resolved address off
+    // this line, so flush it out before blocking.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested: draining in-flight jobs");
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// `tauhls call`: one request against a running service.
+fn cmd_call(args: &[String]) -> ExitCode {
+    let mut addr = ServeConfig::default().addr;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("error: missing value for --addr");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown call option {flag}");
+                return ExitCode::FAILURE;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let (Some(endpoint), spec_path) = (positional.first(), positional.get(1)) else {
+        eprintln!("error: call needs an endpoint (simulate|table2|resilience|healthz|metrics)");
+        return ExitCode::FAILURE;
+    };
+    if positional.len() > 2 {
+        eprintln!("error: too many arguments to call");
+        return ExitCode::FAILURE;
+    }
+    let (method, path) = match endpoint.as_str() {
+        "healthz" => ("GET", "/healthz".to_string()),
+        "metrics" => ("GET", "/metrics".to_string()),
+        name if Endpoint::parse(name).is_some() => ("POST", format!("/v1/{name}")),
+        other => {
+            eprintln!(
+                "error: unknown endpoint '{other}' (simulate|table2|resilience|healthz|metrics)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = match spec_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => "{}".to_string(),
+    };
+    let payload = (method == "POST").then_some(body.as_str());
+    match client::request(&addr, method, &path, payload, Duration::from_secs(600)) {
+        Ok(response) if response.status == 200 => {
+            print!("{}", response.body);
+            ExitCode::SUCCESS
+        }
+        Ok(response) => {
+            eprintln!(
+                "error: HTTP {} from {path}: {}",
+                response.status,
+                response.body.trim()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -207,6 +354,13 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
+    // The service subcommands parse their own flags.
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    if cmd == "call" {
+        return cmd_call(&args[1..]);
+    }
     // `table2` runs the built-in paper suite and takes no DFG file.
     if cmd == "table2" {
         let options = match parse_options(&args[1..]) {
@@ -216,14 +370,15 @@ fn main() -> ExitCode {
                 return usage();
             }
         };
-        let runner = match options.threads {
-            Some(n) => BatchRunner::new(n),
-            None => BatchRunner::available(),
+        let runner = runner_for(options.threads);
+        let table = match tauhls::core::experiments::table2(options.trials, options.seed, &runner) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         };
-        print!(
-            "{}",
-            tauhls::core::experiments::table2(options.trials, options.seed, &runner)
-        );
+        print!("{table}");
         return ExitCode::SUCCESS;
     }
     let Some(path) = args.get(1) else {
@@ -329,5 +484,20 @@ mod tests {
     fn bind_reports_missing_file_and_bad_alloc() {
         let o = Options::default();
         assert!(bind("/nonexistent/x.dfg", &o).is_err());
+    }
+
+    #[test]
+    fn serve_options_parse_and_reject() {
+        let c = parse_serve_options(&args(
+            "--addr 0.0.0.0:9000 --workers 2 --queue 8 --cache-mb 4 --threads 1",
+        ))
+        .unwrap();
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!((c.workers, c.queue_capacity), (2, 8));
+        assert_eq!(c.cache_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.sim_threads, Some(1));
+        assert!(parse_serve_options(&args("--workers")).is_err());
+        assert!(parse_serve_options(&args("--cache-mb x")).is_err());
+        assert!(parse_serve_options(&args("--wat 1")).is_err());
     }
 }

@@ -13,7 +13,9 @@
 //! * [`fsm`] — Algorithm 1 controllers, TAUBM/CENT styles, synthesis;
 //! * [`sim`] — cycle-accurate simulation and latency statistics;
 //! * [`core`] — the end-to-end [`Synthesis`] pipeline and the paper's
-//!   experiment drivers.
+//!   experiment drivers;
+//! * [`serve`] — the concurrent HTTP simulation service with
+//!   content-addressed result caching.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@ pub use tauhls_dfg as dfg;
 pub use tauhls_fsm as fsm;
 pub use tauhls_logic as logic;
 pub use tauhls_sched as sched;
+pub use tauhls_serve as serve;
 pub use tauhls_sim as sim;
 
 pub use tauhls_core::{Design, Synthesis, SynthesisError, Timing};

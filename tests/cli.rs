@@ -122,6 +122,49 @@ fn resilience_misuse_fails_cleanly() {
 }
 
 #[test]
+fn call_misuse_fails_with_one_line_messages() {
+    let out = tauhls(&["call"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "call needs an endpoint");
+
+    let out = tauhls(&["call", "bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "unknown endpoint 'bogus'");
+
+    let out = tauhls(&["call", "healthz", "--addr"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "missing value for --addr");
+
+    let out = tauhls(&["call", "simulate", "a.json", "b.json", "extra"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "too many arguments");
+
+    let out = tauhls(&["call", "simulate", "/nonexistent/spec.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "/nonexistent/spec.json");
+
+    // Nothing listening: connection refused, one line, no backtrace.
+    let out = tauhls(&["call", "healthz", "--addr", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "connect 127.0.0.1:1");
+}
+
+#[test]
+fn serve_misuse_fails_with_one_line_messages() {
+    let out = tauhls(&["serve", "--workers", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "--workers");
+
+    let out = tauhls(&["serve", "--wat", "1"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "unknown serve option --wat");
+
+    let out = tauhls(&["serve", "--addr", "not-an-address"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "cannot start server");
+}
+
+#[test]
 fn resilience_happy_path_emits_deterministic_json() {
     let args = [
         "resilience",

@@ -37,9 +37,13 @@ fn latency_summaries_identical_across_thread_counts() {
 #[test]
 fn table2_json_identical_across_thread_counts() {
     // The full paper artifact, rendered to its canonical byte form.
-    let reference = table2(200, 7, &BatchRunner::serial()).to_json().to_pretty();
+    let reference = table2(200, 7, &BatchRunner::serial())
+        .expect("fault-free table2")
+        .to_json()
+        .to_pretty();
     for threads in [2usize, 8] {
         let got = table2(200, 7, &BatchRunner::new(threads))
+            .expect("fault-free table2")
             .to_json()
             .to_pretty();
         assert_eq!(reference, got, "threads = {threads}");

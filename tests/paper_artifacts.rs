@@ -80,7 +80,7 @@ fn table1_reproduces_paper_ordering() {
 
 #[test]
 fn table2_reproduces_paper_shape() {
-    let t = table2(600, 7, &BatchRunner::available());
+    let t = table2(600, 7, &BatchRunner::available()).expect("fault-free table2");
     // Best/worst columns in ns are exact, deterministic reproductions.
     let by_name = |n: &str| t.rows.iter().find(|r| r.name == n).unwrap();
     let fir3 = by_name("fir3");
