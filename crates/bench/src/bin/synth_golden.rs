@@ -1,0 +1,16 @@
+//! Regenerates `synth_golden.json`: the staged-pipeline conformance
+//! corpus (paper benchmark × state encoding, fingerprinting the
+//! artifact-hash chain and every synthesized controller).
+//! `tests/golden.rs` byte-compares the checked-in copy against the
+//! current pipeline, so any drift in scheduling, binding, controller
+//! generation, logic synthesis, or the hashing discipline shows up as a
+//! diff.
+
+use tauhls_core::conformance::synth_conformance;
+
+fn main() {
+    let rendered = synth_conformance().to_pretty();
+    std::fs::write("synth_golden.json", &rendered).expect("write synth_golden.json");
+    let entries = rendered.matches("\"bench\"").count();
+    println!("synth_golden.json: {entries} corpus entries");
+}

@@ -195,24 +195,25 @@ pub struct Table2 {
     pub trials: usize,
 }
 
-/// The paper's benchmark suite with its Table 2 allocations.
+/// The paper's benchmark suite with its Table 2 allocations — the one
+/// canonical accessor every driver, bench bin, and test routes through.
+/// Graphs come from the [`benchmarks::NAMES`] registry via
+/// [`benchmarks::by_name`].
 pub fn paper_benchmarks() -> Vec<(Dfg, Allocation, &'static str)> {
-    vec![
-        (benchmarks::fir3(), Allocation::paper(2, 1, 0), "*:2, +:1"),
-        (benchmarks::fir5(), Allocation::paper(2, 1, 0), "*:2, +:1"),
-        (benchmarks::iir2(), Allocation::paper(2, 1, 0), "*:2, +:1"),
-        (benchmarks::iir3(), Allocation::paper(3, 2, 0), "*:3, +:2"),
-        (
-            benchmarks::diffeq(),
-            Allocation::paper(2, 1, 1),
-            "*:2, +:1, -:1",
-        ),
-        (
-            benchmarks::ar_lattice4(),
-            Allocation::paper(4, 2, 0),
-            "*:4, +:2",
-        ),
-    ]
+    let rows: [(&str, Allocation, &'static str); 6] = [
+        ("fir3", Allocation::paper(2, 1, 0), "*:2, +:1"),
+        ("fir5", Allocation::paper(2, 1, 0), "*:2, +:1"),
+        ("iir2", Allocation::paper(2, 1, 0), "*:2, +:1"),
+        ("iir3", Allocation::paper(3, 2, 0), "*:3, +:2"),
+        ("diffeq", Allocation::paper(2, 1, 1), "*:2, +:1, -:1"),
+        ("ar_lattice4", Allocation::paper(4, 2, 0), "*:4, +:2"),
+    ];
+    rows.into_iter()
+        .map(|(name, alloc, resources)| {
+            let dfg = benchmarks::by_name(name).expect("registry covers the paper suite");
+            (dfg, alloc, resources)
+        })
+        .collect()
 }
 
 /// Regenerates Table 2: `LT_TAU` vs `LT_DIST` vs `LT_CENT` for the six

@@ -16,15 +16,21 @@
 use std::fmt;
 
 use tauhls_dfg::{benchmarks, parse_dfg, Dfg};
+use tauhls_fsm::Encoding;
 use tauhls_json::{Json, ToJson};
+use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg};
 use tauhls_sim::{
     enhancement_percent, latency_triple_batch, BatchRunner, LatencySummary, SimError,
 };
 
 use crate::experiments::table2;
+use crate::report::system_area_from_logic;
 use crate::resilience::resilience_sweep;
-use crate::Timing;
+use crate::stages::{
+    self, BindStrategy, PipelineTrace, StageCache, StageRecord, SynthesisInput, SynthesizedLogic,
+};
+use crate::{SynthesisError, Timing};
 
 /// Upper bound on Monte-Carlo trials a single job may request.
 pub const MAX_TRIALS: u64 = 1_000_000;
@@ -34,29 +40,15 @@ pub const MAX_P_VALUES: usize = 16;
 pub const MAX_DFG_TEXT: usize = 64 * 1024;
 /// Upper bound on any one unit count (`muls`/`adds`/`subs`).
 pub const MAX_UNITS: usize = 64;
+/// Upper bound on the datapath width of an area estimate.
+pub const MAX_WIDTH: u64 = 128;
 
-/// The benchmark DFGs a job may name, in registry order.
-pub const BENCHMARKS: [&str; 7] = [
-    "diffeq",
-    "fir3",
-    "fir5",
-    "iir2",
-    "iir3",
-    "ar_lattice4",
-    "ewf",
-];
+/// The benchmark DFGs a job may name, in registry order (the canonical
+/// [`benchmarks::NAMES`] registry).
+pub const BENCHMARKS: [&str; 7] = benchmarks::NAMES;
 
 fn benchmark(name: &str) -> Option<Dfg> {
-    Some(match name {
-        "diffeq" => benchmarks::diffeq(),
-        "fir3" => benchmarks::fir3(),
-        "fir5" => benchmarks::fir5(),
-        "iir2" => benchmarks::iir2(),
-        "iir3" => benchmarks::iir3(),
-        "ar_lattice4" => benchmarks::ar_lattice4(),
-        "ewf" => benchmarks::ewf(),
-        _ => return None,
-    })
+    benchmarks::by_name(name)
 }
 
 /// The service endpoints a [`JobSpec`] can target.
@@ -68,6 +60,11 @@ pub enum Endpoint {
     Table2,
     /// Fault-injection sweep over every fault kind.
     Resilience,
+    /// Staged controller synthesis: artifact-hash chain plus per-unit
+    /// controller logic.
+    Synth,
+    /// Table-1-style controller area rows plus the full-system estimate.
+    Area,
 }
 
 impl Endpoint {
@@ -77,6 +74,8 @@ impl Endpoint {
             Endpoint::Simulate => "simulate",
             Endpoint::Table2 => "table2",
             Endpoint::Resilience => "resilience",
+            Endpoint::Synth => "synth",
+            Endpoint::Area => "area",
         }
     }
 
@@ -86,9 +85,28 @@ impl Endpoint {
             "simulate" => Endpoint::Simulate,
             "table2" => Endpoint::Table2,
             "resilience" => Endpoint::Resilience,
+            "synth" => Endpoint::Synth,
+            "area" => Endpoint::Area,
             _ => return None,
         })
     }
+}
+
+fn encoding_name(encoding: Encoding) -> &'static str {
+    match encoding {
+        Encoding::Binary => "binary",
+        Encoding::Gray => "gray",
+        Encoding::OneHot => "onehot",
+    }
+}
+
+fn parse_encoding(s: &str) -> Option<Encoding> {
+    Some(match s {
+        "binary" => Encoding::Binary,
+        "gray" => Encoding::Gray,
+        "onehot" => Encoding::OneHot,
+        _ => return None,
+    })
 }
 
 /// Where a job's dataflow graph comes from.
@@ -162,6 +180,42 @@ pub struct ResilienceSpec {
     pub seed: u64,
 }
 
+/// Validated spec for `POST /v1/synth`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthSpec {
+    /// The graph to synthesize controllers for.
+    pub dfg: DfgSource,
+    /// Telescopic multipliers allocated.
+    pub muls: usize,
+    /// Adders allocated.
+    pub adds: usize,
+    /// Subtractors allocated.
+    pub subs: usize,
+    /// `true` → chain binding, `false` → left-edge (the default).
+    pub chains: bool,
+    /// The state encoding for logic synthesis.
+    pub encoding: Encoding,
+}
+
+/// Validated spec for `POST /v1/area`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AreaSpec {
+    /// The graph to estimate.
+    pub dfg: DfgSource,
+    /// Telescopic multipliers allocated.
+    pub muls: usize,
+    /// Adders allocated.
+    pub adds: usize,
+    /// Subtractors allocated.
+    pub subs: usize,
+    /// `true` → chain binding, `false` → left-edge (the default).
+    pub chains: bool,
+    /// The state encoding for logic synthesis.
+    pub encoding: Encoding,
+    /// Datapath operand width of the system estimate.
+    pub width: u32,
+}
+
 /// One validated, canonicalized service job.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobSpec {
@@ -171,6 +225,10 @@ pub enum JobSpec {
     Table2(Table2Spec),
     /// `POST /v1/resilience`.
     Resilience(ResilienceSpec),
+    /// `POST /v1/synth`.
+    Synth(SynthSpec),
+    /// `POST /v1/area`.
+    Area(AreaSpec),
 }
 
 /// Why a job could not be completed, pre-sorted into HTTP status classes.
@@ -204,6 +262,12 @@ impl JobError {
             SimError::InvalidConfig(m) => JobError::Invalid(m),
             other => JobError::Failed(other.to_string()),
         }
+    }
+
+    fn from_synthesis(err: SynthesisError) -> JobError {
+        // Every synthesis failure is a property of the request (bad graph,
+        // bad allocation, bad binding), so they all map to HTTP 400.
+        JobError::Invalid(err.to_string())
     }
 }
 
@@ -298,6 +362,15 @@ impl<'a> Fields<'a> {
             .collect()
     }
 
+    fn encoding(&self) -> Result<Encoding, String> {
+        match self.get("encoding") {
+            None => Ok(Encoding::Binary),
+            Some(j) => j.as_str().and_then(parse_encoding).ok_or_else(|| {
+                "'encoding' must be \"binary\", \"gray\", or \"onehot\"".to_string()
+            }),
+        }
+    }
+
     fn binding(&self) -> Result<bool, String> {
         match self.get("binding") {
             None => Ok(false),
@@ -341,6 +414,25 @@ impl<'a> Fields<'a> {
     }
 }
 
+/// Parse-time validation for the synthesis endpoints: the graph must
+/// build, be non-empty, and be coverable by the allocation — so a spec
+/// that parses is guaranteed to synthesize.
+fn check_synthesizable(
+    dfg: &DfgSource,
+    muls: usize,
+    adds: usize,
+    subs: usize,
+) -> Result<(), String> {
+    let graph = dfg.build()?;
+    if graph.num_ops() == 0 {
+        return Err(format!("graph '{}' has no operations", graph.name()));
+    }
+    if !Allocation::paper(muls, adds, subs).covers(&graph) {
+        return Err("allocation lacks a unit for a used operation class".to_string());
+    }
+    Ok(())
+}
+
 fn bind_spec(
     dfg: &DfgSource,
     muls: usize,
@@ -358,6 +450,55 @@ fn bind_spec(
     } else {
         BoundDfg::bind(&graph, &alloc)
     })
+}
+
+/// Renders a trace's artifact-hash chain as a JSON array of
+/// `{stage, hash}` objects, hashes as fixed-width hex — deliberately
+/// without wall times, which vary run to run and would break the
+/// byte-identical response-cache guarantee.
+fn stage_hashes(trace: &PipelineTrace) -> Json {
+    Json::array(
+        trace
+            .hash_chain()
+            .into_iter()
+            .map(|(stage, hash)| {
+                Json::object([
+                    ("stage", Json::from(stage)),
+                    ("hash", Json::from(format!("{hash:016x}").as_str())),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The deterministic `/v1/synth` payload: one row per unit controller plus
+/// the synchronizing CENT-SYNC-FSM.
+fn synth_body(logic: &SynthesizedLogic) -> Json {
+    let units = logic.controls().design().bound().allocation().units();
+    let fsm_cells = |syn: &tauhls_fsm::SynthesizedFsm| {
+        vec![
+            ("states", Json::from(syn.num_states())),
+            ("flip_flops", Json::from(syn.flip_flops())),
+            ("inputs", Json::from(syn.num_inputs())),
+            ("outputs", Json::from(syn.num_outputs())),
+            ("area_combinational", Json::Float(syn.area().combinational)),
+            ("area_sequential", Json::Float(syn.area().sequential)),
+        ]
+    };
+    let controllers: Vec<Json> = logic
+        .controllers()
+        .iter()
+        .map(|(unit, syn)| {
+            let mut cells = vec![("unit", Json::from(units[unit.0].display_name().as_str()))];
+            cells.extend(fsm_cells(syn));
+            Json::object(cells)
+        })
+        .collect();
+    Json::object([
+        ("encoding", Json::from(encoding_name(logic.encoding()))),
+        ("controllers", Json::array(controllers)),
+        ("cent_sync", Json::object(fsm_cells(logic.cent_sync()))),
+    ])
 }
 
 impl JobSpec {
@@ -420,6 +561,43 @@ impl JobSpec {
                 bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)?;
                 Ok(JobSpec::Resilience(s))
             }
+            Endpoint::Synth => {
+                let f = Fields::new(
+                    spec,
+                    &[
+                        "dfg", "dfg_text", "muls", "adds", "subs", "binding", "encoding",
+                    ],
+                )?;
+                let s = SynthSpec {
+                    dfg: f.dfg()?,
+                    muls: f.usize_in("muls", 2, MAX_UNITS)?,
+                    adds: f.usize_in("adds", 1, MAX_UNITS)?,
+                    subs: f.usize_in("subs", 1, MAX_UNITS)?,
+                    chains: f.binding()?,
+                    encoding: f.encoding()?,
+                };
+                check_synthesizable(&s.dfg, s.muls, s.adds, s.subs)?;
+                Ok(JobSpec::Synth(s))
+            }
+            Endpoint::Area => {
+                let f = Fields::new(
+                    spec,
+                    &[
+                        "dfg", "dfg_text", "muls", "adds", "subs", "binding", "encoding", "width",
+                    ],
+                )?;
+                let s = AreaSpec {
+                    dfg: f.dfg()?,
+                    muls: f.usize_in("muls", 2, MAX_UNITS)?,
+                    adds: f.usize_in("adds", 1, MAX_UNITS)?,
+                    subs: f.usize_in("subs", 1, MAX_UNITS)?,
+                    chains: f.binding()?,
+                    encoding: f.encoding()?,
+                    width: f.u64_in("width", 16, 1, MAX_WIDTH)? as u32,
+                };
+                check_synthesizable(&s.dfg, s.muls, s.adds, s.subs)?;
+                Ok(JobSpec::Area(s))
+            }
         }
     }
 
@@ -429,17 +607,21 @@ impl JobSpec {
             JobSpec::Simulate(_) => Endpoint::Simulate,
             JobSpec::Table2(_) => Endpoint::Table2,
             JobSpec::Resilience(_) => Endpoint::Resilience,
+            JobSpec::Synth(_) => Endpoint::Synth,
+            JobSpec::Area(_) => Endpoint::Area,
         }
     }
 
     /// Monte-Carlo trials this job will run (table2: per benchmark row;
-    /// resilience: per fault kind) — the unit of the service's
-    /// trials-per-second gauge.
+    /// resilience: per fault kind; zero for the synthesis endpoints, which
+    /// run no simulation) — the unit of the service's trials-per-second
+    /// gauge.
     pub fn trials(&self) -> u64 {
         match self {
             JobSpec::Simulate(s) => s.trials,
             JobSpec::Table2(s) => s.trials,
             JobSpec::Resilience(s) => s.trials,
+            JobSpec::Synth(_) | JobSpec::Area(_) => 0,
         }
     }
 
@@ -484,6 +666,25 @@ impl JobSpec {
                 ("trials", Json::from(s.trials)),
                 ("seed", Json::from(s.seed)),
             ]),
+            JobSpec::Synth(s) => Json::object([
+                ("endpoint", Json::from("synth")),
+                dfg_pair(&s.dfg),
+                ("muls", Json::from(s.muls)),
+                ("adds", Json::from(s.adds)),
+                ("subs", Json::from(s.subs)),
+                ("binding", binding(s.chains)),
+                ("encoding", Json::from(encoding_name(s.encoding))),
+            ]),
+            JobSpec::Area(s) => Json::object([
+                ("endpoint", Json::from("area")),
+                dfg_pair(&s.dfg),
+                ("muls", Json::from(s.muls)),
+                ("adds", Json::from(s.adds)),
+                ("subs", Json::from(s.subs)),
+                ("binding", binding(s.chains)),
+                ("encoding", Json::from(encoding_name(s.encoding))),
+                ("width", Json::from(s.width as u64)),
+            ]),
         }
     }
 
@@ -501,6 +702,124 @@ impl JobSpec {
     /// [`JobError::Cancelled`] — never a partial result — so a draining
     /// server cannot poison its cache.
     pub fn run(&self, runner: &BatchRunner) -> Result<Json, JobError> {
+        self.run_with(runner, None).map(|(body, _)| body)
+    }
+
+    /// Like [`JobSpec::run`], threading an optional shared [`StageCache`]
+    /// through the synthesis endpoints and returning the executed
+    /// [`StageRecord`]s alongside the body (empty for the simulation
+    /// endpoints).
+    ///
+    /// The response body is a pure function of the spec — per-stage wall
+    /// times live only in the records, so a stage-cache hit is
+    /// byte-identical to the cold run and response caching stays sound.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobSpec::run`].
+    pub fn run_with(
+        &self,
+        runner: &BatchRunner,
+        stage_cache: Option<&StageCache>,
+    ) -> Result<(Json, Vec<StageRecord>), JobError> {
+        match self {
+            JobSpec::Synth(s) => {
+                let (logic, _, trace) = self.synthesize(
+                    &s.dfg,
+                    s.muls,
+                    s.adds,
+                    s.subs,
+                    s.chains,
+                    s.encoding,
+                    stage_cache,
+                )?;
+                let body = Json::object([
+                    ("spec", self.canonical()),
+                    ("stages", stage_hashes(&trace)),
+                    ("synth", synth_body(&logic)),
+                ]);
+                Ok((body, trace.records))
+            }
+            JobSpec::Area(s) => {
+                let (logic, reports, trace) = self.synthesize(
+                    &s.dfg,
+                    s.muls,
+                    s.adds,
+                    s.subs,
+                    s.chains,
+                    s.encoding,
+                    stage_cache,
+                )?;
+                let system = system_area_from_logic(&logic, &AreaModel::default(), s.width);
+                let rows: Vec<Json> = reports
+                    .rows()
+                    .iter()
+                    .map(|r| {
+                        Json::object([
+                            ("name", Json::from(r.name.as_str())),
+                            ("inputs", Json::from(r.inputs)),
+                            ("outputs", Json::from(r.outputs)),
+                            ("states", Json::from(r.states)),
+                            ("flip_flops", Json::from(r.flip_flops)),
+                            ("area_combinational", Json::Float(r.area_combinational)),
+                            ("area_sequential", Json::Float(r.area_sequential)),
+                        ])
+                    })
+                    .collect();
+                let body = Json::object([
+                    ("spec", self.canonical()),
+                    ("stages", stage_hashes(&trace)),
+                    ("rows", Json::array(rows)),
+                    ("system", system.to_json()),
+                ]);
+                Ok((body, trace.records))
+            }
+            _ => self.run_simulation(runner).map(|body| (body, Vec::new())),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn synthesize(
+        &self,
+        dfg: &DfgSource,
+        muls: usize,
+        adds: usize,
+        subs: usize,
+        chains: bool,
+        encoding: Encoding,
+        stage_cache: Option<&StageCache>,
+    ) -> Result<
+        (
+            std::sync::Arc<SynthesizedLogic>,
+            std::sync::Arc<stages::Reports>,
+            PipelineTrace,
+        ),
+        JobError,
+    > {
+        let graph = dfg.build().map_err(JobError::Invalid)?;
+        let input = SynthesisInput {
+            dfg: graph,
+            allocation: Allocation::paper(muls, adds, subs),
+            strategy: if chains {
+                BindStrategy::Chains
+            } else {
+                BindStrategy::LeftEdge
+            },
+        };
+        let mut trace = PipelineTrace::default();
+        let (logic, reports) = stages::run_full(
+            &input,
+            false,
+            encoding,
+            &AreaModel::default(),
+            stage_cache,
+            &mut trace,
+        )
+        .map_err(JobError::from_synthesis)?;
+        Ok((logic, reports, trace))
+    }
+
+    fn run_simulation(&self, runner: &BatchRunner) -> Result<Json, JobError> {
         match self {
             JobSpec::Simulate(s) => {
                 let bound = bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)
@@ -549,6 +868,11 @@ impl JobSpec {
                     ("spec", self.canonical()),
                     ("report", report.to_json()),
                 ]))
+            }
+            // The synthesis endpoints are dispatched by `run_with` before
+            // this helper is reached.
+            JobSpec::Synth(_) | JobSpec::Area(_) => {
+                unreachable!("synthesis endpoints handled in run_with")
             }
         }
     }
@@ -685,6 +1009,116 @@ mod tests {
         let res = parse(Endpoint::Resilience, r#"{"trials":12,"seed":3}"#).unwrap();
         let body = res.run(&BatchRunner::serial()).unwrap();
         assert!(body.get("report").unwrap().get("rows").is_some());
+    }
+
+    #[test]
+    fn synth_runs_deterministically_and_embeds_its_hash_chain() {
+        let spec = parse(Endpoint::Synth, r#"{"dfg":"fir3","muls":2,"adds":1}"#).unwrap();
+        let (body, records) = spec.run_with(&BatchRunner::serial(), None).unwrap();
+        assert_eq!(body.get("spec").unwrap().to_compact(), spec.cache_key());
+        let chain = body.get("stages").unwrap().as_array().unwrap();
+        assert_eq!(chain.len(), crate::stages::STAGE_NAMES.len());
+        for (entry, name) in chain.iter().zip(crate::stages::STAGE_NAMES) {
+            assert_eq!(entry.get("stage").unwrap().as_str(), Some(name));
+            assert_eq!(entry.get("hash").unwrap().as_str().map(str::len), Some(16));
+        }
+        assert_eq!(records.len(), crate::stages::STAGE_NAMES.len());
+        let synth = body.get("synth").unwrap();
+        assert_eq!(
+            synth.get("controllers").unwrap().as_array().map(<[_]>::len),
+            Some(3),
+            "fir3 @ (2,1,0) binds three units"
+        );
+        assert!(synth.get("cent_sync").unwrap().get("states").is_some());
+        // Byte-identical rerun: the cache-hit guarantee for /v1/synth.
+        let (again, _) = spec.run_with(&BatchRunner::serial(), None).unwrap();
+        assert_eq!(body.to_compact(), again.to_compact());
+    }
+
+    #[test]
+    fn area_reports_rows_and_system_breakdown() {
+        let spec = parse(Endpoint::Area, r#"{"dfg":"diffeq","subs":1,"width":32}"#).unwrap();
+        let body = spec.run(&BatchRunner::serial()).unwrap();
+        let rows = body.get("rows").unwrap().as_array().unwrap();
+        assert!(rows.iter().any(|r| r
+            .get("name")
+            .unwrap()
+            .as_str()
+            .is_some_and(|n| n.starts_with("D-FSM-"))));
+        let system = body.get("system").unwrap();
+        assert_eq!(system.get("width").unwrap().as_u64(), Some(32));
+        assert!(system.get("total").unwrap().as_f64().unwrap() > 0.0);
+        let frac = system.get("control_fraction").unwrap().as_f64().unwrap();
+        assert!((0.0..1.0).contains(&frac));
+    }
+
+    #[test]
+    fn synth_cache_is_shared_and_reused_across_encodings() {
+        let cache = StageCache::new(64);
+        let runner = BatchRunner::serial();
+        let base = parse(Endpoint::Synth, r#"{"dfg":"fir5"}"#).unwrap();
+        let (cold_body, cold) = base.run_with(&runner, Some(&cache)).unwrap();
+        assert!(cold.iter().all(|r| !r.cache_hit));
+        // Same graph + allocation, different encoding: the front of the
+        // pipeline is served from cache, only logic + report recompute.
+        let gray = parse(Endpoint::Synth, r#"{"dfg":"fir5","encoding":"gray"}"#).unwrap();
+        let (gray_body, warm) = gray.run_with(&runner, Some(&cache)).unwrap();
+        let hits: Vec<&str> = warm
+            .iter()
+            .filter(|r| r.cache_hit)
+            .map(|r| r.stage)
+            .collect();
+        assert_eq!(hits, ["canonicalize", "order", "bind", "controllers"]);
+        assert_ne!(cold_body.to_compact(), gray_body.to_compact());
+        // A cache-served replay is byte-identical to the cold run.
+        let (replay, records) = base.run_with(&runner, Some(&cache)).unwrap();
+        assert!(records.iter().all(|r| r.cache_hit));
+        assert_eq!(cold_body.to_compact(), replay.to_compact());
+    }
+
+    #[test]
+    fn synthesis_specs_reject_uncoverable_and_empty_graphs_at_parse_time() {
+        let cases: &[(Endpoint, &str, &str)] = &[
+            (
+                Endpoint::Synth,
+                r#"{"dfg":"fir5","muls":0}"#,
+                "allocation lacks a unit",
+            ),
+            (
+                Endpoint::Area,
+                r#"{"dfg":"diffeq","subs":0}"#,
+                "allocation lacks a unit",
+            ),
+            (
+                Endpoint::Synth,
+                r#"{"encoding":"sideways"}"#,
+                "'encoding' must be",
+            ),
+            (Endpoint::Synth, r#"{"trials":5}"#, "unknown field 'trials'"),
+            (Endpoint::Area, r#"{"width":0}"#, "'width' must be in"),
+            (Endpoint::Area, r#"{"width":129}"#, "'width' must be in"),
+            (
+                Endpoint::Synth,
+                r#"{"dfg_text":"dfg empty\ninput a\n"}"#,
+                "has no operations",
+            ),
+        ];
+        for (endpoint, text, needle) in cases {
+            let err = parse(*endpoint, text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: got {err:?}, want {needle:?}");
+            assert!(!err.contains('\n'), "{text}: multi-line error {err:?}");
+        }
+    }
+
+    #[test]
+    fn synth_canonicalization_materializes_encoding_and_width() {
+        let a = parse(Endpoint::Synth, "{}").unwrap();
+        assert!(a.cache_key().contains("\"encoding\":\"binary\""));
+        let b = parse(Endpoint::Area, "{}").unwrap();
+        assert!(b.cache_key().contains("\"width\":16"));
+        assert_eq!(a.trials() + b.trials(), 0);
+        assert_eq!(a.endpoint(), Endpoint::Synth);
+        assert_eq!(Endpoint::parse("area"), Some(Endpoint::Area));
     }
 
     #[test]

@@ -6,10 +6,30 @@
 //! thread counts.
 
 use crate::experiments::{AreaRow, ExplosionPoint, LatencyRow, SummaryCells, Table1, Table2};
+use crate::report::SystemArea;
 use crate::resilience::{KindStats, ResilienceReport};
 use crate::sweeps::{AllocationPoint, CurvePoint};
 use crate::utilization::{UtilizationRow, UtilizationTable};
 use tauhls_json::{Json, ToJson};
+
+impl ToJson for SystemArea {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("width", Json::from(u64::from(self.width))),
+            ("control_com", Json::Float(self.control_com)),
+            ("control_seq", Json::Float(self.control_seq)),
+            ("units", Json::Float(self.units)),
+            (
+                "completion_generators",
+                Json::Float(self.completion_generators),
+            ),
+            ("register_count", Json::from(self.register_count)),
+            ("registers", Json::Float(self.registers)),
+            ("total", Json::Float(self.total())),
+            ("control_fraction", Json::Float(self.control_fraction())),
+        ])
+    }
+}
 
 impl ToJson for AreaRow {
     fn to_json(&self) -> Json {

@@ -51,7 +51,9 @@ mod json;
 mod pipeline;
 pub mod report;
 pub mod resilience;
+pub mod stages;
 pub mod sweeps;
 pub mod utilization;
 
 pub use pipeline::{Design, Synthesis, SynthesisError, Timing};
+pub use stages::{BindStrategy, PipelineTrace, StageCache, StageRecord};

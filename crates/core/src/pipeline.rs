@@ -1,12 +1,16 @@
 //! The end-to-end synthesis pipeline: DFG + allocation + timing →
 //! scheduled/bound design → controllers → area and latency reports.
+//!
+//! [`Synthesis::run`] is a thin driver over the staged pass pipeline in
+//! [`crate::stages`]; use [`Synthesis::run_traced`] to also observe the
+//! artifact-hash chain and per-stage wall times.
 
+use std::sync::Arc;
+
+use crate::stages::{self, BindStrategy, ControlUnits, PipelineTrace, StageCache, SynthesisInput};
 use rand::Rng;
 use tauhls_dfg::Dfg;
-use tauhls_fsm::{
-    cent_sync_fsm, synchronous_product, synthesize, DistributedControlUnit, Encoding, Fsm,
-    SynthesizedFsm,
-};
+use tauhls_fsm::{synthesize, DistributedControlUnit, Encoding, Fsm, SynthesizedFsm};
 use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg, UnitId};
 use tauhls_sim::{
@@ -63,13 +67,16 @@ pub struct Synthesis {
     dfg: Dfg,
     allocation: Allocation,
     timing: Timing,
-    explicit_binding: Option<Vec<Vec<tauhls_dfg::OpId>>>,
+    strategy: BindStrategy,
     build_centralized: bool,
 }
 
 /// Errors from [`Synthesis::run`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum SynthesisError {
+    /// The request is malformed before any pass can run (empty graph,
+    /// self-contradictory configuration).
+    InvalidConfig(String),
     /// The allocation lacks a unit for a used operation class.
     InsufficientAllocation,
     /// The explicit binding was rejected.
@@ -79,6 +86,7 @@ pub enum SynthesisError {
 impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SynthesisError::InvalidConfig(why) => write!(f, "invalid synthesis request: {why}"),
             SynthesisError::InsufficientAllocation => {
                 write!(f, "allocation lacks a unit for a used operation class")
             }
@@ -98,7 +106,7 @@ impl Synthesis {
             dfg,
             allocation: Allocation::new(),
             timing: Timing::default(),
-            explicit_binding: None,
+            strategy: BindStrategy::LeftEdge,
             build_centralized: false,
         }
     }
@@ -115,9 +123,15 @@ impl Synthesis {
         self
     }
 
+    /// Selects the binding strategy (left-edge by default).
+    pub fn strategy(mut self, strategy: BindStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Forces an explicit per-unit binding (paper-figure reproduction).
     pub fn explicit_binding(mut self, sequences: Vec<Vec<tauhls_dfg::OpId>>) -> Self {
-        self.explicit_binding = Some(sequences);
+        self.strategy = BindStrategy::Explicit(sequences);
         self
     }
 
@@ -135,70 +149,81 @@ impl Synthesis {
     /// Returns a [`SynthesisError`] if the allocation cannot execute the
     /// graph or an explicit binding is inconsistent.
     pub fn run(self) -> Result<Design, SynthesisError> {
-        if !self.allocation.covers(&self.dfg) {
-            return Err(SynthesisError::InsufficientAllocation);
-        }
-        let bound = match self.explicit_binding {
-            Some(seqs) => BoundDfg::bind_explicit(&self.dfg, &self.allocation, seqs)
-                .map_err(SynthesisError::Binding)?,
-            None => BoundDfg::bind(&self.dfg, &self.allocation),
+        self.run_traced().map(|(design, _)| design)
+    }
+
+    /// Like [`Synthesis::run`], returning the [`PipelineTrace`] alongside
+    /// the design: the artifact-hash chain plus per-stage wall times.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] if the allocation cannot execute the
+    /// graph or an explicit binding is inconsistent.
+    pub fn run_traced(self) -> Result<(Design, PipelineTrace), SynthesisError> {
+        self.run_cached(None)
+    }
+
+    /// Like [`Synthesis::run_traced`], consulting (and filling) a shared
+    /// [`StageCache`] so repeated or prefix-equal requests skip work.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] if the allocation cannot execute the
+    /// graph or an explicit binding is inconsistent.
+    pub fn run_cached(
+        self,
+        cache: Option<&StageCache>,
+    ) -> Result<(Design, PipelineTrace), SynthesisError> {
+        let mut trace = PipelineTrace::default();
+        let input = SynthesisInput {
+            dfg: self.dfg,
+            allocation: self.allocation,
+            strategy: self.strategy,
         };
-        let distributed = DistributedControlUnit::generate(&bound);
-        let cent_sync = cent_sync_fsm(&bound);
-        let centralized = self.build_centralized.then(|| {
-            // Fig 4(a)-style CENT-FSM: synchronous product of *single-shot*
-            // controllers (one DFG iteration, absorbing DONE) with state
-            // minimization — the canonical centralized machine tracking
-            // every TAU's completion independently.
-            let mut fsms: Vec<Fsm> = (0..bound.allocation().units().len())
-                .filter(|&u| !bound.sequence(UnitId(u)).is_empty())
-                .map(|u| tauhls_fsm::unit_controller_opts(&bound, UnitId(u), true))
-                .collect();
-            tauhls_fsm::optimize_dead_completions(&mut fsms);
-            let refs: Vec<&Fsm> = fsms.iter().collect();
-            let product = synchronous_product(&format!("CENT({})", bound.dfg().name()), &refs);
-            tauhls_fsm::minimize_states(&product)
-        });
-        Ok(Design {
-            bound,
-            distributed,
-            cent_sync,
-            centralized,
-            timing: self.timing,
-        })
+        let controls = stages::run_front(&input, self.build_centralized, cache, &mut trace)?;
+        Ok((
+            Design {
+                controls,
+                timing: self.timing,
+            },
+            trace,
+        ))
     }
 }
 
 /// A fully synthesized design: binding plus all generated controllers.
 #[derive(Clone, Debug)]
 pub struct Design {
-    bound: BoundDfg,
-    distributed: DistributedControlUnit,
-    cent_sync: Fsm,
-    centralized: Option<Fsm>,
+    controls: Arc<ControlUnits>,
     timing: Timing,
 }
 
 impl Design {
     /// The scheduled-and-bound DFG.
     pub fn bound(&self) -> &BoundDfg {
-        &self.bound
+        self.controls.design().bound()
+    }
+
+    /// The generated controllers as a shareable staged artifact (the
+    /// input to the `logic` stage).
+    pub fn control_units(&self) -> &Arc<ControlUnits> {
+        &self.controls
     }
 
     /// The distributed control unit (the paper's proposal).
     pub fn distributed(&self) -> &DistributedControlUnit {
-        &self.distributed
+        self.controls.distributed()
     }
 
     /// The synchronized centralized controller (CENT-SYNC / TAUBM style).
     pub fn cent_sync(&self) -> &Fsm {
-        &self.cent_sync
+        self.controls.cent_sync()
     }
 
     /// The centralized product FSM, if requested via
     /// [`Synthesis::with_centralized`].
     pub fn centralized(&self) -> Option<&Fsm> {
-        self.centralized.as_ref()
+        self.controls.centralized()
     }
 
     /// The timing parameters.
@@ -218,7 +243,8 @@ impl Design {
         model: &AreaModel,
     ) -> SynthesizedFsm {
         let fsm = self
-            .distributed
+            .controls
+            .distributed()
             .controller(unit)
             .expect("unit has a controller");
         synthesize(fsm, encoding, model)
@@ -233,7 +259,7 @@ impl Design {
         trials: usize,
         rng: &mut impl Rng,
     ) -> LatencySummary {
-        latency_summary(&self.bound, style, p_values, trials, rng).expect("fault-free simulation")
+        latency_summary(self.bound(), style, p_values, trials, rng).expect("fault-free simulation")
     }
 
     /// Like [`Design::latency`], but on the deterministic batch engine:
@@ -247,7 +273,7 @@ impl Design {
         seed: u64,
         runner: &BatchRunner,
     ) -> LatencySummary {
-        latency_summary_batch(&self.bound, style, p_values, trials as u64, seed, runner)
+        latency_summary_batch(self.bound(), style, p_values, trials as u64, seed, runner)
             .expect("fault-free simulation")
     }
 }
@@ -296,6 +322,52 @@ mod tests {
             .run()
             .unwrap_err();
         assert_eq!(err, SynthesisError::InsufficientAllocation);
+    }
+
+    #[test]
+    fn zero_multipliers_with_multiply_ops_rejected_without_panic() {
+        // fir3 is multiplication-heavy; an allocation with no multiplier
+        // must fail as a typed error at entry, not a downstream panic.
+        let err = Synthesis::new(fir3())
+            .allocation(Allocation::paper(0, 1, 0))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SynthesisError::InsufficientAllocation);
+    }
+
+    #[test]
+    fn empty_graph_rejected_as_invalid_config() {
+        let empty = tauhls_dfg::DfgBuilder::new("empty").build().unwrap();
+        let err = Synthesis::new(empty)
+            .allocation(Allocation::paper(1, 1, 1))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn chains_strategy_matches_bind_chains() {
+        use crate::stages::BindStrategy;
+        let design = Synthesis::new(fir3())
+            .allocation(Allocation::paper(2, 1, 0))
+            .strategy(BindStrategy::Chains)
+            .run()
+            .unwrap();
+        let direct = tauhls_sched::BoundDfg::bind_chains(&fir3(), &Allocation::paper(2, 1, 0));
+        assert_eq!(design.bound().sequences(), direct.sequences());
+        assert_eq!(design.bound().schedule_arcs(), direct.schedule_arcs());
+    }
+
+    #[test]
+    fn traced_run_reports_four_front_stages() {
+        let (design, trace) = Synthesis::new(fir3())
+            .allocation(Allocation::paper(2, 1, 0))
+            .run_traced()
+            .unwrap();
+        assert_eq!(design.distributed().controllers().len(), 3);
+        let stages: Vec<_> = trace.records.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, ["canonicalize", "order", "bind", "controllers"]);
+        assert!(trace.records.iter().all(|r| !r.cache_hit));
     }
 
     #[test]

@@ -89,8 +89,6 @@ pub fn system_area(
     width: u32,
 ) -> SystemArea {
     let bound = design.bound();
-    let alloc = bound.allocation();
-
     let mut control_com = 0.0;
     let mut control_seq = 0.0;
     for (_, fsm) in design.distributed().controllers() {
@@ -98,7 +96,36 @@ pub fn system_area(
         control_com += syn.area().combinational;
         control_seq += syn.area().sequential;
     }
+    system_area_parts(bound, model, width, control_com, control_seq)
+}
 
+/// Like [`system_area`], but reusing the gate-level controllers of an
+/// already-synthesized [`SynthesizedLogic`] artifact instead of
+/// re-synthesizing them — the staged-pipeline path, where the `logic`
+/// stage output is shared across report consumers.
+pub fn system_area_from_logic(
+    logic: &crate::stages::SynthesizedLogic,
+    model: &AreaModel,
+    width: u32,
+) -> SystemArea {
+    let bound = logic.controls().design().bound();
+    let mut control_com = 0.0;
+    let mut control_seq = 0.0;
+    for (_, syn) in logic.controllers() {
+        control_com += syn.area().combinational;
+        control_seq += syn.area().sequential;
+    }
+    system_area_parts(bound, model, width, control_com, control_seq)
+}
+
+fn system_area_parts(
+    bound: &tauhls_sched::BoundDfg,
+    model: &AreaModel,
+    width: u32,
+    control_com: f64,
+    control_seq: f64,
+) -> SystemArea {
+    let alloc = bound.allocation();
     let mut units = 0.0;
     let mut completion = 0.0;
     for u in alloc.units() {

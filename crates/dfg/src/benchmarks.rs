@@ -10,6 +10,42 @@
 
 use crate::graph::{Dfg, DfgBuilder, Operand};
 
+/// The named benchmark registry, in canonical order: the paper's Table 2
+/// suite plus the elliptic-wave-filter stress benchmark. This is the one
+/// list every consumer (job specs, experiment drivers, bench bins) routes
+/// through; [`by_name`] resolves each entry.
+pub const NAMES: [&str; 7] = [
+    "diffeq",
+    "fir3",
+    "fir5",
+    "iir2",
+    "iir3",
+    "ar_lattice4",
+    "ewf",
+];
+
+/// Looks up a built-in benchmark by its [`NAMES`] entry.
+///
+/// # Examples
+///
+/// ```
+/// use tauhls_dfg::benchmarks;
+/// assert_eq!(benchmarks::by_name("fir5").unwrap().num_ops(), 9);
+/// assert!(benchmarks::by_name("nope").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Dfg> {
+    Some(match name {
+        "diffeq" => diffeq(),
+        "fir3" => fir3(),
+        "fir5" => fir5(),
+        "iir2" => iir2(),
+        "iir3" => iir3(),
+        "ar_lattice4" => ar_lattice4(),
+        "ewf" => ewf(),
+        _ => return None,
+    })
+}
+
 /// The differential-equation solver (HAL) benchmark: one Euler step of
 /// `y'' + 3xy' + 3y = 0`.
 ///

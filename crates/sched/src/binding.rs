@@ -45,6 +45,101 @@ impl fmt::Display for BindError {
 
 impl std::error::Error for BindError {}
 
+/// Computes the **left-edge** per-unit operation sequences for `dfg` under
+/// `alloc` without materialising a [`BoundDfg`]: list scheduling fixes the
+/// reference order, then each operation goes to the unit minimising
+/// `(step conflict, needs new arc, last step, unit index)`.
+///
+/// This is the pure *ordering* half of [`BoundDfg::bind`]; feeding the
+/// result to [`BoundDfg::bind_explicit`] reproduces `bind` bit-for-bit.
+/// Sequences are indexed by [`Allocation::units`] order.
+pub fn left_edge_sequences(dfg: &Dfg, alloc: &Allocation) -> Vec<Vec<OpId>> {
+    let schedule = ListSchedule::run(dfg, alloc);
+    let reach = reachability(dfg);
+    let units = alloc.units();
+    let mut sequences: Vec<Vec<OpId>> = vec![Vec::new(); units.len()];
+
+    for class in tauhls_dfg::ResourceClass::ALL {
+        let unit_ids = alloc.units_of_class(class);
+        if unit_ids.is_empty() {
+            continue;
+        }
+        let mut ops = dfg.ops_of_class(class);
+        ops.sort_by_key(|&o| (schedule.step(o), o.0));
+        for o in ops {
+            // Left-edge with arc-avoiding preference.
+            let best = unit_ids
+                .iter()
+                .copied()
+                .min_by_key(|&u| {
+                    let seq = &sequences[u.0];
+                    let last_step = seq.last().map_or(-1i64, |&l| schedule.step(l) as i64);
+                    let needs_arc = match seq.last() {
+                        Some(&l) => !reach[l.0][o.0],
+                        None => false,
+                    };
+                    // Must not double-book a step; prefer no new arc,
+                    // then earliest-finishing unit, then index.
+                    let conflict = last_step == schedule.step(o) as i64;
+                    (conflict, needs_arc, last_step, u.0)
+                })
+                .expect("at least one unit of the class");
+            sequences[best.0].push(o);
+        }
+    }
+    sequences
+}
+
+/// Computes the **chain-decomposition** per-unit sequences for `dfg` under
+/// `alloc`: each class's minimum chain cover (Dilworth) is bound one chain
+/// per unit, surplus chains merge onto the least-loaded unit, and merged
+/// sequences are re-ordered by list-schedule step.
+///
+/// The pure ordering half of [`BoundDfg::bind_chains`]; feeding the result
+/// to [`BoundDfg::bind_explicit`] reproduces `bind_chains` bit-for-bit.
+pub fn chain_sequences(dfg: &Dfg, alloc: &Allocation) -> Vec<Vec<OpId>> {
+    let schedule = ListSchedule::run(dfg, alloc);
+    let reach = reachability(dfg);
+    let units = alloc.units();
+    let mut sequences: Vec<Vec<OpId>> = vec![Vec::new(); units.len()];
+
+    for class in tauhls_dfg::ResourceClass::ALL {
+        let unit_ids = alloc.units_of_class(class);
+        if unit_ids.is_empty() {
+            continue;
+        }
+        let dep = crate::depgraph::DependencyGraph::for_class(dfg, class, &reach);
+        if dep.nodes().is_empty() {
+            continue;
+        }
+        let mut chains = dep.min_clique_cover();
+        // Deterministic order: by the earliest scheduled op.
+        chains.sort_by_key(|c| {
+            c.iter()
+                .map(|&o| (schedule.step(o), o.0))
+                .min()
+                .expect("chains are nonempty")
+        });
+        // Longest chains get dedicated units first; the rest merge onto
+        // the unit with the fewest ops.
+        let mut order: Vec<usize> = (0..chains.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(chains[i].len()));
+        let mut loads: Vec<(usize, UnitId)> = unit_ids.iter().map(|&u| (0usize, u)).collect();
+        for &ci in &order {
+            loads.sort();
+            let (load, unit) = loads[0];
+            sequences[unit.0].extend(chains[ci].iter().copied());
+            loads[0] = (load + chains[ci].len(), unit);
+        }
+        // Re-order merged sequences by (list step, id): consistent with
+        // data order because producers are always scheduled earlier.
+        for &u in &unit_ids {
+            sequences[u.0].sort_by_key(|&o| (schedule.step(o), o.0));
+        }
+    }
+    sequences
+}
+
 /// A scheduled-and-bound DFG: the input to controller generation.
 #[derive(Clone, Debug)]
 pub struct BoundDfg {
@@ -69,50 +164,8 @@ impl BoundDfg {
     ///
     /// Panics if the allocation lacks units for a used class.
     pub fn bind(dfg: &Dfg, alloc: &Allocation) -> Self {
-        let schedule = ListSchedule::run(dfg, alloc);
-        let reach = reachability(dfg);
-        let units = alloc.units();
-        let mut sequences: Vec<Vec<OpId>> = vec![Vec::new(); units.len()];
-        let mut unit_of = vec![UnitId(usize::MAX); dfg.num_ops()];
-
-        for class in tauhls_dfg::ResourceClass::ALL {
-            let unit_ids = alloc.units_of_class(class);
-            if unit_ids.is_empty() {
-                continue;
-            }
-            let mut ops = dfg.ops_of_class(class);
-            ops.sort_by_key(|&o| (schedule.step(o), o.0));
-            for o in ops {
-                // Left-edge with arc-avoiding preference.
-                let best = unit_ids
-                    .iter()
-                    .copied()
-                    .min_by_key(|&u| {
-                        let seq = &sequences[u.0];
-                        let last_step = seq.last().map_or(-1i64, |&l| schedule.step(l) as i64);
-                        let needs_arc = match seq.last() {
-                            Some(&l) => !reach[l.0][o.0],
-                            None => false,
-                        };
-                        // Must not double-book a step; prefer no new arc,
-                        // then earliest-finishing unit, then index.
-                        let conflict = last_step == schedule.step(o) as i64;
-                        (conflict, needs_arc, last_step, u.0)
-                    })
-                    .expect("at least one unit of the class");
-                sequences[best.0].push(o);
-                unit_of[o.0] = best;
-            }
-        }
-        Self::finish(
-            dfg.clone(),
-            alloc.clone(),
-            schedule,
-            unit_of,
-            sequences,
-            reach,
-        )
-        .expect("left-edge binding is always consistent")
+        Self::bind_explicit(dfg, alloc, left_edge_sequences(dfg, alloc))
+            .expect("left-edge binding is always consistent")
     }
 
     /// Schedules and binds using **chain decomposition**: each class's
@@ -133,61 +186,8 @@ impl BoundDfg {
     ///
     /// Panics if the allocation lacks units for a used class.
     pub fn bind_chains(dfg: &Dfg, alloc: &Allocation) -> Self {
-        let schedule = ListSchedule::run(dfg, alloc);
-        let reach = reachability(dfg);
-        let units = alloc.units();
-        let mut sequences: Vec<Vec<OpId>> = vec![Vec::new(); units.len()];
-
-        for class in tauhls_dfg::ResourceClass::ALL {
-            let unit_ids = alloc.units_of_class(class);
-            if unit_ids.is_empty() {
-                continue;
-            }
-            let dep = crate::depgraph::DependencyGraph::for_class(dfg, class, &reach);
-            if dep.nodes().is_empty() {
-                continue;
-            }
-            let mut chains = dep.min_clique_cover();
-            // Deterministic order: by the earliest scheduled op.
-            chains.sort_by_key(|c| {
-                c.iter()
-                    .map(|&o| (schedule.step(o), o.0))
-                    .min()
-                    .expect("chains are nonempty")
-            });
-            // Longest chains get dedicated units first; the rest merge onto
-            // the unit with the fewest ops.
-            let mut order: Vec<usize> = (0..chains.len()).collect();
-            order.sort_by_key(|&i| std::cmp::Reverse(chains[i].len()));
-            let mut loads: Vec<(usize, UnitId)> = unit_ids.iter().map(|&u| (0usize, u)).collect();
-            for &ci in &order {
-                loads.sort();
-                let (load, unit) = loads[0];
-                sequences[unit.0].extend(chains[ci].iter().copied());
-                loads[0] = (load + chains[ci].len(), unit);
-            }
-            // Re-order merged sequences by (list step, id): consistent with
-            // data order because producers are always scheduled earlier.
-            for &u in &unit_ids {
-                sequences[u.0].sort_by_key(|&o| (schedule.step(o), o.0));
-            }
-        }
-
-        let mut unit_of = vec![UnitId(usize::MAX); dfg.num_ops()];
-        for (ui, seq) in sequences.iter().enumerate() {
-            for &o in seq {
-                unit_of[o.0] = UnitId(ui);
-            }
-        }
-        Self::finish(
-            dfg.clone(),
-            alloc.clone(),
-            schedule,
-            unit_of,
-            sequences,
-            reach,
-        )
-        .expect("chain binding is always consistent")
+        Self::bind_explicit(dfg, alloc, chain_sequences(dfg, alloc))
+            .expect("chain binding is always consistent")
     }
 
     /// Builds a binding from explicit per-unit operation sequences (used to

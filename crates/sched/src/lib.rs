@@ -41,7 +41,7 @@ mod listsched;
 mod regalloc;
 
 pub use allocation::{Allocation, Unit, UnitId};
-pub use binding::{BindError, BoundDfg};
+pub use binding::{chain_sequences, left_edge_sequences, BindError, BoundDfg};
 pub use depgraph::{reachability, DependencyGraph};
 pub use fds::{fds_schedule, FdsSchedule};
 pub use listsched::ListSchedule;

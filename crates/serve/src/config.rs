@@ -17,6 +17,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Response-cache budget in bytes (key + body payload).
     pub cache_bytes: usize,
+    /// Synthesis stage-cache capacity in artifacts (`0` disables stage
+    /// caching; each entry is one pipeline-stage output shared across
+    /// `/v1/synth` and `/v1/area` requests with a common prefix).
+    pub stage_cache_entries: usize,
     /// Simulation threads per job (`None` → all cores). Worker-level
     /// concurrency times this is the peak core demand.
     pub sim_threads: Option<usize>,
@@ -37,6 +41,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 64,
             cache_bytes: 32 * 1024 * 1024,
+            stage_cache_entries: 1024,
             sim_threads: None,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),

@@ -16,9 +16,15 @@
 //! ```
 //!
 //! Endpoints: `POST /v1/simulate`, `POST /v1/table2`,
-//! `POST /v1/resilience` (JSON job specs, validated strictly by
-//! [`tauhls_core::jobspec`]), `GET /healthz`, and `GET /metrics`
-//! (Prometheus text). Graceful shutdown (SIGTERM/ctrl-c via [`signal`],
+//! `POST /v1/resilience`, `POST /v1/synth`, and `POST /v1/area` (JSON
+//! job specs, validated strictly by [`tauhls_core::jobspec`]), plus
+//! `GET /healthz` and `GET /metrics` (Prometheus text). The synthesis
+//! endpoints run the staged pipeline of [`tauhls_core::stages`] against
+//! a second, content-addressed **stage cache**: stage outputs are keyed
+//! by their input-hash chain, so two requests differing only in state
+//! `encoding` share every artifact up to the generated controllers, and
+//! per-stage latency and hit/miss counters surface in `/metrics`.
+//! Graceful shutdown (SIGTERM/ctrl-c via [`signal`],
 //! or [`Server::shutdown`]) stops the acceptor, flushes the queue
 //! backlog with `503`, and drains in-flight jobs — cancelling them
 //! through [`tauhls_sim::CancelToken`] only past the drain timeout.

@@ -12,10 +12,26 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use tauhls_core::stages::STAGE_NAMES;
+use tauhls_core::{StageCache, StageRecord};
+
 use crate::cache::Cache;
 
-/// The request-routing classes we count (simulation endpoints first).
-pub const ENDPOINTS: [&str; 5] = ["simulate", "table2", "resilience", "healthz", "metrics"];
+/// The request-routing classes we count (job endpoints first — these are
+/// the ones with latency histograms).
+pub const ENDPOINTS: [&str; 7] = [
+    "simulate",
+    "table2",
+    "resilience",
+    "synth",
+    "area",
+    "healthz",
+    "metrics",
+];
+
+/// How many of [`ENDPOINTS`] carry a latency histogram (the job
+/// endpoints; `healthz`/`metrics` are not worth a histogram each).
+const JOB_ENDPOINTS: usize = 5;
 
 /// Response status codes we count.
 pub const STATUS_CODES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
@@ -63,7 +79,10 @@ pub struct Metrics {
     trials: AtomicU64,
     inflight: AtomicU64,
     panics: AtomicU64,
-    latency: [Histogram; 3],
+    latency: [Histogram; JOB_ENDPOINTS],
+    stage_seconds: [Histogram; STAGE_NAMES.len()],
+    stage_hits: [AtomicU64; STAGE_NAMES.len()],
+    stage_misses: [AtomicU64; STAGE_NAMES.len()],
 }
 
 impl Metrics {
@@ -113,6 +132,30 @@ impl Metrics {
         }
     }
 
+    /// Folds one executed pipeline stage into the per-stage latency
+    /// histograms (cache hits are recorded too — their near-zero wall
+    /// times are exactly the point of the stage cache).
+    pub fn observe_stage(&self, record: &StageRecord) {
+        if let Some(i) = STAGE_NAMES.iter().position(|s| *s == record.stage) {
+            self.stage_seconds[i].observe(record.wall);
+            if record.cache_hit {
+                self.stage_hits[i].fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stage_misses[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stage-cache hits recorded for one stage (test hook; the rendered
+    /// `tauhls_serve_stage_cache_hits_total` series carries the same
+    /// values).
+    pub fn stage_hit_count(&self, stage: &str) -> u64 {
+        STAGE_NAMES
+            .iter()
+            .position(|s| *s == stage)
+            .map_or(0, |i| self.stage_hits[i].load(Ordering::Relaxed))
+    }
+
     /// Marks a job entering (`+1`) or leaving (`-1`) the worker pool.
     pub fn add_inflight(&self, delta: i64) {
         if delta >= 0 {
@@ -132,9 +175,10 @@ impl Metrics {
         self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the Prometheus exposition text, folding in the cache's own
-    /// counters and the queue's current depth.
-    pub fn render(&self, cache: &Cache, queue_depth: usize) -> String {
+    /// Renders the Prometheus exposition text, folding in the response
+    /// cache's and stage cache's own counters and the queue's current
+    /// depth.
+    pub fn render(&self, cache: &Cache, stages: &StageCache, queue_depth: usize) -> String {
         let mut out = String::with_capacity(4096);
         let put = |out: &mut String, line: std::fmt::Arguments<'_>| {
             // Writing to a String cannot fail.
@@ -230,6 +274,40 @@ impl Metrics {
         );
         put(
             &mut out,
+            format_args!("# TYPE tauhls_serve_stage_cache_hits_total counter"),
+        );
+        for (i, stage) in STAGE_NAMES.iter().enumerate() {
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_stage_cache_hits_total{{stage=\"{stage}\"}} {}",
+                    self.stage_hits[i].load(Ordering::Relaxed)
+                ),
+            );
+        }
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_stage_cache_misses_total counter"),
+        );
+        for (i, stage) in STAGE_NAMES.iter().enumerate() {
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_stage_cache_misses_total{{stage=\"{stage}\"}} {}",
+                    self.stage_misses[i].load(Ordering::Relaxed)
+                ),
+            );
+        }
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_stage_cache_entries gauge"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_stage_cache_entries {}", stages.entries()),
+        );
+        put(
+            &mut out,
             format_args!("# TYPE tauhls_serve_queue_depth gauge"),
         );
         put(
@@ -295,6 +373,43 @@ impl Metrics {
                 ),
             );
         }
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_stage_seconds histogram"),
+        );
+        for (i, stage) in STAGE_NAMES.iter().enumerate() {
+            let h = &self.stage_seconds[i];
+            for (bound, bucket) in BUCKETS_SECONDS.iter().zip(&h.buckets) {
+                put(
+                    &mut out,
+                    format_args!(
+                        "tauhls_serve_stage_seconds_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {}",
+                        bucket.load(Ordering::Relaxed)
+                    ),
+                );
+            }
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_stage_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}",
+                    h.inf.load(Ordering::Relaxed)
+                ),
+            );
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_stage_seconds_sum{{stage=\"{stage}\"}} {}",
+                    h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+                ),
+            );
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_stage_seconds_count{{stage=\"{stage}\"}} {}",
+                    h.count.load(Ordering::Relaxed)
+                ),
+            );
+        }
         out
     }
 }
@@ -307,6 +422,7 @@ mod tests {
     fn render_exposes_every_family_with_values() {
         let m = Metrics::new();
         let cache = Cache::new(1024);
+        let stages = StageCache::new(16);
         m.count_request("simulate");
         m.count_request("simulate");
         m.count_request("/weird");
@@ -315,10 +431,24 @@ mod tests {
         m.count_trials(500);
         m.add_inflight(1);
         m.observe_latency("simulate", Duration::from_millis(2));
+        m.observe_stage(&StageRecord {
+            stage: "bind",
+            input_hash: 1,
+            output_hash: 2,
+            wall: Duration::from_millis(1),
+            cache_hit: false,
+        });
+        m.observe_stage(&StageRecord {
+            stage: "bind",
+            input_hash: 1,
+            output_hash: 2,
+            wall: Duration::from_micros(5),
+            cache_hit: true,
+        });
         cache.insert("k".to_string(), "v".into());
         cache.get("k");
         cache.get("absent");
-        let text = m.render(&cache, 3);
+        let text = m.render(&cache, &stages, 3);
         for needle in [
             "tauhls_serve_requests_total{endpoint=\"simulate\"} 2",
             "tauhls_serve_requests_total{endpoint=\"other\"} 1",
@@ -332,12 +462,20 @@ mod tests {
             "tauhls_serve_inflight_jobs 1",
             "tauhls_serve_request_seconds_count{endpoint=\"simulate\"} 1",
             "tauhls_serve_request_seconds_bucket{endpoint=\"simulate\",le=\"+Inf\"} 1",
+            "tauhls_serve_request_seconds_count{endpoint=\"area\"} 0",
+            "tauhls_serve_stage_cache_hits_total{stage=\"bind\"} 1",
+            "tauhls_serve_stage_cache_misses_total{stage=\"bind\"} 1",
+            "tauhls_serve_stage_cache_hits_total{stage=\"logic\"} 0",
+            "tauhls_serve_stage_cache_entries 0",
+            "tauhls_serve_stage_seconds_count{stage=\"bind\"} 2",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         // 2ms lands in every bucket from 4ms upward, not the 1ms one.
         assert!(text.contains("le=\"0.001\"} 0"));
         assert!(text.contains("{endpoint=\"simulate\",le=\"0.004\"} 1"));
+        assert_eq!(m.stage_hit_count("bind"), 1);
+        assert_eq!(m.stage_hit_count("nonesuch"), 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tauhls_core::jobspec::{Endpoint, JobError, JobSpec};
+use tauhls_core::StageCache;
 use tauhls_json::Json;
 use tauhls_sim::{BatchRunner, CancelToken};
 
@@ -40,6 +41,7 @@ struct Shared {
     config: ServeConfig,
     queue: Queue<TcpStream>,
     cache: Cache,
+    stages: StageCache,
     metrics: Metrics,
     cancel: CancelToken,
     stop: AtomicBool,
@@ -62,6 +64,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             cache: Cache::new(config.cache_bytes),
+            stages: StageCache::new(config.stage_cache_entries),
             metrics: Metrics::new(),
             cancel: CancelToken::new(),
             stop: AtomicBool::new(false),
@@ -244,7 +247,9 @@ fn handle_connection<S: Read + Write>(shared: &Shared, stream: &mut S) {
         }
         ("GET", "/metrics") => {
             shared.metrics.count_request("metrics");
-            let body = shared.metrics.render(&shared.cache, shared.queue.depth());
+            let body = shared
+                .metrics
+                .render(&shared.cache, &shared.stages, shared.queue.depth());
             shared.metrics.count_response(200);
             let _ = write_response(
                 stream,
@@ -356,13 +361,16 @@ fn handle_job<S: Read + Write>(
     }
     let started = Instant::now();
     let runner = BatchRunner::sized(shared.config.sim_threads).with_cancel(shared.cancel.clone());
-    match spec.run(&runner) {
-        Ok(json) => {
+    match spec.run_with(&runner, Some(&shared.stages)) {
+        Ok((json, records)) => {
             let body: Arc<str> = Arc::from(json.to_pretty());
             shared.metrics.count_trials(spec.trials());
             shared
                 .metrics
                 .observe_latency(endpoint.as_str(), started.elapsed());
+            for record in &records {
+                shared.metrics.observe_stage(record);
+            }
             shared.cache.insert(key, Arc::clone(&body));
             let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "miss")], &body);
         }
@@ -443,6 +451,7 @@ mod tests {
             },
             queue: Queue::new(4),
             cache: Cache::new(1 << 20),
+            stages: StageCache::new(64),
             metrics: Metrics::new(),
             cancel: CancelToken::new(),
             stop: AtomicBool::new(false),
@@ -508,6 +517,39 @@ mod tests {
         );
         assert!(same.contains("X-Cache: hit"), "{same}");
         assert_eq!(body(&cold), body(&same));
+    }
+
+    #[test]
+    fn synth_requests_share_the_stage_cache_across_encodings() {
+        let sh = shared();
+        let cold = drive(&sh, &post("/v1/synth", r#"{"dfg":"fir3"}"#));
+        assert!(cold.contains("X-Cache: miss"), "{cold}");
+        assert!(cold.contains("\"controllers\""), "{cold}");
+        assert_eq!(sh.metrics.stage_hit_count("bind"), 0);
+        // Different encoding: the response cache misses, but the graph /
+        // order / bind / controller stages are served from the stage cache.
+        let gray = drive(
+            &sh,
+            &post("/v1/synth", r#"{"dfg":"fir3","encoding":"gray"}"#),
+        );
+        assert!(gray.contains("X-Cache: miss"), "{gray}");
+        for stage in ["canonicalize", "order", "bind", "controllers"] {
+            assert_eq!(sh.metrics.stage_hit_count(stage), 1, "{stage}");
+        }
+        assert_eq!(sh.metrics.stage_hit_count("logic"), 0);
+        // An area request over the same design reuses the whole front too.
+        let area = drive(&sh, &post("/v1/area", r#"{"dfg":"fir3","width":32}"#));
+        assert!(area.contains("\"system\""), "{area}");
+        assert_eq!(sh.metrics.stage_hit_count("bind"), 2);
+        let metrics = drive(&sh, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(
+            metrics.contains("tauhls_serve_stage_cache_hits_total{stage=\"bind\"} 2"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("tauhls_serve_request_seconds_count{endpoint=\"synth\"} 2"),
+            "{metrics}"
+        );
     }
 
     #[test]

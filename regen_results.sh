@@ -12,6 +12,8 @@ cargo run -p tauhls-bench --release --bin table2 -- 6000 2003 > results/table2.t
 mv -f table2.json results/
 cargo run -p tauhls-bench --release --bin kernel_golden
 mv -f kernel_golden.json results/
+cargo run -p tauhls-bench --release --bin synth_golden
+mv -f synth_golden.json results/
 for f in fig1_tau fig2_taubm fig3_scheduling fig4_explosion fig6_dfsm fig7_distributed fig_sweeps fig_pipeline; do
   cargo run -p tauhls-bench --release --bin $f > results/$f.txt
 done

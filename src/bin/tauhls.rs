@@ -2,7 +2,8 @@
 //! synthesis pipeline.
 //!
 //! ```text
-//! tauhls synth      <file.dfg> [options]   controllers + area table
+//! tauhls synth      <file.dfg> [options]   staged pipeline: controllers + area table
+//!                                          (--json: artifact-hash chain + timings)
 //! tauhls simulate   <file.dfg> [options]   latency: distributed vs centralized styles
 //! tauhls table2     [options]              paper Table 2 (LT_TAU/LT_DIST/LT_CENT)
 //! tauhls resilience <file.dfg> [options]   fault-injection sweep (JSON report)
@@ -21,16 +22,20 @@
 //!   --seed N                     RNG seed (default 2003)
 //!   --threads N                  simulation worker threads (default: all
 //!                                cores; results identical for any N)
+//!   --json                       synth only: emit the artifact-hash chain
+//!                                and per-stage wall times as JSON
 //!
 //! serve options:
 //!   --addr HOST:PORT             listen address (default 127.0.0.1:7203)
 //!   --workers N                  job worker threads (default 4)
 //!   --queue N                    job queue capacity (default 64)
 //!   --cache-mb N                 response cache budget in MiB (default 32)
+//!   --stage-cache N              synthesis stage-cache entries (default
+//!                                1024; 0 disables)
 //!   --threads N                  simulation threads per job (default: all)
 //!
-//! call: endpoint is simulate|table2|resilience|healthz|metrics; the
-//! optional spec.json is POSTed as the job spec. --addr as above.
+//! call: endpoint is simulate|table2|resilience|synth|area|healthz|metrics;
+//! the optional spec.json is POSTed as the job spec. --addr as above.
 //! ```
 
 use std::io::Write as _;
@@ -38,14 +43,15 @@ use std::process::ExitCode;
 use std::time::Duration;
 use tauhls::core::jobspec::Endpoint;
 use tauhls::core::resilience::resilience_sweep;
+use tauhls::core::stages::{self, BindStrategy, PipelineTrace, SynthesisInput};
 use tauhls::dfg::parse_dfg;
-use tauhls::fsm::{control_unit_to_verilog, synthesize, DistributedControlUnit, Encoding};
+use tauhls::fsm::{control_unit_to_verilog, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
 use tauhls::serve::{client, signal, ServeConfig, Server};
 use tauhls::sim::{latency_triple_batch, BatchRunner};
 use tauhls::Allocation;
-use tauhls_json::ToJson;
+use tauhls_json::{Json, ToJson};
 
 struct Options {
     muls: usize,
@@ -57,6 +63,7 @@ struct Options {
     trials: usize,
     seed: u64,
     threads: Option<usize>,
+    json: bool,
 }
 
 impl Default for Options {
@@ -71,6 +78,7 @@ impl Default for Options {
             trials: 2000,
             seed: 2003,
             threads: None,
+            json: false,
         }
     }
 }
@@ -80,10 +88,10 @@ fn usage() -> ExitCode {
         "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file.dfg> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
-         [--threads N]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
+         [--threads N] [--json]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
          \n       tauhls serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-mb N] [--threads N]\
-         \n       tauhls call <simulate|table2|resilience|healthz|metrics> \
+         [--cache-mb N] [--stage-cache N] [--threads N]\
+         \n       tauhls call <simulate|table2|resilience|synth|area|healthz|metrics> \
          [spec.json] [--addr HOST:PORT]"
     );
     ExitCode::from(2)
@@ -124,6 +132,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
+            "--json" => o.json = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -150,29 +159,97 @@ fn bind(path: &str, o: &Options) -> Result<BoundDfg, String> {
     })
 }
 
-fn cmd_synth(bound: &BoundDfg, o: &Options) {
+/// `tauhls synth`: the full staged pipeline, from parsed DFG to gate-level
+/// controllers, with the artifact-hash chain and per-stage wall times.
+fn cmd_synth(path: &str, o: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dfg = parse_dfg(&text).map_err(|e| format!("{path}: {e}"))?;
+    let input = SynthesisInput {
+        dfg,
+        allocation: Allocation::paper(o.muls, o.adds, o.subs),
+        strategy: if o.chains {
+            BindStrategy::Chains
+        } else {
+            BindStrategy::LeftEdge
+        },
+    };
+    let mut trace = PipelineTrace::default();
+    let (logic, _reports) = stages::run_full(
+        &input,
+        false,
+        o.encoding,
+        &AreaModel::default(),
+        None,
+        &mut trace,
+    )
+    .map_err(|e| e.to_string())?;
+    let bound = logic.controls().design().bound();
     let units = bound.allocation().units();
+    if o.json {
+        let stage_rows: Vec<Json> = trace
+            .records
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("stage", Json::from(r.stage)),
+                    (
+                        "input_hash",
+                        Json::from(format!("{:016x}", r.input_hash).as_str()),
+                    ),
+                    (
+                        "output_hash",
+                        Json::from(format!("{:016x}", r.output_hash).as_str()),
+                    ),
+                    ("wall_us", Json::from(r.wall.as_micros() as u64)),
+                ])
+            })
+            .collect();
+        let controllers: Vec<Json> = logic
+            .controllers()
+            .iter()
+            .map(|(u, syn)| {
+                Json::object([
+                    ("unit", Json::from(units[u.0].display_name().as_str())),
+                    ("states", Json::from(syn.num_states())),
+                    ("flip_flops", Json::from(syn.flip_flops())),
+                    ("area", Json::Float(syn.area().total())),
+                ])
+            })
+            .collect();
+        let body = Json::object([
+            ("dfg", Json::from(bound.dfg().name())),
+            (
+                "binding",
+                Json::from(if o.chains { "chains" } else { "left-edge" }),
+            ),
+            (
+                "encoding",
+                Json::from(format!("{:?}", o.encoding).to_lowercase().as_str()),
+            ),
+            ("stages", Json::array(stage_rows)),
+            ("controllers", Json::array(controllers)),
+        ]);
+        println!("{}", body.to_pretty());
+        return Ok(());
+    }
     println!(
         "DFG '{}': {} ops, {} schedule arcs inserted",
         bound.dfg().name(),
         bound.dfg().num_ops(),
         bound.schedule_arcs().len()
     );
-    let cu = DistributedControlUnit::generate(bound);
-    let model = AreaModel::default();
     let mut total = 0.0;
     println!(
         "{:<10} {:<24} {:>7} {:>5} {:>14}",
         "unit", "sequence", "states", "FFs", "area (GE)"
     );
-    for (u, fsm) in cu.controllers() {
-        let syn = synthesize(fsm, o.encoding, &model);
+    for (u, syn) in logic.controllers() {
         total += syn.area().total();
         println!(
             "{:<10} {:<24} {:>7} {:>5} {:>14.0}",
             units[u.0].display_name(),
             format!("{:?}", bound.sequence(*u)),
-            fsm.num_states(),
+            syn.num_states(),
             syn.flip_flops(),
             syn.area().total()
         );
@@ -181,6 +258,16 @@ fn cmd_synth(bound: &BoundDfg, o: &Options) {
         "total control area: {total:.0} GE ({:?} encoding)",
         o.encoding
     );
+    println!("{:<14} {:>16}  {:>9}", "stage", "artifact hash", "wall");
+    for r in &trace.records {
+        println!(
+            "{:<14} {:016x}  {:>6} us",
+            r.stage,
+            r.output_hash,
+            r.wall.as_micros()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_simulate(bound: &BoundDfg, o: &Options) {
@@ -239,6 +326,11 @@ fn parse_serve_options(args: &[String]) -> Result<ServeConfig, String> {
             "--cache-mb" => {
                 let mb: usize = value()?.parse().map_err(|e| format!("--cache-mb: {e}"))?;
                 config.cache_bytes = mb * 1024 * 1024;
+            }
+            "--stage-cache" => {
+                config.stage_cache_entries = value()?
+                    .parse()
+                    .map_err(|e| format!("--stage-cache: {e}"))?
             }
             "--threads" => {
                 config.sim_threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
@@ -300,7 +392,9 @@ fn cmd_call(args: &[String]) -> ExitCode {
         }
     }
     let (Some(endpoint), spec_path) = (positional.first(), positional.get(1)) else {
-        eprintln!("error: call needs an endpoint (simulate|table2|resilience|healthz|metrics)");
+        eprintln!(
+            "error: call needs an endpoint (simulate|table2|resilience|synth|area|healthz|metrics)"
+        );
         return ExitCode::FAILURE;
     };
     if positional.len() > 2 {
@@ -313,7 +407,8 @@ fn cmd_call(args: &[String]) -> ExitCode {
         name if Endpoint::parse(name).is_some() => ("POST", format!("/v1/{name}")),
         other => {
             eprintln!(
-                "error: unknown endpoint '{other}' (simulate|table2|resilience|healthz|metrics)"
+                "error: unknown endpoint '{other}' \
+                 (simulate|table2|resilience|synth|area|healthz|metrics)"
             );
             return ExitCode::FAILURE;
         }
@@ -391,6 +486,17 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    // `synth` routes through the staged pipeline, which does its own
+    // binding and validation.
+    if cmd == "synth" {
+        return match cmd_synth(path, &options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let bound = match bind(path, &options) {
         Ok(b) => b,
         Err(e) => {
@@ -399,7 +505,6 @@ fn main() -> ExitCode {
         }
     };
     match cmd.as_str() {
-        "synth" => cmd_synth(&bound, &options),
         "simulate" => cmd_simulate(&bound, &options),
         "resilience" => {
             if let Err(e) = cmd_resilience(&bound, &options) {
@@ -489,15 +594,17 @@ mod tests {
     #[test]
     fn serve_options_parse_and_reject() {
         let c = parse_serve_options(&args(
-            "--addr 0.0.0.0:9000 --workers 2 --queue 8 --cache-mb 4 --threads 1",
+            "--addr 0.0.0.0:9000 --workers 2 --queue 8 --cache-mb 4 --stage-cache 16 --threads 1",
         ))
         .unwrap();
         assert_eq!(c.addr, "0.0.0.0:9000");
         assert_eq!((c.workers, c.queue_capacity), (2, 8));
         assert_eq!(c.cache_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.stage_cache_entries, 16);
         assert_eq!(c.sim_threads, Some(1));
         assert!(parse_serve_options(&args("--workers")).is_err());
         assert!(parse_serve_options(&args("--cache-mb x")).is_err());
+        assert!(parse_serve_options(&args("--stage-cache x")).is_err());
         assert!(parse_serve_options(&args("--wat 1")).is_err());
     }
 }

@@ -34,6 +34,15 @@ fn example_dfg() -> &'static str {
     p
 }
 
+/// A per-process scratch directory: concurrent test invocations (e.g.
+/// `cargo test` and `cargo test --workspace` side by side) must not
+/// truncate each other's fixture files mid-read.
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tauhls-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
 #[test]
 fn no_arguments_prints_usage() {
     let out = tauhls(&[]);
@@ -57,9 +66,7 @@ fn missing_dfg_file_reports_path() {
 
 #[test]
 fn malformed_dfg_reports_parse_error_with_line() {
-    let dir = std::env::temp_dir().join("tauhls-cli-test");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("broken.dfg");
+    let path = scratch_dir().join("broken.dfg");
     std::fs::write(&path, "dfg broken\nop a = frob 1 2\n").unwrap();
     let out = tauhls(&["synth", path.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1));
@@ -119,6 +126,66 @@ fn resilience_misuse_fails_cleanly() {
     let out = tauhls(&["resilience", example_dfg(), "--p", "1.5"]);
     assert_eq!(out.status.code(), Some(1));
     assert_graceful_failure(&out, "not a probability");
+}
+
+#[test]
+fn synth_misuse_fails_with_one_line_messages() {
+    // Allocation cannot cover the graph: the staged pipeline rejects it
+    // as a typed error, not a panic.
+    let out = tauhls(&["synth", example_dfg(), "--muls", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "allocation lacks a unit");
+
+    // Malformed spec file: parser diagnostic with a line number.
+    let dir = scratch_dir();
+    let bad = dir.join("bad-synth.dfg");
+    std::fs::write(&bad, "dfg bad\ninput a\nop x = mul a\n").unwrap();
+    let out = tauhls(&["synth", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "line 3");
+
+    // A graph with no operations is an invalid request, not a crash.
+    let empty = dir.join("empty-synth.dfg");
+    std::fs::write(&empty, "dfg hollow\ninput a\n").unwrap();
+    let out = tauhls(&["synth", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_graceful_failure(&out, "no operations");
+}
+
+#[test]
+fn synth_json_emits_the_artifact_hash_chain() {
+    let out = tauhls(&["synth", example_dfg(), "--json"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for stage in [
+        "canonicalize",
+        "order",
+        "bind",
+        "controllers",
+        "logic",
+        "report",
+    ] {
+        assert!(
+            text.contains(&format!("\"stage\": \"{stage}\"")),
+            "missing stage {stage}: {text}"
+        );
+    }
+    assert!(text.contains("\"controllers\""), "{text}");
+    // The hash chain is deterministic: a second run (and a run with a
+    // different thread count) reports identical artifact hashes.
+    let extract_hashes = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("_hash"))
+            .map(String::from)
+            .collect()
+    };
+    let again = tauhls(&["synth", example_dfg(), "--json", "--threads", "4"]);
+    assert!(again.status.success(), "{}", stderr_of(&again));
+    assert_eq!(
+        extract_hashes(&text),
+        extract_hashes(&String::from_utf8_lossy(&again.stdout)),
+        "artifact hashes must not depend on run or thread count"
+    );
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! core-driver stack, and the report (including its canonical JSON bytes)
 //! is bit-identical for any thread count.
 
+use tauhls::core::experiments::paper_benchmarks;
 use tauhls::core::resilience::{resilience_sweep, FAULT_KINDS};
 use tauhls::dfg::benchmarks::{diffeq, fir5};
 use tauhls::sched::BoundDfg;
@@ -15,10 +16,12 @@ fn every_fault_kind_is_detected_somewhere() {
     // Across two benchmarks and a healthy trial budget, every kind of
     // injected fault must surface at least once as a structured error —
     // the sweep is not allowed to be blind to a whole fault class.
-    let designs = [
-        (fir5(), Allocation::paper(2, 1, 0)),
-        (diffeq(), Allocation::paper(2, 1, 1)),
-    ];
+    let designs: Vec<_> = paper_benchmarks()
+        .into_iter()
+        .filter(|(g, _, _)| g.name() == "fir5" || g.name() == "diffeq")
+        .map(|(g, alloc, _)| (g, alloc))
+        .collect();
+    assert_eq!(designs.len(), 2, "canonical suite covers both benchmarks");
     let mut detected = std::collections::BTreeMap::new();
     for (g, alloc) in designs {
         let bound = BoundDfg::bind(&g, &alloc);

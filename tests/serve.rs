@@ -75,6 +75,78 @@ fn concurrent_cache_hits_are_byte_identical_to_the_cold_run() {
 }
 
 #[test]
+fn synth_reuses_cached_stage_prefix_across_encodings() {
+    let server = start(2, 64);
+    let addr = server.local_addr().to_string();
+
+    // Cold run: every stage executes (6 stage-cache misses).
+    let cold = client::request(
+        &addr,
+        "POST",
+        "/v1/synth",
+        Some(r#"{"dfg":"fir3","encoding":"binary"}"#),
+        TIMEOUT,
+    )
+    .expect("cold synth");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert!(cold.body.contains("\"stages\""), "{}", cold.body);
+    assert!(cold.body.contains("\"canonicalize\""), "{}", cold.body);
+
+    // A different spelling of the same spec is a response-cache hit:
+    // byte-identical to the cold run (this is what `tauhls call synth`
+    // observes), and it never touches the stage pipeline.
+    let respelled = client::request(
+        &addr,
+        "POST",
+        "/v1/synth",
+        Some(r#"{"encoding":"binary","dfg":"fir3"}"#),
+        TIMEOUT,
+    )
+    .expect("respelled synth");
+    assert_eq!(respelled.header("x-cache"), Some("hit"));
+    assert_eq!(respelled.body, cold.body, "hot body diverged from cold run");
+
+    // Changing only the encoding is a new response, but the encoding
+    // enters the pipeline at the logic stage — canonicalize, order, bind
+    // and controllers are all served from the stage cache.
+    let gray = client::request(
+        &addr,
+        "POST",
+        "/v1/synth",
+        Some(r#"{"dfg":"fir3","encoding":"gray"}"#),
+        TIMEOUT,
+    )
+    .expect("gray synth");
+    assert_eq!(gray.header("x-cache"), Some("miss"));
+    assert_ne!(gray.body, cold.body);
+
+    let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+    for needle in [
+        // The front of the pipeline ran once (cold) and was reused once.
+        "tauhls_serve_stage_cache_hits_total{stage=\"canonicalize\"} 1",
+        "tauhls_serve_stage_cache_hits_total{stage=\"order\"} 1",
+        "tauhls_serve_stage_cache_hits_total{stage=\"bind\"} 1",
+        "tauhls_serve_stage_cache_hits_total{stage=\"controllers\"} 1",
+        // The encoding-dependent tail ran in both jobs.
+        "tauhls_serve_stage_cache_hits_total{stage=\"logic\"} 0",
+        "tauhls_serve_stage_cache_misses_total{stage=\"logic\"} 2",
+        "tauhls_serve_stage_cache_misses_total{stage=\"canonicalize\"} 1",
+        // Latency histograms cover every executed stage.
+        "tauhls_serve_stage_seconds_count{stage=\"bind\"} 2",
+        "tauhls_serve_stage_seconds_count{stage=\"logic\"} 2",
+        "tauhls_serve_request_seconds_count{endpoint=\"synth\"} 2",
+    ] {
+        assert!(
+            metrics.body.contains(needle),
+            "missing {needle}:\n{}",
+            metrics.body
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
 fn overloaded_queue_answers_503_instead_of_hanging() {
     // Diagnostic mode: no workers ever pop, so the 1-slot queue stays
     // occupied by the first request and every later one must bounce.
