@@ -1,23 +1,64 @@
 //! Bench-smoke for the unified cycle kernel: runs every paper benchmark
-//! through all three controller engines (DIST, CENT, CENT-SYNC) for a
-//! small fixed trial count and records simulated cycles per wall-clock
-//! second in `BENCH_kernel.json`. CI runs this in short mode as a
-//! throughput regression canary; it is a smoke check, not a calibrated
-//! benchmark — use `cargo bench -p tauhls-bench --bench latency_sim` for
-//! per-style latency numbers.
+//! through all three scalar controller engines (DIST, CENT, CENT-SYNC)
+//! *and* their bit-sliced counterparts (64 Monte-Carlo lanes per word)
+//! for a small fixed trial count, and records simulated cycles per
+//! wall-clock second — plus heap-allocation counts from a bin-level
+//! counting allocator — in `BENCH_kernel.json`. CI runs this in short
+//! mode as a throughput regression canary and `bench_gate` compares the
+//! numbers against the committed baseline; it is a smoke check, not a
+//! calibrated benchmark — use `cargo bench -p tauhls-bench --bench
+//! latency_sim` for per-style latency numbers.
+//!
+//! Two self-checks run inline: the sliced engines must allocate less per
+//! trial than the scalar ones (the scratch-reuse contract), and a second
+//! sliced pass over a reused `SlicedSim` must reproduce the first pass's
+//! cycle totals exactly.
 //!
 //! Usage: `kernel_smoke [trials-per-benchmark]` (default 300).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use tauhls_core::experiments::paper_benchmarks;
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_json::Json;
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
-    simulate_cent, simulate_cent_sync, simulate_distributed, CentControlUnit, CompletionModel,
+    simulate_cent, simulate_cent_sync, simulate_distributed, trial_rng, CentControlUnit,
+    CompletionModel, LaneConfigs, LaneModels, LaneOutcome, SimConfig, SlicedSim, LANES,
 };
+
+/// Counts every heap allocation so the smoke can assert the sliced
+/// engine's scratch reuse actually sticks. Bin-level only: the simulation
+/// library itself stays `forbid(unsafe_code)`.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter has no
+// effect on layout or pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 const P_SHORT: f64 = 0.7;
 const SEED: u64 = 2003;
@@ -28,6 +69,7 @@ struct EngineRow {
     trials: u64,
     total_cycles: u64,
     elapsed_ns: u64,
+    allocs: u64,
 }
 
 impl EngineRow {
@@ -43,22 +85,68 @@ impl EngineRow {
             ("total_cycles", Json::from(self.total_cycles)),
             ("elapsed_ns", Json::from(self.elapsed_ns)),
             ("cycles_per_sec", Json::from(self.cycles_per_sec())),
+            ("allocs", Json::from(self.allocs)),
         ])
     }
 }
 
-/// Times `trials` fault-free runs of one engine closure, returning the
-/// simulated-cycle total and the wall-clock spent.
-fn measure(trials: u64, mut run: impl FnMut(&mut StdRng) -> u64) -> (u64, u64) {
+/// Times `trials` fault-free runs of one scalar engine closure, returning
+/// the simulated-cycle total, the wall-clock spent, and the heap
+/// allocations made.
+fn measure(trials: u64, mut run: impl FnMut(&mut StdRng) -> u64) -> (u64, u64, u64) {
     let mut rng = StdRng::seed_from_u64(SEED);
     // One warm-up pass so lazily-faulted caches don't bill the first row.
     run(&mut rng);
     let mut total_cycles = 0u64;
+    let allocs_before = alloc_count();
     let start = Instant::now();
     for _ in 0..trials {
         total_cycles += run(&mut rng);
     }
-    (total_cycles, start.elapsed().as_nanos() as u64)
+    (
+        total_cycles,
+        start.elapsed().as_nanos() as u64,
+        alloc_count() - allocs_before,
+    )
+}
+
+/// Times `trials` fault-free trials through a sliced engine closure that
+/// consumes one slab of per-trial RNGs (up to [`LANES`] lanes) per call.
+fn measure_sliced(trials: u64, mut run: impl FnMut(&mut [StdRng]) -> u64) -> (u64, u64, u64) {
+    let fill = |rngs: &mut Vec<StdRng>, start: u64, end: u64| {
+        rngs.clear();
+        for t in start..end {
+            rngs.push(trial_rng(SEED, 0, t));
+        }
+    };
+    let mut rngs: Vec<StdRng> = Vec::with_capacity(LANES);
+    // Warm-up slab, mirroring the scalar warm-up pass.
+    fill(&mut rngs, 0, (LANES as u64).min(trials));
+    run(&mut rngs);
+    let mut total_cycles = 0u64;
+    let allocs_before = alloc_count();
+    let start = Instant::now();
+    let mut t = 0u64;
+    while t < trials {
+        let end = (t + LANES as u64).min(trials);
+        fill(&mut rngs, t, end);
+        total_cycles += run(&mut rngs);
+        t = end;
+    }
+    (
+        total_cycles,
+        start.elapsed().as_nanos() as u64,
+        alloc_count() - allocs_before,
+    )
+}
+
+fn slab_cycles(out: Vec<LaneOutcome>) -> u64 {
+    out.iter()
+        .map(|lane| match lane {
+            LaneOutcome::Done(r) => r.cycles as u64,
+            LaneOutcome::Fallback => panic!("fault-free sliced lane fell back"),
+        })
+        .sum()
 }
 
 fn main() {
@@ -67,62 +155,112 @@ fn main() {
         .map(|a| a.parse().expect("trials must be an integer"))
         .unwrap_or(300);
     let model = CompletionModel::Bernoulli { p: P_SHORT };
+    let fault_free = SimConfig::default();
     let mut rows = Vec::new();
     for (dfg, alloc, _) in paper_benchmarks() {
         let name = dfg.name().to_string();
         let bound = BoundDfg::bind(&dfg, &alloc);
         let cu = DistributedControlUnit::generate(&bound);
         let cent_cu = CentControlUnit::without_product(&bound);
+        let mut push = |engine, (cycles, ns, allocs)| {
+            rows.push(EngineRow {
+                engine,
+                benchmark: name.clone(),
+                trials,
+                total_cycles: cycles,
+                elapsed_ns: ns,
+                allocs,
+            });
+        };
 
-        let (cycles, ns) = measure(trials, |rng| {
-            simulate_distributed(&bound, &cu, &model, None, rng)
-                .expect("fault-free simulation")
-                .cycles as u64
-        });
-        rows.push(EngineRow {
-            engine: "dist",
-            benchmark: name.clone(),
-            trials,
-            total_cycles: cycles,
-            elapsed_ns: ns,
-        });
+        push(
+            "dist",
+            measure(trials, |rng| {
+                simulate_distributed(&bound, &cu, &model, None, rng)
+                    .expect("fault-free simulation")
+                    .cycles as u64
+            }),
+        );
+        push(
+            "cent",
+            measure(trials, |rng| {
+                simulate_cent(&bound, &cent_cu, &model, None, rng)
+                    .expect("fault-free simulation")
+                    .cycles as u64
+            }),
+        );
+        push(
+            "cent_sync",
+            measure(trials, |rng| {
+                simulate_cent_sync(&bound, &model, None, rng)
+                    .expect("fault-free simulation")
+                    .cycles as u64
+            }),
+        );
 
-        let (cycles, ns) = measure(trials, |rng| {
-            simulate_cent(&bound, &cent_cu, &model, None, rng)
-                .expect("fault-free simulation")
-                .cycles as u64
+        let models = LaneModels::Shared(&model);
+        let cfgs = LaneConfigs::Shared(&fault_free);
+        let mut dist_sim = SlicedSim::distributed(&bound, &cu, None);
+        let first = measure_sliced(trials, |rngs| {
+            slab_cycles(dist_sim.run(&models, &cfgs, rngs))
         });
-        rows.push(EngineRow {
-            engine: "cent",
-            benchmark: name.clone(),
-            trials,
-            total_cycles: cycles,
-            elapsed_ns: ns,
+        // Scratch-reuse self-check: a second pass over the same SlicedSim
+        // must reproduce the first pass's totals exactly.
+        let second = measure_sliced(trials, |rngs| {
+            slab_cycles(dist_sim.run(&models, &cfgs, rngs))
         });
+        assert_eq!(
+            first.0, second.0,
+            "{name}: sliced scratch reuse changed results"
+        );
+        push("dist_sliced", first);
 
-        let (cycles, ns) = measure(trials, |rng| {
-            simulate_cent_sync(&bound, &model, None, rng)
-                .expect("fault-free simulation")
-                .cycles as u64
-        });
-        rows.push(EngineRow {
-            engine: "cent_sync",
-            benchmark: name.clone(),
-            trials,
-            total_cycles: cycles,
-            elapsed_ns: ns,
-        });
+        let mut cent_sim = SlicedSim::distributed(&bound, cent_cu.components(), None);
+        push(
+            "cent_sliced",
+            measure_sliced(trials, |rngs| {
+                slab_cycles(cent_sim.run(&models, &cfgs, rngs))
+            }),
+        );
+        let mut sync_sim = SlicedSim::cent_sync(&bound, None);
+        push(
+            "cent_sync_sliced",
+            measure_sliced(trials, |rngs| {
+                slab_cycles(sync_sim.run(&models, &cfgs, rngs))
+            }),
+        );
     }
 
     for row in &rows {
         println!(
-            "{:<10} {:<14} {:>12.0} cycles/sec  ({} trials, {} cycles)",
+            "{:<18} {:<14} {:>12.0} cycles/sec  ({} trials, {} cycles, {} allocs)",
             row.engine,
             row.benchmark,
             row.cycles_per_sec(),
             row.trials,
-            row.total_cycles
+            row.total_cycles,
+            row.allocs
         );
+    }
+    // Allocation self-check: slicing must cut per-trial allocations, or
+    // the scratch/arena reuse has regressed.
+    for (scalar, sliced) in [
+        ("dist", "dist_sliced"),
+        ("cent", "cent_sliced"),
+        ("cent_sync", "cent_sync_sliced"),
+    ] {
+        let total = |engine: &str| -> u64 {
+            rows.iter()
+                .filter(|r| r.engine == engine)
+                .map(|r| r.allocs)
+                .sum()
+        };
+        let (a, b) = (total(scalar), total(sliced));
+        assert!(
+            b < a,
+            "{sliced} allocated {b} times, not less than {scalar}'s {a}"
+        );
+        println!("allocs: {sliced} {b} vs {scalar} {a}");
     }
 
     let report = Json::object([

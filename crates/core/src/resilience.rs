@@ -18,13 +18,15 @@
 //! All counters are exact integers folded in chunk order, so the report —
 //! including its JSON rendering — is bit-identical for any thread count.
 
+use rand::rngs::StdRng;
 use std::fmt;
 use tauhls_check::{arbitrary_fault, Gen};
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
     derive_seed, simulate_cent_with, simulate_distributed_with, trial_rng, Accumulator,
-    BatchRunner, CentControlUnit, CompletionModel, FaultPlan, SimConfig, SimError,
+    BatchRunner, CentControlUnit, CompletionModel, FaultPlan, LaneConfigs, LaneModels, LaneOutcome,
+    SimConfig, SimError, SlicedSim, LANES,
 };
 
 /// The fault-kind tags a sweep probes, in report order.
@@ -172,40 +174,106 @@ pub fn resilience_sweep(
     let max_cycle = 2 * num_ops + 4;
     let mut rows = Vec::with_capacity(FAULT_KINDS.len());
     for (kind_idx, tag) in FAULT_KINDS.iter().enumerate() {
-        let acc: ResilAcc = runner.run(trials, |trial, acc: &mut ResilAcc| {
-            let plan_seed = derive_seed(seed, PLAN_JOB_BASE + kind_idx as u64, trial);
-            let mut plan_gen = Gen::from_seed(plan_seed);
-            let fault = draw_fault_of_kind(&mut plan_gen, tag, num_ops, num_controllers, max_cycle);
-            let cfg = SimConfig::with_faults(FaultPlan::single(fault.at_cycle, fault.kind));
-            let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
-            let table = CompletionModel::draw_table(num_ops, p, &mut rng);
-            let outcome = simulate_distributed_with(bound, &cu, &table, None, &mut rng, &cfg);
-            // The table model never consumes RNG, so the CENT leg can ride
-            // the same stream without perturbing the distributed outcome.
-            let cent_outcome = simulate_cent_with(bound, &cent_cu, &table, None, &mut rng, &cfg);
-            let agree = match (&outcome, &cent_outcome) {
-                (Ok(d), Ok(c)) => d.cycles == c.cycles,
-                (Err(d), Err(c)) => std::mem::discriminant(d) == std::mem::discriminant(c),
-                _ => false,
-            };
-            if agree {
-                acc.cent_agree += 1;
-            }
-            match outcome {
-                Ok(_) => acc.survived += 1,
-                Err(err) => {
-                    if matches!(err, SimError::Deadlock(_)) {
-                        acc.deadlock += 1;
-                    } else {
-                        acc.desync += 1;
-                    }
-                    if let Some(cycle) = err.detected_cycle() {
-                        acc.latency_sum += cycle.saturating_sub(fault.at_cycle) as u64;
-                        acc.latency_samples += 1;
+        // Reconstructs one trial's fault plan and completion table and runs
+        // both scalar legs — the oracle path for lanes the sliced engine
+        // declines (every detected fault lands here, since the sliced
+        // engine defers all error diagnosis to the scalar kernel).
+        let scalar_trial =
+            |trial: u64, fault: &tauhls_sim::Fault, cfg: &SimConfig, acc: &mut ResilAcc| {
+                let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                let outcome = simulate_distributed_with(bound, &cu, &table, None, &mut rng, cfg);
+                // The table model never consumes RNG, so the CENT leg can ride
+                // the same stream without perturbing the distributed outcome.
+                let cent_outcome = simulate_cent_with(bound, &cent_cu, &table, None, &mut rng, cfg);
+                let agree = match (&outcome, &cent_outcome) {
+                    (Ok(d), Ok(c)) => d.cycles == c.cycles,
+                    (Err(d), Err(c)) => std::mem::discriminant(d) == std::mem::discriminant(c),
+                    _ => false,
+                };
+                if agree {
+                    acc.cent_agree += 1;
+                }
+                match outcome {
+                    Ok(_) => acc.survived += 1,
+                    Err(err) => {
+                        if matches!(err, SimError::Deadlock(_)) {
+                            acc.deadlock += 1;
+                        } else {
+                            acc.desync += 1;
+                        }
+                        if let Some(cycle) = err.detected_cycle() {
+                            acc.latency_sum += cycle.saturating_sub(fault.at_cycle) as u64;
+                            acc.latency_samples += 1;
+                        }
                     }
                 }
-            }
-        });
+            };
+        let acc: ResilAcc = runner.run_chunked(
+            trials,
+            || {
+                (
+                    SlicedSim::distributed(bound, &cu, None),
+                    Vec::<StdRng>::new(),
+                    Vec::<CompletionModel>::new(),
+                    Vec::<SimConfig>::new(),
+                    Vec::<tauhls_sim::Fault>::new(),
+                )
+            },
+            |(sim, rngs, tables, cfgs, faults), range, acc: &mut ResilAcc| {
+                let mut start = range.start;
+                while start < range.end {
+                    let end = (start + LANES as u64).min(range.end);
+                    rngs.clear();
+                    tables.clear();
+                    cfgs.clear();
+                    faults.clear();
+                    for trial in start..end {
+                        let plan_seed = derive_seed(seed, PLAN_JOB_BASE + kind_idx as u64, trial);
+                        let mut plan_gen = Gen::from_seed(plan_seed);
+                        let fault = draw_fault_of_kind(
+                            &mut plan_gen,
+                            tag,
+                            num_ops,
+                            num_controllers,
+                            max_cycle,
+                        );
+                        cfgs.push(SimConfig::with_faults(FaultPlan::single(
+                            fault.at_cycle,
+                            fault.kind,
+                        )));
+                        faults.push(fault);
+                        let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+                        tables.push(CompletionModel::draw_table(num_ops, p, &mut rng));
+                        rngs.push(rng);
+                    }
+                    let out = sim.run(
+                        &LaneModels::PerLane(&tables[..]),
+                        &LaneConfigs::PerLane(&cfgs[..]),
+                        rngs,
+                    );
+                    for (lane, outcome) in out.iter().enumerate() {
+                        match outcome {
+                            LaneOutcome::Done(_) => {
+                                // A sliced lane only completes when the run
+                                // survived its post-run invariants; CENT is
+                                // the product-free wrapper around the same
+                                // controller bank, so agreement holds by
+                                // construction (the scalar fallback path
+                                // still cross-checks it on every detected
+                                // trial).
+                                acc.survived += 1;
+                                acc.cent_agree += 1;
+                            }
+                            LaneOutcome::Fallback => {
+                                scalar_trial(start + lane as u64, &faults[lane], &cfgs[lane], acc);
+                            }
+                        }
+                    }
+                    start = end;
+                }
+            },
+        );
         rows.push(KindStats {
             kind: tag.to_string(),
             trials,
@@ -284,6 +352,56 @@ mod tests {
         // The bisimilar CENT engine classifies every trial identically.
         for r in &report.rows {
             assert_eq!(r.cent_agreement, r.trials, "{}: CENT disagreed", r.kind);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_scalar_reference() {
+        // Re-derive every trial with the plain scalar engines (no slicing,
+        // no batching) and demand identical counters from the sweep.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let (p, trials, seed) = (0.5, 70u64, 2003u64);
+        let report = resilience_sweep(&bound, p, trials, seed, &BatchRunner::new(4));
+        let cu = DistributedControlUnit::generate(&bound);
+        let num_ops = bound.dfg().num_ops();
+        let num_controllers = cu.controllers().len();
+        let max_cycle = 2 * num_ops + 4;
+        for (kind_idx, tag) in FAULT_KINDS.iter().enumerate() {
+            let (mut survived, mut deadlock, mut desync) = (0u64, 0u64, 0u64);
+            let (mut latency_sum, mut latency_samples) = (0u64, 0u64);
+            for trial in 0..trials {
+                let plan_seed = derive_seed(seed, PLAN_JOB_BASE + kind_idx as u64, trial);
+                let mut plan_gen = Gen::from_seed(plan_seed);
+                let fault =
+                    draw_fault_of_kind(&mut plan_gen, tag, num_ops, num_controllers, max_cycle);
+                let cfg = SimConfig::with_faults(FaultPlan::single(fault.at_cycle, fault.kind));
+                let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                match simulate_distributed_with(&bound, &cu, &table, None, &mut rng, &cfg) {
+                    Ok(_) => survived += 1,
+                    Err(err) => {
+                        if matches!(err, SimError::Deadlock(_)) {
+                            deadlock += 1;
+                        } else {
+                            desync += 1;
+                        }
+                        if let Some(cycle) = err.detected_cycle() {
+                            latency_sum += cycle.saturating_sub(fault.at_cycle) as u64;
+                            latency_samples += 1;
+                        }
+                    }
+                }
+            }
+            let row = &report.rows[kind_idx];
+            assert_eq!(row.survived, survived, "{tag}: survived");
+            assert_eq!(row.detected_deadlock, deadlock, "{tag}: deadlock");
+            assert_eq!(row.detected_desync, desync, "{tag}: desync");
+            let mean = if latency_samples == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / latency_samples as f64
+            };
+            assert_eq!(row.mean_detection_latency, mean, "{tag}: latency");
         }
     }
 

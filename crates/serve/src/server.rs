@@ -562,4 +562,27 @@ mod tests {
         assert!(r.contains("Retry-After: 1"), "{r}");
         assert_eq!(sh.cache.entries(), 0);
     }
+
+    #[test]
+    fn cancellation_spares_earlier_cache_entries_but_caches_nothing_new() {
+        let sh = shared();
+        let spec = r#"{"dfg":"fir3","trials":30}"#;
+        // A completed batch is cached as usual...
+        let r = drive(&sh, &post("/v1/simulate", spec));
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("X-Cache: miss"), "{r}");
+        assert_eq!(sh.cache.entries(), 1);
+        // ...then shutdown begins: the cached result still serves (the
+        // cache lookup precedes the batch run entirely)...
+        sh.cancel.cancel();
+        let r = drive(&sh, &post("/v1/simulate", spec));
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("X-Cache: hit"), "{r}");
+        // ...but any batch that actually runs is cancelled mid-flight and
+        // must never be cached, even partially.
+        let other = r#"{"dfg":"fir5","trials":30}"#;
+        let r = drive(&sh, &post("/v1/simulate", other));
+        assert!(r.starts_with("HTTP/1.1 503"), "{r}");
+        assert_eq!(sh.cache.entries(), 1);
+    }
 }

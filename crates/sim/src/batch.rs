@@ -38,6 +38,7 @@ use crate::error::SimError;
 use crate::fault::SimConfig;
 use crate::latency::{ControlStyle, LatencySummary};
 use crate::model::CompletionModel;
+use crate::sliced::{LaneConfigs, LaneModels, LaneOutcome, SlicedSim, LANES};
 use rand::rngs::StdRng;
 use rand::{splitmix64_mix, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -352,29 +353,56 @@ impl BatchRunner {
         A: Accumulator,
         F: Fn(u64, &mut A) + Sync,
     {
+        self.run_chunked(
+            trials,
+            || (),
+            |(), range, acc| {
+                for trial in range {
+                    trial_fn(trial, acc);
+                }
+            },
+        )
+    }
+
+    /// Like [`BatchRunner::run`], but hands each worker a reusable scratch
+    /// value (built once per worker by `make_worker`, reused across every
+    /// chunk that worker claims) and whole chunk ranges instead of single
+    /// trials. This is what lets the sliced engine keep its bit-plane
+    /// buffers — and any other per-trial allocation — alive across chunks.
+    ///
+    /// Determinism contract: `chunk_fn` must derive all randomness from
+    /// the trial indices in `range` and must not let the scratch value
+    /// carry state between chunks that affects results; chunk boundaries
+    /// depend only on `(trials, chunk_size)`, so results stay
+    /// bit-identical for any thread count.
+    pub fn run_chunked<A, W, M, F>(&self, trials: u64, make_worker: M, chunk_fn: F) -> A
+    where
+        A: Accumulator,
+        M: Fn() -> W + Sync,
+        F: Fn(&mut W, std::ops::Range<u64>, &mut A) + Sync,
+    {
         if trials == 0 {
             return A::empty();
         }
         let chunk_size = self.chunk_size;
         let num_chunks = trials.div_ceil(chunk_size) as usize;
-        let run_chunk = |chunk: usize| {
+        let run_chunk = |worker: &mut W, chunk: usize| {
             let mut acc = A::empty();
             let start = chunk as u64 * chunk_size;
             let end = (start + chunk_size).min(trials);
-            for trial in start..end {
-                trial_fn(trial, &mut acc);
-            }
+            chunk_fn(worker, start..end, &mut acc);
             acc
         };
 
         let cancelled = || self.is_cancelled();
         let mut per_chunk: Vec<Option<A>> = (0..num_chunks).map(|_| None).collect();
         if self.threads == 1 || num_chunks == 1 {
+            let mut worker = make_worker();
             for (chunk, slot) in per_chunk.iter_mut().enumerate() {
                 if cancelled() {
                     break;
                 }
-                *slot = Some(run_chunk(chunk));
+                *slot = Some(run_chunk(&mut worker, chunk));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -383,6 +411,7 @@ impl BatchRunner {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
+                            let mut worker = make_worker();
                             let mut local = Vec::new();
                             loop {
                                 if cancelled() {
@@ -392,7 +421,7 @@ impl BatchRunner {
                                 if chunk >= num_chunks {
                                     break;
                                 }
-                                local.push((chunk, run_chunk(chunk)));
+                                local.push((chunk, run_chunk(&mut worker, chunk)));
                             }
                             local
                         })
@@ -469,10 +498,33 @@ impl<'a> SimJob<'a> {
 
     /// Runs the job on `runner`, collecting cycle statistics.
     ///
+    /// Trials are executed through the bit-sliced engine ([`SlicedSim`]),
+    /// up to [`LANES`] per word; lanes the sliced engine declines
+    /// ([`LaneOutcome::Fallback`]) are re-run one at a time through the
+    /// scalar kernel with a fresh per-trial RNG, so results — statistics
+    /// and errors alike — are bit-identical to [`SimJob::run_scalar`].
+    ///
     /// When any trial fails, the error of the lowest-numbered failing
     /// trial is returned — deterministically, for any thread count (see
     /// [`FirstError`]).
     pub fn run(&self, base_seed: u64, runner: &BatchRunner) -> Result<CycleStats, SimError> {
+        self.run_impl(base_seed, runner, true)
+    }
+
+    /// The scalar reference path: one trial at a time through the shared
+    /// cycle kernel. Kept as the oracle the sliced default is checked
+    /// against (and as the diagnostics-bearing fallback), bit-identical
+    /// to [`SimJob::run`].
+    pub fn run_scalar(&self, base_seed: u64, runner: &BatchRunner) -> Result<CycleStats, SimError> {
+        self.run_impl(base_seed, runner, false)
+    }
+
+    fn run_impl(
+        &self,
+        base_seed: u64,
+        runner: &BatchRunner,
+        sliced: bool,
+    ) -> Result<CycleStats, SimError> {
         enum JobEngine {
             Dist(DistributedControlUnit),
             Cent(CentControlUnit),
@@ -487,27 +539,71 @@ impl<'a> SimJob<'a> {
         };
         let default_config = SimConfig::default();
         let config = self.config.unwrap_or(&default_config);
-        let (stats, errors): (CycleStats, FirstError) = runner.run(
-            self.trials,
-            |trial, (acc, errors): &mut (CycleStats, FirstError)| {
-                let mut rng = trial_rng(base_seed, self.job_id, trial);
-                let outcome = match &engine {
-                    JobEngine::Dist(cu) => simulate_distributed_with(
-                        self.bound, cu, self.model, None, &mut rng, config,
-                    ),
-                    JobEngine::Cent(cu) => {
-                        simulate_cent_with(self.bound, cu, self.model, None, &mut rng, config)
+        let scalar_trial = |trial: u64| {
+            let mut rng = trial_rng(base_seed, self.job_id, trial);
+            match &engine {
+                JobEngine::Dist(cu) => {
+                    simulate_distributed_with(self.bound, cu, self.model, None, &mut rng, config)
+                }
+                JobEngine::Cent(cu) => {
+                    simulate_cent_with(self.bound, cu, self.model, None, &mut rng, config)
+                }
+                JobEngine::Sync => {
+                    simulate_cent_sync_with(self.bound, self.model, None, &mut rng, config)
+                }
+            }
+        };
+        let (stats, errors): (CycleStats, FirstError) = if sliced {
+            runner.run_chunked(
+                self.trials,
+                || {
+                    let sim = match &engine {
+                        JobEngine::Dist(cu) => SlicedSim::distributed(self.bound, cu, None),
+                        // CENT is the product-free wrapper around the same
+                        // controller bank, so its sliced run is the DIST
+                        // run over `components()`.
+                        JobEngine::Cent(cu) => {
+                            SlicedSim::distributed(self.bound, cu.components(), None)
+                        }
+                        JobEngine::Sync => SlicedSim::cent_sync(self.bound, None),
+                    };
+                    (sim, Vec::<StdRng>::new())
+                },
+                |(sim, rngs), range, (acc, errors): &mut (CycleStats, FirstError)| {
+                    let mut start = range.start;
+                    while start < range.end {
+                        let end = (start + LANES as u64).min(range.end);
+                        rngs.clear();
+                        for trial in start..end {
+                            rngs.push(trial_rng(base_seed, self.job_id, trial));
+                        }
+                        let out = sim.run(
+                            &LaneModels::Shared(self.model),
+                            &LaneConfigs::Shared(config),
+                            rngs,
+                        );
+                        for (lane, outcome) in out.iter().enumerate() {
+                            match outcome {
+                                LaneOutcome::Done(r) => acc.record(r.cycles),
+                                LaneOutcome::Fallback => match scalar_trial(start + lane as u64) {
+                                    Ok(r) => acc.record(r.cycles),
+                                    Err(e) => errors.record(start + lane as u64, e),
+                                },
+                            }
+                        }
+                        start = end;
                     }
-                    JobEngine::Sync => {
-                        simulate_cent_sync_with(self.bound, self.model, None, &mut rng, config)
-                    }
-                };
-                match outcome {
+                },
+            )
+        } else {
+            runner.run(
+                self.trials,
+                |trial, (acc, errors): &mut (CycleStats, FirstError)| match scalar_trial(trial) {
                     Ok(r) => acc.record(r.cycles),
                     Err(e) => errors.record(trial, e),
-                }
-            },
-        );
+                },
+            )
+        };
         runner.check_cancelled()?;
         errors.into_result()?;
         Ok(stats)
@@ -586,18 +682,68 @@ pub fn latency_pair_batch(
     let mut sync_avg = Vec::with_capacity(p_values.len());
     let mut dist_avg = Vec::with_capacity(p_values.len());
     for (idx, &p) in p_values.iter().enumerate() {
-        let (sync, dist, errors): (CycleStats, CycleStats, FirstError) = runner.run(
+        let (sync, dist, errors): (CycleStats, CycleStats, FirstError) = runner.run_chunked(
             trials,
-            |trial, (sync, dist, errors): &mut (CycleStats, CycleStats, FirstError)| {
-                let mut rng = trial_rng(base_seed, idx as u64, trial);
-                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
-                match measure(&table, &mut rng) {
-                    Ok((s, d)) => {
-                        debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
-                        sync.record(s);
-                        dist.record(d);
+            || {
+                (
+                    SlicedSim::cent_sync(bound, None),
+                    SlicedSim::distributed(bound, &cu, None),
+                    Vec::<StdRng>::new(),
+                    Vec::<CompletionModel>::new(),
+                )
+            },
+            |(sync_sim, dist_sim, rngs, tables),
+             range,
+             (sync, dist, errors): &mut (CycleStats, CycleStats, FirstError)| {
+                let mut start = range.start;
+                while start < range.end {
+                    let end = (start + LANES as u64).min(range.end);
+                    rngs.clear();
+                    tables.clear();
+                    // Draw each lane's table from its own trial RNG first,
+                    // consuming exactly what the scalar path consumes; the
+                    // table models are RNG-neutral afterwards.
+                    for trial in start..end {
+                        let mut rng = trial_rng(base_seed, idx as u64, trial);
+                        tables.push(CompletionModel::draw_table(num_ops, p, &mut rng));
+                        rngs.push(rng);
                     }
-                    Err(e) => errors.record(trial, e),
+                    let models = LaneModels::PerLane(&tables[..]);
+                    let cfgs = LaneConfigs::Shared(&fault_free);
+                    let sync_out = sync_sim.run(&models, &cfgs, rngs);
+                    let dist_out = dist_sim.run(&models, &cfgs, rngs);
+                    for (lane, (so, do_)) in sync_out.iter().zip(dist_out.iter()).enumerate() {
+                        let trial = start + lane as u64;
+                        match (so, do_) {
+                            (LaneOutcome::Done(s), LaneOutcome::Done(d)) => {
+                                let (s, d) = (s.cycles, d.cycles);
+                                debug_assert!(
+                                    d <= s,
+                                    "distributed lost a coupled trial: {d} > {s}"
+                                );
+                                sync.record(s);
+                                dist.record(d);
+                            }
+                            _ => {
+                                // Any declined lane gets a full scalar
+                                // re-measure from a fresh trial RNG.
+                                let mut rng = trial_rng(base_seed, idx as u64, trial);
+                                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                                match measure(&table, &mut rng) {
+                                    Ok((s, d)) => {
+                                        debug_assert!(
+                                            d <= s,
+                                            "distributed lost a coupled trial: {d} > {s}"
+                                        );
+                                        sync.record(s);
+                                        dist.record(d);
+                                    }
+                                    Err(e) => errors.record(trial, e),
+                                }
+                            }
+                        }
+                    }
+                    start = end;
                 }
             },
         );
@@ -662,26 +808,77 @@ pub fn latency_triple_batch(
     let mut cent_avg = Vec::with_capacity(p_values.len());
     for (idx, &p) in p_values.iter().enumerate() {
         let (sync, dist, cent, errors): (CycleStats, CycleStats, CycleStats, FirstError) =
-            runner.run(
+            runner.run_chunked(
                 trials,
-                |trial,
+                || {
+                    // CENT shares DIST's controller bank (`components()`),
+                    // so one sliced DIST run serves both legs; the scalar
+                    // re-measure path keeps the per-trial debug assert.
+                    (
+                        SlicedSim::cent_sync(bound, None),
+                        SlicedSim::distributed(bound, &cu, None),
+                        Vec::<StdRng>::new(),
+                        Vec::<CompletionModel>::new(),
+                    )
+                },
+                |(sync_sim, dist_sim, rngs, tables),
+                 range,
                  (sync, dist, cent, errors): &mut (
                     CycleStats,
                     CycleStats,
                     CycleStats,
                     FirstError,
                 )| {
-                    let mut rng = trial_rng(base_seed, idx as u64, trial);
-                    let table = CompletionModel::draw_table(num_ops, p, &mut rng);
-                    match measure(&table, &mut rng) {
-                        Ok((s, d, c)) => {
-                            debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
-                            debug_assert_eq!(c, d, "CENT diverged from DIST on a coupled trial");
-                            sync.record(s);
-                            dist.record(d);
-                            cent.record(c);
+                    let mut start = range.start;
+                    while start < range.end {
+                        let end = (start + LANES as u64).min(range.end);
+                        rngs.clear();
+                        tables.clear();
+                        for trial in start..end {
+                            let mut rng = trial_rng(base_seed, idx as u64, trial);
+                            tables.push(CompletionModel::draw_table(num_ops, p, &mut rng));
+                            rngs.push(rng);
                         }
-                        Err(e) => errors.record(trial, e),
+                        let models = LaneModels::PerLane(&tables[..]);
+                        let cfgs = LaneConfigs::Shared(&fault_free);
+                        let sync_out = sync_sim.run(&models, &cfgs, rngs);
+                        let dist_out = dist_sim.run(&models, &cfgs, rngs);
+                        for (lane, (so, do_)) in sync_out.iter().zip(dist_out.iter()).enumerate() {
+                            let trial = start + lane as u64;
+                            match (so, do_) {
+                                (LaneOutcome::Done(s), LaneOutcome::Done(d)) => {
+                                    let (s, d) = (s.cycles, d.cycles);
+                                    debug_assert!(
+                                        d <= s,
+                                        "distributed lost a coupled trial: {d} > {s}"
+                                    );
+                                    sync.record(s);
+                                    dist.record(d);
+                                    cent.record(d);
+                                }
+                                _ => {
+                                    let mut rng = trial_rng(base_seed, idx as u64, trial);
+                                    let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                                    match measure(&table, &mut rng) {
+                                        Ok((s, d, c)) => {
+                                            debug_assert!(
+                                                d <= s,
+                                                "distributed lost a coupled trial: {d} > {s}"
+                                            );
+                                            debug_assert_eq!(
+                                                c, d,
+                                                "CENT diverged from DIST on a coupled trial"
+                                            );
+                                            sync.record(s);
+                                            dist.record(d);
+                                            cent.record(c);
+                                        }
+                                        Err(e) => errors.record(trial, e),
+                                    }
+                                }
+                            }
+                        }
+                        start = end;
                     }
                 },
             );
@@ -910,5 +1107,142 @@ mod tests {
             .run(11, &BatchRunner::new(4).with_cancel(CancelToken::new()))
             .unwrap();
         assert_eq!(plain, with_token);
+    }
+
+    #[test]
+    fn sliced_job_matches_scalar_oracle_at_lane_boundaries() {
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        for style in [
+            ControlStyle::Distributed,
+            ControlStyle::Cent,
+            ControlStyle::CentSync,
+        ] {
+            for trials in [1u64, 63, 64, 65, 257] {
+                let job = SimJob::new(&bound, style, &model).trials(trials);
+                let scalar = job.run_scalar(11, &BatchRunner::serial()).unwrap();
+                // The sliced default must reproduce the scalar oracle for
+                // every lane width (ragged last slab included), chunk
+                // size, and thread count.
+                for runner in [
+                    BatchRunner::serial(),
+                    BatchRunner::new(4),
+                    BatchRunner::new(4).with_chunk_size(10),
+                    BatchRunner::serial().with_chunk_size(100),
+                ] {
+                    assert_eq!(
+                        scalar,
+                        job.run(11, &runner).unwrap(),
+                        "style {style:?}, trials {trials}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_job_matches_scalar_oracle_under_faults() {
+        use crate::fault::{FaultKind, FaultPlan};
+        use tauhls_dfg::OpId;
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let plans = [
+            FaultPlan::single(1, FaultKind::StuckAtShort { op: OpId(1) }),
+            FaultPlan::single(1, FaultKind::StuckAtLong { op: OpId(0) }),
+            FaultPlan::single(2, FaultKind::DropPulse { op: OpId(2) }),
+            FaultPlan::single(2, FaultKind::SpuriousPulse { op: OpId(3) }),
+            FaultPlan::single(
+                1,
+                FaultKind::DelayLatch {
+                    op: OpId(1),
+                    delay: 2,
+                },
+            ),
+            FaultPlan::single(
+                2,
+                FaultKind::FlipState {
+                    controller: 0,
+                    bit: 0,
+                },
+            ),
+        ];
+        for plan in plans {
+            let config = SimConfig::with_faults(plan);
+            for style in [ControlStyle::Distributed, ControlStyle::Cent] {
+                let job = SimJob::new(&bound, style, &model)
+                    .trials(65)
+                    .config(&config);
+                let scalar = job.run_scalar(11, &BatchRunner::serial());
+                let sliced = job.run(11, &BatchRunner::new(4));
+                assert_eq!(scalar, sliced, "style {style:?}, config {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_worker_is_reused_and_results_unchanged() {
+        use std::sync::atomic::AtomicUsize;
+        let runner = BatchRunner::serial().with_chunk_size(10);
+        let built = AtomicUsize::new(0);
+        let stats: CycleStats = runner.run_chunked(
+            100,
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::with_capacity(10)
+            },
+            |scratch, range, acc: &mut CycleStats| {
+                // Scratch arrives dirty from the previous chunk; a
+                // correct chunk body resets it before use.
+                scratch.clear();
+                scratch.extend(range.map(|t| t as usize));
+                for &s in scratch.iter() {
+                    acc.record(s);
+                }
+            },
+        );
+        // One worker (serial) means one scratch for all ten chunks.
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        let reference: CycleStats =
+            runner.run(100, |t, acc: &mut CycleStats| acc.record(t as usize));
+        assert_eq!(stats, reference);
+
+        let built = AtomicUsize::new(0);
+        let parallel: CycleStats = BatchRunner::new(4).with_chunk_size(10).run_chunked(
+            100,
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), range, acc: &mut CycleStats| {
+                for t in range {
+                    acc.record(t as usize);
+                }
+            },
+        );
+        // At most one scratch per worker, never one per chunk.
+        assert!(built.load(Ordering::Relaxed) <= 4);
+        assert_eq!(parallel, reference);
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_claiming_chunked_slabs() {
+        let token = CancelToken::new();
+        let runner = BatchRunner::new(1)
+            .with_chunk_size(1)
+            .with_cancel(token.clone());
+        let stats: CycleStats = runner.run_chunked(
+            1_000,
+            || (),
+            |(), range, acc: &mut CycleStats| {
+                for trial in range {
+                    assert!(trial <= 4, "chunk claimed after cancellation");
+                    if trial == 4 {
+                        token.cancel();
+                    }
+                    acc.record(trial as usize);
+                }
+            },
+        );
+        assert_eq!(stats.count, 5);
+        assert_eq!(runner.check_cancelled(), Err(SimError::Cancelled));
     }
 }

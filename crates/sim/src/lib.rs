@@ -73,6 +73,7 @@ mod latency;
 mod model;
 mod pipeline;
 mod result;
+pub mod sliced;
 
 pub use batch::{
     derive_seed, latency_pair_batch, latency_summary_batch, latency_triple_batch, trial_rng,
@@ -91,3 +92,4 @@ pub use latency::{
 pub use model::{CompletionModel, TauLibrary};
 pub use pipeline::{simulate_pipelined, simulate_pipelined_with, PipelinedResult};
 pub use result::SimResult;
+pub use sliced::{LaneConfigs, LaneModels, LaneOutcome, PipelinedLaneOutcome, SlicedSim, LANES};

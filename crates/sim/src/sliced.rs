@@ -1,0 +1,1882 @@
+//! Bit-sliced execution: up to 64 Monte-Carlo trials per `u64` word.
+//!
+//! The scalar engines in this crate advance one trial at a time, paying
+//! the full controller-stepping cost (transition filtering, guard
+//! evaluation through string-keyed input closures, per-step output
+//! clones) once per trial per cycle. This module transposes the data:
+//! trial `t` of a batch lives in bit position `t` of every word, so one
+//! word-wide guard evaluation advances up to [`LANES`] trials at once —
+//! the same transposed-bit-plane trick used by bit-parallel fault
+//! simulators.
+//!
+//! # Contract
+//!
+//! The sliced engine is **bit-identical to the scalar kernel, per lane**:
+//! for every trial it either produces exactly the [`SimResult`] the
+//! scalar engine would (same RNG stream, same fault overlay, same cycle
+//! accounting) or reports [`LaneOutcome::Fallback`], meaning the caller
+//! must re-run that trial through the scalar engine. Every condition the
+//! scalar engine reports as a [`crate::SimError`] — deadlock, desync,
+//! premature latch, invalid config — falls back, because those paths
+//! carry `Diagnostics` snapshots only the scalar engine can produce.
+//! Fallback is always sound: the scalar re-run *is* the oracle, so
+//! over-falling-back can cost speed but never correctness.
+//!
+//! # Layout
+//!
+//! * Completion state (`done`, `pulses`, `injected`, `scratch`) is one
+//!   `u64` per op: bit `t` = trial `t`.
+//! * Per-trial scalar quantities (`start_cycle`, `completion_cycle`,
+//!   `unit_busy`) are stride-64 arrays indexed `op * 64 + t`.
+//! * Controller state is an *occupancy list* per controller: `(state,
+//!   lane mask)` groups, rebuilt each cycle from the transitions taken.
+//!   Lanes sharing a state share one guard evaluation.
+//!
+//! Faults are whole-word overlays with per-lane masks
+//! ([`LaneConfigs`]), applied after the completion-model draws exactly
+//! like the scalar kernel, so RNG streams stay plan-independent.
+
+use crate::distributed::{operand_values, parse_phase, Phase};
+use crate::fault::SimConfig;
+use crate::model::CompletionModel;
+use crate::pipeline::PipelinedResult;
+use crate::result::SimResult;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tauhls_dfg::{OpId, TaubmDfg};
+use tauhls_fsm::{DistributedControlUnit, StateId};
+use tauhls_logic::Expr;
+use tauhls_sched::BoundDfg;
+
+/// Maximum trials per sliced run: one per bit of a `u64`.
+pub const LANES: usize = 64;
+
+/// Outcome of one lane (trial) of a sliced single-iteration run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LaneOutcome {
+    /// The lane completed; the result is bit-identical to the scalar
+    /// engine's for the same trial RNG and config.
+    Done(SimResult),
+    /// The lane hit a condition the scalar engine reports as a
+    /// [`crate::SimError`] (or one the sliced engine cannot represent);
+    /// re-run the trial through the scalar engine to recover the error's
+    /// `Diagnostics` — or its result, when the sliced engine merely
+    /// declined the case.
+    Fallback,
+}
+
+/// Outcome of one lane of a sliced pipelined (multi-iteration) run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelinedLaneOutcome {
+    /// The lane completed, bit-identical to
+    /// [`crate::simulate_pipelined_with`].
+    Done(PipelinedResult),
+    /// Re-run this trial through the scalar pipelined engine.
+    Fallback,
+}
+
+/// Completion models per lane: one shared model (the common batch case)
+/// or one model per lane (coupled-table comparisons, resilience sweeps).
+#[derive(Clone, Copy, Debug)]
+pub enum LaneModels<'a> {
+    /// Every lane draws from the same model.
+    Shared(&'a CompletionModel),
+    /// Lane `t` draws from `models[t]`; the slice length must equal the
+    /// number of RNG lanes passed to the run.
+    PerLane(&'a [CompletionModel]),
+}
+
+impl LaneModels<'_> {
+    /// Lanes whose model fails [`CompletionModel::validate`] (the scalar
+    /// engine reports `InvalidConfig` for them — they fall back).
+    fn invalid_mask(&self, num_ops: usize, lanes: usize) -> u64 {
+        match self {
+            LaneModels::Shared(m) => {
+                if m.validate(num_ops).is_err() {
+                    lane_mask(lanes)
+                } else {
+                    0
+                }
+            }
+            LaneModels::PerLane(ms) => {
+                let mut bad = 0u64;
+                for (t, m) in ms.iter().enumerate().take(lanes) {
+                    if m.validate(num_ops).is_err() {
+                        bad |= 1u64 << t;
+                    }
+                }
+                bad
+            }
+        }
+    }
+
+    /// Draws/computes the completion word for `op` over the lanes in `w`,
+    /// consuming per-lane RNG draws exactly where the scalar model would.
+    fn truth_word(
+        &self,
+        op: OpId,
+        kind: tauhls_dfg::OpKind,
+        lhs: i64,
+        rhs: i64,
+        w: u64,
+        rngs: &mut [StdRng],
+    ) -> u64 {
+        match self {
+            LaneModels::Shared(CompletionModel::AlwaysShort) => w,
+            LaneModels::Shared(CompletionModel::AlwaysLong) => 0,
+            LaneModels::Shared(CompletionModel::Table(t)) => {
+                if t[op.0] {
+                    w
+                } else {
+                    0
+                }
+            }
+            LaneModels::Shared(CompletionModel::OperandDriven(lib)) => {
+                if lib.completion(kind, lhs, rhs).unwrap_or(true) {
+                    w
+                } else {
+                    0
+                }
+            }
+            LaneModels::Shared(CompletionModel::Bernoulli { p }) => {
+                let mut out = 0u64;
+                for t in BitIter(w) {
+                    if rngs[t].random_bool(*p) {
+                        out |= 1u64 << t;
+                    }
+                }
+                out
+            }
+            LaneModels::PerLane(ms) => {
+                let mut out = 0u64;
+                for t in BitIter(w) {
+                    if ms[t].completion(op, kind, lhs, rhs, &mut rngs[t]) {
+                        out |= 1u64 << t;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Fault/watchdog configurations per lane: shared (typical batches) or
+/// one [`SimConfig`] per lane (resilience sweeps injecting a different
+/// plan into every trial).
+#[derive(Clone, Copy, Debug)]
+pub enum LaneConfigs<'a> {
+    /// Every lane runs under the same configuration.
+    Shared(&'a SimConfig),
+    /// Lane `t` runs under `configs[t]`; the slice length must equal the
+    /// number of RNG lanes.
+    PerLane(&'a [SimConfig]),
+}
+
+impl LaneConfigs<'_> {
+    fn cfg(&self, t: usize) -> &SimConfig {
+        match self {
+            LaneConfigs::Shared(c) => c,
+            LaneConfigs::PerLane(cs) => &cs[t],
+        }
+    }
+
+    /// Lanes with a non-empty fault plan.
+    fn faulty_mask(&self, lanes: usize) -> u64 {
+        match self {
+            LaneConfigs::Shared(c) => {
+                if c.faults.is_empty() {
+                    0
+                } else {
+                    lane_mask(lanes)
+                }
+            }
+            LaneConfigs::PerLane(cs) => {
+                let mut m = 0u64;
+                for (t, c) in cs.iter().enumerate().take(lanes) {
+                    if !c.faults.is_empty() {
+                        m |= 1u64 << t;
+                    }
+                }
+                m
+            }
+        }
+    }
+
+    /// `(forced-short, forced-long)` lane masks for `op`'s completion
+    /// signal at `cycle`, restricted to `w`.
+    fn stuck_masks_at(&self, faulty: u64, op: OpId, cycle: usize, w: u64) -> (u64, u64) {
+        let fw = faulty & w;
+        if fw == 0 {
+            return (0, 0);
+        }
+        match self {
+            LaneConfigs::Shared(c) => match c.faults.stuck_completion(op, cycle) {
+                Some(true) => (fw, 0),
+                Some(false) => (0, fw),
+                None => (0, 0),
+            },
+            LaneConfigs::PerLane(cs) => {
+                let (mut s, mut l) = (0u64, 0u64);
+                for t in BitIter(fw) {
+                    match cs[t].faults.stuck_completion(op, cycle) {
+                        Some(true) => s |= 1u64 << t,
+                        Some(false) => l |= 1u64 << t,
+                        None => {}
+                    }
+                }
+                (s, l)
+            }
+        }
+    }
+
+    /// Lanes in `w` whose plan drops a pulse for `op` at `cycle`.
+    fn drop_mask_at(&self, faulty: u64, op: OpId, cycle: usize, w: u64) -> u64 {
+        let fw = faulty & w;
+        if fw == 0 {
+            return 0;
+        }
+        match self {
+            LaneConfigs::Shared(c) => {
+                if c.faults.drops_pulse(op, cycle) {
+                    fw
+                } else {
+                    0
+                }
+            }
+            LaneConfigs::PerLane(cs) => {
+                let mut m = 0u64;
+                for t in BitIter(fw) {
+                    if cs[t].faults.drops_pulse(op, cycle) {
+                        m |= 1u64 << t;
+                    }
+                }
+                m
+            }
+        }
+    }
+
+    /// ORs spurious-pulse lane bits for `cycle` into `injected` (indexed
+    /// by op), restricted to `w`. `buf` is a reusable query buffer.
+    fn spurious_into(
+        &self,
+        faulty: u64,
+        cycle: usize,
+        w: u64,
+        buf: &mut Vec<OpId>,
+        injected: &mut [u64],
+    ) {
+        let fw = faulty & w;
+        if fw == 0 {
+            return;
+        }
+        match self {
+            LaneConfigs::Shared(c) => {
+                buf.clear();
+                c.faults.spurious_at(cycle, buf);
+                for &op in buf.iter() {
+                    if op.0 < injected.len() {
+                        injected[op.0] |= fw;
+                    }
+                }
+            }
+            LaneConfigs::PerLane(cs) => {
+                for t in BitIter(fw) {
+                    buf.clear();
+                    cs[t].faults.spurious_at(cycle, buf);
+                    for &op in buf.iter() {
+                        if op.0 < injected.len() {
+                            injected[op.0] |= 1u64 << t;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Partitions `w` by latch delay for `op` at `cycle` into
+    /// `(delay, lane mask)` groups (delay 0 latches immediately).
+    fn latch_groups_at(
+        &self,
+        faulty: u64,
+        op: OpId,
+        cycle: usize,
+        w: u64,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        out.clear();
+        let fw = faulty & w;
+        if fw == 0 {
+            if w != 0 {
+                out.push((0, w));
+            }
+            return;
+        }
+        match self {
+            LaneConfigs::Shared(c) => {
+                out.push((c.faults.latch_delay(op, cycle), w));
+            }
+            LaneConfigs::PerLane(cs) => {
+                if w & !fw != 0 {
+                    out.push((0, w & !fw));
+                }
+                for t in BitIter(fw) {
+                    let d = cs[t].faults.latch_delay(op, cycle);
+                    if let Some(e) = out.iter_mut().find(|e| e.0 == d) {
+                        e.1 |= 1u64 << t;
+                    } else {
+                        out.push((d, 1u64 << t));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Partitions `w` by the state-register bit flipping in `controller`
+    /// at `cycle` into `(bit, lane mask)` groups.
+    fn flip_groups_at(
+        &self,
+        faulty: u64,
+        controller: usize,
+        cycle: usize,
+        w: u64,
+        out: &mut Vec<(u32, u64)>,
+    ) {
+        out.clear();
+        let fw = faulty & w;
+        if fw == 0 {
+            return;
+        }
+        match self {
+            LaneConfigs::Shared(c) => {
+                if let Some(bit) = c.faults.flip_at(controller, cycle) {
+                    out.push((bit, fw));
+                }
+            }
+            LaneConfigs::PerLane(cs) => {
+                for t in BitIter(fw) {
+                    if let Some(bit) = cs[t].faults.flip_at(controller, cycle) {
+                        if let Some(e) = out.iter_mut().find(|e| e.0 == bit) {
+                            e.1 |= 1u64 << t;
+                        } else {
+                            out.push((bit, 1u64 << t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-lane watchdog budgets for an `n`-op DFG.
+    fn budgets(&self, n: usize, iterations: usize, lanes: usize, out: &mut Vec<usize>) {
+        out.clear();
+        match self {
+            LaneConfigs::Shared(c) => out.resize(lanes, c.budget(n, iterations)),
+            LaneConfigs::PerLane(cs) => {
+                out.extend(cs.iter().take(lanes).map(|c| c.budget(n, iterations)));
+            }
+        }
+    }
+}
+
+/// Mask with the low `lanes` bits set.
+fn lane_mask(lanes: usize) -> u64 {
+    if lanes >= 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Iterator over the set bit positions of a word, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let t = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(t)
+        }
+    }
+}
+
+/// Evaluates a guard over word-valued inputs: each variable is a 64-lane
+/// word, logic ops become bitwise ops.
+fn eval_word(e: &Expr, inputs: &[u64]) -> u64 {
+    match e {
+        Expr::Const(b) => {
+            if *b {
+                !0
+            } else {
+                0
+            }
+        }
+        Expr::Var(v) => inputs[*v],
+        Expr::Not(x) => !eval_word(x, inputs),
+        Expr::And(xs) => xs.iter().fold(!0, |a, x| a & eval_word(x, inputs)),
+        Expr::Or(xs) => xs.iter().fold(0, |a, x| a | eval_word(x, inputs)),
+    }
+}
+
+/// What a controller input means, decoded once at compile time (the
+/// scalar kernel re-parses the `C_CO(op)` name on every guard probe).
+enum InKind {
+    /// `C_CO(p)`: completion of op `p` as seen by this controller.
+    Cco(usize),
+    /// The controller's own unit-completion signal.
+    Own,
+}
+
+/// A compiled transition: guard and outputs borrowed from the FSM, with
+/// the `RE{op}` result-enable ids pre-parsed.
+struct CTrans<'a> {
+    to: usize,
+    guard: &'a Expr,
+    outs: &'a [usize],
+    /// Parsed op ids of the `RE{op}` outputs among `outs`.
+    res: Vec<usize>,
+}
+
+/// A compiled controller: per-state phases and transitions grouped by
+/// source state (preserving the FSM's global transition order, which is
+/// the order the scalar `try_step` scan observes).
+struct CCtrl<'a> {
+    unit: usize,
+    inputs: Vec<InKind>,
+    out_is_re: Vec<bool>,
+    phases: Vec<Option<Phase>>,
+    trans: Vec<Vec<CTrans<'a>>>,
+    initial: usize,
+}
+
+/// Compiles the control unit's FSMs, or `None` when any construct falls
+/// outside what the word engine models (malformed signal names, guards
+/// over undeclared inputs). `None` sends every lane to scalar fallback,
+/// which reproduces the scalar engine's behaviour — including its
+/// documented panics on malformed generated controllers — exactly.
+fn compile(cu: &DistributedControlUnit) -> Option<Vec<CCtrl<'_>>> {
+    let mut out = Vec::with_capacity(cu.controllers().len());
+    for (u, f) in cu.controllers() {
+        let mut inputs = Vec::with_capacity(f.inputs().len());
+        for name in f.inputs() {
+            if let Some(rest) = name.strip_prefix("C_CO(") {
+                inputs.push(InKind::Cco(rest.strip_suffix(')')?.parse().ok()?));
+            } else {
+                inputs.push(InKind::Own);
+            }
+        }
+        let mut out_is_re = Vec::with_capacity(f.outputs().len());
+        let mut re_op: Vec<Option<usize>> = Vec::with_capacity(f.outputs().len());
+        for name in f.outputs() {
+            out_is_re.push(name.starts_with("RE"));
+            re_op.push(match name.strip_prefix("RE") {
+                Some(rest) => Some(rest.parse().ok()?),
+                None => None,
+            });
+        }
+        let phases = (0..f.num_states())
+            .map(|s| f.state_name_opt(StateId(s)).and_then(parse_phase))
+            .collect();
+        let mut trans: Vec<Vec<CTrans>> = (0..f.num_states()).map(|_| Vec::new()).collect();
+        for t in f.transitions() {
+            if t.guard.variables().iter().any(|&v| v >= f.inputs().len()) {
+                return None;
+            }
+            // Transitions from an out-of-range state can never fire; the
+            // target state may be anything (the scalar engine only
+            // validates it when it is *entered*, and so do we).
+            if let Some(bucket) = trans.get_mut(t.from.0) {
+                bucket.push(CTrans {
+                    to: t.to.0,
+                    guard: &t.guard,
+                    outs: &t.outputs,
+                    res: t
+                        .outputs
+                        .iter()
+                        .filter_map(|&o| re_op.get(o).copied().flatten())
+                        .collect(),
+                });
+            }
+        }
+        out.push(CCtrl {
+            unit: u.0,
+            inputs,
+            out_is_re,
+            phases,
+            trans,
+            initial: f.initial().0,
+        });
+    }
+    Some(out)
+}
+
+/// One agenda entry: a group of lanes sharing a controller state this
+/// cycle, with the op that state refers to (the `cur` of the scalar
+/// kernel's hooks).
+struct Agenda {
+    st: usize,
+    mask: u64,
+    op: OpId,
+}
+
+/// All engine buffers, held by [`SlicedSim`] so a worker reuses them
+/// across chunks (the scratch/arena-reuse contract of the batch runner).
+#[derive(Default)]
+struct Scratch {
+    // Bit-planes indexed by op: bit `t` = trial `t`.
+    done: Vec<u64>,
+    pulses: Vec<u64>,
+    injected: Vec<u64>,
+    next: Vec<u64>,
+    started: Vec<u64>,
+    // Per-unit sampled completion words (and where faults contradicted
+    // the model draw: `truth = completion ^ diverged`).
+    unit_completion: Vec<u64>,
+    unit_diverged: Vec<u64>,
+    // Stride-64 per-trial values: index `op * 64 + t` / `unit * 64 + t`.
+    completion_cycle: Vec<usize>,
+    start_cycle: Vec<usize>,
+    unit_busy: Vec<usize>,
+    done_count: Vec<u32>,
+    // Deferred result latches: `(due cycle, op, lane mask)`; all lanes in
+    // one entry share the due cycle, so entries retire wholly, in
+    // insertion order — each lane sees exactly its scalar deferred list.
+    deferred: Vec<(usize, usize, u64)>,
+    due: Vec<(usize, usize, u64)>,
+    occupancy: Vec<Vec<(usize, u64)>>,
+    agenda: Vec<Vec<Agenda>>,
+    taken: Vec<Vec<(usize, usize, u64)>>,
+    input_words: Vec<u64>,
+    ev: Vec<u64>,
+    tev: Vec<u64>,
+    lg: Vec<(usize, u64)>,
+    flips: Vec<(u32, u64)>,
+    budgets: Vec<usize>,
+    fin_cycle: Vec<usize>,
+    spur: Vec<OpId>,
+    // Pipelined-mode per-trial instance counts.
+    starts: Vec<usize>,
+    completions: Vec<usize>,
+    iter_end: Vec<usize>,
+    war: Vec<Vec<(OpId, usize)>>,
+    at_target: Vec<u32>,
+    // Cent-sync per-lane cycle counters and per-step draw words.
+    cyc: Vec<usize>,
+    short_w: Vec<u64>,
+    truth_w: Vec<u64>,
+}
+
+fn reset_words(v: &mut Vec<u64>, len: usize) {
+    v.clear();
+    v.resize(len, 0);
+}
+
+fn reset_usize(v: &mut Vec<usize>, len: usize) {
+    v.clear();
+    v.resize(len, 0);
+}
+
+/// Single-iteration latch of `op` for the lanes in `m` at cycle `at`.
+/// Takes the scratch fields it touches as separate slices (not `&mut
+/// Scratch`) so callers can hold disjoint borrows of the rest.
+#[allow(clippy::too_many_arguments)]
+fn latch_single(
+    op: usize,
+    m: u64,
+    at: usize,
+    n: usize,
+    done: &mut [u64],
+    completion_cycle: &mut [usize],
+    done_count: &mut [u32],
+    lanes_incomplete: &mut u64,
+) {
+    let upd = m & !done[op];
+    done[op] |= upd;
+    for t in BitIter(upd) {
+        completion_cycle[op * 64 + t] = at;
+        done_count[t] += 1;
+        if done_count[t] as usize == n {
+            *lanes_incomplete &= !(1u64 << t);
+        }
+    }
+}
+
+/// Pipelined latch of `op` for the lanes in `m` at cycle `at`: WAR-hazard
+/// bookkeeping, instance counts, iteration-end accounting — the scalar
+/// `PipelinedHooks::latch`, per lane.
+#[allow(clippy::too_many_arguments)]
+fn latch_piped(
+    op: usize,
+    m: u64,
+    at: usize,
+    n: usize,
+    iterations: usize,
+    bound: &BoundDfg,
+    starts: &[usize],
+    completions: &mut [usize],
+    iter_end: &mut [usize],
+    war: &mut [Vec<(OpId, usize)>],
+    at_target: &mut [u32],
+    lanes_incomplete: &mut u64,
+) {
+    for t in BitIter(m) {
+        let k = completions[op * 64 + t];
+        if k >= 1 && k < iterations {
+            for c in bound.cross_unit_succs(OpId(op)) {
+                if starts[c.0 * 64 + t] < k {
+                    war[t].push((OpId(op), k));
+                    break;
+                }
+            }
+        }
+        completions[op * 64 + t] += 1;
+        let iter_done = completions[op * 64 + t];
+        if iter_done <= iterations && (0..n).all(|o| completions[o * 64 + t] >= iter_done) {
+            iter_end[t * iterations + (iter_done - 1)] = at;
+        }
+        if iter_done == iterations {
+            at_target[t] += 1;
+            if at_target[t] as usize == n {
+                *lanes_incomplete &= !(1u64 << t);
+            }
+        }
+    }
+}
+
+/// The word-parallel FSM cycle engine shared by the single-iteration
+/// (distributed/centralized) and pipelined modes. Mirrors
+/// `kernel::run` + `FsmStyle::advance` stage for stage; any lane that
+/// would take a scalar error path is moved to the returned fallback
+/// mask. Returns `(fallback, finished)` lane masks.
+#[allow(clippy::too_many_arguments)]
+fn fsm_engine(
+    bound: &BoundDfg,
+    ctrls: &[CCtrl<'_>],
+    opvals: Option<&[(i64, i64)]>,
+    iterations: Option<usize>,
+    models: &LaneModels<'_>,
+    configs: &LaneConfigs<'_>,
+    rngs: &mut [StdRng],
+    scr: &mut Scratch,
+) -> (u64, u64) {
+    let dfg = bound.dfg();
+    let n = dfg.num_ops();
+    let nu = bound.allocation().units().len();
+    let nc = ctrls.len();
+    let lanes = rngs.len();
+    let all = lane_mask(lanes);
+    let piped = iterations.is_some();
+    let iters = iterations.unwrap_or(1);
+
+    let mut fallback = models.invalid_mask(n, lanes);
+    let mut finished = 0u64;
+    let faulty = configs.faulty_mask(lanes);
+    configs.budgets(n, iters, lanes, &mut scr.budgets);
+    let min_budget = scr.budgets.iter().copied().min().unwrap_or(0);
+
+    reset_words(&mut scr.done, n);
+    reset_words(&mut scr.pulses, n);
+    reset_words(&mut scr.injected, n);
+    reset_words(&mut scr.next, n);
+    reset_words(&mut scr.started, n);
+    reset_words(&mut scr.unit_completion, nu);
+    reset_words(&mut scr.unit_diverged, nu);
+    reset_usize(&mut scr.completion_cycle, n * 64);
+    reset_usize(&mut scr.start_cycle, n * 64);
+    reset_usize(&mut scr.unit_busy, nu * 64);
+    scr.done_count.clear();
+    scr.done_count.resize(lanes, 0);
+    scr.deferred.clear();
+    reset_usize(&mut scr.fin_cycle, lanes);
+    if piped {
+        reset_usize(&mut scr.starts, n * 64);
+        reset_usize(&mut scr.completions, n * 64);
+        reset_usize(&mut scr.iter_end, lanes * iters);
+        scr.war.resize_with(lanes, Vec::new);
+        for w in scr.war.iter_mut() {
+            w.clear();
+        }
+        scr.at_target.clear();
+        scr.at_target.resize(lanes, 0);
+    }
+    scr.occupancy.resize_with(nc, Vec::new);
+    scr.agenda.resize_with(nc, Vec::new);
+    scr.taken.resize_with(nc, Vec::new);
+    for (i, c) in ctrls.iter().enumerate() {
+        scr.occupancy[i].clear();
+        scr.occupancy[i].push((c.initial, all));
+    }
+
+    let mut lanes_incomplete = if n > 0 { all } else { 0 };
+    let mut cycle = 0usize;
+    loop {
+        // Loop-top running check (the kernel's `while style.running`).
+        // Single-iteration hooks stay running while deferred latches are
+        // pending; the pipelined hooks only watch completion counts and
+        // abandon still-deferred latches at loop exit.
+        let defm = if piped {
+            0
+        } else {
+            scr.deferred.iter().fold(0u64, |a, e| a | e.2)
+        };
+        let alive = all & !fallback & !finished;
+        let still = (lanes_incomplete | defm) & alive;
+        let newly = alive & !still;
+        for t in BitIter(newly) {
+            scr.fin_cycle[t] = cycle;
+        }
+        finished |= newly;
+        if still == 0 {
+            break;
+        }
+        cycle += 1;
+
+        // Watchdog: a lane over budget is a scalar Deadlock -> fallback.
+        let mut adv = still;
+        if cycle > min_budget {
+            let mut over = 0u64;
+            for t in BitIter(still) {
+                if cycle > scr.budgets[t] {
+                    over |= 1u64 << t;
+                }
+            }
+            fallback |= over;
+            adv &= !over;
+            if adv == 0 {
+                continue;
+            }
+        }
+
+        // Deferred result latches coming due, in insertion order.
+        if !scr.deferred.is_empty() {
+            scr.due.clear();
+            scr.deferred.retain(|&(at, op, m)| {
+                if at <= cycle {
+                    scr.due.push((at, op, m));
+                    false
+                } else {
+                    true
+                }
+            });
+            for di in 0..scr.due.len() {
+                let (at, op, m) = scr.due[di];
+                let m = m & adv;
+                if m == 0 {
+                    continue;
+                }
+                if piped {
+                    latch_piped(
+                        op,
+                        m,
+                        at,
+                        n,
+                        iters,
+                        bound,
+                        &scr.starts,
+                        &mut scr.completions,
+                        &mut scr.iter_end,
+                        &mut scr.war,
+                        &mut scr.at_target,
+                        &mut lanes_incomplete,
+                    );
+                } else {
+                    latch_single(
+                        op,
+                        m,
+                        at,
+                        n,
+                        &mut scr.done,
+                        &mut scr.completion_cycle,
+                        &mut scr.done_count,
+                        &mut lanes_incomplete,
+                    );
+                }
+            }
+        }
+
+        // --- advance: completion sampling ---------------------------
+        for w in scr.unit_completion.iter_mut() {
+            *w = 0;
+        }
+        for w in scr.unit_diverged.iter_mut() {
+            *w = 0;
+        }
+        let mut any_diverged = false;
+        for (i, c) in ctrls.iter().enumerate() {
+            scr.agenda[i].clear();
+            for gi in 0..scr.occupancy[i].len() {
+                let (st, om) = scr.occupancy[i][gi];
+                let mut w = om & adv;
+                if w == 0 {
+                    continue;
+                }
+                let phase = match c.phases.get(st).copied().flatten() {
+                    Some(p) => p,
+                    None => {
+                        // Invalid state id (flip fallout) or a state name
+                        // outside the S/R convention: scalar Desync /
+                        // UnknownState.
+                        fallback |= w;
+                        adv &= !w;
+                        continue;
+                    }
+                };
+                let op = match phase {
+                    Phase::Exec(op, _) | Phase::Ready(op) => op,
+                };
+                if let Phase::Exec(op, stage) = phase {
+                    // exec hook: start bookkeeping, producer-order check.
+                    if piped {
+                        if stage == 0 {
+                            let mut viol = 0u64;
+                            for t in BitIter(w) {
+                                let idx = op.0 * 64 + t;
+                                if scr.starts[idx] == scr.completions[idx] {
+                                    scr.starts[idx] += 1;
+                                    if faulty & (1u64 << t) != 0 {
+                                        let k = scr.starts[idx];
+                                        if dfg
+                                            .preds(op)
+                                            .iter()
+                                            .any(|p| scr.completions[p.0 * 64 + t] < k)
+                                        {
+                                            viol |= 1u64 << t;
+                                        }
+                                    }
+                                }
+                            }
+                            fallback |= viol;
+                            adv &= !viol;
+                            w &= !viol;
+                        }
+                    } else {
+                        if stage == 0 {
+                            let upd = w & !scr.started[op.0];
+                            scr.started[op.0] |= upd;
+                            for t in BitIter(upd) {
+                                scr.start_cycle[op.0 * 64 + t] = cycle;
+                            }
+                        }
+                        for p in dfg.preds(op) {
+                            let viol = w & !scr.done[p.0];
+                            if viol != 0 {
+                                fallback |= viol;
+                                adv &= !viol;
+                                w &= !viol;
+                            }
+                        }
+                    }
+                    if w == 0 {
+                        continue;
+                    }
+                    let node = dfg.op(op);
+                    let (lhs, rhs) = match opvals {
+                        Some(v) => v[op.0],
+                        None => (0, 0),
+                    };
+                    let truth = models.truth_word(op, node.kind, lhs, rhs, w, rngs) & w;
+                    let (s, l) = configs.stuck_masks_at(faulty, op, cycle, w);
+                    let eff = (truth & !(s | l)) | s;
+                    scr.unit_completion[c.unit] |= eff;
+                    let div = (eff ^ truth) & w;
+                    if div != 0 {
+                        scr.unit_diverged[c.unit] |= div;
+                        any_diverged = true;
+                    }
+                    if !piped {
+                        let inc = w & !scr.done[op.0];
+                        for t in BitIter(inc) {
+                            scr.unit_busy[c.unit * 64 + t] += 1;
+                        }
+                    }
+                }
+                scr.agenda[i].push(Agenda { st, mask: w, op });
+            }
+        }
+
+        // --- advance: pulse fixpoint --------------------------------
+        for w in scr.injected.iter_mut() {
+            *w = 0;
+        }
+        configs.spurious_into(faulty, cycle, adv, &mut scr.spur, &mut scr.injected);
+        scr.pulses.copy_from_slice(&scr.injected);
+        for _round in 0..nc + 2 {
+            for tk in scr.taken.iter_mut() {
+                tk.clear();
+            }
+            scr.next.copy_from_slice(&scr.injected);
+            for (i, c) in ctrls.iter().enumerate() {
+                for gi in 0..scr.agenda[i].len() {
+                    let g = &scr.agenda[i][gi];
+                    let (st, cur) = (g.st, g.op);
+                    let w = g.mask & adv;
+                    if w == 0 {
+                        continue;
+                    }
+                    // Input words for this group (stuck overlays layered
+                    // on top of the style's completion semantics).
+                    scr.input_words.clear();
+                    let mut compile_bad = false;
+                    for ik in &c.inputs {
+                        let word = match ik {
+                            InKind::Cco(p) => {
+                                let base = if piped {
+                                    if *p >= n {
+                                        // Scalar would index out of
+                                        // bounds; send to scalar.
+                                        compile_bad = true;
+                                        0
+                                    } else {
+                                        let mut b = 0u64;
+                                        for t in BitIter(w) {
+                                            let needed = scr.completions[cur.0 * 64 + t] + 1;
+                                            let have = scr.completions[p * 64 + t]
+                                                + usize::from(scr.pulses[*p] & (1u64 << t) != 0);
+                                            if have >= needed {
+                                                b |= 1u64 << t;
+                                            }
+                                        }
+                                        b
+                                    }
+                                } else if *p < n {
+                                    scr.done[*p] | scr.pulses[*p]
+                                } else {
+                                    0
+                                };
+                                let (s, l) = configs.stuck_masks_at(faulty, OpId(*p), cycle, w);
+                                (base & !(s | l)) | s
+                            }
+                            InKind::Own => scr.unit_completion[c.unit],
+                        };
+                        scr.input_words.push(word);
+                    }
+                    if compile_bad {
+                        fallback |= w;
+                        adv &= !w;
+                        continue;
+                    }
+                    let trs = &c.trans[st];
+                    scr.ev.clear();
+                    let (mut any, mut ov) = (0u64, 0u64);
+                    for tr in trs {
+                        let e = eval_word(tr.guard, &scr.input_words) & w;
+                        ov |= any & e;
+                        any |= e;
+                        scr.ev.push(e);
+                    }
+                    // >1 enabled: scalar Nondeterministic; 0 enabled:
+                    // scalar Incomplete — both Desync "lost lockstep".
+                    let bad = ov | (w & !any);
+                    if bad != 0 {
+                        fallback |= bad;
+                        adv &= !bad;
+                    }
+                    for (k, tr) in trs.iter().enumerate() {
+                        let fw = scr.ev[k] & !bad;
+                        if fw == 0 {
+                            continue;
+                        }
+                        scr.taken[i].push((st, k, fw));
+                        for &re in &tr.res {
+                            if re < n {
+                                let dm = configs.drop_mask_at(faulty, OpId(re), cycle, fw);
+                                scr.next[re] |= fw & !dm;
+                            }
+                        }
+                    }
+                }
+            }
+            let converged = (0..n).all(|op| (scr.next[op] ^ scr.pulses[op]) & adv == 0);
+            if converged {
+                break;
+            }
+            std::mem::swap(&mut scr.pulses, &mut scr.next);
+        }
+
+        // --- advance: premature-latch oracle ------------------------
+        if any_diverged {
+            for (i, c) in ctrls.iter().enumerate() {
+                let uw = scr.unit_diverged[c.unit];
+                if uw == 0 {
+                    continue;
+                }
+                for gi in 0..scr.agenda[i].len() {
+                    let g = &scr.agenda[i][gi];
+                    let (st, cur) = (g.st, g.op);
+                    let dm = g.mask & adv & uw;
+                    if dm == 0 {
+                        continue;
+                    }
+                    // Truth inputs: no stuck overlay, own completion is
+                    // the model's draw.
+                    scr.input_words.clear();
+                    for ik in &c.inputs {
+                        let word = match ik {
+                            InKind::Cco(p) => {
+                                if piped {
+                                    if *p >= n {
+                                        0
+                                    } else {
+                                        let mut b = 0u64;
+                                        for t in BitIter(dm) {
+                                            let needed = scr.completions[cur.0 * 64 + t] + 1;
+                                            let have = scr.completions[p * 64 + t]
+                                                + usize::from(scr.pulses[*p] & (1u64 << t) != 0);
+                                            if have >= needed {
+                                                b |= 1u64 << t;
+                                            }
+                                        }
+                                        b
+                                    }
+                                } else if *p < n {
+                                    scr.done[*p] | scr.pulses[*p]
+                                } else {
+                                    0
+                                }
+                            }
+                            InKind::Own => scr.unit_completion[c.unit] ^ scr.unit_diverged[c.unit],
+                        };
+                        scr.input_words.push(word);
+                    }
+                    let trs = &c.trans[st];
+                    scr.tev.clear();
+                    let (mut any, mut ov) = (0u64, 0u64);
+                    for tr in trs {
+                        let e = eval_word(tr.guard, &scr.input_words) & dm;
+                        ov |= any & e;
+                        any |= e;
+                        scr.tev.push(e);
+                    }
+                    // Lanes whose truth step errors are skipped silently
+                    // (scalar: `Err(_) => continue`).
+                    let valid = dm & any & !ov;
+                    if valid == 0 {
+                        continue;
+                    }
+                    for ti in 0..scr.taken[i].len() {
+                        let (tst, ka, ma) = scr.taken[i][ti];
+                        if tst != st {
+                            continue;
+                        }
+                        let wa = ma & valid & adv;
+                        if wa == 0 {
+                            continue;
+                        }
+                        for (kb, &evb) in scr.tev.iter().enumerate() {
+                            let wab = wa & evb;
+                            if wab == 0 || ka == kb {
+                                continue;
+                            }
+                            let a = &trs[ka];
+                            let b = &trs[kb];
+                            let premature = a
+                                .outs
+                                .iter()
+                                .any(|&o| c.out_is_re[o] && !b.outs.contains(&o));
+                            if premature {
+                                // Scalar: Desync "latched before its true
+                                // completion (stuck-at-short)".
+                                fallback |= wab;
+                                adv &= !wab;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- advance: commit ----------------------------------------
+        for (i, c) in ctrls.iter().enumerate() {
+            let occ = &mut scr.occupancy[i];
+            occ.clear();
+            for &(st, k, m) in &scr.taken[i] {
+                let w = m & adv;
+                if w == 0 {
+                    continue;
+                }
+                let to = c.trans[st][k].to;
+                if let Some(e) = occ.iter_mut().find(|e| e.0 == to) {
+                    e.1 |= w;
+                } else {
+                    occ.push((to, w));
+                }
+            }
+        }
+        for op in 0..n {
+            let mut w = scr.pulses[op] & adv;
+            if w == 0 {
+                continue;
+            }
+            if !piped {
+                w &= !scr.done[op]; // skip_latch: already done
+            }
+            for e in &scr.deferred {
+                if e.1 == op {
+                    w &= !e.2;
+                }
+            }
+            if w == 0 {
+                continue;
+            }
+            configs.latch_groups_at(faulty, OpId(op), cycle, w, &mut scr.lg);
+            for li in 0..scr.lg.len() {
+                let (delay, m) = scr.lg[li];
+                if delay == 0 {
+                    if piped {
+                        latch_piped(
+                            op,
+                            m,
+                            cycle,
+                            n,
+                            iters,
+                            bound,
+                            &scr.starts,
+                            &mut scr.completions,
+                            &mut scr.iter_end,
+                            &mut scr.war,
+                            &mut scr.at_target,
+                            &mut lanes_incomplete,
+                        );
+                    } else {
+                        latch_single(
+                            op,
+                            m,
+                            cycle,
+                            n,
+                            &mut scr.done,
+                            &mut scr.completion_cycle,
+                            &mut scr.done_count,
+                            &mut lanes_incomplete,
+                        );
+                    }
+                } else {
+                    scr.deferred.push((cycle + delay, op, m));
+                }
+            }
+        }
+        // State-register upsets transform the occupancy the same way the
+        // scalar kernel XORs the latched state id.
+        if faulty & adv != 0 {
+            for (i, _c) in ctrls.iter().enumerate() {
+                configs.flip_groups_at(faulty, i, cycle, adv, &mut scr.flips);
+                if scr.flips.is_empty() {
+                    continue;
+                }
+                for fi in 0..scr.flips.len() {
+                    let (bit, fm) = scr.flips[fi];
+                    let occ = &mut scr.occupancy[i];
+                    let len = occ.len();
+                    // Each lane flips exactly once: lanes merged into a
+                    // later entry must not flip again when that entry is
+                    // scanned (bit-0 flips land on adjacent state ids).
+                    let mut flipped = 0u64;
+                    for ei in 0..len {
+                        let moved = occ[ei].1 & fm & !flipped;
+                        if moved == 0 {
+                            continue;
+                        }
+                        flipped |= moved;
+                        occ[ei].1 &= !moved;
+                        let to = occ[ei].0 ^ (1usize << bit);
+                        if let Some(e) = occ.iter_mut().find(|e| e.0 == to) {
+                            e.1 |= moved;
+                        } else {
+                            occ.push((to, moved));
+                        }
+                    }
+                    occ.retain(|e| e.1 != 0);
+                }
+            }
+        }
+    }
+    (fallback, finished)
+}
+
+/// The word-parallel synchronized step-walk (CENT-SYNC). Unlike the FSM
+/// modes the step sequence is trial-independent, but the cycle counter is
+/// per-lane: a lane only spends the extension half when one of its own
+/// TAU draws comes back long. Returns the fallback lane mask.
+#[allow(clippy::too_many_arguments)]
+fn cent_sync_engine(
+    bound: &BoundDfg,
+    taubm: &TaubmDfg,
+    opvals: &[(i64, i64)],
+    models: &LaneModels<'_>,
+    configs: &LaneConfigs<'_>,
+    rngs: &mut [StdRng],
+    scr: &mut Scratch,
+) -> u64 {
+    let dfg = bound.dfg();
+    let n = dfg.num_ops();
+    let nu = bound.allocation().units().len();
+    let lanes = rngs.len();
+    let all = lane_mask(lanes);
+    let mut fallback = models.invalid_mask(n, lanes);
+    let faulty = configs.faulty_mask(lanes);
+    configs.budgets(n, 1, lanes, &mut scr.budgets);
+    reset_usize(&mut scr.completion_cycle, n * 64);
+    reset_usize(&mut scr.start_cycle, n * 64);
+    reset_usize(&mut scr.unit_busy, nu * 64);
+    reset_usize(&mut scr.cyc, lanes);
+
+    for step in taubm.steps() {
+        let mut m = all & !fallback;
+        if m == 0 {
+            break;
+        }
+        // Kernel loop top: pre-increment the (per-lane) cycle counter and
+        // trip the watchdog before the step body.
+        for t in BitIter(m) {
+            scr.cyc[t] += 1;
+            if scr.cyc[t] > scr.budgets[t] {
+                fallback |= 1u64 << t;
+            }
+        }
+        m &= !fallback;
+        if m == 0 {
+            continue;
+        }
+        for &o in &step.fixed_ops {
+            let u = bound.unit_of(o).0;
+            for t in BitIter(m) {
+                scr.start_cycle[o.0 * 64 + t] = scr.cyc[t];
+                scr.completion_cycle[o.0 * 64 + t] = scr.cyc[t];
+                scr.unit_busy[u * 64 + t] += 1;
+            }
+        }
+        if step.tau_ops.is_empty() {
+            continue;
+        }
+        scr.short_w.clear();
+        scr.truth_w.clear();
+        let mut all_short = !0u64;
+        for &o in &step.tau_ops {
+            for t in BitIter(m) {
+                scr.start_cycle[o.0 * 64 + t] = scr.cyc[t];
+            }
+            let node = dfg.op(o);
+            let (lhs, rhs) = opvals[o.0];
+            let truth = models.truth_word(o, node.kind, lhs, rhs, m, rngs) & m;
+            let mut short = truth;
+            if faulty & m != 0 {
+                for t in BitIter(faulty & m) {
+                    let bit = 1u64 << t;
+                    match configs.cfg(t).faults.stuck_completion(o, scr.cyc[t]) {
+                        Some(true) => short |= bit,
+                        Some(false) => short &= !bit,
+                        None => {}
+                    }
+                }
+            }
+            scr.truth_w.push(truth);
+            scr.short_w.push(short);
+            all_short &= short | !m;
+        }
+        // Lanes with any long (effective) completion spend the extension
+        // half.
+        let ext = m & !all_short;
+        for t in BitIter(ext) {
+            scr.cyc[t] += 1;
+        }
+        // A stuck-at-short that masks a long completion while no sibling
+        // extends the step: scalar Desync, detected before latching.
+        if faulty & m & all_short != 0 {
+            let mut bad = 0u64;
+            for &tw in &scr.truth_w {
+                bad |= faulty & m & all_short & !tw;
+            }
+            fallback |= bad;
+            m &= !bad;
+            if m == 0 {
+                continue;
+            }
+        }
+        for (idx, &o) in step.tau_ops.iter().enumerate() {
+            let u = bound.unit_of(o).0;
+            let short = scr.short_w[idx];
+            for t in BitIter(m) {
+                let bit = 1u64 << t;
+                let d = if faulty & bit != 0 {
+                    configs.cfg(t).faults.latch_delay(o, scr.cyc[t])
+                } else {
+                    0
+                };
+                scr.completion_cycle[o.0 * 64 + t] = scr.cyc[t] + d;
+                scr.unit_busy[u * 64 + t] += if short & bit != 0 { 1 } else { 2 };
+            }
+        }
+    }
+    fallback
+}
+
+/// Which scalar entry point this sliced simulator mirrors.
+enum EngineMode {
+    /// `simulate_distributed_with` / the CENT product wrapper (both step
+    /// the same component FSM bank).
+    SingleIter {
+        values: Vec<i64>,
+        opvals: Vec<(i64, i64)>,
+    },
+    /// `simulate_cent_sync_with`.
+    CentSync {
+        taubm: TaubmDfg,
+        values: Vec<i64>,
+        opvals: Vec<(i64, i64)>,
+    },
+    /// `simulate_pipelined_with`.
+    Pipelined { iterations: usize },
+}
+
+/// A reusable bit-sliced simulator for one bound DFG + controller pair.
+///
+/// Construct once per (binding, engine) and call [`SlicedSim::run`] /
+/// [`SlicedSim::run_pipelined`] repeatedly — the scratch buffers are
+/// reused across calls, which is what makes per-worker reuse in the batch
+/// runner allocation-free on the steady state.
+pub struct SlicedSim<'a> {
+    bound: &'a BoundDfg,
+    /// `None` when the controllers fell outside the compilable naming
+    /// convention (every lane then falls back to scalar) or when the mode
+    /// needs no FSMs (cent-sync).
+    ctrls: Option<Vec<CCtrl<'a>>>,
+    mode: EngineMode,
+    scr: Scratch,
+}
+
+fn eval_inputs(bound: &BoundDfg, inputs: Option<&[i64]>) -> (Vec<i64>, Vec<(i64, i64)>) {
+    let dfg = bound.dfg();
+    let zeros = vec![0i64; dfg.num_inputs()];
+    let input_vals = inputs.unwrap_or(&zeros);
+    let values = dfg.evaluate_all(input_vals);
+    let opvals = operand_values(bound, input_vals, &values);
+    (values, opvals)
+}
+
+impl<'a> SlicedSim<'a> {
+    /// Sliced twin of `simulate_distributed_with`. For the CENT engine
+    /// pass `cent.components()` — the product automaton is bisimilar to
+    /// its component bank, and the scalar CENT simulator steps the same
+    /// components, so the results coincide.
+    pub fn distributed(
+        bound: &'a BoundDfg,
+        cu: &'a DistributedControlUnit,
+        inputs: Option<&[i64]>,
+    ) -> Self {
+        let (values, opvals) = eval_inputs(bound, inputs);
+        SlicedSim {
+            bound,
+            ctrls: compile(cu),
+            mode: EngineMode::SingleIter { values, opvals },
+            scr: Scratch::default(),
+        }
+    }
+
+    /// Sliced twin of `simulate_cent_sync_with` (list schedule).
+    pub fn cent_sync(bound: &'a BoundDfg, inputs: Option<&[i64]>) -> Self {
+        let (values, opvals) = eval_inputs(bound, inputs);
+        let taubm = TaubmDfg::derive(
+            bound.dfg(),
+            bound.schedule().step_of(),
+            bound.allocation().tau_classes(),
+        );
+        SlicedSim {
+            bound,
+            ctrls: None,
+            mode: EngineMode::CentSync {
+                taubm,
+                values,
+                opvals,
+            },
+            scr: Scratch::default(),
+        }
+    }
+
+    /// Sliced twin of `simulate_pipelined_with`.
+    pub fn pipelined(
+        bound: &'a BoundDfg,
+        cu: &'a DistributedControlUnit,
+        iterations: usize,
+    ) -> Self {
+        SlicedSim {
+            bound,
+            ctrls: compile(cu),
+            mode: EngineMode::Pipelined { iterations },
+            scr: Scratch::default(),
+        }
+    }
+
+    fn lanes_ok(models: &LaneModels<'_>, configs: &LaneConfigs<'_>, lanes: usize) -> bool {
+        let m_ok = match models {
+            LaneModels::PerLane(ms) => ms.len() >= lanes,
+            LaneModels::Shared(_) => true,
+        };
+        let c_ok = match configs {
+            LaneConfigs::PerLane(cs) => cs.len() >= lanes,
+            LaneConfigs::Shared(_) => true,
+        };
+        m_ok && c_ok
+    }
+
+    /// Runs `rngs.len()` trials (one per bit lane, at most [`LANES`]).
+    /// Lane `t` consumes `rngs[t]` exactly as the scalar engine would, so
+    /// a [`LaneOutcome::Done`] result is bit-identical to the scalar run
+    /// seeded the same way; [`LaneOutcome::Fallback`] lanes must be re-run
+    /// scalar (with a fresh RNG) to recover their result or diagnostics.
+    pub fn run(
+        &mut self,
+        models: &LaneModels<'_>,
+        configs: &LaneConfigs<'_>,
+        rngs: &mut [StdRng],
+    ) -> Vec<LaneOutcome> {
+        let lanes = rngs.len();
+        if lanes == 0 {
+            return Vec::new();
+        }
+        if lanes > LANES || !Self::lanes_ok(models, configs, lanes) {
+            return vec![LaneOutcome::Fallback; lanes];
+        }
+        let n = self.bound.dfg().num_ops();
+        let nu = self.bound.allocation().units().len();
+        let faulty = configs.faulty_mask(lanes);
+        let (fb, values) = match &self.mode {
+            EngineMode::Pipelined { .. } => return vec![LaneOutcome::Fallback; lanes],
+            EngineMode::SingleIter { values, opvals } => {
+                let ctrls = match &self.ctrls {
+                    Some(c) => c,
+                    None => return vec![LaneOutcome::Fallback; lanes],
+                };
+                let (fb, _finished) = fsm_engine(
+                    self.bound,
+                    ctrls,
+                    Some(opvals),
+                    None,
+                    models,
+                    configs,
+                    rngs,
+                    &mut self.scr,
+                );
+                (fb, values)
+            }
+            EngineMode::CentSync {
+                taubm,
+                values,
+                opvals,
+            } => {
+                let fb = cent_sync_engine(
+                    self.bound,
+                    taubm,
+                    opvals,
+                    models,
+                    configs,
+                    rngs,
+                    &mut self.scr,
+                );
+                (fb, values)
+            }
+        };
+        let cent_sync = matches!(self.mode, EngineMode::CentSync { .. });
+        let mut out = Vec::with_capacity(lanes);
+        for t in 0..lanes {
+            if fb & (1u64 << t) != 0 {
+                out.push(LaneOutcome::Fallback);
+                continue;
+            }
+            let completion_cycle: Vec<usize> = (0..n)
+                .map(|o| self.scr.completion_cycle[o * 64 + t])
+                .collect();
+            let cycles = if cent_sync {
+                self.scr.cyc[t].max(completion_cycle.iter().copied().max().unwrap_or(0))
+            } else {
+                self.scr.fin_cycle[t]
+            };
+            let r = SimResult {
+                cycles,
+                completion_cycle,
+                start_cycle: (0..n).map(|o| self.scr.start_cycle[o * 64 + t]).collect(),
+                unit_busy_cycles: (0..nu).map(|u| self.scr.unit_busy[u * 64 + t]).collect(),
+                values: values.clone(),
+            };
+            // A terminating faulty lane can still have latched out of
+            // order; the scalar engines turn that into a Desync via the
+            // post-run invariant check — recovered here by falling back.
+            if faulty & (1u64 << t) != 0 && r.verify(self.bound).is_err() {
+                out.push(LaneOutcome::Fallback);
+            } else {
+                out.push(LaneOutcome::Done(r));
+            }
+        }
+        out
+    }
+
+    /// Pipelined twin of [`SlicedSim::run`].
+    pub fn run_pipelined(
+        &mut self,
+        models: &LaneModels<'_>,
+        configs: &LaneConfigs<'_>,
+        rngs: &mut [StdRng],
+    ) -> Vec<PipelinedLaneOutcome> {
+        let lanes = rngs.len();
+        if lanes == 0 {
+            return Vec::new();
+        }
+        let iters = match self.mode {
+            EngineMode::Pipelined { iterations } => iterations,
+            _ => return vec![PipelinedLaneOutcome::Fallback; lanes],
+        };
+        // iterations == 0 is a scalar InvalidConfig; let scalar report it.
+        if lanes > LANES || iters == 0 || !Self::lanes_ok(models, configs, lanes) {
+            return vec![PipelinedLaneOutcome::Fallback; lanes];
+        }
+        let ctrls = match &self.ctrls {
+            Some(c) => c,
+            None => return vec![PipelinedLaneOutcome::Fallback; lanes],
+        };
+        let (fb, _finished) = fsm_engine(
+            self.bound,
+            ctrls,
+            None,
+            Some(iters),
+            models,
+            configs,
+            rngs,
+            &mut self.scr,
+        );
+        let mut out = Vec::with_capacity(lanes);
+        for t in 0..lanes {
+            if fb & (1u64 << t) != 0 {
+                out.push(PipelinedLaneOutcome::Fallback);
+                continue;
+            }
+            let mut iteration_end_cycle: Vec<usize> = (0..iters)
+                .map(|i| self.scr.iter_end[t * iters + i])
+                .collect();
+            for i in 1..iters {
+                if iteration_end_cycle[i] == 0 {
+                    iteration_end_cycle[i] = iteration_end_cycle[i - 1];
+                }
+            }
+            out.push(PipelinedLaneOutcome::Done(PipelinedResult {
+                iterations: iters,
+                iteration_end_cycle,
+                total_cycles: self.scr.fin_cycle[t],
+                war_hazards: self.scr.war[t].clone(),
+            }));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centsync::simulate_cent_sync_with;
+    use crate::distributed::simulate_distributed_with;
+    use crate::fault::{FaultKind, FaultPlan, SimConfig};
+    use crate::pipeline::simulate_pipelined_with;
+    use rand::SeedableRng;
+    use tauhls_dfg::benchmarks::{diffeq, fir3, fir5};
+    use tauhls_sched::Allocation;
+
+    fn rng_bank(seed: u64, lanes: usize) -> Vec<StdRng> {
+        (0..lanes)
+            .map(|t| StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37)))
+            .collect()
+    }
+
+    /// Done lanes must be bit-identical to the scalar run on the same
+    /// seed; scalar errors must come back as Fallback (never as a Done
+    /// with different content).
+    fn assert_dist_equiv(
+        bound: &BoundDfg,
+        cu: &DistributedControlUnit,
+        model: &CompletionModel,
+        config: &SimConfig,
+        seed: u64,
+        lanes: usize,
+    ) {
+        let mut rngs = rng_bank(seed, lanes);
+        let mut sim = SlicedSim::distributed(bound, cu, None);
+        let out = sim.run(
+            &LaneModels::Shared(model),
+            &LaneConfigs::Shared(config),
+            &mut rngs,
+        );
+        assert_eq!(out.len(), lanes);
+        for (t, lane) in out.iter().enumerate() {
+            let mut srng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+            let scalar = simulate_distributed_with(bound, cu, model, None, &mut srng, config);
+            match lane {
+                LaneOutcome::Done(r) => {
+                    assert_eq!(Ok(r), scalar.as_ref(), "lane {t} diverged");
+                }
+                LaneOutcome::Fallback => {
+                    // Sound by contract; nothing to check here.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_matches_scalar_fault_free() {
+        for g in [fir3(), fir5(), diffeq()] {
+            let alloc = Allocation::paper(2, 1, 1);
+            let bound = BoundDfg::bind(&g, &alloc);
+            let cu = DistributedControlUnit::generate(&bound);
+            for lanes in [1, 5, 64] {
+                assert_dist_equiv(
+                    &bound,
+                    &cu,
+                    &CompletionModel::Bernoulli { p: 0.6 },
+                    &SimConfig::default(),
+                    7 + lanes as u64,
+                    lanes,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dist_fault_free_lanes_never_fall_back() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rngs = rng_bank(11, 64);
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let out = sim.run(
+            &LaneModels::Shared(&CompletionModel::Bernoulli { p: 0.5 }),
+            &LaneConfigs::Shared(&SimConfig::default()),
+            &mut rngs,
+        );
+        assert!(out.iter().all(|l| matches!(l, LaneOutcome::Done(_))));
+    }
+
+    #[test]
+    fn dist_matches_scalar_under_faults() {
+        let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+        let cu = DistributedControlUnit::generate(&bound);
+        let plans = [
+            FaultPlan::single(1, FaultKind::StuckAtShort { op: OpId(1) }),
+            FaultPlan::single(2, FaultKind::StuckAtLong { op: OpId(2) }),
+            FaultPlan::single(1, FaultKind::DropPulse { op: OpId(0) }),
+            FaultPlan::single(2, FaultKind::SpuriousPulse { op: OpId(3) }),
+            FaultPlan::single(
+                1,
+                FaultKind::DelayLatch {
+                    op: OpId(1),
+                    delay: 2,
+                },
+            ),
+            FaultPlan::single(
+                2,
+                FaultKind::FlipState {
+                    controller: 0,
+                    bit: 0,
+                },
+            ),
+        ];
+        for (i, plan) in plans.iter().enumerate() {
+            let config = SimConfig {
+                faults: plan.clone(),
+                ..SimConfig::default()
+            };
+            assert_dist_equiv(
+                &bound,
+                &cu,
+                &CompletionModel::Bernoulli { p: 0.6 },
+                &config,
+                100 + i as u64,
+                17,
+            );
+        }
+    }
+
+    #[test]
+    fn per_lane_configs_isolate_faults() {
+        // Lane 3 carries a stuck-at fault, every other lane is clean: the
+        // clean lanes must match their fault-free scalar twins exactly.
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let lanes = 9;
+        let mut configs = vec![SimConfig::default(); lanes];
+        configs[3].faults = FaultPlan::single(1, FaultKind::StuckAtShort { op: OpId(0) });
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let mut rngs = rng_bank(42, lanes);
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let out = sim.run(
+            &LaneModels::Shared(&model),
+            &LaneConfigs::PerLane(&configs),
+            &mut rngs,
+        );
+        for (t, lane) in out.iter().enumerate() {
+            let mut srng = StdRng::seed_from_u64(42 ^ (t as u64).wrapping_mul(0x9E37));
+            let scalar =
+                simulate_distributed_with(&bound, &cu, &model, None, &mut srng, &configs[t]);
+            if let LaneOutcome::Done(r) = lane {
+                assert_eq!(Ok(r), scalar.as_ref(), "lane {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cent_sync_matches_scalar() {
+        for g in [fir3(), fir5(), diffeq()] {
+            let bound = BoundDfg::bind(&g, &Allocation::paper(2, 1, 1));
+            let model = CompletionModel::Bernoulli { p: 0.7 };
+            let lanes = 33;
+            let mut rngs = rng_bank(5, lanes);
+            let mut sim = SlicedSim::cent_sync(&bound, None);
+            let out = sim.run(
+                &LaneModels::Shared(&model),
+                &LaneConfigs::Shared(&SimConfig::default()),
+                &mut rngs,
+            );
+            for (t, lane) in out.iter().enumerate() {
+                let mut srng = StdRng::seed_from_u64(5 ^ (t as u64).wrapping_mul(0x9E37));
+                let scalar =
+                    simulate_cent_sync_with(&bound, &model, None, &mut srng, &SimConfig::default());
+                match lane {
+                    LaneOutcome::Done(r) => assert_eq!(Ok(r), scalar.as_ref(), "lane {t}"),
+                    LaneOutcome::Fallback => panic!("fault-free cent-sync lane {t} fell back"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_scalar() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let model = CompletionModel::Bernoulli { p: 0.6 };
+        for iterations in [1, 3] {
+            let lanes = 21;
+            let mut rngs = rng_bank(9, lanes);
+            let mut sim = SlicedSim::pipelined(&bound, &cu, iterations);
+            let out = sim.run_pipelined(
+                &LaneModels::Shared(&model),
+                &LaneConfigs::Shared(&SimConfig::default()),
+                &mut rngs,
+            );
+            for (t, lane) in out.iter().enumerate() {
+                let mut srng = StdRng::seed_from_u64(9 ^ (t as u64).wrapping_mul(0x9E37));
+                let scalar = simulate_pipelined_with(
+                    &bound,
+                    &cu,
+                    &model,
+                    iterations,
+                    &mut srng,
+                    &SimConfig::default(),
+                );
+                match lane {
+                    PipelinedLaneOutcome::Done(r) => {
+                        assert_eq!(Ok(r), scalar.as_ref(), "lane {t} iters {iterations}")
+                    }
+                    PipelinedLaneOutcome::Fallback => {
+                        panic!("fault-free pipelined lane {t} fell back")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_scalar_under_faults() {
+        // Deferred latches are the tricky case: pipelined hooks abandon
+        // them at loop exit instead of staying alive for them.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let model = CompletionModel::Bernoulli { p: 0.6 };
+        let plans = [
+            FaultPlan::single(
+                3,
+                FaultKind::DelayLatch {
+                    op: OpId(1),
+                    delay: 2,
+                },
+            ),
+            FaultPlan::single(2, FaultKind::DropPulse { op: OpId(1) }),
+            FaultPlan::single(1, FaultKind::StuckAtLong { op: OpId(0) }),
+            FaultPlan::single(3, FaultKind::StuckAtShort { op: OpId(1) }),
+        ];
+        for (i, plan) in plans.iter().enumerate() {
+            let config = SimConfig::with_faults(plan.clone());
+            let lanes = 13;
+            let mut rngs = rng_bank(5, lanes);
+            let mut sim = SlicedSim::pipelined(&bound, &cu, 3);
+            let out = sim.run_pipelined(
+                &LaneModels::Shared(&model),
+                &LaneConfigs::Shared(&config),
+                &mut rngs,
+            );
+            for (t, lane) in out.iter().enumerate() {
+                if let PipelinedLaneOutcome::Done(r) = lane {
+                    let mut srng = StdRng::seed_from_u64(5 ^ (t as u64).wrapping_mul(0x9E37));
+                    let scalar =
+                        simulate_pipelined_with(&bound, &cu, &model, 3, &mut srng, &config);
+                    assert_eq!(Ok(r), scalar.as_ref(), "plan {i}, lane {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_lane_count_falls_back() {
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let mut rngs = rng_bank(0, 65);
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let out = sim.run(
+            &LaneModels::Shared(&CompletionModel::AlwaysShort),
+            &LaneConfigs::Shared(&SimConfig::default()),
+            &mut rngs,
+        );
+        assert_eq!(out.len(), 65);
+        assert!(out.iter().all(|l| matches!(l, LaneOutcome::Fallback)));
+    }
+
+    #[test]
+    fn invalid_model_lane_falls_back() {
+        // A table shorter than the DFG is a scalar InvalidConfig; the
+        // sliced engine must route it to fallback, not panic.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let models = vec![
+            CompletionModel::AlwaysShort,
+            CompletionModel::Table(vec![true]),
+        ];
+        let mut rngs = rng_bank(0, 2);
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let out = sim.run(
+            &LaneModels::PerLane(&models),
+            &LaneConfigs::Shared(&SimConfig::default()),
+            &mut rngs,
+        );
+        assert!(matches!(out[0], LaneOutcome::Done(_)));
+        assert!(matches!(out[1], LaneOutcome::Fallback));
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_is_stateless() {
+        // Same simulator, three consecutive banks: later runs must not
+        // observe state left by earlier ones.
+        let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+        let cu = DistributedControlUnit::generate(&bound);
+        let model = CompletionModel::Bernoulli { p: 0.6 };
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let mut baseline = Vec::new();
+        for round in 0..3 {
+            let mut rngs = rng_bank(77, 13);
+            let out = sim.run(
+                &LaneModels::Shared(&model),
+                &LaneConfigs::Shared(&SimConfig::default()),
+                &mut rngs,
+            );
+            if round == 0 {
+                baseline = out;
+            } else {
+                assert_eq!(out, baseline, "round {round} leaked scratch state");
+            }
+        }
+    }
+}
