@@ -22,8 +22,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use tauhls_core::experiments::paper_benchmarks;
+use tauhls_core::jobspec::{Endpoint, JobSpec};
 use tauhls_fsm::DistributedControlUnit;
-use tauhls_json::Json;
+use tauhls_json::{Json, JsonRef};
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
     simulate_cent, simulate_cent_sync, simulate_distributed, trial_rng, CentControlUnit,
@@ -263,13 +264,72 @@ fn main() {
         println!("allocs: {sliced} {b} vs {scalar} {a}");
     }
 
+    // Zero-copy spec-parse self-check: the borrowed `JsonRef` path the
+    // service uses on request bodies must allocate strictly less than
+    // the owned `Json` parse it replaced (the borrowed tree keeps keys
+    // and strings as slices of the request buffer).
+    let (borrowed_allocs, owned_allocs) = spec_parse_allocs();
+    assert!(
+        borrowed_allocs < owned_allocs,
+        "borrowed spec parse allocated {borrowed_allocs} times, \
+         not less than the owned path's {owned_allocs}"
+    );
+    println!("allocs per spec parse: borrowed {borrowed_allocs} vs owned {owned_allocs}");
+
     let report = Json::object([
         ("mode", Json::from("short")),
         ("p", Json::from(P_SHORT)),
         ("seed", Json::from(SEED)),
         ("trials_per_benchmark", Json::from(trials)),
         ("engines", Json::array(rows.iter().map(EngineRow::to_json))),
+        (
+            "spec_parse",
+            Json::object([
+                ("borrowed_allocs", Json::from(borrowed_allocs)),
+                ("owned_allocs", Json::from(owned_allocs)),
+            ]),
+        ),
     ]);
     std::fs::write("BENCH_kernel.json", report.to_pretty()).expect("write BENCH_kernel.json");
     println!("BENCH_kernel.json: {} rows", rows.len());
+}
+
+/// Allocation counts for one borrowed-vs-owned parse of a representative
+/// request body, averaged over a fixed number of passes (after a warm-up
+/// each). The borrowed tree keeps keys and strings as slices of the
+/// request buffer, so only container nodes hit the heap; the owned tree
+/// copies every key and string. Downstream [`JobSpec`] construction is
+/// validated once outside the counted loops — its built-in-DFG
+/// resolution allocates identically on both paths and would drown the
+/// parse numbers.
+fn spec_parse_allocs() -> (u64, u64) {
+    const BODY: &str = r#"{"dfg":"ewf","trials":2000,"p":[0.9,0.7,0.5],"seed":2003}"#;
+    const PASSES: u64 = 64;
+    let endpoint = Endpoint::parse("simulate").expect("simulate endpoint");
+    let borrowed_tree = JsonRef::parse(BODY).expect("borrowed parse");
+    let owned_tree = Json::parse(BODY).expect("owned parse");
+    assert_eq!(
+        JobSpec::from_json_ref(endpoint, &borrowed_tree)
+            .expect("borrowed spec")
+            .cache_key(),
+        JobSpec::from_json(endpoint, &owned_tree)
+            .expect("owned spec")
+            .cache_key(),
+        "borrowed and owned parses disagree on the canonical spec"
+    );
+    let count = |parse: &dyn Fn()| -> u64 {
+        parse();
+        let before = alloc_count();
+        for _ in 0..PASSES {
+            parse();
+        }
+        (alloc_count() - before) / PASSES
+    };
+    let borrowed = count(&|| {
+        std::hint::black_box(JsonRef::parse(BODY).expect("borrowed parse"));
+    });
+    let owned = count(&|| {
+        std::hint::black_box(Json::parse(BODY).expect("owned parse"));
+    });
+    (borrowed, owned)
 }

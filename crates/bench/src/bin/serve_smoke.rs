@@ -29,6 +29,8 @@ const HIT_JOBS: u64 = 400;
 /// Client threads hammering the cache concurrently.
 const CONCURRENT_CLIENTS: u64 = 4;
 const HITS_PER_CLIENT: u64 = 100;
+/// Distinct async jobs for the submit→poll→result pass.
+const ASYNC_JOBS: u64 = 24;
 
 fn spec(seed: u64) -> String {
     format!(r#"{{"dfg":"fir3","trials":200,"p":[0.5],"seed":{seed}}}"#)
@@ -39,11 +41,20 @@ enum Instance {
     InProcess(Server),
 }
 
-fn start(binary: Option<&str>) -> (Instance, String) {
+fn start(binary: Option<&str>, data_dir: &std::path::Path) -> (Instance, String) {
+    let dir = data_dir.to_str().expect("utf-8 temp path");
     match binary {
         Some(bin) => {
             let mut child = Command::new(bin)
-                .args(["serve", "--addr", "127.0.0.1:0", "--workers", "4"])
+                .args([
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--workers",
+                    "4",
+                    "--data-dir",
+                    dir,
+                ])
                 .stdout(Stdio::piped())
                 .spawn()
                 .expect("spawn tauhls serve");
@@ -61,6 +72,7 @@ fn start(binary: Option<&str>) -> (Instance, String) {
         None => {
             let server = Server::start(ServeConfig {
                 addr: "127.0.0.1:0".to_string(),
+                data_dir: Some(data_dir.to_path_buf()),
                 ..ServeConfig::default()
             })
             .expect("bind ephemeral port");
@@ -126,9 +138,46 @@ fn metric(text: &str, prefix: &str) -> f64 {
         .unwrap_or_else(|| panic!("metric {prefix:?} missing from /metrics"))
 }
 
+/// Submits one async job, returning its id.
+fn submit_job(addr: &str, spec: &str) -> String {
+    let body = format!(r#"{{"endpoint":"simulate","spec":{spec}}}"#);
+    let r =
+        client::request(addr, "POST", "/v1/jobs", Some(&body), TIMEOUT).expect("submit response");
+    assert!(
+        r.status == 200 || r.status == 202,
+        "{} {}",
+        r.status,
+        r.body
+    );
+    Json::parse(&r.body)
+        .ok()
+        .and_then(|j| j.get("job").and_then(|v| v.as_str().map(String::from)))
+        .unwrap_or_else(|| panic!("submit body has no job id: {}", r.body))
+}
+
+/// Polls one job to `done` and returns its result body.
+fn await_job(addr: &str, id: &str) -> String {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let r = client::request(addr, "GET", &format!("/v1/jobs/{id}/result"), None, TIMEOUT)
+            .expect("result response");
+        match r.status {
+            200 => return r.body,
+            202 => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("job {id}: HTTP {other}: {}", r.body),
+        }
+    }
+}
+
 fn main() {
     let binary = std::env::args().nth(1);
-    let (instance, addr) = start(binary.as_deref());
+    let data_dir = std::env::temp_dir().join(format!("tauhls-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).expect("create data dir");
+    let (instance, addr) = start(binary.as_deref(), &data_dir);
     println!("server at {addr}");
     if let Some(bin) = binary.as_deref() {
         drive_with_cli(bin, &addr);
@@ -170,6 +219,19 @@ fn main() {
     }
     let concurrent_elapsed = concurrent_start.elapsed();
 
+    // Async-jobs pass: submit→poll→result round trips through the
+    // durable job manager, every spec distinct so each one executes and
+    // journals.
+    let jobs_start = Instant::now();
+    let ids: Vec<String> = (0..ASYNC_JOBS)
+        .map(|seed| submit_job(&addr, &spec(1000 + seed)))
+        .collect();
+    for id in &ids {
+        let body = await_job(&addr, id);
+        assert!(body.contains("\"spec\""), "result body for {id}: {body}");
+    }
+    let jobs_elapsed = jobs_start.elapsed();
+
     let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("scrape metrics");
     assert_eq!(metrics.status, 200);
     let hits = metric(&metrics.body, "tauhls_serve_cache_hits_total ");
@@ -179,15 +241,49 @@ fn main() {
         &metrics.body,
         "tauhls_serve_requests_total{endpoint=\"simulate\"} ",
     );
+    let jobs_completed = metric(
+        &metrics.body,
+        "tauhls_serve_jobs_total{event=\"completed\"} ",
+    );
+    assert!(
+        jobs_completed >= ASYNC_JOBS as f64,
+        "only {jobs_completed} of {ASYNC_JOBS} async jobs completed"
+    );
     stop(instance);
+
+    // Recovery pass: restart on the same data dir and time the journal
+    // replay plus artifact re-verification, then confirm a recovered
+    // job's result is served from disk without recomputation.
+    let replay_start = Instant::now();
+    let (instance, addr) = start(binary.as_deref(), &data_dir);
+    let replay_elapsed = replay_start.elapsed();
+    let recovered = await_job(&addr, &ids[0]);
+    assert!(recovered.contains("\"spec\""), "{recovered}");
+    let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("scrape metrics");
+    let jobs_recovered = metric(
+        &metrics.body,
+        "tauhls_serve_jobs_total{event=\"recovered\"} ",
+    );
+    assert!(
+        jobs_recovered >= ASYNC_JOBS as f64,
+        "only {jobs_recovered} of {ASYNC_JOBS} jobs recovered after restart"
+    );
+    stop(instance);
+    let _ = std::fs::remove_dir_all(&data_dir);
 
     let cold_rps = COLD_JOBS as f64 / cold_elapsed.as_secs_f64();
     let hit_rps = HIT_JOBS as f64 / hit_elapsed.as_secs_f64();
     let concurrent_rps =
         (CONCURRENT_CLIENTS * HITS_PER_CLIENT) as f64 / concurrent_elapsed.as_secs_f64();
+    let job_rps = ASYNC_JOBS as f64 / jobs_elapsed.as_secs_f64();
     println!("cold (simulating):  {cold_rps:>10.1} requests/sec");
     println!("hot (cache hit):    {hit_rps:>10.1} requests/sec");
     println!("hot ({CONCURRENT_CLIENTS} clients):    {concurrent_rps:>10.1} requests/sec");
+    println!("async jobs:         {job_rps:>10.1} round-trips/sec");
+    println!(
+        "recovery replay:    {:>10.1} ms ({ASYNC_JOBS} jobs)",
+        replay_elapsed.as_secs_f64() * 1e3
+    );
     println!("cache hits {hits} / misses {misses}, {trials} trials simulated");
 
     let report = Json::object([
@@ -208,6 +304,13 @@ fn main() {
             "concurrent_hit_requests_per_sec",
             Json::from(concurrent_rps),
         ),
+        ("async_jobs", Json::from(ASYNC_JOBS)),
+        ("job_round_trips_per_sec", Json::from(job_rps)),
+        (
+            "recovery_replay_seconds",
+            Json::from(replay_elapsed.as_secs_f64()),
+        ),
+        ("jobs_recovered", Json::from(jobs_recovered)),
         ("cache_hits", Json::from(hits)),
         ("cache_misses", Json::from(misses)),
         ("cache_hit_rate", Json::from(hits / (hits + misses))),

@@ -13,11 +13,12 @@
 //! equal keys imply byte-identical responses, because the batch engine is
 //! bit-deterministic in `(spec, seed)`.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use tauhls_dfg::{benchmarks, parse_dfg, Dfg};
 use tauhls_fsm::Encoding;
-use tauhls_json::{Json, ToJson};
+use tauhls_json::{Json, JsonRef, ToJson};
 use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg};
 use tauhls_sim::{
@@ -277,17 +278,29 @@ impl JobError {
 
 /// Strict reader over a parsed JSON object: every key must be known, no
 /// key may repeat, and each extractor enforces its field's type and range.
+///
+/// Operates on borrowed [`JsonRef`] pairs so the service's hot request
+/// path can decode a spec straight out of the request buffer without
+/// per-field string allocations; owned [`Json`] documents go through the
+/// [`JsonRef::from_owned`] bridge.
 struct Fields<'a> {
-    pairs: &'a [(String, Json)],
+    pairs: &'a [(Cow<'a, str>, JsonRef<'a>)],
 }
 
 impl<'a> Fields<'a> {
-    fn new(spec: &'a Json, allowed: &[&str]) -> Result<Fields<'a>, String> {
+    fn new(spec: &'a JsonRef<'a>, allowed: &[&str]) -> Result<Fields<'a>, String> {
         let pairs = spec
             .as_object()
             .ok_or_else(|| "job spec must be a JSON object".to_string())?;
+        Fields::over(pairs, allowed)
+    }
+
+    fn over(
+        pairs: &'a [(Cow<'a, str>, JsonRef<'a>)],
+        allowed: &[&str],
+    ) -> Result<Fields<'a>, String> {
         for (i, (key, _)) in pairs.iter().enumerate() {
-            if !allowed.contains(&key.as_str()) {
+            if !allowed.contains(&key.as_ref()) {
                 return Err(format!(
                     "unknown field '{key}' (allowed: {})",
                     allowed.join(", ")
@@ -300,7 +313,7 @@ impl<'a> Fields<'a> {
         Ok(Fields { pairs })
     }
 
-    fn get(&self, key: &str) -> Option<&'a Json> {
+    fn get(&self, key: &str) -> Option<&'a JsonRef<'a>> {
         self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
@@ -509,10 +522,46 @@ impl JobSpec {
     /// and allocations that cannot cover the graph are all rejected here,
     /// so a spec that parses is guaranteed to run (absent cancellation).
     pub fn from_json(endpoint: Endpoint, spec: &Json) -> Result<JobSpec, JobError> {
+        let view = JsonRef::from_owned(spec);
+        JobSpec::parse(endpoint, &view).map_err(JobError::Invalid)
+    }
+
+    /// [`JobSpec::from_json`] over a borrowed document — the zero-copy
+    /// entry the service's request path uses: field names and string
+    /// values are read in place from the request buffer and only the
+    /// strings the spec retains (benchmark names, inline DFG text) are
+    /// copied out.
+    pub fn from_json_ref(endpoint: Endpoint, spec: &JsonRef<'_>) -> Result<JobSpec, JobError> {
         JobSpec::parse(endpoint, spec).map_err(JobError::Invalid)
     }
 
-    fn parse(endpoint: Endpoint, spec: &Json) -> Result<JobSpec, String> {
+    /// Parses a [`JobSpec::canonical`] document back into a spec: the
+    /// embedded `endpoint` field selects the variant and the remaining
+    /// fields re-validate exactly like a fresh request. This is the
+    /// re-entry point for durable job journals, which persist the
+    /// canonical rendering; round-tripping preserves the cache key.
+    pub fn from_canonical(doc: &Json) -> Result<JobSpec, JobError> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| JobError::Invalid("canonical spec must be a JSON object".to_string()))?;
+        let endpoint = pairs
+            .iter()
+            .find(|(k, _)| k == "endpoint")
+            .and_then(|(_, v)| v.as_str())
+            .and_then(Endpoint::parse)
+            .ok_or_else(|| {
+                JobError::Invalid("canonical spec must name a known 'endpoint'".to_string())
+            })?;
+        let rest: Vec<(Cow<'_, str>, JsonRef<'_>)> = pairs
+            .iter()
+            .filter(|(k, _)| k != "endpoint")
+            .map(|(k, v)| (Cow::Borrowed(k.as_str()), JsonRef::from_owned(v)))
+            .collect();
+        let view = JsonRef::Object(rest);
+        JobSpec::parse(endpoint, &view).map_err(JobError::Invalid)
+    }
+
+    fn parse(endpoint: Endpoint, spec: &JsonRef<'_>) -> Result<JobSpec, String> {
         match endpoint {
             Endpoint::Simulate => {
                 let f = Fields::new(
@@ -694,6 +743,18 @@ impl JobSpec {
     /// and the batch engine is bit-deterministic.
     pub fn cache_key(&self) -> String {
         self.canonical().to_compact()
+    }
+
+    /// The content-derived job identifier: the FNV-1a 64-bit hash of
+    /// [`JobSpec::cache_key`], as 16 lowercase hex digits. Resubmitting an
+    /// identical spec therefore addresses the same job — submission is
+    /// idempotent by construction — and the ID is stable across restarts,
+    /// which is what lets a replayed journal reconnect status polls to
+    /// recovered jobs.
+    pub fn job_id(&self) -> String {
+        let mut h = stages::Fnv64::new();
+        h.write(self.cache_key().as_bytes());
+        format!("{:016x}", h.finish())
     }
 
     /// Runs the job to its JSON response body on `runner`.
@@ -1119,6 +1180,53 @@ mod tests {
         assert_eq!(a.trials() + b.trials(), 0);
         assert_eq!(a.endpoint(), Endpoint::Synth);
         assert_eq!(Endpoint::parse("area"), Some(Endpoint::Area));
+    }
+
+    #[test]
+    fn canonical_rendering_round_trips_through_from_canonical() {
+        let texts: &[(Endpoint, &str)] = &[
+            (Endpoint::Simulate, r#"{"trials":50,"p":[1],"seed":9}"#),
+            (Endpoint::Table2, r#"{"trials":20}"#),
+            (Endpoint::Resilience, r#"{"p":0.25,"trials":8}"#),
+            (Endpoint::Synth, r#"{"dfg":"fir3","encoding":"gray"}"#),
+            (Endpoint::Area, r#"{"width":32}"#),
+        ];
+        for (endpoint, text) in texts {
+            let spec = parse(*endpoint, text).unwrap();
+            let back = JobSpec::from_canonical(&spec.canonical()).unwrap();
+            assert_eq!(back, spec, "{text}");
+            assert_eq!(back.cache_key(), spec.cache_key(), "{text}");
+            assert_eq!(back.job_id(), spec.job_id(), "{text}");
+        }
+        // The ID is a pure function of the content address.
+        let a = parse(Endpoint::Simulate, r#"{"trials":50,"p":[1.0]}"#).unwrap();
+        let b = parse(Endpoint::Simulate, r#"{"p":[1],"trials":50}"#).unwrap();
+        assert_eq!(a.job_id(), b.job_id());
+        assert_eq!(a.job_id().len(), 16);
+        let c = parse(Endpoint::Simulate, r#"{"trials":51,"p":[1]}"#).unwrap();
+        assert_ne!(a.job_id(), c.job_id());
+        // Hostile canonical documents fail cleanly.
+        for bad in [
+            "[]",
+            "{}",
+            r#"{"endpoint":"nope"}"#,
+            r#"{"endpoint":"simulate","wat":1}"#,
+        ] {
+            assert!(JobSpec::from_canonical(&Json::parse(bad).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_parses_agree() {
+        let text = r#"{"dfg":"ewf","trials":40,"p":[0.9,0.5],"seed":7}"#;
+        let owned = parse(Endpoint::Simulate, text).unwrap();
+        let doc = JsonRef::parse(text).unwrap();
+        let borrowed = JobSpec::from_json_ref(Endpoint::Simulate, &doc).unwrap();
+        assert_eq!(borrowed, owned);
+        // Errors surface identically through both entries.
+        let bad = JsonRef::parse(r#"{"wat":1}"#).unwrap();
+        let err = JobSpec::from_json_ref(Endpoint::Simulate, &bad).unwrap_err();
+        assert!(err.to_string().contains("unknown field 'wat'"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// A JSON value. Objects preserve insertion order.
@@ -305,6 +306,141 @@ impl Json {
 }
 
 // ---------------------------------------------------------------------------
+// Borrowed values — zero-copy view over a parsed input buffer.
+// ---------------------------------------------------------------------------
+
+/// A JSON value borrowing from the input it was parsed from.
+///
+/// Strings and object keys are [`Cow`]s: escape-free segments borrow the
+/// request buffer directly and only strings containing escapes allocate.
+/// This is the value type hot request paths (the simulation service's
+/// `/v1/*` decode) navigate; [`Json::parse`] is a thin wrapper that calls
+/// [`JsonRef::parse`] and deep-copies via [`JsonRef::into_owned`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonRef<'a> {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A finite float.
+    Float(f64),
+    /// A string; borrows the input unless it contained escapes.
+    Str(Cow<'a, str>),
+    /// An ordered array.
+    Array(Vec<JsonRef<'a>>),
+    /// An ordered key-value map.
+    Object(Vec<(Cow<'a, str>, JsonRef<'a>)>),
+}
+
+impl<'a> JsonRef<'a> {
+    /// Looks up the first entry named `key` in an object (`None` for
+    /// non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonRef<'a>> {
+        match self {
+            JsonRef::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonRef::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, for `UInt` and non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonRef::UInt(v) => Some(*v),
+            JsonRef::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonRef::Int(v) => Some(*v as f64),
+            JsonRef::UInt(v) => Some(*v as f64),
+            JsonRef::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[JsonRef<'a>]> {
+        match self {
+            JsonRef::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` entries, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(Cow<'a, str>, JsonRef<'a>)]> {
+        match self {
+            JsonRef::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Deep-copies into an owned [`Json`].
+    pub fn into_owned(self) -> Json {
+        match self {
+            JsonRef::Null => Json::Null,
+            JsonRef::Bool(b) => Json::Bool(b),
+            JsonRef::Int(v) => Json::Int(v),
+            JsonRef::UInt(v) => Json::UInt(v),
+            JsonRef::Float(v) => Json::Float(v),
+            JsonRef::Str(s) => Json::Str(s.into_owned()),
+            JsonRef::Array(items) => {
+                Json::Array(items.into_iter().map(JsonRef::into_owned).collect())
+            }
+            JsonRef::Object(pairs) => Json::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| (k.into_owned(), v.into_owned()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// A borrowed view over an owned [`Json`]. Strings borrow; arrays and
+    /// objects rebuild their spines (cheap `Vec`s of references), which
+    /// lets owned documents flow through `JsonRef`-consuming code paths.
+    pub fn from_owned(doc: &'a Json) -> JsonRef<'a> {
+        match doc {
+            Json::Null => JsonRef::Null,
+            Json::Bool(b) => JsonRef::Bool(*b),
+            Json::Int(v) => JsonRef::Int(*v),
+            Json::UInt(v) => JsonRef::UInt(*v),
+            Json::Float(v) => JsonRef::Float(*v),
+            Json::Str(s) => JsonRef::Str(Cow::Borrowed(s)),
+            Json::Array(items) => JsonRef::Array(items.iter().map(JsonRef::from_owned).collect()),
+            Json::Object(pairs) => JsonRef::Object(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (Cow::Borrowed(k.as_str()), JsonRef::from_owned(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Parsing — strict RFC 8259, bounded recursion, byte-offset diagnostics.
 // ---------------------------------------------------------------------------
 
@@ -347,6 +483,17 @@ impl Json {
     /// `parse(to_compact(j)) == j` holds for every document built from
     /// those canonical variants.
     pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        JsonRef::parse(text).map(JsonRef::into_owned)
+    }
+}
+
+impl<'a> JsonRef<'a> {
+    /// Parses a strict JSON document into a borrowed value.
+    ///
+    /// Identical grammar, limits, and diagnostics to [`Json::parse`] —
+    /// the owned parser is this one plus a deep copy — but escape-free
+    /// strings and keys borrow `text` instead of allocating.
+    pub fn parse(text: &'a str) -> Result<JsonRef<'a>, JsonParseError> {
         let mut p = Parser {
             text,
             bytes: text.as_bytes(),
@@ -385,7 +532,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+    fn parse_value(&mut self, depth: usize) -> Result<JsonRef<'a>, JsonParseError> {
         self.skip_ws();
         let Some(b) = self.peek() else {
             return self.err(self.pos, "unexpected end of input; expected a JSON value");
@@ -393,10 +540,10 @@ impl<'a> Parser<'a> {
         match b {
             b'{' => self.parse_object(depth),
             b'[' => self.parse_array(depth),
-            b'"' => Ok(Json::Str(self.parse_string()?)),
-            b't' => self.parse_literal("true", Json::Bool(true)),
-            b'f' => self.parse_literal("false", Json::Bool(false)),
-            b'n' => self.parse_literal("null", Json::Null),
+            b'"' => Ok(JsonRef::Str(self.parse_string()?)),
+            b't' => self.parse_literal("true", JsonRef::Bool(true)),
+            b'f' => self.parse_literal("false", JsonRef::Bool(false)),
+            b'n' => self.parse_literal("null", JsonRef::Null),
             b'-' | b'0'..=b'9' => self.parse_number(),
             _ => {
                 let found = self
@@ -409,7 +556,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonParseError> {
+    fn parse_literal(
+        &mut self,
+        literal: &str,
+        value: JsonRef<'a>,
+    ) -> Result<JsonRef<'a>, JsonParseError> {
         let end = self.pos + literal.len();
         if self.bytes.len() >= end && &self.bytes[self.pos..end] == literal.as_bytes() {
             self.pos = end;
@@ -419,7 +570,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+    fn parse_object(&mut self, depth: usize) -> Result<JsonRef<'a>, JsonParseError> {
         if depth >= MAX_PARSE_DEPTH {
             return self.err(
                 self.pos,
@@ -431,7 +582,7 @@ impl<'a> Parser<'a> {
         let mut pairs = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Object(pairs));
+            return Ok(JsonRef::Object(pairs));
         }
         loop {
             self.skip_ws();
@@ -451,14 +602,14 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Object(pairs));
+                    return Ok(JsonRef::Object(pairs));
                 }
                 _ => return self.err(self.pos, "expected ',' or '}' in object"),
             }
         }
     }
 
-    fn parse_array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+    fn parse_array(&mut self, depth: usize) -> Result<JsonRef<'a>, JsonParseError> {
         if depth >= MAX_PARSE_DEPTH {
             return self.err(
                 self.pos,
@@ -470,7 +621,7 @@ impl<'a> Parser<'a> {
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Array(items));
+            return Ok(JsonRef::Array(items));
         }
         loop {
             items.push(self.parse_value(depth + 1)?);
@@ -479,17 +630,21 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Json::Array(items));
+                    return Ok(JsonRef::Array(items));
                 }
                 _ => return self.err(self.pos, "expected ',' or ']' in array"),
             }
         }
     }
 
-    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+    /// Parses a string, borrowing the input when it contains no escapes —
+    /// the common case for spec field names and benchmark identifiers —
+    /// and building an owned buffer only once the first escape appears.
+    fn parse_string(&mut self) -> Result<Cow<'a, str>, JsonParseError> {
         let open_quote = self.pos;
         self.pos += 1; // '"'
         let mut out = String::new();
+        let mut borrowed = true;
         let mut segment_start = self.pos;
         loop {
             let Some(b) = self.peek() else {
@@ -497,12 +652,17 @@ impl<'a> Parser<'a> {
             };
             match b {
                 b'"' => {
-                    out.push_str(&self.text[segment_start..self.pos]);
+                    let segment = &self.text[segment_start..self.pos];
                     self.pos += 1;
-                    return Ok(out);
+                    if borrowed {
+                        return Ok(Cow::Borrowed(segment));
+                    }
+                    out.push_str(segment);
+                    return Ok(Cow::Owned(out));
                 }
                 b'\\' => {
                     out.push_str(&self.text[segment_start..self.pos]);
+                    borrowed = false;
                     let escape_at = self.pos;
                     self.pos += 1;
                     let Some(e) = self.peek() else {
@@ -584,7 +744,7 @@ impl<'a> Parser<'a> {
         Ok(code)
     }
 
-    fn parse_number(&mut self) -> Result<Json, JsonParseError> {
+    fn parse_number(&mut self) -> Result<JsonRef<'a>, JsonParseError> {
         let start = self.pos;
         let negative = self.peek() == Some(b'-');
         if negative {
@@ -632,15 +792,15 @@ impl<'a> Parser<'a> {
         if !is_float {
             if negative {
                 if let Ok(v) = literal.parse::<i64>() {
-                    return Ok(Json::Int(v));
+                    return Ok(JsonRef::Int(v));
                 }
             } else if let Ok(v) = literal.parse::<u64>() {
-                return Ok(Json::UInt(v));
+                return Ok(JsonRef::UInt(v));
             }
             // Integers beyond 64 bits fall back to the float path below.
         }
         match literal.parse::<f64>() {
-            Ok(v) if v.is_finite() => Ok(Json::Float(v)),
+            Ok(v) if v.is_finite() => Ok(JsonRef::Float(v)),
             _ => self.err(start, "number does not fit in an f64"),
         }
     }
@@ -833,5 +993,51 @@ mod tests {
         assert_eq!(doc.as_object().unwrap().len(), 2);
         assert!(items[0].as_object().is_none());
         assert!(doc.get("a").unwrap().get("b").unwrap().get("c").is_none());
+    }
+
+    #[test]
+    fn borrowed_parse_borrows_escape_free_strings() {
+        let text = r#"{"dfg":"ewf","label":"a\nb","p":[0.9,0.5]}"#;
+        let doc = JsonRef::parse(text).unwrap();
+        let pairs = doc.as_object().unwrap();
+        // Escape-free keys and values borrow the input buffer.
+        assert!(matches!(pairs[0].0, Cow::Borrowed(_)));
+        assert!(matches!(pairs[0].1, JsonRef::Str(Cow::Borrowed(_))));
+        // A string with an escape must allocate.
+        assert!(matches!(pairs[1].1, JsonRef::Str(Cow::Owned(_))));
+        assert_eq!(doc.get("label").unwrap().as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn borrowed_parse_matches_owned_parse() {
+        let cases = [
+            r#"{"a":1,"b":[true,null,-2,3.5,"xA"],"c":{"d":"e"}}"#,
+            "[]",
+            "{}",
+            r#""only a string""#,
+            "18446744073709551615",
+        ];
+        for text in cases {
+            let owned = Json::parse(text).unwrap();
+            let borrowed = JsonRef::parse(text).unwrap();
+            assert_eq!(borrowed.clone().into_owned(), owned, "{text}");
+            // And the reverse bridge agrees with the borrowed parse.
+            assert_eq!(JsonRef::from_owned(&owned).into_owned(), owned, "{text}");
+        }
+    }
+
+    #[test]
+    fn borrowed_accessors_navigate() {
+        let text = r#"{"a":{"b":[1,2.5,"x",true]},"n":-3}"#;
+        let doc = JsonRef::parse(text).unwrap();
+        let b = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = b.as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(items[3].as_bool(), Some(true));
+        assert_eq!(doc.get("n").unwrap().as_u64(), None);
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(doc.as_object().unwrap().len(), 2);
     }
 }

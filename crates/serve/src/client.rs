@@ -38,6 +38,20 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<Response, String> {
+    request_with(addr, method, path, &[], body, timeout)
+}
+
+/// [`request`] plus extra request headers — how callers attach the
+/// `X-Client` identity and `X-Priority` class the async-jobs admission
+/// control reads.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<Response, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(timeout))
@@ -45,10 +59,17 @@ pub fn request(
         .map_err(|e| format!("socket setup: {e}"))?;
     let mut stream = stream;
     let payload = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         payload.len()
     );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(payload.as_bytes()))

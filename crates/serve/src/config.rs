@@ -32,6 +32,32 @@ pub struct ServeConfig {
     /// cancelling them through the batch engine's
     /// [`CancelToken`](tauhls_sim::CancelToken).
     pub drain_timeout: Duration,
+    /// Durable state directory for the async job manager: the write-ahead
+    /// job journal plus hash-keyed result artifacts live here and are
+    /// replayed on startup. `None` keeps job state in memory only (jobs
+    /// still work, but do not survive a restart).
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Dedicated threads executing async jobs (separate from the
+    /// connection workers so a backlog of sweeps cannot starve
+    /// synchronous requests). `0` is a diagnostic mode: jobs queue and
+    /// journal but never execute.
+    pub job_workers: usize,
+    /// Bounded async-job queue capacity; a full queue answers `503`.
+    pub job_queue_capacity: usize,
+    /// Attempts per job before it is marked failed (the first run plus
+    /// retries); watchdog-cancelled attempts count.
+    pub job_max_attempts: u32,
+    /// Base delay of the exponential retry backoff (doubled per attempt,
+    /// plus deterministic seed-derived jitter, capped at 32x the base).
+    pub job_backoff_base: Duration,
+    /// Per-client token-bucket refill rate for job submissions, in
+    /// requests per second.
+    pub admission_rate: f64,
+    /// Per-client token-bucket burst capacity.
+    pub admission_burst: f64,
+    /// Per-client cap on jobs that are queued or running at once; beyond
+    /// it submissions answer `429` with `Retry-After`.
+    pub max_pending_per_client: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +72,14 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(30),
+            data_dir: None,
+            job_workers: 2,
+            job_queue_capacity: 256,
+            job_max_attempts: 3,
+            job_backoff_base: Duration::from_millis(250),
+            admission_rate: 20.0,
+            admission_burst: 40.0,
+            max_pending_per_client: 64,
         }
     }
 }

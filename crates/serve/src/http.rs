@@ -46,8 +46,22 @@ pub struct Request {
     pub method: String,
     /// Request target as sent (path only; no scheme/authority handling).
     pub path: String,
+    /// Headers as `(lowercased-name, trimmed-value)` pairs, in arrival
+    /// order — the admission-control layer reads client identity
+    /// (`x-client`) and job priority (`x-priority`) from here.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads and parses one request from `stream`.
@@ -87,6 +101,7 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
         )));
     }
     let mut content_length: usize = 0;
+    let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -105,6 +120,7 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
                 "chunked transfer encoding is not supported".to_string(),
             ));
         }
+        headers.push((name, value.to_string()));
     }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
@@ -128,6 +144,7 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
+        headers,
         body,
     })
 }
@@ -140,11 +157,14 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -191,6 +211,18 @@ mod tests {
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/v1/simulate");
         assert_eq!(r.body, b"{\"a\":1}");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("content-length"), Some("7"));
+        assert_eq!(r.header("x-client"), None);
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_order_preserving() {
+        let r = req(b"POST /v1/jobs HTTP/1.1\r\nX-Client: alice\r\nX-Priority: 2\r\nContent-Length: 0\r\n\r\n")
+            .expect("parses");
+        assert_eq!(r.header("x-client"), Some("alice"));
+        assert_eq!(r.header("x-priority"), Some("2"));
+        assert_eq!(r.headers.len(), 3);
     }
 
     #[test]

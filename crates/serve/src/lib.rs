@@ -18,7 +18,12 @@
 //! Endpoints: `POST /v1/simulate`, `POST /v1/table2`,
 //! `POST /v1/resilience`, `POST /v1/synth`, and `POST /v1/area` (JSON
 //! job specs, validated strictly by [`tauhls_core::jobspec`]), plus
-//! `GET /healthz` and `GET /metrics` (Prometheus text). The synthesis
+//! `GET /healthz` and `GET /metrics` (Prometheus text). The same specs
+//! also run asynchronously through the durable job manager —
+//! `POST /v1/jobs` submits, `GET /v1/jobs/<id>[/result]` polls, and
+//! `DELETE /v1/jobs/<id>` cancels — with a crash-recoverable journal,
+//! retry/backoff, and per-client admission control (`429` +
+//! `Retry-After`); see [`JobManager`]. The synthesis
 //! endpoints run the staged pipeline of [`tauhls_core::stages`] against
 //! a second, content-addressed **stage cache**: stage outputs are keyed
 //! by their input-hash chain, so two requests differing only in state
@@ -63,6 +68,7 @@
 mod cache;
 mod config;
 mod http;
+mod jobs;
 mod metrics;
 mod queue;
 mod server;
@@ -73,6 +79,7 @@ pub mod signal;
 pub use cache::Cache;
 pub use config::ServeConfig;
 pub use http::{HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
-pub use metrics::{Histogram, Metrics, BUCKETS_SECONDS, ENDPOINTS, STATUS_CODES};
+pub use jobs::{JobManager, JobResult, JobState, SubmitError, SubmitOutcome};
+pub use metrics::{Histogram, Metrics, BUCKETS_SECONDS, ENDPOINTS, JOB_EVENTS, STATUS_CODES};
 pub use queue::Queue;
 pub use server::Server;

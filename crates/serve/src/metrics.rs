@@ -19,22 +19,38 @@ use crate::cache::Cache;
 
 /// The request-routing classes we count (job endpoints first — these are
 /// the ones with latency histograms).
-pub const ENDPOINTS: [&str; 7] = [
+pub const ENDPOINTS: [&str; 8] = [
     "simulate",
     "table2",
     "resilience",
     "synth",
     "area",
+    "jobs",
     "healthz",
     "metrics",
 ];
 
 /// How many of [`ENDPOINTS`] carry a latency histogram (the job
-/// endpoints; `healthz`/`metrics` are not worth a histogram each).
-const JOB_ENDPOINTS: usize = 5;
+/// endpoints plus async job execution; `healthz`/`metrics` are not
+/// worth a histogram each).
+const JOB_ENDPOINTS: usize = 6;
 
 /// Response status codes we count.
-pub const STATUS_CODES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
+pub const STATUS_CODES: [u16; 11] = [200, 202, 400, 404, 405, 408, 409, 413, 429, 500, 503];
+
+/// Async job lifecycle events counted under
+/// `tauhls_serve_jobs_total{event=...}`.
+pub const JOB_EVENTS: [&str; 9] = [
+    "submitted",
+    "completed",
+    "failed",
+    "cancelled",
+    "retried",
+    "requeued",
+    "recovered",
+    "quarantined",
+    "rejected",
+];
 
 /// Histogram bucket upper bounds, in seconds.
 pub const BUCKETS_SECONDS: [f64; 8] = [0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0];
@@ -83,6 +99,9 @@ pub struct Metrics {
     stage_seconds: [Histogram; STAGE_NAMES.len()],
     stage_hits: [AtomicU64; STAGE_NAMES.len()],
     stage_misses: [AtomicU64; STAGE_NAMES.len()],
+    jobs: [AtomicU64; JOB_EVENTS.len()],
+    jobs_pending: AtomicU64,
+    jobs_running: AtomicU64,
 }
 
 impl Metrics {
@@ -173,6 +192,65 @@ impl Metrics {
     /// Counts a worker surviving a job panic.
     pub fn count_panic(&self) {
         self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one async job lifecycle event (a name from
+    /// [`JOB_EVENTS`]; unknown names are ignored — keep callers in
+    /// sync).
+    pub fn count_job(&self, event: &str) {
+        if let Some(i) = JOB_EVENTS.iter().position(|e| *e == event) {
+            self.jobs[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total events counted for one [`JOB_EVENTS`] name (test hook; the
+    /// rendered `tauhls_serve_jobs_total` series carries the same
+    /// values).
+    pub fn job_count(&self, event: &str) -> u64 {
+        JOB_EVENTS
+            .iter()
+            .position(|e| *e == event)
+            .map_or(0, |i| self.jobs[i].load(Ordering::Relaxed))
+    }
+
+    /// Moves the queued/backing-off async job gauge.
+    pub fn add_jobs_pending(&self, delta: i64) {
+        if delta >= 0 {
+            self.jobs_pending.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.jobs_pending
+                .fetch_sub((-delta) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves the running async job gauge.
+    pub fn add_jobs_running(&self, delta: i64) {
+        if delta >= 0 {
+            self.jobs_running.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.jobs_running
+                .fetch_sub((-delta) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A `Retry-After` value (seconds) derived from the queue depth and
+    /// the measured drain rate: average request latency across the job
+    /// endpoints times the backlog ahead of a new arrival, divided by
+    /// the worker count. Falls back to `1` before any request has
+    /// completed, and clamps to `1..=60` so the hint is always sane.
+    pub fn retry_after_hint(&self, queue_depth: usize, workers: usize) -> u64 {
+        let mut count = 0u64;
+        let mut sum_micros = 0u64;
+        for h in &self.latency {
+            count += h.count.load(Ordering::Relaxed);
+            sum_micros += h.sum_micros.load(Ordering::Relaxed);
+        }
+        if count == 0 {
+            return 1;
+        }
+        let avg_secs = (sum_micros as f64 / count as f64) / 1e6;
+        let secs = ((queue_depth as f64 + 1.0) * avg_secs / workers.max(1) as f64).ceil();
+        (secs as u64).clamp(1, 60)
     }
 
     /// Renders the Prometheus exposition text, folding in the response
@@ -338,6 +416,41 @@ impl Metrics {
         );
         put(
             &mut out,
+            format_args!("# TYPE tauhls_serve_jobs_total counter"),
+        );
+        for (i, event) in JOB_EVENTS.iter().enumerate() {
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_jobs_total{{event=\"{event}\"}} {}",
+                    self.jobs[i].load(Ordering::Relaxed)
+                ),
+            );
+        }
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_jobs_pending gauge"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_jobs_pending {}",
+                self.jobs_pending.load(Ordering::Relaxed)
+            ),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_jobs_running gauge"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_jobs_running {}",
+                self.jobs_running.load(Ordering::Relaxed)
+            ),
+        );
+        put(
+            &mut out,
             format_args!("# TYPE tauhls_serve_request_seconds histogram"),
         );
         for (i, endpoint) in ENDPOINTS.iter().take(self.latency.len()).enumerate() {
@@ -448,6 +561,13 @@ mod tests {
         cache.insert("k".to_string(), "v".into());
         cache.get("k");
         cache.get("absent");
+        m.count_job("submitted");
+        m.count_job("submitted");
+        m.count_job("completed");
+        m.count_job("nonesuch"); // ignored
+        m.add_jobs_pending(2);
+        m.add_jobs_pending(-1);
+        m.add_jobs_running(1);
         let text = m.render(&cache, &stages, 3);
         for needle in [
             "tauhls_serve_requests_total{endpoint=\"simulate\"} 2",
@@ -468,6 +588,12 @@ mod tests {
             "tauhls_serve_stage_cache_hits_total{stage=\"logic\"} 0",
             "tauhls_serve_stage_cache_entries 0",
             "tauhls_serve_stage_seconds_count{stage=\"bind\"} 2",
+            "tauhls_serve_jobs_total{event=\"submitted\"} 2",
+            "tauhls_serve_jobs_total{event=\"completed\"} 1",
+            "tauhls_serve_jobs_total{event=\"rejected\"} 0",
+            "tauhls_serve_jobs_pending 1",
+            "tauhls_serve_jobs_running 1",
+            "tauhls_serve_responses_total{code=\"429\"} 0",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
@@ -476,6 +602,22 @@ mod tests {
         assert!(text.contains("{endpoint=\"simulate\",le=\"0.004\"} 1"));
         assert_eq!(m.stage_hit_count("bind"), 1);
         assert_eq!(m.stage_hit_count("nonesuch"), 0);
+    }
+
+    #[test]
+    fn retry_after_hint_tracks_depth_and_drain_rate() {
+        let m = Metrics::new();
+        // No completions yet: the hint is the conservative fallback.
+        assert_eq!(m.retry_after_hint(10, 4), 1);
+        // 2s average latency, 4 workers, 7 queued ahead: (7+1)*2/4 = 4s.
+        for _ in 0..5 {
+            m.observe_latency("simulate", Duration::from_secs(2));
+        }
+        assert_eq!(m.retry_after_hint(7, 4), 4);
+        // Sub-second drains still answer at least a second...
+        assert_eq!(m.retry_after_hint(0, 4), 1);
+        // ...and pathological backlogs clamp at a minute.
+        assert_eq!(m.retry_after_hint(100_000, 1), 60);
     }
 
     #[test]

@@ -25,12 +25,13 @@ use std::time::{Duration, Instant};
 
 use tauhls_core::jobspec::{Endpoint, JobError, JobSpec};
 use tauhls_core::StageCache;
-use tauhls_json::Json;
+use tauhls_json::{Json, JsonRef};
 use tauhls_sim::{BatchRunner, CancelToken};
 
 use crate::cache::Cache;
 use crate::config::ServeConfig;
-use crate::http::{read_request, write_response, HttpError};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::jobs::{JobManager, JobResult, JobState, SubmitError};
 use crate::metrics::Metrics;
 use crate::queue::Queue;
 
@@ -40,11 +41,12 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 struct Shared {
     config: ServeConfig,
     queue: Queue<TcpStream>,
-    cache: Cache,
-    stages: StageCache,
-    metrics: Metrics,
+    cache: Arc<Cache>,
+    stages: Arc<StageCache>,
+    metrics: Arc<Metrics>,
     cancel: CancelToken,
     stop: AtomicBool,
+    jobs: JobManager,
 }
 
 /// A running service instance.
@@ -61,13 +63,25 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let cache = Arc::new(Cache::new(config.cache_bytes));
+        let stages = Arc::new(StageCache::new(config.stage_cache_entries));
+        let metrics = Arc::new(Metrics::new());
+        let cancel = CancelToken::new();
+        let jobs = JobManager::start(
+            &config,
+            Arc::clone(&metrics),
+            Arc::clone(&cache),
+            Arc::clone(&stages),
+            cancel.clone(),
+        )?;
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
-            cache: Cache::new(config.cache_bytes),
-            stages: StageCache::new(config.stage_cache_entries),
-            metrics: Metrics::new(),
-            cancel: CancelToken::new(),
+            cache,
+            stages,
+            metrics,
+            cancel,
             stop: AtomicBool::new(false),
+            jobs,
             config,
         });
         let workers = (0..shared.config.workers)
@@ -109,8 +123,13 @@ impl Server {
         // Whatever is still queued was never started; in the `workers: 0`
         // diagnostic mode this is the only way those clients get answered.
         for stream in self.shared.queue.drain() {
-            bounce(stream, &self.shared.metrics, "server shutting down");
+            bounce(stream, &self.shared, "server shutting down");
         }
+        // Async jobs stop being scheduled; whatever is journalled as
+        // queued or retrying requeues on the next start. Running attempts
+        // get the rest of the drain window before the watchdog cancels
+        // them (journalling a requeue).
+        self.shared.jobs.begin_shutdown();
         let drained = Arc::new(AtomicBool::new(false));
         let watchdog = {
             let drained = Arc::clone(&drained);
@@ -130,6 +149,7 @@ impl Server {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        self.shared.jobs.join();
         drained.store(true, Ordering::SeqCst);
         let _ = watchdog.join();
     }
@@ -152,7 +172,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                     // Backpressure: answer right here. The write is a few
                     // hundred bytes into a fresh socket buffer and carries
                     // a write timeout, so the acceptor cannot hang.
-                    bounce(rejected, &shared.metrics, "job queue is full");
+                    bounce(rejected, shared, "job queue is full");
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -181,18 +201,24 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Answers a connection whose request was never read with a `503`.
+/// Answers a connection whose request was never read with a `503`,
+/// carrying a `Retry-After` derived from the current queue depth and
+/// the measured drain rate (never the hard-coded guess it used to be).
 ///
 /// Closing a socket that still holds unread received bytes makes the
 /// kernel send RST, which can discard the response in flight — so after
 /// writing we half-close our side and briefly sink the client's request
 /// bytes until it hangs up (or a short timeout fires).
-fn bounce(mut stream: TcpStream, metrics: &Metrics, message: &str) {
+fn bounce(mut stream: TcpStream, shared: &Shared, message: &str) {
+    let hint = shared
+        .metrics
+        .retry_after_hint(shared.queue.depth(), shared.config.workers)
+        .to_string();
     let _ = respond_json(
         &mut stream,
-        metrics,
+        &shared.metrics,
         503,
-        &[("Retry-After", "1")],
+        &[("Retry-After", &hint)],
         &error_body(message),
     );
     let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -258,6 +284,19 @@ fn handle_connection<S: Read + Write>(shared: &Shared, stream: &mut S) {
                 &[],
                 body.as_bytes(),
             );
+        }
+        ("POST", "/v1/jobs") => handle_job_submit(shared, stream, &request),
+        ("GET", "/v1/jobs") | ("DELETE", "/v1/jobs") => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                405,
+                &[("Allow", "POST")],
+                &error_body("use POST with {\"endpoint\":...,\"spec\":{...}}"),
+            );
+        }
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            handle_job_entity(shared, stream, method, path);
         }
         ("POST", path) => match path.strip_prefix("/v1/").and_then(Endpoint::parse) {
             Some(endpoint) => handle_job(shared, stream, endpoint, &request.body),
@@ -328,7 +367,10 @@ fn handle_job<S: Read + Write>(
             return;
         }
     };
-    let parsed = match Json::parse(text) {
+    // Zero-copy parse: escape-free strings (DFG names, binding modes —
+    // the common case) borrow straight from the request buffer instead
+    // of allocating copies.
+    let parsed = match JsonRef::parse(text) {
         Ok(j) => j,
         Err(e) => {
             let _ = respond_json(
@@ -341,7 +383,7 @@ fn handle_job<S: Read + Write>(
             return;
         }
     };
-    let spec = match JobSpec::from_json(endpoint, &parsed) {
+    let spec = match JobSpec::from_json_ref(endpoint, &parsed) {
         Ok(s) => s,
         Err(e) => {
             let _ = respond_json(
@@ -375,11 +417,15 @@ fn handle_job<S: Read + Write>(
             let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "miss")], &body);
         }
         Err(JobError::Cancelled) => {
+            let hint = shared
+                .metrics
+                .retry_after_hint(shared.queue.depth(), shared.config.workers)
+                .to_string();
             let _ = respond_json(
                 stream,
                 &shared.metrics,
                 503,
-                &[("Retry-After", "1")],
+                &[("Retry-After", &hint)],
                 &error_body("job cancelled during shutdown"),
             );
         }
@@ -399,6 +445,260 @@ fn handle_job<S: Read + Write>(
                 500,
                 &[],
                 &error_body(&format!("simulation failed: {m}")),
+            );
+        }
+    }
+}
+
+/// `POST /v1/jobs`: validates `{"endpoint":..., "spec":{...},
+/// "priority":N}` strictly, reads client identity from `X-Client`, and
+/// submits through the job manager's admission control.
+fn handle_job_submit<S: Read + Write>(shared: &Shared, stream: &mut S, request: &Request) {
+    shared.metrics.count_request("jobs");
+    let bad = |stream: &mut S, message: &str| {
+        let _ = respond_json(stream, &shared.metrics, 400, &[], &error_body(message));
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        Ok(_) => {
+            bad(
+                stream,
+                "submission body required: {\"endpoint\":...,\"spec\":{...}}",
+            );
+            return;
+        }
+        Err(_) => {
+            bad(stream, "request body is not UTF-8");
+            return;
+        }
+    };
+    // Zero-copy: the spec's strings borrow from the request buffer.
+    let parsed = match JsonRef::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            bad(stream, &format!("body is not valid JSON: {e}"));
+            return;
+        }
+    };
+    let Some(pairs) = parsed.as_object() else {
+        bad(stream, "submission must be a JSON object");
+        return;
+    };
+    let (mut endpoint_field, mut spec_field, mut priority_field) = (None, None, None);
+    for (key, value) in pairs {
+        match key.as_ref() {
+            "endpoint" => endpoint_field = Some(value),
+            "spec" => spec_field = Some(value),
+            "priority" => priority_field = Some(value),
+            other => {
+                bad(
+                    stream,
+                    &format!("unknown field {other:?} (expected endpoint, spec, priority)"),
+                );
+                return;
+            }
+        }
+    }
+    let Some(endpoint_name) = endpoint_field.and_then(JsonRef::as_str) else {
+        bad(stream, "endpoint (string) is required");
+        return;
+    };
+    let Some(endpoint) = Endpoint::parse(endpoint_name) else {
+        bad(stream, &format!("unknown endpoint {endpoint_name:?}"));
+        return;
+    };
+    let empty_spec = JsonRef::Object(Vec::new());
+    let spec = match JobSpec::from_json_ref(endpoint, spec_field.unwrap_or(&empty_spec)) {
+        Ok(s) => s,
+        Err(e) => {
+            bad(stream, &e.to_string());
+            return;
+        }
+    };
+    // Priority 0 runs soonest, 9 last; the body field overrides the
+    // X-Priority header; default 5.
+    let priority = match priority_field {
+        Some(value) => match value.as_u64().filter(|p| *p <= 9) {
+            Some(p) => p as u8,
+            None => {
+                bad(stream, "priority must be an integer 0..=9");
+                return;
+            }
+        },
+        None => match request.header("x-priority") {
+            Some(h) => match h.parse::<u8>().ok().filter(|p| *p <= 9) {
+                Some(p) => p,
+                None => {
+                    bad(stream, "x-priority must be an integer 0..=9");
+                    return;
+                }
+            },
+            None => 5,
+        },
+    };
+    let client = request.header("x-client").unwrap_or("anonymous");
+    match shared.jobs.submit(spec, client, priority) {
+        Ok(outcome) => {
+            let status = if outcome.state == JobState::Done {
+                200
+            } else {
+                202
+            };
+            let body = shared
+                .jobs
+                .status(&outcome.id)
+                .unwrap_or_else(|| error_body("job state unavailable"));
+            let location = format!("/v1/jobs/{}", outcome.id);
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                status,
+                &[("Location", &location)],
+                &body,
+            );
+        }
+        Err(SubmitError::RateLimited(secs)) => {
+            let secs = secs.to_string();
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                429,
+                &[("Retry-After", &secs)],
+                &error_body("submission rate limit exceeded"),
+            );
+        }
+        Err(SubmitError::QuotaExceeded(secs)) => {
+            let secs = secs.to_string();
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                429,
+                &[("Retry-After", &secs)],
+                &error_body("pending-job quota reached; wait for jobs to finish"),
+            );
+        }
+        Err(SubmitError::QueueFull) => {
+            let hint = shared
+                .metrics
+                .retry_after_hint(shared.jobs.depth(), shared.config.job_workers)
+                .to_string();
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                503,
+                &[("Retry-After", &hint)],
+                &error_body("job queue is full"),
+            );
+        }
+    }
+}
+
+/// `GET /v1/jobs/<id>` (status), `GET /v1/jobs/<id>/result` (the
+/// durable body once done), `DELETE /v1/jobs/<id>` (cancel).
+fn handle_job_entity<S: Read + Write>(shared: &Shared, stream: &mut S, method: &str, path: &str) {
+    shared.metrics.count_request("jobs");
+    let rest = path.strip_prefix("/v1/jobs/").unwrap_or("");
+    let (id, want_result) = match rest.strip_suffix("/result") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    if id.is_empty() || id.contains('/') {
+        let _ = respond_json(
+            stream,
+            &shared.metrics,
+            404,
+            &[],
+            &error_body("unknown endpoint"),
+        );
+        return;
+    }
+    match (method, want_result) {
+        ("GET", false) => match shared.jobs.status(id) {
+            Some(body) => {
+                let _ = respond_json(stream, &shared.metrics, 200, &[], &body);
+            }
+            None => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    404,
+                    &[],
+                    &error_body("unknown job"),
+                );
+            }
+        },
+        ("GET", true) => match shared.jobs.result(id) {
+            JobResult::Unknown => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    404,
+                    &[],
+                    &error_body("unknown job"),
+                );
+            }
+            JobResult::Ready(body) => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    200,
+                    &[("X-Job-State", "done")],
+                    &body,
+                );
+            }
+            JobResult::Pending(state) => {
+                let body = shared
+                    .jobs
+                    .status(id)
+                    .unwrap_or_else(|| error_body("job state unavailable"));
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    202,
+                    &[("Retry-After", "1"), ("X-Job-State", state)],
+                    &body,
+                );
+            }
+            JobResult::Failed(error) => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    500,
+                    &[],
+                    &error_body(&format!("job failed: {error}")),
+                );
+            }
+            JobResult::Cancelled => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    409,
+                    &[],
+                    &error_body("job was cancelled"),
+                );
+            }
+        },
+        ("DELETE", false) => match shared.jobs.cancel(id) {
+            Some(body) => {
+                let _ = respond_json(stream, &shared.metrics, 200, &[], &body);
+            }
+            None => {
+                let _ = respond_json(
+                    stream,
+                    &shared.metrics,
+                    404,
+                    &[],
+                    &error_body("unknown job"),
+                );
+            }
+        },
+        _ => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                405,
+                &[("Allow", "GET, DELETE")],
+                &error_body("use GET for status/result, DELETE to cancel"),
             );
         }
     }
@@ -443,19 +743,38 @@ mod tests {
         }
     }
 
-    fn shared() -> Shared {
+    fn shared_with(config: ServeConfig) -> Shared {
+        let cache = Arc::new(Cache::new(1 << 20));
+        let stages = Arc::new(StageCache::new(64));
+        let metrics = Arc::new(Metrics::new());
+        let cancel = CancelToken::new();
+        let jobs = JobManager::start(
+            &config,
+            Arc::clone(&metrics),
+            Arc::clone(&cache),
+            Arc::clone(&stages),
+            cancel.clone(),
+        )
+        .expect("job manager");
         Shared {
-            config: ServeConfig {
-                sim_threads: Some(1),
-                ..ServeConfig::default()
-            },
+            config,
             queue: Queue::new(4),
-            cache: Cache::new(1 << 20),
-            stages: StageCache::new(64),
-            metrics: Metrics::new(),
-            cancel: CancelToken::new(),
+            cache,
+            stages,
+            metrics,
+            cancel,
             stop: AtomicBool::new(false),
+            jobs,
         }
+    }
+
+    fn shared() -> Shared {
+        shared_with(ServeConfig {
+            sim_threads: Some(1),
+            job_workers: 1,
+            job_backoff_base: std::time::Duration::from_millis(5),
+            ..ServeConfig::default()
+        })
     }
 
     fn drive(shared: &Shared, raw: &str) -> String {
@@ -550,6 +869,118 @@ mod tests {
             metrics.contains("tauhls_serve_request_seconds_count{endpoint=\"synth\"} 2"),
             "{metrics}"
         );
+    }
+
+    #[test]
+    fn async_jobs_submit_poll_result_cancel_round_trip() {
+        let sh = shared();
+        // Hostile submissions are diagnosed, never panicked on.
+        assert!(drive(&sh, &post("/v1/jobs", "{not json")).starts_with("HTTP/1.1 400"));
+        assert!(drive(&sh, &post("/v1/jobs", r#"{"bogus":1}"#)).starts_with("HTTP/1.1 400"));
+        assert!(drive(&sh, &post("/v1/jobs", r#"{"endpoint":"nope"}"#)).starts_with("HTTP/1.1 400"));
+        assert!(drive(
+            &sh,
+            &post("/v1/jobs", r#"{"endpoint":"simulate","priority":99}"#)
+        )
+        .starts_with("HTTP/1.1 400"));
+        assert!(drive(&sh, "GET /v1/jobs HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        assert!(drive(&sh, "PUT /v1/jobs/abc HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        // Unknown IDs answer 404 on every verb.
+        for raw in [
+            "GET /v1/jobs/ffffffffffffffff HTTP/1.1\r\n\r\n",
+            "GET /v1/jobs/ffffffffffffffff/result HTTP/1.1\r\n\r\n",
+            "DELETE /v1/jobs/ffffffffffffffff HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(drive(&sh, raw).starts_with("HTTP/1.1 404"), "{raw}");
+        }
+        // Submit, poll to done, fetch the result.
+        let spec = r#"{"endpoint":"simulate","spec":{"dfg":"fir3","trials":30,"seed":3}}"#;
+        let submit = drive(&sh, &post("/v1/jobs", spec));
+        assert!(submit.starts_with("HTTP/1.1 202"), "{submit}");
+        let id = submit
+            .lines()
+            .find_map(|l| l.strip_prefix("Location: /v1/jobs/"))
+            .expect("location header")
+            .trim()
+            .to_string();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let status = drive(&sh, &format!("GET /v1/jobs/{id} HTTP/1.1\r\n\r\n"));
+            if status.contains("\"state\":\"done\"") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // An identical resubmission answers 200 done immediately.
+        let again = drive(&sh, &post("/v1/jobs", spec));
+        assert!(again.starts_with("HTTP/1.1 200"), "{again}");
+        let result = drive(&sh, &format!("GET /v1/jobs/{id}/result HTTP/1.1\r\n\r\n"));
+        assert!(result.starts_with("HTTP/1.1 200"), "{result}");
+        assert!(result.contains("X-Job-State: done"), "{result}");
+        // The async result warmed the response cache: the synchronous
+        // endpoint serves the byte-identical body as a hit.
+        let sync = drive(
+            &sh,
+            &post("/v1/simulate", r#"{"dfg":"fir3","trials":30,"seed":3}"#),
+        );
+        assert!(sync.contains("X-Cache: hit"), "{sync}");
+        let body = |r: &str| r.split("\r\n\r\n").nth(1).map(String::from);
+        assert_eq!(
+            body(&result).expect("job body"),
+            body(&sync).expect("sync body")
+        );
+        sh.jobs.begin_shutdown();
+        sh.jobs.join();
+    }
+
+    #[test]
+    fn rate_limited_submissions_answer_429_with_retry_after() {
+        let sh = shared_with(ServeConfig {
+            sim_threads: Some(1),
+            job_workers: 0, // diagnostic: jobs queue but never run
+            admission_rate: 0.5,
+            admission_burst: 1.0,
+            ..ServeConfig::default()
+        });
+        let submit = |trials: u64, client: &str| {
+            let body =
+                format!(r#"{{"endpoint":"simulate","spec":{{"dfg":"fir3","trials":{trials}}}}}"#);
+            drive(
+                &sh,
+                &format!(
+                    "POST /v1/jobs HTTP/1.1\r\nX-Client: {client}\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ),
+            )
+        };
+        assert!(submit(10, "alice").starts_with("HTTP/1.1 202"));
+        let limited = submit(11, "alice");
+        assert!(limited.starts_with("HTTP/1.1 429"), "{limited}");
+        let retry_after = limited
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .expect("Retry-After header")
+            .trim()
+            .parse::<u64>()
+            .expect("numeric Retry-After");
+        assert!(retry_after >= 1);
+        // Another client is admitted while alice is limited.
+        assert!(submit(12, "bob").starts_with("HTTP/1.1 202"));
+        // Cancelling a queued job is terminal and visible in the result.
+        let submit_body = submit(13, "carol");
+        let id = submit_body
+            .lines()
+            .find_map(|l| l.strip_prefix("Location: /v1/jobs/"))
+            .expect("location")
+            .trim()
+            .to_string();
+        let cancelled = drive(&sh, &format!("DELETE /v1/jobs/{id} HTTP/1.1\r\n\r\n"));
+        assert!(cancelled.contains("\"state\":\"cancelled\""), "{cancelled}");
+        let result = drive(&sh, &format!("GET /v1/jobs/{id}/result HTTP/1.1\r\n\r\n"));
+        assert!(result.starts_with("HTTP/1.1 409"), "{result}");
+        sh.jobs.begin_shutdown();
+        sh.jobs.join();
     }
 
     #[test]

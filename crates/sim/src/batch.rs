@@ -60,21 +60,50 @@ use tauhls_sched::BoundDfg;
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Flags of every ancestor token; cancelling any of them cancels this
+    /// token too, while [`CancelToken::cancel`] on a child never touches
+    /// its parents.
+    parents: Vec<Arc<AtomicBool>>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token with no parents.
     pub fn new() -> Self {
         CancelToken::default()
     }
 
-    /// Requests cancellation. Idempotent; never blocks.
+    /// A child token: cancelled when either it or any ancestor is
+    /// cancelled, but cancelling the child leaves the parent untouched.
+    ///
+    /// This is the per-job hook a service layers on a global drain token:
+    /// the watchdog cancels the parent to stop everything, while a
+    /// `DELETE` on one job cancels only that job's child. The two causes
+    /// stay distinguishable through [`CancelToken::is_self_cancelled`],
+    /// which is how a job manager decides between "requeue on restart"
+    /// (shutdown) and "user cancelled" (terminal).
+    pub fn child(&self) -> CancelToken {
+        let mut parents = self.parents.clone();
+        parents.push(Arc::clone(&self.flag));
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parents,
+        }
+    }
+
+    /// Requests cancellation of this token (and its children, but never
+    /// its parents). Idempotent; never blocks.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::SeqCst);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested here or on any ancestor.
     pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || self.parents.iter().any(|p| p.load(Ordering::SeqCst))
+    }
+
+    /// Whether this token itself was cancelled, as opposed to inheriting
+    /// cancellation from an ancestor.
+    pub fn is_self_cancelled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
     }
 }
@@ -1107,6 +1136,30 @@ mod tests {
             .run(11, &BatchRunner::new(4).with_cancel(CancelToken::new()))
             .unwrap();
         assert_eq!(plain, with_token);
+    }
+
+    #[test]
+    fn child_tokens_inherit_but_never_propagate_upward() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+
+        // Cancelling a child is local: the parent stays live.
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(child.is_self_cancelled());
+        assert!(!parent.is_cancelled());
+        // ... but flows down to its own descendants.
+        assert!(grandchild.is_cancelled());
+        assert!(!grandchild.is_self_cancelled());
+
+        // Cancelling the root reaches every descendant, and the cause
+        // stays distinguishable from a local cancel.
+        let other = parent.child();
+        assert!(!other.is_cancelled());
+        parent.cancel();
+        assert!(other.is_cancelled());
+        assert!(!other.is_self_cancelled());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! tauhls dot        <file.dfg> [options]   emit the bound DFG as Graphviz DOT
 //! tauhls serve      [serve options]        run the HTTP simulation service
 //! tauhls call       <endpoint> [spec.json] query a running service
+//! tauhls jobs       <verb> ...             async jobs against a service:
+//!                                          submit <endpoint> [spec.json]
+//!                                          status|result|cancel <job-id>
 //!
 //! options:
 //!   --muls N --adds N --subs N   allocation (default 2/1/1; × telescopic)
@@ -33,9 +36,22 @@
 //!   --stage-cache N              synthesis stage-cache entries (default
 //!                                1024; 0 disables)
 //!   --threads N                  simulation threads per job (default: all)
+//!   --data-dir PATH              durable job store (journal + artifacts;
+//!                                replayed on restart; default: memory only)
+//!   --job-workers N              async-job worker threads (default 2)
+//!   --job-queue N                async-job queue capacity (default 256)
+//!   --max-attempts N             attempts per async job (default 3)
+//!   --backoff-ms N               retry backoff base in ms (default 250)
+//!   --rate R --burst B           per-client admission token bucket
+//!                                (default 20/s, burst 40)
+//!   --max-pending N              per-client pending-job quota (default 64)
 //!
 //! call: endpoint is simulate|table2|resilience|synth|area|healthz|metrics;
 //! the optional spec.json is POSTed as the job spec. --addr as above.
+//!
+//! jobs: submit POSTs `/v1/jobs` (options: --client NAME, --priority 0..9,
+//! --wait to poll until the job is terminal and print its result);
+//! status/result/cancel address `/v1/jobs/<id>`. --addr as above.
 //! ```
 
 use std::io::Write as _;
@@ -90,9 +106,14 @@ fn usage() -> ExitCode {
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
          [--threads N] [--json]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
          \n       tauhls serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-mb N] [--stage-cache N] [--threads N]\
+         [--cache-mb N] [--stage-cache N] [--threads N] [--data-dir PATH] \
+         [--job-workers N] [--job-queue N] [--max-attempts N] [--backoff-ms N] \
+         [--rate R] [--burst B] [--max-pending N]\
          \n       tauhls call <simulate|table2|resilience|synth|area|healthz|metrics> \
-         [spec.json] [--addr HOST:PORT]"
+         [spec.json] [--addr HOST:PORT]\
+         \n       tauhls jobs submit <endpoint> [spec.json] [--addr HOST:PORT] \
+         [--client NAME] [--priority 0..9] [--wait]\
+         \n       tauhls jobs <status|result|cancel> <job-id> [--addr HOST:PORT]"
     );
     ExitCode::from(2)
 }
@@ -335,6 +356,36 @@ fn parse_serve_options(args: &[String]) -> Result<ServeConfig, String> {
             "--threads" => {
                 config.sim_threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
+            "--data-dir" => config.data_dir = Some(std::path::PathBuf::from(value()?)),
+            "--job-workers" => {
+                config.job_workers = value()?
+                    .parse()
+                    .map_err(|e| format!("--job-workers: {e}"))?
+            }
+            "--job-queue" => {
+                config.job_queue_capacity =
+                    value()?.parse().map_err(|e| format!("--job-queue: {e}"))?
+            }
+            "--max-attempts" => {
+                config.job_max_attempts = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-attempts: {e}"))?
+            }
+            "--backoff-ms" => {
+                let ms: u64 = value()?.parse().map_err(|e| format!("--backoff-ms: {e}"))?;
+                config.job_backoff_base = Duration::from_millis(ms);
+            }
+            "--rate" => {
+                config.admission_rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?
+            }
+            "--burst" => {
+                config.admission_burst = value()?.parse().map_err(|e| format!("--burst: {e}"))?
+            }
+            "--max-pending" => {
+                config.max_pending_per_client = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-pending: {e}"))?
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -444,6 +495,207 @@ fn cmd_call(args: &[String]) -> ExitCode {
     }
 }
 
+/// `tauhls jobs`: submit to and poll the async job endpoints.
+fn cmd_jobs(args: &[String]) -> ExitCode {
+    let mut addr = ServeConfig::default().addr;
+    let mut client_name: Option<String> = None;
+    let mut priority: Option<String> = None;
+    let mut wait = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("missing value for {flag}")),
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--client" => value("--client").map(|v| client_name = Some(v)),
+            "--priority" => value("--priority").map(|v| priority = Some(v)),
+            "--wait" => {
+                wait = true;
+                Ok(())
+            }
+            flag if flag.starts_with("--") => Err(format!("unknown jobs option {flag}")),
+            _ => {
+                positional.push(arg);
+                Ok(())
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(verb) = positional.first() else {
+        eprintln!("error: jobs needs a verb (submit|status|result|cancel)");
+        return ExitCode::FAILURE;
+    };
+    let timeout = Duration::from_secs(600);
+    match verb.as_str() {
+        "submit" => {
+            let Some(endpoint) = positional.get(1) else {
+                eprintln!(
+                    "error: jobs submit needs an endpoint (simulate|table2|resilience|synth|area)"
+                );
+                return ExitCode::FAILURE;
+            };
+            if Endpoint::parse(endpoint).is_none() {
+                eprintln!("error: unknown endpoint '{endpoint}'");
+                return ExitCode::FAILURE;
+            }
+            if positional.len() > 3 {
+                eprintln!("error: too many arguments to jobs submit");
+                return ExitCode::FAILURE;
+            }
+            let spec = match positional.get(2) {
+                Some(p) => match std::fs::read_to_string(p) {
+                    Ok(text) => match Json::parse(&text) {
+                        Ok(_) => text,
+                        Err(e) => {
+                            eprintln!("error: {p}: invalid JSON: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("error: {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => "{}".to_string(),
+            };
+            let body = format!("{{\"endpoint\":\"{endpoint}\",\"spec\":{spec}}}");
+            let mut headers: Vec<(&str, &str)> = Vec::new();
+            if let Some(name) = client_name.as_deref() {
+                headers.push(("X-Client", name));
+            }
+            if let Some(p) = priority.as_deref() {
+                headers.push(("X-Priority", p));
+            }
+            let response = match client::request_with(
+                &addr,
+                "POST",
+                "/v1/jobs",
+                &headers,
+                Some(&body),
+                timeout,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if response.status != 200 && response.status != 202 {
+                eprintln!(
+                    "error: HTTP {} from /v1/jobs: {}",
+                    response.status,
+                    response.body.trim()
+                );
+                return ExitCode::FAILURE;
+            }
+            let id = Json::parse(&response.body)
+                .ok()
+                .and_then(|j| j.get("job").and_then(|v| v.as_str().map(String::from)));
+            let Some(id) = id else {
+                eprintln!("error: submit response has no job id: {}", response.body);
+                return ExitCode::FAILURE;
+            };
+            if !wait {
+                print!("{}", response.body);
+                return ExitCode::SUCCESS;
+            }
+            jobs_wait_and_print(&addr, &id, timeout)
+        }
+        "status" | "result" | "cancel" => {
+            let Some(id) = positional.get(1) else {
+                eprintln!("error: jobs {verb} needs a job id");
+                return ExitCode::FAILURE;
+            };
+            if positional.len() > 2 {
+                eprintln!("error: too many arguments to jobs {verb}");
+                return ExitCode::FAILURE;
+            }
+            let (method, path) = match verb.as_str() {
+                "status" => ("GET", format!("/v1/jobs/{id}")),
+                "result" => ("GET", format!("/v1/jobs/{id}/result")),
+                _ => ("DELETE", format!("/v1/jobs/{id}")),
+            };
+            match client::request(&addr, method, &path, None, timeout) {
+                Ok(r) if r.status == 200 => {
+                    print!("{}", r.body);
+                    ExitCode::SUCCESS
+                }
+                Ok(r) => {
+                    eprintln!("error: HTTP {} from {path}: {}", r.status, r.body.trim());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown jobs verb '{other}' (submit|status|result|cancel)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Polls a job until it reaches a terminal state, then prints its result
+/// body (the `--wait` path of `tauhls jobs submit`).
+fn jobs_wait_and_print(addr: &str, id: &str, timeout: Duration) -> ExitCode {
+    let path = format!("/v1/jobs/{id}");
+    loop {
+        let response = match client::request(addr, "GET", &path, None, timeout) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if response.status != 200 {
+            eprintln!(
+                "error: HTTP {} from {path}: {}",
+                response.status,
+                response.body.trim()
+            );
+            return ExitCode::FAILURE;
+        }
+        let state = Json::parse(&response.body)
+            .ok()
+            .and_then(|j| j.get("state").and_then(|v| v.as_str().map(String::from)))
+            .unwrap_or_default();
+        match state.as_str() {
+            "done" => break,
+            "failed" | "cancelled" => {
+                eprintln!("error: job {id} ended {state}: {}", response.body.trim());
+                return ExitCode::FAILURE;
+            }
+            _ => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+    match client::request(addr, "GET", &format!("{path}/result"), None, timeout) {
+        Ok(r) if r.status == 200 => {
+            print!("{}", r.body);
+            ExitCode::SUCCESS
+        }
+        Ok(r) => {
+            eprintln!(
+                "error: HTTP {} from {path}/result: {}",
+                r.status,
+                r.body.trim()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -455,6 +707,9 @@ fn main() -> ExitCode {
     }
     if cmd == "call" {
         return cmd_call(&args[1..]);
+    }
+    if cmd == "jobs" {
+        return cmd_jobs(&args[1..]);
     }
     // `table2` runs the built-in paper suite and takes no DFG file.
     if cmd == "table2" {
@@ -606,5 +861,29 @@ mod tests {
         assert!(parse_serve_options(&args("--cache-mb x")).is_err());
         assert!(parse_serve_options(&args("--stage-cache x")).is_err());
         assert!(parse_serve_options(&args("--wat 1")).is_err());
+    }
+
+    #[test]
+    fn serve_job_options_parse_and_reject() {
+        let c = parse_serve_options(&args(
+            "--data-dir /tmp/tauhls-jobs --job-workers 3 --job-queue 32 \
+             --max-attempts 5 --backoff-ms 100 --rate 2.5 --burst 10 --max-pending 7",
+        ))
+        .unwrap();
+        assert_eq!(
+            c.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/tauhls-jobs"))
+        );
+        assert_eq!((c.job_workers, c.job_queue_capacity), (3, 32));
+        assert_eq!(c.job_max_attempts, 5);
+        assert_eq!(c.job_backoff_base, Duration::from_millis(100));
+        assert_eq!((c.admission_rate, c.admission_burst), (2.5, 10.0));
+        assert_eq!(c.max_pending_per_client, 7);
+        // Defaults keep the durable store off.
+        assert!(parse_serve_options(&[]).unwrap().data_dir.is_none());
+        assert!(parse_serve_options(&args("--data-dir")).is_err());
+        assert!(parse_serve_options(&args("--job-workers x")).is_err());
+        assert!(parse_serve_options(&args("--max-attempts -1")).is_err());
+        assert!(parse_serve_options(&args("--rate fast")).is_err());
     }
 }

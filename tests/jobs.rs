@@ -1,0 +1,489 @@
+//! Integration tests for the durable async job manager, over real HTTP.
+//!
+//! The crash-recovery contract is exercised with a genuine `kill -9` on a
+//! `tauhls serve` subprocess mid-job: a restart on the same `--data-dir`
+//! must replay the journal, requeue the interrupted job, and converge to
+//! a byte-identical result. Hostile-input tests corrupt the journal and
+//! artifacts on disk between runs — the server must quarantine and
+//! recompute, never panic.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tauhls::serve::{client, ServeConfig, Server};
+use tauhls_json::Json;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A fresh per-test scratch directory under the system tempdir,
+/// removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("tauhls-jobs-it-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// An in-process server on an ephemeral port with the durable store in
+/// `data_dir` and small knobs suited to tests.
+fn start_durable(data_dir: &Path) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        sim_threads: Some(1),
+        job_workers: 1,
+        job_backoff_base: Duration::from_millis(5),
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn submit(addr: &str, body: &str, headers: &[(&str, &str)]) -> client::Response {
+    client::request_with(addr, "POST", "/v1/jobs", headers, Some(body), TIMEOUT)
+        .expect("submit response")
+}
+
+fn job_id(response: &client::Response) -> String {
+    Json::parse(&response.body)
+        .ok()
+        .and_then(|j| j.get("job").and_then(|v| v.as_str().map(String::from)))
+        .unwrap_or_else(|| panic!("submit body has no job id: {}", response.body))
+}
+
+fn job_state(addr: &str, id: &str) -> String {
+    let r = client::request(addr, "GET", &format!("/v1/jobs/{id}"), None, TIMEOUT)
+        .expect("status response");
+    assert_eq!(r.status, 200, "{}", r.body);
+    Json::parse(&r.body)
+        .ok()
+        .and_then(|j| j.get("state").and_then(|v| v.as_str().map(String::from)))
+        .unwrap_or_else(|| panic!("status body has no state: {}", r.body))
+}
+
+/// Polls until the job is done, then returns its result body.
+fn wait_for_result(addr: &str, id: &str) -> String {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let state = job_state(addr, id);
+        match state.as_str() {
+            "done" => break,
+            "failed" | "cancelled" => panic!("job {id} ended {state}"),
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    let r = client::request(addr, "GET", &format!("/v1/jobs/{id}/result"), None, TIMEOUT)
+        .expect("result response");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.header("x-job-state"), Some("done"));
+    r.body
+}
+
+/// Spawns a real `tauhls serve` subprocess on an ephemeral port and
+/// returns the child plus its resolved address.
+fn spawn_serve(data_dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tauhls"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--threads",
+            "1",
+            "--job-workers",
+            "1",
+            "--backoff-ms",
+            "5",
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tauhls serve");
+    let mut lines = std::io::BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("read banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("banner format")
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_converges_to_identical_result() {
+    let dir = TempDir::new("sigkill");
+    let (mut child, addr) = spawn_serve(dir.path());
+
+    // Slow enough (~2 s in a debug build with 1 sim thread) to still be
+    // running when SIGKILL lands, yet bounded for the recomputation
+    // after restart.
+    let spec =
+        r#"{"endpoint":"simulate","spec":{"dfg":"ewf","trials":60000,"p":[0.9,0.5],"seed":3}}"#;
+    let submitted = submit(&addr, spec, &[]);
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = job_id(&submitted);
+
+    // Wait until the attempt is genuinely in flight, then kill -9: no
+    // drain, no journal flush beyond the already-fsynced `start` event.
+    let deadline = Instant::now() + TIMEOUT;
+    while job_state(&addr, &id) != "running" {
+        assert!(Instant::now() < deadline, "job never started running");
+        thread::sleep(Duration::from_millis(10));
+    }
+    let killed = Command::new("kill")
+        .args(["-9", &child.id().to_string()])
+        .status()
+        .expect("send SIGKILL");
+    assert!(killed.success());
+    child.wait().expect("reap killed server");
+
+    // Restart on the same data dir: replay must requeue the interrupted
+    // job and finish it without resubmission.
+    let (mut child, addr) = spawn_serve(dir.path());
+    let recovered = wait_for_result(&addr, &id);
+
+    // The recomputed result is byte-identical to an independent run of
+    // the same canonical spec (here: the synchronous endpoint).
+    let sync = client::request(
+        &addr,
+        "POST",
+        "/v1/simulate",
+        Some(r#"{"dfg":"ewf","trials":60000,"p":[0.9,0.5],"seed":3}"#),
+        TIMEOUT,
+    )
+    .expect("sync response");
+    assert_eq!(sync.status, 200, "{}", sync.body);
+    assert_eq!(
+        recovered, sync.body,
+        "recovered async result diverged from a fresh synchronous run"
+    );
+
+    // And a second restart serves the completed result straight from the
+    // recovered artifact — no recomputation, same bytes.
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success());
+    assert!(child.wait().expect("drain").success());
+    let (mut child, addr) = spawn_serve(dir.path());
+    let replayed = wait_for_result(&addr, &id);
+    assert_eq!(replayed, recovered);
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let _ = child.wait();
+}
+
+#[test]
+fn bit_flipped_artifact_is_quarantined_and_recomputed() {
+    let dir = TempDir::new("bitflip");
+    let spec = r#"{"endpoint":"simulate","spec":{"dfg":"fir3","trials":40,"seed":11}}"#;
+
+    let server = start_durable(dir.path());
+    let addr = server.local_addr().to_string();
+    let submitted = submit(&addr, spec, &[]);
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = job_id(&submitted);
+    let original = wait_for_result(&addr, &id);
+    server.shutdown();
+
+    // Flip one bit in the completed artifact. The journal still records
+    // the pristine hash, so recovery must detect the mismatch.
+    let artifacts: Vec<PathBuf> = std::fs::read_dir(dir.path().join("artifacts"))
+        .expect("artifacts dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(artifacts.len(), 1, "{artifacts:?}");
+    let mut bytes = std::fs::read(&artifacts[0]).expect("read artifact");
+    bytes[7] ^= 0x10;
+    std::fs::write(&artifacts[0], &bytes).expect("write corrupted artifact");
+
+    // Restart: no panic; the bad file moves to quarantine/ and the job
+    // recomputes to the same bytes as the uncorrupted run.
+    let server = start_durable(dir.path());
+    let addr = server.local_addr().to_string();
+    let recomputed = wait_for_result(&addr, &id);
+    assert_eq!(recomputed, original, "recomputed artifact diverged");
+    let quarantined = std::fs::read_dir(dir.path().join("quarantine"))
+        .expect("quarantine dir")
+        .count();
+    assert_eq!(quarantined, 1, "corrupt artifact was not quarantined");
+    let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+    assert!(
+        metrics
+            .body
+            .contains("tauhls_serve_jobs_total{event=\"quarantined\"} 1"),
+        "{}",
+        metrics.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn truncated_journal_tail_recovers_the_durable_prefix() {
+    let dir = TempDir::new("torn");
+    let done = r#"{"endpoint":"simulate","spec":{"dfg":"fir3","trials":30,"seed":21}}"#;
+
+    let server = start_durable(dir.path());
+    let addr = server.local_addr().to_string();
+    let submitted = submit(&addr, done, &[]);
+    let id = job_id(&submitted);
+    let original = wait_for_result(&addr, &id);
+    server.shutdown();
+
+    // Simulate a torn final write: append half a journal line.
+    let journal = dir.path().join("jobs.journal");
+    let mut text = std::fs::read_to_string(&journal).expect("read journal");
+    text.push_str(r#"{"event":"submit","job":"deadbeef"#);
+    std::fs::write(&journal, &text).expect("write torn journal");
+
+    // Restart: replay keeps every complete line, drops the torn tail,
+    // and the finished job is still served byte-identically.
+    let server = start_durable(dir.path());
+    let addr = server.local_addr().to_string();
+    let replayed = wait_for_result(&addr, &id);
+    assert_eq!(replayed, original);
+    server.shutdown();
+}
+
+#[test]
+fn journal_replay_survives_fuzzed_garbage() {
+    // Deterministic xorshift so failures reproduce.
+    let mut state = 0x243f_6a88_85a3_08d3_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    for round in 0..6 {
+        let dir = TempDir::new("fuzz");
+        let journal = dir.path().join("jobs.journal");
+        let mut bytes = Vec::new();
+        match round {
+            // Raw binary noise, including invalid UTF-8.
+            0 => {
+                for _ in 0..512 {
+                    bytes.extend_from_slice(&next().to_le_bytes());
+                }
+            }
+            // Valid JSON lines that are semantically garbage.
+            1 => {
+                bytes.extend_from_slice(b"[1,2,3]\n\"just a string\"\n42\n{}\n");
+                bytes.extend_from_slice(b"{\"event\":\"warp\",\"job\":\"zz\"}\n");
+            }
+            // A submit whose spec hash does not match its recorded id.
+            2 => bytes.extend_from_slice(
+                b"{\"event\":\"submit\",\"job\":\"0000000000000000\",\"client\":\"x\",\
+                  \"priority\":5,\"attempts\":0,\"spec\":{\"endpoint\":\"simulate\",\
+                  \"spec\":{\"dfg\":\"fir3\",\"trials\":10}}}\n",
+            ),
+            // Events for jobs that were never submitted.
+            3 => bytes.extend_from_slice(
+                b"{\"event\":\"done\",\"job\":\"ffffffffffffffff\",\
+                  \"artifact\":\"1111111111111111\",\"bytes\":10}\n\
+                  {\"event\":\"start\",\"job\":\"eeeeeeeeeeeeeeee\",\"attempt\":1}\n",
+            ),
+            // Random printable lines with embedded newlines and braces.
+            _ => {
+                for _ in 0..64 {
+                    let n = next() % 40;
+                    for _ in 0..n {
+                        bytes.push(b' ' + (next() % 94) as u8);
+                    }
+                    bytes.push(b'\n');
+                }
+            }
+        }
+        std::fs::write(&journal, &bytes).expect("write fuzzed journal");
+
+        // Startup must tolerate the garbage (diagnostics, not panics) and
+        // the service must be fully functional afterwards.
+        let server = start_durable(dir.path());
+        let addr = server.local_addr().to_string();
+        let submitted = submit(
+            &addr,
+            r#"{"endpoint":"simulate","spec":{"dfg":"fir3","trials":25,"seed":5}}"#,
+            &[],
+        );
+        assert!(
+            submitted.status == 200 || submitted.status == 202,
+            "round {round}: {} {}",
+            submitted.status,
+            submitted.body
+        );
+        let id = job_id(&submitted);
+        let body = wait_for_result(&addr, &id);
+        assert!(body.contains("\"spec\""), "round {round}: {body}");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn per_client_429_with_retry_after_while_other_clients_proceed() {
+    // Tight per-client bucket (1 token, slow refill) and no job workers,
+    // so admission decisions are the only moving part.
+    let dir = TempDir::new("admission");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        sim_threads: Some(1),
+        job_workers: 0,
+        admission_rate: 0.25,
+        admission_burst: 1.0,
+        data_dir: Some(dir.path().to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let body = |trials: u32| {
+        format!(r#"{{"endpoint":"simulate","spec":{{"dfg":"fir3","trials":{trials}}}}}"#)
+    };
+
+    // Alice's first submission is admitted; her second (a different
+    // spec, so not an idempotent replay) exhausts the bucket.
+    let ok = submit(&addr, &body(10), &[("X-Client", "alice")]);
+    assert_eq!(ok.status, 202, "{}", ok.body);
+    let limited = submit(&addr, &body(11), &[("X-Client", "alice")]);
+    assert_eq!(limited.status, 429, "{}", limited.body);
+    let retry_after: u64 = limited
+        .header("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is numeric seconds");
+    assert!(retry_after >= 1, "{retry_after}");
+    assert!(limited.body.contains("rate limit"), "{}", limited.body);
+
+    // Other clients are unaffected by Alice's throttle.
+    let bob = submit(&addr, &body(12), &[("X-Client", "bob")]);
+    assert_eq!(bob.status, 202, "{}", bob.body);
+
+    // Rejections surface in the metrics the operator watches.
+    let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+    assert!(
+        metrics
+            .body
+            .contains("tauhls_serve_jobs_total{event=\"rejected\"} 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics
+            .body
+            .contains("tauhls_serve_responses_total{code=\"429\"} 1"),
+        "{}",
+        metrics.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn jobs_cli_round_trip_submit_wait_and_status() {
+    let dir = TempDir::new("cli");
+    let (mut child, addr) = spawn_serve(dir.path());
+
+    // `tauhls jobs submit --wait` polls to completion and prints the
+    // result body — the same bytes the HTTP result endpoint serves.
+    let spec_file = dir.path().join("spec.json");
+    std::fs::write(&spec_file, r#"{"dfg":"fir3","trials":35,"seed":8}"#).expect("write spec");
+    let output = Command::new(env!("CARGO_BIN_EXE_tauhls"))
+        .args([
+            "jobs",
+            "submit",
+            "simulate",
+            spec_file.to_str().expect("utf-8 path"),
+            "--addr",
+            &addr,
+            "--client",
+            "cli-test",
+            "--priority",
+            "2",
+            "--wait",
+        ])
+        .output()
+        .expect("run tauhls jobs submit");
+    assert!(
+        output.status.success(),
+        "submit --wait failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let printed = String::from_utf8(output.stdout).expect("utf-8 result");
+    let parsed = Json::parse(&printed).expect("result is JSON");
+    assert!(
+        parsed.get("spec").is_some(),
+        "result body lacked the canonical spec echo: {printed}"
+    );
+    let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("metrics");
+    assert!(
+        metrics
+            .body
+            .contains("tauhls_serve_jobs_total{event=\"completed\"} 1"),
+        "{}",
+        metrics.body
+    );
+
+    // Submit-without-wait prints the status body; the id feeds the
+    // status and cancel verbs.
+    let output = Command::new(env!("CARGO_BIN_EXE_tauhls"))
+        .args([
+            "jobs",
+            "submit",
+            "simulate",
+            spec_file.to_str().expect("utf-8 path"),
+            "--addr",
+            &addr,
+        ])
+        .output()
+        .expect("run tauhls jobs submit");
+    assert!(output.status.success());
+    let body = String::from_utf8(output.stdout).expect("utf-8 status");
+    let id = Json::parse(&body)
+        .ok()
+        .and_then(|j| j.get("job").and_then(|v| v.as_str().map(String::from)))
+        .expect("status body has job id");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_tauhls"))
+        .args(["jobs", "status", &id, "--addr", &addr])
+        .output()
+        .expect("run tauhls jobs status");
+    assert!(output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stdout).contains(&id),
+        "status output lacks the job id"
+    );
+
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let _ = child.wait();
+}

@@ -180,7 +180,15 @@ fn overloaded_queue_answers_503_instead_of_hanging() {
         }
     }
     let bounced = bounced.expect("no 503 within 2 s of overload");
-    assert_eq!(bounced.header("retry-after"), Some("1"));
+    // Retry-After is derived from queue depth and measured drain rate;
+    // with nothing completed yet it floors at 1 second, but the contract
+    // is only "a positive number of seconds".
+    let retry_after: u64 = bounced
+        .header("retry-after")
+        .expect("503 carries Retry-After")
+        .parse()
+        .expect("Retry-After is numeric seconds");
+    assert!((1..=60).contains(&retry_after), "{retry_after}");
     assert!(bounced.body.contains("queue is full"), "{}", bounced.body);
 
     // Shutdown flushes whatever is still queued with a 503 — nothing
