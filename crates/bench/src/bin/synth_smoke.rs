@@ -3,11 +3,12 @@
 //!
 //! With a path argument it spawns that `tauhls` binary as a real server
 //! process and checks the `tauhls call synth` round-trip; without one it
-//! runs against an in-process [`Server`]. Either way it measures three
+//! runs against an in-process [`Server`]. Either way it measures four
 //! regimes — cold synthesis (every stage executes), encoding sweeps
-//! (the stage cache serves the front of the pipeline), and response-cache
-//! replays — then scrapes `/metrics` for the per-stage latency histograms
-//! and stage-cache counters, and writes everything to `BENCH_synth.json`.
+//! (the stage cache serves the front of the pipeline), response-cache
+//! replays, and `/v1/explore` design-space sweeps — then scrapes
+//! `/metrics` for the per-stage latency histograms and stage-cache
+//! counters, and writes everything to `BENCH_synth.json`.
 //!
 //! CI runs this as the `synth-smoke` job; like `serve_smoke` it is a
 //! regression canary plus a trend artifact, not a calibrated benchmark.
@@ -30,9 +31,18 @@ const COLD_DFGS: [&str; 4] = ["fir3", "fir5", "iir2", "diffeq"];
 const SWEEP_ENCODINGS: [&str; 2] = ["gray", "onehot"];
 /// Replays of one warmed spec — pure response-cache path.
 const HIT_JOBS: u64 = 200;
+/// Design-space sweeps via `/v1/explore`; distinct seeds keep each one
+/// cold through the batch engine.
+const EXPLORE_JOBS: u64 = 3;
 
 fn spec(dfg: &str, encoding: &str) -> String {
     format!(r#"{{"dfg":"{dfg}","encoding":"{encoding}"}}"#)
+}
+
+fn explore_spec(seed: u64) -> String {
+    format!(
+        r#"{{"dfg":"fir3","max_muls":2,"max_adds":1,"trials":400,"p":[0.9,0.5],"sd_ld":[0.75,1.0],"seed":{seed}}}"#
+    )
 }
 
 enum Instance {
@@ -164,6 +174,24 @@ fn main() {
     }
     let hit_elapsed = hit_start.elapsed();
 
+    // Explore pass: the Pareto design-space sweep. Each request fans a
+    // small allocation x encoding x (p, sd_ld) grid through the batch
+    // engine, so this is the heaviest per-request path the server has.
+    let explore_start = Instant::now();
+    for seed in 0..EXPLORE_JOBS {
+        let body = explore_spec(seed);
+        let r = client::request(&addr, "POST", "/v1/explore", Some(&body), TIMEOUT)
+            .expect("explore response");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.header("x-cache"), Some("miss"), "for spec {body}");
+        assert!(
+            r.body.contains("frontier"),
+            "explore body lacks a frontier: {}",
+            r.body
+        );
+    }
+    let explore_elapsed = explore_start.elapsed();
+
     let metrics = client::request(&addr, "GET", "/metrics", None, TIMEOUT).expect("scrape metrics");
     assert_eq!(metrics.status, 200);
     let stage_names = [
@@ -218,9 +246,11 @@ fn main() {
     let sweep_jobs = (COLD_DFGS.len() * SWEEP_ENCODINGS.len()) as f64;
     let sweep_sps = sweep_jobs / sweep_elapsed.as_secs_f64();
     let hit_rps = HIT_JOBS as f64 / hit_elapsed.as_secs_f64();
+    let explore_sps = EXPLORE_JOBS as f64 / explore_elapsed.as_secs_f64();
     println!("cold (full pipeline):   {cold_sps:>10.1} synth/sec");
     println!("sweep (prefix reuse):   {sweep_sps:>10.1} synth/sec");
     println!("hot (response cache):   {hit_rps:>10.1} requests/sec");
+    println!("explore (design space): {explore_sps:>10.1} sweeps/sec");
     println!("stage cache: {stage_hits} hits / {stage_misses} misses");
 
     let report = Json::object([
@@ -238,6 +268,8 @@ fn main() {
         ("sweep_synth_per_sec", Json::from(sweep_sps)),
         ("hit_jobs", Json::from(HIT_JOBS)),
         ("hit_requests_per_sec", Json::from(hit_rps)),
+        ("explore_jobs", Json::from(EXPLORE_JOBS)),
+        ("explore_per_sec", Json::from(explore_sps)),
         ("stage_cache_hits", Json::from(stage_hits)),
         ("stage_cache_misses", Json::from(stage_misses)),
         ("synth_requests_total", Json::from(synth_requests)),

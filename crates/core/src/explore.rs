@@ -5,12 +5,15 @@
 //! already has.
 
 use crate::pipeline::Synthesis;
-use crate::report::system_area;
+use crate::report::{system_area, system_area_from_logic};
+use crate::stages::{self, BindStrategy, PipelineTrace, StageCache, StageRecord, SynthesisInput};
+use crate::{SynthesisError, Timing};
+use std::fmt;
 use tauhls_dfg::{Dfg, ResourceClass};
 use tauhls_fsm::Encoding;
 use tauhls_logic::AreaModel;
-use tauhls_sched::Allocation;
-use tauhls_sim::{derive_seed, latency_pair_batch, BatchRunner};
+use tauhls_sched::{Allocation, BoundDfg};
+use tauhls_sim::{derive_seed, latency_pair_batch, BatchRunner, SimError};
 
 /// One explored design point.
 #[derive(Clone, Debug)]
@@ -144,6 +147,203 @@ pub fn explore_allocations(
     points
 }
 
+// ---------------------------------------------------------------------------
+// Full design-space sweep (the `/v1/dfg/explore` engine)
+// ---------------------------------------------------------------------------
+
+/// Parameters of a full design-space sweep: the allocation ranges of
+/// [`ExploreParams`] crossed with state encodings, SD/LD clock-period
+/// ratios, and a list of short-completion probabilities.
+#[derive(Clone, Debug)]
+pub struct SweepParams {
+    /// Maximum telescopic multipliers to consider.
+    pub max_muls: usize,
+    /// Maximum adders.
+    pub max_adds: usize,
+    /// Maximum subtractors.
+    pub max_subs: usize,
+    /// State encodings swept in the area estimate.
+    pub encodings: Vec<Encoding>,
+    /// Short-completion probabilities swept in the latency estimate.
+    pub p_values: Vec<f64>,
+    /// SD/LD clock-period ratios; the SD clock is `ratio × ld_ns`.
+    pub sd_ld: Vec<f64>,
+    /// Monte-Carlo trials per allocation.
+    pub trials: u64,
+    /// Datapath width for the area model.
+    pub width: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// One point of the full sweep grid.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// TAU multipliers allocated.
+    pub muls: usize,
+    /// Adders allocated.
+    pub adds: usize,
+    /// Subtractors allocated.
+    pub subs: usize,
+    /// State encoding of the synthesized controllers.
+    pub encoding: Encoding,
+    /// Short-completion probability of this scenario.
+    pub p: f64,
+    /// SD/LD clock ratio of this scenario.
+    pub sd_ld: f64,
+    /// Mean distributed latency in SD cycles.
+    pub avg_cycles: f64,
+    /// Mean latency in nanoseconds: `avg_cycles × sd_ld × ld_ns`.
+    pub latency_ns: f64,
+    /// Whole-system area in gate equivalents.
+    pub area_ge: f64,
+    /// True iff no other design dominates this one in its scenario.
+    pub pareto: bool,
+}
+
+/// Why a design-space sweep failed.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The Monte-Carlo latency estimate failed (e.g. cancelled).
+    Sim(SimError),
+    /// Controller synthesis failed for a swept allocation.
+    Synthesis(SynthesisError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Sim(e) => write!(f, "sweep simulation failed: {e}"),
+            SweepError::Synthesis(e) => write!(f, "sweep synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Sweeps the full design space of `dfg` and marks the latency/area
+/// Pareto frontier.
+///
+/// The grid is allocations (class-aware, like [`explore_allocations`]) ×
+/// `encodings` × `p_values` × `sd_ld`. Each allocation is simulated once
+/// — a single batched call covering every `P`, seeded by the allocation
+/// triple so results are independent of enumeration order and of
+/// `runner`'s thread count — and synthesized once per encoding through
+/// the shared [`StageCache`]. Cycle counts don't depend on encoding or
+/// clock ratio, so those axes are pure post-processing.
+///
+/// `(p, sd_ld)` describe the *scenario* (workload and clock), not the
+/// design, so Pareto domination is judged only between points of the
+/// same scenario: within each `(p, sd_ld)` group a point survives if no
+/// other allocation/encoding is at least as good in both latency and
+/// area and strictly better in one (with the same noise tolerance as
+/// [`explore_allocations`]). The area model is clock-independent, so the
+/// per-scenario frontiers differ only in how cycles render to
+/// nanoseconds — which is exactly what makes them comparable across
+/// ratios.
+///
+/// Returns the swept points (grid order: allocation, then `P`, then
+/// encoding, then ratio) plus the stage records of every synthesis run,
+/// for the caller's stage metrics.
+pub fn design_space(
+    dfg: &Dfg,
+    params: &SweepParams,
+    runner: &BatchRunner,
+    stage_cache: Option<&StageCache>,
+) -> Result<(Vec<SweepPoint>, Vec<StageRecord>), SweepError> {
+    let hist = dfg.class_histogram();
+    let need = |c: ResourceClass| hist.get(&c).copied().unwrap_or(0);
+    let range = |c: ResourceClass, max: usize| {
+        if need(c) == 0 {
+            0..=0
+        } else {
+            1..=max.max(1)
+        }
+    };
+    let ld_ns = Timing::default().ld_ns;
+    let mut points = Vec::new();
+    let mut records = Vec::new();
+
+    for muls in range(ResourceClass::Multiplier, params.max_muls) {
+        for adds in range(ResourceClass::Adder, params.max_adds) {
+            for subs in range(ResourceClass::Subtractor, params.max_subs) {
+                let alloc = Allocation::paper(muls, adds, subs);
+                if !alloc.covers(dfg) {
+                    continue;
+                }
+                let bound = BoundDfg::bind(dfg, &alloc);
+                let point_id = ((muls as u64) << 16) | ((adds as u64) << 8) | subs as u64;
+                let point_seed = derive_seed(params.seed, point_id, 0);
+                let (_, dist) =
+                    latency_pair_batch(&bound, &params.p_values, params.trials, point_seed, runner)
+                        .map_err(SweepError::Sim)?;
+                let mut areas = Vec::with_capacity(params.encodings.len());
+                for &encoding in &params.encodings {
+                    let input = SynthesisInput {
+                        dfg: dfg.clone(),
+                        allocation: Allocation::paper(muls, adds, subs),
+                        strategy: BindStrategy::LeftEdge,
+                    };
+                    let mut trace = PipelineTrace::default();
+                    let (logic, _) = stages::run_full(
+                        &input,
+                        false,
+                        encoding,
+                        &AreaModel::default(),
+                        stage_cache,
+                        &mut trace,
+                    )
+                    .map_err(SweepError::Synthesis)?;
+                    records.extend(trace.records);
+                    let area = system_area_from_logic(&logic, &AreaModel::default(), params.width);
+                    areas.push(area.total());
+                }
+                for (ip, &p) in params.p_values.iter().enumerate() {
+                    let cycles = dist.average_cycles[ip];
+                    for (ie, &encoding) in params.encodings.iter().enumerate() {
+                        for &ratio in &params.sd_ld {
+                            points.push(SweepPoint {
+                                muls,
+                                adds,
+                                subs,
+                                encoding,
+                                p,
+                                sd_ld: ratio,
+                                avg_cycles: cycles,
+                                latency_ns: cycles * ld_ns * ratio,
+                                area_ge: areas[ie],
+                                pareto: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    mark_scenario_pareto(&mut points);
+    Ok((points, records))
+}
+
+/// Marks each point's `pareto` flag within its `(p, sd_ld)` scenario
+/// group. Exact float equality is the group key — every group member
+/// carries the identical swept value, not a recomputation.
+fn mark_scenario_pareto(points: &mut [SweepPoint]) {
+    const LAT_EPS: f64 = 0.02;
+    let snapshot: Vec<(f64, f64, f64, f64)> = points
+        .iter()
+        .map(|p| (p.p, p.sd_ld, p.avg_cycles, p.area_ge))
+        .collect();
+    for p in points.iter_mut() {
+        p.pareto = !snapshot.iter().any(|&(qp, qr, q_cycles, q_area)| {
+            qp == p.p
+                && qr == p.sd_ld
+                && ((q_cycles <= p.avg_cycles + LAT_EPS && q_area < p.area_ge)
+                    || (q_cycles < p.avg_cycles - LAT_EPS && q_area <= p.area_ge))
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +383,54 @@ mod tests {
                 .unwrap()
         };
         assert!(lat(3) <= lat(1) + 1e-9);
+    }
+
+    #[test]
+    fn design_space_sweep_is_grouped_deterministic_and_cache_transparent() {
+        let params = SweepParams {
+            max_muls: 2,
+            max_adds: 1,
+            max_subs: 0,
+            encodings: vec![Encoding::Binary, Encoding::Gray],
+            p_values: vec![0.9, 0.5],
+            sd_ld: vec![0.75, 1.0],
+            trials: 60,
+            width: 16,
+            seed: 2003,
+        };
+        let (pts, recs) = design_space(&fir5(), &params, &BatchRunner::serial(), None).unwrap();
+        // 2 allocations × 2 P × 2 encodings × 2 ratios.
+        assert_eq!(pts.len(), 16);
+        assert_eq!(recs.len(), 4 * crate::stages::STAGE_NAMES.len());
+        // Latency renders as cycles × ratio × LD; cycles are ratio- and
+        // encoding-independent.
+        for p in &pts {
+            assert!((p.latency_ns - p.avg_cycles * 20.0 * p.sd_ld).abs() < 1e-9);
+        }
+        // Pareto domination never crosses a (p, sd_ld) scenario: every
+        // scenario group keeps at least one survivor.
+        for &(sp, sr) in &[(0.9, 0.75), (0.9, 1.0), (0.5, 0.75), (0.5, 1.0)] {
+            assert!(
+                pts.iter().any(|p| p.p == sp && p.sd_ld == sr && p.pareto),
+                "scenario ({sp}, {sr}) lost its whole frontier"
+            );
+        }
+        // Thread-count invariance, with and without a stage cache.
+        let (threaded, _) = design_space(&fir5(), &params, &BatchRunner::new(3), None).unwrap();
+        let cache = StageCache::new(64);
+        let (cached, cached_recs) =
+            design_space(&fir5(), &params, &BatchRunner::new(2), Some(&cache)).unwrap();
+        let render = |ps: &[SweepPoint]| {
+            ps.iter()
+                .map(|p| format!("{p:?}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&pts), render(&threaded));
+        assert_eq!(render(&pts), render(&cached));
+        // The second encoding of each allocation reuses the cached
+        // pipeline prefix.
+        assert!(cached_recs.iter().any(|r| r.cache_hit));
     }
 
     #[test]

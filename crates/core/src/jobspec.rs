@@ -16,7 +16,7 @@
 use std::borrow::Cow;
 use std::fmt;
 
-use tauhls_dfg::{benchmarks, parse_dfg, Dfg};
+use tauhls_dfg::{benchmarks, canonical_wire, parse_wire_dfg, Dfg, DfgRegistry};
 use tauhls_fsm::Encoding;
 use tauhls_json::{Json, JsonRef, ToJson};
 use tauhls_logic::AreaModel;
@@ -26,6 +26,7 @@ use tauhls_sim::{
 };
 
 use crate::experiments::table2;
+use crate::explore::{design_space, SweepError, SweepParams, SweepPoint};
 use crate::report::system_area_from_logic;
 use crate::resilience::resilience_sweep;
 use crate::stages::{
@@ -43,6 +44,14 @@ pub const MAX_DFG_TEXT: usize = 64 * 1024;
 pub const MAX_UNITS: usize = 64;
 /// Upper bound on the datapath width of an area estimate.
 pub const MAX_WIDTH: u64 = 128;
+/// Upper bound on a per-class unit maximum in an explore sweep.
+pub const MAX_EXPLORE_UNITS: usize = 8;
+/// Upper bound on swept SD/LD clock ratios in one explore job.
+pub const MAX_RATIOS: usize = 8;
+/// Upper bound on the full explore grid (allocations × encodings × `P`
+/// values × ratios), enforced at parse time so a spec that parses is
+/// guaranteed to finish in bounded work.
+pub const MAX_EXPLORE_POINTS: usize = 4096;
 
 /// The benchmark DFGs a job may name, in registry order (the canonical
 /// [`benchmarks::NAMES`] registry).
@@ -66,6 +75,9 @@ pub enum Endpoint {
     Synth,
     /// Table-1-style controller area rows plus the full-system estimate.
     Area,
+    /// Design-space exploration: allocation × encoding × SD/LD ratio ×
+    /// completion probability, with the latency/area Pareto frontier.
+    Explore,
 }
 
 impl Endpoint {
@@ -77,6 +89,7 @@ impl Endpoint {
             Endpoint::Resilience => "resilience",
             Endpoint::Synth => "synth",
             Endpoint::Area => "area",
+            Endpoint::Explore => "explore",
         }
     }
 
@@ -88,6 +101,7 @@ impl Endpoint {
             "resilience" => Endpoint::Resilience,
             "synth" => Endpoint::Synth,
             "area" => Endpoint::Area,
+            "explore" => Endpoint::Explore,
             _ => return None,
         })
     }
@@ -110,24 +124,14 @@ fn parse_encoding(s: &str) -> Option<Encoding> {
     })
 }
 
-/// Where a job's dataflow graph comes from.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DfgSource {
-    /// One of the built-in [`BENCHMARKS`], by name.
-    Benchmark(String),
-    /// An inline `.dfg` description, validated at parse time.
-    Inline(String),
-}
+pub use tauhls_dfg::DfgSource;
 
-impl DfgSource {
-    fn build(&self) -> Result<Dfg, String> {
-        match self {
-            DfgSource::Benchmark(name) => {
-                benchmark(name).ok_or_else(|| format!("unknown benchmark '{name}'"))
-            }
-            DfgSource::Inline(text) => parse_dfg(text).map_err(|e| format!("dfg_text: {e}")),
-        }
-    }
+/// Resolves a [`DfgSource`] against the built-in benchmark registry —
+/// the only registry the service exposes. `DfgSource` itself is
+/// registry-agnostic, so embedders can resolve the same specs against
+/// their own [`DfgRegistry`].
+fn build_dfg(source: &DfgSource) -> Result<Dfg, String> {
+    source.resolve(DfgRegistry::builtin())
 }
 
 /// Validated spec for `POST /v1/simulate`.
@@ -217,6 +221,35 @@ pub struct AreaSpec {
     pub width: u32,
 }
 
+/// Validated spec for `POST /v1/dfg/explore` (also reachable as
+/// `POST /v1/explore`): sweep the allocation space of a graph crossed
+/// with state encodings, SD/LD clock ratios, and short-completion
+/// probabilities, and report the latency/area Pareto frontier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExploreSpec {
+    /// The graph whose design space is swept.
+    pub dfg: DfgSource,
+    /// Highest telescopic-multiplier count to consider.
+    pub max_muls: usize,
+    /// Highest adder count.
+    pub max_adds: usize,
+    /// Highest subtractor count.
+    pub max_subs: usize,
+    /// State encodings to sweep in the area estimate.
+    pub encodings: Vec<Encoding>,
+    /// Short-completion probabilities to sweep.
+    pub p_values: Vec<f64>,
+    /// SD/LD clock-period ratios to sweep; each in `[0.5, 1]` so a long
+    /// operation still fits in at most two short cycles.
+    pub sd_ld: Vec<f64>,
+    /// Monte-Carlo trials per allocation point.
+    pub trials: u64,
+    /// Datapath width for the area model.
+    pub width: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
 /// One validated, canonicalized service job.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobSpec {
@@ -230,6 +263,8 @@ pub enum JobSpec {
     Synth(SynthSpec),
     /// `POST /v1/area`.
     Area(AreaSpec),
+    /// `POST /v1/dfg/explore`.
+    Explore(ExploreSpec),
 }
 
 /// Why a job could not be completed, pre-sorted into HTTP status classes.
@@ -384,6 +419,56 @@ impl<'a> Fields<'a> {
         }
     }
 
+    fn encodings(&self) -> Result<Vec<Encoding>, String> {
+        let Some(j) = self.get("encodings") else {
+            return Ok(vec![Encoding::Binary]);
+        };
+        let items = j
+            .as_array()
+            .ok_or_else(|| "'encodings' must be an array of encoding names".to_string())?;
+        if items.is_empty() || items.len() > 3 {
+            return Err("'encodings' must hold 1..=3 names".to_string());
+        }
+        let mut out = Vec::new();
+        for item in items {
+            let enc = item.as_str().and_then(parse_encoding).ok_or_else(|| {
+                "'encodings' entries must be \"binary\", \"gray\", or \"onehot\"".to_string()
+            })?;
+            if out.contains(&enc) {
+                return Err(format!("duplicate encoding '{}'", encoding_name(enc)));
+            }
+            out.push(enc);
+        }
+        Ok(out)
+    }
+
+    fn ratios(&self) -> Result<Vec<f64>, String> {
+        let Some(j) = self.get("sd_ld") else {
+            // The paper's operating point: SD = 15 ns against LD = 20 ns.
+            return Ok(vec![0.75]);
+        };
+        let items = j
+            .as_array()
+            .ok_or_else(|| "'sd_ld' must be an array of clock ratios".to_string())?;
+        if items.is_empty() || items.len() > MAX_RATIOS {
+            return Err(format!("'sd_ld' must hold 1..={MAX_RATIOS} values"));
+        }
+        items
+            .iter()
+            .map(|item| {
+                let v = item
+                    .as_f64()
+                    .ok_or_else(|| "'sd_ld' must be an array of numbers".to_string())?;
+                // Below 1/2 a long operation no longer fits in two short
+                // cycles, which breaks the telescopic timing model.
+                if !(0.5..=1.0).contains(&v) {
+                    return Err(format!("'sd_ld' ratios must be in [0.5, 1], got {v}"));
+                }
+                Ok(v)
+            })
+            .collect()
+    }
+
     fn binding(&self) -> Result<bool, String> {
         match self.get("binding") {
             None => Ok(false),
@@ -399,16 +484,32 @@ impl<'a> Fields<'a> {
         match (self.get("dfg"), self.get("dfg_text")) {
             (Some(_), Some(_)) => Err("give either 'dfg' or 'dfg_text', not both".to_string()),
             (Some(j), None) => {
-                let name = j
-                    .as_str()
-                    .ok_or_else(|| "'dfg' must be a benchmark name string".to_string())?;
-                if benchmark(name).is_none() {
-                    return Err(format!(
-                        "unknown benchmark '{name}' (one of: {})",
-                        BENCHMARKS.join(", ")
-                    ));
+                if let Some(name) = j.as_str() {
+                    if benchmark(name).is_none() {
+                        return Err(format!(
+                            "unknown benchmark '{name}' (one of: {})",
+                            BENCHMARKS.join(", ")
+                        ));
+                    }
+                    return Ok(DfgSource::Named(name.to_string()));
                 }
-                Ok(DfgSource::Benchmark(name.to_string()))
+                if j.as_object().is_some() {
+                    // An inline wire-format graph. Validate it fully here
+                    // and retain the *canonical* rendering, so every JSON
+                    // spelling of the same graph shares one cache key and
+                    // one job id. Byte offsets in the error refer to the
+                    // compact rendering of the 'dfg' object.
+                    let text = j.clone().into_owned().to_compact();
+                    if text.len() > MAX_DFG_TEXT {
+                        return Err(format!(
+                            "'dfg' exceeds {MAX_DFG_TEXT} bytes ({} given)",
+                            text.len()
+                        ));
+                    }
+                    let graph = parse_wire_dfg(&text).map_err(|e| format!("dfg: {e}"))?;
+                    return Ok(DfgSource::InlineWire(canonical_wire(&graph)));
+                }
+                Err("'dfg' must be a benchmark name string or an inline graph object".to_string())
             }
             (None, Some(j)) => {
                 let text = j
@@ -420,9 +521,9 @@ impl<'a> Fields<'a> {
                         text.len()
                     ));
                 }
-                Ok(DfgSource::Inline(text.to_string()))
+                Ok(DfgSource::InlineText(text.to_string()))
             }
-            (None, None) => Ok(DfgSource::Benchmark("fir5".to_string())),
+            (None, None) => Ok(DfgSource::Named("fir5".to_string())),
         }
     }
 }
@@ -436,7 +537,7 @@ fn check_synthesizable(
     adds: usize,
     subs: usize,
 ) -> Result<(), String> {
-    let graph = dfg.build()?;
+    let graph = build_dfg(dfg)?;
     if graph.num_ops() == 0 {
         return Err(format!("graph '{}' has no operations", graph.name()));
     }
@@ -453,7 +554,7 @@ fn bind_spec(
     subs: usize,
     chains: bool,
 ) -> Result<BoundDfg, String> {
-    let graph = dfg.build()?;
+    let graph = build_dfg(dfg)?;
     let alloc = Allocation::paper(muls, adds, subs);
     if !alloc.covers(&graph) {
         return Err("allocation lacks a unit for a used operation class".to_string());
@@ -647,6 +748,52 @@ impl JobSpec {
                 check_synthesizable(&s.dfg, s.muls, s.adds, s.subs)?;
                 Ok(JobSpec::Area(s))
             }
+            Endpoint::Explore => {
+                let f = Fields::new(
+                    spec,
+                    &[
+                        "dfg",
+                        "dfg_text",
+                        "max_muls",
+                        "max_adds",
+                        "max_subs",
+                        "encodings",
+                        "p",
+                        "sd_ld",
+                        "trials",
+                        "width",
+                        "seed",
+                    ],
+                )?;
+                let s = ExploreSpec {
+                    dfg: f.dfg()?,
+                    max_muls: f.usize_in("max_muls", 4, MAX_EXPLORE_UNITS)?,
+                    max_adds: f.usize_in("max_adds", 2, MAX_EXPLORE_UNITS)?,
+                    max_subs: f.usize_in("max_subs", 2, MAX_EXPLORE_UNITS)?,
+                    encodings: f.encodings()?,
+                    p_values: f.p_values()?,
+                    sd_ld: f.ratios()?,
+                    trials: f.u64_in("trials", 400, 1, MAX_TRIALS)?,
+                    width: f.u64_in("width", 16, 1, MAX_WIDTH)? as u32,
+                    seed: f.seed()?,
+                };
+                // The maximal allocation must cover the graph, so at least
+                // one swept point is feasible.
+                check_synthesizable(&s.dfg, s.max_muls, s.max_adds, s.max_subs)?;
+                let grid = s.max_muls.max(1)
+                    * s.max_adds.max(1)
+                    * s.max_subs.max(1)
+                    * s.encodings.len()
+                    * s.p_values.len()
+                    * s.sd_ld.len();
+                if grid > MAX_EXPLORE_POINTS {
+                    return Err(format!(
+                        "explore grid of {grid} points exceeds {MAX_EXPLORE_POINTS} \
+                         (shrink the unit maxima or the swept lists)"
+                    ));
+                }
+                Ok(JobSpec::Explore(s))
+            }
         }
     }
 
@@ -658,6 +805,7 @@ impl JobSpec {
             JobSpec::Resilience(_) => Endpoint::Resilience,
             JobSpec::Synth(_) => Endpoint::Synth,
             JobSpec::Area(_) => Endpoint::Area,
+            JobSpec::Explore(_) => Endpoint::Explore,
         }
     }
 
@@ -670,6 +818,7 @@ impl JobSpec {
             JobSpec::Simulate(s) => s.trials,
             JobSpec::Table2(s) => s.trials,
             JobSpec::Resilience(s) => s.trials,
+            JobSpec::Explore(s) => s.trials,
             JobSpec::Synth(_) | JobSpec::Area(_) => 0,
         }
     }
@@ -680,8 +829,18 @@ impl JobSpec {
     pub fn canonical(&self) -> Json {
         fn dfg_pair(dfg: &DfgSource) -> (&'static str, Json) {
             match dfg {
-                DfgSource::Benchmark(name) => ("dfg", Json::from(name.as_str())),
-                DfgSource::Inline(text) => ("dfg_text", Json::from(text.as_str())),
+                DfgSource::Named(name) => ("dfg", Json::from(name.as_str())),
+                DfgSource::InlineText(text) => ("dfg_text", Json::from(text.as_str())),
+                DfgSource::InlineWire(text) => (
+                    // The stored text is the canonical compact rendering
+                    // the wire parser itself produced, so it re-parses by
+                    // construction; embedding it as a JSON object (not a
+                    // string) keeps the canonical spec self-describing and
+                    // makes `from_canonical` re-validate it like a fresh
+                    // request.
+                    "dfg",
+                    Json::parse(text).unwrap_or_else(|_| Json::from(text.as_str())),
+                ),
             }
         }
         fn binding(chains: bool) -> Json {
@@ -733,6 +892,27 @@ impl JobSpec {
                 ("binding", binding(s.chains)),
                 ("encoding", Json::from(encoding_name(s.encoding))),
                 ("width", Json::from(s.width as u64)),
+            ]),
+            JobSpec::Explore(s) => Json::object([
+                ("endpoint", Json::from("explore")),
+                dfg_pair(&s.dfg),
+                ("max_muls", Json::from(s.max_muls)),
+                ("max_adds", Json::from(s.max_adds)),
+                ("max_subs", Json::from(s.max_subs)),
+                (
+                    "encodings",
+                    Json::array(
+                        s.encodings
+                            .iter()
+                            .map(|e| Json::from(encoding_name(*e)))
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("p", Json::floats(&s.p_values)),
+                ("sd_ld", Json::floats(&s.sd_ld)),
+                ("trials", Json::from(s.trials)),
+                ("width", Json::from(s.width as u64)),
+                ("seed", Json::from(s.seed)),
             ]),
         }
     }
@@ -835,6 +1015,56 @@ impl JobSpec {
                 ]);
                 Ok((body, trace.records))
             }
+            JobSpec::Explore(s) => {
+                let graph = build_dfg(&s.dfg).map_err(JobError::Invalid)?;
+                let params = SweepParams {
+                    max_muls: s.max_muls,
+                    max_adds: s.max_adds,
+                    max_subs: s.max_subs,
+                    encodings: s.encodings.clone(),
+                    p_values: s.p_values.clone(),
+                    sd_ld: s.sd_ld.clone(),
+                    trials: s.trials,
+                    width: s.width,
+                    seed: s.seed,
+                };
+                let (points, records) = design_space(&graph, &params, runner, stage_cache)
+                    .map_err(|e| match e {
+                        SweepError::Sim(err) => JobError::from_sim(err),
+                        SweepError::Synthesis(err) => JobError::from_synthesis(err),
+                    })?;
+                let point_json = |p: &SweepPoint| {
+                    Json::object([
+                        ("muls", Json::from(p.muls)),
+                        ("adds", Json::from(p.adds)),
+                        ("subs", Json::from(p.subs)),
+                        ("encoding", Json::from(encoding_name(p.encoding))),
+                        ("p", Json::Float(p.p)),
+                        ("sd_ld", Json::Float(p.sd_ld)),
+                        ("avg_cycles", Json::Float(p.avg_cycles)),
+                        ("latency_ns", Json::Float(p.latency_ns)),
+                        ("area_ge", Json::Float(p.area_ge)),
+                        ("pareto", Json::from(p.pareto)),
+                    ])
+                };
+                let frontier: Vec<Json> =
+                    points.iter().filter(|p| p.pareto).map(point_json).collect();
+                let all: Vec<Json> = points.iter().map(point_json).collect();
+                let body = Json::object([
+                    ("spec", self.canonical()),
+                    (
+                        "graph",
+                        Json::object([
+                            ("name", Json::from(graph.name())),
+                            ("ops", Json::from(graph.num_ops())),
+                            ("inputs", Json::from(graph.num_inputs())),
+                        ]),
+                    ),
+                    ("points", Json::array(all)),
+                    ("frontier", Json::array(frontier)),
+                ]);
+                Ok((body, records))
+            }
             _ => self.run_simulation(runner).map(|body| (body, Vec::new())),
         }
     }
@@ -857,7 +1087,7 @@ impl JobSpec {
         ),
         JobError,
     > {
-        let graph = dfg.build().map_err(JobError::Invalid)?;
+        let graph = build_dfg(dfg).map_err(JobError::Invalid)?;
         let input = SynthesisInput {
             dfg: graph,
             allocation: Allocation::paper(muls, adds, subs),
@@ -930,9 +1160,9 @@ impl JobSpec {
                     ("report", report.to_json()),
                 ]))
             }
-            // The synthesis endpoints are dispatched by `run_with` before
-            // this helper is reached.
-            JobSpec::Synth(_) | JobSpec::Area(_) => {
+            // The synthesis and exploration endpoints are dispatched by
+            // `run_with` before this helper is reached.
+            JobSpec::Synth(_) | JobSpec::Area(_) | JobSpec::Explore(_) => {
                 unreachable!("synthesis endpoints handled in run_with")
             }
         }
@@ -966,7 +1196,7 @@ mod tests {
         let JobSpec::Simulate(s) = parse(Endpoint::Simulate, "{}").unwrap() else {
             panic!("wrong variant");
         };
-        assert_eq!(s.dfg, DfgSource::Benchmark("fir5".to_string()));
+        assert_eq!(s.dfg, DfgSource::Named("fir5".to_string()));
         assert_eq!((s.muls, s.adds, s.subs), (2, 1, 1));
         assert_eq!(s.p_values, vec![0.9, 0.7, 0.5]);
         assert_eq!((s.trials, s.seed), (2000, 2003));
@@ -1190,6 +1420,10 @@ mod tests {
             (Endpoint::Resilience, r#"{"p":0.25,"trials":8}"#),
             (Endpoint::Synth, r#"{"dfg":"fir3","encoding":"gray"}"#),
             (Endpoint::Area, r#"{"width":32}"#),
+            (
+                Endpoint::Explore,
+                r#"{"dfg":"fir3","max_muls":2,"sd_ld":[0.75,1],"encodings":["gray"]}"#,
+            ),
         ];
         for (endpoint, text) in texts {
             let spec = parse(*endpoint, text).unwrap();
@@ -1242,5 +1476,144 @@ mod tests {
             let spec = parse(endpoint, text).unwrap();
             assert_eq!(spec.run(&runner), Err(JobError::Cancelled), "{text}");
         }
+        let explore = parse(Endpoint::Explore, r#"{"trials":10,"max_muls":2}"#).unwrap();
+        assert_eq!(explore.run(&runner), Err(JobError::Cancelled));
+    }
+
+    /// AXPY as a wire-format graph object, compact.
+    const AXPY_WIRE: &str = r#"{"nodes":[{"id":"a","op":"input"},{"id":"x","op":"input"},{"id":"y","op":"input"},{"id":"m","op":"mul"},{"id":"r","op":"add"}],"edges":[{"from":"a","to":"m"},{"from":"x","to":"m"},{"from":"m","to":"r"},{"from":"y","to":"r"}],"outputs":{"r":"r"},"params":{"name":"axpy"}}"#;
+
+    #[test]
+    fn inline_wire_dfg_parses_runs_and_canonicalizes() {
+        let text = format!(r#"{{"dfg":{AXPY_WIRE},"trials":25,"p":[0.5]}}"#);
+        let spec = parse(Endpoint::Simulate, &text).unwrap();
+        let JobSpec::Simulate(s) = &spec else {
+            panic!("wrong variant");
+        };
+        assert!(matches!(&s.dfg, DfgSource::InlineWire(_)));
+        let body = spec.run(&BatchRunner::serial()).unwrap();
+        assert_eq!(body.get("spec").unwrap().to_compact(), spec.cache_key());
+        // The canonical spec embeds the graph as a JSON object, and the
+        // journal re-entry path re-validates it to the same spec.
+        assert!(spec.cache_key().contains("\"dfg\":{\"nodes\""));
+        let back = JobSpec::from_canonical(&spec.canonical()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.job_id(), spec.job_id());
+        // A different JSON spelling of the same graph — node-object keys
+        // reordered — normalizes to the same content address and job id.
+        let respelled =
+            AXPY_WIRE.replace(r#"{"id":"a","op":"input"}"#, r#"{"op":"input","id":"a"}"#);
+        assert_ne!(respelled, AXPY_WIRE);
+        let other = parse(
+            Endpoint::Simulate,
+            &format!(r#"{{"dfg":{respelled},"trials":25,"p":[0.5]}}"#),
+        )
+        .unwrap();
+        assert_eq!(other.cache_key(), spec.cache_key());
+        assert_eq!(other.job_id(), spec.job_id());
+        // The synthesis endpoints accept the same source.
+        let synth = parse(Endpoint::Synth, &format!(r#"{{"dfg":{AXPY_WIRE}}}"#)).unwrap();
+        assert!(synth.run_with(&BatchRunner::serial(), None).is_ok());
+    }
+
+    #[test]
+    fn inline_wire_dfg_rejections() {
+        let cases: &[(&str, &str)] = &[
+            // Semantic wire errors surface with their byte offset.
+            (r#"{"dfg":{"nodes":[]}}"#, "dfg: byte "),
+            (
+                r#"{"dfg":{"nodes":[{"id":"s","op":"add"}],"edges":[{"from":"s","to":"s"}],"outputs":{"o":"s"}}}"#,
+                "dfg: byte ",
+            ),
+            // Wrong value type for 'dfg'.
+            (
+                r#"{"dfg":42}"#,
+                "'dfg' must be a benchmark name string or an inline graph object",
+            ),
+            // Mutually exclusive with dfg_text, object or not.
+            (
+                &format!(r#"{{"dfg":{AXPY_WIRE},"dfg_text":"x"}}"#),
+                "not both",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = parse(Endpoint::Simulate, text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: got {err:?}, want {needle:?}");
+        }
+        // An inline graph still hits the allocation-coverage check.
+        let err = parse(
+            Endpoint::Synth,
+            &format!(r#"{{"dfg":{AXPY_WIRE},"muls":0}}"#),
+        )
+        .expect_err("uncoverable")
+        .to_string();
+        assert!(err.contains("allocation lacks a unit"), "{err}");
+    }
+
+    #[test]
+    fn explore_defaults_canonicalize_and_reject_bad_grids() {
+        let JobSpec::Explore(s) = parse(Endpoint::Explore, "{}").unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!((s.max_muls, s.max_adds, s.max_subs), (4, 2, 2));
+        assert_eq!(s.encodings, vec![Encoding::Binary]);
+        assert_eq!(s.p_values, vec![0.9, 0.7, 0.5]);
+        assert_eq!(s.sd_ld, vec![0.75]);
+        assert_eq!((s.trials, s.width, s.seed), (400, 16, 2003));
+        let key = JobSpec::Explore(s).cache_key();
+        assert!(key.contains("\"endpoint\":\"explore\""));
+        assert!(key.contains("\"sd_ld\":[0.75]"));
+        assert!(key.contains("\"encodings\":[\"binary\"]"));
+
+        let cases: &[(&str, &str)] = &[
+            (r#"{"sd_ld":[0.4]}"#, "must be in [0.5, 1]"),
+            (r#"{"sd_ld":[]}"#, "'sd_ld' must hold"),
+            (r#"{"sd_ld":0.75}"#, "'sd_ld' must be an array"),
+            (r#"{"encodings":["binary","binary"]}"#, "duplicate encoding"),
+            (r#"{"encodings":[]}"#, "'encodings' must hold"),
+            (
+                r#"{"encodings":["sideways"]}"#,
+                "'encodings' entries must be",
+            ),
+            (r#"{"max_muls":9}"#, "'max_muls' must be in"),
+            (r#"{"dfg":"fir5","max_muls":0}"#, "allocation lacks a unit"),
+            (
+                r#"{"max_muls":8,"max_adds":8,"max_subs":8,"encodings":["binary","gray","onehot"],"sd_ld":[0.5,0.6,0.7,0.8]}"#,
+                "exceeds 4096",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = parse(Endpoint::Explore, text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text}: got {err:?}, want {needle:?}");
+        }
+    }
+
+    #[test]
+    fn explore_runs_thread_invariantly_with_a_consistent_frontier() {
+        let text =
+            r#"{"dfg":"fir3","max_muls":2,"max_adds":1,"trials":30,"p":[0.5],"sd_ld":[0.75,1.0]}"#;
+        let spec = parse(Endpoint::Explore, text).unwrap();
+        let (body, _) = spec.run_with(&BatchRunner::serial(), None).unwrap();
+        assert_eq!(body.get("spec").unwrap().to_compact(), spec.cache_key());
+        let points = body.get("points").unwrap().as_array().unwrap();
+        // 2 allocations × 1 P × 1 encoding × 2 ratios.
+        assert_eq!(points.len(), 4);
+        let frontier = body.get("frontier").unwrap().as_array().unwrap();
+        assert!(!frontier.is_empty());
+        assert!(frontier
+            .iter()
+            .all(|p| p.get("pareto").unwrap() == &Json::Bool(true)));
+        // Bit-identical at any thread count — the durable-job replay and
+        // crash-recovery guarantee for explore bodies.
+        let (threaded, _) = spec.run_with(&BatchRunner::new(4), None).unwrap();
+        assert_eq!(body.to_compact(), threaded.to_compact());
+        // The stage cache accelerates the synthesis legs without changing
+        // a byte.
+        let cache = StageCache::new(64);
+        let (cold, _) = spec.run_with(&BatchRunner::serial(), Some(&cache)).unwrap();
+        let (warm, records) = spec.run_with(&BatchRunner::serial(), Some(&cache)).unwrap();
+        assert_eq!(cold.to_compact(), warm.to_compact());
+        assert_eq!(body.to_compact(), warm.to_compact());
+        assert!(records.iter().all(|r| r.cache_hit));
     }
 }

@@ -1,18 +1,46 @@
 //! Graphviz DOT export of dataflow graphs (used by the figure
-//! regeneration binaries).
+//! regeneration binaries and `tauhls dfg dot`).
+//!
+//! Graph names, input names, and output names come from user-supplied
+//! text since the wire format landed, so every label is escaped and
+//! every node id that embeds user text (or a negative constant) is
+//! emitted as a quoted DOT string — a hostile input name cannot break
+//! out of its attribute list.
 
 use crate::graph::{Dfg, Operand};
 use std::fmt::Write as _;
+
+/// Escapes `text` for use inside a double-quoted DOT string: `"` and
+/// `\` are backslash-escaped, newlines become the DOT `\n` label break,
+/// and other control characters are dropped.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted DOT id built from a prefix and user-controlled text.
+fn quoted(prefix: &str, text: &str) -> String {
+    format!("\"{}{}\"", escape(prefix), escape(text))
+}
 
 /// Renders the DFG in Graphviz DOT syntax. Operation nodes are labelled
 /// `O{i}` with their operator symbol; primary inputs are plain ovals;
 /// optional `extra_arcs` (e.g. schedule arcs) are drawn dashed.
 pub fn to_dot(dfg: &Dfg, extra_arcs: &[(crate::graph::OpId, crate::graph::OpId)]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(dfg.name()));
     let _ = writeln!(s, "  rankdir=TB;");
     for (i, name) in dfg.input_names().iter().enumerate() {
-        let _ = writeln!(s, "  in{i} [label=\"{name}\", shape=plaintext];");
+        let _ = writeln!(s, "  in{i} [label=\"{}\", shape=plaintext];", escape(name));
     }
     for v in dfg.op_ids() {
         let op = dfg.op(v);
@@ -21,7 +49,7 @@ pub fn to_dot(dfg: &Dfg, extra_arcs: &[(crate::graph::OpId, crate::graph::OpId)]
             "  op{} [label=\"O{} [{}]\", shape=circle];",
             v.0,
             v.0,
-            op.kind.symbol()
+            escape(op.kind.symbol())
         );
     }
     for v in dfg.op_ids() {
@@ -35,10 +63,13 @@ pub fn to_dot(dfg: &Dfg, extra_arcs: &[(crate::graph::OpId, crate::graph::OpId)]
                     let _ = writeln!(s, "  op{} -> op{};", p.0, v.0);
                 }
                 Operand::Const(c) => {
+                    // The id embeds the value, which may be negative —
+                    // always quote it.
+                    let id = quoted("const_", &format!("{}_{c}", v.0));
                     let _ = writeln!(
                         s,
-                        "  const_{}_{c} [label=\"{c}\", shape=plaintext]; const_{}_{c} -> op{};",
-                        v.0, v.0, v.0
+                        "  {id} [label=\"{c}\", shape=plaintext]; {id} -> op{};",
+                        v.0
                     );
                 }
             }
@@ -48,8 +79,9 @@ pub fn to_dot(dfg: &Dfg, extra_arcs: &[(crate::graph::OpId, crate::graph::OpId)]
         let _ = writeln!(s, "  op{} -> op{} [style=dashed, color=gray];", a.0, b.0);
     }
     for (name, o) in dfg.outputs() {
-        let _ = writeln!(s, "  out_{name} [label=\"{name}\", shape=plaintext];");
-        let _ = writeln!(s, "  op{} -> out_{name};", o.0);
+        let id = quoted("out_", name);
+        let _ = writeln!(s, "  {id} [label=\"{}\", shape=plaintext];", escape(name));
+        let _ = writeln!(s, "  op{} -> {id};", o.0);
     }
     let _ = writeln!(s, "}}");
     s
@@ -59,7 +91,7 @@ pub fn to_dot(dfg: &Dfg, extra_arcs: &[(crate::graph::OpId, crate::graph::OpId)]
 mod tests {
     use super::*;
     use crate::benchmarks::fig2_dfg;
-    use crate::graph::OpId;
+    use crate::graph::{DfgBuilder, OpId, Operand};
 
     #[test]
     fn dot_mentions_every_node_and_edge_style() {
@@ -71,5 +103,29 @@ mod tests {
         assert!(dot.contains("style=dashed"));
         assert!(dot.starts_with("digraph"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_and_quoted() {
+        let mut b = DfgBuilder::new("evil\"];x[label=\"pwn");
+        let a = b.input("a\"b\\c\nd");
+        let s = b.add(Operand::Input(a), Operand::Const(-5));
+        b.output("out\"put", s);
+        let g = b.build().expect("valid graph");
+        let dot = to_dot(&g, &[]);
+        // No raw quote from a label can terminate its DOT string: every
+        // user-text quote is escaped.
+        assert!(
+            dot.contains("digraph \"evil\\\"];x[label=\\\"pwn\""),
+            "{dot}"
+        );
+        assert!(dot.contains("label=\"a\\\"b\\\\c\\nd\""), "{dot}");
+        // Negative const ids are quoted, not bare (bare `const_0_-5` is
+        // invalid DOT).
+        assert!(dot.contains("\"const_0_-5\""), "{dot}");
+        assert!(dot.contains("\"out_out\\\"put\""), "{dot}");
+        // Structure survives: every line inside the digraph is a node or
+        // edge statement, and the braces balance.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }
 }

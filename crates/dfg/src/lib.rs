@@ -42,8 +42,10 @@ pub mod benchmarks;
 mod dot;
 mod graph;
 mod random;
+mod source;
 mod taubm;
 mod text;
+mod wire;
 
 pub use analysis::LevelAnalysis;
 pub use dot::to_dot;
@@ -51,5 +53,10 @@ pub use graph::{
     Dfg, DfgBuilder, DfgError, InputId, OpId, OpKind, Operand, Operation, ResourceClass,
 };
 pub use random::{random_dfg, RandomDfgParams};
+pub use source::{DfgRegistry, DfgSource};
 pub use taubm::{TaubmDfg, TaubmStep};
 pub use text::{dfg_to_text, parse_dfg, ParseDfgError};
+pub use wire::{
+    canonical_wire, dfg_to_wire, parse_wire_dfg, valid_wire_id, wire_hash, WireError,
+    MAX_WIRE_NAME, MAX_WIRE_NODES,
+};

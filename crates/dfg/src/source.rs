@@ -1,0 +1,151 @@
+//! One abstraction for "where does the graph come from": named lookup
+//! in a [`DfgRegistry`], the inline line-oriented text format, or the
+//! inline JSON wire format. The built-in benchmark suite is just the
+//! default registry — `benchmarks::by_name` is one resolver among
+//! `{named, inline, registered}`, not a privileged code path.
+
+use std::sync::OnceLock;
+
+use crate::benchmarks;
+use crate::graph::Dfg;
+use crate::text::parse_dfg;
+use crate::wire::parse_wire_dfg;
+
+/// A name → [`Dfg`] lookup table. [`DfgRegistry::builtin`] holds the
+/// paper benchmark suite; embedders can build their own with
+/// [`DfgRegistry::register`] to resolve `Named` sources against
+/// programmatically constructed graphs.
+#[derive(Debug, Clone, Default)]
+pub struct DfgRegistry {
+    entries: Vec<(String, Dfg)>,
+}
+
+impl DfgRegistry {
+    /// An empty registry.
+    pub fn new() -> DfgRegistry {
+        DfgRegistry::default()
+    }
+
+    /// The shared registry of built-in paper benchmarks.
+    pub fn builtin() -> &'static DfgRegistry {
+        static BUILTIN: OnceLock<DfgRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            let mut registry = DfgRegistry::new();
+            for name in benchmarks::NAMES {
+                if let Some(dfg) = benchmarks::by_name(name) {
+                    registry.register(dfg);
+                }
+            }
+            registry
+        })
+    }
+
+    /// Registers `dfg` under its own name, replacing any previous entry
+    /// with that name.
+    pub fn register(&mut self, dfg: Dfg) {
+        let name = dfg.name().to_string();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = dfg;
+        } else {
+            self.entries.push((name, dfg));
+        }
+    }
+
+    /// Looks up a graph by name.
+    pub fn get(&self, name: &str) -> Option<&Dfg> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, dfg)| dfg)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// Where a job's dataflow graph comes from. The inline variants store
+/// the submitted text verbatim (`InlineText`) or in canonical wire form
+/// (`InlineWire`), so the enum stays cheap to clone/compare and a
+/// source embedded in a canonical spec is already content-addressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgSource {
+    /// Look the graph up by name in a [`DfgRegistry`].
+    Named(String),
+    /// An inline graph in the line-oriented text format.
+    InlineText(String),
+    /// An inline graph in canonical JSON wire form.
+    InlineWire(String),
+}
+
+impl DfgSource {
+    /// Resolves the source to a concrete graph against `registry`.
+    /// Errors are plain strings ready to embed in a higher layer's
+    /// invalid-spec diagnostics.
+    pub fn resolve(&self, registry: &DfgRegistry) -> Result<Dfg, String> {
+        match self {
+            DfgSource::Named(name) => registry
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("unknown benchmark '{name}'")),
+            DfgSource::InlineText(text) => parse_dfg(text).map_err(|e| format!("dfg_text: {e}")),
+            DfgSource::InlineWire(text) => parse_wire_dfg(text).map_err(|e| format!("dfg: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DfgBuilder, Operand};
+    use crate::wire::canonical_wire;
+
+    #[test]
+    fn builtin_registry_serves_every_benchmark() {
+        let registry = DfgRegistry::builtin();
+        for name in benchmarks::NAMES {
+            assert!(registry.get(name).is_some(), "{name} missing");
+            let named = DfgSource::Named(name.to_string());
+            assert_eq!(named.resolve(registry).expect("resolves").name(), name);
+        }
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn named_resolution_reports_unknown_graphs() {
+        let err = DfgSource::Named("nope".into())
+            .resolve(DfgRegistry::builtin())
+            .expect_err("unknown name");
+        assert!(err.contains("unknown benchmark 'nope'"), "{err}");
+    }
+
+    #[test]
+    fn registered_graphs_resolve_like_builtins() {
+        let mut b = DfgBuilder::new("custom");
+        let x = b.input("x");
+        let sq = b.mul(Operand::Input(x), Operand::Input(x));
+        b.output("y", sq);
+        let dfg = b.build().expect("valid graph");
+
+        let mut registry = DfgRegistry::new();
+        registry.register(dfg.clone());
+        let resolved = DfgSource::Named("custom".into())
+            .resolve(&registry)
+            .expect("resolves");
+        assert_eq!(resolved, dfg);
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["custom"]);
+    }
+
+    #[test]
+    fn inline_wire_resolves_through_the_wire_parser() {
+        let dfg = benchmarks::by_name("fir3").expect("fir3 exists");
+        let source = DfgSource::InlineWire(canonical_wire(&dfg));
+        let resolved = source.resolve(DfgRegistry::builtin()).expect("resolves");
+        assert_eq!(resolved.num_ops(), dfg.num_ops());
+
+        let bad = DfgSource::InlineWire("{".into());
+        let err = bad.resolve(DfgRegistry::builtin()).expect_err("bad wire");
+        assert!(err.starts_with("dfg: byte "), "{err}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Golden test for the DOT export fed from the JSON wire format:
+//! `tauhls dfg dot <file>` is this pipeline (parse_wire_dfg → to_dot),
+//! and the exact rendering — including label escaping and quoted ids —
+//! is pinned here so accidental format drift shows up as a diff.
+
+use tauhls_dfg::{canonical_wire, parse_wire_dfg, to_dot};
+
+/// A small wire document exercising every node flavour the exporter
+/// renders: inputs, a const (negative, so the id needs quoting), chained
+/// ops, and multiple outputs.
+const WIRE: &str = r#"{
+  "nodes": [
+    {"id": "a", "op": "input"},
+    {"id": "x", "op": "input"},
+    {"id": "bias", "op": "const", "value": -5},
+    {"id": "m", "op": "mul"},
+    {"id": "s", "op": "add"},
+    {"id": "cmp", "op": "lt"}
+  ],
+  "edges": [
+    {"from": "a", "to": "m", "port": 0},
+    {"from": "x", "to": "m", "port": 1},
+    {"from": "m", "to": "s", "port": 0},
+    {"from": "bias", "to": "s", "port": 1},
+    {"from": "s", "to": "cmp", "port": 0},
+    {"from": "a", "to": "cmp", "port": 1}
+  ],
+  "outputs": {"y": "s", "flag": "cmp"},
+  "params": {"name": "golden"}
+}"#;
+
+const GOLDEN_DOT: &str = r#"digraph "golden" {
+  rankdir=TB;
+  in0 [label="a", shape=plaintext];
+  in1 [label="x", shape=plaintext];
+  op0 [label="O0 [*]", shape=circle];
+  op1 [label="O1 [+]", shape=circle];
+  op2 [label="O2 [<]", shape=circle];
+  in0 -> op0;
+  in1 -> op0;
+  op0 -> op1;
+  "const_1_-5" [label="-5", shape=plaintext]; "const_1_-5" -> op1;
+  op1 -> op2;
+  in0 -> op2;
+  "out_y" [label="y", shape=plaintext];
+  op1 -> "out_y";
+  "out_flag" [label="flag", shape=plaintext];
+  op2 -> "out_flag";
+}
+"#;
+
+#[test]
+fn wire_to_dot_matches_the_golden_rendering() {
+    let dfg = parse_wire_dfg(WIRE).expect("golden wire document parses");
+    assert_eq!(to_dot(&dfg, &[]), GOLDEN_DOT);
+}
+
+#[test]
+fn golden_document_round_trips_through_canonical_wire() {
+    let dfg = parse_wire_dfg(WIRE).expect("golden wire document parses");
+    let canon = canonical_wire(&dfg);
+    let reparsed = parse_wire_dfg(&canon).expect("canonical form parses");
+    assert_eq!(canonical_wire(&reparsed), canon, "canonical form drifted");
+    assert_eq!(
+        to_dot(&reparsed, &[]),
+        GOLDEN_DOT,
+        "dot diverged after round trip"
+    );
+}

@@ -58,6 +58,7 @@ use crate::cache::Cache;
 use crate::config::ServeConfig;
 use crate::metrics::Metrics;
 use crate::queue::Queue;
+use crate::stagewarm::StageWarmer;
 
 /// Lifecycle of one job. `Backoff` is `Queued` with a scheduled wake-up;
 /// both replay as `Queued`.
@@ -229,6 +230,7 @@ struct Inner {
     metrics: Arc<Metrics>,
     cache: Arc<Cache>,
     stages: Arc<StageCache>,
+    warmer: Arc<StageWarmer>,
     executor: Executor,
 }
 
@@ -248,10 +250,11 @@ impl JobManager {
         metrics: Arc<Metrics>,
         cache: Arc<Cache>,
         stages: Arc<StageCache>,
+        warmer: Arc<StageWarmer>,
         cancel: CancelToken,
     ) -> std::io::Result<JobManager> {
         let executor: Executor = Arc::new(|spec, runner, stages| spec.run_with(runner, stages));
-        JobManager::start_with(config, metrics, cache, stages, cancel, executor)
+        JobManager::start_with(config, metrics, cache, stages, warmer, cancel, executor)
     }
 
     fn start_with(
@@ -259,6 +262,7 @@ impl JobManager {
         metrics: Arc<Metrics>,
         cache: Arc<Cache>,
         stages: Arc<StageCache>,
+        warmer: Arc<StageWarmer>,
         cancel: CancelToken,
         executor: Executor,
     ) -> std::io::Result<JobManager> {
@@ -293,6 +297,14 @@ impl JobManager {
                 }
             }
             journal = Some(compact_journal(&journal_path, &table)?);
+            metrics.log_event(&format!(
+                "job journal replayed: {} jobs recovered, {} requeued",
+                table.len(),
+                table
+                    .values()
+                    .filter(|r| r.state == JobState::Queued)
+                    .count()
+            ));
         }
         let inner = Arc::new(Inner {
             data_dir: config.data_dir.clone(),
@@ -311,6 +323,7 @@ impl JobManager {
             metrics,
             cache,
             stages,
+            warmer,
             executor,
         });
         let mut threads = Vec::with_capacity(config.job_workers + 1);
@@ -479,6 +492,28 @@ impl JobManager {
     /// Jobs currently waiting in the shared queue.
     pub fn depth(&self) -> usize {
         self.inner.pending.depth()
+    }
+
+    /// A count per lifecycle state over the whole job table, in the
+    /// fixed order queued/running/backoff/done/failed/cancelled (states
+    /// with zero jobs included) — the `jobs` block of `GET /v1/status`.
+    pub fn state_counts(&self) -> [(&'static str, u64); 6] {
+        const STATES: [JobState; 6] = [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Backoff,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ];
+        let table = self.inner.lock_table();
+        let mut counts = STATES.map(|s| (s.as_str(), 0u64));
+        for rec in table.values() {
+            if let Some(slot) = STATES.iter().position(|s| *s == rec.state) {
+                counts[slot].1 += 1;
+            }
+        }
+        counts
     }
 
     /// Stops accepting and scheduling work. Queued jobs stay journalled
@@ -727,6 +762,7 @@ fn complete(
     inner.metrics.count_trials(spec.trials());
     inner.metrics.observe_latency("jobs", started.elapsed());
     inner.cache.insert(spec.cache_key(), Arc::clone(&body));
+    inner.warmer.record(spec);
     let mut table = inner.lock_table();
     if let Some(rec) = table.get_mut(id) {
         rec.state = JobState::Done;
@@ -1157,6 +1193,7 @@ mod tests {
             Arc::new(Metrics::new()),
             Arc::new(Cache::new(1 << 20)),
             Arc::new(StageCache::new(64)),
+            Arc::new(StageWarmer::open(None)),
             CancelToken::new(),
         )
         .expect("manager")
@@ -1168,6 +1205,7 @@ mod tests {
             Arc::new(Metrics::new()),
             Arc::new(Cache::new(1 << 20)),
             Arc::new(StageCache::new(64)),
+            Arc::new(StageWarmer::open(None)),
             CancelToken::new(),
             executor,
         )

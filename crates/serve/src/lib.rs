@@ -72,6 +72,7 @@ mod jobs;
 mod metrics;
 mod queue;
 mod server;
+mod stagewarm;
 
 pub mod client;
 pub mod signal;
@@ -80,6 +81,10 @@ pub use cache::Cache;
 pub use config::ServeConfig;
 pub use http::{HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
 pub use jobs::{JobManager, JobResult, JobState, SubmitError, SubmitOutcome};
-pub use metrics::{Histogram, Metrics, BUCKETS_SECONDS, ENDPOINTS, JOB_EVENTS, STATUS_CODES};
+pub use metrics::{
+    Event, Histogram, Metrics, BUCKETS_SECONDS, ENDPOINTS, EVENT_LOG_CAPACITY, JOB_EVENTS,
+    STATUS_CODES,
+};
 pub use queue::Queue;
 pub use server::Server;
+pub use stagewarm::{StageWarmer, WarmSummary};

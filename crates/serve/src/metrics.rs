@@ -8,9 +8,11 @@
 //! per simulation endpoint (`trials/sec` is the PromQL ratio
 //! `rate(tauhls_serve_trials_total[1m])`).
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use tauhls_core::stages::STAGE_NAMES;
 use tauhls_core::{StageCache, StageRecord};
@@ -19,21 +21,28 @@ use crate::cache::Cache;
 
 /// The request-routing classes we count (job endpoints first — these are
 /// the ones with latency histograms).
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 11] = [
     "simulate",
     "table2",
     "resilience",
     "synth",
     "area",
+    "explore",
     "jobs",
+    "dfg_validate",
+    "status",
     "healthz",
     "metrics",
 ];
 
 /// How many of [`ENDPOINTS`] carry a latency histogram (the job
-/// endpoints plus async job execution; `healthz`/`metrics` are not
-/// worth a histogram each).
-const JOB_ENDPOINTS: usize = 6;
+/// endpoints plus async job execution; the cheap read-only endpoints
+/// are not worth a histogram each).
+const JOB_ENDPOINTS: usize = 7;
+
+/// How many entries the in-memory event log retains; older entries are
+/// dropped (and counted) so the log is bounded no matter the uptime.
+pub const EVENT_LOG_CAPACITY: usize = 128;
 
 /// Response status codes we count.
 pub const STATUS_CODES: [u16; 11] = [200, 202, 400, 404, 405, 408, 409, 413, 429, 500, 503];
@@ -86,6 +95,41 @@ impl Histogram {
     }
 }
 
+/// One retained service event: a monotone sequence number, seconds
+/// since process start, and a single-line message.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotone event number (total events ever logged ends at the last
+    /// entry's `seq`).
+    pub seq: u64,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+    /// Single-line description (newlines are replaced on entry).
+    pub message: String,
+}
+
+/// A bounded in-memory log of service lifecycle events (startups,
+/// recoveries, quarantines, shutdowns). Lifecycle moments are rare, so
+/// one mutex is fine here — the per-request counters stay lock-free.
+#[derive(Debug)]
+struct EventLog {
+    start: Instant,
+    entries: Mutex<VecDeque<Event>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            start: Instant::now(),
+            entries: Mutex::new(VecDeque::new()),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
 /// All service counters, shared across acceptor and workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -102,6 +146,7 @@ pub struct Metrics {
     jobs: [AtomicU64; JOB_EVENTS.len()],
     jobs_pending: AtomicU64,
     jobs_running: AtomicU64,
+    events: EventLog,
 }
 
 impl Metrics {
@@ -231,6 +276,45 @@ impl Metrics {
             self.jobs_running
                 .fetch_sub((-delta) as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Seconds since this `Metrics` (and so the service) was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.events.start.elapsed().as_secs_f64()
+    }
+
+    /// Appends one single-line event to the bounded in-memory log.
+    /// Newlines in `message` are flattened so the `/metrics` comment
+    /// rendering cannot be broken out of.
+    pub fn log_event(&self, message: &str) {
+        let seq = self.events.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = Event {
+            seq,
+            uptime_seconds: self.uptime_seconds(),
+            message: message.replace(['\n', '\r'], " "),
+        };
+        let Ok(mut entries) = self.events.entries.lock() else {
+            return;
+        };
+        entries.push_back(event);
+        while entries.len() > EVENT_LOG_CAPACITY {
+            entries.pop_front();
+            self.events.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .entries
+            .lock()
+            .map(|entries| entries.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total events ever logged (retained or dropped).
+    pub fn event_count(&self) -> u64 {
+        self.events.seq.load(Ordering::Relaxed)
     }
 
     /// A `Retry-After` value (seconds) derived from the queue depth and
@@ -523,6 +607,44 @@ impl Metrics {
                 ),
             );
         }
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_uptime_seconds gauge"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_uptime_seconds {:.3}", self.uptime_seconds()),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_events_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!("tauhls_serve_events_total {}", self.event_count()),
+        );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_events_dropped_total counter"),
+        );
+        put(
+            &mut out,
+            format_args!(
+                "tauhls_serve_events_dropped_total {}",
+                self.events.dropped.load(Ordering::Relaxed)
+            ),
+        );
+        // The retained event log rides along as exposition comments, so
+        // one /metrics scrape carries the recent service history too.
+        for event in self.events() {
+            put(
+                &mut out,
+                format_args!(
+                    "# event {} +{:.3}s {}",
+                    event.seq, event.uptime_seconds, event.message
+                ),
+            );
+        }
         out
     }
 }
@@ -583,6 +705,14 @@ mod tests {
             "tauhls_serve_request_seconds_count{endpoint=\"simulate\"} 1",
             "tauhls_serve_request_seconds_bucket{endpoint=\"simulate\",le=\"+Inf\"} 1",
             "tauhls_serve_request_seconds_count{endpoint=\"area\"} 0",
+            "tauhls_serve_requests_total{endpoint=\"explore\"} 0",
+            "tauhls_serve_requests_total{endpoint=\"dfg_validate\"} 0",
+            "tauhls_serve_requests_total{endpoint=\"status\"} 0",
+            "tauhls_serve_request_seconds_count{endpoint=\"explore\"} 0",
+            "tauhls_serve_request_seconds_count{endpoint=\"jobs\"} 0",
+            "tauhls_serve_uptime_seconds ",
+            "tauhls_serve_events_total 0",
+            "tauhls_serve_events_dropped_total 0",
             "tauhls_serve_stage_cache_hits_total{stage=\"bind\"} 1",
             "tauhls_serve_stage_cache_misses_total{stage=\"bind\"} 1",
             "tauhls_serve_stage_cache_hits_total{stage=\"logic\"} 0",
@@ -618,6 +748,32 @@ mod tests {
         assert_eq!(m.retry_after_hint(0, 4), 1);
         // ...and pathological backlogs clamp at a minute.
         assert_eq!(m.retry_after_hint(100_000, 1), 60);
+    }
+
+    #[test]
+    fn event_log_is_bounded_sanitized_and_rendered() {
+        let m = Metrics::new();
+        assert_eq!(m.event_count(), 0);
+        m.log_event("started\r\nwith sneaky\nnewlines");
+        for i in 0..(EVENT_LOG_CAPACITY + 10) {
+            m.log_event(&format!("event {i}"));
+        }
+        assert_eq!(m.event_count() as usize, EVENT_LOG_CAPACITY + 11);
+        let events = m.events();
+        assert_eq!(events.len(), EVENT_LOG_CAPACITY, "log is bounded");
+        assert!(events.iter().all(|e| !e.message.contains('\n')));
+        assert_eq!(
+            events.last().map(|e| e.seq),
+            Some((EVENT_LOG_CAPACITY + 11) as u64),
+            "sequence numbers are monotone over drops"
+        );
+        let text = m.render(&Cache::new(1024), &StageCache::new(4), 0);
+        assert!(text.contains(&format!(
+            "tauhls_serve_events_total {}",
+            EVENT_LOG_CAPACITY + 11
+        )));
+        assert!(text.contains("tauhls_serve_events_dropped_total 11"));
+        assert!(text.contains(&format!("# event {} ", (EVENT_LOG_CAPACITY + 11))));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use tauhls_core::jobspec::{Endpoint, JobError, JobSpec};
 use tauhls_core::StageCache;
+use tauhls_dfg::{canonical_wire, parse_wire_dfg, wire_hash};
 use tauhls_json::{Json, JsonRef};
 use tauhls_sim::{BatchRunner, CancelToken};
 
@@ -34,6 +35,7 @@ use crate::http::{read_request, write_response, HttpError, Request};
 use crate::jobs::{JobManager, JobResult, JobState, SubmitError};
 use crate::metrics::Metrics;
 use crate::queue::Queue;
+use crate::stagewarm::StageWarmer;
 
 /// How often the acceptor polls between accepts and stop checks.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -47,6 +49,7 @@ struct Shared {
     cancel: CancelToken,
     stop: AtomicBool,
     jobs: JobManager,
+    warmer: Arc<StageWarmer>,
 }
 
 /// A running service instance.
@@ -67,11 +70,24 @@ impl Server {
         let stages = Arc::new(StageCache::new(config.stage_cache_entries));
         let metrics = Arc::new(Metrics::new());
         let cancel = CancelToken::new();
+        metrics.log_event(&format!("server starting on {addr}"));
+        // Warm the stage cache from the persisted spec journal before the
+        // job manager replays its own journal, so recovered synthesis
+        // jobs immediately land on warm stages.
+        let warmer = Arc::new(StageWarmer::open(config.data_dir.as_deref()));
+        if config.data_dir.is_some() {
+            let warm = warmer.warm(&stages);
+            metrics.log_event(&format!(
+                "stage cache warmed: {} specs replayed, {} journal lines dropped",
+                warm.replayed, warm.dropped
+            ));
+        }
         let jobs = JobManager::start(
             &config,
             Arc::clone(&metrics),
             Arc::clone(&cache),
             Arc::clone(&stages),
+            Arc::clone(&warmer),
             cancel.clone(),
         )?;
         let shared = Arc::new(Shared {
@@ -82,6 +98,7 @@ impl Server {
             cancel,
             stop: AtomicBool::new(false),
             jobs,
+            warmer,
             config,
         });
         let workers = (0..shared.config.workers)
@@ -115,6 +132,7 @@ impl Server {
     /// with `503`, wait for in-flight jobs (cancelling them only after
     /// the drain timeout), and join every thread.
     pub fn shutdown(mut self) {
+        self.shared.metrics.log_event("shutdown requested");
         self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
@@ -152,6 +170,7 @@ impl Server {
         self.shared.jobs.join();
         drained.store(true, Ordering::SeqCst);
         let _ = watchdog.join();
+        self.shared.metrics.log_event("shutdown complete");
     }
 }
 
@@ -285,6 +304,13 @@ fn handle_connection<S: Read + Write>(shared: &Shared, stream: &mut S) {
                 body.as_bytes(),
             );
         }
+        ("GET", "/v1/status") => handle_status(shared, stream),
+        ("POST", "/v1/dfg/validate") => handle_dfg_validate(shared, stream, &request.body),
+        // `/v1/dfg/explore` is the explorer's spelled-out address; it is
+        // the same handler as `POST /v1/explore`.
+        ("POST", "/v1/dfg/explore") => {
+            handle_job(shared, stream, Endpoint::Explore, &request.body);
+        }
         ("POST", "/v1/jobs") => handle_job_submit(shared, stream, &request),
         ("GET", "/v1/jobs") | ("DELETE", "/v1/jobs") => {
             let _ = respond_json(
@@ -414,6 +440,7 @@ fn handle_job<S: Read + Write>(
                 shared.metrics.observe_stage(record);
             }
             shared.cache.insert(key, Arc::clone(&body));
+            shared.warmer.record(&spec);
             let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "miss")], &body);
         }
         Err(JobError::Cancelled) => {
@@ -447,6 +474,122 @@ fn handle_job<S: Read + Write>(
                 &error_body(&format!("simulation failed: {m}")),
             );
         }
+    }
+}
+
+/// `GET /v1/status`: one compact JSON snapshot of the live service —
+/// uptime, queue/inflight gauges, the job table by lifecycle state,
+/// both cache populations, and the most recent operational events.
+/// Unlike `/metrics` this is meant for humans and scripts (`jq`), not
+/// scrapers, so it answers `application/json` and nests.
+fn handle_status<S: Read + Write>(shared: &Shared, stream: &mut S) {
+    shared.metrics.count_request("status");
+    let jobs = Json::object(
+        shared
+            .jobs
+            .state_counts()
+            .into_iter()
+            .map(|(state, n)| (state, Json::from(n)))
+            .collect::<Vec<_>>(),
+    );
+    let caches = Json::object([
+        (
+            "response",
+            Json::object([
+                ("entries", Json::from(shared.cache.entries())),
+                ("bytes", Json::from(shared.cache.bytes())),
+                ("hits", Json::from(shared.cache.hit_count())),
+                ("misses", Json::from(shared.cache.miss_count())),
+                ("evictions", Json::from(shared.cache.eviction_count())),
+            ]),
+        ),
+        (
+            "stages",
+            Json::object([
+                ("entries", Json::from(shared.stages.entries())),
+                ("hits", Json::from(shared.stages.hit_count())),
+                ("misses", Json::from(shared.stages.miss_count())),
+            ]),
+        ),
+    ]);
+    let events = Json::Array(
+        shared
+            .metrics
+            .events()
+            .into_iter()
+            .map(|event| {
+                Json::object([
+                    ("seq", Json::from(event.seq)),
+                    ("uptime_seconds", Json::from(event.uptime_seconds)),
+                    ("message", Json::from(event.message)),
+                ])
+            })
+            .collect(),
+    );
+    let mut body = Json::object([
+        ("status", Json::from("ok")),
+        (
+            "uptime_seconds",
+            Json::from(shared.metrics.uptime_seconds()),
+        ),
+        ("inflight", Json::from(shared.metrics.inflight())),
+        ("queue_depth", Json::from(shared.queue.depth())),
+        ("job_queue_depth", Json::from(shared.jobs.depth())),
+        ("jobs", jobs),
+        ("caches", caches),
+        ("events_total", Json::from(shared.metrics.event_count())),
+        ("events", events),
+    ])
+    .to_pretty();
+    body.push('\n');
+    let _ = respond_json(stream, &shared.metrics, 200, &[], &body);
+}
+
+/// `POST /v1/dfg/validate`: the request body *is* a DFG wire document.
+/// A valid graph answers its summary, content hash, and canonical
+/// rendering; an invalid one answers `400` with the parser's
+/// byte-offset diagnostic — the same diagnostic an inline `"dfg"`
+/// object would produce on any job endpoint, so clients can lint a
+/// graph before submitting work against it.
+fn handle_dfg_validate<S: Read + Write>(shared: &Shared, stream: &mut S, raw_body: &[u8]) {
+    shared.metrics.count_request("dfg_validate");
+    let invalid = |stream: &mut S, message: &str| {
+        let mut body =
+            Json::object([("ok", Json::from(false)), ("error", Json::from(message))]).to_compact();
+        body.push('\n');
+        let _ = respond_json(stream, &shared.metrics, 400, &[], &body);
+    };
+    let text = match std::str::from_utf8(raw_body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        Ok(_) => {
+            invalid(stream, "request body must be a DFG wire document");
+            return;
+        }
+        Err(_) => {
+            invalid(stream, "request body is not UTF-8");
+            return;
+        }
+    };
+    match parse_wire_dfg(text) {
+        Ok(dfg) => {
+            let canonical = canonical_wire(&dfg);
+            let hash = format!("{:016x}", wire_hash(&canonical));
+            let canonical_doc =
+                Json::parse(&canonical).unwrap_or_else(|_| Json::from(canonical.as_str()));
+            let mut body = Json::object([
+                ("ok", Json::from(true)),
+                ("name", Json::from(dfg.name())),
+                ("ops", Json::from(dfg.num_ops())),
+                ("inputs", Json::from(dfg.input_names().len())),
+                ("outputs", Json::from(dfg.outputs().len())),
+                ("hash", Json::from(hash)),
+                ("canonical", canonical_doc),
+            ])
+            .to_pretty();
+            body.push('\n');
+            let _ = respond_json(stream, &shared.metrics, 200, &[], &body);
+        }
+        Err(e) => invalid(stream, &e.to_string()),
     }
 }
 
@@ -748,11 +891,13 @@ mod tests {
         let stages = Arc::new(StageCache::new(64));
         let metrics = Arc::new(Metrics::new());
         let cancel = CancelToken::new();
+        let warmer = Arc::new(StageWarmer::open(None));
         let jobs = JobManager::start(
             &config,
             Arc::clone(&metrics),
             Arc::clone(&cache),
             Arc::clone(&stages),
+            Arc::clone(&warmer),
             cancel.clone(),
         )
         .expect("job manager");
@@ -765,6 +910,7 @@ mod tests {
             cancel,
             stop: AtomicBool::new(false),
             jobs,
+            warmer,
         }
     }
 
@@ -869,6 +1015,61 @@ mod tests {
             metrics.contains("tauhls_serve_request_seconds_count{endpoint=\"synth\"} 2"),
             "{metrics}"
         );
+    }
+
+    /// A small valid wire document shared by the route tests below.
+    const TINY_WIRE: &str = r#"{"nodes":[{"id":"a","op":"input"},{"id":"b","op":"input"},{"id":"s","op":"add"}],"edges":[{"from":"a","to":"s","port":0},{"from":"b","to":"s","port":1}],"outputs":{"y":"s"},"params":{"name":"tiny"}}"#;
+
+    #[test]
+    fn status_endpoint_reports_jobs_caches_and_events() {
+        let sh = shared();
+        sh.metrics.log_event("test event one");
+        let status = drive(&sh, "GET /v1/status HTTP/1.1\r\n\r\n");
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        for needle in [
+            "\"uptime_seconds\"",
+            "\"queued\"",
+            "\"running\"",
+            "\"caches\"",
+            "\"stages\"",
+            "test event one",
+        ] {
+            assert!(status.contains(needle), "missing {needle}: {status}");
+        }
+        assert!(drive(&sh, &post("/v1/status", "{}")).starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn dfg_validate_answers_summary_or_byte_offset_diagnostics() {
+        let sh = shared();
+        let ok = drive(&sh, &post("/v1/dfg/validate", TINY_WIRE));
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        for needle in ["\"ok\"", "tiny", "\"hash\"", "\"canonical\""] {
+            assert!(ok.contains(needle), "missing {needle}: {ok}");
+        }
+        let bad = drive(
+            &sh,
+            &post("/v1/dfg/validate", r#"{"nodes":[{"id":"a","op":"bogus"}]}"#),
+        );
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        assert!(bad.contains("byte "), "offset missing: {bad}");
+        let empty = drive(&sh, &post("/v1/dfg/validate", ""));
+        assert!(empty.starts_with("HTTP/1.1 400"), "{empty}");
+    }
+
+    #[test]
+    fn inline_dfg_explore_routes_answer_a_frontier() {
+        let sh = shared();
+        let body =
+            format!(r#"{{"dfg":{TINY_WIRE},"max_muls":1,"max_adds":1,"trials":20,"p":[0.5]}}"#);
+        let spelled = drive(&sh, &post("/v1/dfg/explore", &body));
+        assert!(spelled.starts_with("HTTP/1.1 200"), "{spelled}");
+        assert!(spelled.contains("\"frontier\""), "{spelled}");
+        assert!(spelled.contains("X-Cache: miss"), "{spelled}");
+        // The short spelling is the same handler and therefore the same
+        // cache entry: this second request is a byte-identical hit.
+        let short = drive(&sh, &post("/v1/explore", &body));
+        assert!(short.contains("X-Cache: hit"), "{short}");
     }
 
     #[test]

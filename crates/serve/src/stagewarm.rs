@@ -1,0 +1,247 @@
+//! Stage-cache persistence: a replayable journal of synthesis specs.
+//!
+//! The stage cache maps content-addressed stage keys to `Arc<dyn Any>`
+//! stage outputs, which have no serialized form — so persistence is by
+//! *replay*, not serialization. Every synth/area spec whose pipeline
+//! run populated the cache is journalled here (one canonical JSON line,
+//! deduped by content hash), and on startup each line is re-run through
+//! the staged pipeline with a serial runner. Synthesis stages are pure
+//! and trial-free, so replay reconstructs the cache in milliseconds and
+//! the first client request after a restart lands on warm stages.
+//!
+//! The journal is self-healing: unparseable or no-longer-valid lines
+//! (e.g. a benchmark renamed away) are dropped at compaction, and the
+//! file is bounded to the most recent [`MAX_ENTRIES`] distinct specs.
+
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use tauhls_core::jobspec::{Endpoint, JobSpec};
+use tauhls_core::stages::Fnv64;
+use tauhls_core::StageCache;
+use tauhls_json::Json;
+use tauhls_sim::BatchRunner;
+
+/// Compaction keeps at most this many distinct spec lines (oldest are
+/// dropped first); a hostile client cycling specs cannot grow the
+/// journal without bound.
+const MAX_ENTRIES: usize = 256;
+
+/// What a warm-up replay did, for the startup event log.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct WarmSummary {
+    /// Spec lines replayed successfully (stage cache now warm for them).
+    pub replayed: usize,
+    /// Lines dropped: parse failures, duplicates, or replay errors.
+    pub dropped: usize,
+}
+
+/// The spec journal backing stage-cache warm-up. All methods are
+/// no-ops when constructed without a data directory.
+pub struct StageWarmer {
+    path: Option<PathBuf>,
+    file: Mutex<Option<File>>,
+    seen: Mutex<HashSet<u64>>,
+}
+
+impl StageWarmer {
+    /// Opens (or creates) `stage_warm.journal` under `data_dir`; pass
+    /// `None` for a disabled warmer (in-memory servers, tests).
+    pub fn open(data_dir: Option<&Path>) -> StageWarmer {
+        StageWarmer {
+            path: data_dir.map(|dir| dir.join("stage_warm.journal")),
+            file: Mutex::new(None),
+            seen: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Whether this spec's pipeline products belong in the journal:
+    /// synth and area runs populate the stage cache deterministically
+    /// and replay without Monte-Carlo cost.
+    fn warmable(spec: &JobSpec) -> bool {
+        matches!(spec.endpoint(), Endpoint::Synth | Endpoint::Area)
+    }
+
+    fn lock_seen(&self) -> MutexGuard<'_, HashSet<u64>> {
+        self.seen.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replays the journal into `stages`, compacts the file to the
+    /// surviving lines, and leaves the journal open for appends.
+    pub fn warm(&self, stages: &StageCache) -> WarmSummary {
+        let Some(path) = &self.path else {
+            return WarmSummary::default();
+        };
+        let text = fs::read_to_string(path).unwrap_or_default();
+        let mut summary = WarmSummary::default();
+        let mut kept: Vec<String> = Vec::new();
+        let mut seen = self.lock_seen();
+        let runner = BatchRunner::sized(Some(1));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let replayed = Json::parse(line)
+                .ok()
+                .and_then(|doc| JobSpec::from_canonical(&doc).ok())
+                .filter(StageWarmer::warmable)
+                .filter(|spec| seen.insert(line_hash(&spec.cache_key())))
+                .and_then(|spec| spec.run_with(&runner, Some(stages)).ok().map(|_| spec));
+            match replayed {
+                Some(spec) => {
+                    summary.replayed += 1;
+                    let mut entry = spec.cache_key();
+                    entry.push('\n');
+                    kept.push(entry);
+                }
+                None => summary.dropped += 1,
+            }
+        }
+        if kept.len() > MAX_ENTRIES {
+            let excess = kept.len() - MAX_ENTRIES;
+            kept.drain(..excess);
+        }
+        let reopened = (|| -> std::io::Result<File> {
+            let tmp = path.with_extension("journal.tmp");
+            let mut file = File::create(&tmp)?;
+            for entry in &kept {
+                file.write_all(entry.as_bytes())?;
+            }
+            file.sync_all()?;
+            fs::rename(&tmp, path)?;
+            OpenOptions::new().append(true).open(path)
+        })();
+        match reopened {
+            Ok(file) => {
+                let mut guard = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+                *guard = Some(file);
+            }
+            Err(e) => {
+                eprintln!("tauhls-serve: stage-warm journal unavailable ({e}); warm-up disabled");
+            }
+        }
+        summary
+    }
+
+    /// Records one successfully-run spec. Non-warmable endpoints and
+    /// specs already journalled are skipped; a write failure downgrades
+    /// to in-memory operation with a diagnostic.
+    pub fn record(&self, spec: &JobSpec) {
+        if self.path.is_none() || !StageWarmer::warmable(spec) {
+            return;
+        }
+        let line = spec.cache_key();
+        if !self.lock_seen().insert(line_hash(&line)) {
+            return;
+        }
+        let mut guard = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(file) = guard.as_mut() {
+            let mut text = line;
+            text.push('\n');
+            let wrote = file
+                .write_all(text.as_bytes())
+                .and_then(|()| file.sync_data());
+            if let Err(e) = wrote {
+                eprintln!("tauhls-serve: stage-warm journal write failed ({e}); continuing");
+                *guard = None;
+            }
+        }
+    }
+}
+
+fn line_hash(line: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(line.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::SeqCst);
+            let dir = std::env::temp_dir()
+                .join(format!("tauhls-stagewarm-{tag}-{}-{n}", std::process::id()));
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn synth_spec(benchmark: &str) -> JobSpec {
+        let doc = Json::parse(&format!(r#"{{"dfg":"{benchmark}"}}"#)).expect("spec json");
+        JobSpec::from_json(Endpoint::Synth, &doc).expect("valid synth spec")
+    }
+
+    #[test]
+    fn record_then_warm_replays_specs_into_a_fresh_cache() {
+        let tmp = TempDir::new("roundtrip");
+        let warmer = StageWarmer::open(Some(&tmp.0));
+        assert_eq!(warmer.warm(&StageCache::new(64)), WarmSummary::default());
+        let spec = synth_spec("fir3");
+        warmer.record(&spec);
+        warmer.record(&spec); // dedup: second record is a no-op
+        warmer.record(&synth_spec("diffeq"));
+        // Simulate-class specs never enter the journal.
+        let sim_doc = Json::parse(r#"{"trials":10}"#).expect("spec json");
+        let sim = JobSpec::from_json(Endpoint::Simulate, &sim_doc).expect("valid");
+        warmer.record(&sim);
+
+        let reopened = StageWarmer::open(Some(&tmp.0));
+        let cache = StageCache::new(64);
+        let summary = reopened.warm(&cache);
+        assert_eq!(
+            summary,
+            WarmSummary {
+                replayed: 2,
+                dropped: 0
+            }
+        );
+        // The cache is genuinely warm: re-running the spec hits every
+        // stage instead of recomputing it.
+        let runner = BatchRunner::sized(Some(1));
+        let (_, records) = spec.run_with(&runner, Some(&cache)).expect("replay runs");
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.cache_hit),
+            "expected all stages warm, got {records:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_lines_are_dropped_and_compacted_away() {
+        let tmp = TempDir::new("corrupt");
+        let path = tmp.0.join("stage_warm.journal");
+        let good = synth_spec("fir3").cache_key();
+        let contents = format!("not json\n{good}\n{{\"endpoint\":\"simulate\"}}\n{good}\n");
+        fs::write(&path, contents).expect("seed journal");
+        let warmer = StageWarmer::open(Some(&tmp.0));
+        let summary = warmer.warm(&StageCache::new(64));
+        assert_eq!(summary.replayed, 1);
+        assert_eq!(summary.dropped, 3); // junk, wrong endpoint, duplicate
+        let compacted = fs::read_to_string(&path).expect("journal exists");
+        assert_eq!(compacted, format!("{good}\n"));
+    }
+
+    #[test]
+    fn disabled_warmer_is_inert() {
+        let warmer = StageWarmer::open(None);
+        warmer.record(&synth_spec("fir3"));
+        assert_eq!(warmer.warm(&StageCache::new(4)), WarmSummary::default());
+    }
+}

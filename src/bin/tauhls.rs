@@ -2,19 +2,27 @@
 //! synthesis pipeline.
 //!
 //! ```text
-//! tauhls synth      <file.dfg> [options]   staged pipeline: controllers + area table
+//! tauhls synth      <file> [options]       staged pipeline: controllers + area table
 //!                                          (--json: artifact-hash chain + timings)
-//! tauhls simulate   <file.dfg> [options]   latency: distributed vs centralized styles
+//! tauhls simulate   <file> [options]       latency: distributed vs centralized styles
 //! tauhls table2     [options]              paper Table 2 (LT_TAU/LT_DIST/LT_CENT)
-//! tauhls resilience <file.dfg> [options]   fault-injection sweep (JSON report)
-//! tauhls report     <file.dfg> [options]   whole-system area breakdown
-//! tauhls verilog    <file.dfg> [options]   emit the control unit as Verilog
-//! tauhls dot        <file.dfg> [options]   emit the bound DFG as Graphviz DOT
+//! tauhls resilience <file> [options]       fault-injection sweep (JSON report)
+//! tauhls report     <file> [options]       whole-system area breakdown
+//! tauhls verilog    <file> [options]       emit the control unit as Verilog
+//! tauhls dot        <file> [options]       emit the bound DFG as Graphviz DOT
+//! tauhls explore    <file> [explore opts]  latency/area Pareto design-space sweep
+//! tauhls dfg        <verb> <file>          wire-format tooling:
+//!                                          validate (summary + content hash)
+//!                                          dot (Graphviz) | convert (wire <-> text)
 //! tauhls serve      [serve options]        run the HTTP simulation service
 //! tauhls call       <endpoint> [spec.json] query a running service
 //! tauhls jobs       <verb> ...             async jobs against a service:
 //!                                          submit <endpoint> [spec.json]
 //!                                          status|result|cancel <job-id>
+//!
+//! Every <file> accepts both DFG formats: the classic `.dfg` text and
+//! the JSON wire format (`{"nodes":[...],"edges":[...],...}`) — the
+//! loader sniffs a leading `{`.
 //!
 //! options:
 //!   --muls N --adds N --subs N   allocation (default 2/1/1; × telescopic)
@@ -27,6 +35,13 @@
 //!                                cores; results identical for any N)
 //!   --json                       synth only: emit the artifact-hash chain
 //!                                and per-stage wall times as JSON
+//!
+//! explore options (the same knobs as `POST /v1/explore`):
+//!   --max-muls N --max-adds N --max-subs N   allocation maxima (default 4/2/2)
+//!   --encodings LIST             comma-separated encodings (default binary)
+//!   --p LIST                     completion probabilities (default 0.9,0.7,0.5)
+//!   --sd-ld LIST                 short/long clock ratios in [0.5,1] (default 0.75)
+//!   --trials N --width N --seed N --threads N  as above (defaults 400/16/2003)
 //!
 //! serve options:
 //!   --addr HOST:PORT             listen address (default 127.0.0.1:7203)
@@ -46,8 +61,9 @@
 //!                                (default 20/s, burst 40)
 //!   --max-pending N              per-client pending-job quota (default 64)
 //!
-//! call: endpoint is simulate|table2|resilience|synth|area|healthz|metrics;
-//! the optional spec.json is POSTed as the job spec. --addr as above.
+//! call: endpoint is simulate|table2|resilience|synth|area|explore|
+//! status|healthz|metrics; the optional spec.json is POSTed as the job
+//! spec (status/healthz/metrics are GETs). --addr as above.
 //!
 //! jobs: submit POSTs `/v1/jobs` (options: --client NAME, --priority 0..9,
 //! --wait to poll until the job is terminal and print its result);
@@ -57,10 +73,10 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
-use tauhls::core::jobspec::Endpoint;
+use tauhls::core::jobspec::{Endpoint, JobSpec};
 use tauhls::core::resilience::resilience_sweep;
 use tauhls::core::stages::{self, BindStrategy, PipelineTrace, SynthesisInput};
-use tauhls::dfg::parse_dfg;
+use tauhls::dfg::{canonical_wire, dfg_to_text, parse_dfg, parse_wire_dfg, wire_hash, Dfg};
 use tauhls::fsm::{control_unit_to_verilog, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
@@ -101,21 +117,42 @@ impl Default for Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file.dfg> \
+        "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
          [--threads N] [--json]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
+         \n       tauhls explore <file> [--max-muls N] [--max-adds N] [--max-subs N] \
+         [--encodings binary,gray] [--p 0.9,0.5] [--sd-ld 0.75,1.0] [--trials N] \
+         [--width N] [--seed N] [--threads N]\
+         \n       tauhls dfg <validate|dot|convert> <file>\
          \n       tauhls serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--stage-cache N] [--threads N] [--data-dir PATH] \
          [--job-workers N] [--job-queue N] [--max-attempts N] [--backoff-ms N] \
          [--rate R] [--burst B] [--max-pending N]\
-         \n       tauhls call <simulate|table2|resilience|synth|area|healthz|metrics> \
-         [spec.json] [--addr HOST:PORT]\
+         \n       tauhls call <simulate|table2|resilience|synth|area|explore|status|\
+healthz|metrics> [spec.json] [--addr HOST:PORT]\
          \n       tauhls jobs submit <endpoint> [spec.json] [--addr HOST:PORT] \
          [--client NAME] [--priority 0..9] [--wait]\
-         \n       tauhls jobs <status|result|cancel> <job-id> [--addr HOST:PORT]"
+         \n       tauhls jobs <status|result|cancel> <job-id> [--addr HOST:PORT]\
+         \n\nDFG files may be classic `.dfg` text or the JSON wire format."
     );
     ExitCode::from(2)
+}
+
+/// Parses a DFG from either on-disk format: a leading `{` selects the
+/// JSON wire format, anything else the classic `.dfg` text. Wire errors
+/// carry their byte offset, exactly as the service's `400` bodies do.
+fn parse_dfg_any(text: &str) -> Result<Dfg, String> {
+    if text.trim_start().starts_with('{') {
+        parse_wire_dfg(text).map_err(|e| e.to_string())
+    } else {
+        parse_dfg(text).map_err(|e| e.to_string())
+    }
+}
+
+fn load_dfg(path: &str) -> Result<Dfg, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_dfg_any(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -167,8 +204,7 @@ fn runner_for(threads: Option<usize>) -> BatchRunner {
 }
 
 fn bind(path: &str, o: &Options) -> Result<BoundDfg, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let dfg = parse_dfg(&text).map_err(|e| format!("{path}: {e}"))?;
+    let dfg = load_dfg(path)?;
     let alloc = Allocation::paper(o.muls, o.adds, o.subs);
     if !alloc.covers(&dfg) {
         return Err("allocation lacks a unit for a used operation class".to_string());
@@ -183,8 +219,7 @@ fn bind(path: &str, o: &Options) -> Result<BoundDfg, String> {
 /// `tauhls synth`: the full staged pipeline, from parsed DFG to gate-level
 /// controllers, with the artifact-hash chain and per-stage wall times.
 fn cmd_synth(path: &str, o: &Options) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let dfg = parse_dfg(&text).map_err(|e| format!("{path}: {e}"))?;
+    let dfg = load_dfg(path)?;
     let input = SynthesisInput {
         dfg,
         allocation: Allocation::paper(o.muls, o.adds, o.subs),
@@ -330,6 +365,108 @@ fn cmd_resilience(bound: &BoundDfg, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `tauhls explore`: the Pareto design-space sweep, locally. The flags
+/// assemble the exact `POST /v1/explore` job spec, so the printed body
+/// is byte-identical to what the service would answer for the same
+/// graph and knobs.
+fn cmd_explore(path: &str, args: &[String]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    if text.trim_start().starts_with('{') {
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        pairs.push(("dfg", doc));
+    } else {
+        pairs.push(("dfg_text", Json::from(text.as_str())));
+    }
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("missing value for {flag}"));
+        let uint = |key: &'static str, v: &str| -> Result<(&'static str, Json), String> {
+            let n: u64 = v.parse().map_err(|e| format!("{flag}: {e}"))?;
+            Ok((key, Json::from(n)))
+        };
+        let floats = |key: &'static str, v: &str| -> Result<(&'static str, Json), String> {
+            let vals = v
+                .split(',')
+                .map(|t| t.parse::<f64>().map_err(|e| format!("{flag}: {e}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((
+                key,
+                Json::Array(vals.into_iter().map(Json::Float).collect()),
+            ))
+        };
+        match flag.as_str() {
+            "--max-muls" => pairs.push(uint("max_muls", value()?)?),
+            "--max-adds" => pairs.push(uint("max_adds", value()?)?),
+            "--max-subs" => pairs.push(uint("max_subs", value()?)?),
+            "--trials" => pairs.push(uint("trials", value()?)?),
+            "--width" => pairs.push(uint("width", value()?)?),
+            "--seed" => pairs.push(uint("seed", value()?)?),
+            "--p" => pairs.push(floats("p", value()?)?),
+            "--sd-ld" => pairs.push(floats("sd_ld", value()?)?),
+            "--encodings" => pairs.push((
+                "encodings",
+                Json::Array(value()?.split(',').map(Json::from).collect()),
+            )),
+            "--threads" => threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?),
+            other => return Err(format!("unknown explore option {other}")),
+        }
+    }
+    let spec =
+        JobSpec::from_json(Endpoint::Explore, &Json::object(pairs)).map_err(|e| e.to_string())?;
+    let runner = runner_for(threads);
+    let (body, _records) = spec.run_with(&runner, None).map_err(|e| e.to_string())?;
+    println!("{}", body.to_pretty());
+    Ok(())
+}
+
+/// `tauhls dfg`: wire-format tooling. `validate` answers the same
+/// summary (and the same byte-offset diagnostics) as
+/// `POST /v1/dfg/validate`; `dot` renders Graphviz; `convert` flips a
+/// document between the wire format and the classic text format.
+fn cmd_dfg(args: &[String]) -> Result<(), String> {
+    let (Some(verb), Some(path)) = (args.first(), args.get(1)) else {
+        return Err("dfg needs a verb (validate|dot|convert) and a file".to_string());
+    };
+    if args.len() > 2 {
+        return Err(format!("too many arguments to dfg {verb}"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match verb.as_str() {
+        "validate" => {
+            let dfg = parse_dfg_any(&text).map_err(|e| format!("{path}: {e}"))?;
+            let canonical = canonical_wire(&dfg);
+            let body = Json::object([
+                ("ok", Json::from(true)),
+                ("name", Json::from(dfg.name())),
+                ("ops", Json::from(dfg.num_ops())),
+                ("inputs", Json::from(dfg.input_names().len())),
+                ("outputs", Json::from(dfg.outputs().len())),
+                (
+                    "hash",
+                    Json::from(format!("{:016x}", wire_hash(&canonical)).as_str()),
+                ),
+            ]);
+            println!("{}", body.to_pretty());
+        }
+        "dot" => {
+            let dfg = parse_dfg_any(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", tauhls::dfg::to_dot(&dfg, &[]));
+        }
+        "convert" => {
+            let dfg = parse_dfg_any(&text).map_err(|e| format!("{path}: {e}"))?;
+            if text.trim_start().starts_with('{') {
+                print!("{}", dfg_to_text(&dfg));
+            } else {
+                println!("{canonical}", canonical = canonical_wire(&dfg));
+            }
+        }
+        other => return Err(format!("unknown dfg verb '{other}' (validate|dot|convert)")),
+    }
+    Ok(())
+}
+
 /// Parses `tauhls serve` flags onto a [`ServeConfig`].
 fn parse_serve_options(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
@@ -444,7 +581,8 @@ fn cmd_call(args: &[String]) -> ExitCode {
     }
     let (Some(endpoint), spec_path) = (positional.first(), positional.get(1)) else {
         eprintln!(
-            "error: call needs an endpoint (simulate|table2|resilience|synth|area|healthz|metrics)"
+            "error: call needs an endpoint \
+             (simulate|table2|resilience|synth|area|explore|status|healthz|metrics)"
         );
         return ExitCode::FAILURE;
     };
@@ -455,11 +593,12 @@ fn cmd_call(args: &[String]) -> ExitCode {
     let (method, path) = match endpoint.as_str() {
         "healthz" => ("GET", "/healthz".to_string()),
         "metrics" => ("GET", "/metrics".to_string()),
+        "status" => ("GET", "/v1/status".to_string()),
         name if Endpoint::parse(name).is_some() => ("POST", format!("/v1/{name}")),
         other => {
             eprintln!(
                 "error: unknown endpoint '{other}' \
-                 (simulate|table2|resilience|synth|area|healthz|metrics)"
+                 (simulate|table2|resilience|synth|area|explore|status|healthz|metrics)"
             );
             return ExitCode::FAILURE;
         }
@@ -536,7 +675,8 @@ fn cmd_jobs(args: &[String]) -> ExitCode {
         "submit" => {
             let Some(endpoint) = positional.get(1) else {
                 eprintln!(
-                    "error: jobs submit needs an endpoint (simulate|table2|resilience|synth|area)"
+                    "error: jobs submit needs an endpoint \
+                     (simulate|table2|resilience|synth|area|explore)"
                 );
                 return ExitCode::FAILURE;
             };
@@ -711,6 +851,27 @@ fn main() -> ExitCode {
     if cmd == "jobs" {
         return cmd_jobs(&args[1..]);
     }
+    if cmd == "dfg" {
+        return match cmd_dfg(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "explore" {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        return match cmd_explore(path, &args[2..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // `table2` runs the built-in paper suite and takes no DFG file.
     if cmd == "table2" {
         let options = match parse_options(&args[1..]) {
@@ -777,8 +938,7 @@ fn main() -> ExitCode {
         "report" => {
             // The system report needs a Design; rebuild through the
             // pipeline (same binding strategy as requested).
-            let text = std::fs::read_to_string(path).expect("readable (already parsed)");
-            let dfg = parse_dfg(&text).expect("parsable (already parsed)");
+            let dfg = load_dfg(path).expect("loadable (already parsed)");
             let design = tauhls::Synthesis::new(dfg)
                 .allocation(Allocation::paper(options.muls, options.adds, options.subs))
                 .run()
