@@ -172,6 +172,106 @@ fn await_job(addr: &str, id: &str) -> String {
     }
 }
 
+/// Monte-Carlo batch sharded across the cluster pass — sized so a
+/// single `--threads 1` worker takes a few seconds in release mode.
+const CLUSTER_TRIALS: u64 = 60000;
+const CLUSTER_P: &str = "[0.9,0.85,0.8,0.75,0.7,0.65,0.6,0.55,0.5,0.45,0.4,0.35]";
+
+fn cluster_spec() -> String {
+    format!(r#"{{"dfg":"ewf","trials":{CLUSTER_TRIALS},"p":{CLUSTER_P},"seed":77}}"#)
+}
+
+/// Starts one cluster node — a plain worker when `peers` is `None`, a
+/// coordinator over the listed workers otherwise. Single-threaded
+/// simulation so the 1-vs-3-worker comparison measures sharding, not
+/// the in-process thread pool.
+fn start_node(binary: Option<&str>, peers: Option<&std::path::Path>) -> (Instance, String) {
+    match binary {
+        Some(bin) => {
+            let mut args = vec![
+                "serve".to_string(),
+                "--addr".to_string(),
+                "127.0.0.1:0".to_string(),
+                "--threads".to_string(),
+                "1".to_string(),
+            ];
+            if let Some(path) = peers {
+                args.push("--workers-file".to_string());
+                args.push(path.to_str().expect("utf-8 peers path").to_string());
+            }
+            let mut child = Command::new(bin)
+                .args(&args)
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn cluster node");
+            let mut banner = String::new();
+            std::io::BufReader::new(child.stdout.take().expect("stdout piped"))
+                .read_line(&mut banner)
+                .expect("read banner");
+            let addr = banner
+                .trim()
+                .strip_prefix("listening on ")
+                .expect("banner format")
+                .to_string();
+            (Instance::Spawned(child), addr)
+        }
+        None => {
+            let server = Server::start(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                sim_threads: Some(1),
+                workers_file: peers.map(std::path::Path::to_path_buf),
+                ..ServeConfig::default()
+            })
+            .expect("bind cluster node");
+            let addr = server.local_addr().to_string();
+            (Instance::InProcess(server), addr)
+        }
+    }
+}
+
+/// Runs the cluster batch through a fresh coordinator over `workers`
+/// real worker addresses (plus optionally one dead address, to measure
+/// requeue recovery); returns (elapsed, merged body).
+fn cluster_batch(
+    binary: Option<&str>,
+    dir: &std::path::Path,
+    worker_count: usize,
+    with_dead_worker: bool,
+) -> (Duration, String) {
+    let nodes: Vec<(Instance, String)> = (0..worker_count)
+        .map(|_| start_node(binary, None))
+        .collect();
+    let mut addrs: Vec<String> = nodes.iter().map(|(_, a)| a.clone()).collect();
+    if with_dead_worker {
+        // Port 9 (discard) answers nothing; localhost connects are
+        // refused immediately, so this measures the requeue path, not
+        // a connect timeout.
+        addrs.push("127.0.0.1:9".to_string());
+    }
+    let peers = dir.join(format!("peers-{worker_count}-{with_dead_worker}.json"));
+    let body = format!(
+        "[{}]",
+        addrs
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    std::fs::write(&peers, body).expect("write peers file");
+    let (coordinator, caddr) = start_node(binary, Some(&peers));
+    let spec = cluster_spec();
+    let start = Instant::now();
+    let r = client::request(&caddr, "POST", "/v1/simulate", Some(&spec), TIMEOUT)
+        .expect("clustered batch");
+    let elapsed = start.elapsed();
+    assert_eq!(r.status, 200, "{}", r.body);
+    stop(coordinator);
+    for (node, _) in nodes {
+        stop(node);
+    }
+    (elapsed, r.body)
+}
+
 fn main() {
     let binary = std::env::args().nth(1);
     let data_dir = std::env::temp_dir().join(format!("tauhls-serve-smoke-{}", std::process::id()));
@@ -271,6 +371,29 @@ fn main() {
     stop(instance);
     let _ = std::fs::remove_dir_all(&data_dir);
 
+    // Cluster pass: the identical batch through a coordinator at 1 and
+    // 3 workers (merges must be byte-identical), plus a requeue run
+    // where one registered worker address is dead from the start — the
+    // difference against the clean 1-worker run is the price of
+    // detecting the loss and requeueing its partition.
+    let cluster_dir =
+        std::env::temp_dir().join(format!("tauhls-cluster-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cluster_dir);
+    std::fs::create_dir_all(&cluster_dir).expect("create cluster dir");
+    let (one_elapsed, one_body) = cluster_batch(binary.as_deref(), &cluster_dir, 1, false);
+    let (three_elapsed, three_body) = cluster_batch(binary.as_deref(), &cluster_dir, 3, false);
+    assert_eq!(
+        one_body, three_body,
+        "1-worker and 3-worker merges diverged"
+    );
+    let (requeue_elapsed, requeue_body) = cluster_batch(binary.as_deref(), &cluster_dir, 1, true);
+    assert_eq!(requeue_body, one_body, "requeue changed the merged bytes");
+    let requeue_recovery = (requeue_elapsed.as_secs_f64() - one_elapsed.as_secs_f64()).max(0.0);
+    let _ = std::fs::remove_dir_all(&cluster_dir);
+    let cluster_units = (CLUSTER_TRIALS * 12) as f64;
+    let cluster_one_tps = cluster_units / one_elapsed.as_secs_f64();
+    let cluster_three_tps = cluster_units / three_elapsed.as_secs_f64();
+
     let cold_rps = COLD_JOBS as f64 / cold_elapsed.as_secs_f64();
     let hit_rps = HIT_JOBS as f64 / hit_elapsed.as_secs_f64();
     let concurrent_rps =
@@ -285,6 +408,12 @@ fn main() {
         replay_elapsed.as_secs_f64() * 1e3
     );
     println!("cache hits {hits} / misses {misses}, {trials} trials simulated");
+    println!("cluster 1 worker:   {cluster_one_tps:>10.0} trials/sec");
+    println!("cluster 3 workers:  {cluster_three_tps:>10.0} trials/sec");
+    println!(
+        "requeue recovery:   {:>10.1} ms (one dead worker)",
+        requeue_recovery * 1e3
+    );
 
     let report = Json::object([
         (
@@ -316,6 +445,19 @@ fn main() {
         ("cache_hit_rate", Json::from(hits / (hits + misses))),
         ("trials_total", Json::from(trials)),
         ("simulate_requests_total", Json::from(simulate_count)),
+        ("cluster_batch_trials", Json::from(CLUSTER_TRIALS * 12)),
+        (
+            "cluster_1worker_trials_per_sec",
+            Json::from(cluster_one_tps),
+        ),
+        (
+            "cluster_3workers_trials_per_sec",
+            Json::from(cluster_three_tps),
+        ),
+        (
+            "cluster_requeue_recovery_seconds",
+            Json::from(requeue_recovery),
+        ),
     ]);
     std::fs::write("BENCH_serve.json", report.to_pretty()).expect("write BENCH_serve.json");
     println!("BENCH_serve.json written");

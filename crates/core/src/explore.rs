@@ -251,6 +251,22 @@ pub fn design_space(
     runner: &BatchRunner,
     stage_cache: Option<&StageCache>,
 ) -> Result<(Vec<SweepPoint>, Vec<StageRecord>), SweepError> {
+    let allocs = enumerate_allocations(dfg, params);
+    let (mut points, records) = design_space_slice(dfg, params, &allocs, runner, stage_cache)?;
+    mark_scenario_pareto(&mut points);
+    Ok((points, records))
+}
+
+/// The deterministic allocation enumeration a sweep iterates: class-aware
+/// ranges (a class with no operations gets 0 units, otherwise `1..=max`),
+/// filtered to allocations that cover `dfg`, in nested
+/// muls → adds → subs order.
+///
+/// Exposed so a distributed coordinator can plan contiguous partitions
+/// over exactly the order [`design_space`] uses; each allocation is
+/// independently seeded by its triple, so any contiguous slice computes
+/// the same points the full sweep would.
+pub fn enumerate_allocations(dfg: &Dfg, params: &SweepParams) -> Vec<(usize, usize, usize)> {
     let hist = dfg.class_histogram();
     let need = |c: ResourceClass| hist.get(&c).copied().unwrap_or(0);
     let range = |c: ResourceClass, max: usize| {
@@ -260,75 +276,98 @@ pub fn design_space(
             1..=max.max(1)
         }
     };
-    let ld_ns = Timing::default().ld_ns;
-    let mut points = Vec::new();
-    let mut records = Vec::new();
-
+    let mut allocs = Vec::new();
     for muls in range(ResourceClass::Multiplier, params.max_muls) {
         for adds in range(ResourceClass::Adder, params.max_adds) {
             for subs in range(ResourceClass::Subtractor, params.max_subs) {
-                let alloc = Allocation::paper(muls, adds, subs);
-                if !alloc.covers(dfg) {
-                    continue;
-                }
-                let bound = BoundDfg::bind(dfg, &alloc);
-                let point_id = ((muls as u64) << 16) | ((adds as u64) << 8) | subs as u64;
-                let point_seed = derive_seed(params.seed, point_id, 0);
-                let (_, dist) =
-                    latency_pair_batch(&bound, &params.p_values, params.trials, point_seed, runner)
-                        .map_err(SweepError::Sim)?;
-                let mut areas = Vec::with_capacity(params.encodings.len());
-                for &encoding in &params.encodings {
-                    let input = SynthesisInput {
-                        dfg: dfg.clone(),
-                        allocation: Allocation::paper(muls, adds, subs),
-                        strategy: BindStrategy::LeftEdge,
-                    };
-                    let mut trace = PipelineTrace::default();
-                    let (logic, _) = stages::run_full(
-                        &input,
-                        false,
-                        encoding,
-                        &AreaModel::default(),
-                        stage_cache,
-                        &mut trace,
-                    )
-                    .map_err(SweepError::Synthesis)?;
-                    records.extend(trace.records);
-                    let area = system_area_from_logic(&logic, &AreaModel::default(), params.width);
-                    areas.push(area.total());
-                }
-                for (ip, &p) in params.p_values.iter().enumerate() {
-                    let cycles = dist.average_cycles[ip];
-                    for (ie, &encoding) in params.encodings.iter().enumerate() {
-                        for &ratio in &params.sd_ld {
-                            points.push(SweepPoint {
-                                muls,
-                                adds,
-                                subs,
-                                encoding,
-                                p,
-                                sd_ld: ratio,
-                                avg_cycles: cycles,
-                                latency_ns: cycles * ld_ns * ratio,
-                                area_ge: areas[ie],
-                                pareto: false,
-                            });
-                        }
-                    }
+                if Allocation::paper(muls, adds, subs).covers(dfg) {
+                    allocs.push((muls, adds, subs));
                 }
             }
         }
     }
+    allocs
+}
 
-    mark_scenario_pareto(&mut points);
+/// Measures the sweep points of an explicit allocation list — a
+/// contiguous slice of [`enumerate_allocations`] when called by a
+/// partition, or the full list when called by [`design_space`].
+///
+/// Per-allocation seeding (`derive_seed(seed, point_id, 0)` from the
+/// triple) makes the output independent of which slice an allocation
+/// lands in. Pareto flags are **not** marked: domination is judged across
+/// the whole grid, so the caller runs [`mark_scenario_pareto`] after
+/// concatenating slices in enumeration order.
+pub fn design_space_slice(
+    dfg: &Dfg,
+    params: &SweepParams,
+    allocs: &[(usize, usize, usize)],
+    runner: &BatchRunner,
+    stage_cache: Option<&StageCache>,
+) -> Result<(Vec<SweepPoint>, Vec<StageRecord>), SweepError> {
+    let ld_ns = Timing::default().ld_ns;
+    let mut points = Vec::new();
+    let mut records = Vec::new();
+
+    for &(muls, adds, subs) in allocs {
+        let alloc = Allocation::paper(muls, adds, subs);
+        let bound = BoundDfg::bind(dfg, &alloc);
+        let point_id = ((muls as u64) << 16) | ((adds as u64) << 8) | subs as u64;
+        let point_seed = derive_seed(params.seed, point_id, 0);
+        let (_, dist) =
+            latency_pair_batch(&bound, &params.p_values, params.trials, point_seed, runner)
+                .map_err(SweepError::Sim)?;
+        let mut areas = Vec::with_capacity(params.encodings.len());
+        for &encoding in &params.encodings {
+            let input = SynthesisInput {
+                dfg: dfg.clone(),
+                allocation: Allocation::paper(muls, adds, subs),
+                strategy: BindStrategy::LeftEdge,
+            };
+            let mut trace = PipelineTrace::default();
+            let (logic, _) = stages::run_full(
+                &input,
+                false,
+                encoding,
+                &AreaModel::default(),
+                stage_cache,
+                &mut trace,
+            )
+            .map_err(SweepError::Synthesis)?;
+            records.extend(trace.records);
+            let area = system_area_from_logic(&logic, &AreaModel::default(), params.width);
+            areas.push(area.total());
+        }
+        for (ip, &p) in params.p_values.iter().enumerate() {
+            let cycles = dist.average_cycles[ip];
+            for (ie, &encoding) in params.encodings.iter().enumerate() {
+                for &ratio in &params.sd_ld {
+                    points.push(SweepPoint {
+                        muls,
+                        adds,
+                        subs,
+                        encoding,
+                        p,
+                        sd_ld: ratio,
+                        avg_cycles: cycles,
+                        latency_ns: cycles * ld_ns * ratio,
+                        area_ge: areas[ie],
+                        pareto: false,
+                    });
+                }
+            }
+        }
+    }
     Ok((points, records))
 }
 
 /// Marks each point's `pareto` flag within its `(p, sd_ld)` scenario
 /// group. Exact float equality is the group key — every group member
 /// carries the identical swept value, not a recomputation.
-fn mark_scenario_pareto(points: &mut [SweepPoint]) {
+///
+/// Public so a merge of distributed partials can re-run the exact filter
+/// [`design_space`] applies after reassembling the grid.
+pub fn mark_scenario_pareto(points: &mut [SweepPoint]) {
     const LAT_EPS: f64 = 0.02;
     let snapshot: Vec<(f64, f64, f64, f64)> = points
         .iter()

@@ -107,7 +107,7 @@ impl Endpoint {
     }
 }
 
-fn encoding_name(encoding: Encoding) -> &'static str {
+pub(crate) fn encoding_name(encoding: Encoding) -> &'static str {
     match encoding {
         Encoding::Binary => "binary",
         Encoding::Gray => "gray",
@@ -115,7 +115,7 @@ fn encoding_name(encoding: Encoding) -> &'static str {
     }
 }
 
-fn parse_encoding(s: &str) -> Option<Encoding> {
+pub(crate) fn parse_encoding(s: &str) -> Option<Encoding> {
     Some(match s {
         "binary" => Encoding::Binary,
         "gray" => Encoding::Gray,
@@ -130,7 +130,7 @@ pub use tauhls_dfg::DfgSource;
 /// the only registry the service exposes. `DfgSource` itself is
 /// registry-agnostic, so embedders can resolve the same specs against
 /// their own [`DfgRegistry`].
-fn build_dfg(source: &DfgSource) -> Result<Dfg, String> {
+pub(crate) fn build_dfg(source: &DfgSource) -> Result<Dfg, String> {
     source.resolve(DfgRegistry::builtin())
 }
 
@@ -250,6 +250,25 @@ pub struct ExploreSpec {
     pub seed: u64,
 }
 
+impl ExploreSpec {
+    /// The [`SweepParams`] this spec describes — the single source of
+    /// truth shared by whole-job execution and distributed partitions, so
+    /// both enumerate and seed the identical grid.
+    pub fn sweep_params(&self) -> SweepParams {
+        SweepParams {
+            max_muls: self.max_muls,
+            max_adds: self.max_adds,
+            max_subs: self.max_subs,
+            encodings: self.encodings.clone(),
+            p_values: self.p_values.clone(),
+            sd_ld: self.sd_ld.clone(),
+            trials: self.trials,
+            width: self.width,
+            seed: self.seed,
+        }
+    }
+}
+
 /// One validated, canonicalized service job.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobSpec {
@@ -292,7 +311,7 @@ impl fmt::Display for JobError {
 impl std::error::Error for JobError {}
 
 impl JobError {
-    fn from_sim(err: SimError) -> JobError {
+    pub(crate) fn from_sim(err: SimError) -> JobError {
         match err {
             SimError::Cancelled => JobError::Cancelled,
             SimError::InvalidConfig(m) => JobError::Invalid(m),
@@ -300,7 +319,7 @@ impl JobError {
         }
     }
 
-    fn from_synthesis(err: SynthesisError) -> JobError {
+    pub(crate) fn from_synthesis(err: SynthesisError) -> JobError {
         // Every synthesis failure is a property of the request (bad graph,
         // bad allocation, bad binding), so they all map to HTTP 400.
         JobError::Invalid(err.to_string())
@@ -547,7 +566,7 @@ fn check_synthesizable(
     Ok(())
 }
 
-fn bind_spec(
+pub(crate) fn bind_spec(
     dfg: &DfgSource,
     muls: usize,
     adds: usize,
@@ -1017,53 +1036,13 @@ impl JobSpec {
             }
             JobSpec::Explore(s) => {
                 let graph = build_dfg(&s.dfg).map_err(JobError::Invalid)?;
-                let params = SweepParams {
-                    max_muls: s.max_muls,
-                    max_adds: s.max_adds,
-                    max_subs: s.max_subs,
-                    encodings: s.encodings.clone(),
-                    p_values: s.p_values.clone(),
-                    sd_ld: s.sd_ld.clone(),
-                    trials: s.trials,
-                    width: s.width,
-                    seed: s.seed,
-                };
+                let params = s.sweep_params();
                 let (points, records) = design_space(&graph, &params, runner, stage_cache)
                     .map_err(|e| match e {
                         SweepError::Sim(err) => JobError::from_sim(err),
                         SweepError::Synthesis(err) => JobError::from_synthesis(err),
                     })?;
-                let point_json = |p: &SweepPoint| {
-                    Json::object([
-                        ("muls", Json::from(p.muls)),
-                        ("adds", Json::from(p.adds)),
-                        ("subs", Json::from(p.subs)),
-                        ("encoding", Json::from(encoding_name(p.encoding))),
-                        ("p", Json::Float(p.p)),
-                        ("sd_ld", Json::Float(p.sd_ld)),
-                        ("avg_cycles", Json::Float(p.avg_cycles)),
-                        ("latency_ns", Json::Float(p.latency_ns)),
-                        ("area_ge", Json::Float(p.area_ge)),
-                        ("pareto", Json::from(p.pareto)),
-                    ])
-                };
-                let frontier: Vec<Json> =
-                    points.iter().filter(|p| p.pareto).map(point_json).collect();
-                let all: Vec<Json> = points.iter().map(point_json).collect();
-                let body = Json::object([
-                    ("spec", self.canonical()),
-                    (
-                        "graph",
-                        Json::object([
-                            ("name", Json::from(graph.name())),
-                            ("ops", Json::from(graph.num_ops())),
-                            ("inputs", Json::from(graph.num_inputs())),
-                        ]),
-                    ),
-                    ("points", Json::array(all)),
-                    ("frontier", Json::array(frontier)),
-                ]);
-                Ok((body, records))
+                Ok((self.explore_body(&graph, &points), records))
             }
             _ => self.run_simulation(runner).map(|body| (body, Vec::new())),
         }
@@ -1118,27 +1097,7 @@ impl JobSpec {
                 let (tau, dist, cent) =
                     latency_triple_batch(&bound, &s.p_values, s.trials, s.seed, runner)
                         .map_err(JobError::from_sim)?;
-                let clk = Timing::default().clock_ns();
-                let cells = |summary: &LatencySummary| {
-                    Json::object([
-                        ("best_cycles", Json::from(summary.best_cycles)),
-                        ("average_cycles", Json::floats(&summary.average_cycles)),
-                        ("worst_cycles", Json::from(summary.worst_cycles)),
-                        (
-                            "rendered_ns",
-                            Json::from(summary.to_ns_string(clk).as_str()),
-                        ),
-                    ])
-                };
-                let enhancement = enhancement_percent(&tau, &dist);
-                Ok(Json::object([
-                    ("spec", self.canonical()),
-                    ("clock_ns", Json::from(clk)),
-                    ("lt_tau", cells(&tau)),
-                    ("lt_dist", cells(&dist)),
-                    ("lt_cent", cells(&cent)),
-                    ("enhancement_percent", Json::floats(&enhancement)),
-                ]))
+                Ok(self.simulate_body(&tau, &dist, &cent))
             }
             JobSpec::Table2(s) => {
                 let t = table2(s.trials as usize, s.seed, runner).map_err(JobError::from_sim)?;
@@ -1155,10 +1114,7 @@ impl JobSpec {
                 // cancellation instead of returning (and caching) a
                 // partially-populated report.
                 runner.check_cancelled().map_err(JobError::from_sim)?;
-                Ok(Json::object([
-                    ("spec", self.canonical()),
-                    ("report", report.to_json()),
-                ]))
+                Ok(self.resilience_body(&report))
             }
             // The synthesis and exploration endpoints are dispatched by
             // `run_with` before this helper is reached.
@@ -1166,6 +1122,80 @@ impl JobSpec {
                 unreachable!("synthesis endpoints handled in run_with")
             }
         }
+    }
+
+    /// Renders the `/v1/simulate` response body from the three measured
+    /// latency summaries. Shared by the local execution path and the
+    /// distributed merge, so a body assembled from partition partials is
+    /// byte-identical to a single-node run by construction.
+    pub(crate) fn simulate_body(
+        &self,
+        tau: &LatencySummary,
+        dist: &LatencySummary,
+        cent: &LatencySummary,
+    ) -> Json {
+        let clk = Timing::default().clock_ns();
+        let cells = |summary: &LatencySummary| {
+            Json::object([
+                ("best_cycles", Json::from(summary.best_cycles)),
+                ("average_cycles", Json::floats(&summary.average_cycles)),
+                ("worst_cycles", Json::from(summary.worst_cycles)),
+                (
+                    "rendered_ns",
+                    Json::from(summary.to_ns_string(clk).as_str()),
+                ),
+            ])
+        };
+        let enhancement = enhancement_percent(tau, dist);
+        Json::object([
+            ("spec", self.canonical()),
+            ("clock_ns", Json::from(clk)),
+            ("lt_tau", cells(tau)),
+            ("lt_dist", cells(dist)),
+            ("lt_cent", cells(cent)),
+            ("enhancement_percent", Json::floats(&enhancement)),
+        ])
+    }
+
+    /// Renders the `/v1/resilience` response body from a finished report.
+    /// Shared by local execution and the distributed merge.
+    pub(crate) fn resilience_body(&self, report: &crate::resilience::ResilienceReport) -> Json {
+        Json::object([("spec", self.canonical()), ("report", report.to_json())])
+    }
+
+    /// Renders the `/v1/dfg/explore` response body from the swept (and
+    /// Pareto-marked) grid. Shared by local execution and the distributed
+    /// merge.
+    pub(crate) fn explore_body(&self, graph: &Dfg, points: &[SweepPoint]) -> Json {
+        let point_json = |p: &SweepPoint| {
+            Json::object([
+                ("muls", Json::from(p.muls)),
+                ("adds", Json::from(p.adds)),
+                ("subs", Json::from(p.subs)),
+                ("encoding", Json::from(encoding_name(p.encoding))),
+                ("p", Json::Float(p.p)),
+                ("sd_ld", Json::Float(p.sd_ld)),
+                ("avg_cycles", Json::Float(p.avg_cycles)),
+                ("latency_ns", Json::Float(p.latency_ns)),
+                ("area_ge", Json::Float(p.area_ge)),
+                ("pareto", Json::from(p.pareto)),
+            ])
+        };
+        let frontier: Vec<Json> = points.iter().filter(|p| p.pareto).map(point_json).collect();
+        let all: Vec<Json> = points.iter().map(point_json).collect();
+        Json::object([
+            ("spec", self.canonical()),
+            (
+                "graph",
+                Json::object([
+                    ("name", Json::from(graph.name())),
+                    ("ops", Json::from(graph.num_ops())),
+                    ("inputs", Json::from(graph.num_inputs())),
+                ]),
+            ),
+            ("points", Json::array(all)),
+            ("frontier", Json::array(frontier)),
+        ])
     }
 }
 

@@ -48,6 +48,7 @@ pub mod explore;
 pub mod figures;
 pub mod jobspec;
 mod json;
+pub mod partition;
 mod pipeline;
 pub mod report;
 pub mod resilience;

@@ -44,20 +44,33 @@ const SIM_JOB_BASE: u64 = 0x7265_7369; // "resi"
 /// Disjoint partition for the plan-generation streams.
 const PLAN_JOB_BASE: u64 = 0x706C_616E; // "plan"
 
-/// Exact per-chunk tallies; integer-only so folding is order-independent.
-#[derive(Default)]
-struct ResilAcc {
-    deadlock: u64,
-    desync: u64,
-    survived: u64,
-    latency_sum: u64,
-    latency_samples: u64,
-    cent_agree: u64,
+/// Exact per-kind tallies; integer-only so folding — per-chunk on one
+/// node or per-partition across nodes — is order-independent and exact.
+///
+/// These are the values a distributed partition puts on the wire: every
+/// derived statistic in [`KindStats`] (rates, mean latency) is a pure
+/// function of them, so a report rebuilt from merged counters renders to
+/// the same bytes as a single-node sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindCounters {
+    /// Trials ending in a diagnosed deadlock.
+    pub deadlock: u64,
+    /// Trials ending in a diagnosed desynchronization.
+    pub desync: u64,
+    /// Trials that completed and passed the post-run invariants.
+    pub survived: u64,
+    /// Sum of detection latencies (injection → diagnosis) over trials
+    /// that reported a detected cycle.
+    pub latency_sum: u64,
+    /// Number of trials contributing to [`KindCounters::latency_sum`].
+    pub latency_samples: u64,
+    /// Trials where the CENT engine classified identically to DIST.
+    pub cent_agree: u64,
 }
 
-impl Accumulator for ResilAcc {
+impl Accumulator for KindCounters {
     fn empty() -> Self {
-        ResilAcc::default()
+        KindCounters::default()
     }
     fn fold(&mut self, other: Self) {
         self.deadlock += other.deadlock;
@@ -163,7 +176,33 @@ pub fn resilience_sweep(
     seed: u64,
     runner: &BatchRunner,
 ) -> ResilienceReport {
+    let counters = resilience_kind_counters(bound, p, trials, seed, 0..FAULT_KINDS.len(), runner);
+    report_from_counters(bound.dfg().name(), p, trials, seed, &counters)
+}
+
+/// Runs the fault-injection trials for a contiguous *range* of fault
+/// kinds (global indices into [`FAULT_KINDS`]) and returns their raw
+/// counters, one entry per kind in range order.
+///
+/// Because every trial is seeded from the global `(seed, kind, trial)`
+/// coordinates, the counters a sub-range produces are identical to the
+/// corresponding rows of a full sweep — this is the partition primitive a
+/// distributed coordinator shards a resilience sweep on.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `p` is not a probability, or the range runs
+/// past [`FAULT_KINDS`].
+pub fn resilience_kind_counters(
+    bound: &BoundDfg,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    kinds: std::ops::Range<usize>,
+    runner: &BatchRunner,
+) -> Vec<KindCounters> {
     assert!(trials > 0 && (0.0..=1.0).contains(&p));
+    assert!(kinds.end <= FAULT_KINDS.len());
     let cu = DistributedControlUnit::generate(bound);
     let cent_cu = CentControlUnit::without_product(bound);
     let num_ops = bound.dfg().num_ops();
@@ -172,14 +211,15 @@ pub fn resilience_sweep(
     // case is ~best + one extension per TAU op <= 2n), narrow enough that
     // most faults land inside the run.
     let max_cycle = 2 * num_ops + 4;
-    let mut rows = Vec::with_capacity(FAULT_KINDS.len());
-    for (kind_idx, tag) in FAULT_KINDS.iter().enumerate() {
+    let mut out = Vec::with_capacity(kinds.len());
+    for kind_idx in kinds {
+        let tag = &FAULT_KINDS[kind_idx];
         // Reconstructs one trial's fault plan and completion table and runs
         // both scalar legs — the oracle path for lanes the sliced engine
         // declines (every detected fault lands here, since the sliced
         // engine defers all error diagnosis to the scalar kernel).
         let scalar_trial =
-            |trial: u64, fault: &tauhls_sim::Fault, cfg: &SimConfig, acc: &mut ResilAcc| {
+            |trial: u64, fault: &tauhls_sim::Fault, cfg: &SimConfig, acc: &mut KindCounters| {
                 let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
                 let table = CompletionModel::draw_table(num_ops, p, &mut rng);
                 let outcome = simulate_distributed_with(bound, &cu, &table, None, &mut rng, cfg);
@@ -209,7 +249,7 @@ pub fn resilience_sweep(
                     }
                 }
             };
-        let acc: ResilAcc = runner.run_chunked(
+        let acc: KindCounters = runner.run_chunked(
             trials,
             || {
                 (
@@ -220,7 +260,7 @@ pub fn resilience_sweep(
                     Vec::<tauhls_sim::Fault>::new(),
                 )
             },
-            |(sim, rngs, tables, cfgs, faults), range, acc: &mut ResilAcc| {
+            |(sim, rngs, tables, cfgs, faults), range, acc: &mut KindCounters| {
                 let mut start = range.start;
                 while start < range.end {
                     let end = (start + LANES as u64).min(range.end);
@@ -274,7 +314,34 @@ pub fn resilience_sweep(
                 }
             },
         );
-        rows.push(KindStats {
+        out.push(acc);
+    }
+    out
+}
+
+/// Rebuilds a full [`ResilienceReport`] from one [`KindCounters`] per
+/// fault kind (in [`FAULT_KINDS`] order).
+///
+/// Every derived statistic (mean latency, and the rates computed by the
+/// JSON rendering) is recomputed from the exact integer counters, so a
+/// report assembled from distributed partials is field-for-field — and
+/// byte-for-byte once rendered — identical to a local sweep.
+///
+/// # Panics
+///
+/// Panics if `counters` does not carry exactly one entry per fault kind.
+pub fn report_from_counters(
+    name: &str,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    counters: &[KindCounters],
+) -> ResilienceReport {
+    assert_eq!(counters.len(), FAULT_KINDS.len(), "one entry per kind");
+    let rows = FAULT_KINDS
+        .iter()
+        .zip(counters)
+        .map(|(tag, acc)| KindStats {
             kind: tag.to_string(),
             trials,
             detected_deadlock: acc.deadlock,
@@ -286,10 +353,10 @@ pub fn resilience_sweep(
                 acc.latency_sum as f64 / acc.latency_samples as f64
             },
             cent_agreement: acc.cent_agree,
-        });
-    }
+        })
+        .collect();
     ResilienceReport {
-        name: bound.dfg().name().to_string(),
+        name: name.to_string(),
         p,
         trials,
         seed,

@@ -3,7 +3,7 @@
 //! the server's `Connection: close` framing.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// One parsed response.
@@ -52,10 +52,40 @@ pub fn request_with(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<Response, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    request_timeouts(addr, method, path, headers, body, timeout, timeout)
+}
+
+/// [`request_with`] with the connect phase timed separately from the
+/// read/write phases — how the cluster coordinator bounds its dispatch
+/// calls: a dead worker fails the cheap connect quickly instead of
+/// consuming the whole per-partition budget.
+pub fn request_timeouts(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+) -> Result<Response, String> {
+    let targets = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?;
+    let mut stream = None;
+    let mut last_err = format!("resolve {addr}: no addresses");
+    for target in targets {
+        match TcpStream::connect_timeout(&target, connect_timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = format!("connect {addr}: {e}"),
+        }
+    }
+    let stream = stream.ok_or(last_err)?;
     stream
-        .set_read_timeout(Some(timeout))
-        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .set_read_timeout(Some(io_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
         .map_err(|e| format!("socket setup: {e}"))?;
     let mut stream = stream;
     let payload = body.unwrap_or("");

@@ -1,0 +1,283 @@
+//! The coordinator's view of its workers: who exists, who is healthy,
+//! and what each one has done.
+//!
+//! Registration is strict (the satellite of DESIGN §5j): addresses must
+//! be well-formed `host:port` pairs, duplicates are rejected, and a
+//! worker cannot register the coordinator's own listen address (a
+//! self-referential cluster would dispatch partitions to itself
+//! forever). Health is failure-counted: a worker leaves the live set
+//! after [`FAILURE_LIMIT`] consecutive dispatch/probe failures and
+//! rejoins on the first successful heartbeat or probe.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Consecutive failures after which a worker is considered dead and no
+/// longer receives partitions (until a heartbeat or probe revives it).
+pub const FAILURE_LIMIT: u32 = 3;
+
+/// Why a registration was refused (each maps to a `400` on
+/// `POST /v1/cluster/register`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The address is already registered.
+    Duplicate,
+    /// The address is the coordinator's own listen address.
+    SelfReferential,
+    /// The address is not a `host:port` pair.
+    Invalid(String),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::Duplicate => write!(f, "worker address is already registered"),
+            RegisterError::SelfReferential => {
+                write!(f, "worker address is the coordinator itself")
+            }
+            RegisterError::Invalid(m) => write!(f, "invalid worker address: {m}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    addr: String,
+    last_heartbeat: Option<Instant>,
+    consecutive_failures: u32,
+    dispatched: u64,
+    completed: u64,
+    requeued: u64,
+}
+
+/// One worker's public state, as `/v1/status` and `/metrics` report it.
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// The worker's `host:port` address.
+    pub addr: String,
+    /// Whether the worker is in the live dispatch set.
+    pub healthy: bool,
+    /// Seconds since the last heartbeat or successful probe, if any.
+    pub last_heartbeat_secs: Option<f64>,
+    /// Consecutive dispatch/probe failures since the last success.
+    pub consecutive_failures: u32,
+    /// Partitions dispatched to this worker.
+    pub dispatched: u64,
+    /// Partitions this worker answered successfully.
+    pub completed: u64,
+    /// Partitions requeued off this worker after a failure.
+    pub requeued: u64,
+}
+
+/// The worker table, shared between the request handlers (register /
+/// heartbeat), the health prober, and the coordinator's dispatch loop.
+#[derive(Debug, Default)]
+pub struct WorkerRegistry {
+    self_addr: Mutex<String>,
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// `host:port` validation without DNS: the port must parse, the host
+/// must be non-empty. Normalizes `localhost` to `127.0.0.1` so the
+/// self-address check cannot be dodged by respelling the loopback.
+fn normalize(addr: &str) -> Result<String, RegisterError> {
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| RegisterError::Invalid("expected host:port".to_string()))?;
+    if host.is_empty() {
+        return Err(RegisterError::Invalid("empty host".to_string()));
+    }
+    let port: u16 = port
+        .parse()
+        .map_err(|_| RegisterError::Invalid(format!("bad port {port:?}")))?;
+    if port == 0 {
+        return Err(RegisterError::Invalid("port 0".to_string()));
+    }
+    let host = if host == "localhost" {
+        "127.0.0.1"
+    } else {
+        host
+    };
+    Ok(format!("{host}:{port}"))
+}
+
+impl WorkerRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> WorkerRegistry {
+        WorkerRegistry::default()
+    }
+
+    /// Records the coordinator's own bound address, the one registrations
+    /// must not equal.
+    pub fn set_self_addr(&self, addr: &str) {
+        let mut own = self
+            .self_addr
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *own = normalize(addr).unwrap_or_else(|_| addr.to_string());
+    }
+
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds a worker. Rejects malformed, duplicate, and self-referential
+    /// addresses — each a distinct [`RegisterError`].
+    pub fn register(&self, addr: &str) -> Result<(), RegisterError> {
+        let addr = normalize(addr)?;
+        {
+            let own = self
+                .self_addr
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !own.is_empty() && *own == addr {
+                return Err(RegisterError::SelfReferential);
+            }
+        }
+        let mut entries = self.lock_entries();
+        if entries.iter().any(|e| e.addr == addr) {
+            return Err(RegisterError::Duplicate);
+        }
+        entries.push(Entry {
+            addr,
+            last_heartbeat: None,
+            consecutive_failures: 0,
+            dispatched: 0,
+            completed: 0,
+            requeued: 0,
+        });
+        Ok(())
+    }
+
+    /// Refreshes a worker's liveness; an unknown address registers first
+    /// (so a worker restarted against a restarted coordinator re-joins
+    /// without a separate register call).
+    pub fn heartbeat(&self, addr: &str) -> Result<(), RegisterError> {
+        match self.register(addr) {
+            Ok(()) | Err(RegisterError::Duplicate) => {}
+            Err(e) => return Err(e),
+        }
+        let addr = normalize(addr)?;
+        let mut entries = self.lock_entries();
+        if let Some(entry) = entries.iter_mut().find(|e| e.addr == addr) {
+            entry.last_heartbeat = Some(Instant::now());
+            entry.consecutive_failures = 0;
+        }
+        Ok(())
+    }
+
+    /// Counts a partition handed to `addr`.
+    pub fn mark_dispatch(&self, addr: &str) {
+        if let Some(entry) = self.lock_entries().iter_mut().find(|e| e.addr == addr) {
+            entry.dispatched += 1;
+        }
+    }
+
+    /// Counts a successful partition answer (and revives the worker).
+    pub fn mark_success(&self, addr: &str) {
+        if let Some(entry) = self.lock_entries().iter_mut().find(|e| e.addr == addr) {
+            entry.completed += 1;
+            entry.consecutive_failures = 0;
+            entry.last_heartbeat = Some(Instant::now());
+        }
+    }
+
+    /// Counts a dispatch or probe failure; at [`FAILURE_LIMIT`] the
+    /// worker leaves the live set.
+    pub fn mark_failure(&self, addr: &str) {
+        if let Some(entry) = self.lock_entries().iter_mut().find(|e| e.addr == addr) {
+            entry.requeued += 1;
+            entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        }
+    }
+
+    /// The workers currently eligible for dispatch, in registration
+    /// order (deterministic for a fixed history of events).
+    pub fn live_workers(&self) -> Vec<String> {
+        self.lock_entries()
+            .iter()
+            .filter(|e| e.consecutive_failures < FAILURE_LIMIT)
+            .map(|e| e.addr.clone())
+            .collect()
+    }
+
+    /// Every registered address, live or not (the prober walks all of
+    /// them — a probe success is how a dead worker comes back).
+    pub fn all_workers(&self) -> Vec<String> {
+        self.lock_entries().iter().map(|e| e.addr.clone()).collect()
+    }
+
+    /// A point-in-time copy of every worker's public state.
+    pub fn snapshot(&self) -> Vec<WorkerStats> {
+        self.lock_entries()
+            .iter()
+            .map(|e| WorkerStats {
+                addr: e.addr.clone(),
+                healthy: e.consecutive_failures < FAILURE_LIMIT,
+                last_heartbeat_secs: e.last_heartbeat.map(|t| t.elapsed().as_secs_f64()),
+                consecutive_failures: e.consecutive_failures,
+                dispatched: e.dispatched,
+                completed: e.completed,
+                requeued: e.requeued,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_validates_duplicates_self_and_shape() {
+        let reg = WorkerRegistry::new();
+        reg.set_self_addr("127.0.0.1:7203");
+        assert!(reg.register("127.0.0.1:7204").is_ok());
+        assert_eq!(
+            reg.register("127.0.0.1:7204"),
+            Err(RegisterError::Duplicate)
+        );
+        assert_eq!(
+            reg.register("127.0.0.1:7203"),
+            Err(RegisterError::SelfReferential)
+        );
+        // `localhost` is the same loopback; the self check normalizes.
+        assert_eq!(
+            reg.register("localhost:7203"),
+            Err(RegisterError::SelfReferential)
+        );
+        for bad in ["no-port", ":7", "x:", "x:0", "x:banana", "x:70000"] {
+            assert!(
+                matches!(reg.register(bad), Err(RegisterError::Invalid(_))),
+                "{bad}"
+            );
+        }
+        assert_eq!(reg.live_workers(), vec!["127.0.0.1:7204".to_string()]);
+    }
+
+    #[test]
+    fn failures_kill_and_heartbeats_revive() {
+        let reg = WorkerRegistry::new();
+        reg.register("10.0.0.1:9000").unwrap();
+        for _ in 0..FAILURE_LIMIT {
+            reg.mark_failure("10.0.0.1:9000");
+        }
+        assert!(reg.live_workers().is_empty());
+        assert_eq!(reg.all_workers().len(), 1);
+        reg.heartbeat("10.0.0.1:9000").unwrap();
+        assert_eq!(reg.live_workers().len(), 1);
+        let stats = &reg.snapshot()[0];
+        assert!(stats.healthy);
+        assert_eq!(stats.requeued, u64::from(FAILURE_LIMIT));
+        assert!(stats.last_heartbeat_secs.is_some());
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_worker_registers_it() {
+        let reg = WorkerRegistry::new();
+        reg.set_self_addr("127.0.0.1:7203");
+        reg.heartbeat("127.0.0.1:7300").unwrap();
+        assert_eq!(reg.live_workers(), vec!["127.0.0.1:7300".to_string()]);
+        assert!(reg.heartbeat("127.0.0.1:7203").is_err(), "self heartbeat");
+    }
+}

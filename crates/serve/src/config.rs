@@ -58,6 +58,32 @@ pub struct ServeConfig {
     /// Per-client cap on jobs that are queued or running at once; beyond
     /// it submissions answer `429` with `Retry-After`.
     pub max_pending_per_client: usize,
+    /// Run as a cluster coordinator: partition batch jobs across the
+    /// registered workers and merge the partials (bit-identically) into
+    /// the final body. Implied by `workers_file`.
+    pub coordinator: bool,
+    /// A JSON array of worker addresses (`["host:port", ...]`) to
+    /// pre-register at startup; the same addresses `POST
+    /// /v1/cluster/register` would add at runtime.
+    pub workers_file: Option<std::path::PathBuf>,
+    /// Run as a cluster worker of this coordinator address: register at
+    /// startup and heartbeat every `heartbeat_interval`.
+    pub worker_of: Option<String>,
+    /// How often a worker heartbeats its coordinator, and how often a
+    /// coordinator health-probes its workers.
+    pub heartbeat_interval: Duration,
+    /// Per-partition dispatch timeout: a worker that has not answered a
+    /// `POST /v1/cluster/partition` within this window is marked failed
+    /// and the partition is requeued onto the next live worker.
+    pub partition_timeout: Duration,
+    /// Remote dispatch attempts per partition before the coordinator
+    /// falls back to computing the slice locally (so a job converges
+    /// even if every worker dies).
+    pub cluster_max_attempts: u32,
+    /// Partitions per divisible job. `0` (the default) plans one
+    /// partition per live worker; the planner clamps to the job's unit
+    /// count either way.
+    pub cluster_partitions: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +106,13 @@ impl Default for ServeConfig {
             admission_rate: 20.0,
             admission_burst: 40.0,
             max_pending_per_client: 64,
+            coordinator: false,
+            workers_file: None,
+            worker_of: None,
+            heartbeat_interval: Duration::from_millis(1000),
+            partition_timeout: Duration::from_secs(60),
+            cluster_max_attempts: 3,
+            cluster_partitions: 0,
         }
     }
 }

@@ -137,8 +137,12 @@ pub enum JobResult {
     Cancelled,
 }
 
-type ExecResult = Result<(Json, Vec<StageRecord>), JobError>;
-type Executor =
+/// A job body (or partition partial) plus its stage-latency records.
+pub(crate) type ExecResult = Result<(Json, Vec<StageRecord>), JobError>;
+/// How a job's spec becomes its body: single-node servers call
+/// [`JobSpec::run_with`] directly, coordinators route through the
+/// cluster dispatcher. Injected via [`JobManager::start_with`].
+pub(crate) type Executor =
     Arc<dyn Fn(&JobSpec, &BatchRunner, Option<&StageCache>) -> ExecResult + Send + Sync>;
 
 #[derive(Debug)]
@@ -257,7 +261,10 @@ impl JobManager {
         JobManager::start_with(config, metrics, cache, stages, warmer, cancel, executor)
     }
 
-    fn start_with(
+    /// [`JobManager::start`] with an injected execution strategy — how
+    /// coordinator-mode servers route async jobs through the cluster
+    /// dispatcher while keeping every journal/retry/artifact behavior.
+    pub(crate) fn start_with(
         config: &ServeConfig,
         metrics: Arc<Metrics>,
         cache: Arc<Cache>,
@@ -494,6 +501,18 @@ impl JobManager {
         self.inner.pending.depth()
     }
 
+    /// A handle onto this manager's durable journal for the cluster
+    /// coordinator's partition lifecycle events (`dispatch`,
+    /// `part_done`, `part_requeue`). They share the job journal so one
+    /// replay reconstructs the whole story; the replayer treats them as
+    /// informational (job state lives in the job-level events).
+    pub(crate) fn journal_sink(&self) -> crate::cluster::JournalSink {
+        let inner = Arc::clone(&self.inner);
+        Arc::new(move |id: &str, event: &str, extra: Vec<(&str, Json)>| {
+            inner.journal_event(id, event, extra);
+        })
+    }
+
     /// A count per lifecycle state over the whole job table, in the
     /// fixed order queued/running/backoff/done/failed/cancelled (states
     /// with zero jobs included) — the `jobs` block of `GET /v1/status`.
@@ -606,7 +625,7 @@ fn class_of(priority: u8, spec: &JobSpec) -> u8 {
 /// The retry delay before attempt `attempt + 1`: exponential in the
 /// attempt number (capped at 32x base) plus a jitter below one base
 /// period derived from the job ID — deterministic, no clock entropy.
-fn backoff_delay(base: Duration, id: &str, attempt: u32) -> Duration {
+pub(crate) fn backoff_delay(base: Duration, id: &str, attempt: u32) -> Duration {
     let base_ms = (base.as_millis() as u64).max(1);
     let factor = 1u64 << attempt.saturating_sub(1).min(5);
     let mut h = Fnv64::new();
@@ -970,6 +989,13 @@ fn replay_journal(path: &Path) -> Replay {
                     out.jobs.push((job.to_string(), rj));
                 }
             }
+            continue;
+        }
+        // Cluster partition events are informational: job state lives in
+        // the job-level events, and synchronous cluster jobs journal
+        // partition traffic without ever being submitted — so these must
+        // not trip the unknown-job diagnostic either.
+        if matches!(event, "dispatch" | "part_done" | "part_requeue") {
             continue;
         }
         let Some(&i) = index.get(job) else {

@@ -75,6 +75,7 @@ mod server;
 mod stagewarm;
 
 pub mod client;
+pub mod cluster;
 pub mod signal;
 
 pub use cache::Cache;
@@ -82,8 +83,8 @@ pub use config::ServeConfig;
 pub use http::{HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
 pub use jobs::{JobManager, JobResult, JobState, SubmitError, SubmitOutcome};
 pub use metrics::{
-    Event, Histogram, Metrics, BUCKETS_SECONDS, ENDPOINTS, EVENT_LOG_CAPACITY, JOB_EVENTS,
-    STATUS_CODES,
+    Event, Histogram, Metrics, BUCKETS_SECONDS, CLUSTER_EVENTS, ENDPOINTS, EVENT_LOG_CAPACITY,
+    JOB_EVENTS, STATUS_CODES,
 };
 pub use queue::Queue;
 pub use server::Server;

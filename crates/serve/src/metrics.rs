@@ -21,7 +21,7 @@ use crate::cache::Cache;
 
 /// The request-routing classes we count (job endpoints first — these are
 /// the ones with latency histograms).
-pub const ENDPOINTS: [&str; 11] = [
+pub const ENDPOINTS: [&str; 12] = [
     "simulate",
     "table2",
     "resilience",
@@ -33,6 +33,7 @@ pub const ENDPOINTS: [&str; 11] = [
     "status",
     "healthz",
     "metrics",
+    "cluster",
 ];
 
 /// How many of [`ENDPOINTS`] carry a latency histogram (the job
@@ -58,6 +59,20 @@ pub const JOB_EVENTS: [&str; 9] = [
     "requeued",
     "recovered",
     "quarantined",
+    "rejected",
+];
+
+/// Cluster partition lifecycle events counted under
+/// `tauhls_serve_cluster_partitions_total{event=...}`: partitions a
+/// coordinator dispatched / saw complete / requeued off a failed
+/// worker / computed locally as a fallback, partitions this node served
+/// as a worker, and malformed cluster requests rejected.
+pub const CLUSTER_EVENTS: [&str; 6] = [
+    "dispatched",
+    "completed",
+    "requeued",
+    "local",
+    "served",
     "rejected",
 ];
 
@@ -146,6 +161,7 @@ pub struct Metrics {
     jobs: [AtomicU64; JOB_EVENTS.len()],
     jobs_pending: AtomicU64,
     jobs_running: AtomicU64,
+    cluster: [AtomicU64; CLUSTER_EVENTS.len()],
     events: EventLog,
 }
 
@@ -256,6 +272,25 @@ impl Metrics {
             .iter()
             .position(|e| *e == event)
             .map_or(0, |i| self.jobs[i].load(Ordering::Relaxed))
+    }
+
+    /// Counts one cluster partition lifecycle event (a name from
+    /// [`CLUSTER_EVENTS`]; unknown names are ignored — keep callers in
+    /// sync).
+    pub fn count_cluster(&self, event: &str) {
+        if let Some(i) = CLUSTER_EVENTS.iter().position(|e| *e == event) {
+            self.cluster[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total events counted for one [`CLUSTER_EVENTS`] name (the
+    /// rendered `tauhls_serve_cluster_partitions_total` series carries
+    /// the same values).
+    pub fn cluster_count(&self, event: &str) -> u64 {
+        CLUSTER_EVENTS
+            .iter()
+            .position(|e| *e == event)
+            .map_or(0, |i| self.cluster[i].load(Ordering::Relaxed))
     }
 
     /// Moves the queued/backing-off async job gauge.
@@ -533,6 +568,19 @@ impl Metrics {
                 self.jobs_running.load(Ordering::Relaxed)
             ),
         );
+        put(
+            &mut out,
+            format_args!("# TYPE tauhls_serve_cluster_partitions_total counter"),
+        );
+        for (i, event) in CLUSTER_EVENTS.iter().enumerate() {
+            put(
+                &mut out,
+                format_args!(
+                    "tauhls_serve_cluster_partitions_total{{event=\"{event}\"}} {}",
+                    self.cluster[i].load(Ordering::Relaxed)
+                ),
+            );
+        }
         put(
             &mut out,
             format_args!("# TYPE tauhls_serve_request_seconds histogram"),

@@ -24,15 +24,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tauhls_core::jobspec::{Endpoint, JobError, JobSpec};
-use tauhls_core::StageCache;
+use tauhls_core::{partition, StageCache};
 use tauhls_dfg::{canonical_wire, parse_wire_dfg, wire_hash};
 use tauhls_json::{Json, JsonRef};
 use tauhls_sim::{BatchRunner, CancelToken};
 
 use crate::cache::Cache;
+use crate::client;
+use crate::cluster::{Cluster, Coordinator, Role, WorkerRegistry};
 use crate::config::ServeConfig;
 use crate::http::{read_request, write_response, HttpError, Request};
-use crate::jobs::{JobManager, JobResult, JobState, SubmitError};
+use crate::jobs::{Executor, JobManager, JobResult, JobState, SubmitError};
 use crate::metrics::Metrics;
 use crate::queue::Queue;
 use crate::stagewarm::StageWarmer;
@@ -50,6 +52,7 @@ struct Shared {
     stop: AtomicBool,
     jobs: JobManager,
     warmer: Arc<StageWarmer>,
+    cluster: Arc<Cluster>,
 }
 
 /// A running service instance.
@@ -58,6 +61,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    cluster_threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -82,14 +86,45 @@ impl Server {
                 warm.replayed, warm.dropped
             ));
         }
-        let jobs = JobManager::start(
-            &config,
-            Arc::clone(&metrics),
-            Arc::clone(&cache),
-            Arc::clone(&stages),
-            Arc::clone(&warmer),
-            cancel.clone(),
-        )?;
+        let cluster = build_cluster(&config, addr, &metrics)?;
+        let jobs = match &cluster.coordinator {
+            Some(_) => {
+                // Coordinator mode: async jobs execute through the cluster
+                // dispatcher. The closure falls back to a local run only if
+                // the coordinator somehow vanished (it cannot).
+                let cluster = Arc::clone(&cluster);
+                let executor: Executor =
+                    Arc::new(
+                        move |spec, runner, stages| match cluster.coordinator.as_ref() {
+                            Some(c) => c.execute(spec, runner, stages),
+                            None => spec.run_with(runner, stages),
+                        },
+                    );
+                JobManager::start_with(
+                    &config,
+                    Arc::clone(&metrics),
+                    Arc::clone(&cache),
+                    Arc::clone(&stages),
+                    Arc::clone(&warmer),
+                    cancel.clone(),
+                    executor,
+                )?
+            }
+            None => JobManager::start(
+                &config,
+                Arc::clone(&metrics),
+                Arc::clone(&cache),
+                Arc::clone(&stages),
+                Arc::clone(&warmer),
+                cancel.clone(),
+            )?,
+        };
+        if let Some(coordinator) = &cluster.coordinator {
+            // Wired after construction: the coordinator must exist before
+            // the job manager (to build its executor), but journals through
+            // the manager's sink.
+            coordinator.set_journal(jobs.journal_sink());
+        }
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             cache,
@@ -99,6 +134,7 @@ impl Server {
             stop: AtomicBool::new(false),
             jobs,
             warmer,
+            cluster,
             config,
         });
         let workers = (0..shared.config.workers)
@@ -115,11 +151,13 @@ impl Server {
                 .name("tauhls-serve-acceptor".to_string())
                 .spawn(move || acceptor_loop(&listener, &shared))?
         };
+        let cluster_threads = spawn_cluster_threads(&shared, addr)?;
         Ok(Server {
             addr,
             shared,
             acceptor: Some(acceptor),
             workers,
+            cluster_threads,
         })
     }
 
@@ -170,7 +208,221 @@ impl Server {
         self.shared.jobs.join();
         drained.store(true, Ordering::SeqCst);
         let _ = watchdog.join();
+        for handle in self.cluster_threads.drain(..) {
+            let _ = handle.join();
+        }
         self.shared.metrics.log_event("shutdown complete");
+    }
+}
+
+/// Derives this server's cluster role from its configuration, validates
+/// the workers file (coordinator mode), and records the bound address as
+/// the self-address registrations must not equal.
+fn build_cluster(
+    config: &ServeConfig,
+    addr: SocketAddr,
+    metrics: &Arc<Metrics>,
+) -> std::io::Result<Arc<Cluster>> {
+    let coordinates = config.coordinator || config.workers_file.is_some();
+    if coordinates && config.worker_of.is_some() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a server cannot be both a coordinator and a worker \
+             (drop either --worker-of or --coordinator/--workers-file)",
+        ));
+    }
+    let registry = Arc::new(WorkerRegistry::new());
+    registry.set_self_addr(&addr.to_string());
+    let role = if coordinates {
+        if let Some(path) = &config.workers_file {
+            let text = std::fs::read_to_string(path)?;
+            let doc = Json::parse(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: not valid JSON: {e}", path.display()),
+                )
+            })?;
+            let entries = doc.as_array().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: expected a JSON array of \"host:port\"", path.display()),
+                )
+            })?;
+            for entry in entries {
+                let worker = entry.as_str().ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{}: workers must be strings", path.display()),
+                    )
+                })?;
+                registry.register(worker).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{}: {worker:?}: {e}", path.display()),
+                    )
+                })?;
+            }
+            metrics.log_event(&format!(
+                "cluster: coordinator with {} configured workers",
+                entries.len()
+            ));
+        } else {
+            metrics.log_event("cluster: coordinator awaiting worker registrations");
+        }
+        Role::Coordinator
+    } else if let Some(coordinator) = &config.worker_of {
+        metrics.log_event(&format!("cluster: worker of {coordinator}"));
+        Role::Worker
+    } else {
+        Role::Single
+    };
+    let coordinator = (role == Role::Coordinator)
+        .then(|| Coordinator::new(Arc::clone(&registry), Arc::clone(metrics), config));
+    Ok(Arc::new(Cluster {
+        role,
+        registry,
+        coordinator,
+    }))
+}
+
+/// Sleeps `total` in short slices so the thread notices `stop` quickly.
+fn sliced_sleep(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(25)));
+    }
+}
+
+/// Starts the role's background loop: coordinators probe every
+/// registered worker's `/healthz` each `heartbeat_interval` (a probe
+/// success revives a dead worker, a failure counts toward
+/// [`crate::cluster::FAILURE_LIMIT`]); workers register with their
+/// coordinator and keep heartbeating it (the heartbeat re-registers
+/// after a coordinator restart). Single-role servers start nothing.
+fn spawn_cluster_threads(
+    shared: &Arc<Shared>,
+    addr: SocketAddr,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    let mut threads = Vec::new();
+    match shared.cluster.role {
+        Role::Single => {}
+        Role::Coordinator => {
+            let shared = Arc::clone(shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tauhls-serve-cluster-probe".to_string())
+                    .spawn(move || {
+                        while !shared.stop.load(Ordering::SeqCst) {
+                            sliced_sleep(&shared.stop, shared.config.heartbeat_interval);
+                            if shared.stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            for worker in shared.cluster.registry.all_workers() {
+                                let probe = client::request_timeouts(
+                                    &worker,
+                                    "GET",
+                                    "/healthz",
+                                    &[],
+                                    None,
+                                    shared.config.heartbeat_interval,
+                                    shared.config.heartbeat_interval,
+                                );
+                                let was_live =
+                                    shared.cluster.registry.live_workers().contains(&worker);
+                                match probe {
+                                    Ok(r) if r.status == 200 => {
+                                        let _ = shared.cluster.registry.heartbeat(&worker);
+                                        if !was_live {
+                                            shared.metrics.log_event(&format!(
+                                                "cluster: worker {worker} revived by probe"
+                                            ));
+                                        }
+                                    }
+                                    _ => {
+                                        shared.cluster.registry.mark_failure(&worker);
+                                        if was_live
+                                            && !shared
+                                                .cluster
+                                                .registry
+                                                .live_workers()
+                                                .contains(&worker)
+                                        {
+                                            shared.metrics.log_event(&format!(
+                                                "cluster: worker {worker} marked dead"
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    })?,
+            );
+        }
+        Role::Worker => {
+            let shared = Arc::clone(shared);
+            // Advertise the actually-bound address — the configured one
+            // may be `host:0`.
+            let self_addr = addr.to_string();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tauhls-serve-cluster-heartbeat".to_string())
+                    .spawn(move || worker_heartbeat_loop(&shared, &self_addr))?,
+            );
+        }
+    }
+    Ok(threads)
+}
+
+/// The worker's side of the cluster: one registration attempt at
+/// startup, then a heartbeat every `heartbeat_interval`. Errors are
+/// tolerated (the coordinator may simply not be up yet — heartbeats
+/// auto-register on its side), but transitions are logged.
+fn worker_heartbeat_loop(shared: &Shared, self_addr: &str) {
+    let Some(coordinator) = shared.config.worker_of.clone() else {
+        return;
+    };
+    let mut body = Json::object([("addr", Json::from(self_addr))]).to_compact();
+    body.push('\n');
+    let send = |path: &str| {
+        client::request_timeouts(
+            &coordinator,
+            "POST",
+            path,
+            &[],
+            Some(&body),
+            shared.config.heartbeat_interval,
+            shared.config.heartbeat_interval,
+        )
+    };
+    let mut reachable = match send("/v1/cluster/register") {
+        Ok(r) if r.status == 200 => {
+            shared
+                .metrics
+                .log_event(&format!("cluster: registered with {coordinator}"));
+            true
+        }
+        // 400 covers "already registered" after a worker restart; the
+        // heartbeat below keeps the entry fresh either way.
+        Ok(_) => true,
+        Err(_) => false,
+    };
+    while !shared.stop.load(Ordering::SeqCst) {
+        sliced_sleep(&shared.stop, shared.config.heartbeat_interval);
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let ok = matches!(send("/v1/cluster/heartbeat"), Ok(r) if r.status == 200);
+        if ok != reachable {
+            reachable = ok;
+            shared.metrics.log_event(&format!(
+                "cluster: coordinator {coordinator} {}",
+                if ok { "reachable" } else { "unreachable" }
+            ));
+        }
     }
 }
 
@@ -292,9 +544,11 @@ fn handle_connection<S: Read + Write>(shared: &Shared, stream: &mut S) {
         }
         ("GET", "/metrics") => {
             shared.metrics.count_request("metrics");
-            let body = shared
-                .metrics
-                .render(&shared.cache, &shared.stages, shared.queue.depth());
+            let mut body =
+                shared
+                    .metrics
+                    .render(&shared.cache, &shared.stages, shared.queue.depth());
+            body.push_str(&shared.cluster.render_metrics());
             shared.metrics.count_response(200);
             let _ = write_response(
                 stream,
@@ -310,6 +564,24 @@ fn handle_connection<S: Read + Write>(shared: &Shared, stream: &mut S) {
         // the same handler as `POST /v1/explore`.
         ("POST", "/v1/dfg/explore") => {
             handle_job(shared, stream, Endpoint::Explore, &request.body);
+        }
+        ("POST", "/v1/cluster/partition") => {
+            handle_cluster_partition(shared, stream, &request.body);
+        }
+        ("POST", "/v1/cluster/register") => {
+            handle_cluster_membership(shared, stream, &request.body, false);
+        }
+        ("POST", "/v1/cluster/heartbeat") => {
+            handle_cluster_membership(shared, stream, &request.body, true);
+        }
+        (_, "/v1/cluster/partition" | "/v1/cluster/register" | "/v1/cluster/heartbeat") => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                405,
+                &[("Allow", "POST")],
+                &error_body("use POST with a JSON body"),
+            );
         }
         ("POST", "/v1/jobs") => handle_job_submit(shared, stream, &request),
         ("GET", "/v1/jobs") | ("DELETE", "/v1/jobs") => {
@@ -429,7 +701,13 @@ fn handle_job<S: Read + Write>(
     }
     let started = Instant::now();
     let runner = BatchRunner::sized(shared.config.sim_threads).with_cancel(shared.cancel.clone());
-    match spec.run_with(&runner, Some(&shared.stages)) {
+    // Coordinator-mode servers shard the work across their workers; the
+    // merged body is byte-identical to the local run either way.
+    let outcome = match &shared.cluster.coordinator {
+        Some(coordinator) => coordinator.execute(&spec, &runner, Some(&shared.stages)),
+        None => spec.run_with(&runner, Some(&shared.stages)),
+    };
+    match outcome {
         Ok((json, records)) => {
             let body: Arc<str> = Arc::from(json.to_pretty());
             shared.metrics.count_trials(spec.trials());
@@ -474,6 +752,212 @@ fn handle_job<S: Read + Write>(
                 &error_body(&format!("simulation failed: {m}")),
             );
         }
+    }
+}
+
+/// `POST /v1/cluster/partition`: runs one partition of a job on this
+/// node — `{"spec": <canonical spec>, "part": K, "of": N}` answers the
+/// partial payload [`tauhls_core::partition::run_part`] produces for
+/// global unit range `K` of `N`. Every server answers this regardless
+/// of role, so any plain `tauhls serve` process is a valid worker.
+/// Partials are content-addressed in the response cache under the spec
+/// key *plus* the partition coordinates: a requeued partition re-served
+/// by the same worker is a byte-identical cache hit.
+fn handle_cluster_partition<S: Read + Write>(shared: &Shared, stream: &mut S, raw_body: &[u8]) {
+    shared.metrics.count_request("cluster");
+    let bad = |stream: &mut S, message: &str| {
+        shared.metrics.count_cluster("rejected");
+        let _ = respond_json(stream, &shared.metrics, 400, &[], &error_body(message));
+    };
+    let text = match std::str::from_utf8(raw_body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        Ok(_) => {
+            bad(
+                stream,
+                "partition body required: {\"spec\":{...},\"part\":K,\"of\":N}",
+            );
+            return;
+        }
+        Err(_) => {
+            bad(stream, "request body is not UTF-8");
+            return;
+        }
+    };
+    let parsed = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            bad(stream, &format!("body is not valid JSON: {e}"));
+            return;
+        }
+    };
+    let Some(pairs) = parsed.as_object() else {
+        bad(stream, "partition request must be a JSON object");
+        return;
+    };
+    let (mut spec_field, mut part_field, mut of_field) = (None, None, None);
+    for (key, value) in pairs {
+        match key.as_str() {
+            "spec" => spec_field = Some(value),
+            "part" => part_field = Some(value),
+            "of" => of_field = Some(value),
+            other => {
+                bad(
+                    stream,
+                    &format!("unknown field {other:?} (expected spec, part, of)"),
+                );
+                return;
+            }
+        }
+    }
+    let Some(spec_doc) = spec_field else {
+        bad(stream, "spec (object) is required");
+        return;
+    };
+    let spec = match JobSpec::from_canonical(spec_doc) {
+        Ok(s) => s,
+        Err(e) => {
+            bad(stream, &e.to_string());
+            return;
+        }
+    };
+    let (Some(index), Some(total)) = (
+        part_field.and_then(Json::as_u64),
+        of_field.and_then(Json::as_u64),
+    ) else {
+        bad(stream, "part and of (integers) are required");
+        return;
+    };
+    let part = match partition::part_for(&spec, index as usize, total as usize) {
+        Ok(p) => p,
+        Err(e) => {
+            bad(stream, &e.to_string());
+            return;
+        }
+    };
+    let key = format!("part:{}/{}:{}", part.index, part.total, spec.cache_key());
+    if let Some(body) = shared.cache.get(&key) {
+        shared.metrics.count_cluster("served");
+        let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "hit")], &body);
+        return;
+    }
+    let started = Instant::now();
+    let runner = BatchRunner::sized(shared.config.sim_threads).with_cancel(shared.cancel.clone());
+    match partition::run_part(&spec, part, &runner, Some(&shared.stages)) {
+        Ok((json, records)) => {
+            let mut body = json.to_compact();
+            body.push('\n');
+            let body: Arc<str> = Arc::from(body);
+            shared.metrics.count_cluster("served");
+            shared.metrics.observe_latency("cluster", started.elapsed());
+            for record in &records {
+                shared.metrics.observe_stage(record);
+            }
+            shared.cache.insert(key, Arc::clone(&body));
+            let _ = respond_json(stream, &shared.metrics, 200, &[("X-Cache", "miss")], &body);
+        }
+        Err(JobError::Cancelled) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                503,
+                &[("Retry-After", "1")],
+                &error_body("partition cancelled during shutdown"),
+            );
+        }
+        Err(JobError::Invalid(m)) => bad(stream, &format!("invalid partition: {m}")),
+        Err(JobError::Failed(m)) => {
+            let _ = respond_json(
+                stream,
+                &shared.metrics,
+                500,
+                &[],
+                &error_body(&format!("partition failed: {m}")),
+            );
+        }
+    }
+}
+
+/// `POST /v1/cluster/register` and `POST /v1/cluster/heartbeat`:
+/// membership, `{"addr": "host:port"}`. Registration is strict —
+/// malformed, duplicate, and self-referential addresses each answer
+/// `400` with a distinct diagnostic. A heartbeat refreshes liveness and
+/// auto-registers an unknown worker (the re-join path after a
+/// coordinator restart), but rejects the same malformed addresses.
+fn handle_cluster_membership<S: Read + Write>(
+    shared: &Shared,
+    stream: &mut S,
+    raw_body: &[u8],
+    heartbeat: bool,
+) {
+    shared.metrics.count_request("cluster");
+    let bad = |stream: &mut S, message: &str| {
+        shared.metrics.count_cluster("rejected");
+        let _ = respond_json(stream, &shared.metrics, 400, &[], &error_body(message));
+    };
+    let text = match std::str::from_utf8(raw_body) {
+        Ok(t) if !t.trim().is_empty() => t,
+        Ok(_) => {
+            bad(stream, "body required: {\"addr\":\"host:port\"}");
+            return;
+        }
+        Err(_) => {
+            bad(stream, "request body is not UTF-8");
+            return;
+        }
+    };
+    // Strict parse with byte-offset diagnostics, same as the job
+    // endpoints: a malformed worker announcement is answered with where
+    // it broke, not silently tolerated.
+    let parsed = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            bad(stream, &format!("body is not valid JSON: {e}"));
+            return;
+        }
+    };
+    let Some(pairs) = parsed.as_object() else {
+        bad(stream, "membership request must be a JSON object");
+        return;
+    };
+    let mut addr_field = None;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "addr" => addr_field = value.as_str(),
+            other => {
+                bad(stream, &format!("unknown field {other:?} (expected addr)"));
+                return;
+            }
+        }
+    }
+    let Some(addr) = addr_field else {
+        bad(stream, "addr (string) is required");
+        return;
+    };
+    let result = if heartbeat {
+        shared.cluster.registry.heartbeat(addr)
+    } else {
+        shared.cluster.registry.register(addr)
+    };
+    match result {
+        Ok(()) => {
+            if !heartbeat {
+                shared
+                    .metrics
+                    .log_event(&format!("cluster: worker {addr} registered"));
+            }
+            let mut body = Json::object([
+                ("ok", Json::from(true)),
+                ("addr", Json::from(addr)),
+                (
+                    "workers",
+                    Json::from(shared.cluster.registry.all_workers().len()),
+                ),
+            ])
+            .to_compact();
+            body.push('\n');
+            let _ = respond_json(stream, &shared.metrics, 200, &[], &body);
+        }
+        Err(e) => bad(stream, &e.to_string()),
     }
 }
 
@@ -537,6 +1021,7 @@ fn handle_status<S: Read + Write>(shared: &Shared, stream: &mut S) {
         ("job_queue_depth", Json::from(shared.jobs.depth())),
         ("jobs", jobs),
         ("caches", caches),
+        ("cluster", shared.cluster.status_json(&shared.metrics)),
         ("events_total", Json::from(shared.metrics.event_count())),
         ("events", events),
     ])
@@ -901,6 +1386,8 @@ mod tests {
             cancel.clone(),
         )
         .expect("job manager");
+        let registry = Arc::new(WorkerRegistry::new());
+        registry.set_self_addr("127.0.0.1:7203");
         Shared {
             config,
             queue: Queue::new(4),
@@ -911,6 +1398,11 @@ mod tests {
             stop: AtomicBool::new(false),
             jobs,
             warmer,
+            cluster: Arc::new(Cluster {
+                role: Role::Single,
+                registry,
+                coordinator: None,
+            }),
         }
     }
 
@@ -1182,6 +1674,93 @@ mod tests {
         assert!(result.starts_with("HTTP/1.1 409"), "{result}");
         sh.jobs.begin_shutdown();
         sh.jobs.join();
+    }
+
+    #[test]
+    fn cluster_membership_is_strict_and_status_reports_workers() {
+        let sh = shared();
+        // Well-formed registrations land in the registry...
+        let ok = drive(
+            &sh,
+            &post("/v1/cluster/register", r#"{"addr":"127.0.0.1:7300"}"#),
+        );
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        // ...and each failure mode is a distinct 400: duplicate, the
+        // coordinator's own address, a malformed pair, an unknown field,
+        // and JSON that does not parse (with its byte offset).
+        for body in [
+            r#"{"addr":"127.0.0.1:7300"}"#,
+            r#"{"addr":"localhost:7203"}"#,
+            r#"{"addr":"no-port"}"#,
+            r#"{"addr":"x:0","extra":1}"#,
+            r#"{"addr":"#,
+        ] {
+            let r = drive(&sh, &post("/v1/cluster/register", body));
+            assert!(r.starts_with("HTTP/1.1 400"), "{body}: {r}");
+        }
+        assert_eq!(sh.metrics.cluster_count("rejected"), 5);
+        // Heartbeats tolerate duplicates but reject the same bad shapes.
+        let hb = drive(
+            &sh,
+            &post("/v1/cluster/heartbeat", r#"{"addr":"127.0.0.1:7300"}"#),
+        );
+        assert!(hb.starts_with("HTTP/1.1 200"), "{hb}");
+        let bad_hb = drive(&sh, &post("/v1/cluster/heartbeat", r#"{"addr":"x:0"}"#));
+        assert!(bad_hb.starts_with("HTTP/1.1 400"), "{bad_hb}");
+        assert!(drive(&sh, "GET /v1/cluster/register HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        let status = drive(&sh, "GET /v1/status HTTP/1.1\r\n\r\n");
+        for needle in [
+            "\"cluster\"",
+            "\"role\": \"single\"",
+            "\"addr\": \"127.0.0.1:7300\"",
+            "\"last_heartbeat_seconds_ago\"",
+        ] {
+            assert!(status.contains(needle), "missing {needle}: {status}");
+        }
+        let metrics = drive(&sh, "GET /metrics HTTP/1.1\r\n\r\n");
+        for needle in [
+            "tauhls_serve_cluster_partitions_total{event=\"rejected\"} 6",
+            "tauhls_serve_cluster_workers 1",
+            "tauhls_serve_cluster_worker_healthy{worker=\"127.0.0.1:7300\"} 1",
+        ] {
+            assert!(metrics.contains(needle), "missing {needle}: {metrics}");
+        }
+    }
+
+    #[test]
+    fn cluster_partition_endpoint_serves_cached_byte_identical_partials() {
+        let sh = shared();
+        let spec = JobSpec::from_json_ref(
+            Endpoint::Simulate,
+            &JsonRef::parse(r#"{"dfg":"fir3","trials":30,"p":[0.3,0.5,0.7],"seed":9}"#)
+                .expect("json"),
+        )
+        .expect("spec");
+        let body = Json::object([
+            ("spec", spec.canonical()),
+            ("part", Json::from(1u64)),
+            ("of", Json::from(3u64)),
+        ])
+        .to_compact();
+        let cold = drive(&sh, &post("/v1/cluster/partition", &body));
+        assert!(cold.starts_with("HTTP/1.1 200"), "{cold}");
+        assert!(cold.contains("X-Cache: miss"), "{cold}");
+        assert!(cold.contains("\"part\""), "{cold}");
+        let hot = drive(&sh, &post("/v1/cluster/partition", &body));
+        assert!(hot.contains("X-Cache: hit"), "{hot}");
+        let payload = |r: &str| r.split("\r\n\r\n").nth(1).map(String::from);
+        assert_eq!(payload(&cold).expect("cold"), payload(&hot).expect("hot"));
+        assert_eq!(sh.metrics.cluster_count("served"), 2);
+        // Out-of-range coordinates and unknown fields are 400s.
+        let oob = Json::object([
+            ("spec", spec.canonical()),
+            ("part", Json::from(7u64)),
+            ("of", Json::from(3u64)),
+        ])
+        .to_compact();
+        assert!(drive(&sh, &post("/v1/cluster/partition", &oob)).starts_with("HTTP/1.1 400"));
+        assert!(drive(&sh, &post("/v1/cluster/partition", r#"{"bogus":1}"#))
+            .starts_with("HTTP/1.1 400"));
     }
 
     #[test]

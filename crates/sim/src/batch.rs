@@ -812,6 +812,33 @@ pub fn latency_triple_batch(
     base_seed: u64,
     runner: &BatchRunner,
 ) -> Result<(LatencySummary, LatencySummary, LatencySummary), SimError> {
+    let indexed: Vec<(u64, f64)> = p_values
+        .iter()
+        .enumerate()
+        .map(|(idx, &p)| (idx as u64, p))
+        .collect();
+    latency_triple_batch_indexed(bound, &indexed, trials, base_seed, runner)
+}
+
+/// [`latency_triple_batch`] over an explicit `(job_id, p)` list.
+///
+/// Each swept `P` seeds its trials from the *supplied* `job_id` rather
+/// than its position in the slice, so a contiguous sub-range of a larger
+/// sweep — run with the original global indices — reproduces exactly the
+/// per-`P` averages the full sweep would produce. This is the primitive a
+/// distributed coordinator partitions on: merging per-partition
+/// `average_cycles`/`p_values` in partition order reassembles the
+/// single-node summary bit for bit (best/worst legs are deterministic
+/// extremes, identical in every partition).
+///
+/// Returns [`SimError::InvalidConfig`] when `trials == 0`.
+pub fn latency_triple_batch_indexed(
+    bound: &BoundDfg,
+    indexed_p: &[(u64, f64)],
+    trials: u64,
+    base_seed: u64,
+    runner: &BatchRunner,
+) -> Result<(LatencySummary, LatencySummary, LatencySummary), SimError> {
     if trials == 0 {
         return Err(SimError::InvalidConfig(
             "latency triple needs trials >= 1".to_string(),
@@ -832,10 +859,10 @@ pub fn latency_triple_batch(
         };
     let (sync_best, dist_best, cent_best) = measure(&CompletionModel::AlwaysShort, &mut rng)?;
     let (sync_worst, dist_worst, cent_worst) = measure(&CompletionModel::AlwaysLong, &mut rng)?;
-    let mut sync_avg = Vec::with_capacity(p_values.len());
-    let mut dist_avg = Vec::with_capacity(p_values.len());
-    let mut cent_avg = Vec::with_capacity(p_values.len());
-    for (idx, &p) in p_values.iter().enumerate() {
+    let mut sync_avg = Vec::with_capacity(indexed_p.len());
+    let mut dist_avg = Vec::with_capacity(indexed_p.len());
+    let mut cent_avg = Vec::with_capacity(indexed_p.len());
+    for &(idx, p) in indexed_p {
         let (sync, dist, cent, errors): (CycleStats, CycleStats, CycleStats, FirstError) =
             runner.run_chunked(
                 trials,
@@ -864,7 +891,7 @@ pub fn latency_triple_batch(
                         rngs.clear();
                         tables.clear();
                         for trial in start..end {
-                            let mut rng = trial_rng(base_seed, idx as u64, trial);
+                            let mut rng = trial_rng(base_seed, idx, trial);
                             tables.push(CompletionModel::draw_table(num_ops, p, &mut rng));
                             rngs.push(rng);
                         }
@@ -886,7 +913,7 @@ pub fn latency_triple_batch(
                                     cent.record(d);
                                 }
                                 _ => {
-                                    let mut rng = trial_rng(base_seed, idx as u64, trial);
+                                    let mut rng = trial_rng(base_seed, idx, trial);
                                     let table = CompletionModel::draw_table(num_ops, p, &mut rng);
                                     match measure(&table, &mut rng) {
                                         Ok((s, d, c)) => {
@@ -921,7 +948,7 @@ pub fn latency_triple_batch(
         best_cycles: best,
         average_cycles: avg,
         worst_cycles: worst,
-        p_values: p_values.to_vec(),
+        p_values: indexed_p.iter().map(|&(_, p)| p).collect(),
     };
     Ok((
         summary(sync_best, sync_avg, sync_worst),
@@ -952,6 +979,24 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn indexed_triple_reproduces_contiguous_sub_sweeps() {
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(1, 1, 0));
+        let ps = [0.1, 0.35, 0.5, 0.75, 0.9];
+        let runner = BatchRunner::new(2);
+        let (sync, dist, cent) = latency_triple_batch(&bound, &ps, 40, 9, &runner).unwrap();
+        for (lo, hi) in [(0usize, 2usize), (2, 5), (1, 4), (0, 5)] {
+            let indexed: Vec<(u64, f64)> = (lo..hi).map(|i| (i as u64, ps[i])).collect();
+            let (s, d, c) = latency_triple_batch_indexed(&bound, &indexed, 40, 9, &runner).unwrap();
+            assert_eq!(s.best_cycles, sync.best_cycles);
+            assert_eq!(s.worst_cycles, sync.worst_cycles);
+            assert_eq!(s.average_cycles, sync.average_cycles[lo..hi].to_vec());
+            assert_eq!(d.average_cycles, dist.average_cycles[lo..hi].to_vec());
+            assert_eq!(c.average_cycles, cent.average_cycles[lo..hi].to_vec());
+            assert_eq!(s.p_values, ps[lo..hi].to_vec());
+        }
     }
 
     #[test]

@@ -76,8 +76,9 @@ mod result;
 pub mod sliced;
 
 pub use batch::{
-    derive_seed, latency_pair_batch, latency_summary_batch, latency_triple_batch, trial_rng,
-    Accumulator, BatchRunner, CancelToken, CycleStats, FirstError, SimJob, DEFAULT_CHUNK_SIZE,
+    derive_seed, latency_pair_batch, latency_summary_batch, latency_triple_batch,
+    latency_triple_batch_indexed, trial_rng, Accumulator, BatchRunner, CancelToken, CycleStats,
+    FirstError, SimJob, DEFAULT_CHUNK_SIZE,
 };
 pub use cent::{simulate_cent, simulate_cent_with, CentControlUnit, CENT_FSM_NAME};
 pub use centsync::{simulate_cent_sync, simulate_cent_sync_with, simulate_cent_sync_with_schedule};

@@ -19,6 +19,8 @@
 //! tauhls jobs       <verb> ...             async jobs against a service:
 //!                                          submit <endpoint> [spec.json]
 //!                                          status|result|cancel <job-id>
+//! tauhls cluster    status                 a coordinator's worker table and
+//!                                          partition counters
 //!
 //! Every <file> accepts both DFG formats: the classic `.dfg` text and
 //! the JSON wire format (`{"nodes":[...],"edges":[...],...}`) — the
@@ -128,12 +130,16 @@ fn usage() -> ExitCode {
          \n       tauhls serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--stage-cache N] [--threads N] [--data-dir PATH] \
          [--job-workers N] [--job-queue N] [--max-attempts N] [--backoff-ms N] \
-         [--rate R] [--burst B] [--max-pending N]\
+         [--rate R] [--burst B] [--max-pending N] \
+         [--coordinator] [--workers-file PEERS.json] [--worker-of HOST:PORT] \
+         [--heartbeat-ms N] [--partition-timeout-ms N] [--cluster-attempts N] \
+         [--cluster-partitions N]\
          \n       tauhls call <simulate|table2|resilience|synth|area|explore|status|\
 healthz|metrics> [spec.json] [--addr HOST:PORT]\
          \n       tauhls jobs submit <endpoint> [spec.json] [--addr HOST:PORT] \
          [--client NAME] [--priority 0..9] [--wait]\
          \n       tauhls jobs <status|result|cancel> <job-id> [--addr HOST:PORT]\
+         \n       tauhls cluster status [--addr HOST:PORT]\
          \n\nDFG files may be classic `.dfg` text or the JSON wire format."
     );
     ExitCode::from(2)
@@ -523,6 +529,33 @@ fn parse_serve_options(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|e| format!("--max-pending: {e}"))?
             }
+            "--coordinator" => config.coordinator = true,
+            "--workers-file" => {
+                config.workers_file = Some(std::path::PathBuf::from(value()?));
+            }
+            "--worker-of" => config.worker_of = Some(value()?.clone()),
+            "--heartbeat-ms" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+                config.heartbeat_interval = Duration::from_millis(ms);
+            }
+            "--partition-timeout-ms" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--partition-timeout-ms: {e}"))?;
+                config.partition_timeout = Duration::from_millis(ms);
+            }
+            "--cluster-attempts" => {
+                config.cluster_max_attempts = value()?
+                    .parse()
+                    .map_err(|e| format!("--cluster-attempts: {e}"))?
+            }
+            "--cluster-partitions" => {
+                config.cluster_partitions = value()?
+                    .parse()
+                    .map_err(|e| format!("--cluster-partitions: {e}"))?
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -556,6 +589,67 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     eprintln!("shutdown requested: draining in-flight jobs");
     server.shutdown();
     ExitCode::SUCCESS
+}
+
+/// `tauhls cluster status`: the cluster section of a running server's
+/// `/v1/status` — role, workers with health and heartbeat age, and the
+/// partition lifecycle counters.
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    let mut addr = ServeConfig::default().addr;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("error: missing value for --addr");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown cluster option {flag}");
+                return ExitCode::FAILURE;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 1 || positional[0].as_str() != "status" {
+        eprintln!("error: cluster needs the verb 'status'");
+        return ExitCode::FAILURE;
+    }
+    match client::request(&addr, "GET", "/v1/status", None, Duration::from_secs(30)) {
+        Ok(response) if response.status == 200 => {
+            let section = Json::parse(&response.body).ok().and_then(|doc| {
+                doc.as_object()?
+                    .iter()
+                    .find(|(k, _)| k == "cluster")
+                    .map(|(_, v)| v.to_pretty())
+            });
+            match section {
+                Some(body) => {
+                    print!("{body}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("error: status body carries no cluster section");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Ok(response) => {
+            eprintln!(
+                "error: HTTP {} from /v1/status: {}",
+                response.status,
+                response.body.trim()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `tauhls call`: one request against a running service.
@@ -851,6 +945,9 @@ fn main() -> ExitCode {
     if cmd == "jobs" {
         return cmd_jobs(&args[1..]);
     }
+    if cmd == "cluster" {
+        return cmd_cluster(&args[1..]);
+    }
     if cmd == "dfg" {
         return match cmd_dfg(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -1045,5 +1142,31 @@ mod tests {
         assert!(parse_serve_options(&args("--job-workers x")).is_err());
         assert!(parse_serve_options(&args("--max-attempts -1")).is_err());
         assert!(parse_serve_options(&args("--rate fast")).is_err());
+    }
+
+    #[test]
+    fn serve_cluster_options_parse_and_reject() {
+        let c = parse_serve_options(&args(
+            "--coordinator --workers-file peers.json --heartbeat-ms 250 \
+             --partition-timeout-ms 5000 --cluster-attempts 4 --cluster-partitions 6",
+        ))
+        .unwrap();
+        assert!(c.coordinator);
+        assert_eq!(
+            c.workers_file.as_deref(),
+            Some(std::path::Path::new("peers.json"))
+        );
+        assert_eq!(c.heartbeat_interval, Duration::from_millis(250));
+        assert_eq!(c.partition_timeout, Duration::from_millis(5000));
+        assert_eq!(c.cluster_max_attempts, 4);
+        assert_eq!(c.cluster_partitions, 6);
+        let w = parse_serve_options(&args("--worker-of 127.0.0.1:8080")).unwrap();
+        assert_eq!(w.worker_of.as_deref(), Some("127.0.0.1:8080"));
+        // Defaults stay single-node.
+        let d = parse_serve_options(&[]).unwrap();
+        assert!(!d.coordinator && d.workers_file.is_none() && d.worker_of.is_none());
+        assert!(parse_serve_options(&args("--worker-of")).is_err());
+        assert!(parse_serve_options(&args("--heartbeat-ms soon")).is_err());
+        assert!(parse_serve_options(&args("--cluster-partitions x")).is_err());
     }
 }
