@@ -1,7 +1,7 @@
 //! Bench-smoke for the unified cycle kernel: runs every paper benchmark
-//! through all three scalar controller engines (DIST, CENT, CENT-SYNC)
-//! *and* their bit-sliced counterparts (64 Monte-Carlo lanes per word)
-//! for a small fixed trial count, and records simulated cycles per
+//! through all four scalar controller engines (DIST, CENT, CENT-SYNC,
+//! ELASTIC) *and* their bit-sliced counterparts (64 Monte-Carlo lanes per
+//! word) for a small fixed trial count, and records simulated cycles per
 //! wall-clock second — plus heap-allocation counts from a bin-level
 //! counting allocator — in `BENCH_kernel.json`. CI runs this in short
 //! mode as a throughput regression canary and `bench_gate` compares the
@@ -27,8 +27,9 @@ use tauhls_fsm::DistributedControlUnit;
 use tauhls_json::{Json, JsonRef};
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
-    simulate_cent, simulate_cent_sync, simulate_distributed, trial_rng, CentControlUnit,
-    CompletionModel, LaneConfigs, LaneModels, LaneOutcome, SimConfig, SlicedSim, LANES,
+    elastic_trial_skew_seed, simulate_cent, simulate_cent_sync, simulate_distributed,
+    simulate_elastic, trial_rng, CentControlUnit, CompletionModel, ElasticSpec, LaneConfigs,
+    LaneModels, LaneOutcome, SimConfig, SlicedSim, LANES,
 };
 
 /// Counts every heap allocation so the smoke can assert the sliced
@@ -198,6 +199,19 @@ fn main() {
                     .cycles as u64
             }),
         );
+        // Elastic (GALS) clocking at the default spec. One fixed skew
+        // schedule per benchmark keeps the row a pure throughput probe;
+        // trial-to-trial variation still comes from the Bernoulli draws.
+        let spec = ElasticSpec::default();
+        let skew_seed = elastic_trial_skew_seed(SEED, 0, 0);
+        push(
+            "elastic",
+            measure(trials, |rng| {
+                simulate_elastic(&bound, &cu, &model, None, rng, spec, skew_seed)
+                    .expect("fault-free simulation")
+                    .cycles as u64
+            }),
+        );
 
         let models = LaneModels::Shared(&model);
         let cfgs = LaneConfigs::Shared(&fault_free);
@@ -230,6 +244,23 @@ fn main() {
                 slab_cycles(sync_sim.run(&models, &cfgs, rngs))
             }),
         );
+        let skew_seeds: Vec<u64> = (0..LANES as u64)
+            .map(|t| elastic_trial_skew_seed(SEED, 0, t))
+            .collect();
+        let mut elastic_sim = SlicedSim::distributed(&bound, &cu, None);
+        push(
+            "elastic_sliced",
+            measure_sliced(trials, |rngs| {
+                let lanes = rngs.len();
+                slab_cycles(elastic_sim.run_elastic(
+                    spec,
+                    &skew_seeds[..lanes],
+                    &models,
+                    &cfgs,
+                    rngs,
+                ))
+            }),
+        );
     }
 
     for row in &rows {
@@ -249,6 +280,7 @@ fn main() {
         ("dist", "dist_sliced"),
         ("cent", "cent_sliced"),
         ("cent_sync", "cent_sync_sliced"),
+        ("elastic", "elastic_sliced"),
     ] {
         let total = |engine: &str| -> u64 {
             rows.iter()

@@ -7,13 +7,17 @@
 
 use crate::Gen;
 use tauhls_dfg::OpId;
-use tauhls_sim::{Fault, FaultKind, FaultPlan};
+use tauhls_sim::{ElasticSpec, Fault, FaultKind, FaultPlan};
 
 /// Draws one random fault touching one of `num_ops` operations or one of
 /// `num_controllers` controllers, scheduled within `1..=max_cycle`.
 ///
-/// All six fault kinds are equally likely; delayed latches defer by 1-4
-/// cycles and state upsets flip one of the low 4 state-register bits.
+/// All six *synchronous* fault kinds are equally likely; delayed latches
+/// defer by 1-4 cycles and state upsets flip one of the low 4
+/// state-register bits. The clock-domain-only `ClockSkew` kind is **not**
+/// in this distribution — the stream positions of every existing consumer
+/// (and the resilience sweeps' rejection sampling) depend on the 6-way
+/// draw staying put; use [`arbitrary_skew_fault`] to add skew excursions.
 ///
 /// # Panics
 ///
@@ -67,6 +71,80 @@ pub fn arbitrary_plan(
     plan
 }
 
+/// Draws one clock-skew excursion: a [`FaultKind::ClockSkew`] stalling
+/// one of `num_controllers` local clocks for `1..=max_stall` fabric
+/// cycles, scheduled within `1..=max_cycle`. Synchronous engines ignore
+/// it; the elastic engine freezes the controller for the stall span.
+///
+/// Kept out of [`arbitrary_fault`] so the historical 6-way distribution
+/// (and every stream position derived from it) is untouched.
+///
+/// # Panics
+///
+/// Panics if `num_controllers == 0`, `max_cycle == 0`, or
+/// `max_stall == 0`.
+pub fn arbitrary_skew_fault(
+    g: &mut Gen,
+    num_controllers: usize,
+    max_cycle: usize,
+    max_stall: usize,
+) -> Fault {
+    assert!(num_controllers > 0 && max_cycle > 0 && max_stall > 0);
+    Fault {
+        at_cycle: g.usize(1..=max_cycle),
+        kind: FaultKind::ClockSkew {
+            controller: g.usize(0..num_controllers),
+            stall: g.usize(1..=max_stall),
+        },
+    }
+}
+
+/// Draws a [`FaultPlan`] of `1..=max_faults` clock-skew excursions from
+/// [`arbitrary_skew_fault`]'s distribution.
+///
+/// # Panics
+///
+/// Panics on the same empty domains as [`arbitrary_skew_fault`], or if
+/// `max_faults == 0`.
+pub fn arbitrary_skew_plan(
+    g: &mut Gen,
+    num_controllers: usize,
+    max_cycle: usize,
+    max_stall: usize,
+    max_faults: usize,
+) -> FaultPlan {
+    assert!(max_faults > 0);
+    let count = g.usize(1..=max_faults);
+    let mut plan = FaultPlan::empty();
+    for _ in 0..count {
+        plan.push(arbitrary_skew_fault(
+            g,
+            num_controllers,
+            max_cycle,
+            max_stall,
+        ));
+    }
+    plan
+}
+
+/// Draws an arbitrary elastic clocking spec with both knobs in
+/// `0..=max`: skew bound 0 with latency 0 is the synchronous degenerate
+/// case (bisimilar to the distributed engine), so property tests over
+/// this generator exercise the degenerate corner alongside real GALS
+/// configurations.
+///
+/// # Panics
+///
+/// Panics if `max == 0` (the spec space would be a single point; assert
+/// the bisimulation directly instead).
+pub fn arbitrary_elastic_spec(g: &mut Gen, max: u32) -> ElasticSpec {
+    assert!(max > 0);
+    ElasticSpec {
+        skew_bound: g.usize(0..=max as usize) as u32,
+        sync_latency: g.usize(0..=max as usize) as u32,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,9 +181,59 @@ mod tests {
                 FaultKind::FlipState { controller, bit } => {
                     assert!(controller < 2 && bit < 4);
                 }
+                FaultKind::ClockSkew { .. } => {
+                    unreachable!("arbitrary_fault must not draw clock skew")
+                }
             }
         }
-        // 500 draws cover all six kinds with overwhelming probability.
+        // 500 draws cover all six synchronous kinds with overwhelming
+        // probability — and never the clock-domain-only seventh.
         assert_eq!(seen_kinds.len(), 6);
+    }
+
+    #[test]
+    fn skew_faults_stay_inside_their_domains_and_are_deterministic() {
+        let mut a = Gen::from_seed(11);
+        let mut b = Gen::from_seed(11);
+        let mut seen_controllers = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let fa = arbitrary_skew_fault(&mut a, 3, 25, 4);
+            let fb = arbitrary_skew_fault(&mut b, 3, 25, 4);
+            assert_eq!(fa, fb);
+            assert!((1..=25).contains(&fa.at_cycle));
+            match fa.kind {
+                FaultKind::ClockSkew { controller, stall } => {
+                    assert!(controller < 3 && (1..=4).contains(&stall));
+                    seen_controllers.insert(controller);
+                }
+                other => panic!("skew generator drew {other:?}"),
+            }
+        }
+        assert_eq!(seen_controllers.len(), 3);
+        let plan = arbitrary_skew_plan(&mut a, 3, 25, 4, 5);
+        assert!(!plan.is_empty() && plan.faults().len() <= 5);
+        assert!(plan
+            .faults()
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::ClockSkew { .. })));
+    }
+
+    #[test]
+    fn elastic_specs_cover_the_degenerate_and_skewed_corners() {
+        let mut g = Gen::from_seed(3);
+        let mut zeros = 0;
+        let mut skewed = 0;
+        for _ in 0..300 {
+            let spec = arbitrary_elastic_spec(&mut g, 3);
+            assert!(spec.skew_bound <= 3 && spec.sync_latency <= 3);
+            if spec == ElasticSpec::zero() {
+                zeros += 1;
+            }
+            if spec.skew_bound > 0 {
+                skewed += 1;
+            }
+        }
+        assert!(zeros > 0, "degenerate corner never drawn");
+        assert!(skewed > 0, "no skewed specs drawn");
     }
 }

@@ -28,7 +28,10 @@
 
 mod fault_gen;
 
-pub use fault_gen::{arbitrary_fault, arbitrary_plan};
+pub use fault_gen::{
+    arbitrary_elastic_spec, arbitrary_fault, arbitrary_plan, arbitrary_skew_fault,
+    arbitrary_skew_plan,
+};
 
 use rand::rngs::StdRng;
 use rand::{splitmix64_mix, Rng, SampleRange, SeedableRng, StandardSample};

@@ -9,7 +9,7 @@ use tauhls_fsm::{synthesize, Encoding, Fsm};
 use tauhls_logic::AreaModel;
 use tauhls_sched::Allocation;
 use tauhls_sim::{
-    derive_seed, enhancement_percent, latency_triple_batch, BatchRunner, LatencySummary,
+    derive_seed, enhancement_percent, latency_quad_batch, BatchRunner, ElasticSpec, LatencySummary,
 };
 
 /// One row of the Table 1 area analysis.
@@ -154,6 +154,10 @@ pub struct LatencyRow {
     /// The centralized product-controller summary (`LT_CENT`; equals
     /// `LT_DIST` cycle for cycle — measured, not assumed).
     pub lt_cent: SummaryCells,
+    /// The elastic (GALS) summary (`LT_ELAS`): the distributed control
+    /// unit under per-controller local clocks ([`ElasticSpec::default`])
+    /// — the price of giving up the single global clock.
+    pub lt_elas: SummaryCells,
     /// Enhancement percentage per swept `P`.
     pub enhancement: Vec<f64>,
 }
@@ -216,13 +220,16 @@ pub fn paper_benchmarks() -> Vec<(Dfg, Allocation, &'static str)> {
         .collect()
 }
 
-/// Regenerates Table 2: `LT_TAU` vs `LT_DIST` vs `LT_CENT` for the six
-/// benchmarks at `P ∈ {0.9, 0.7, 0.5}`, with each row's trials fanned over
-/// `runner`'s workers (one seed-space partition per benchmark, so the table
-/// is bit-identical for any thread count). The coupled draws are
-/// RNG-neutral, so the `LT_TAU`/`LT_DIST` cells match the historical
+/// Regenerates Table 2: `LT_TAU` vs `LT_DIST` vs `LT_CENT` vs `LT_ELAS`
+/// for the six benchmarks at `P ∈ {0.9, 0.7, 0.5}`, with each row's trials
+/// fanned over `runner`'s workers (one seed-space partition per benchmark,
+/// so the table is bit-identical for any thread count). The coupled draws
+/// are RNG-neutral, so the `LT_TAU`/`LT_DIST` cells match the historical
 /// two-column table byte for byte; `LT_CENT` rides along on the same
-/// tables and equals `LT_DIST` by bisimulation.
+/// tables and equals `LT_DIST` by bisimulation, and `LT_ELAS` (elastic
+/// clocking at [`ElasticSpec::default`], skew schedules on their own
+/// salted seed stream) rides the very same tables without disturbing any
+/// historical cell.
 ///
 /// Returns an error only on an abnormal simulation — in practice
 /// [`tauhls_sim::SimError::Cancelled`] when `runner` carries a tripped
@@ -243,8 +250,14 @@ pub fn table2(
             .run()
             .expect("benchmark synthesizes");
         let row_seed = derive_seed(seed, row_id as u64, 0);
-        let (tau, dist, cent) =
-            latency_triple_batch(design.bound(), &p_values, trials as u64, row_seed, runner)?;
+        let (tau, dist, cent, elas) = latency_quad_batch(
+            design.bound(),
+            &p_values,
+            trials as u64,
+            row_seed,
+            ElasticSpec::default(),
+            runner,
+        )?;
         let enhancement = enhancement_percent(&tau, &dist);
         rows.push(LatencyRow {
             name,
@@ -252,6 +265,7 @@ pub fn table2(
             lt_tau: SummaryCells::from_summary(&tau, timing.clock_ns()),
             lt_dist: SummaryCells::from_summary(&dist, timing.clock_ns()),
             lt_cent: SummaryCells::from_summary(&cent, timing.clock_ns()),
+            lt_elas: SummaryCells::from_summary(&elas, timing.clock_ns()),
             enhancement,
         });
     }
@@ -276,19 +290,20 @@ impl fmt::Display for Table2 {
         )?;
         writeln!(
             f,
-            "{:<12} {:<14} {:<28} {:<28} {:<28} Enhancement",
-            "DFG", "Resources", "LT_TAU (ns)", "LT_DIST (ns)", "LT_CENT (ns)"
+            "{:<12} {:<14} {:<28} {:<28} {:<28} {:<28} Enhancement",
+            "DFG", "Resources", "LT_TAU (ns)", "LT_DIST (ns)", "LT_CENT (ns)", "LT_ELAS (ns)"
         )?;
         for r in &self.rows {
             let enh: Vec<String> = r.enhancement.iter().map(|e| format!("{e:.1}%")).collect();
             writeln!(
                 f,
-                "{:<12} {:<14} {:<28} {:<28} {:<28} [{}]",
+                "{:<12} {:<14} {:<28} {:<28} {:<28} {:<28} [{}]",
                 r.name,
                 r.resources,
                 r.lt_tau.rendered,
                 r.lt_dist.rendered,
                 r.lt_cent.rendered,
+                r.lt_elas.rendered,
                 enh.join(", ")
             )?;
         }
@@ -410,6 +425,13 @@ mod tests {
             // The centralized product is bisimilar to the distributed
             // realization: identical cells, including the rendering.
             assert_eq!(r.lt_cent.rendered, r.lt_dist.rendered, "{}", r.name);
+            // Elastic clocking can only cost latency relative to the
+            // single-clock distributed style (same coupled tables).
+            for (e, d) in r.lt_elas.avg_ns.iter().zip(&r.lt_dist.avg_ns) {
+                assert!(e >= d, "{}: elas {e} < dist {d}", r.name);
+            }
+            assert!(r.lt_elas.best_ns >= r.lt_dist.best_ns);
+            assert!(r.lt_elas.worst_ns >= r.lt_dist.worst_ns);
             for e in &r.enhancement {
                 assert!(*e >= -0.5, "{}: negative enhancement {e}", r.name);
             }

@@ -13,7 +13,10 @@ use tauhls_dfg::{Dfg, ResourceClass};
 use tauhls_fsm::Encoding;
 use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg};
-use tauhls_sim::{derive_seed, latency_pair_batch, BatchRunner, SimError};
+use tauhls_sim::{
+    derive_seed, latency_pair_batch, latency_summary_batch, BatchRunner, ControlStyle, ElasticSpec,
+    SimError,
+};
 
 /// One explored design point.
 #[derive(Clone, Debug)]
@@ -168,6 +171,11 @@ pub struct SweepParams {
     pub p_values: Vec<f64>,
     /// SD/LD clock-period ratios; the SD clock is `ratio × ld_ns`.
     pub sd_ld: Vec<f64>,
+    /// Elastic skew bounds swept in the latency estimate: `0` measures
+    /// the synchronous distributed controllers, `s > 0` the ELASTIC
+    /// (GALS) controllers at skew bound `s` (handshake latency fixed at
+    /// the [`ElasticSpec::default`] value).
+    pub skew: Vec<u64>,
     /// Monte-Carlo trials per allocation.
     pub trials: u64,
     /// Datapath width for the area model.
@@ -191,7 +199,10 @@ pub struct SweepPoint {
     pub p: f64,
     /// SD/LD clock ratio of this scenario.
     pub sd_ld: f64,
-    /// Mean distributed latency in SD cycles.
+    /// Elastic skew bound of this scenario (`0` = synchronous clocks).
+    pub skew: u64,
+    /// Mean latency in SD cycles — distributed control at `skew == 0`,
+    /// elastic (GALS) control otherwise.
     pub avg_cycles: f64,
     /// Mean latency in nanoseconds: `avg_cycles × sd_ld × ld_ns`.
     pub latency_ns: f64,
@@ -225,26 +236,29 @@ impl std::error::Error for SweepError {}
 /// Pareto frontier.
 ///
 /// The grid is allocations (class-aware, like [`explore_allocations`]) ×
-/// `encodings` × `p_values` × `sd_ld`. Each allocation is simulated once
-/// — a single batched call covering every `P`, seeded by the allocation
-/// triple so results are independent of enumeration order and of
-/// `runner`'s thread count — and synthesized once per encoding through
-/// the shared [`StageCache`]. Cycle counts don't depend on encoding or
-/// clock ratio, so those axes are pure post-processing.
+/// `encodings` × `p_values` × `sd_ld` × `skew`. Each allocation is
+/// simulated once per skew bound — a batched call covering every `P`,
+/// seeded by the allocation triple so results are independent of
+/// enumeration order and of `runner`'s thread count — and synthesized
+/// once per encoding through the shared [`StageCache`]. Cycle counts
+/// don't depend on encoding or clock ratio, so those axes are pure
+/// post-processing; the skew axis re-simulates (elastic stalls change
+/// cycle counts) but reuses the same per-trial completion tables as the
+/// synchronous leg.
 ///
-/// `(p, sd_ld)` describe the *scenario* (workload and clock), not the
-/// design, so Pareto domination is judged only between points of the
-/// same scenario: within each `(p, sd_ld)` group a point survives if no
-/// other allocation/encoding is at least as good in both latency and
-/// area and strictly better in one (with the same noise tolerance as
-/// [`explore_allocations`]). The area model is clock-independent, so the
-/// per-scenario frontiers differ only in how cycles render to
-/// nanoseconds — which is exactly what makes them comparable across
-/// ratios.
+/// `(p, sd_ld, skew)` describe the *scenario* (workload, clock, and
+/// clocking discipline), not the design, so Pareto domination is judged
+/// only between points of the same scenario: within each group a point
+/// survives if no other allocation/encoding is at least as good in both
+/// latency and area and strictly better in one (with the same noise
+/// tolerance as [`explore_allocations`]). Skew is a scenario axis rather
+/// than a design axis because elastic latency is never below the
+/// synchronous latency of the same design — folding it into the frontier
+/// would just erase every skewed point.
 ///
 /// Returns the swept points (grid order: allocation, then `P`, then
-/// encoding, then ratio) plus the stage records of every synthesis run,
-/// for the caller's stage metrics.
+/// encoding, then ratio, then skew) plus the stage records of every
+/// synthesis run, for the caller's stage metrics.
 pub fn design_space(
     dfg: &Dfg,
     params: &SweepParams,
@@ -317,6 +331,30 @@ pub fn design_space_slice(
         let (_, dist) =
             latency_pair_batch(&bound, &params.p_values, params.trials, point_seed, runner)
                 .map_err(SweepError::Sim)?;
+        // Per-skew cycle estimates, indexed [skew][p]. Skew 0 reuses the
+        // distributed leg; nonzero bounds run the elastic engine at the
+        // same seed, so both legs draw identical completion tables.
+        let mut cycles_by_skew = Vec::with_capacity(params.skew.len());
+        for &s in &params.skew {
+            if s == 0 {
+                cycles_by_skew.push(dist.average_cycles.clone());
+            } else {
+                let spec = ElasticSpec {
+                    skew_bound: s.min(u64::from(u32::MAX)) as u32,
+                    ..ElasticSpec::default()
+                };
+                let elas = latency_summary_batch(
+                    &bound,
+                    ControlStyle::Elastic(spec),
+                    &params.p_values,
+                    params.trials,
+                    point_seed,
+                    runner,
+                )
+                .map_err(SweepError::Sim)?;
+                cycles_by_skew.push(elas.average_cycles);
+            }
+        }
         let mut areas = Vec::with_capacity(params.encodings.len());
         for &encoding in &params.encodings {
             let input = SynthesisInput {
@@ -339,21 +377,24 @@ pub fn design_space_slice(
             areas.push(area.total());
         }
         for (ip, &p) in params.p_values.iter().enumerate() {
-            let cycles = dist.average_cycles[ip];
             for (ie, &encoding) in params.encodings.iter().enumerate() {
                 for &ratio in &params.sd_ld {
-                    points.push(SweepPoint {
-                        muls,
-                        adds,
-                        subs,
-                        encoding,
-                        p,
-                        sd_ld: ratio,
-                        avg_cycles: cycles,
-                        latency_ns: cycles * ld_ns * ratio,
-                        area_ge: areas[ie],
-                        pareto: false,
-                    });
+                    for (is, &skew) in params.skew.iter().enumerate() {
+                        let cycles = cycles_by_skew[is][ip];
+                        points.push(SweepPoint {
+                            muls,
+                            adds,
+                            subs,
+                            encoding,
+                            p,
+                            sd_ld: ratio,
+                            skew,
+                            avg_cycles: cycles,
+                            latency_ns: cycles * ld_ns * ratio,
+                            area_ge: areas[ie],
+                            pareto: false,
+                        });
+                    }
                 }
             }
         }
@@ -361,22 +402,23 @@ pub fn design_space_slice(
     Ok((points, records))
 }
 
-/// Marks each point's `pareto` flag within its `(p, sd_ld)` scenario
-/// group. Exact float equality is the group key — every group member
-/// carries the identical swept value, not a recomputation.
+/// Marks each point's `pareto` flag within its `(p, sd_ld, skew)`
+/// scenario group. Exact float equality is the group key — every group
+/// member carries the identical swept value, not a recomputation.
 ///
 /// Public so a merge of distributed partials can re-run the exact filter
 /// [`design_space`] applies after reassembling the grid.
 pub fn mark_scenario_pareto(points: &mut [SweepPoint]) {
     const LAT_EPS: f64 = 0.02;
-    let snapshot: Vec<(f64, f64, f64, f64)> = points
+    let snapshot: Vec<(f64, f64, u64, f64, f64)> = points
         .iter()
-        .map(|p| (p.p, p.sd_ld, p.avg_cycles, p.area_ge))
+        .map(|p| (p.p, p.sd_ld, p.skew, p.avg_cycles, p.area_ge))
         .collect();
     for p in points.iter_mut() {
-        p.pareto = !snapshot.iter().any(|&(qp, qr, q_cycles, q_area)| {
+        p.pareto = !snapshot.iter().any(|&(qp, qr, qs, q_cycles, q_area)| {
             qp == p.p
                 && qr == p.sd_ld
+                && qs == p.skew
                 && ((q_cycles <= p.avg_cycles + LAT_EPS && q_area < p.area_ge)
                     || (q_cycles < p.avg_cycles - LAT_EPS && q_area <= p.area_ge))
         });
@@ -433,6 +475,7 @@ mod tests {
             encodings: vec![Encoding::Binary, Encoding::Gray],
             p_values: vec![0.9, 0.5],
             sd_ld: vec![0.75, 1.0],
+            skew: vec![0],
             trials: 60,
             width: 16,
             seed: 2003,
@@ -470,6 +513,46 @@ mod tests {
         // The second encoding of each allocation reuses the cached
         // pipeline prefix.
         assert!(cached_recs.iter().any(|r| r.cache_hit));
+    }
+
+    #[test]
+    fn design_space_skew_axis_adds_elastic_scenarios() {
+        let params = SweepParams {
+            max_muls: 2,
+            max_adds: 1,
+            max_subs: 0,
+            encodings: vec![Encoding::Binary],
+            p_values: vec![0.7],
+            sd_ld: vec![1.0],
+            skew: vec![0, 2],
+            trials: 60,
+            width: 16,
+            seed: 2003,
+        };
+        let (pts, _) = design_space(&fir5(), &params, &BatchRunner::serial(), None).unwrap();
+        // 2 allocations × 1 P × 1 encoding × 1 ratio × 2 skews.
+        assert_eq!(pts.len(), 4);
+        // Each skew scenario keeps its own frontier.
+        for skew in [0u64, 2] {
+            assert!(
+                pts.iter().any(|p| p.skew == skew && p.pareto),
+                "skew {skew} scenario lost its whole frontier"
+            );
+        }
+        // Elastic stalls never beat the synchronous leg of the same design.
+        for a in pts.iter().filter(|p| p.skew != 0) {
+            let twin = pts
+                .iter()
+                .find(|b| b.skew == 0 && b.muls == a.muls && b.adds == a.adds && b.subs == a.subs)
+                .expect("every elastic point has a synchronous twin");
+            assert!(
+                a.avg_cycles >= twin.avg_cycles - 1e-9,
+                "elastic {a:?} undercut synchronous {twin:?}"
+            );
+        }
+        // Determinism across thread counts with the skew axis in play.
+        let (threaded, _) = design_space(&fir5(), &params, &BatchRunner::new(3), None).unwrap();
+        assert_eq!(format!("{pts:?}"), format!("{threaded:?}"));
     }
 
     #[test]

@@ -22,13 +22,14 @@ use tauhls_json::{Json, JsonRef, ToJson};
 use tauhls_logic::AreaModel;
 use tauhls_sched::{Allocation, BoundDfg};
 use tauhls_sim::{
-    enhancement_percent, latency_triple_batch, BatchRunner, LatencySummary, SimError,
+    enhancement_percent, latency_quad_batch, BatchRunner, ControlStyleSet, ElasticSpec,
+    LatencySummary, SimError,
 };
 
 use crate::experiments::table2;
 use crate::explore::{design_space, SweepError, SweepParams, SweepPoint};
 use crate::report::system_area_from_logic;
-use crate::resilience::resilience_sweep;
+use crate::resilience::{resilience_sweep_with, ResilienceOptions};
 use crate::stages::{
     self, BindStrategy, PipelineTrace, StageCache, StageRecord, SynthesisInput, SynthesizedLogic,
 };
@@ -46,6 +47,9 @@ pub const MAX_UNITS: usize = 64;
 pub const MAX_WIDTH: u64 = 128;
 /// Upper bound on a per-class unit maximum in an explore sweep.
 pub const MAX_EXPLORE_UNITS: usize = 8;
+/// Upper bound on the elastic skew bound and handshake latency a job may
+/// request (the watchdog budget scales linearly with both).
+pub const MAX_SKEW: u64 = 16;
 /// Upper bound on swept SD/LD clock ratios in one explore job.
 pub const MAX_RATIOS: usize = 8;
 /// Upper bound on the full explore grid (allocations × encodings × `P`
@@ -153,6 +157,8 @@ pub struct SimulateSpec {
     pub trials: u64,
     /// Base RNG seed (part of the cache key: same spec, same bytes).
     pub seed: u64,
+    /// Clock-domain parameters of the `LT_ELAS` leg.
+    pub elastic: ElasticSpec,
 }
 
 /// Validated spec for `POST /v1/table2`.
@@ -183,6 +189,21 @@ pub struct ResilienceSpec {
     pub trials: u64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Engine legs to run; always contains the distributed leg.
+    pub styles: ControlStyleSet,
+    /// Clock-domain parameters of the elastic leg.
+    pub elastic: ElasticSpec,
+}
+
+impl ResilienceSpec {
+    /// The sweep options this spec describes — shared by whole-job
+    /// execution and distributed partitions, so both run the same legs.
+    pub fn options(&self) -> ResilienceOptions {
+        ResilienceOptions {
+            styles: self.styles,
+            elastic: self.elastic,
+        }
+    }
 }
 
 /// Validated spec for `POST /v1/synth`.
@@ -242,6 +263,9 @@ pub struct ExploreSpec {
     /// SD/LD clock-period ratios to sweep; each in `[0.5, 1]` so a long
     /// operation still fits in at most two short cycles.
     pub sd_ld: Vec<f64>,
+    /// Elastic skew bounds to sweep; `0` measures the synchronous
+    /// distributed controllers, `s > 0` the elastic (GALS) controllers.
+    pub skew: Vec<u64>,
     /// Monte-Carlo trials per allocation point.
     pub trials: u64,
     /// Datapath width for the area model.
@@ -262,6 +286,7 @@ impl ExploreSpec {
             encodings: self.encodings.clone(),
             p_values: self.p_values.clone(),
             sd_ld: self.sd_ld.clone(),
+            skew: self.skew.clone(),
             trials: self.trials,
             width: self.width,
             seed: self.seed,
@@ -488,6 +513,74 @@ impl<'a> Fields<'a> {
             .collect()
     }
 
+    fn skew_list(&self) -> Result<Vec<u64>, String> {
+        let Some(j) = self.get("skew") else {
+            // Default: the synchronous clocking discipline only.
+            return Ok(vec![0]);
+        };
+        let items = j
+            .as_array()
+            .ok_or_else(|| "'skew' must be an array of skew bounds".to_string())?;
+        if items.is_empty() || items.len() > MAX_RATIOS {
+            return Err(format!("'skew' must hold 1..={MAX_RATIOS} values"));
+        }
+        let mut out = Vec::new();
+        for item in items {
+            let v = item
+                .as_u64()
+                .ok_or_else(|| "'skew' entries must be non-negative integers".to_string())?;
+            if v > MAX_SKEW {
+                return Err(format!("'skew' bounds must be at most {MAX_SKEW}, got {v}"));
+            }
+            if out.contains(&v) {
+                return Err(format!("duplicate skew bound {v}"));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn elastic(&self) -> Result<ElasticSpec, String> {
+        let d = ElasticSpec::default();
+        Ok(ElasticSpec {
+            skew_bound: self.u64_in("skew", u64::from(d.skew_bound), 0, MAX_SKEW)? as u32,
+            sync_latency: self.u64_in("sync_latency", u64::from(d.sync_latency), 0, MAX_SKEW)?
+                as u32,
+        })
+    }
+
+    fn styles(&self) -> Result<ControlStyleSet, String> {
+        let Some(j) = self.get("styles") else {
+            return Ok(ControlStyleSet::DIST | ControlStyleSet::CENT | ControlStyleSet::ELASTIC);
+        };
+        let set = if let Some(s) = j.as_str() {
+            ControlStyleSet::parse(s)?
+        } else if let Some(items) = j.as_array() {
+            let mut set = ControlStyleSet::empty();
+            for item in items {
+                let name = item
+                    .as_str()
+                    .ok_or_else(|| "'styles' entries must be style names".to_string())?;
+                set = set | ControlStyleSet::parse_one(name)?;
+            }
+            if set.is_empty() {
+                return Err("'styles' must name at least one style".to_string());
+            }
+            set
+        } else {
+            return Err(
+                "'styles' must be a comma-separated string or an array of style names".to_string(),
+            );
+        };
+        if set.contains(ControlStyleSet::TAU) {
+            return Err("'styles' supports dist, cent, and elastic here".to_string());
+        }
+        if !set.contains(ControlStyleSet::DIST) {
+            return Err("'styles' must include 'dist' (the engine under test)".to_string());
+        }
+        Ok(set)
+    }
+
     fn binding(&self) -> Result<bool, String> {
         match self.get("binding") {
             None => Ok(false),
@@ -687,7 +780,17 @@ impl JobSpec {
                 let f = Fields::new(
                     spec,
                     &[
-                        "dfg", "dfg_text", "muls", "adds", "subs", "binding", "p", "trials", "seed",
+                        "dfg",
+                        "dfg_text",
+                        "muls",
+                        "adds",
+                        "subs",
+                        "binding",
+                        "p",
+                        "trials",
+                        "seed",
+                        "skew",
+                        "sync_latency",
                     ],
                 )?;
                 let s = SimulateSpec {
@@ -699,6 +802,7 @@ impl JobSpec {
                     p_values: f.p_values()?,
                     trials: f.u64_in("trials", 2000, 1, MAX_TRIALS)?,
                     seed: f.seed()?,
+                    elastic: f.elastic()?,
                 };
                 bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)?;
                 Ok(JobSpec::Simulate(s))
@@ -714,7 +818,18 @@ impl JobSpec {
                 let f = Fields::new(
                     spec,
                     &[
-                        "dfg", "dfg_text", "muls", "adds", "subs", "binding", "p", "trials", "seed",
+                        "dfg",
+                        "dfg_text",
+                        "muls",
+                        "adds",
+                        "subs",
+                        "binding",
+                        "p",
+                        "trials",
+                        "seed",
+                        "styles",
+                        "skew",
+                        "sync_latency",
                     ],
                 )?;
                 let s = ResilienceSpec {
@@ -726,6 +841,8 @@ impl JobSpec {
                     p: f.probability("p", 0.5)?,
                     trials: f.u64_in("trials", 2000, 1, MAX_TRIALS)?,
                     seed: f.seed()?,
+                    styles: f.styles()?,
+                    elastic: f.elastic()?,
                 };
                 bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)?;
                 Ok(JobSpec::Resilience(s))
@@ -779,6 +896,7 @@ impl JobSpec {
                         "encodings",
                         "p",
                         "sd_ld",
+                        "skew",
                         "trials",
                         "width",
                         "seed",
@@ -792,6 +910,7 @@ impl JobSpec {
                     encodings: f.encodings()?,
                     p_values: f.p_values()?,
                     sd_ld: f.ratios()?,
+                    skew: f.skew_list()?,
                     trials: f.u64_in("trials", 400, 1, MAX_TRIALS)?,
                     width: f.u64_in("width", 16, 1, MAX_WIDTH)? as u32,
                     seed: f.seed()?,
@@ -804,7 +923,8 @@ impl JobSpec {
                     * s.max_subs.max(1)
                     * s.encodings.len()
                     * s.p_values.len()
-                    * s.sd_ld.len();
+                    * s.sd_ld.len()
+                    * s.skew.len();
                 if grid > MAX_EXPLORE_POINTS {
                     return Err(format!(
                         "explore grid of {grid} points exceeds {MAX_EXPLORE_POINTS} \
@@ -876,6 +996,11 @@ impl JobSpec {
                 ("p", Json::floats(&s.p_values)),
                 ("trials", Json::from(s.trials)),
                 ("seed", Json::from(s.seed)),
+                ("skew", Json::from(u64::from(s.elastic.skew_bound))),
+                (
+                    "sync_latency",
+                    Json::from(u64::from(s.elastic.sync_latency)),
+                ),
             ]),
             JobSpec::Table2(s) => Json::object([
                 ("endpoint", Json::from("table2")),
@@ -892,6 +1017,21 @@ impl JobSpec {
                 ("p", Json::Float(s.p)),
                 ("trials", Json::from(s.trials)),
                 ("seed", Json::from(s.seed)),
+                (
+                    "styles",
+                    Json::array(
+                        s.styles
+                            .names()
+                            .into_iter()
+                            .map(Json::from)
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("skew", Json::from(u64::from(s.elastic.skew_bound))),
+                (
+                    "sync_latency",
+                    Json::from(u64::from(s.elastic.sync_latency)),
+                ),
             ]),
             JobSpec::Synth(s) => Json::object([
                 ("endpoint", Json::from("synth")),
@@ -929,6 +1069,10 @@ impl JobSpec {
                 ),
                 ("p", Json::floats(&s.p_values)),
                 ("sd_ld", Json::floats(&s.sd_ld)),
+                (
+                    "skew",
+                    Json::array(s.skew.iter().map(|&v| Json::from(v)).collect::<Vec<_>>()),
+                ),
                 ("trials", Json::from(s.trials)),
                 ("width", Json::from(s.width as u64)),
                 ("seed", Json::from(s.seed)),
@@ -1094,10 +1238,10 @@ impl JobSpec {
             JobSpec::Simulate(s) => {
                 let bound = bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)
                     .map_err(JobError::Invalid)?;
-                let (tau, dist, cent) =
-                    latency_triple_batch(&bound, &s.p_values, s.trials, s.seed, runner)
+                let (tau, dist, cent, elas) =
+                    latency_quad_batch(&bound, &s.p_values, s.trials, s.seed, s.elastic, runner)
                         .map_err(JobError::from_sim)?;
-                Ok(self.simulate_body(&tau, &dist, &cent))
+                Ok(self.simulate_body(&tau, &dist, &cent, &elas))
             }
             JobSpec::Table2(s) => {
                 let t = table2(s.trials as usize, s.seed, runner).map_err(JobError::from_sim)?;
@@ -1109,7 +1253,8 @@ impl JobSpec {
             JobSpec::Resilience(s) => {
                 let bound = bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains)
                     .map_err(JobError::Invalid)?;
-                let report = resilience_sweep(&bound, s.p, s.trials, s.seed, runner);
+                let report =
+                    resilience_sweep_with(&bound, s.p, s.trials, s.seed, &s.options(), runner);
                 // `resilience_sweep` folds whatever chunks ran; surface a
                 // cancellation instead of returning (and caching) a
                 // partially-populated report.
@@ -1124,7 +1269,7 @@ impl JobSpec {
         }
     }
 
-    /// Renders the `/v1/simulate` response body from the three measured
+    /// Renders the `/v1/simulate` response body from the four measured
     /// latency summaries. Shared by the local execution path and the
     /// distributed merge, so a body assembled from partition partials is
     /// byte-identical to a single-node run by construction.
@@ -1133,6 +1278,7 @@ impl JobSpec {
         tau: &LatencySummary,
         dist: &LatencySummary,
         cent: &LatencySummary,
+        elas: &LatencySummary,
     ) -> Json {
         let clk = Timing::default().clock_ns();
         let cells = |summary: &LatencySummary| {
@@ -1153,6 +1299,7 @@ impl JobSpec {
             ("lt_tau", cells(tau)),
             ("lt_dist", cells(dist)),
             ("lt_cent", cells(cent)),
+            ("lt_elas", cells(elas)),
             ("enhancement_percent", Json::floats(&enhancement)),
         ])
     }
@@ -1175,6 +1322,7 @@ impl JobSpec {
                 ("encoding", Json::from(encoding_name(p.encoding))),
                 ("p", Json::Float(p.p)),
                 ("sd_ld", Json::Float(p.sd_ld)),
+                ("skew", Json::from(p.skew)),
                 ("avg_cycles", Json::Float(p.avg_cycles)),
                 ("latency_ns", Json::Float(p.latency_ns)),
                 ("area_ge", Json::Float(p.area_ge)),

@@ -73,6 +73,7 @@ impl ToJson for LatencyRow {
             ("lt_tau", self.lt_tau.to_json()),
             ("lt_dist", self.lt_dist.to_json()),
             ("lt_cent", self.lt_cent.to_json()),
+            ("lt_elas", self.lt_elas.to_json()),
             ("enhancement", Json::floats(&self.enhancement)),
         ])
     }
@@ -163,6 +164,21 @@ impl ToJson for KindStats {
             (
                 "cent_agreement_rate",
                 Json::from(self.cent_agreement_rate()),
+            ),
+            ("elastic_deadlock", Json::from(self.elastic_deadlock)),
+            ("elastic_desync", Json::from(self.elastic_desync)),
+            ("elastic_survived", Json::from(self.elastic_survived)),
+            (
+                "elastic_detection_rate",
+                Json::from(self.elastic_detection_rate()),
+            ),
+            (
+                "elastic_survival_fraction",
+                Json::from(self.elastic_survival_fraction()),
+            ),
+            (
+                "elastic_mean_detection_latency",
+                Json::from(self.elastic_mean_detection_latency),
             ),
         ])
     }

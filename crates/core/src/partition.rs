@@ -36,11 +36,11 @@ use crate::explore::{
 };
 use crate::jobspec::{bind_spec, build_dfg, encoding_name, parse_encoding, JobError, JobSpec};
 use crate::resilience::{
-    report_from_counters, resilience_kind_counters, KindCounters, FAULT_KINDS,
+    report_from_counters, resilience_kind_counters_with, KindCounters, FAULT_KINDS,
 };
 use crate::stages::{StageCache, StageRecord};
 use tauhls_json::Json;
-use tauhls_sim::{latency_triple_batch_indexed, BatchRunner, LatencySummary};
+use tauhls_sim::{latency_quad_batch_indexed, BatchRunner, LatencySummary};
 
 /// One contiguous slice of a job's partition axis.
 ///
@@ -174,8 +174,8 @@ pub fn run_part(
             let indexed: Vec<(u64, f64)> = (part.lo..part.hi)
                 .map(|i| (i as u64, s.p_values[i]))
                 .collect();
-            let (tau, dist, cent) =
-                latency_triple_batch_indexed(&bound, &indexed, s.trials, s.seed, runner)
+            let (tau, dist, cent, elas) =
+                latency_quad_batch_indexed(&bound, &indexed, s.trials, s.seed, s.elastic, runner)
                     .map_err(JobError::from_sim)?;
             Ok((
                 coords((
@@ -184,6 +184,7 @@ pub fn run_part(
                         ("lt_tau", summary_partial(&tau)),
                         ("lt_dist", summary_partial(&dist)),
                         ("lt_cent", summary_partial(&cent)),
+                        ("lt_elas", summary_partial(&elas)),
                     ]),
                 )),
                 Vec::new(),
@@ -195,8 +196,15 @@ pub fn run_part(
             }
             let bound =
                 bind_spec(&s.dfg, s.muls, s.adds, s.subs, s.chains).map_err(JobError::Invalid)?;
-            let counters =
-                resilience_kind_counters(&bound, s.p, s.trials, s.seed, part.lo..part.hi, runner);
+            let counters = resilience_kind_counters_with(
+                &bound,
+                s.p,
+                s.trials,
+                s.seed,
+                part.lo..part.hi,
+                &s.options(),
+                runner,
+            );
             runner.check_cancelled().map_err(JobError::from_sim)?;
             let rows: Vec<Json> = counters
                 .iter()
@@ -208,6 +216,14 @@ pub fn run_part(
                         ("latency_sum", Json::from(c.latency_sum)),
                         ("latency_samples", Json::from(c.latency_samples)),
                         ("cent_agree", Json::from(c.cent_agree)),
+                        ("elastic_deadlock", Json::from(c.elastic_deadlock)),
+                        ("elastic_desync", Json::from(c.elastic_desync)),
+                        ("elastic_survived", Json::from(c.elastic_survived)),
+                        ("elastic_latency_sum", Json::from(c.elastic_latency_sum)),
+                        (
+                            "elastic_latency_samples",
+                            Json::from(c.elastic_latency_samples),
+                        ),
                     ])
                 })
                 .collect();
@@ -233,6 +249,7 @@ pub fn run_part(
                         ("encoding", Json::from(encoding_name(p.encoding))),
                         ("p", Json::Float(p.p)),
                         ("sd_ld", Json::Float(p.sd_ld)),
+                        ("skew", Json::from(p.skew)),
                         ("avg_cycles", Json::Float(p.avg_cycles)),
                         ("latency_ns", Json::Float(p.latency_ns)),
                         ("area_ge", Json::Float(p.area_ge)),
@@ -325,12 +342,14 @@ pub fn merge(spec: &JobSpec, partials: &[Json]) -> Result<Json, JobError> {
             let mut tau: Option<LatencySummary> = None;
             let mut dist: Option<LatencySummary> = None;
             let mut cent: Option<LatencySummary> = None;
+            let mut elas: Option<LatencySummary> = None;
             for (part, partial) in parts.iter().zip(partials) {
                 let legs = field(partial, "legs", "legs")?;
                 for (acc, leg) in [
                     (&mut tau, "lt_tau"),
                     (&mut dist, "lt_dist"),
                     (&mut cent, "lt_cent"),
+                    (&mut elas, "lt_elas"),
                 ] {
                     let piece = summary_from_partial(legs, leg, &s.p_values, part.lo, part.hi)?;
                     match acc {
@@ -349,12 +368,12 @@ pub fn merge(spec: &JobSpec, partials: &[Json]) -> Result<Json, JobError> {
                     }
                 }
             }
-            match (tau, dist, cent) {
-                (Some(tau), Some(dist), Some(cent)) => {
+            match (tau, dist, cent, elas) {
+                (Some(tau), Some(dist), Some(cent), Some(elas)) => {
                     if tau.average_cycles.len() != s.p_values.len() {
                         return Err(bad("merged sweep does not cover p_values"));
                     }
-                    Ok(spec.simulate_body(&tau, &dist, &cent))
+                    Ok(spec.simulate_body(&tau, &dist, &cent, &elas))
                 }
                 _ => Err(bad("no partials")),
             }
@@ -376,6 +395,11 @@ pub fn merge(spec: &JobSpec, partials: &[Json]) -> Result<Json, JobError> {
                         latency_sum: u64_field(row, "latency_sum")?,
                         latency_samples: u64_field(row, "latency_samples")?,
                         cent_agree: u64_field(row, "cent_agree")?,
+                        elastic_deadlock: u64_field(row, "elastic_deadlock")?,
+                        elastic_desync: u64_field(row, "elastic_desync")?,
+                        elastic_survived: u64_field(row, "elastic_survived")?,
+                        elastic_latency_sum: u64_field(row, "elastic_latency_sum")?,
+                        elastic_latency_samples: u64_field(row, "elastic_latency_samples")?,
                     });
                 }
             }
@@ -408,6 +432,7 @@ pub fn merge(spec: &JobSpec, partials: &[Json]) -> Result<Json, JobError> {
                         encoding: enc,
                         p: f("p")?,
                         sd_ld: f("sd_ld")?,
+                        skew: u64_field(p, "skew")?,
                         avg_cycles: f("avg_cycles")?,
                         latency_ns: f("latency_ns")?,
                         area_ge: f("area_ge")?,

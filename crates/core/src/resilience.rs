@@ -24,9 +24,10 @@ use tauhls_check::{arbitrary_fault, Gen};
 use tauhls_fsm::DistributedControlUnit;
 use tauhls_sched::BoundDfg;
 use tauhls_sim::{
-    derive_seed, simulate_cent_with, simulate_distributed_with, trial_rng, Accumulator,
-    BatchRunner, CentControlUnit, CompletionModel, FaultPlan, LaneConfigs, LaneModels, LaneOutcome,
-    SimConfig, SimError, SlicedSim, LANES,
+    derive_seed, elastic_trial_skew_seed, simulate_cent_with, simulate_distributed_with,
+    simulate_elastic_with, trial_rng, Accumulator, BatchRunner, CentControlUnit, CompletionModel,
+    ControlStyleSet, ElasticSpec, FaultPlan, LaneConfigs, LaneModels, LaneOutcome, SimConfig,
+    SimError, SlicedSim, LANES,
 };
 
 /// The fault-kind tags a sweep probes, in report order.
@@ -43,6 +44,33 @@ pub const FAULT_KINDS: [&str; 6] = [
 const SIM_JOB_BASE: u64 = 0x7265_7369; // "resi"
 /// Disjoint partition for the plan-generation streams.
 const PLAN_JOB_BASE: u64 = 0x706C_616E; // "plan"
+
+/// Which engine legs a resilience sweep runs, and the elastic clocking
+/// it probes.
+///
+/// The distributed leg is mandatory — it is the engine under test and
+/// every counter is classified against it. The CENT and ELASTIC legs are
+/// optional cross-checks: skipping one zeroes its counters without
+/// perturbing any other leg (all legs re-derive their streams from the
+/// same `(seed, kind, trial)` coordinates and the table model consumes
+/// no RNG at simulation time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResilienceOptions {
+    /// Engine legs to run; must contain [`ControlStyleSet::DIST`].
+    pub styles: ControlStyleSet,
+    /// Clock-domain spec for the ELASTIC leg (ignored when the leg is
+    /// not selected).
+    pub elastic: ElasticSpec,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            styles: ControlStyleSet::DIST | ControlStyleSet::CENT | ControlStyleSet::ELASTIC,
+            elastic: ElasticSpec::default(),
+        }
+    }
+}
 
 /// Exact per-kind tallies; integer-only so folding — per-chunk on one
 /// node or per-partition across nodes — is order-independent and exact.
@@ -66,6 +94,16 @@ pub struct KindCounters {
     pub latency_samples: u64,
     /// Trials where the CENT engine classified identically to DIST.
     pub cent_agree: u64,
+    /// ELASTIC-leg trials ending in a diagnosed deadlock.
+    pub elastic_deadlock: u64,
+    /// ELASTIC-leg trials ending in a diagnosed desynchronization.
+    pub elastic_desync: u64,
+    /// ELASTIC-leg trials that completed and passed the invariants.
+    pub elastic_survived: u64,
+    /// Sum of ELASTIC-leg detection latencies (fabric cycles).
+    pub elastic_latency_sum: u64,
+    /// Trials contributing to [`KindCounters::elastic_latency_sum`].
+    pub elastic_latency_samples: u64,
 }
 
 impl Accumulator for KindCounters {
@@ -79,6 +117,11 @@ impl Accumulator for KindCounters {
         self.latency_sum += other.latency_sum;
         self.latency_samples += other.latency_samples;
         self.cent_agree += other.cent_agree;
+        self.elastic_deadlock += other.elastic_deadlock;
+        self.elastic_desync += other.elastic_desync;
+        self.elastic_survived += other.elastic_survived;
+        self.elastic_latency_sum += other.elastic_latency_sum;
+        self.elastic_latency_samples += other.elastic_latency_samples;
     }
 }
 
@@ -104,6 +147,16 @@ pub struct KindStats {
     /// variant on detection) — a bisimulation cross-check on the fault
     /// path.
     pub cent_agreement: u64,
+    /// ELASTIC-leg trials ending in a diagnosed deadlock (0 when the
+    /// elastic leg was not selected).
+    pub elastic_deadlock: u64,
+    /// ELASTIC-leg trials ending in a diagnosed desynchronization.
+    pub elastic_desync: u64,
+    /// ELASTIC-leg trials that completed and passed the invariants.
+    pub elastic_survived: u64,
+    /// Mean fabric cycles from injection to diagnosis on the ELASTIC
+    /// leg (0 when nothing was detected).
+    pub elastic_mean_detection_latency: f64,
 }
 
 impl KindStats {
@@ -121,6 +174,16 @@ impl KindStats {
     /// [`KindStats::cent_agreement`]).
     pub fn cent_agreement_rate(&self) -> f64 {
         self.cent_agreement as f64 / self.trials as f64
+    }
+
+    /// Fraction of ELASTIC-leg trials caught as a structured error.
+    pub fn elastic_detection_rate(&self) -> f64 {
+        (self.elastic_deadlock + self.elastic_desync) as f64 / self.trials as f64
+    }
+
+    /// Fraction of ELASTIC-leg trials the system rode through unharmed.
+    pub fn elastic_survival_fraction(&self) -> f64 {
+        self.elastic_survived as f64 / self.trials as f64
     }
 }
 
@@ -176,7 +239,36 @@ pub fn resilience_sweep(
     seed: u64,
     runner: &BatchRunner,
 ) -> ResilienceReport {
-    let counters = resilience_kind_counters(bound, p, trials, seed, 0..FAULT_KINDS.len(), runner);
+    resilience_sweep_with(
+        bound,
+        p,
+        trials,
+        seed,
+        &ResilienceOptions::default(),
+        runner,
+    )
+}
+
+/// [`resilience_sweep`] with explicit leg selection and elastic spec.
+///
+/// The distributed counters are invariant under the options: deselecting
+/// CENT or ELASTIC only zeroes that leg's columns, and the elastic spec
+/// only shapes the elastic columns.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `p` is not a probability, or `opts.styles`
+/// does not contain the distributed leg.
+pub fn resilience_sweep_with(
+    bound: &BoundDfg,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    opts: &ResilienceOptions,
+    runner: &BatchRunner,
+) -> ResilienceReport {
+    let counters =
+        resilience_kind_counters_with(bound, p, trials, seed, 0..FAULT_KINDS.len(), opts, runner);
     report_from_counters(bound.dfg().name(), p, trials, seed, &counters)
 }
 
@@ -201,8 +293,42 @@ pub fn resilience_kind_counters(
     kinds: std::ops::Range<usize>,
     runner: &BatchRunner,
 ) -> Vec<KindCounters> {
+    resilience_kind_counters_with(
+        bound,
+        p,
+        trials,
+        seed,
+        kinds,
+        &ResilienceOptions::default(),
+        runner,
+    )
+}
+
+/// [`resilience_kind_counters`] with explicit leg selection and elastic
+/// spec; the partition primitive behind [`resilience_sweep_with`].
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `p` is not a probability, the range runs
+/// past [`FAULT_KINDS`], or `opts.styles` does not contain the
+/// distributed leg.
+pub fn resilience_kind_counters_with(
+    bound: &BoundDfg,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    kinds: std::ops::Range<usize>,
+    opts: &ResilienceOptions,
+    runner: &BatchRunner,
+) -> Vec<KindCounters> {
     assert!(trials > 0 && (0.0..=1.0).contains(&p));
     assert!(kinds.end <= FAULT_KINDS.len());
+    assert!(
+        opts.styles.contains(ControlStyleSet::DIST),
+        "the distributed leg is the engine under test and cannot be deselected"
+    );
+    let run_cent = opts.styles.contains(ControlStyleSet::CENT);
+    let run_elastic = opts.styles.contains(ControlStyleSet::ELASTIC);
     let cu = DistributedControlUnit::generate(bound);
     let cent_cu = CentControlUnit::without_product(bound);
     let num_ops = bound.dfg().num_ops();
@@ -225,14 +351,17 @@ pub fn resilience_kind_counters(
                 let outcome = simulate_distributed_with(bound, &cu, &table, None, &mut rng, cfg);
                 // The table model never consumes RNG, so the CENT leg can ride
                 // the same stream without perturbing the distributed outcome.
-                let cent_outcome = simulate_cent_with(bound, &cent_cu, &table, None, &mut rng, cfg);
-                let agree = match (&outcome, &cent_outcome) {
-                    (Ok(d), Ok(c)) => d.cycles == c.cycles,
-                    (Err(d), Err(c)) => std::mem::discriminant(d) == std::mem::discriminant(c),
-                    _ => false,
-                };
-                if agree {
-                    acc.cent_agree += 1;
+                if run_cent {
+                    let cent_outcome =
+                        simulate_cent_with(bound, &cent_cu, &table, None, &mut rng, cfg);
+                    let agree = match (&outcome, &cent_outcome) {
+                        (Ok(d), Ok(c)) => d.cycles == c.cycles,
+                        (Err(d), Err(c)) => std::mem::discriminant(d) == std::mem::discriminant(c),
+                        _ => false,
+                    };
+                    if agree {
+                        acc.cent_agree += 1;
+                    }
                 }
                 match outcome {
                     Ok(_) => acc.survived += 1,
@@ -249,6 +378,33 @@ pub fn resilience_kind_counters(
                     }
                 }
             };
+        // The elastic oracle for lanes the sliced elastic engine declines:
+        // rebuilds the trial's table on a fresh stream and runs the scalar
+        // GALS kernel with the trial's derived skew schedule.
+        let scalar_elastic_trial = |trial: u64,
+                                    fault: &tauhls_sim::Fault,
+                                    cfg: &SimConfig,
+                                    acc: &mut KindCounters| {
+            let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+            let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+            let skew = elastic_trial_skew_seed(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+            let outcome =
+                simulate_elastic_with(bound, &cu, &table, None, &mut rng, cfg, opts.elastic, skew);
+            match outcome {
+                Ok(_) => acc.elastic_survived += 1,
+                Err(err) => {
+                    if matches!(err, SimError::Deadlock(_)) {
+                        acc.elastic_deadlock += 1;
+                    } else {
+                        acc.elastic_desync += 1;
+                    }
+                    if let Some(cycle) = err.detected_cycle() {
+                        acc.elastic_latency_sum += cycle.saturating_sub(fault.at_cycle) as u64;
+                        acc.elastic_latency_samples += 1;
+                    }
+                }
+            }
+        };
         let acc: KindCounters = runner.run_chunked(
             trials,
             || {
@@ -258,9 +414,10 @@ pub fn resilience_kind_counters(
                     Vec::<CompletionModel>::new(),
                     Vec::<SimConfig>::new(),
                     Vec::<tauhls_sim::Fault>::new(),
+                    Vec::<u64>::new(),
                 )
             },
-            |(sim, rngs, tables, cfgs, faults), range, acc: &mut KindCounters| {
+            |(sim, rngs, tables, cfgs, faults, skews), range, acc: &mut KindCounters| {
                 let mut start = range.start;
                 while start < range.end {
                     let end = (start + LANES as u64).min(range.end);
@@ -268,6 +425,7 @@ pub fn resilience_kind_counters(
                     tables.clear();
                     cfgs.clear();
                     faults.clear();
+                    skews.clear();
                     for trial in start..end {
                         let plan_seed = derive_seed(seed, PLAN_JOB_BASE + kind_idx as u64, trial);
                         let mut plan_gen = Gen::from_seed(plan_seed);
@@ -286,6 +444,11 @@ pub fn resilience_kind_counters(
                         let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
                         tables.push(CompletionModel::draw_table(num_ops, p, &mut rng));
                         rngs.push(rng);
+                        skews.push(elastic_trial_skew_seed(
+                            seed,
+                            SIM_JOB_BASE + kind_idx as u64,
+                            trial,
+                        ));
                     }
                     let out = sim.run(
                         &LaneModels::PerLane(&tables[..]),
@@ -303,10 +466,38 @@ pub fn resilience_kind_counters(
                                 // still cross-checks it on every detected
                                 // trial).
                                 acc.survived += 1;
-                                acc.cent_agree += 1;
+                                if run_cent {
+                                    acc.cent_agree += 1;
+                                }
                             }
                             LaneOutcome::Fallback => {
                                 scalar_trial(start + lane as u64, &faults[lane], &cfgs[lane], acc);
+                            }
+                        }
+                    }
+                    if run_elastic {
+                        // Table models draw nothing at simulation time, so
+                        // the per-lane streams are untouched by the
+                        // distributed pass and the elastic leg can reuse
+                        // the same RNG bank.
+                        let eout = sim.run_elastic(
+                            opts.elastic,
+                            skews,
+                            &LaneModels::PerLane(&tables[..]),
+                            &LaneConfigs::PerLane(&cfgs[..]),
+                            rngs,
+                        );
+                        for (lane, outcome) in eout.iter().enumerate() {
+                            match outcome {
+                                LaneOutcome::Done(_) => acc.elastic_survived += 1,
+                                LaneOutcome::Fallback => {
+                                    scalar_elastic_trial(
+                                        start + lane as u64,
+                                        &faults[lane],
+                                        &cfgs[lane],
+                                        acc,
+                                    );
+                                }
                             }
                         }
                     }
@@ -353,6 +544,14 @@ pub fn report_from_counters(
                 acc.latency_sum as f64 / acc.latency_samples as f64
             },
             cent_agreement: acc.cent_agree,
+            elastic_deadlock: acc.elastic_deadlock,
+            elastic_desync: acc.elastic_desync,
+            elastic_survived: acc.elastic_survived,
+            elastic_mean_detection_latency: if acc.elastic_latency_samples == 0 {
+                0.0
+            } else {
+                acc.elastic_latency_sum as f64 / acc.elastic_latency_samples as f64
+            },
         })
         .collect();
     ResilienceReport {
@@ -373,20 +572,30 @@ impl fmt::Display for ResilienceReport {
         )?;
         writeln!(
             f,
-            "{:<15} {:>9} {:>8} {:>9} {:>10} {:>12} {:>8}",
-            "fault kind", "deadlock", "desync", "survived", "detect %", "latency (cy)", "cent %"
+            "{:<15} {:>9} {:>8} {:>9} {:>10} {:>12} {:>8} {:>10} {:>11}",
+            "fault kind",
+            "deadlock",
+            "desync",
+            "survived",
+            "detect %",
+            "latency (cy)",
+            "cent %",
+            "elas surv",
+            "elas det %"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<15} {:>9} {:>8} {:>9} {:>9.1}% {:>12.2} {:>7.1}%",
+                "{:<15} {:>9} {:>8} {:>9} {:>9.1}% {:>12.2} {:>7.1}% {:>10} {:>10.1}%",
                 r.kind,
                 r.detected_deadlock,
                 r.detected_desync,
                 r.survived,
                 r.detection_rate() * 100.0,
                 r.mean_detection_latency,
-                r.cent_agreement_rate() * 100.0
+                r.cent_agreement_rate() * 100.0,
+                r.elastic_survived,
+                r.elastic_detection_rate() * 100.0
             )?;
         }
         Ok(())
@@ -409,6 +618,12 @@ mod tests {
                 r.detected_deadlock + r.detected_desync + r.survived,
                 r.trials,
                 "{}: outcomes must partition the trials",
+                r.kind
+            );
+            assert_eq!(
+                r.elastic_deadlock + r.elastic_desync + r.elastic_survived,
+                r.trials,
+                "{}: elastic outcomes must partition the trials",
                 r.kind
             );
         }
@@ -483,7 +698,100 @@ mod tests {
                 assert_eq!(a.detected_desync, b.detected_desync);
                 assert_eq!(a.survived, b.survived);
                 assert_eq!(a.mean_detection_latency, b.mean_detection_latency);
+                assert_eq!(a.elastic_deadlock, b.elastic_deadlock);
+                assert_eq!(a.elastic_desync, b.elastic_desync);
+                assert_eq!(a.elastic_survived, b.elastic_survived);
+                assert_eq!(
+                    a.elastic_mean_detection_latency,
+                    b.elastic_mean_detection_latency
+                );
             }
+        }
+    }
+
+    #[test]
+    fn sweep_elastic_zero_spec_bisimulates_dist() {
+        // At skew bound 0 and sync latency 0 the elastic kernel is
+        // cycle-for-cycle the distributed kernel, so every elastic counter
+        // must equal its distributed twin — fault classification included.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let opts = ResilienceOptions {
+            elastic: ElasticSpec::zero(),
+            ..ResilienceOptions::default()
+        };
+        let report = resilience_sweep_with(&bound, 0.5, 48, 2003, &opts, &BatchRunner::new(3));
+        for r in &report.rows {
+            assert_eq!(r.elastic_deadlock, r.detected_deadlock, "{}", r.kind);
+            assert_eq!(r.elastic_desync, r.detected_desync, "{}", r.kind);
+            assert_eq!(r.elastic_survived, r.survived, "{}", r.kind);
+            assert_eq!(
+                r.elastic_mean_detection_latency, r.mean_detection_latency,
+                "{}",
+                r.kind
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_styles_gate_legs_without_perturbing_dist() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let full = resilience_sweep(&bound, 0.5, 40, 11, &BatchRunner::serial());
+        let opts = ResilienceOptions {
+            styles: ControlStyleSet::DIST,
+            ..ResilienceOptions::default()
+        };
+        let dist_only = resilience_sweep_with(&bound, 0.5, 40, 11, &opts, &BatchRunner::serial());
+        for (a, b) in full.rows.iter().zip(&dist_only.rows) {
+            assert_eq!(a.detected_deadlock, b.detected_deadlock);
+            assert_eq!(a.detected_desync, b.detected_desync);
+            assert_eq!(a.survived, b.survived);
+            assert_eq!(a.mean_detection_latency, b.mean_detection_latency);
+            assert_eq!(b.cent_agreement, 0);
+            assert_eq!(
+                b.elastic_deadlock + b.elastic_desync + b.elastic_survived,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_elastic_matches_scalar_reference() {
+        // Re-derive the elastic leg of every trial with the plain scalar
+        // GALS kernel and demand identical counters from the sweep.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let (p, trials, seed) = (0.5, 50u64, 2003u64);
+        let spec = ElasticSpec::default();
+        let report = resilience_sweep(&bound, p, trials, seed, &BatchRunner::new(4));
+        let cu = DistributedControlUnit::generate(&bound);
+        let num_ops = bound.dfg().num_ops();
+        let num_controllers = cu.controllers().len();
+        let max_cycle = 2 * num_ops + 4;
+        for (kind_idx, tag) in FAULT_KINDS.iter().enumerate() {
+            let (mut survived, mut deadlock, mut desync) = (0u64, 0u64, 0u64);
+            for trial in 0..trials {
+                let plan_seed = derive_seed(seed, PLAN_JOB_BASE + kind_idx as u64, trial);
+                let mut plan_gen = Gen::from_seed(plan_seed);
+                let fault =
+                    draw_fault_of_kind(&mut plan_gen, tag, num_ops, num_controllers, max_cycle);
+                let cfg = SimConfig::with_faults(FaultPlan::single(fault.at_cycle, fault.kind));
+                let mut rng = trial_rng(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                let skew = elastic_trial_skew_seed(seed, SIM_JOB_BASE + kind_idx as u64, trial);
+                match simulate_elastic_with(&bound, &cu, &table, None, &mut rng, &cfg, spec, skew) {
+                    Ok(_) => survived += 1,
+                    Err(err) => {
+                        if matches!(err, SimError::Deadlock(_)) {
+                            deadlock += 1;
+                        } else {
+                            desync += 1;
+                        }
+                    }
+                }
+            }
+            let row = &report.rows[kind_idx];
+            assert_eq!(row.elastic_survived, survived, "{tag}: elastic survived");
+            assert_eq!(row.elastic_deadlock, deadlock, "{tag}: elastic deadlock");
+            assert_eq!(row.elastic_desync, desync, "{tag}: elastic desync");
         }
     }
 }

@@ -34,8 +34,10 @@
 use crate::cent::{simulate_cent_with, CentControlUnit};
 use crate::centsync::simulate_cent_sync_with;
 use crate::distributed::simulate_distributed_with;
+use crate::elastic::{elastic_trial_skew_seed, simulate_elastic_saturated, simulate_elastic_with};
 use crate::error::SimError;
 use crate::fault::SimConfig;
+use crate::kernel::ElasticSpec;
 use crate::latency::{ControlStyle, LatencySummary};
 use crate::model::CompletionModel;
 use crate::sliced::{LaneConfigs, LaneModels, LaneOutcome, SlicedSim, LANES};
@@ -236,6 +238,21 @@ impl<A: Accumulator, B: Accumulator, C: Accumulator, D: Accumulator> Accumulator
         self.1.fold(other.1);
         self.2.fold(other.2);
         self.3.fold(other.3);
+    }
+}
+
+impl<A: Accumulator, B: Accumulator, C: Accumulator, D: Accumulator, E: Accumulator> Accumulator
+    for (A, B, C, D, E)
+{
+    fn empty() -> Self {
+        (A::empty(), B::empty(), C::empty(), D::empty(), E::empty())
+    }
+    fn fold(&mut self, other: Self) {
+        self.0.fold(other.0);
+        self.1.fold(other.1);
+        self.2.fold(other.2);
+        self.3.fold(other.3);
+        self.4.fold(other.4);
     }
 }
 
@@ -558,6 +575,7 @@ impl<'a> SimJob<'a> {
             Dist(DistributedControlUnit),
             Cent(CentControlUnit),
             Sync,
+            Elastic(DistributedControlUnit, ElasticSpec),
         }
         let engine = match self.style {
             ControlStyle::Distributed => {
@@ -565,6 +583,9 @@ impl<'a> SimJob<'a> {
             }
             ControlStyle::Cent => JobEngine::Cent(CentControlUnit::without_product(self.bound)),
             ControlStyle::CentSync => JobEngine::Sync,
+            ControlStyle::Elastic(spec) => {
+                JobEngine::Elastic(DistributedControlUnit::generate(self.bound), spec)
+            }
         };
         let default_config = SimConfig::default();
         let config = self.config.unwrap_or(&default_config);
@@ -580,6 +601,16 @@ impl<'a> SimJob<'a> {
                 JobEngine::Sync => {
                     simulate_cent_sync_with(self.bound, self.model, None, &mut rng, config)
                 }
+                JobEngine::Elastic(cu, spec) => simulate_elastic_with(
+                    self.bound,
+                    cu,
+                    self.model,
+                    None,
+                    &mut rng,
+                    config,
+                    *spec,
+                    elastic_trial_skew_seed(base_seed, self.job_id, trial),
+                ),
             }
         };
         let (stats, errors): (CycleStats, FirstError) = if sliced {
@@ -587,7 +618,9 @@ impl<'a> SimJob<'a> {
                 self.trials,
                 || {
                     let sim = match &engine {
-                        JobEngine::Dist(cu) => SlicedSim::distributed(self.bound, cu, None),
+                        JobEngine::Dist(cu) | JobEngine::Elastic(cu, _) => {
+                            SlicedSim::distributed(self.bound, cu, None)
+                        }
                         // CENT is the product-free wrapper around the same
                         // controller bank, so its sliced run is the DIST
                         // run over `components()`.
@@ -596,9 +629,9 @@ impl<'a> SimJob<'a> {
                         }
                         JobEngine::Sync => SlicedSim::cent_sync(self.bound, None),
                     };
-                    (sim, Vec::<StdRng>::new())
+                    (sim, Vec::<StdRng>::new(), Vec::<u64>::new())
                 },
-                |(sim, rngs), range, (acc, errors): &mut (CycleStats, FirstError)| {
+                |(sim, rngs, skews), range, (acc, errors): &mut (CycleStats, FirstError)| {
                     let mut start = range.start;
                     while start < range.end {
                         let end = (start + LANES as u64).min(range.end);
@@ -606,11 +639,22 @@ impl<'a> SimJob<'a> {
                         for trial in start..end {
                             rngs.push(trial_rng(base_seed, self.job_id, trial));
                         }
-                        let out = sim.run(
-                            &LaneModels::Shared(self.model),
-                            &LaneConfigs::Shared(config),
-                            rngs,
-                        );
+                        let models = LaneModels::Shared(self.model);
+                        let cfgs = LaneConfigs::Shared(config);
+                        let out = match &engine {
+                            JobEngine::Elastic(_, spec) => {
+                                skews.clear();
+                                for trial in start..end {
+                                    skews.push(elastic_trial_skew_seed(
+                                        base_seed,
+                                        self.job_id,
+                                        trial,
+                                    ));
+                                }
+                                sim.run_elastic(*spec, skews, &models, &cfgs, rngs)
+                            }
+                            _ => sim.run(&models, &cfgs, rngs),
+                        };
                         for (lane, outcome) in out.iter().enumerate() {
                             match outcome {
                                 LaneOutcome::Done(r) => acc.record(r.cycles),
@@ -657,9 +701,48 @@ pub fn latency_summary_batch(
             "latency summary needs trials >= 1".to_string(),
         ));
     }
-    let serial = BatchRunner::serial();
-    let best = SimJob::new(bound, style, &CompletionModel::AlwaysShort).run(base_seed, &serial)?;
-    let worst = SimJob::new(bound, style, &CompletionModel::AlwaysLong).run(base_seed, &serial)?;
+    // The elastic envelope pins the schedule-space extremes (stall-free
+    // floor / saturated ceiling) so it brackets the seeded averages; the
+    // synchronous styles take the completion-model extremes as before.
+    let (best_cycles, worst_cycles) = if let ControlStyle::Elastic(spec) = style {
+        let cu = DistributedControlUnit::generate(bound);
+        let fault_free = SimConfig::default();
+        let floor = ElasticSpec {
+            skew_bound: 0,
+            ..spec
+        };
+        let mut rng = trial_rng(base_seed, u64::MAX, 0);
+        (
+            simulate_elastic_with(
+                bound,
+                &cu,
+                &CompletionModel::AlwaysShort,
+                None,
+                &mut rng,
+                &fault_free,
+                floor,
+                0,
+            )?
+            .cycles,
+            simulate_elastic_saturated(
+                bound,
+                &cu,
+                &CompletionModel::AlwaysLong,
+                None,
+                &mut rng,
+                &fault_free,
+                spec,
+            )?
+            .cycles,
+        )
+    } else {
+        let serial = BatchRunner::serial();
+        let best =
+            SimJob::new(bound, style, &CompletionModel::AlwaysShort).run(base_seed, &serial)?;
+        let worst =
+            SimJob::new(bound, style, &CompletionModel::AlwaysLong).run(base_seed, &serial)?;
+        (best.min, worst.max)
+    };
     let mut average_cycles = Vec::with_capacity(p_values.len());
     for (idx, &p) in p_values.iter().enumerate() {
         let model = CompletionModel::Bernoulli { p };
@@ -670,9 +753,9 @@ pub fn latency_summary_batch(
         average_cycles.push(stats.mean());
     }
     Ok(LatencySummary {
-        best_cycles: best.min,
+        best_cycles,
         average_cycles,
-        worst_cycles: worst.max,
+        worst_cycles,
         p_values: p_values.to_vec(),
     })
 }
@@ -957,6 +1040,255 @@ pub fn latency_triple_batch_indexed(
     ))
 }
 
+/// Parallel counterpart of [`crate::latency_quad`]: per trial, one
+/// completion table is drawn and fed to **all four** control styles. The
+/// elastic leg's skew schedule comes from the salted
+/// [`elastic_trial_skew_seed`] stream — never from the trial RNG — so the
+/// sync/dist/cent legs reproduce [`latency_triple_batch`] bit for bit
+/// under the same seeds.
+///
+/// Returns `(sync, dist, cent, elastic)`, or
+/// [`SimError::InvalidConfig`] when `trials == 0`.
+pub fn latency_quad_batch(
+    bound: &BoundDfg,
+    p_values: &[f64],
+    trials: u64,
+    base_seed: u64,
+    spec: ElasticSpec,
+    runner: &BatchRunner,
+) -> Result<
+    (
+        LatencySummary,
+        LatencySummary,
+        LatencySummary,
+        LatencySummary,
+    ),
+    SimError,
+> {
+    let indexed: Vec<(u64, f64)> = p_values
+        .iter()
+        .enumerate()
+        .map(|(idx, &p)| (idx as u64, p))
+        .collect();
+    latency_quad_batch_indexed(bound, &indexed, trials, base_seed, spec, runner)
+}
+
+/// [`latency_quad_batch`] over an explicit `(job_id, p)` list — the
+/// partitionable primitive, like [`latency_triple_batch_indexed`]: a
+/// contiguous sub-range run with its original global indices reproduces
+/// the full sweep's per-`P` averages exactly, elastic leg included
+/// (its skew seeds derive from the supplied `job_id`, not the slice
+/// position).
+///
+/// Returns [`SimError::InvalidConfig`] when `trials == 0`.
+pub fn latency_quad_batch_indexed(
+    bound: &BoundDfg,
+    indexed_p: &[(u64, f64)],
+    trials: u64,
+    base_seed: u64,
+    spec: ElasticSpec,
+    runner: &BatchRunner,
+) -> Result<
+    (
+        LatencySummary,
+        LatencySummary,
+        LatencySummary,
+        LatencySummary,
+    ),
+    SimError,
+> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency quad needs trials >= 1".to_string(),
+        ));
+    }
+    let fault_free = SimConfig::default();
+    let cu = DistributedControlUnit::generate(bound);
+    let cent_cu = CentControlUnit::without_product(bound);
+    let num_ops = bound.dfg().num_ops();
+    let mut rng = trial_rng(base_seed, u64::MAX, 0);
+    let measure = |model: &CompletionModel,
+                   rng: &mut StdRng,
+                   trial_skew: u64|
+     -> Result<(usize, usize, usize, usize), SimError> {
+        Ok((
+            simulate_cent_sync_with(bound, model, None, rng, &fault_free)?.cycles,
+            simulate_distributed_with(bound, &cu, model, None, rng, &fault_free)?.cycles,
+            simulate_cent_with(bound, &cent_cu, model, None, rng, &fault_free)?.cycles,
+            simulate_elastic_with(bound, &cu, model, None, rng, &fault_free, spec, trial_skew)?
+                .cycles,
+        ))
+    };
+    // Deterministic-extreme legs. The elastic cells pin the
+    // schedule-space extremes — stall-free floor for best, saturated
+    // ceiling for worst — so the envelope brackets the seeded averages
+    // and stays invariant under partitioning. Deterministic models draw
+    // nothing from `rng`, so the discarded elastic legs of the two
+    // `measure` calls leave the stream untouched.
+    let floor = ElasticSpec {
+        skew_bound: 0,
+        ..spec
+    };
+    let (sync_best, dist_best, cent_best, _) = measure(&CompletionModel::AlwaysShort, &mut rng, 0)?;
+    let elas_best = simulate_elastic_with(
+        bound,
+        &cu,
+        &CompletionModel::AlwaysShort,
+        None,
+        &mut rng,
+        &fault_free,
+        floor,
+        0,
+    )?
+    .cycles;
+    let (sync_worst, dist_worst, cent_worst, _) =
+        measure(&CompletionModel::AlwaysLong, &mut rng, 0)?;
+    let elas_worst = simulate_elastic_saturated(
+        bound,
+        &cu,
+        &CompletionModel::AlwaysLong,
+        None,
+        &mut rng,
+        &fault_free,
+        spec,
+    )?
+    .cycles;
+    let mut sync_avg = Vec::with_capacity(indexed_p.len());
+    let mut dist_avg = Vec::with_capacity(indexed_p.len());
+    let mut cent_avg = Vec::with_capacity(indexed_p.len());
+    let mut elas_avg = Vec::with_capacity(indexed_p.len());
+    for &(idx, p) in indexed_p {
+        type QuadAcc = (CycleStats, CycleStats, CycleStats, CycleStats, FirstError);
+        let (sync, dist, cent, elas, errors): QuadAcc = runner.run_chunked(
+            trials,
+            || {
+                (
+                    SlicedSim::cent_sync(bound, None),
+                    SlicedSim::distributed(bound, &cu, None),
+                    Vec::<StdRng>::new(),
+                    Vec::<CompletionModel>::new(),
+                    Vec::<u64>::new(),
+                )
+            },
+            |(sync_sim, dist_sim, rngs, tables, skews), range, acc: &mut QuadAcc| {
+                let (sync, dist, cent, elas, errors) = acc;
+                let mut start = range.start;
+                while start < range.end {
+                    let end = (start + LANES as u64).min(range.end);
+                    rngs.clear();
+                    tables.clear();
+                    skews.clear();
+                    for trial in start..end {
+                        let mut rng = trial_rng(base_seed, idx, trial);
+                        tables.push(CompletionModel::draw_table(num_ops, p, &mut rng));
+                        rngs.push(rng);
+                        skews.push(elastic_trial_skew_seed(base_seed, idx, trial));
+                    }
+                    let models = LaneModels::PerLane(&tables[..]);
+                    let cfgs = LaneConfigs::Shared(&fault_free);
+                    let sync_out = sync_sim.run(&models, &cfgs, rngs);
+                    let dist_out = dist_sim.run(&models, &cfgs, rngs);
+                    let elas_out = dist_sim.run_elastic(spec, skews, &models, &cfgs, rngs);
+                    for (lane, (so, do_)) in sync_out.iter().zip(dist_out.iter()).enumerate() {
+                        let trial = start + lane as u64;
+                        let d_cycles = match (so, do_) {
+                            (LaneOutcome::Done(s), LaneOutcome::Done(d)) => {
+                                let (s, d) = (s.cycles, d.cycles);
+                                debug_assert!(
+                                    d <= s,
+                                    "distributed lost a coupled trial: {d} > {s}"
+                                );
+                                sync.record(s);
+                                dist.record(d);
+                                cent.record(d);
+                                Some(d)
+                            }
+                            _ => {
+                                let mut rng = trial_rng(base_seed, idx, trial);
+                                let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                                let skew = elastic_trial_skew_seed(base_seed, idx, trial);
+                                match measure(&table, &mut rng, skew) {
+                                    Ok((s, d, c, e)) => {
+                                        debug_assert!(
+                                            d <= s,
+                                            "distributed lost a coupled trial: {d} > {s}"
+                                        );
+                                        debug_assert_eq!(
+                                            c, d,
+                                            "CENT diverged from DIST on a coupled trial"
+                                        );
+                                        sync.record(s);
+                                        dist.record(d);
+                                        cent.record(c);
+                                        elas.record(e);
+                                    }
+                                    Err(er) => errors.record(trial, er),
+                                }
+                                // Elastic already handled on this path.
+                                None
+                            }
+                        };
+                        if let Some(d) = d_cycles {
+                            match &elas_out[lane] {
+                                LaneOutcome::Done(e) => {
+                                    debug_assert!(
+                                        d <= e.cycles,
+                                        "elastic beat dist on a coupled trial"
+                                    );
+                                    elas.record(e.cycles);
+                                }
+                                LaneOutcome::Fallback => {
+                                    let mut rng = trial_rng(base_seed, idx, trial);
+                                    let table = CompletionModel::draw_table(num_ops, p, &mut rng);
+                                    let skew = elastic_trial_skew_seed(base_seed, idx, trial);
+                                    match simulate_elastic_with(
+                                        bound,
+                                        &cu,
+                                        &table,
+                                        None,
+                                        &mut rng,
+                                        &fault_free,
+                                        spec,
+                                        skew,
+                                    ) {
+                                        Ok(e) => {
+                                            debug_assert!(
+                                                d <= e.cycles,
+                                                "elastic beat dist on a coupled trial"
+                                            );
+                                            elas.record(e.cycles);
+                                        }
+                                        Err(er) => errors.record(trial, er),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    start = end;
+                }
+            },
+        );
+        runner.check_cancelled()?;
+        errors.into_result()?;
+        sync_avg.push(sync.mean());
+        dist_avg.push(dist.mean());
+        cent_avg.push(cent.mean());
+        elas_avg.push(elas.mean());
+    }
+    let summary = |best, avg: Vec<f64>, worst| LatencySummary {
+        best_cycles: best,
+        average_cycles: avg,
+        worst_cycles: worst,
+        p_values: indexed_p.iter().map(|&(_, p)| p).collect(),
+    };
+    Ok((
+        summary(sync_best, sync_avg, sync_worst),
+        summary(dist_best, dist_avg, dist_worst),
+        summary(cent_best, cent_avg, cent_worst),
+        summary(elas_best, elas_avg, elas_worst),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1090,6 +1422,77 @@ mod tests {
         assert_eq!(dist, pair_dist);
         // And CENT is cycle-identical to DIST, trial for trial.
         assert_eq!(cent, dist);
+    }
+
+    #[test]
+    fn quad_batch_reproduces_triple_and_is_thread_invariant() {
+        let bound = fir5_bound();
+        let ps = [0.9, 0.5];
+        let spec = ElasticSpec::default();
+        let (tri_sync, tri_dist, tri_cent) =
+            latency_triple_batch(&bound, &ps, 400, 5, &BatchRunner::serial()).unwrap();
+        let serial = latency_quad_batch(&bound, &ps, 400, 5, spec, &BatchRunner::serial()).unwrap();
+        let parallel = latency_quad_batch(&bound, &ps, 400, 5, spec, &BatchRunner::new(8)).unwrap();
+        assert_eq!(serial, parallel);
+        let (sync, dist, cent, elas) = parallel;
+        // The extra ELASTIC leg must not perturb the established triple.
+        assert_eq!(sync, tri_sync);
+        assert_eq!(dist, tri_dist);
+        assert_eq!(cent, tri_cent);
+        // Elastic clocking only costs cycles.
+        for (d, e) in dist.average_cycles.iter().zip(&elas.average_cycles) {
+            assert!(d <= e, "elastic avg {e} < dist avg {d}");
+        }
+    }
+
+    #[test]
+    fn quad_batch_zero_spec_collapses_elastic_onto_dist() {
+        let bound = fir5_bound();
+        let (_, dist, _, elas) = latency_quad_batch(
+            &bound,
+            &[0.9, 0.5],
+            300,
+            7,
+            ElasticSpec::zero(),
+            &BatchRunner::new(4),
+        )
+        .unwrap();
+        assert_eq!(dist, elas);
+    }
+
+    #[test]
+    fn indexed_quad_reproduces_contiguous_sub_sweeps() {
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(1, 1, 0));
+        let ps = [0.1, 0.5, 0.9];
+        let spec = ElasticSpec::default();
+        let runner = BatchRunner::new(2);
+        let (_, _, _, elas) = latency_quad_batch(&bound, &ps, 40, 9, spec, &runner).unwrap();
+        for (lo, hi) in [(0usize, 2usize), (1, 3)] {
+            let indexed: Vec<(u64, f64)> = (lo..hi).map(|i| (i as u64, ps[i])).collect();
+            let (_, _, _, e) =
+                latency_quad_batch_indexed(&bound, &indexed, 40, 9, spec, &runner).unwrap();
+            assert_eq!(e.average_cycles, elas.average_cycles[lo..hi].to_vec());
+            assert_eq!(e.best_cycles, elas.best_cycles);
+            assert_eq!(e.worst_cycles, elas.worst_cycles);
+        }
+    }
+
+    #[test]
+    fn elastic_job_is_thread_and_engine_invariant() {
+        let bound = fir5_bound();
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let style = ControlStyle::Elastic(ElasticSpec::default());
+        for trials in [1u64, 63, 65, 300] {
+            let job = SimJob::new(&bound, style, &model).trials(trials);
+            let scalar = job.run_scalar(11, &BatchRunner::serial()).unwrap();
+            for runner in [
+                BatchRunner::serial(),
+                BatchRunner::new(4),
+                BatchRunner::new(4).with_chunk_size(10),
+            ] {
+                assert_eq!(scalar, job.run(11, &runner).unwrap(), "trials {trials}");
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub enum FaultKind {
         /// Which state-register bit flips.
         bit: u32,
     },
+    /// The local clock of the given controller stops ticking for `stall`
+    /// consecutive fabric cycles starting at the fault cycle — a skew
+    /// excursion beyond the elastic style's bounded window. Synchronous
+    /// engines have no local clocks, so this fault is inert there; the
+    /// elastic engine freezes the controller for the stall span.
+    ClockSkew {
+        /// Controller index.
+        controller: usize,
+        /// Consecutive stalled fabric cycles (0 is a no-op).
+        stall: usize,
+    },
 }
 
 impl FaultKind {
@@ -73,6 +84,7 @@ impl FaultKind {
             FaultKind::SpuriousPulse { .. } => "spurious_pulse",
             FaultKind::DelayLatch { .. } => "delay_latch",
             FaultKind::FlipState { .. } => "flip_state",
+            FaultKind::ClockSkew { .. } => "clock_skew",
         }
     }
 }
@@ -174,6 +186,19 @@ impl FaultPlan {
         d
     }
 
+    /// True when a `ClockSkew` fault holds `controller`'s local clock
+    /// stalled at `cycle` (clock-domain engines only; synchronous engines
+    /// never ask).
+    pub fn clock_stalled(&self, controller: usize, cycle: usize) -> bool {
+        self.faults.iter().any(|f| match f.kind {
+            FaultKind::ClockSkew {
+                controller: c,
+                stall,
+            } => c == controller && cycle >= f.at_cycle && cycle < f.at_cycle + stall,
+            _ => false,
+        })
+    }
+
     /// The state-register bit flipping in `controller` at the end of
     /// `cycle`, if any.
     pub fn flip_at(&self, controller: usize, cycle: usize) -> Option<u32> {
@@ -197,6 +222,7 @@ impl FaultPlan {
             .iter()
             .map(|f| match f.kind {
                 FaultKind::DelayLatch { delay, .. } => delay,
+                FaultKind::ClockSkew { stall, .. } => stall,
                 _ => 0,
             })
             .sum();
@@ -300,6 +326,24 @@ mod tests {
         assert_eq!(flip.flip_at(1, 2), Some(0));
         assert_eq!(flip.flip_at(1, 3), None);
         assert_eq!(flip.flip_at(0, 2), None);
+    }
+
+    #[test]
+    fn clock_skew_stalls_a_span_and_adds_slack() {
+        let plan = FaultPlan::single(
+            4,
+            FaultKind::ClockSkew {
+                controller: 1,
+                stall: 3,
+            },
+        );
+        assert!(!plan.clock_stalled(1, 3));
+        assert!(plan.clock_stalled(1, 4));
+        assert!(plan.clock_stalled(1, 6));
+        assert!(!plan.clock_stalled(1, 7));
+        assert!(!plan.clock_stalled(0, 5));
+        assert_eq!(plan.watchdog_slack(), 4 + 3);
+        assert_eq!(plan.faults()[0].kind.tag(), "clock_skew");
     }
 
     #[test]

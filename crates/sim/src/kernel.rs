@@ -26,9 +26,9 @@
 //! `PulseHooks` trait.
 
 use crate::error::{ControllerSnapshot, Diagnostics, SimError};
-use crate::fault::SimConfig;
+use crate::fault::{FaultPlan, SimConfig};
 use crate::model::CompletionModel;
-use rand::Rng;
+use rand::{splitmix64_mix, Rng};
 use tauhls_dfg::{Dfg, OpId};
 use tauhls_fsm::{DistributedControlUnit, Fsm, StateId};
 use tauhls_sched::BoundDfg;
@@ -177,6 +177,162 @@ impl CompletionFabric {
     }
 }
 
+/// Parameters of the ELASTIC (GALS) controller style: every control unit
+/// runs on a local clock with seed-driven bounded skew, and completions
+/// cross clock domains through a handshake with two-flop-style latency
+/// measured in fabric cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ElasticSpec {
+    /// Maximum stall cycles a local clock may insert within one skew
+    /// window (the window is `skew_bound + 1` fabric cycles long, and
+    /// every clock ticks at least once per window). Zero means every
+    /// controller ticks every fabric cycle.
+    pub skew_bound: u32,
+    /// Handshake latency in fabric cycles before a latched completion
+    /// becomes visible to *other* clock domains. Zero means combinational
+    /// cross-domain visibility — the synchronous semantics.
+    pub sync_latency: u32,
+}
+
+impl Default for ElasticSpec {
+    fn default() -> Self {
+        ElasticSpec {
+            skew_bound: 1,
+            sync_latency: 1,
+        }
+    }
+}
+
+impl ElasticSpec {
+    /// The degenerate spec: no skew, no handshake latency. An elastic run
+    /// under this spec is bisimilar to the distributed style cycle for
+    /// cycle.
+    pub fn zero() -> Self {
+        ElasticSpec {
+            skew_bound: 0,
+            sync_latency: 0,
+        }
+    }
+
+    /// The skew-window length in fabric cycles.
+    pub fn period(&self) -> u32 {
+        self.skew_bound + 1
+    }
+}
+
+/// The clock-domain state of a run, alongside the [`CompletionFabric`]:
+/// which controller local clocks tick on which fabric cycle, and when a
+/// latched completion becomes visible across domains.
+///
+/// The synchronous styles (DIST / CENT / CENT-SYNC) are the degenerate
+/// one-domain case: every controller ticks every cycle and visibility is
+/// combinational, so for them the fabric is pure bookkeeping with no
+/// behavioral effect.
+#[derive(Clone, Debug)]
+pub struct ClockFabric {
+    spec: ElasticSpec,
+    skew_seed: u64,
+    synchronous: bool,
+    saturated: bool,
+    /// Per-op fabric cycle at which the latched completion becomes
+    /// visible to other clock domains (`usize::MAX` = not latched yet).
+    visible_at: Vec<usize>,
+}
+
+impl ClockFabric {
+    /// The one-domain fabric of the synchronous styles: every controller
+    /// ticks every cycle, cross-domain visibility is combinational.
+    pub fn synchronous(num_ops: usize) -> Self {
+        ClockFabric {
+            spec: ElasticSpec::zero(),
+            skew_seed: 0,
+            synchronous: true,
+            saturated: false,
+            visible_at: vec![usize::MAX; num_ops],
+        }
+    }
+
+    /// A multi-domain fabric: one local clock per controller, stall
+    /// schedules drawn deterministically from `skew_seed`.
+    pub fn elastic(num_ops: usize, spec: ElasticSpec, skew_seed: u64) -> Self {
+        ClockFabric {
+            spec,
+            skew_seed,
+            synchronous: false,
+            saturated: false,
+            visible_at: vec![usize::MAX; num_ops],
+        }
+    }
+
+    /// The worst schedule in `spec`'s schedule space: every controller
+    /// stalls the full `skew_bound` in every window, ticking only on the
+    /// window's last cycle. Stalls delay events monotonically, so this
+    /// fabric bounds every seeded schedule from above — it backs the
+    /// schedule-independent `worst` cell of elastic latency summaries.
+    pub fn elastic_saturated(num_ops: usize, spec: ElasticSpec) -> Self {
+        ClockFabric {
+            spec,
+            skew_seed: 0,
+            synchronous: false,
+            saturated: true,
+            visible_at: vec![usize::MAX; num_ops],
+        }
+    }
+
+    /// The spec this fabric was built from.
+    pub fn spec(&self) -> &ElasticSpec {
+        &self.spec
+    }
+
+    /// The stall count (leading skipped ticks) of controller `ctrl` in
+    /// skew window `window`: a deterministic draw in `0..period`, so each
+    /// clock ticks at least once per window. Public so the bit-sliced
+    /// engine reproduces the exact same schedule per lane.
+    pub fn window_stall(skew_seed: u64, ctrl: usize, window: usize, period: u32) -> u32 {
+        let mixed = splitmix64_mix(
+            skew_seed
+                ^ (ctrl as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (window as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        (mixed % u64::from(period.max(1))) as u32
+    }
+
+    /// True when controller `ctrl`'s local clock ticks at fabric cycle
+    /// `cycle` (cycles are 1-based, as in the kernel loop).
+    pub fn ticks(&self, ctrl: usize, cycle: usize) -> bool {
+        if self.synchronous || self.spec.skew_bound == 0 {
+            return true;
+        }
+        let period = self.spec.period() as usize;
+        let window = cycle.saturating_sub(1) / period;
+        let pos = (cycle.saturating_sub(1) % period) as u32;
+        if self.saturated {
+            return pos >= self.spec.skew_bound;
+        }
+        pos >= Self::window_stall(self.skew_seed, ctrl, window, self.spec.period())
+    }
+
+    /// True when cross-domain completion visibility is combinational
+    /// (same-cycle), which is the synchronous semantics.
+    pub fn combinational(&self) -> bool {
+        self.synchronous || self.spec.sync_latency == 0
+    }
+
+    /// Records the handshake start for `op`'s completion, latched at
+    /// fabric cycle `at`: it becomes visible at `at + sync_latency`.
+    pub fn on_latch(&mut self, op: OpId, at: usize) {
+        if let Some(slot) = self.visible_at.get_mut(op.0) {
+            *slot = (*slot).min(at + self.spec.sync_latency as usize);
+        }
+    }
+
+    /// True when `op`'s latched completion has crossed the handshake and
+    /// is visible to other clock domains at fabric cycle `cycle`.
+    pub fn done_visible(&self, op: usize, cycle: usize) -> bool {
+        self.visible_at.get(op).is_some_and(|&v| v <= cycle)
+    }
+}
+
 /// One controller style on the kernel: the style owns its per-op
 /// bookkeeping (start/completion cycles, busy counters, instance counts)
 /// and tells the kernel how to drive it cycle by cycle.
@@ -287,8 +443,27 @@ pub(crate) trait PulseHooks {
 
     /// The *true* value of the `C_CO(p)` input as seen by a controller
     /// currently working toward `cur`, given the pulse wavefront (stuck-at
-    /// overrides are layered on top by the kernel).
-    fn cco(&self, fabric: &CompletionFabric, pulses: &OpSet, p: usize, cur: OpId) -> bool;
+    /// overrides are layered on top by the kernel). `cycle` is the current
+    /// fabric cycle — the elastic style needs it to decide handshake
+    /// visibility; synchronous styles ignore it.
+    fn cco(
+        &self,
+        fabric: &CompletionFabric,
+        pulses: &OpSet,
+        p: usize,
+        cur: OpId,
+        cycle: usize,
+    ) -> bool;
+
+    /// Whether controller `ctrl`'s local clock ticks at fabric cycle
+    /// `cycle`. A controller that does not tick is completely frozen for
+    /// the cycle: no phase decode, no completion draw, no busy
+    /// accounting, no transition. Synchronous styles always tick; the
+    /// elastic style stalls controllers inside their skew window and
+    /// under `ClockSkew` faults.
+    fn ticks(&self, _ctrl: usize, _cycle: usize, _faults: &FaultPlan) -> bool {
+        true
+    }
 
     /// True when a pulse for `op` must not latch again (already done).
     fn skip_latch(&self, fabric: &CompletionFabric, op: OpId) -> bool;
@@ -415,6 +590,12 @@ impl<R: Rng, H: PulseHooks> ControlStyle<R> for FsmStyle<'_, H> {
         bank.unit_completion.fill(false);
         bank.diverged.fill(None);
         for i in 0..bank.fsms.len() {
+            // A controller whose local clock does not tick this fabric
+            // cycle is completely frozen: it decodes no phase, draws no
+            // completion, and holds its state through the fixpoint below.
+            if !hooks.ticks(i, cycle, faults) {
+                continue;
+            }
             let (u, f) = bank.fsms[i];
             let st = bank.states[i];
             let name = match f.state_name_opt(st) {
@@ -485,6 +666,10 @@ impl<R: Rng, H: PulseHooks> ControlStyle<R> for FsmStyle<'_, H> {
                 scratch.copy_from(injected);
             }
             for i in 0..bank.fsms.len() {
+                if !hooks.ticks(i, cycle, faults) {
+                    bank.steps.push((bank.states[i], Vec::new()));
+                    continue;
+                }
                 let (u, f) = bank.fsms[i];
                 let st = bank.states[i];
                 let cur = bank.cur_op[i];
@@ -496,7 +681,7 @@ impl<R: Rng, H: PulseHooks> ControlStyle<R> for FsmStyle<'_, H> {
                     match parse_cco(name) {
                         Some(p) => match faults.stuck_completion(OpId(p), cycle) {
                             Some(forced) => forced,
-                            None => h.cco(fab, &fab.pulses, p, cur),
+                            None => h.cco(fab, &fab.pulses, p, cur, cycle),
                         },
                         // Own unit completion C_{name}.
                         None => unit_completion[u],
@@ -547,7 +732,7 @@ impl<R: Rng, H: PulseHooks> ControlStyle<R> for FsmStyle<'_, H> {
                 let truth_step = f.try_step(st, |v| {
                     let name = &f.inputs()[v];
                     match parse_cco(name) {
-                        Some(p) => h.cco(fab, &fab.pulses, p, cur),
+                        Some(p) => h.cco(fab, &fab.pulses, p, cur, cycle),
                         None => truth,
                     }
                 });
@@ -706,7 +891,14 @@ impl PulseHooks for SingleIterHooks<'_> {
         }
     }
 
-    fn cco(&self, fabric: &CompletionFabric, pulses: &OpSet, p: usize, _cur: OpId) -> bool {
+    fn cco(
+        &self,
+        fabric: &CompletionFabric,
+        pulses: &OpSet,
+        p: usize,
+        _cur: OpId,
+        _cycle: usize,
+    ) -> bool {
         fabric.done.contains(OpId(p)) || pulses.contains(OpId(p))
     }
 

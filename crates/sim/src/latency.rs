@@ -1,10 +1,14 @@
 //! Latency statistics: best / average / worst summaries in cycles and
 //! nanoseconds, in the format of the paper's Table 2.
 
+use crate::batch::derive_seed;
 use crate::cent::{simulate_cent, CentControlUnit};
 use crate::centsync::simulate_cent_sync;
 use crate::distributed::simulate_distributed;
+use crate::elastic::{elastic_trial_skew_seed, simulate_elastic, simulate_elastic_saturated};
 use crate::error::SimError;
+use crate::fault::SimConfig;
+use crate::kernel::ElasticSpec;
 use crate::model::CompletionModel;
 use rand::Rng;
 use tauhls_fsm::DistributedControlUnit;
@@ -50,6 +54,116 @@ pub enum ControlStyle {
     Cent,
     /// The synchronized centralized TAUBM controller (`LT_TAU`).
     CentSync,
+    /// The distributed control unit under elastic (GALS) clocking: local
+    /// per-controller clocks with bounded skew and handshake-latched
+    /// cross-domain completion transfer (`LT_ELAS`).
+    Elastic(ElasticSpec),
+}
+
+/// A set of controller styles, with the one name↔style mapping every
+/// front end (CLI flags, JobSpec parsing, table renderers) shares — so
+/// adding a style is a one-site change.
+///
+/// Canonical names, in canonical order: `tau` (CENT-SYNC), `dist`,
+/// `cent`, `elastic`. Parsing accepts the aliases listed on
+/// [`ControlStyleSet::parse`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControlStyleSet {
+    bits: u8,
+}
+
+impl ControlStyleSet {
+    /// The synchronized TAUBM style (`LT_TAU`).
+    pub const TAU: ControlStyleSet = ControlStyleSet { bits: 1 };
+    /// The distributed style (`LT_DIST`).
+    pub const DIST: ControlStyleSet = ControlStyleSet { bits: 2 };
+    /// The centralized product style (`LT_CENT`).
+    pub const CENT: ControlStyleSet = ControlStyleSet { bits: 4 };
+    /// The elastic (GALS) style (`LT_ELAS`).
+    pub const ELASTIC: ControlStyleSet = ControlStyleSet { bits: 8 };
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        ControlStyleSet { bits: 0 }
+    }
+
+    /// Every style.
+    pub fn all() -> Self {
+        Self::TAU | Self::DIST | Self::CENT | Self::ELASTIC
+    }
+
+    /// True when every member of `other` is in `self`.
+    pub fn contains(self, other: ControlStyleSet) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// True when no style is in the set.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// The flag a [`ControlStyle`] value belongs to.
+    pub fn of(style: ControlStyle) -> Self {
+        match style {
+            ControlStyle::CentSync => Self::TAU,
+            ControlStyle::Distributed => Self::DIST,
+            ControlStyle::Cent => Self::CENT,
+            ControlStyle::Elastic(_) => Self::ELASTIC,
+        }
+    }
+
+    /// Parses one style name. Accepted (case-insensitive): `tau`,
+    /// `cent_sync`, `centsync`, `sync` → TAU; `dist`, `distributed` →
+    /// DIST; `cent`, `centralized` → CENT; `elastic`, `gals` → ELASTIC.
+    pub fn parse_one(name: &str) -> Result<ControlStyleSet, String> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "tau" | "cent_sync" | "centsync" | "sync" => Ok(Self::TAU),
+            "dist" | "distributed" => Ok(Self::DIST),
+            "cent" | "centralized" => Ok(Self::CENT),
+            "elastic" | "gals" => Ok(Self::ELASTIC),
+            other => Err(format!(
+                "unknown control style '{other}' (expected tau|dist|cent|elastic)"
+            )),
+        }
+    }
+
+    /// Parses a comma-separated style list (e.g. `dist,cent,elastic`).
+    /// Rejects empty lists and unknown names.
+    pub fn parse(list: &str) -> Result<ControlStyleSet, String> {
+        let mut set = Self::empty();
+        for name in list.split(',').filter(|s| !s.trim().is_empty()) {
+            set = set | Self::parse_one(name)?;
+        }
+        if set.is_empty() {
+            return Err("empty control-style list (expected tau|dist|cent|elastic)".to_string());
+        }
+        Ok(set)
+    }
+
+    /// The canonical names of the members, in canonical order.
+    pub fn names(self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for (flag, name) in [
+            (Self::TAU, "tau"),
+            (Self::DIST, "dist"),
+            (Self::CENT, "cent"),
+            (Self::ELASTIC, "elastic"),
+        ] {
+            if self.contains(flag) {
+                out.push(name);
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::BitOr for ControlStyleSet {
+    type Output = ControlStyleSet;
+    fn bitor(self, rhs: ControlStyleSet) -> ControlStyleSet {
+        ControlStyleSet {
+            bits: self.bits | rhs.bits,
+        }
+    }
 }
 
 /// The generated machinery one [`ControlStyle`] needs — built once per
@@ -58,6 +172,7 @@ enum Engine {
     Dist(DistributedControlUnit),
     Cent(CentControlUnit),
     Sync,
+    Elastic(DistributedControlUnit, ElasticSpec),
 }
 
 impl Engine {
@@ -66,19 +181,31 @@ impl Engine {
             ControlStyle::Distributed => Engine::Dist(DistributedControlUnit::generate(bound)),
             ControlStyle::Cent => Engine::Cent(CentControlUnit::without_product(bound)),
             ControlStyle::CentSync => Engine::Sync,
+            ControlStyle::Elastic(spec) => {
+                Engine::Elastic(DistributedControlUnit::generate(bound), spec)
+            }
         }
     }
 
+    /// Runs one trial. `run_tag` numbers the run within the summary; only
+    /// the elastic engine consumes it (its skew schedule is drawn from
+    /// `elastic_trial_skew_seed(0, 0, run_tag)`, never from `rng`, so the
+    /// synchronous styles' RNG streams are unaffected by the tag).
     fn run_once<R: Rng>(
         &self,
         bound: &BoundDfg,
         model: &CompletionModel,
         rng: &mut R,
+        run_tag: u64,
     ) -> Result<usize, SimError> {
         Ok(match self {
             Engine::Dist(cu) => simulate_distributed(bound, cu, model, None, rng)?.cycles,
             Engine::Cent(cu) => simulate_cent(bound, cu, model, None, rng)?.cycles,
             Engine::Sync => simulate_cent_sync(bound, model, None, rng)?.cycles,
+            Engine::Elastic(cu, spec) => {
+                let skew_seed = elastic_trial_skew_seed(0, 0, run_tag);
+                simulate_elastic(bound, cu, model, None, rng, *spec, skew_seed)?.cycles
+            }
         })
     }
 }
@@ -103,9 +230,51 @@ pub fn latency_summary(
         ));
     }
     let engine = Engine::generate(bound, style);
-    let run = |model: &CompletionModel, rng: &mut _| engine.run_once(bound, model, rng);
-    let best_cycles = run(&CompletionModel::AlwaysShort, rng)?;
-    let worst_cycles = run(&CompletionModel::AlwaysLong, rng)?;
+    // Envelope legs: deterministic completion extremes. The elastic style
+    // additionally pins the schedule-space extremes — stall-free floor
+    // for best, saturated ceiling for worst — so its envelope brackets
+    // the averages regardless of the skew seeds the trials draw.
+    let (best_cycles, worst_cycles) = match &engine {
+        Engine::Elastic(cu, spec) => {
+            let floor = ElasticSpec {
+                skew_bound: 0,
+                ..*spec
+            };
+            let cfg = SimConfig::default();
+            (
+                simulate_elastic(
+                    bound,
+                    cu,
+                    &CompletionModel::AlwaysShort,
+                    None,
+                    rng,
+                    floor,
+                    0,
+                )?
+                .cycles,
+                simulate_elastic_saturated(
+                    bound,
+                    cu,
+                    &CompletionModel::AlwaysLong,
+                    None,
+                    rng,
+                    &cfg,
+                    *spec,
+                )?
+                .cycles,
+            )
+        }
+        _ => (
+            engine.run_once(bound, &CompletionModel::AlwaysShort, rng, 0)?,
+            engine.run_once(bound, &CompletionModel::AlwaysLong, rng, 1)?,
+        ),
+    };
+    let mut run_tag = 2u64;
+    let mut run = |model: &CompletionModel, rng: &mut _| {
+        let tag = run_tag;
+        run_tag += 1;
+        engine.run_once(bound, model, rng, tag)
+    };
     let mut average_cycles = Vec::with_capacity(p_values.len());
     for &p in p_values {
         let mut total = 0usize;
@@ -251,6 +420,129 @@ pub fn latency_triple(
     ))
 }
 
+/// Measures all four controller styles — `LT_TAU`, `LT_DIST`, `LT_CENT`
+/// and `LT_ELAS` — with **coupled** completion draws: one table per trial,
+/// fed to every style.
+///
+/// The elastic leg draws its per-trial skew schedule from
+/// `derive_seed(skew_seed, p_index, trial)` — never from `rng` — so the
+/// first three legs reproduce [`latency_triple`] bit for bit under the
+/// same seed. Per coupled trial, DIST can only be at least as fast as
+/// ELASTIC (skew stalls and handshake latency never speed a run up);
+/// that domination is debug-asserted, like the CENT/DIST bisimulation.
+///
+/// Best/worst elastic legs are schedule-independent extremes of the
+/// whole spec space: the best cell runs the stall-free floor schedule
+/// (spec `{skew_bound: 0, sync_latency}`), the worst the saturated
+/// schedule ([`simulate_elastic_saturated`]), so the envelope brackets
+/// the seeded per-trial averages no matter which skew seeds they drew.
+///
+/// Returns `(sync, dist, cent, elastic)`, or
+/// [`SimError::InvalidConfig`] when `trials == 0`.
+pub fn latency_quad(
+    bound: &BoundDfg,
+    p_values: &[f64],
+    trials: usize,
+    spec: ElasticSpec,
+    skew_seed: u64,
+    rng: &mut impl Rng,
+) -> Result<
+    (
+        LatencySummary,
+        LatencySummary,
+        LatencySummary,
+        LatencySummary,
+    ),
+    SimError,
+> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "latency quad needs trials >= 1".to_string(),
+        ));
+    }
+    let cu = DistributedControlUnit::generate(bound);
+    let cent_cu = CentControlUnit::without_product(bound);
+    let num_ops = bound.dfg().num_ops();
+    let measure = |model: &CompletionModel,
+                   rng: &mut _,
+                   trial_skew: u64|
+     -> Result<(usize, usize, usize, usize), SimError> {
+        Ok((
+            simulate_cent_sync(bound, model, None, rng)?.cycles,
+            simulate_distributed(bound, &cu, model, None, rng)?.cycles,
+            simulate_cent(bound, &cent_cu, model, None, rng)?.cycles,
+            simulate_elastic(bound, &cu, model, None, rng, spec, trial_skew)?.cycles,
+        ))
+    };
+    // Deterministic models draw nothing from `rng`, so the discarded
+    // elastic legs of the two `measure` calls leave the stream untouched.
+    let floor = ElasticSpec {
+        skew_bound: 0,
+        ..spec
+    };
+    let cfg = SimConfig::default();
+    let (sync_best, dist_best, cent_best, _) = measure(&CompletionModel::AlwaysShort, rng, 0)?;
+    let elas_best = simulate_elastic(
+        bound,
+        &cu,
+        &CompletionModel::AlwaysShort,
+        None,
+        rng,
+        floor,
+        0,
+    )?
+    .cycles;
+    let (sync_worst, dist_worst, cent_worst, _) = measure(&CompletionModel::AlwaysLong, rng, 0)?;
+    let elas_worst = simulate_elastic_saturated(
+        bound,
+        &cu,
+        &CompletionModel::AlwaysLong,
+        None,
+        rng,
+        &cfg,
+        spec,
+    )?
+    .cycles;
+    let mut sync_avg = Vec::with_capacity(p_values.len());
+    let mut dist_avg = Vec::with_capacity(p_values.len());
+    let mut cent_avg = Vec::with_capacity(p_values.len());
+    let mut elas_avg = Vec::with_capacity(p_values.len());
+    for (idx, &p) in p_values.iter().enumerate() {
+        let mut s_total = 0usize;
+        let mut d_total = 0usize;
+        let mut c_total = 0usize;
+        let mut e_total = 0usize;
+        for trial in 0..trials {
+            let table = CompletionModel::draw_table(num_ops, p, rng);
+            let trial_skew = derive_seed(skew_seed, idx as u64, trial as u64);
+            let (s, d, c, e) = measure(&table, rng, trial_skew)?;
+            debug_assert!(d <= s, "distributed lost a coupled trial: {d} > {s}");
+            debug_assert_eq!(c, d, "CENT diverged from DIST on a coupled trial");
+            debug_assert!(d <= e, "elastic beat dist on a coupled trial: {e} < {d}");
+            s_total += s;
+            d_total += d;
+            c_total += c;
+            e_total += e;
+        }
+        sync_avg.push(s_total as f64 / trials as f64);
+        dist_avg.push(d_total as f64 / trials as f64);
+        cent_avg.push(c_total as f64 / trials as f64);
+        elas_avg.push(e_total as f64 / trials as f64);
+    }
+    let summary = |best, avg: Vec<f64>, worst| LatencySummary {
+        best_cycles: best,
+        average_cycles: avg,
+        worst_cycles: worst,
+        p_values: p_values.to_vec(),
+    };
+    Ok((
+        summary(sync_best, sync_avg, sync_worst),
+        summary(dist_best, dist_avg, dist_worst),
+        summary(cent_best, cent_avg, cent_worst),
+        summary(elas_best, elas_avg, elas_worst),
+    ))
+}
+
 /// Percentage improvement of `dist` over `sync` per swept `P`
 /// (the paper's "Performance Enhancement" column).
 pub fn enhancement_percent(sync: &LatencySummary, dist: &LatencySummary) -> Vec<f64> {
@@ -331,6 +623,76 @@ mod tests {
         assert_eq!(dist, pair_dist);
         // CENT is cycle-identical to DIST (bisimulation), trial for trial.
         assert_eq!(cent, dist);
+    }
+
+    #[test]
+    fn quad_reproduces_triple_and_elastic_never_wins() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let ps = [0.9, 0.5];
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let (tri_sync, tri_dist, tri_cent) = latency_triple(&bound, &ps, 200, &mut rng1).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let (sync, dist, cent, elas) =
+            latency_quad(&bound, &ps, 200, ElasticSpec::default(), 21, &mut rng2).unwrap();
+        // The extra ELASTIC leg consumes no trial RNG, so the established
+        // triple is reproduced bit for bit under the same seed.
+        assert_eq!(sync, tri_sync);
+        assert_eq!(dist, tri_dist);
+        assert_eq!(cent, tri_cent);
+        // Elastic clocking can only cost cycles (domination is asserted
+        // per coupled trial inside the quad; check the aggregates too).
+        for (d, e) in dist.average_cycles.iter().zip(&elas.average_cycles) {
+            assert!(d <= e, "elastic avg {e} < dist avg {d}");
+        }
+        assert!(dist.worst_cycles <= elas.worst_cycles);
+    }
+
+    #[test]
+    fn quad_with_zero_spec_collapses_elastic_onto_dist() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, dist, _, elas) =
+            latency_quad(&bound, &[0.9, 0.5], 150, ElasticSpec::zero(), 99, &mut rng).unwrap();
+        assert_eq!(dist, elas);
+    }
+
+    #[test]
+    fn elastic_summary_runs_and_brackets() {
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let mut rng = StdRng::seed_from_u64(6);
+        let style = ControlStyle::Elastic(ElasticSpec::default());
+        let s = latency_summary(&bound, style, &[0.9, 0.5], 200, &mut rng).unwrap();
+        assert!(s.best_cycles as f64 <= s.average_cycles[0]);
+        assert!(s.average_cycles[1] <= s.worst_cycles as f64);
+    }
+
+    #[test]
+    fn style_set_parses_aliases_and_renders_canonical_names() {
+        let set = ControlStyleSet::parse("dist,cent,elastic").unwrap();
+        assert!(set.contains(ControlStyleSet::DIST));
+        assert!(set.contains(ControlStyleSet::CENT));
+        assert!(set.contains(ControlStyleSet::ELASTIC));
+        assert!(!set.contains(ControlStyleSet::TAU));
+        assert_eq!(set.names(), vec!["dist", "cent", "elastic"]);
+        // Aliases, case-insensitivity, spacing.
+        assert_eq!(
+            ControlStyleSet::parse("CentSync, Distributed").unwrap(),
+            ControlStyleSet::TAU | ControlStyleSet::DIST
+        );
+        assert_eq!(
+            ControlStyleSet::parse("gals").unwrap(),
+            ControlStyleSet::ELASTIC
+        );
+        assert_eq!(ControlStyleSet::all().names().len(), 4);
+        // Unknown names and empty lists are rejected.
+        assert!(ControlStyleSet::parse("dist,bogus").is_err());
+        assert!(ControlStyleSet::parse("").is_err());
+        assert!(ControlStyleSet::parse(" , ").is_err());
+        // Style-value mapping covers the elastic variant.
+        assert_eq!(
+            ControlStyleSet::of(ControlStyle::Elastic(ElasticSpec::default())),
+            ControlStyleSet::ELASTIC
+        );
     }
 
     #[test]

@@ -101,7 +101,14 @@ impl PulseHooks for PipelinedHooks<'_> {
 
     fn busy(&mut self, _fabric: &CompletionFabric, _op: OpId, _unit: usize) {}
 
-    fn cco(&self, _fabric: &CompletionFabric, pulses: &OpSet, p: usize, cur: OpId) -> bool {
+    fn cco(
+        &self,
+        _fabric: &CompletionFabric,
+        pulses: &OpSet,
+        p: usize,
+        cur: OpId,
+        _cycle: usize,
+    ) -> bool {
         // Iteration-tagged semantics: the consumer currently working
         // toward instance k of `cur` sees C_CO(p) high iff instance k of
         // p has completed, where k = completions[cur] + 1.

@@ -38,6 +38,7 @@
 
 use crate::distributed::{operand_values, parse_phase, Phase};
 use crate::fault::SimConfig;
+use crate::kernel::{ClockFabric, ElasticSpec};
 use crate::model::CompletionModel;
 use crate::pipeline::PipelinedResult;
 use crate::result::SimResult;
@@ -289,6 +290,34 @@ impl LaneConfigs<'_> {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Lanes in `w` whose plan freezes `controller`'s local clock at
+    /// `cycle` (the `ClockSkew` kind — consulted by the elastic engine
+    /// only, exactly like the scalar hooks).
+    fn clock_stall_at(&self, faulty: u64, controller: usize, cycle: usize, w: u64) -> u64 {
+        let fw = faulty & w;
+        if fw == 0 {
+            return 0;
+        }
+        match self {
+            LaneConfigs::Shared(c) => {
+                if c.faults.clock_stalled(controller, cycle) {
+                    fw
+                } else {
+                    0
+                }
+            }
+            LaneConfigs::PerLane(cs) => {
+                let mut m = 0u64;
+                for t in BitIter(fw) {
+                    if cs[t].faults.clock_stalled(controller, cycle) {
+                        m |= 1u64 << t;
+                    }
+                }
+                m
             }
         }
     }
@@ -567,6 +596,18 @@ struct Scratch {
     cyc: Vec<usize>,
     short_w: Vec<u64>,
     truth_w: Vec<u64>,
+    // Elastic-mode planes: cross-domain completion visibility per op,
+    // a `sync_latency`-deep ring of pending handshakes (`slot * n + op`),
+    // per-controller tick words (`ctrl * period + pos`, rebuilt each skew
+    // window), the tick word of the current cycle per controller, stall
+    // bucketing scratch, and held `(state, lanes)` groups of controllers
+    // whose local clock did not tick this cycle.
+    visible: Vec<u64>,
+    vis_ring: Vec<u64>,
+    tick_masks: Vec<u64>,
+    tick_now: Vec<u64>,
+    stall_buckets: Vec<u64>,
+    held: Vec<Vec<(usize, u64)>>,
 }
 
 fn reset_words(v: &mut Vec<u64>, len: usize) {
@@ -581,7 +622,9 @@ fn reset_usize(v: &mut Vec<usize>, len: usize) {
 
 /// Single-iteration latch of `op` for the lanes in `m` at cycle `at`.
 /// Takes the scratch fields it touches as separate slices (not `&mut
-/// Scratch`) so callers can hold disjoint borrows of the rest.
+/// Scratch`) so callers can hold disjoint borrows of the rest. Returns
+/// the freshly latched lanes (first latch only) — the elastic caller
+/// starts the cross-domain handshake exactly for those.
 #[allow(clippy::too_many_arguments)]
 fn latch_single(
     op: usize,
@@ -592,7 +635,7 @@ fn latch_single(
     completion_cycle: &mut [usize],
     done_count: &mut [u32],
     lanes_incomplete: &mut u64,
-) {
+) -> u64 {
     let upd = m & !done[op];
     done[op] |= upd;
     for t in BitIter(upd) {
@@ -602,6 +645,7 @@ fn latch_single(
             *lanes_incomplete &= !(1u64 << t);
         }
     }
+    upd
 }
 
 /// Pipelined latch of `op` for the lanes in `m` at cycle `at`: WAR-hazard
@@ -647,16 +691,24 @@ fn latch_piped(
 }
 
 /// The word-parallel FSM cycle engine shared by the single-iteration
-/// (distributed/centralized) and pipelined modes. Mirrors
+/// (distributed/centralized), elastic, and pipelined modes. Mirrors
 /// `kernel::run` + `FsmStyle::advance` stage for stage; any lane that
 /// would take a scalar error path is moved to the returned fallback
 /// mask. Returns `(fallback, finished)` lane masks.
+///
+/// `elastic` carries the GALS clocking parameters and one skew seed per
+/// lane; `None` is the synchronous (one-domain) case. With it set, each
+/// controller's tick word gates sampling and transitions (held lanes keep
+/// their state), and — when `sync_latency > 0` — `C_CO` reads switch from
+/// the combinational `done | pulses` plane to the handshake-delayed
+/// `visible` plane, exactly like the scalar `ElasticHooks`.
 #[allow(clippy::too_many_arguments)]
 fn fsm_engine(
     bound: &BoundDfg,
     ctrls: &[CCtrl<'_>],
     opvals: Option<&[(i64, i64)]>,
     iterations: Option<usize>,
+    elastic: Option<(ElasticSpec, &[u64])>,
     models: &LaneModels<'_>,
     configs: &LaneConfigs<'_>,
     rngs: &mut [StdRng],
@@ -670,11 +722,22 @@ fn fsm_engine(
     let all = lane_mask(lanes);
     let piped = iterations.is_some();
     let iters = iterations.unwrap_or(1);
+    // Elastic clocking parameters (identity values when synchronous).
+    let period = elastic.map_or(1, |(s, _)| s.period() as usize);
+    let lat = elastic.map_or(0, |(s, _)| s.sync_latency as usize);
+    let skewed = period > 1;
+    let vis_latched = lat > 0;
 
     let mut fallback = models.invalid_mask(n, lanes);
     let mut finished = 0u64;
     let faulty = configs.faulty_mask(lanes);
     configs.budgets(n, iters, lanes, &mut scr.budgets);
+    if elastic.is_some() {
+        // The scalar `elastic_budget` stretch, applied per lane.
+        for b in scr.budgets.iter_mut() {
+            *b = *b * period + lat * (n + 1);
+        }
+    }
     let min_budget = scr.budgets.iter().copied().min().unwrap_or(0);
 
     reset_words(&mut scr.done, n);
@@ -691,6 +754,16 @@ fn fsm_engine(
     scr.done_count.resize(lanes, 0);
     scr.deferred.clear();
     reset_usize(&mut scr.fin_cycle, lanes);
+    if elastic.is_some() {
+        reset_words(&mut scr.visible, if vis_latched { n } else { 0 });
+        reset_words(&mut scr.vis_ring, lat * n);
+        reset_words(&mut scr.tick_masks, if skewed { nc * period } else { 0 });
+        reset_words(&mut scr.tick_now, nc);
+        scr.held.resize_with(nc, Vec::new);
+        for h in scr.held.iter_mut() {
+            h.clear();
+        }
+    }
     if piped {
         reset_usize(&mut scr.starts, n * 64);
         reset_usize(&mut scr.completions, n * 64);
@@ -734,6 +807,17 @@ fn fsm_engine(
         }
         cycle += 1;
 
+        // Elastic: handshakes whose latency elapses this cycle become
+        // visible (the `visible_at[op] <= cycle` check of the scalar
+        // fabric, as a ring of word-planes).
+        if vis_latched {
+            let slot = (cycle % lat) * n;
+            for op in 0..n {
+                scr.visible[op] |= scr.vis_ring[slot + op];
+                scr.vis_ring[slot + op] = 0;
+            }
+        }
+
         // Watchdog: a lane over budget is a scalar Deadlock -> fallback.
         let mut adv = still;
         if cycle > min_budget {
@@ -747,6 +831,39 @@ fn fsm_engine(
             adv &= !over;
             if adv == 0 {
                 continue;
+            }
+        }
+
+        // Elastic: the per-controller tick words of this fabric cycle.
+        // Stall schedules are redrawn once per skew window (the exact
+        // `ClockFabric::window_stall` draw, per lane), then prefix-ORed
+        // into one word per in-window position; `ClockSkew` fault stalls
+        // are masked out on top, like the scalar `ElasticHooks::ticks`.
+        if let Some((spec, skews)) = elastic {
+            if skewed && (cycle - 1).is_multiple_of(period) {
+                let window = (cycle - 1) / period;
+                for i in 0..nc {
+                    scr.stall_buckets.clear();
+                    scr.stall_buckets.resize(period, 0);
+                    for (t, &seed) in skews.iter().enumerate().take(lanes) {
+                        let s = ClockFabric::window_stall(seed, i, window, spec.period()) as usize;
+                        scr.stall_buckets[s] |= 1u64 << t;
+                    }
+                    let mut acc = 0u64;
+                    for p in 0..period {
+                        acc |= scr.stall_buckets[p];
+                        scr.tick_masks[i * period + p] = acc;
+                    }
+                }
+            }
+            let pos = (cycle - 1) % period;
+            for i in 0..nc {
+                let base = if skewed {
+                    scr.tick_masks[i * period + pos]
+                } else {
+                    all
+                };
+                scr.tick_now[i] = base & !configs.clock_stall_at(faulty, i, cycle, all);
             }
         }
 
@@ -783,7 +900,7 @@ fn fsm_engine(
                         &mut lanes_incomplete,
                     );
                 } else {
-                    latch_single(
+                    let upd = latch_single(
                         op,
                         m,
                         at,
@@ -793,6 +910,17 @@ fn fsm_engine(
                         &mut scr.done_count,
                         &mut lanes_incomplete,
                     );
+                    if vis_latched && upd != 0 {
+                        // Handshake from the latch cycle: a deferred latch
+                        // already past its visibility point is visible now
+                        // (the scalar `min(visible_at, at + latency)`).
+                        let v = at + lat;
+                        if v <= cycle {
+                            scr.visible[op] |= upd;
+                        } else {
+                            scr.vis_ring[(v % lat) * n + op] |= upd;
+                        }
+                    }
                 }
             }
         }
@@ -807,9 +935,22 @@ fn fsm_engine(
         let mut any_diverged = false;
         for (i, c) in ctrls.iter().enumerate() {
             scr.agenda[i].clear();
+            if elastic.is_some() {
+                scr.held[i].clear();
+            }
             for gi in 0..scr.occupancy[i].len() {
                 let (st, om) = scr.occupancy[i][gi];
                 let mut w = om & adv;
+                if elastic.is_some() {
+                    // Lanes whose local clock does not tick are frozen for
+                    // the cycle: no phase decode, no draw, no transition —
+                    // they re-enter the occupancy unchanged at commit.
+                    let hold = w & !scr.tick_now[i];
+                    if hold != 0 {
+                        scr.held[i].push((st, hold));
+                        w &= scr.tick_now[i];
+                    }
+                }
                 if w == 0 {
                     continue;
                 }
@@ -942,7 +1083,14 @@ fn fsm_engine(
                                         b
                                     }
                                 } else if *p < n {
-                                    scr.done[*p] | scr.pulses[*p]
+                                    if vis_latched {
+                                        // Cross-domain transfer is latched:
+                                        // only handshake-crossed completions
+                                        // are visible, never pulses.
+                                        scr.visible[*p]
+                                    } else {
+                                        scr.done[*p] | scr.pulses[*p]
+                                    }
                                 } else {
                                     0
                                 };
@@ -1032,7 +1180,11 @@ fn fsm_engine(
                                         b
                                     }
                                 } else if *p < n {
-                                    scr.done[*p] | scr.pulses[*p]
+                                    if vis_latched {
+                                        scr.visible[*p]
+                                    } else {
+                                        scr.done[*p] | scr.pulses[*p]
+                                    }
                                 } else {
                                     0
                                 }
@@ -1104,6 +1256,24 @@ fn fsm_engine(
                     occ.push((to, w));
                 }
             }
+            if elastic.is_some() {
+                // Lanes frozen this cycle keep their state (the scalar
+                // `steps.push((state, []))` of a non-ticking controller).
+                // Merged before the flip transform below: a state-register
+                // upset hits a frozen controller too.
+                for hi in 0..scr.held[i].len() {
+                    let (st, hm) = scr.held[i][hi];
+                    let w = hm & adv;
+                    if w == 0 {
+                        continue;
+                    }
+                    if let Some(e) = occ.iter_mut().find(|e| e.0 == st) {
+                        e.1 |= w;
+                    } else {
+                        occ.push((st, w));
+                    }
+                }
+            }
         }
         for op in 0..n {
             let mut w = scr.pulses[op] & adv;
@@ -1141,7 +1311,7 @@ fn fsm_engine(
                             &mut lanes_incomplete,
                         );
                     } else {
-                        latch_single(
+                        let upd = latch_single(
                             op,
                             m,
                             cycle,
@@ -1151,6 +1321,12 @@ fn fsm_engine(
                             &mut scr.done_count,
                             &mut lanes_incomplete,
                         );
+                        if vis_latched && upd != 0 {
+                            // Becomes visible at `cycle + lat`: the slot
+                            // just promoted this cycle, due again exactly
+                            // `lat` cycles from now.
+                            scr.vis_ring[(cycle % lat) * n + op] |= upd;
+                        }
                     }
                 } else {
                     scr.deferred.push((cycle + delay, op, m));
@@ -1355,6 +1531,50 @@ fn eval_inputs(bound: &BoundDfg, inputs: Option<&[i64]>) -> (Vec<i64>, Vec<(i64,
     (values, opvals)
 }
 
+/// Transposes the engine scratch back into per-lane [`SimResult`]s:
+/// fallback lanes stay fallback, and a terminating faulty lane that
+/// latched out of order falls back too (the scalar engines turn that into
+/// a Desync via the post-run invariant check).
+fn collect_lanes(
+    bound: &BoundDfg,
+    scr: &Scratch,
+    fb: u64,
+    faulty: u64,
+    lanes: usize,
+    cent_sync: bool,
+    values: &[i64],
+) -> Vec<LaneOutcome> {
+    let n = bound.dfg().num_ops();
+    let nu = bound.allocation().units().len();
+    let mut out = Vec::with_capacity(lanes);
+    for t in 0..lanes {
+        if fb & (1u64 << t) != 0 {
+            out.push(LaneOutcome::Fallback);
+            continue;
+        }
+        let completion_cycle: Vec<usize> =
+            (0..n).map(|o| scr.completion_cycle[o * 64 + t]).collect();
+        let cycles = if cent_sync {
+            scr.cyc[t].max(completion_cycle.iter().copied().max().unwrap_or(0))
+        } else {
+            scr.fin_cycle[t]
+        };
+        let r = SimResult {
+            cycles,
+            completion_cycle,
+            start_cycle: (0..n).map(|o| scr.start_cycle[o * 64 + t]).collect(),
+            unit_busy_cycles: (0..nu).map(|u| scr.unit_busy[u * 64 + t]).collect(),
+            values: values.to_vec(),
+        };
+        if faulty & (1u64 << t) != 0 && r.verify(bound).is_err() {
+            out.push(LaneOutcome::Fallback);
+        } else {
+            out.push(LaneOutcome::Done(r));
+        }
+    }
+    out
+}
+
 impl<'a> SlicedSim<'a> {
     /// Sliced twin of `simulate_distributed_with`. For the CENT engine
     /// pass `cent.components()` — the product automaton is bisimilar to
@@ -1438,8 +1658,6 @@ impl<'a> SlicedSim<'a> {
         if lanes > LANES || !Self::lanes_ok(models, configs, lanes) {
             return vec![LaneOutcome::Fallback; lanes];
         }
-        let n = self.bound.dfg().num_ops();
-        let nu = self.bound.allocation().units().len();
         let faulty = configs.faulty_mask(lanes);
         let (fb, values) = match &self.mode {
             EngineMode::Pipelined { .. } => return vec![LaneOutcome::Fallback; lanes],
@@ -1452,6 +1670,7 @@ impl<'a> SlicedSim<'a> {
                     self.bound,
                     ctrls,
                     Some(opvals),
+                    None,
                     None,
                     models,
                     configs,
@@ -1478,37 +1697,50 @@ impl<'a> SlicedSim<'a> {
             }
         };
         let cent_sync = matches!(self.mode, EngineMode::CentSync { .. });
-        let mut out = Vec::with_capacity(lanes);
-        for t in 0..lanes {
-            if fb & (1u64 << t) != 0 {
-                out.push(LaneOutcome::Fallback);
-                continue;
-            }
-            let completion_cycle: Vec<usize> = (0..n)
-                .map(|o| self.scr.completion_cycle[o * 64 + t])
-                .collect();
-            let cycles = if cent_sync {
-                self.scr.cyc[t].max(completion_cycle.iter().copied().max().unwrap_or(0))
-            } else {
-                self.scr.fin_cycle[t]
-            };
-            let r = SimResult {
-                cycles,
-                completion_cycle,
-                start_cycle: (0..n).map(|o| self.scr.start_cycle[o * 64 + t]).collect(),
-                unit_busy_cycles: (0..nu).map(|u| self.scr.unit_busy[u * 64 + t]).collect(),
-                values: values.clone(),
-            };
-            // A terminating faulty lane can still have latched out of
-            // order; the scalar engines turn that into a Desync via the
-            // post-run invariant check — recovered here by falling back.
-            if faulty & (1u64 << t) != 0 && r.verify(self.bound).is_err() {
-                out.push(LaneOutcome::Fallback);
-            } else {
-                out.push(LaneOutcome::Done(r));
-            }
+        collect_lanes(self.bound, &self.scr, fb, faulty, lanes, cent_sync, values)
+    }
+
+    /// Elastic (GALS) twin of `simulate_elastic_with`, on a simulator
+    /// constructed with [`SlicedSim::distributed`]: the same controller
+    /// bank, clocked per [`ElasticSpec`] with one skew seed per lane.
+    /// Done lanes are bit-identical to the scalar elastic engine seeded
+    /// the same way; everything else falls back, soundly.
+    pub fn run_elastic(
+        &mut self,
+        spec: ElasticSpec,
+        skew_seeds: &[u64],
+        models: &LaneModels<'_>,
+        configs: &LaneConfigs<'_>,
+        rngs: &mut [StdRng],
+    ) -> Vec<LaneOutcome> {
+        let lanes = rngs.len();
+        if lanes == 0 {
+            return Vec::new();
         }
-        out
+        if lanes > LANES || skew_seeds.len() < lanes || !Self::lanes_ok(models, configs, lanes) {
+            return vec![LaneOutcome::Fallback; lanes];
+        }
+        let (values, opvals) = match &self.mode {
+            EngineMode::SingleIter { values, opvals } => (values, opvals),
+            _ => return vec![LaneOutcome::Fallback; lanes],
+        };
+        let ctrls = match &self.ctrls {
+            Some(c) => c,
+            None => return vec![LaneOutcome::Fallback; lanes],
+        };
+        let faulty = configs.faulty_mask(lanes);
+        let (fb, _finished) = fsm_engine(
+            self.bound,
+            ctrls,
+            Some(opvals),
+            None,
+            Some((spec, &skew_seeds[..lanes])),
+            models,
+            configs,
+            rngs,
+            &mut self.scr,
+        );
+        collect_lanes(self.bound, &self.scr, fb, faulty, lanes, false, values)
     }
 
     /// Pipelined twin of [`SlicedSim::run`].
@@ -1539,6 +1771,7 @@ impl<'a> SlicedSim<'a> {
             ctrls,
             None,
             Some(iters),
+            None,
             models,
             configs,
             rngs,
@@ -1854,6 +2087,234 @@ mod tests {
         );
         assert!(matches!(out[0], LaneOutcome::Done(_)));
         assert!(matches!(out[1], LaneOutcome::Fallback));
+    }
+
+    fn skew_bank(seed: u64, lanes: usize) -> Vec<u64> {
+        (0..lanes)
+            .map(|t| seed ^ (t as u64).wrapping_mul(0xD1B5_4A32))
+            .collect()
+    }
+
+    /// Done lanes of the sliced elastic engine must be bit-identical to
+    /// the scalar elastic engine on the same trial RNG and skew seed.
+    #[allow(clippy::too_many_arguments)]
+    fn assert_elastic_equiv(
+        bound: &BoundDfg,
+        cu: &DistributedControlUnit,
+        model: &CompletionModel,
+        config: &SimConfig,
+        spec: ElasticSpec,
+        seed: u64,
+        lanes: usize,
+        require_done: bool,
+    ) {
+        let mut rngs = rng_bank(seed, lanes);
+        let skews = skew_bank(seed.wrapping_mul(31), lanes);
+        let mut sim = SlicedSim::distributed(bound, cu, None);
+        let out = sim.run_elastic(
+            spec,
+            &skews,
+            &LaneModels::Shared(model),
+            &LaneConfigs::Shared(config),
+            &mut rngs,
+        );
+        assert_eq!(out.len(), lanes);
+        for (t, lane) in out.iter().enumerate() {
+            let mut srng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+            let scalar = crate::elastic::simulate_elastic_with(
+                bound, cu, model, None, &mut srng, config, spec, skews[t],
+            );
+            match lane {
+                LaneOutcome::Done(r) => {
+                    assert_eq!(Ok(r), scalar.as_ref(), "lane {t} under {spec:?}");
+                }
+                LaneOutcome::Fallback => {
+                    assert!(
+                        !require_done,
+                        "lane {t} fell back under {spec:?} (scalar: {scalar:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_matches_scalar_fault_free() {
+        // Fault-free elastic lanes must never fall back (the differential
+        // claim would be vacuous otherwise) and must equal the scalar
+        // elastic engine bit for bit, across skew/latency combinations.
+        let specs = [
+            ElasticSpec::zero(),
+            ElasticSpec::default(),
+            ElasticSpec {
+                skew_bound: 2,
+                sync_latency: 0,
+            },
+            ElasticSpec {
+                skew_bound: 0,
+                sync_latency: 2,
+            },
+            ElasticSpec {
+                skew_bound: 3,
+                sync_latency: 2,
+            },
+        ];
+        for g in [fir3(), fir5(), diffeq()] {
+            let bound = BoundDfg::bind(&g, &Allocation::paper(2, 1, 1));
+            let cu = DistributedControlUnit::generate(&bound);
+            for (i, spec) in specs.iter().enumerate() {
+                assert_elastic_equiv(
+                    &bound,
+                    &cu,
+                    &CompletionModel::Bernoulli { p: 0.6 },
+                    &SimConfig::default(),
+                    *spec,
+                    200 + i as u64,
+                    64,
+                    true,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_zero_spec_matches_dist_engine_bitwise() {
+        // ELASTIC at the zero spec is the distributed engine: same lanes,
+        // same words, regardless of skew seeds.
+        let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let mut r1 = rng_bank(13, 64);
+        let dist = sim.run(
+            &LaneModels::Shared(&model),
+            &LaneConfigs::Shared(&SimConfig::default()),
+            &mut r1,
+        );
+        let mut r2 = rng_bank(13, 64);
+        let elas = sim.run_elastic(
+            ElasticSpec::zero(),
+            &skew_bank(999, 64),
+            &LaneModels::Shared(&model),
+            &LaneConfigs::Shared(&SimConfig::default()),
+            &mut r2,
+        );
+        assert_eq!(dist, elas);
+    }
+
+    #[test]
+    fn elastic_matches_scalar_under_faults() {
+        // All six synchronous kinds plus the elastic-only ClockSkew must
+        // compose: Done lanes equal scalar, error lanes fall back.
+        let bound = BoundDfg::bind(&diffeq(), &Allocation::paper(2, 1, 1));
+        let cu = DistributedControlUnit::generate(&bound);
+        let spec = ElasticSpec {
+            skew_bound: 1,
+            sync_latency: 1,
+        };
+        let plans = [
+            FaultPlan::single(1, FaultKind::StuckAtShort { op: OpId(1) }),
+            FaultPlan::single(2, FaultKind::StuckAtLong { op: OpId(2) }),
+            FaultPlan::single(1, FaultKind::DropPulse { op: OpId(0) }),
+            FaultPlan::single(2, FaultKind::SpuriousPulse { op: OpId(3) }),
+            FaultPlan::single(
+                1,
+                FaultKind::DelayLatch {
+                    op: OpId(1),
+                    delay: 2,
+                },
+            ),
+            FaultPlan::single(
+                2,
+                FaultKind::FlipState {
+                    controller: 0,
+                    bit: 0,
+                },
+            ),
+            FaultPlan::single(
+                2,
+                FaultKind::ClockSkew {
+                    controller: 0,
+                    stall: 4,
+                },
+            ),
+        ];
+        for (i, plan) in plans.iter().enumerate() {
+            let config = SimConfig {
+                faults: plan.clone(),
+                ..SimConfig::default()
+            };
+            assert_elastic_equiv(
+                &bound,
+                &cu,
+                &CompletionModel::Bernoulli { p: 0.6 },
+                &config,
+                spec,
+                300 + i as u64,
+                17,
+                false,
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_per_lane_clock_skew_isolates() {
+        // Lane 2 carries a ClockSkew fault; every other lane is clean and
+        // must match its fault-free scalar elastic twin exactly.
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
+        let cu = DistributedControlUnit::generate(&bound);
+        let spec = ElasticSpec::default();
+        let lanes = 7;
+        let mut configs = vec![SimConfig::default(); lanes];
+        configs[2].faults = FaultPlan::single(
+            2,
+            FaultKind::ClockSkew {
+                controller: 0,
+                stall: 3,
+            },
+        );
+        let model = CompletionModel::Bernoulli { p: 0.5 };
+        let mut rngs = rng_bank(21, lanes);
+        let skews = skew_bank(5, lanes);
+        let mut sim = SlicedSim::distributed(&bound, &cu, None);
+        let out = sim.run_elastic(
+            spec,
+            &skews,
+            &LaneModels::Shared(&model),
+            &LaneConfigs::PerLane(&configs),
+            &mut rngs,
+        );
+        for (t, lane) in out.iter().enumerate() {
+            let mut srng = StdRng::seed_from_u64(21 ^ (t as u64).wrapping_mul(0x9E37));
+            let scalar = crate::elastic::simulate_elastic_with(
+                &bound,
+                &cu,
+                &model,
+                None,
+                &mut srng,
+                &configs[t],
+                spec,
+                skews[t],
+            );
+            if let LaneOutcome::Done(r) = lane {
+                assert_eq!(Ok(r), scalar.as_ref(), "lane {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_on_non_distributed_modes_falls_back() {
+        let bound = BoundDfg::bind(&fir3(), &Allocation::paper(2, 1, 0));
+        let mut rngs = rng_bank(0, 4);
+        let mut sim = SlicedSim::cent_sync(&bound, None);
+        let out = sim.run_elastic(
+            ElasticSpec::default(),
+            &skew_bank(0, 4),
+            &LaneModels::Shared(&CompletionModel::AlwaysShort),
+            &LaneConfigs::Shared(&SimConfig::default()),
+            &mut rngs,
+        );
+        assert!(out.iter().all(|l| matches!(l, LaneOutcome::Fallback)));
     }
 
     #[test]

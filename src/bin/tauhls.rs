@@ -35,6 +35,13 @@
 //!   --seed N                     RNG seed (default 2003)
 //!   --threads N                  simulation worker threads (default: all
 //!                                cores; results identical for any N)
+//!   --skew N --sync-latency N    elastic (GALS) clocking spec for the
+//!                                LT_ELAS leg and the resilience elastic
+//!                                columns (defaults 1/1; 0/0 bisimulates
+//!                                the distributed style)
+//!   --styles LIST                resilience only: comma-separated styles
+//!                                to sweep (dist,cent,elastic; must
+//!                                include dist; default all three)
 //!   --json                       synth only: emit the artifact-hash chain
 //!                                and per-stage wall times as JSON
 //!
@@ -43,6 +50,8 @@
 //!   --encodings LIST             comma-separated encodings (default binary)
 //!   --p LIST                     completion probabilities (default 0.9,0.7,0.5)
 //!   --sd-ld LIST                 short/long clock ratios in [0.5,1] (default 0.75)
+//!   --skew LIST                  elastic skew bounds to sweep (default 0;
+//!                                0 = synchronous distributed control)
 //!   --trials N --width N --seed N --threads N  as above (defaults 400/16/2003)
 //!
 //! serve options:
@@ -76,14 +85,14 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 use tauhls::core::jobspec::{Endpoint, JobSpec};
-use tauhls::core::resilience::resilience_sweep;
+use tauhls::core::resilience::{resilience_sweep_with, ResilienceOptions};
 use tauhls::core::stages::{self, BindStrategy, PipelineTrace, SynthesisInput};
 use tauhls::dfg::{canonical_wire, dfg_to_text, parse_dfg, parse_wire_dfg, wire_hash, Dfg};
 use tauhls::fsm::{control_unit_to_verilog, DistributedControlUnit, Encoding};
 use tauhls::logic::AreaModel;
 use tauhls::sched::BoundDfg;
 use tauhls::serve::{client, signal, ServeConfig, Server};
-use tauhls::sim::{latency_triple_batch, BatchRunner};
+use tauhls::sim::{latency_quad_batch, BatchRunner, ControlStyleSet, ElasticSpec};
 use tauhls::Allocation;
 use tauhls_json::{Json, ToJson};
 
@@ -98,6 +107,8 @@ struct Options {
     seed: u64,
     threads: Option<usize>,
     json: bool,
+    elastic: ElasticSpec,
+    styles: ControlStyleSet,
 }
 
 impl Default for Options {
@@ -113,6 +124,8 @@ impl Default for Options {
             seed: 2003,
             threads: None,
             json: false,
+            elastic: ElasticSpec::default(),
+            styles: ControlStyleSet::DIST | ControlStyleSet::CENT | ControlStyleSet::ELASTIC,
         }
     }
 }
@@ -122,10 +135,11 @@ fn usage() -> ExitCode {
         "usage: tauhls <synth|simulate|resilience|report|verilog|dot> <file> \
          [--muls N] [--adds N] [--subs N] [--binding left-edge|chains] \
          [--encoding binary|gray|onehot] [--p 0.9,0.5] [--trials N] [--seed N] \
-         [--threads N] [--json]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
+         [--threads N] [--skew N] [--sync-latency N] [--styles dist,cent,elastic] \
+         [--json]\n       tauhls table2 [--trials N] [--seed N] [--threads N]\
          \n       tauhls explore <file> [--max-muls N] [--max-adds N] [--max-subs N] \
-         [--encodings binary,gray] [--p 0.9,0.5] [--sd-ld 0.75,1.0] [--trials N] \
-         [--width N] [--seed N] [--threads N]\
+         [--encodings binary,gray] [--p 0.9,0.5] [--sd-ld 0.75,1.0] [--skew 0,2] \
+         [--trials N] [--width N] [--seed N] [--threads N]\
          \n       tauhls dfg <validate|dot|convert> <file>\
          \n       tauhls serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--stage-cache N] [--threads N] [--data-dir PATH] \
@@ -197,6 +211,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
             "--json" => o.json = true,
+            "--skew" => {
+                o.elastic.skew_bound = value()?.parse().map_err(|e| format!("--skew: {e}"))?
+            }
+            "--sync-latency" => {
+                o.elastic.sync_latency = value()?
+                    .parse()
+                    .map_err(|e| format!("--sync-latency: {e}"))?
+            }
+            "--styles" => {
+                let set = ControlStyleSet::parse(value()?).map_err(|e| format!("--styles: {e}"))?;
+                if set.contains(ControlStyleSet::TAU) {
+                    return Err("--styles supports dist, cent, and elastic".to_string());
+                }
+                if !set.contains(ControlStyleSet::DIST) {
+                    return Err("--styles must include 'dist' (the engine under test)".to_string());
+                }
+                o.styles = set;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -334,9 +366,15 @@ fn cmd_synth(path: &str, o: &Options) -> Result<(), String> {
 
 fn cmd_simulate(bound: &BoundDfg, o: &Options) {
     let runner = runner_for(o.threads);
-    let (sync, dist, cent) =
-        latency_triple_batch(bound, &o.p_values, o.trials as u64, o.seed, &runner)
-            .expect("fault-free simulation");
+    let (sync, dist, cent, elas) = latency_quad_batch(
+        bound,
+        &o.p_values,
+        o.trials as u64,
+        o.seed,
+        o.elastic,
+        &runner,
+    )
+    .expect("fault-free simulation");
     let clk = 15.0;
     println!(
         "clock 15 ns, {} coupled trials at P = {:?}",
@@ -345,6 +383,12 @@ fn cmd_simulate(bound: &BoundDfg, o: &Options) {
     println!("LT_TAU  (synchronized) : {}", sync.to_ns_string(clk));
     println!("LT_DIST (distributed)  : {}", dist.to_ns_string(clk));
     println!("LT_CENT (centralized)  : {}", cent.to_ns_string(clk));
+    println!(
+        "LT_ELAS (elastic s={},l={}) : {}",
+        o.elastic.skew_bound,
+        o.elastic.sync_latency,
+        elas.to_ns_string(clk)
+    );
     for (p, (s, d)) in o
         .p_values
         .iter()
@@ -366,7 +410,11 @@ fn cmd_resilience(bound: &BoundDfg, o: &Options) -> Result<(), String> {
         return Err(format!("--p {p} is not a probability"));
     }
     let runner = runner_for(o.threads);
-    let report = resilience_sweep(bound, p, o.trials as u64, o.seed, &runner);
+    let opts = ResilienceOptions {
+        styles: o.styles,
+        elastic: o.elastic,
+    };
+    let report = resilience_sweep_with(bound, p, o.trials as u64, o.seed, &opts, &runner);
     print!("{}", report.to_json().to_pretty());
     Ok(())
 }
@@ -411,6 +459,16 @@ fn cmd_explore(path: &str, args: &[String]) -> Result<(), String> {
             "--seed" => pairs.push(uint("seed", value()?)?),
             "--p" => pairs.push(floats("p", value()?)?),
             "--sd-ld" => pairs.push(floats("sd_ld", value()?)?),
+            "--skew" => {
+                let vals = value()?
+                    .split(',')
+                    .map(|t| t.parse::<u64>().map_err(|e| format!("--skew: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                pairs.push((
+                    "skew",
+                    Json::Array(vals.into_iter().map(Json::from).collect()),
+                ));
+            }
             "--encodings" => pairs.push((
                 "encodings",
                 Json::Array(value()?.split(',').map(Json::from).collect()),
@@ -1085,6 +1143,26 @@ mod tests {
         assert_eq!(o.trials, 10);
         assert_eq!(o.seed, 5);
         assert_eq!(o.threads, Some(2));
+    }
+
+    #[test]
+    fn elastic_and_styles_flags_parse_and_reject() {
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o.elastic, ElasticSpec::default());
+        assert!(o.styles.contains(ControlStyleSet::ELASTIC));
+        let o = parse_options(&args("--skew 3 --sync-latency 2 --styles dist,elastic")).unwrap();
+        assert_eq!(o.elastic.skew_bound, 3);
+        assert_eq!(o.elastic.sync_latency, 2);
+        assert!(o.styles.contains(ControlStyleSet::DIST));
+        assert!(o.styles.contains(ControlStyleSet::ELASTIC));
+        assert!(!o.styles.contains(ControlStyleSet::CENT));
+        // The GALS alias resolves to the elastic style.
+        let o = parse_options(&args("--styles dist,gals")).unwrap();
+        assert!(o.styles.contains(ControlStyleSet::ELASTIC));
+        assert!(parse_options(&args("--skew x")).is_err());
+        assert!(parse_options(&args("--styles cent,elastic")).is_err());
+        assert!(parse_options(&args("--styles tau,dist")).is_err());
+        assert!(parse_options(&args("--styles nope")).is_err());
     }
 
     #[test]

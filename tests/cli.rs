@@ -87,7 +87,7 @@ fn bad_option_values_print_usage() {
 }
 
 #[test]
-fn simulate_reports_all_three_styles() {
+fn simulate_reports_all_four_styles() {
     let out = tauhls(&[
         "simulate",
         example_dfg(),
@@ -95,12 +95,18 @@ fn simulate_reports_all_three_styles() {
         "40",
         "--threads",
         "2",
+        "--skew",
+        "2",
     ]);
     assert!(out.status.success(), "{}", stderr_of(&out));
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
-    for key in ["LT_TAU", "LT_DIST", "LT_CENT"] {
+    for key in ["LT_TAU", "LT_DIST", "LT_CENT", "LT_ELAS"] {
         assert!(text.contains(key), "simulate output missing {key}: {text}");
     }
+    assert!(
+        text.contains("s=2"),
+        "simulate output missing the elastic spec: {text}"
+    );
 }
 
 #[test]
@@ -126,6 +132,35 @@ fn resilience_misuse_fails_cleanly() {
     let out = tauhls(&["resilience", example_dfg(), "--p", "1.5"]);
     assert_eq!(out.status.code(), Some(1));
     assert_graceful_failure(&out, "not a probability");
+
+    // --styles must keep the distributed engine (and parse at all).
+    let out = tauhls(&["resilience", example_dfg(), "--styles", "cent,elastic"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_graceful_failure(&out, "must include 'dist'");
+}
+
+#[test]
+fn resilience_styles_filter_drops_the_unselected_columns() {
+    let out = tauhls(&[
+        "resilience",
+        example_dfg(),
+        "--trials",
+        "24",
+        "--seed",
+        "11",
+        "--styles",
+        "dist,elastic",
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        text.contains("elastic_survived"),
+        "elastic columns missing: {text}"
+    );
+    assert!(
+        text.contains("\"cent_agreement\": 0"),
+        "cent leg should be gated off: {text}"
+    );
 }
 
 #[test]

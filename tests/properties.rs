@@ -201,3 +201,55 @@ fn merged_stats_equal_single_pass_exactly() {
         assert!(single.min as f64 <= single.mean() && single.mean() <= single.max as f64);
     });
 }
+
+#[test]
+fn elastic_zero_bisimulates_dist_and_skew_never_wins() {
+    use tauhls::sim::{simulate_elastic, ElasticSpec};
+    use tauhls_check::arbitrary_elastic_spec;
+
+    forall(
+        "elastic_zero_bisimulates_dist_and_skew_never_wins",
+        48,
+        |gen| {
+            let (ops, muls, adds, subs) = draw_params(gen);
+            let g = draw_dfg(gen, ops, [2, 1, 3, 1]);
+            let alloc = Allocation::paper(muls, adds, subs);
+            let bound = BoundDfg::bind(&g, &alloc);
+            let cu = DistributedControlUnit::generate(&bound);
+            let skew_seed = gen.usize(0..1 << 30) as u64;
+            let spec = arbitrary_elastic_spec(gen, 3);
+            for p in [1.0, 0.5, 0.0] {
+                let table = CompletionModel::draw_table(g.num_ops(), p, gen.rng());
+                let d = simulate_distributed(&bound, &cu, &table, None, gen.rng())
+                    .expect("fault-free simulation");
+                // Degenerate GALS spec: bit-identical to the synchronous
+                // distributed engine, whatever the skew seed says.
+                let z = simulate_elastic(
+                    &bound,
+                    &cu,
+                    &table,
+                    None,
+                    gen.rng(),
+                    ElasticSpec::zero(),
+                    skew_seed,
+                )
+                .expect("fault-free simulation");
+                assert_eq!(d.cycles, z.cycles, "zero-spec elastic diverged");
+                assert_eq!(d.completion_cycle, z.completion_cycle);
+                assert_eq!(d.values, z.values);
+                // Arbitrary spec: stalls and handshake latency only ever
+                // delay — the synchronous run is a per-trial lower bound —
+                // and the datapath values are untouched.
+                let e = simulate_elastic(&bound, &cu, &table, None, gen.rng(), spec, skew_seed)
+                    .expect("fault-free simulation");
+                assert!(
+                    e.cycles >= d.cycles,
+                    "elastic {} beat dist {} under {spec:?}",
+                    e.cycles,
+                    d.cycles
+                );
+                assert_eq!(d.values, e.values, "clocking changed computed values");
+            }
+        },
+    );
+}

@@ -78,3 +78,70 @@ fn report_json_is_bit_identical_across_thread_counts() {
         assert!(reference.contains(kind));
     }
 }
+
+#[test]
+fn elastic_columns_partition_trials_and_bisimulate_at_zero_spec() {
+    use tauhls::core::resilience::{resilience_sweep_with, ResilienceOptions};
+    use tauhls::sim::{ControlStyleSet, ElasticSpec};
+
+    let bound = BoundDfg::bind(&fir5(), &Allocation::paper(2, 1, 0));
+    // Default options: all three styles, the default elastic spec. The
+    // elastic outcomes must partition the trials of every row.
+    let report = resilience_sweep_with(
+        &bound,
+        0.5,
+        96,
+        2003,
+        &ResilienceOptions::default(),
+        &BatchRunner::available(),
+    );
+    for row in &report.rows {
+        assert_eq!(
+            row.elastic_deadlock + row.elastic_desync + row.elastic_survived,
+            row.trials,
+            "{}: elastic outcomes must partition trials",
+            row.kind
+        );
+    }
+    // Zero spec: the elastic engine is bisimilar to the distributed one,
+    // so the elastic columns must equal the dist columns row for row.
+    let zero = resilience_sweep_with(
+        &bound,
+        0.5,
+        96,
+        2003,
+        &ResilienceOptions {
+            elastic: ElasticSpec::zero(),
+            ..ResilienceOptions::default()
+        },
+        &BatchRunner::available(),
+    );
+    for row in &zero.rows {
+        assert_eq!(row.elastic_deadlock, row.detected_deadlock, "{}", row.kind);
+        assert_eq!(row.elastic_desync, row.detected_desync, "{}", row.kind);
+        assert_eq!(row.elastic_survived, row.survived, "{}", row.kind);
+    }
+    // Styles filter: a dist-only sweep keeps the dist columns bit-equal
+    // and zeroes everything gated off.
+    let dist_only = resilience_sweep_with(
+        &bound,
+        0.5,
+        96,
+        2003,
+        &ResilienceOptions {
+            styles: ControlStyleSet::DIST,
+            ..ResilienceOptions::default()
+        },
+        &BatchRunner::available(),
+    );
+    for (full, lean) in report.rows.iter().zip(&dist_only.rows) {
+        assert_eq!(full.detected_deadlock, lean.detected_deadlock);
+        assert_eq!(full.detected_desync, lean.detected_desync);
+        assert_eq!(full.survived, lean.survived);
+        assert_eq!(lean.cent_agreement, 0);
+        assert_eq!(
+            lean.elastic_deadlock + lean.elastic_desync + lean.elastic_survived,
+            0
+        );
+    }
+}
